@@ -1,0 +1,55 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! PSA shape, unroll penalty (II), stripe counts, and single- vs dual-engine
+//! loading (A2 vs A3).
+
+use asr_accel::arch::{simulate, Architecture};
+use asr_accel::{dse, AccelConfig};
+use asr_systolic::psa::{Psa, PsaConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_psa_shape_sweep(c: &mut Criterion) {
+    let base = AccelConfig::paper_default();
+    let shapes = [(2usize, 64usize), (4, 64), (2, 32), (4, 32), (8, 64)];
+    c.bench_function("ablation/psa_shape_sweep", |b| {
+        b.iter(|| black_box(dse::explore_psa_shapes(&base, &shapes)))
+    });
+
+    println!("\nAblation: PSA shape sweep (A3, s = 32):");
+    for (rows, cols, ms, fits) in dse::explore_psa_shapes(&base, &shapes) {
+        println!("  {}x{:<3}  {:7.2} ms  fits={}", rows, cols, ms, fits);
+    }
+}
+
+fn bench_ii_sweep(c: &mut Criterion) {
+    println!("\nAblation: unroll penalty (II) sweep, MM1-shaped product:");
+    let mut group = c.benchmark_group("ablation/ii");
+    for ii in [1u64, 4, 8, 12, 16] {
+        let psa = Psa::new(PsaConfig { rows: 2, cols: 64, ii, fill: 8 });
+        println!("  II={:<2}  MM1 stripe = {} cycles", ii, psa.cycles(32, 64, 64).get());
+        group.bench_with_input(BenchmarkId::from_parameter(ii), &ii, |b, _| {
+            b.iter(|| black_box(psa.cycles(black_box(32), 64, 64)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_arch_ablation(c: &mut Criterion) {
+    // The overlap ablation at the load-bound extreme (s = 4, unpadded).
+    let mut cfg = AccelConfig::paper_default();
+    cfg.max_seq_len = 4;
+    c.bench_function("ablation/a2_vs_a3_s4", |b| {
+        b.iter(|| {
+            let a2 = simulate(&cfg, Architecture::A2, 4).latency_s;
+            let a3 = simulate(&cfg, Architecture::A3, 4).latency_s;
+            black_box((a2, a3))
+        })
+    });
+    let a1 = simulate(&cfg, Architecture::A1, 4).latency_s * 1e3;
+    let a2 = simulate(&cfg, Architecture::A2, 4).latency_s * 1e3;
+    let a3 = simulate(&cfg, Architecture::A3, 4).latency_s * 1e3;
+    println!("\nAblation: overlap at s=4: A1 {:.2} ms, A2 {:.2} ms, A3 {:.2} ms", a1, a2, a3);
+}
+
+criterion_group!(benches, bench_psa_shape_sweep, bench_ii_sweep, bench_arch_ablation);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 5.1: the A1/A2/A3 schedule simulations (and their simulator cost).
+
+use asr_accel::arch::{simulate, Architecture};
+use asr_bench::tables::config_built_for;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_architectures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("architectures");
+    for &s in &[4usize, 8, 16, 32] {
+        let cfg = config_built_for(s);
+        for arch in Architecture::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(arch.name(), s),
+                &s,
+                |b, &s| b.iter(|| black_box(simulate(&cfg, arch, s))),
+            );
+        }
+    }
+    group.finish();
+
+    // Print the Table 5.1 numbers as a side effect so `cargo bench` output
+    // contains the reproduced rows.
+    println!("\nTable 5.1 (modeled):");
+    for &s in &[4usize, 8, 16, 32] {
+        let cfg = config_built_for(s);
+        for arch in Architecture::ALL {
+            let r = simulate(&cfg, arch, s);
+            println!("  s={:<3} {}  {:7.2} ms", s, arch.name(), r.latency_s * 1e3);
+        }
+    }
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

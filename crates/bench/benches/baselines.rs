@@ -1,0 +1,40 @@
+//! Tables 5.4/5.5: baseline models plus a real multithreaded forward pass.
+
+use asr_baselines::cpu::run_real_forward;
+use asr_baselines::{CpuModel, GpuModel};
+use asr_bench::tables::{table5_4_rows, table5_5_rows};
+use asr_transformer::TransformerConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_models(c: &mut Criterion) {
+    let cfg = TransformerConfig::paper_base();
+    let cpu = CpuModel::xeon_e5_2640();
+    let gpu = GpuModel::rtx_3080_ti();
+    c.bench_function("baselines/cpu_model_eval", |b| {
+        b.iter(|| black_box(cpu.latency_s(black_box(32), &cfg)))
+    });
+    c.bench_function("baselines/gpu_model_eval", |b| {
+        b.iter(|| black_box(gpu.latency_s(black_box(32), &cfg)))
+    });
+
+    println!("\nTable 5.4 (modeled CPU) / Table 5.5 (modeled GPU):");
+    for (c4, c5) in table5_4_rows().iter().zip(table5_5_rows()) {
+        println!(
+            "  s={:<3} cpu {:5.2} s ({:5.1}x)   gpu {:5.2} s ({:5.1}x)",
+            c4.s, c4.baseline_s, c4.improvement, c5.baseline_s, c5.improvement
+        );
+    }
+}
+
+fn bench_real_cpu(c: &mut Criterion) {
+    // One real encoder layer of the tiny model on this machine's rayon pool —
+    // the honest executable baseline.
+    let cfg = TransformerConfig::tiny();
+    c.bench_function("baselines/real_tiny_encoder_forward", |b| {
+        b.iter(|| black_box(run_real_forward(&cfg, 8, 1, 1)))
+    });
+}
+
+criterion_group!(benches, bench_models, bench_real_cpu);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Table 5.3: design-space exploration.
+
+use asr_accel::{dse, AccelConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let base = AccelConfig::paper_default();
+    c.bench_function("dse/table5_3", |b| b.iter(|| black_box(dse::explore(&base))));
+
+    println!("\nTable 5.3 (modeled):");
+    for p in dse::explore(&base) {
+        println!(
+            "  heads={} psas/head={}  {:6.2} ms  fits={}",
+            p.parallel_heads, p.psas_per_head, p.latency_ms, p.fits
+        );
+    }
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! §5.1.6: the end-to-end pipeline — latency reports and the functional path.
+
+use asr_accel::{AccelConfig, HostController};
+use asr_bench::tables::{fig5_1, section_5_1_6};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_latency_report(c: &mut Criterion) {
+    let host = HostController::new(AccelConfig::paper_default());
+    c.bench_function("e2e/latency_report_s32", |b| {
+        b.iter(|| black_box(host.latency_report(black_box(32))))
+    });
+
+    let o = section_5_1_6();
+    println!("\n§5.1.6 (modeled):");
+    println!("  E2E {:.2} ms   preproc {:.2} ms   {:.2} seq/s", o.e2e_ms, o.preprocessing_ms, o.throughput_seq_per_s);
+    println!("  FPGA {:.3} GFLOPs/J   GPU {:.3} GFLOPs/J", o.fpga_gflops_per_j, o.gpu_gflops_per_j);
+}
+
+fn bench_functional_quick(c: &mut Criterion) {
+    // The Fig 5.1 functional pipeline on the tiny model: audio synthesis,
+    // fbank, subsampling, encoder stack and greedy decode all included.
+    let mut group = c.benchmark_group("e2e");
+    group.sample_size(10);
+    group.bench_function("fig5_1_quick_pipeline", |b| {
+        b.iter(|| black_box(fig5_1(black_box(7), true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_latency_report, bench_functional_quick);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Front-end DSP costs: FFT, fbank extraction, conv subsampling.
+
+use asr_frontend::audio::synthesize_speech;
+use asr_frontend::fft::{power_spectrum, rfft};
+use asr_frontend::{FbankExtractor, Subsampler};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fft(c: &mut Criterion) {
+    let frame: Vec<f32> = (0..400).map(|i| (i as f32 * 0.1).sin()).collect();
+    c.bench_function("fft/rfft_512", |b| b.iter(|| black_box(rfft(&frame, 512))));
+    c.bench_function("fft/power_512", |b| b.iter(|| black_box(power_spectrum(&frame, 512))));
+}
+
+fn bench_fbank(c: &mut Criterion) {
+    let ex = FbankExtractor::paper_default();
+    let w = synthesize_speech("THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG", 1);
+    c.bench_function("fbank/3s_utterance", |b| b.iter(|| black_box(ex.extract(&w))));
+}
+
+fn bench_subsample(c: &mut Criterion) {
+    let ex = FbankExtractor::paper_default();
+    let sub = Subsampler::paper_default(512, 2);
+    let w = synthesize_speech("THE QUICK BROWN FOX JUMPS OVER THE LAZY DOG", 1);
+    let features = ex.extract(&w);
+    c.bench_function("subsample/3s_features", |b| b.iter(|| black_box(sub.forward(&features))));
+}
+
+criterion_group!(benches, bench_fft, bench_fbank, bench_subsample);
+criterion_main!(benches);

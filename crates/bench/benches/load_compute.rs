@@ -1,0 +1,19 @@
+//! Fig 5.2: the load/compute sweep generator.
+
+use asr_bench::tables::{fig5_2_crossover, fig5_2_rows};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig5_2(c: &mut Criterion) {
+    c.bench_function("fig5_2/sweep_2_to_40", |b| {
+        b.iter(|| black_box(fig5_2_rows((2..=40).step_by(2))))
+    });
+
+    println!("\nFig 5.2 (modeled):   crossover at s = {:?}  [paper: ~18]", fig5_2_crossover());
+    for r in fig5_2_rows([4usize, 8, 16, 18, 20, 32].into_iter()) {
+        println!("  s={:<3} load {:6.3} ms   compute {:6.3} ms", r.s, r.load_ms, r.compute_ms);
+    }
+}
+
+criterion_group!(benches, bench_fig5_2);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Wall-clock comparison of the matmul backends at the paper's MM shapes.
+
+use asr_tensor::{init, ops};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    // MM1 (32x512 . 512x64), MM4 (32x512 . 512x512), MM5 (32x512 . 512x2048)
+    for &(name, m, k, n) in
+        &[("mm1", 32, 512, 64), ("mm4", 32, 512, 512), ("mm5", 32, 512, 2048)]
+    {
+        let a = init::uniform(m, k, -1.0, 1.0, 1);
+        let b = init::uniform(k, n, -1.0, 1.0, 2);
+        group.bench_with_input(BenchmarkId::new("naive", name), &(), |bch, _| {
+            bch.iter(|| black_box(ops::matmul_naive(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", name), &(), |bch, _| {
+            bch.iter(|| black_box(ops::matmul_blocked(black_box(&a), black_box(&b))))
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", name), &(), |bch, _| {
+            bch.iter(|| black_box(ops::matmul_parallel(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_backends);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Fixed-point ablation: int8 vs fp32 kernels and the derived accelerator.
+
+use asr_accel::quant::{self, QuantizedBackend};
+use asr_accel::AccelConfig;
+use asr_tensor::backend::ReferenceBackend;
+use asr_tensor::quant::{matmul_quantized, QuantizedMatrix};
+use asr_tensor::{init, ops, MatMul};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = init::uniform(32, 512, -1.0, 1.0, 1);
+    let b = init::uniform(512, 64, -1.0, 1.0, 2);
+    let aq = QuantizedMatrix::quantize(&a);
+    let bq = QuantizedMatrix::quantize(&b);
+    c.bench_function("quant/f32_mm1", |bch| {
+        bch.iter(|| black_box(ops::matmul_blocked(black_box(&a), black_box(&b))))
+    });
+    c.bench_function("quant/int8_mm1", |bch| {
+        bch.iter(|| black_box(matmul_quantized(black_box(&aq), black_box(&bq))))
+    });
+    c.bench_function("quant/quantize_weights", |bch| {
+        bch.iter(|| black_box(QuantizedMatrix::quantize(black_box(&b))))
+    });
+}
+
+fn bench_backends(c: &mut Criterion) {
+    let a = init::uniform(16, 64, -1.0, 1.0, 3);
+    let b = init::uniform(64, 64, -1.0, 1.0, 4);
+    c.bench_function("quant/backend_f32", |bch| {
+        bch.iter(|| black_box(ReferenceBackend.matmul(&a, &b)))
+    });
+    c.bench_function("quant/backend_int8", |bch| {
+        bch.iter(|| black_box(QuantizedBackend.matmul(&a, &b)))
+    });
+}
+
+fn bench_report(c: &mut Criterion) {
+    let base = AccelConfig::paper_default();
+    c.bench_function("quant/accelerator_report", |bch| {
+        bch.iter(|| black_box(quant::report(&base)))
+    });
+
+    let r = quant::report(&base);
+    println!(
+        "\nFixed-point ablation: fp32 {:.2} ms -> int8 {:.2} ms ({:.2}x), int8 LUT {:.1}%",
+        r.fp32_latency_ms, r.int8_latency_ms, r.speedup, r.int8_lut_pct
+    );
+}
+
+criterion_group!(benches, bench_kernels, bench_backends, bench_report);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Systolic engines: the cycle-accurate grid and the PSA functional model.
+
+use asr_systolic::{striped_matmul, PipelinedAdder, Psa, SystolicGrid};
+use asr_tensor::init;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion) {
+    // The Fig 4.2 example and a 8x8 grid: every PE simulated every cycle.
+    let a3 = init::uniform(3, 3, -1.0, 1.0, 1);
+    let b3 = init::uniform(3, 4, -1.0, 1.0, 2);
+    let g3 = SystolicGrid::new(3, 4);
+    c.bench_function("grid/3x3x4", |b| b.iter(|| black_box(g3.matmul(&a3, &b3))));
+
+    let a8 = init::uniform(8, 16, -1.0, 1.0, 3);
+    let b8 = init::uniform(16, 8, -1.0, 1.0, 4);
+    let g8 = SystolicGrid::new(8, 8);
+    c.bench_function("grid/8x16x8", |b| b.iter(|| black_box(g8.matmul(&a8, &b8))));
+}
+
+fn bench_psa(c: &mut Criterion) {
+    let psa = Psa::paper_default();
+    let adder = PipelinedAdder::paper_default();
+    // One MM1 stripe and the full striped MM1.
+    let a = init::uniform(32, 64, -1.0, 1.0, 5);
+    let b = init::uniform(64, 64, -1.0, 1.0, 6);
+    c.bench_function("psa/stripe_32x64x64", |bch| b_iter(bch, || psa.matmul(&a, &b)));
+
+    let a_full = init::uniform(32, 512, -1.0, 1.0, 7);
+    let b_full = init::uniform(512, 64, -1.0, 1.0, 8);
+    c.bench_function("psa/mm1_striped", |bch| {
+        bch.iter(|| black_box(striped_matmul(&a_full, &b_full, 8, &psa, &adder)))
+    });
+}
+
+fn b_iter<T>(bch: &mut criterion::Bencher, f: impl Fn() -> T) {
+    bch.iter(|| black_box(f()));
+}
+
+criterion_group!(benches, bench_grid, bench_psa);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Model forward-pass wall-clock on the reference, parallel and systolic
+//! backends (tiny configuration; the paper-size stack runs in end_to_end).
+
+use asr_accel::SystolicBackend;
+use asr_tensor::backend::{ParallelBackend, ReferenceBackend};
+use asr_tensor::init;
+use asr_transformer::encoder::encoder_forward;
+use asr_transformer::{Model, TransformerConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_encoder_backends(c: &mut Criterion) {
+    let model = Model::seeded(TransformerConfig::tiny(), 1);
+    let x = init::uniform(8, model.config.d_model, -1.0, 1.0, 2);
+    let layer = &model.weights.encoders[0];
+
+    c.bench_function("encoder_tiny/reference", |b| {
+        b.iter(|| black_box(encoder_forward(&x, layer, &ReferenceBackend)))
+    });
+    c.bench_function("encoder_tiny/parallel", |b| {
+        b.iter(|| black_box(encoder_forward(&x, layer, &ParallelBackend)))
+    });
+    c.bench_function("encoder_tiny/systolic", |b| {
+        b.iter(|| black_box(encoder_forward(&x, layer, &SystolicBackend::paper_default())))
+    });
+}
+
+fn bench_greedy_decode(c: &mut Criterion) {
+    let model = Model::seeded(TransformerConfig::tiny(), 3);
+    let x = init::uniform(8, model.config.d_model, -1.0, 1.0, 4);
+    let mem = model.encode(&x, &ReferenceBackend);
+    c.bench_function("greedy_decode_tiny/8_steps", |b| {
+        b.iter(|| black_box(model.greedy_decode(&mem, 8, &ReferenceBackend)))
+    });
+}
+
+criterion_group!(benches, bench_encoder_backends, bench_greedy_decode);
+criterion_main!(benches);

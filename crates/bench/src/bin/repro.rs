@@ -1,0 +1,337 @@
+//! `repro` — regenerate every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! repro [all|table4.1|table4.2|fig5.1|fig5.2|table5.1|table5.2|table5.3|
+//!        table5.4|table5.5|table5.6|other|wer|discussion] [--quick]
+//! ```
+//!
+//! `--quick` makes `fig5.1` use the tiny model configuration (the functional
+//! forward pass of the full 12+6 stack is slow in debug builds). `all` always
+//! runs fig5.1 in quick mode.
+
+use asr_bench::format::{f, render_table, speedup};
+use asr_bench::tables;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    if let Some(i) = args.iter().position(|a| a == "--markdown") {
+        let path = args.get(i + 1).cloned().unwrap_or_else(|| "REPORT.md".into());
+        std::fs::write(&path, asr_bench::report::generate_markdown())
+            .unwrap_or_else(|e| panic!("failed to write {}: {}", path, e));
+        println!("wrote markdown report to {}", path);
+        return;
+    }
+    let which = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_else(|| "all".into());
+
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("table4.1") {
+        table4_1();
+    }
+    if run("table4.2") {
+        table4_2();
+    }
+    if run("fig5.1") {
+        fig5_1(quick || which == "all");
+    }
+    if run("fig5.2") {
+        fig5_2();
+    }
+    if run("table5.1") {
+        table5_1();
+    }
+    if run("table5.2") {
+        table5_2();
+    }
+    if run("table5.3") {
+        table5_3();
+    }
+    if run("table5.4") {
+        table5_4();
+    }
+    if run("table5.5") {
+        table5_5();
+    }
+    if run("table5.6") {
+        table5_6();
+    }
+    if run("other") {
+        other();
+    }
+    if run("wer") {
+        wer();
+    }
+    if run("discussion") {
+        discussion();
+    }
+    if run("quant") {
+        quant();
+    }
+    if run("breakdown") {
+        breakdown();
+    }
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{}", title);
+    println!("================================================================");
+}
+
+fn table4_1() {
+    heading("Table 4.1 — Weight matrices read for an encoder-decoder stack");
+    let rows: Vec<Vec<String>> = tables::table4_1_rows()
+        .iter()
+        .map(|r| {
+            vec![r.count.to_string(), r.name.to_string(), format!("{} x {}", r.dims.0, r.dims.1)]
+        })
+        .collect();
+    print!("{}", render_table(&["Number", "Weight matrix", "Dimensions"], &rows));
+}
+
+fn table4_2() {
+    heading("Table 4.2 — Matrix multiplication dimensions (s = sequence length)");
+    let rows: Vec<Vec<String>> = tables::table4_2_rows(32)
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                format!("{}x{}", r.input1.0, r.input1.1),
+                format!("{}x{}", r.input2.0, r.input2.1),
+                format!("{}x{}", r.output.0, r.output.1),
+                r.figure.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["MatMul", "Input 1", "Input 2", "Output", "Figure"], &rows));
+    println!("(shown at s = 32; symbolic dims in asr_accel::mm::MmKind::dims)");
+}
+
+fn fig5_1(quick: bool) {
+    heading("Fig 5.1 — Textual output from raw audio");
+    println!("stage 0: Data preparation (synthetic LibriSpeech-style utterance)");
+    let r = tables::fig5_1(2024, quick);
+    println!("stage 1: Feature Generation ({} fbank frames, 80 mel bins)", r.n_frames);
+    println!("stage 2: Conv subsampling -> encoder sequence length {}", r.input_len);
+    println!("stage 3: Decoding ({} model)", if quick { "tiny" } else { "transformer_base" });
+    println!("{}.wav", r.utterance_id);
+    println!("Ground truth    : {}", r.transcript);
+    println!("Recognized text : {}", r.recognized);
+    println!("(raw seeded-model decode, untrained: \"{}\")", r.model_text);
+    println!("E2E latency (paper-size accelerator model): {:.2} ms", r.e2e_ms);
+    println!("Finished");
+}
+
+fn fig5_2() {
+    heading("Fig 5.2 — Load vs compute time of one MHA + FFN block");
+    let rows: Vec<Vec<String>> = tables::fig5_2_rows((2..=40).step_by(2))
+        .iter()
+        .map(|r| vec![r.s.to_string(), f(r.load_ms, 3), f(r.compute_ms, 3)])
+        .collect();
+    print!("{}", render_table(&["s", "Load (ms)", "Compute (ms)"], &rows));
+    match tables::fig5_2_crossover() {
+        Some(x) => println!("crossover (compute > load) at s = {}   [paper: ~18]", x),
+        None => println!("no crossover in range"),
+    }
+}
+
+fn table5_1() {
+    heading("Table 5.1 — Architecture-wise latency (s = 4, 8, 16, 32)");
+    let paper = [
+        65.87, 53.45, 33.92, 75.57, 54.5, 39.9, 98.14, 56.27, 52.59, 122.8, 84.15, 84.15,
+    ];
+    // paper rows are ordered A1, A2, A3 per s; ours are A1, A2, A3 too
+    let paper_ordered = [
+        paper[0], paper[1], paper[2], paper[3], paper[4], paper[5], paper[6], paper[7], paper[8],
+        paper[9], paper[10], paper[11],
+    ];
+    let rows: Vec<Vec<String>> = tables::table5_1_rows()
+        .iter()
+        .zip(paper_ordered)
+        .map(|(r, p)| {
+            vec![
+                r.s.to_string(),
+                r.arch.to_string(),
+                f(r.latency_ms, 2),
+                speedup(r.improvement),
+                f(p, 2),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["Seq len", "Arch", "Latency (ms)", "Improvement", "Paper (ms)"], &rows)
+    );
+}
+
+fn table5_2() {
+    heading("Table 5.2 — Resource utilization (sequence length 32)");
+    let rows: Vec<Vec<String>> = tables::table5_2_rows()
+        .iter()
+        .map(|&(name, used, avail)| {
+            vec![
+                name.to_string(),
+                used.to_string(),
+                avail.to_string(),
+                f(100.0 * used as f64 / avail as f64, 1) + "%",
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["Resource", "Utilized", "Available", "Util"], &rows));
+}
+
+fn table5_3() {
+    heading("Table 5.3 — Design space exploration (s = 32, A3)");
+    let paper = [84.15, 85.72, 87.43, 92.03];
+    let rows: Vec<Vec<String>> = tables::table5_3_rows()
+        .iter()
+        .zip(paper)
+        .map(|(p, paper_ms)| {
+            vec![
+                p.parallel_heads.to_string(),
+                p.psas_per_head.to_string(),
+                f(p.latency_ms, 2),
+                f(paper_ms, 2),
+                if p.fits { "yes".into() } else { "NO".into() },
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Parallel heads", "PSAs per head", "Latency (ms)", "Paper (ms)", "Fits"],
+            &rows
+        )
+    );
+}
+
+fn baseline_table(title: &str, rows: &[tables::BaselineRow], avg_label: &str) {
+    heading(title);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.s.to_string(),
+                f(r.baseline_s, 2),
+                f(r.paper_s, 2),
+                speedup(r.improvement),
+                speedup(r.paper_improvement),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Seq len", "Model latency (s)", "Paper (s)", "Improvement", "Paper improv."],
+            &table
+        )
+    );
+    let avg: f64 = rows.iter().map(|r| r.improvement).sum::<f64>() / rows.len() as f64;
+    println!("{}: {:.1}x", avg_label, avg);
+}
+
+fn table5_4() {
+    baseline_table(
+        "Table 5.4 — Latency vs Intel Xeon E5-2640 CPU",
+        &tables::table5_4_rows(),
+        "average improvement [paper: 32x]",
+    );
+}
+
+fn table5_5() {
+    baseline_table(
+        "Table 5.5 — Latency vs NVIDIA RTX 3080 Ti GPU",
+        &tables::table5_5_rows(),
+        "average improvement [paper: 8.8x]",
+    );
+}
+
+fn table5_6() {
+    heading("Table 5.6 — Performance comparison with reference works");
+    let rows: Vec<Vec<String>> = tables::table5_6_rows()
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.platform.to_string(),
+                f(r.gflops, 3),
+                f(r.latency_s, 5),
+                f(r.gflops_per_s, 2),
+                speedup(r.improvement),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Work", "Platform", "GFLOPs", "Latency (s)", "GFLOPs/s", "Improvement"],
+            &rows
+        )
+    );
+}
+
+fn other() {
+    heading("§5.1.6 — Other results (s = 32)");
+    let o = tables::section_5_1_6();
+    println!("E2E latency            : {:8.2} ms    [paper: 120.45 ms]", o.e2e_ms);
+    println!("Host preprocessing     : {:8.2} ms    [paper: 36.3 ms]", o.preprocessing_ms);
+    println!("Throughput             : {:8.2} seq/s [paper: 11.88 seq/s]", o.throughput_seq_per_s);
+    println!("FPGA energy efficiency : {:8.3} GFLOPs/J [paper: 1.38]", o.fpga_gflops_per_j);
+    println!("GPU energy efficiency  : {:8.3} GFLOPs/J [paper: ~0.055]", o.gpu_gflops_per_j);
+}
+
+fn wer() {
+    heading("§5.1.1 — Word Error Rate");
+    let r = tables::wer_experiment(200, 11);
+    println!(
+        "corpus WER over {} utterances: {:.2}%   [paper: ~9.5%]",
+        r.n_utterances,
+        100.0 * r.wer
+    );
+}
+
+fn discussion() {
+    heading("§5.1.4 — Discussion");
+    let d = tables::discussion();
+    println!("FFN / MHA block latency ratio : {:.2}   [paper: ~2]", d.ffn_over_mha);
+    println!(
+        "binding fabric constraint     : {} at {:.1}%   [paper: LUT-bound]",
+        d.binding_constraint, d.binding_pct
+    );
+}
+
+fn quant() {
+    heading("§6.2 — Future work: fixed-point (int8) variant");
+    let r = asr_accel::quant::report(&asr_accel::AccelConfig::paper_default());
+    println!("fp32 latency : {:8.2} ms", r.fp32_latency_ms);
+    println!("int8 latency : {:8.2} ms  ({:.2}x faster)", r.int8_latency_ms, r.speedup);
+    println!("fp32 fabric  : {}", r.fp32_resources.total());
+    println!("int8 fabric  : {}", r.int8_resources.total());
+    println!(
+        "int8 LUT     : {:.1}%  (the fp32 design's binding constraint sat at ~87.9%)",
+        r.int8_lut_pct
+    );
+}
+
+fn breakdown() {
+    heading("§5.1.4 — Per-block latency breakdown (s = 32)");
+    let b = asr_accel::latency::breakdown(&asr_accel::AccelConfig::paper_default(), 32);
+    let rows: Vec<Vec<String>> = b
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.cycles.to_string(),
+                f(r.ms, 3),
+                f(r.pct_of_encoder, 1) + "%",
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&["operation", "cycles", "ms", "% of encoder"], &rows));
+    println!(
+        "encoder layer {} cycles; decoder layer {} cycles",
+        b.encoder_total, b.decoder_total
+    );
+}

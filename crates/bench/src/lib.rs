@@ -1,0 +1,13 @@
+//! Table and figure regeneration for the paper's evaluation section.
+//!
+//! Every table and figure in Chapter 5 (plus the Chapter 4 data tables) has a
+//! generator here returning structured rows; the `repro` binary formats them
+//! for the terminal and the integration tests assert on their shape against
+//! the paper's published values. See EXPERIMENTS.md for the side-by-side
+//! record.
+
+pub mod format;
+pub mod report;
+pub mod tables;
+
+pub use tables::*;

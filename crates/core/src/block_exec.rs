@@ -1,0 +1,118 @@
+//! A complete encoder layer executed purely through the hardware schemes.
+//!
+//! [`crate::mm_exec`] validates each MM scheme in isolation; this module
+//! chains them into the full Fig 4.13 block — per-head Q/K/V projections via
+//! the MM1 striping, padded MM2/MM3 with scaling and softmax, the pool-wide
+//! MM4/MM5/MM6 splits, the bias adders and both Add-Norms — and the tests pin
+//! the result against `asr_transformer::encoder::encoder_forward` on the
+//! *paper-sized* layer. This is the end-to-end functional proof that the
+//! accelerator's decomposition computes exactly the model it claims to.
+
+use crate::config::AccelConfig;
+use crate::mm_exec;
+use asr_tensor::activations::{relu_inplace, softmax_rows_inplace};
+use asr_tensor::norm::layer_norm;
+use asr_tensor::{ops, Matrix};
+use asr_transformer::weights::EncoderWeights;
+
+/// One attention head computed through the MM1/MM2/MM3 schemes
+/// (the Fig 4.13 operation chain, functionally).
+fn head_via_schemes(
+    cfg: &AccelConfig,
+    x: &Matrix,
+    w: &asr_transformer::weights::AttentionWeights,
+    head: usize,
+) -> Matrix {
+    // MM1(K), B(K)
+    let k = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_k[head]), &w.b_k[head]);
+    // MM1(Q), B(Q)
+    let q = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_q[head]), &w.b_q[head]);
+    // MM2 (padded), then Sc + Sm
+    let mut scores = mm_exec::mm2_exec(cfg, &q, &k);
+    let scale = 1.0 / (cfg.model.d_k() as f32).sqrt();
+    scores.map_inplace(|v| v * scale);
+    softmax_rows_inplace(&mut scores);
+    // MM1(V), B(V), MM3 (padded)
+    let v = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_v[head]), &w.b_v[head]);
+    mm_exec::mm3_exec(cfg, &scores, &v)
+}
+
+/// Full encoder layer through the schemes: 8 heads → concat → MM4 + B_A →
+/// Add-Norm → MM5 + B_1F → ReLU → MM6 + B_2F → Add-Norm.
+pub fn encoder_forward_via_schemes(
+    cfg: &AccelConfig,
+    x: &Matrix,
+    w: &EncoderWeights,
+) -> Matrix {
+    assert_eq!(x.cols(), cfg.model.d_model, "input width mismatch");
+    // the eight heads (computed concurrently on hardware; sequentially here)
+    let heads: Vec<Matrix> =
+        (0..cfg.model.n_heads).map(|h| head_via_schemes(cfg, x, &w.mha, h)).collect();
+    let refs: Vec<&Matrix> = heads.iter().collect();
+    let concat = Matrix::hconcat(&refs);
+
+    // MM4 across the pool + B_A, then Add-Norm
+    let mha_out = ops::add_bias(&mm_exec::mm4_exec(cfg, &concat, &w.mha.w_a), &w.mha.b_a);
+    let x1 = layer_norm(&ops::add(x, &mha_out), &w.ln1.w, &w.ln1.b);
+
+    // FFN: MM5 + B_1F, ReLU, MM6 + B_2F, Add-Norm
+    let mut hidden = ops::add_bias(&mm_exec::mm5_exec(cfg, &x1, &w.ffn.w1), &w.ffn.b1);
+    relu_inplace(&mut hidden);
+    let ffn_out = ops::add_bias(&mm_exec::mm6_exec(cfg, &hidden, &w.ffn.w2), &w.ffn.b2);
+    layer_norm(&ops::add(&x1, &ffn_out), &w.ln2.w, &w.ln2.b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::{init, max_abs_diff};
+    use asr_transformer::encoder::encoder_forward;
+    use asr_transformer::TransformerConfig;
+
+    #[test]
+    fn scheme_encoder_matches_model_encoder_at_paper_size() {
+        // The real thing: a paper-sized encoder layer (d_model 512, 8 heads,
+        // d_ff 2048) at s = 4 through the full hardware decomposition.
+        let cfg = AccelConfig::paper_default();
+        let w = EncoderWeights::seeded(&TransformerConfig::paper_base(), 42);
+        let x = init::uniform(4, 512, -0.5, 0.5, 7);
+
+        let via_schemes = encoder_forward_via_schemes(&cfg, &x, &w);
+        let reference = encoder_forward(&x, &w, &ReferenceBackend);
+
+        let d = max_abs_diff(&via_schemes, &reference);
+        assert!(d < 5e-3, "scheme-executed encoder diverges by {}", d);
+    }
+
+    #[test]
+    fn scheme_encoder_deterministic() {
+        let cfg = AccelConfig::paper_default();
+        let w = EncoderWeights::seeded(&TransformerConfig::paper_base(), 1);
+        let x = init::uniform(2, 512, -0.5, 0.5, 2);
+        assert_eq!(
+            encoder_forward_via_schemes(&cfg, &x, &w),
+            encoder_forward_via_schemes(&cfg, &x, &w)
+        );
+    }
+
+    #[test]
+    fn longer_sequences_also_match() {
+        let cfg = AccelConfig::paper_default();
+        let w = EncoderWeights::seeded(&TransformerConfig::paper_base(), 3);
+        let x = init::uniform(8, 512, -0.5, 0.5, 4);
+        let d = max_abs_diff(
+            &encoder_forward_via_schemes(&cfg, &x, &w),
+            &encoder_forward(&x, &w, &ReferenceBackend),
+        );
+        assert!(d < 5e-3, "diverges by {}", d);
+    }
+
+    #[test]
+    #[should_panic(expected = "input width mismatch")]
+    fn wrong_width_rejected() {
+        let cfg = AccelConfig::paper_default();
+        let w = EncoderWeights::seeded(&TransformerConfig::paper_base(), 1);
+        let _ = encoder_forward_via_schemes(&cfg, &Matrix::zeros(4, 64), &w);
+    }
+}

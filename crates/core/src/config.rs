@@ -1,0 +1,150 @@
+//! Accelerator configuration: the knobs Chapter 4 calls out as flexible
+//! ("we can appropriately determine the number and the dimensions of the
+//! systolic arrays ... providing scalability on the parallelism front").
+
+use crate::calib;
+use asr_fpga_sim::device::{alveo_u50, DeviceSpec};
+use asr_systolic::adder::PipelinedAdder;
+use asr_systolic::psa::{Psa, PsaConfig};
+use asr_transformer::TransformerConfig;
+use serde::{Deserialize, Serialize};
+
+/// Full accelerator configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AccelConfig {
+    /// Target device.
+    pub device: DeviceSpec,
+    /// PSA geometry and unroll penalty.
+    pub psa: PsaConfig,
+    /// Total PSA blocks.
+    pub n_psas: usize,
+    /// PSAs placed on each SLR (n_psas must equal 2 × this).
+    pub psas_per_slr: usize,
+    /// The per-PSA pipelined adder.
+    pub adder: PipelinedAdder,
+    /// Attention heads computed concurrently (Table 5.3 row 1 = 8).
+    pub parallel_heads: usize,
+    /// PSAs assigned to each concurrent head (Table 5.3 row 1 = 1).
+    pub psas_per_head: usize,
+    /// Model the accelerator serves.
+    pub model: TransformerConfig,
+    /// Maximum (padded) sequence length the bitstream was built for.
+    pub max_seq_len: usize,
+    /// Bytes per weight streamed from HBM (4 for the f32 design; 1 for the
+    /// int8 future-work variant in [`crate::quant`]).
+    pub bytes_per_weight: u64,
+}
+
+impl AccelConfig {
+    /// The shipped design: Alveo U50, eight 2×64 PSAs (4/SLR), 8 parallel
+    /// heads with 1 PSA each, built for `s = 32`.
+    pub fn paper_default() -> Self {
+        AccelConfig {
+            device: alveo_u50(),
+            psa: calib::paper_psa(),
+            n_psas: calib::N_PSAS,
+            psas_per_slr: calib::PSAS_PER_SLR,
+            adder: PipelinedAdder::paper_default(),
+            parallel_heads: 8,
+            psas_per_head: 1,
+            model: TransformerConfig::paper_base(),
+            max_seq_len: 32,
+            bytes_per_weight: 4,
+        }
+    }
+
+    /// A PSA engine built from this configuration.
+    pub fn psa_engine(&self) -> Psa {
+        Psa::new(self.psa)
+    }
+
+    /// Panic unless the configuration is internally consistent.
+    pub fn validate(&self) {
+        self.model.validate();
+        assert!(self.n_psas >= 1, "need at least one PSA");
+        assert_eq!(self.n_psas, 2 * self.psas_per_slr, "PSAs must split evenly across 2 SLRs");
+        assert!(self.parallel_heads >= 1 && self.parallel_heads <= self.model.n_heads);
+        assert_eq!(
+            self.parallel_heads * self.psas_per_head,
+            self.n_psas,
+            "heads × PSAs-per-head must use the whole pool"
+        );
+        assert_eq!(
+            self.model.n_heads % self.parallel_heads,
+            0,
+            "head count must divide into parallel groups"
+        );
+        assert!(self.max_seq_len >= 1);
+        assert!(
+            self.bytes_per_weight == 1 || self.bytes_per_weight == 2 || self.bytes_per_weight == 4,
+            "unsupported weight precision: {} bytes",
+            self.bytes_per_weight
+        );
+    }
+
+    /// Number of sequential head passes the MHA schedule needs.
+    pub fn head_passes(&self) -> usize {
+        self.model.n_heads / self.parallel_heads
+    }
+
+    /// Effective sequence length after padding (the bitstream computes at the
+    /// fixed built length, §5.1.5: "For a given input sequence of length i,
+    /// where i < s, the input is padded up to s").
+    pub fn padded_seq_len(&self, input_len: usize) -> usize {
+        assert!(
+            input_len <= self.max_seq_len,
+            "input length {} exceeds the built sequence length {}",
+            input_len,
+            self.max_seq_len
+        );
+        self.max_seq_len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_is_valid() {
+        let c = AccelConfig::paper_default();
+        c.validate();
+        assert_eq!(c.n_psas, 8);
+        assert_eq!(c.psas_per_slr, 4);
+        assert_eq!(c.head_passes(), 1);
+    }
+
+    #[test]
+    fn dse_variants_are_valid() {
+        for (heads, per_head) in [(8, 1), (4, 2), (2, 4), (1, 8)] {
+            let mut c = AccelConfig::paper_default();
+            c.parallel_heads = heads;
+            c.psas_per_head = per_head;
+            c.validate();
+            assert_eq!(c.head_passes(), 8 / heads);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole pool")]
+    fn mismatched_pool_panics() {
+        let mut c = AccelConfig::paper_default();
+        c.parallel_heads = 4;
+        c.psas_per_head = 1;
+        c.validate();
+    }
+
+    #[test]
+    fn padding_goes_to_built_length() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.padded_seq_len(4), 32);
+        assert_eq!(c.padded_seq_len(32), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the built sequence length")]
+    fn oversized_input_panics() {
+        let c = AccelConfig::paper_default();
+        let _ = c.padded_seq_len(33);
+    }
+}

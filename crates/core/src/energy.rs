@@ -1,0 +1,45 @@
+//! Accelerator throughput and energy accounting (Table 5.6, §5.1.6).
+
+use crate::calib;
+use crate::config::AccelConfig;
+use asr_fpga_sim::energy;
+use asr_transformer::flops;
+
+/// Sustained GFLOPs/s of the accelerator at sequence length `s` given a
+/// measured/modeled latency (the Table 5.6 metric).
+pub fn accelerator_gflops_per_s(cfg: &AccelConfig, s: usize, latency_s: f64) -> f64 {
+    energy::gflops_per_second(flops::model_gflops(s, &cfg.model), latency_s)
+}
+
+/// Accelerator energy efficiency in GFLOPs/J at the calibrated kernel power
+/// (§5.1.6 reports 1.38 GFLOPs/J).
+pub fn accelerator_gflops_per_joule(cfg: &AccelConfig, s: usize, latency_s: f64) -> f64 {
+    let profile =
+        energy::PowerProfile { name: "U50 kernels", watts: calib::KERNEL_POWER_W };
+    energy::gflops_per_joule(flops::model_gflops(s, &cfg.model), profile, latency_s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{simulate, Architecture};
+
+    #[test]
+    fn gflops_per_s_matches_table_5_6() {
+        // Paper: 4.0 GFLOPs / 84.15 ms = 47.23 GFLOPs/s. Allow the model's
+        // few-percent latency slack.
+        let cfg = AccelConfig::paper_default();
+        let r = simulate(&cfg, Architecture::A3, 32);
+        let v = accelerator_gflops_per_s(&cfg, 32, r.latency_s);
+        assert!((v - 47.2).abs() / 47.2 < 0.08, "{} GFLOPs/s", v);
+    }
+
+    #[test]
+    fn gflops_per_joule_matches_section_5_1_6() {
+        // Paper: 1.38 GFLOPs/J.
+        let cfg = AccelConfig::paper_default();
+        let r = simulate(&cfg, Architecture::A3, 32);
+        let v = accelerator_gflops_per_joule(&cfg, 32, r.latency_s);
+        assert!((v - 1.38).abs() / 1.38 < 0.08, "{} GFLOPs/J", v);
+    }
+}

@@ -1,0 +1,174 @@
+//! The 18-layer schedule expressed through the OpenCL-style runtime model.
+//!
+//! `arch::simulate` computes the A1/A2/A3 schedules with a bespoke recurrence;
+//! this module drives the *same* schedule through the event-based
+//! [`asr_fpga_sim::runtime::Runtime`] — command queues, buffers, events —
+//! exactly as the paper's host code does through OpenCL (§2.2.7). The two
+//! simulators are independent implementations of the same contract, and the
+//! tests pin them to each other: a disagreement means one of them mis-models
+//! the overlap structure.
+
+use crate::arch::{layer_bytes, Architecture};
+use crate::calib;
+use crate::config::AccelConfig;
+use crate::schedule::{decoder, encoder};
+use asr_fpga_sim::device::SlrId;
+use asr_fpga_sim::runtime::{Event, Runtime};
+
+/// Drive the A2/A3 prefetch schedule through the runtime; returns the
+/// runtime (for its timeline) and the makespan in seconds.
+pub fn run_through_runtime(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> (Runtime, f64) {
+    cfg.validate();
+    assert!(
+        matches!(arch, Architecture::A2 | Architecture::A3),
+        "the runtime path models the prefetching architectures"
+    );
+    let s = cfg.padded_seq_len(input_len);
+    let bytes = layer_bytes(cfg);
+    let clock = cfg.device.clock;
+
+    let mut rt = Runtime::new(cfg.device.clone());
+    let engines = match arch {
+        Architecture::A3 => 2,
+        _ => 1,
+    };
+    let load_queues: Vec<_> =
+        (0..engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
+    let compute_queue = rt.create_queue("kernels");
+
+    // phase list mirrors arch::build_phases
+    struct Phase {
+        label: String,
+        bytes: u64,
+        compute_s: f64,
+    }
+    let mut phases: Vec<Phase> = Vec::new();
+    for i in 0..cfg.model.n_encoders {
+        phases.push(Phase {
+            label: format!("E{}", i + 1),
+            bytes: bytes.encoder,
+            compute_s: clock.to_seconds(encoder::encoder_cycles(cfg, s)),
+        });
+    }
+    for i in 0..cfg.model.n_decoders {
+        if arch == Architecture::A3 {
+            phases.push(Phase {
+                label: format!("D{}m", i + 1),
+                bytes: bytes.decoder_mha,
+                compute_s: clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
+            });
+            phases.push(Phase {
+                label: format!("D{}f", i + 1),
+                bytes: bytes.decoder_ffn,
+                compute_s: clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
+            });
+        } else {
+            phases.push(Phase {
+                label: format!("D{}", i + 1),
+                bytes: bytes.decoder_mha + bytes.decoder_ffn,
+                compute_s: clock.to_seconds(decoder::decoder_cycles(cfg, s)),
+            });
+        }
+    }
+
+    let mut load_events: Vec<Event> = Vec::with_capacity(phases.len());
+    let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
+    for (i, p) in phases.iter().enumerate() {
+        // Phase-granular double buffer (see arch.rs): this load's slot is
+        // freed by the compute two phases back.
+        let mut deps: Vec<Event> = Vec::new();
+        if i >= 2 {
+            deps.push(compute_events[i - 2]);
+        }
+        // Fig 4.11 pairing is positional: the paired FFN load lands on the
+        // other engine, which the in-order queue handles naturally; the
+        // dependency set is identical.
+        let lw = rt.enqueue_hbm_load(
+            load_queues[i % engines],
+            format!("LW{}", p.label),
+            p.bytes,
+            calib::HBM_CHANNELS_A1_A2,
+            &deps,
+        );
+        load_events.push(lw);
+
+        let mut cdeps = vec![lw];
+        if i >= 1 {
+            cdeps.push(compute_events[i - 1]);
+        }
+        let ck = rt.enqueue_kernel(
+            compute_queue,
+            format!("C{}", p.label),
+            if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
+            p.compute_s,
+            &cdeps,
+        );
+        compute_events.push(ck);
+    }
+
+    let total = rt.finish();
+    (rt, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::simulate;
+
+    fn unpadded(s: usize) -> AccelConfig {
+        let mut c = AccelConfig::paper_default();
+        c.max_seq_len = s;
+        c
+    }
+
+    #[test]
+    fn runtime_and_arch_simulators_agree_on_a3() {
+        for s in [4usize, 8, 16, 32] {
+            let cfg = unpadded(s);
+            let bespoke = simulate(&cfg, Architecture::A3, s).latency_s;
+            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A3, s);
+            assert!(
+                (bespoke - via_runtime).abs() / bespoke < 0.01,
+                "s={}: arch {} vs runtime {}",
+                s,
+                bespoke,
+                via_runtime
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_and_arch_simulators_agree_on_a2() {
+        for s in [4usize, 16, 32] {
+            let cfg = unpadded(s);
+            let bespoke = simulate(&cfg, Architecture::A2, s).latency_s;
+            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A2, s);
+            assert!(
+                (bespoke - via_runtime).abs() / bespoke < 0.01,
+                "s={}: arch {} vs runtime {}",
+                s,
+                bespoke,
+                via_runtime
+            );
+        }
+    }
+
+    #[test]
+    fn runtime_timeline_has_load_and_kernel_tracks() {
+        let cfg = unpadded(8);
+        let (rt, _) = run_through_runtime(&cfg, Architecture::A3, 8);
+        let units = rt.timeline().units();
+        assert!(units.contains(&"maxi-0"));
+        assert!(units.contains(&"maxi-1"));
+        assert!(units.contains(&"kernels"));
+        // 12 encoders + 6 decoders split m/f = 24 computes
+        assert_eq!(rt.timeline().unit_spans("kernels").len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "prefetching architectures")]
+    fn a1_rejected() {
+        let cfg = unpadded(4);
+        let _ = run_through_runtime(&cfg, Architecture::A1, 4);
+    }
+}

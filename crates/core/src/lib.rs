@@ -1,0 +1,49 @@
+//! The paper's primary contribution: a host-orchestrated hardware accelerator
+//! for the Transformer end-to-end ASR model, reproduced as a functional +
+//! timing simulator over the `asr-fpga-sim` / `asr-systolic` substrates.
+//!
+//! Structure (Chapter 4 of the thesis, block for block):
+//!
+//! * [`calib`] — every calibration constant with its derivation;
+//! * [`config`] — the accelerator configuration ([`config::AccelConfig`]):
+//!   PSA pool shape, SLR split, HBM channel assignment;
+//! * [`mm`] — the six matmul scheduling schemes MM1–MM6 (Table 4.2,
+//!   Figs 4.3–4.7): operand dimensions, PSA routing, cycle costs;
+//! * [`schedule`] — the block-wise compute schedules: the Fig 4.13 attention-
+//!   head schedule, encoder and decoder layer schedules;
+//! * [`arch`] — the three end-to-end load/compute overlap architectures
+//!   A1/A2/A3 (Figs 4.8–4.11) simulated on a span timeline;
+//! * [`exec`] — the functional execution path: the real f32 model forward
+//!   pass routed through the systolic functional units
+//!   ([`exec::SystolicBackend`]), proving the dataflow is numerically faithful;
+//! * [`host`] — the top-level controller (Fig 4.12): PCIe upload, per-layer
+//!   prefetch, E2E latency/throughput/energy report (§5.1.6);
+//! * [`resources`] — the design-level resource estimator (Table 5.2);
+//! * [`dse`] — design-space exploration over heads × PSAs-per-head (Table 5.3);
+//! * [`energy`] — GFLOPs/s and GFLOPs/J accounting (Table 5.6, §5.1.6).
+
+pub mod arch;
+pub mod autotune;
+pub mod block_exec;
+pub mod calib;
+pub mod config;
+pub mod dse;
+pub mod energy;
+pub mod exec;
+pub mod host;
+pub mod host_runtime;
+pub mod latency;
+pub mod mm;
+pub mod mm_exec;
+pub mod pipeline;
+pub mod quant;
+pub mod report;
+pub mod resources;
+pub mod schedule;
+pub mod sweep;
+pub mod verify;
+
+pub use arch::{Architecture, ArchResult};
+pub use config::AccelConfig;
+pub use exec::SystolicBackend;
+pub use host::HostController;

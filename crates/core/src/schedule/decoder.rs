@@ -1,0 +1,68 @@
+//! Decoder-layer compute schedule: M-MHA + cross MHA + FFN (Fig 4.11).
+//!
+//! The look-ahead mask changes *which* scores survive softmax, not the
+//! operation count: the hardware computes the full padded `s × s` score
+//! matrix either way, so a masked MHA block costs the same as an MHA block
+//! (the paper's load/compute phases treat them identically).
+
+use crate::config::AccelConfig;
+use crate::schedule::encoder::{ffn_block_cycles, mha_block_cycles};
+use asr_fpga_sim::Cycles;
+
+/// Cycles of the decoder's combined M-MHA + MHA phase (`Ci_m` of Fig 4.11).
+pub fn decoder_mha_phase_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    Cycles(mha_block_cycles(cfg, s).get() * 2)
+}
+
+/// Cycles of the decoder's FFN phase (`Ci_f` of Fig 4.11).
+pub fn decoder_ffn_phase_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    ffn_block_cycles(cfg, s)
+}
+
+/// Cycles of one full decoder layer.
+pub fn decoder_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    decoder_mha_phase_cycles(cfg, s) + decoder_ffn_phase_cycles(cfg, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::encoder::encoder_cycles;
+    use asr_fpga_sim::Clock;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::paper_default()
+    }
+
+    #[test]
+    fn decoder_costs_more_than_encoder() {
+        let c = cfg();
+        assert!(decoder_cycles(&c, 32) > encoder_cycles(&c, 32));
+    }
+
+    #[test]
+    fn mha_and_ffn_phase_latencies_roughly_balance() {
+        // Fig 4.11's premise: "The load and compute latency of the two MHA
+        // blocks are approximately equal to the FFN block."
+        let c = cfg();
+        let r = decoder_mha_phase_cycles(&c, 32).get() as f64
+            / decoder_ffn_phase_cycles(&c, 32).get() as f64;
+        assert!(r > 0.7 && r < 1.4, "phase ratio {}", r);
+    }
+
+    #[test]
+    fn full_stack_latency_matches_paper_table_5_1() {
+        // 12 encoders + 6 decoders, compute only, s = 32: the paper's A2/A3
+        // compute-bound latency is 84.15 ms. The model must land within 2%.
+        let c = cfg();
+        let total = Cycles(
+            encoder_cycles(&c, 32).get() * 12 + decoder_cycles(&c, 32).get() * 6,
+        );
+        let ms = Clock::u50_kernel().to_ms(total);
+        assert!(
+            (ms - 84.15).abs() / 84.15 < 0.02,
+            "stack compute = {} ms vs paper 84.15 ms",
+            ms
+        );
+    }
+}

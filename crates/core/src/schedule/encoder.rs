@@ -1,0 +1,78 @@
+//! Encoder-layer compute schedule: MHA block + FFN block (Fig 4.13, §4.6).
+
+use crate::config::AccelConfig;
+use crate::mm;
+use crate::schedule::{addnorm_cycles, head::head_pass_cycles};
+use asr_fpga_sim::Cycles;
+
+/// Cycles of the MHA block including its Add-Norm: `head_passes` rounds of
+/// concurrent heads, the pool-wide MM4, the bias `B_A`, and the Add-Norm.
+pub fn mha_block_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    let passes = cfg.head_passes() as u64;
+    let heads = Cycles(head_pass_cycles(cfg, s).get() * passes);
+    let mm4 = mm::mm4_cycles(cfg, s);
+    // B_A over s×512 split across the eight adders.
+    let ba = cfg.adder.cycles(s, cfg.model.d_model / cfg.n_psas);
+    heads + mm4 + ba + addnorm_cycles(cfg, s)
+}
+
+/// Cycles of the FFN block including its Add-Norm: MM5, `B_1F` (+ReLU hidden
+/// behind it on the element-wise unit), MM6, `B_2F`, Add-Norm.
+pub fn ffn_block_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    let mm5 = mm::mm5_cycles(cfg, s);
+    let b1 = cfg.adder.cycles(s, cfg.model.d_ff / cfg.n_psas);
+    let mm6 = mm::mm6_cycles(cfg, s);
+    let b2 = cfg.adder.cycles(s, cfg.model.d_model / cfg.n_psas);
+    mm5 + b1 + mm6 + b2 + addnorm_cycles(cfg, s)
+}
+
+/// Cycles of one full encoder layer.
+pub fn encoder_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
+    mha_block_cycles(cfg, s) + ffn_block_cycles(cfg, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_fpga_sim::Clock;
+
+    fn cfg() -> AccelConfig {
+        AccelConfig::paper_default()
+    }
+
+    #[test]
+    fn encoder_at_s32_is_about_4_2_ms() {
+        // Derived in calib.rs from the paper's 84.15 ms stack latency.
+        let c = cfg();
+        let ms = Clock::u50_kernel().to_ms(encoder_cycles(&c, 32));
+        assert!((ms - 4.2).abs() < 0.15, "encoder layer {} ms", ms);
+    }
+
+    #[test]
+    fn ffn_is_roughly_twice_the_mha_block() {
+        // §5.1.4: "the FFN block ... consumes approximately double the
+        // latency compared to the MHA block".
+        let c = cfg();
+        let r = ffn_block_cycles(&c, 32).get() as f64 / mha_block_cycles(&c, 32).get() as f64;
+        assert!(r > 1.5 && r < 2.2, "FFN/MHA = {}", r);
+    }
+
+    #[test]
+    fn compute_scales_with_sequence_length() {
+        let c = cfg();
+        let c4 = encoder_cycles(&c, 4).get() as f64;
+        let c32 = encoder_cycles(&c, 32).get() as f64;
+        // wave count scales 8x from s=4 to s=32
+        assert!(c32 / c4 > 6.0 && c32 / c4 < 9.0, "scaling {}", c32 / c4);
+    }
+
+    #[test]
+    fn fewer_parallel_heads_cost_more() {
+        let base = encoder_cycles(&cfg(), 32);
+        let mut c = cfg();
+        c.parallel_heads = 1;
+        c.psas_per_head = 8;
+        let serial = encoder_cycles(&c, 32);
+        assert!(serial > base);
+    }
+}

@@ -1,0 +1,256 @@
+//! Bitstream (xclbin-like) design container.
+//!
+//! The paper's flow compiles the kernels once into a device binary; the host
+//! then loads it and never reconfigures (§1.1: "no necessity for intervening
+//! FPGA reconfiguration"). This module models that artifact: a description of
+//! what was built — kernels, SLR placement, memory-port wiring, built
+//! sequence length, precision — that the host validates a workload against
+//! before launching, reproducing the real flow's early failure modes
+//! (wrong device, over-length input, precision mismatch).
+
+use crate::device::SlrId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Numeric precision a kernel was built for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Precision {
+    /// 32-bit IEEE float (the paper's shipped design).
+    Fp32,
+    /// 16-bit fixed point.
+    Int16,
+    /// 8-bit fixed point (the future-work variant).
+    Int8,
+}
+
+impl Precision {
+    /// Bytes per weight at this precision.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Precision::Fp32 => 4,
+            Precision::Int16 => 2,
+            Precision::Int8 => 1,
+        }
+    }
+}
+
+/// One compiled kernel in the container.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelDesc {
+    /// Kernel name (e.g. `"mha_ffn_0"`).
+    pub name: String,
+    /// SLR the kernel is placed on.
+    pub slr: SlrId,
+    /// HBM pseudo-channels wired to its M-AXI ports.
+    pub hbm_channels: Vec<u32>,
+}
+
+/// The built design.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Bitstream {
+    /// Target device name (must match the card).
+    pub device_name: String,
+    /// Kernels in the container.
+    pub kernels: Vec<KernelDesc>,
+    /// Sequence length the design was built for.
+    pub built_seq_len: usize,
+    /// Weight precision.
+    pub precision: Precision,
+}
+
+/// A workload's requirements, checked against the bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkloadRequirements {
+    /// Device the host found.
+    pub device_name: String,
+    /// Input sequence length.
+    pub seq_len: usize,
+    /// Weight precision the checkpoint uses.
+    pub precision: Precision,
+}
+
+/// Reasons a workload cannot run on a bitstream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Incompatibility {
+    /// Built for a different card.
+    WrongDevice {
+        /// What the container targets.
+        built_for: String,
+        /// What the host found.
+        found: String,
+    },
+    /// Input longer than the built sequence length.
+    SequenceTooLong {
+        /// Workload length.
+        requested: usize,
+        /// Built length.
+        built: usize,
+    },
+    /// Checkpoint precision differs from the kernels'.
+    PrecisionMismatch {
+        /// Kernel precision.
+        built: Precision,
+        /// Checkpoint precision.
+        checkpoint: Precision,
+    },
+}
+
+impl fmt::Display for Incompatibility {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Incompatibility::WrongDevice { built_for, found } => {
+                write!(f, "bitstream built for '{}' but device is '{}'", built_for, found)
+            }
+            Incompatibility::SequenceTooLong { requested, built } => {
+                write!(f, "sequence length {} exceeds built length {}", requested, built)
+            }
+            Incompatibility::PrecisionMismatch { built, checkpoint } => {
+                write!(f, "kernels are {:?} but checkpoint is {:?}", built, checkpoint)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Incompatibility {}
+
+impl Bitstream {
+    /// The paper's shipped container: two MHA+FFN kernels, one per SLR, each
+    /// wired to two HBM channels, fp32, built for `s = 32`.
+    pub fn paper_u50() -> Self {
+        Bitstream {
+            device_name: "Alveo U50".to_string(),
+            kernels: vec![
+                KernelDesc { name: "mha_ffn_0".into(), slr: SlrId::Slr0, hbm_channels: vec![0, 1] },
+                KernelDesc { name: "mha_ffn_1".into(), slr: SlrId::Slr1, hbm_channels: vec![2, 3] },
+            ],
+            built_seq_len: 32,
+            precision: Precision::Fp32,
+        }
+    }
+
+    /// Validate a workload; `Ok(())` means the host may launch.
+    pub fn check(&self, req: &WorkloadRequirements) -> Result<(), Incompatibility> {
+        if req.device_name != self.device_name {
+            return Err(Incompatibility::WrongDevice {
+                built_for: self.device_name.clone(),
+                found: req.device_name.clone(),
+            });
+        }
+        if req.seq_len > self.built_seq_len {
+            return Err(Incompatibility::SequenceTooLong {
+                requested: req.seq_len,
+                built: self.built_seq_len,
+            });
+        }
+        if req.precision != self.precision {
+            return Err(Incompatibility::PrecisionMismatch {
+                built: self.precision,
+                checkpoint: req.precision,
+            });
+        }
+        Ok(())
+    }
+
+    /// All HBM channels the container claims (for placement checks).
+    pub fn claimed_channels(&self) -> Vec<u32> {
+        let mut v: Vec<u32> =
+            self.kernels.iter().flat_map(|k| k.hbm_channels.iter().copied()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Panic-free structural validation: channels must be unique and each
+    /// SLR may appear at most once per kernel name.
+    pub fn validate_structure(&self) -> Result<(), String> {
+        let ch = self.claimed_channels();
+        let mut dedup = ch.clone();
+        dedup.dedup();
+        if dedup.len() != ch.len() {
+            return Err("duplicate HBM channel claims".to_string());
+        }
+        if self.built_seq_len == 0 {
+            return Err("built sequence length is zero".to_string());
+        }
+        if self.kernels.is_empty() {
+            return Err("no kernels in container".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn good_req() -> WorkloadRequirements {
+        WorkloadRequirements {
+            device_name: "Alveo U50".into(),
+            seq_len: 16,
+            precision: Precision::Fp32,
+        }
+    }
+
+    #[test]
+    fn paper_container_accepts_matching_workload() {
+        assert!(Bitstream::paper_u50().check(&good_req()).is_ok());
+    }
+
+    #[test]
+    fn wrong_device_rejected() {
+        let mut req = good_req();
+        req.device_name = "Alveo U200".into();
+        assert!(matches!(
+            Bitstream::paper_u50().check(&req),
+            Err(Incompatibility::WrongDevice { .. })
+        ));
+    }
+
+    #[test]
+    fn over_length_rejected() {
+        let mut req = good_req();
+        req.seq_len = 33;
+        assert!(matches!(
+            Bitstream::paper_u50().check(&req),
+            Err(Incompatibility::SequenceTooLong { requested: 33, built: 32 })
+        ));
+    }
+
+    #[test]
+    fn precision_mismatch_rejected() {
+        let mut req = good_req();
+        req.precision = Precision::Int8;
+        assert!(matches!(
+            Bitstream::paper_u50().check(&req),
+            Err(Incompatibility::PrecisionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn structure_validation_catches_duplicate_channels() {
+        let mut bs = Bitstream::paper_u50();
+        bs.kernels[1].hbm_channels = vec![1, 3]; // 1 already claimed by kernel 0
+        assert!(bs.validate_structure().is_err());
+        assert!(Bitstream::paper_u50().validate_structure().is_ok());
+    }
+
+    #[test]
+    fn precision_bytes() {
+        assert_eq!(Precision::Fp32.bytes(), 4);
+        assert_eq!(Precision::Int16.bytes(), 2);
+        assert_eq!(Precision::Int8.bytes(), 1);
+    }
+
+    #[test]
+    fn kernels_sit_on_both_slrs() {
+        let bs = Bitstream::paper_u50();
+        let slrs: Vec<SlrId> = bs.kernels.iter().map(|k| k.slr).collect();
+        assert!(slrs.contains(&SlrId::Slr0));
+        assert!(slrs.contains(&SlrId::Slr1));
+    }
+
+    #[test]
+    fn errors_display() {
+        let e = Incompatibility::SequenceTooLong { requested: 40, built: 32 };
+        assert!(e.to_string().contains("40"));
+    }
+}

@@ -1,0 +1,79 @@
+//! PCIe host-link transfer model.
+//!
+//! The U50 connects over PCIe Gen3 ×16 — "8 GigaTransfers/second" per lane
+//! (paper §4.1). With 128b/130b encoding the theoretical payload rate is
+//! 15.75 GB/s; DMA engines sustain roughly 12 GB/s in practice, which is the
+//! effective rate used here.
+
+use serde::{Deserialize, Serialize};
+
+/// PCIe link description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PcieSpec {
+    /// Transfers per second per lane (Gen3 = 8 GT/s).
+    pub gt_per_s: f64,
+    /// Lane count.
+    pub lanes: u32,
+    /// Effective sustained DMA bandwidth, bytes/second.
+    pub effective_bw_bytes_per_s: f64,
+    /// Fixed DMA setup latency per transfer, seconds.
+    pub dma_latency_s: f64,
+}
+
+impl PcieSpec {
+    /// PCIe Gen3 ×16 preset (the U50's host link).
+    pub fn gen3_x16() -> Self {
+        PcieSpec {
+            gt_per_s: 8e9,
+            lanes: 16,
+            effective_bw_bytes_per_s: 12.0e9,
+            dma_latency_s: 10.0e-6,
+        }
+    }
+
+    /// Theoretical payload bandwidth after 128b/130b encoding, bytes/second.
+    pub fn theoretical_bw(&self) -> f64 {
+        self.gt_per_s * self.lanes as f64 * (128.0 / 130.0) / 8.0
+    }
+
+    /// Time to DMA `bytes` host → device (or back), seconds.
+    pub fn transfer_time_s(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.dma_latency_s + bytes as f64 / self.effective_bw_bytes_per_s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theoretical_matches_gen3_x16() {
+        let p = PcieSpec::gen3_x16();
+        // 8 GT/s * 16 lanes * 128/130 / 8 bits = 15.75 GB/s
+        assert!((p.theoretical_bw() - 15.75e9).abs() / 15.75e9 < 0.01);
+    }
+
+    #[test]
+    fn effective_below_theoretical() {
+        let p = PcieSpec::gen3_x16();
+        assert!(p.effective_bw_bytes_per_s < p.theoretical_bw());
+    }
+
+    #[test]
+    fn transfer_monotone_in_size() {
+        let p = PcieSpec::gen3_x16();
+        assert_eq!(p.transfer_time_s(0), 0.0);
+        assert!(p.transfer_time_s(1 << 20) < p.transfer_time_s(1 << 24));
+    }
+
+    #[test]
+    fn full_model_upload_is_sub_100ms() {
+        // All 18 layers (~250 MB f32) host→HBM once at start-up.
+        let p = PcieSpec::gen3_x16();
+        let t = p.transfer_time_s(250 * 1024 * 1024);
+        assert!(t < 0.1, "model upload {} s", t);
+    }
+}

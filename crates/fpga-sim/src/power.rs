@@ -1,0 +1,129 @@
+//! Power breakdown model.
+//!
+//! §5.1.6's 1.38 GFLOPs/J implies ~34.4 W of kernel power (see
+//! `asr-accel::calib`). This module decomposes that figure into its standard
+//! FPGA components — static leakage, fabric dynamic power proportional to
+//! resource toggling, HBM PHY/stack power proportional to bandwidth — so the
+//! energy claim is auditable rather than a single opaque constant.
+
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// Dynamic power coefficients at the 300 MHz kernel clock.
+///
+/// Typical UltraScale+ figures: ~8 µW per active LUT, ~2 µW per FF,
+/// ~9 mW per active DSP, ~6 mW per active BRAM at moderate toggle rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerCoefficients {
+    /// Watts per utilised LUT.
+    pub w_per_lut: f64,
+    /// Watts per utilised FF.
+    pub w_per_ff: f64,
+    /// Watts per utilised DSP.
+    pub w_per_dsp: f64,
+    /// Watts per utilised BRAM_18K.
+    pub w_per_bram: f64,
+    /// Static (leakage + always-on) watts for the device.
+    pub static_w: f64,
+    /// Watts per GB/s of HBM traffic.
+    pub w_per_gb_s: f64,
+}
+
+impl PowerCoefficients {
+    /// UltraScale+ defaults at 300 MHz / moderate toggle rates.
+    pub fn ultrascale_plus_300mhz() -> Self {
+        PowerCoefficients {
+            w_per_lut: 8e-6,
+            w_per_ff: 2e-6,
+            w_per_dsp: 9e-3,
+            w_per_bram: 6e-3,
+            static_w: 3.0,
+            w_per_gb_s: 0.85,
+        }
+    }
+}
+
+/// Itemised power estimate, watts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PowerBreakdown {
+    /// Static leakage.
+    pub static_w: f64,
+    /// Fabric dynamic (LUT + FF + DSP + BRAM).
+    pub fabric_w: f64,
+    /// HBM subsystem.
+    pub hbm_w: f64,
+}
+
+impl PowerBreakdown {
+    /// Total kernel power.
+    pub fn total_w(&self) -> f64 {
+        self.static_w + self.fabric_w + self.hbm_w
+    }
+}
+
+/// Estimate kernel power for a design using `used` resources and streaming
+/// `hbm_gb_s` of weight traffic.
+pub fn estimate(used: &ResourceVector, hbm_gb_s: f64, k: &PowerCoefficients) -> PowerBreakdown {
+    assert!(hbm_gb_s >= 0.0, "negative bandwidth");
+    let fabric = used.lut as f64 * k.w_per_lut
+        + used.ff as f64 * k.w_per_ff
+        + used.dsp as f64 * k.w_per_dsp
+        + used.bram_18k as f64 * k.w_per_bram;
+    PowerBreakdown { static_w: k.static_w, fabric_w: fabric, hbm_w: hbm_gb_s * k.w_per_gb_s }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The shipped design's utilization (Table 5.2).
+    fn paper_used() -> ResourceVector {
+        ResourceVector::new(1202, 1348, 1_191_892, 765_828)
+    }
+
+    #[test]
+    fn paper_design_lands_near_the_calibrated_kernel_power() {
+        // Weight traffic: 252 MB per 87.6 ms inference ≈ 2.9 GB/s.
+        let p = estimate(&paper_used(), 2.9, &PowerCoefficients::ultrascale_plus_300mhz());
+        // the calib.rs constant is 34.4 W; the breakdown must land in its
+        // neighbourhood (it is a decomposition, not a new fit)
+        assert!(
+            (p.total_w() - 34.4).abs() < 5.0,
+            "breakdown total {} W vs calibrated 34.4 W",
+            p.total_w()
+        );
+    }
+
+    #[test]
+    fn fabric_dominates_at_paper_point() {
+        let p = estimate(&paper_used(), 2.9, &PowerCoefficients::ultrascale_plus_300mhz());
+        assert!(p.fabric_w > p.static_w);
+        assert!(p.fabric_w > p.hbm_w);
+    }
+
+    #[test]
+    fn int8_design_draws_less() {
+        // the int8 fabric (quant.rs fit) at the same traffic
+        let int8 = ResourceVector::new(1202, 836, 500_692, 305_028);
+        let k = PowerCoefficients::ultrascale_plus_300mhz();
+        let p8 = estimate(&int8, 2.9, &k);
+        let p32 = estimate(&paper_used(), 2.9, &k);
+        assert!(p8.total_w() < p32.total_w() * 0.8, "{} vs {}", p8.total_w(), p32.total_w());
+    }
+
+    #[test]
+    fn zero_design_is_static_only() {
+        let p = estimate(&ResourceVector::ZERO, 0.0, &PowerCoefficients::ultrascale_plus_300mhz());
+        assert_eq!(p.fabric_w, 0.0);
+        assert_eq!(p.hbm_w, 0.0);
+        assert!(p.total_w() > 0.0);
+    }
+
+    #[test]
+    fn power_monotone_in_bandwidth() {
+        let k = PowerCoefficients::ultrascale_plus_300mhz();
+        let a = estimate(&paper_used(), 1.0, &k);
+        let b = estimate(&paper_used(), 10.0, &k);
+        assert!(b.total_w() > a.total_w());
+    }
+}

@@ -1,0 +1,198 @@
+//! HLS pragma cost model (paper §2.2.6).
+//!
+//! The thesis devotes a section to the Vitis pragmas the design relies on —
+//! `PIPELINE`, `UNROLL`, `ARRAY_PARTITION`, `DATAFLOW` — and §5.1.4 reports
+//! experiments "with various dimensions of the PSA block with different
+//! unroll factors". This module provides the standard first-order HLS cost
+//! model those experiments reason with:
+//!
+//! * a pipelined loop of `n` iterations at initiation interval `ii` with
+//!   iteration latency `depth` finishes in `(n − 1)·ii + depth` cycles;
+//! * unrolling by `u` replicates the body's resources `u×` and divides trip
+//!   count, but the achievable `ii` is limited by memory ports: with an
+//!   array partitioned `p` ways, `ii ≥ ceil(u / p)`;
+//! * `DATAFLOW` overlaps a chain of stages: makespan `max` instead of `sum`
+//!   (plus the first stage's fill).
+
+use crate::resources::ResourceVector;
+use serde::{Deserialize, Serialize};
+
+/// A loop body's cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoopBody {
+    /// Latency of one iteration, cycles (the pipeline depth when pipelined).
+    pub latency: u64,
+    /// Fabric cost of one body instance.
+    pub resources: ResourceVector,
+    /// Memory reads the body issues per iteration against the hot array.
+    pub array_reads: u64,
+}
+
+/// A counted loop around a body.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Loop {
+    /// Trip count.
+    pub trip_count: u64,
+    /// Body cost.
+    pub body: LoopBody,
+}
+
+/// Outcome of applying a pragma configuration to a loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PragmaOutcome {
+    /// Total latency, cycles.
+    pub latency: u64,
+    /// Achieved initiation interval.
+    pub ii: u64,
+    /// Fabric cost after replication.
+    pub resources: ResourceVector,
+}
+
+/// Sequential (no-pragma) execution: iterations run back to back.
+pub fn sequential(l: &Loop) -> PragmaOutcome {
+    PragmaOutcome {
+        latency: l.trip_count * l.body.latency,
+        ii: l.body.latency,
+        resources: l.body.resources,
+    }
+}
+
+/// `#pragma HLS PIPELINE II=ii`: iterations overlap at the given interval.
+///
+/// # Panics
+/// Panics if `ii == 0`.
+pub fn pipeline(l: &Loop, ii: u64) -> PragmaOutcome {
+    assert!(ii >= 1, "II must be >= 1");
+    let latency = if l.trip_count == 0 {
+        0
+    } else {
+        (l.trip_count - 1) * ii + l.body.latency
+    };
+    PragmaOutcome { latency, ii, resources: l.body.resources }
+}
+
+/// `#pragma HLS UNROLL factor=u` under an `ARRAY_PARTITION factor=p`:
+/// the body replicates `u×`; the port-limited initiation interval is
+/// `ceil(u·reads / p)` (one access per partition bank per cycle), and the
+/// shortened loop pipelines at that interval.
+pub fn unroll_partition(l: &Loop, unroll: u64, partition: u64) -> PragmaOutcome {
+    assert!(unroll >= 1 && partition >= 1, "factors must be >= 1");
+    assert_eq!(
+        l.trip_count % unroll,
+        0,
+        "trip count {} not divisible by unroll factor {}",
+        l.trip_count,
+        unroll
+    );
+    let reads_per_iter = unroll * l.body.array_reads;
+    let ii = reads_per_iter.div_ceil(partition).max(1);
+    let trips = l.trip_count / unroll;
+    let latency = if trips == 0 { 0 } else { (trips - 1) * ii + l.body.latency };
+    PragmaOutcome { latency, ii, resources: l.body.resources * unroll }
+}
+
+/// `#pragma HLS DATAFLOW` over a chain of stage latencies: stages stream into
+/// each other, so the makespan is the slowest stage plus the others' fills
+/// (approximated by their depths = their own latency for one token).
+pub fn dataflow(stage_latencies: &[u64]) -> u64 {
+    if stage_latencies.is_empty() {
+        return 0;
+    }
+    let max = *stage_latencies.iter().max().unwrap();
+    // each non-bottleneck stage contributes only its single-token fill,
+    // modeled as a fixed 8-cycle handoff
+    max + 8 * (stage_latencies.len() as u64 - 1)
+}
+
+/// Sequential execution of the same stages (no DATAFLOW).
+pub fn sequential_stages(stage_latencies: &[u64]) -> u64 {
+    stage_latencies.iter().sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body() -> LoopBody {
+        LoopBody {
+            latency: 12,
+            resources: ResourceVector::new(0, 1, 900, 600),
+            array_reads: 1,
+        }
+    }
+
+    #[test]
+    fn pipeline_formula() {
+        let l = Loop { trip_count: 64, body: body() };
+        let p = pipeline(&l, 1);
+        assert_eq!(p.latency, 63 + 12);
+        // at II=1 the pipelined loop is ~12x faster than sequential
+        assert!(sequential(&l).latency as f64 / p.latency as f64 > 10.0);
+    }
+
+    #[test]
+    fn unroll_replicates_resources() {
+        let l = Loop { trip_count: 64, body: body() };
+        let u = unroll_partition(&l, 8, 8);
+        assert_eq!(u.resources.dsp, 8);
+        assert_eq!(u.resources.lut, 4800);
+        assert_eq!(u.ii, 1); // fully partitioned: no port conflicts
+        assert_eq!(u.latency, 7 + 12);
+    }
+
+    #[test]
+    fn insufficient_partitioning_inflates_ii() {
+        // The PSA story: unroll 8 with only 2 partitions -> II 4.
+        let l = Loop { trip_count: 64, body: body() };
+        let u = unroll_partition(&l, 8, 2);
+        assert_eq!(u.ii, 4);
+        let full = unroll_partition(&l, 8, 8);
+        assert!(u.latency > full.latency);
+    }
+
+    #[test]
+    fn partial_unroll_trades_latency_for_area() {
+        // The thesis's §4.4 trade-off, quantified: a partially unrolled loop
+        // (less replication, port-limited II) is slower but much smaller.
+        let l = Loop { trip_count: 128, body: body() };
+        let full = unroll_partition(&l, 128, 128);
+        let partial = unroll_partition(&l, 8, 1);
+        assert!(partial.resources.lut * 4 < full.resources.lut);
+        assert!(
+            partial.latency as f64 / full.latency as f64 > 8.0,
+            "partial {} vs full {}",
+            partial.latency,
+            full.latency
+        );
+    }
+
+    #[test]
+    fn dataflow_overlaps_stages() {
+        // The paper uses DATAFLOW to overlap the V-projection with
+        // scaling+softmax (§2.2.6).
+        let stages = [13_352u64, 288]; // MM1(V) and Sc+Sm at s=32
+        let seq = sequential_stages(&stages);
+        let df = dataflow(&stages);
+        assert!(df < seq);
+        assert_eq!(df, 13_352 + 8);
+    }
+
+    #[test]
+    fn dataflow_of_nothing_is_zero() {
+        assert_eq!(dataflow(&[]), 0);
+        assert_eq!(sequential_stages(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn bad_unroll_factor_panics() {
+        let l = Loop { trip_count: 10, body: body() };
+        let _ = unroll_partition(&l, 3, 1);
+    }
+
+    #[test]
+    fn zero_trip_pipeline_is_free() {
+        let l = Loop { trip_count: 0, body: body() };
+        assert_eq!(pipeline(&l, 4).latency, 0);
+    }
+}

@@ -1,0 +1,242 @@
+//! OpenCL-style host runtime model (paper §2.2.7).
+//!
+//! The paper's host drives the card through the OpenCL flow: create a
+//! context, allocate device buffers, enqueue writes, launch kernels with
+//! event dependencies, read results back. This module models that flow as a
+//! deterministic task graph over the platform's transfer/compute costs, and
+//! produces a [`Timeline`] of what the queues did — the §2.2.7 process flow
+//! made executable.
+
+use crate::device::{DeviceSpec, SlrId};
+use crate::timeline::Timeline;
+use serde::{Deserialize, Serialize};
+
+/// Handle to an enqueued command's completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Event(usize);
+
+/// A device buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct BufferId(usize);
+
+#[derive(Debug, Clone)]
+struct BufferInfo {
+    size_bytes: u64,
+    label: String,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct EventInfo {
+    finish_s: f64,
+}
+
+/// An in-order command queue bound to one engine (DMA channel or kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct QueueId(usize);
+
+/// The modeled OpenCL context: device + buffers + queues + events.
+#[derive(Debug, Clone)]
+pub struct Runtime {
+    device: DeviceSpec,
+    buffers: Vec<BufferInfo>,
+    events: Vec<EventInfo>,
+    queues: Vec<(String, f64)>, // (unit name, free-at time)
+    timeline: Timeline,
+    hbm_used: u64,
+}
+
+impl Runtime {
+    /// Create a context on a device.
+    pub fn new(device: DeviceSpec) -> Self {
+        Runtime {
+            device,
+            buffers: Vec::new(),
+            events: Vec::new(),
+            queues: Vec::new(),
+            timeline: Timeline::new(),
+            hbm_used: 0,
+        }
+    }
+
+    /// Create an in-order command queue (named after its engine).
+    pub fn create_queue(&mut self, name: impl Into<String>) -> QueueId {
+        self.queues.push((name.into(), 0.0));
+        QueueId(self.queues.len() - 1)
+    }
+
+    /// Allocate a device (HBM) buffer.
+    ///
+    /// # Panics
+    /// Panics if the allocation exceeds HBM capacity — the same failure a
+    /// real `clCreateBuffer` would return.
+    pub fn create_buffer(&mut self, label: impl Into<String>, size_bytes: u64) -> BufferId {
+        assert!(
+            self.hbm_used + size_bytes <= self.device.hbm.capacity_bytes,
+            "HBM exhausted: {} + {} > {}",
+            self.hbm_used,
+            size_bytes,
+            self.device.hbm.capacity_bytes
+        );
+        self.hbm_used += size_bytes;
+        self.buffers.push(BufferInfo { size_bytes, label: label.into() });
+        BufferId(self.buffers.len() - 1)
+    }
+
+    fn deps_ready(&self, deps: &[Event]) -> f64 {
+        deps.iter().map(|e| self.events[e.0].finish_s).fold(0.0, f64::max)
+    }
+
+    fn enqueue(&mut self, queue: QueueId, label: String, duration_s: f64, deps: &[Event]) -> Event {
+        let ready = self.deps_ready(deps);
+        let (unit, free) = self.queues[queue.0].clone();
+        let start = free.max(ready);
+        let end = start + duration_s;
+        self.timeline.push(unit, label, start, end).expect("in-order queue never overlaps");
+        self.queues[queue.0].1 = end;
+        self.events.push(EventInfo { finish_s: end });
+        Event(self.events.len() - 1)
+    }
+
+    /// Enqueue a host → device DMA of the whole buffer over PCIe.
+    pub fn enqueue_write(&mut self, queue: QueueId, buf: BufferId, deps: &[Event]) -> Event {
+        let info = self.buffers[buf.0].clone();
+        let t = self.device.pcie.transfer_time_s(info.size_bytes);
+        self.enqueue(queue, format!("write {}", info.label), t, deps)
+    }
+
+    /// Enqueue a device → host read-back of the buffer.
+    pub fn enqueue_read(&mut self, queue: QueueId, buf: BufferId, deps: &[Event]) -> Event {
+        let info = self.buffers[buf.0].clone();
+        let t = self.device.pcie.transfer_time_s(info.size_bytes);
+        self.enqueue(queue, format!("read {}", info.label), t, deps)
+    }
+
+    /// Enqueue an HBM burst load of `bytes` through `channels` channels
+    /// (a kernel M-AXI weight fetch).
+    pub fn enqueue_hbm_load(
+        &mut self,
+        queue: QueueId,
+        label: impl Into<String>,
+        bytes: u64,
+        channels: u32,
+        deps: &[Event],
+    ) -> Event {
+        let t = self.device.hbm.read_time_s(bytes, channels);
+        self.enqueue(queue, label.into(), t, deps)
+    }
+
+    /// Enqueue a kernel launch of a known duration on the SLR's compute queue.
+    pub fn enqueue_kernel(
+        &mut self,
+        queue: QueueId,
+        name: impl Into<String>,
+        slr: SlrId,
+        duration_s: f64,
+        deps: &[Event],
+    ) -> Event {
+        let label = format!("{} @SLR{}", name.into(), slr.index());
+        self.enqueue(queue, label, duration_s, deps)
+    }
+
+    /// Block until everything completes; returns the finish time, seconds.
+    pub fn finish(&self) -> f64 {
+        self.timeline.makespan()
+    }
+
+    /// The schedule the queues executed.
+    pub fn timeline(&self) -> &Timeline {
+        &self.timeline
+    }
+
+    /// Bytes of HBM currently allocated.
+    pub fn hbm_used(&self) -> u64 {
+        self.hbm_used
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::alveo_u50;
+
+    #[test]
+    fn write_then_kernel_then_read_is_ordered() {
+        let mut rt = Runtime::new(alveo_u50());
+        let dma = rt.create_queue("pcie-dma");
+        let k0 = rt.create_queue("kernel-slr0");
+        let buf = rt.create_buffer("weights", 12_600_000);
+        let out = rt.create_buffer("output", 64 * 1024);
+
+        let w = rt.enqueue_write(dma, buf, &[]);
+        let k = rt.enqueue_kernel(k0, "encoder", SlrId::Slr0, 4.2e-3, &[w]);
+        let r = rt.enqueue_read(dma, out, &[k]);
+        let _ = r;
+        let total = rt.finish();
+        // write (~1ms) + compute (4.2ms) + read (small)
+        assert!(total > 5e-3 && total < 7e-3, "total {}", total);
+        // kernel must start after the write ends
+        let spans = rt.timeline().unit_spans("kernel-slr0");
+        let writes = rt.timeline().unit_spans("pcie-dma");
+        assert!(spans[0].start >= writes[0].end - 1e-12);
+    }
+
+    #[test]
+    fn independent_queues_overlap() {
+        let mut rt = Runtime::new(alveo_u50());
+        let q0 = rt.create_queue("kernel-slr0");
+        let q1 = rt.create_queue("kernel-slr1");
+        let a = rt.enqueue_kernel(q0, "heads0-3", SlrId::Slr0, 1e-3, &[]);
+        let b = rt.enqueue_kernel(q1, "heads4-7", SlrId::Slr1, 1e-3, &[]);
+        let _ = (a, b);
+        // two 1 ms kernels on separate SLRs finish in 1 ms, not 2
+        assert!((rt.finish() - 1e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dependencies_serialise_across_queues() {
+        let mut rt = Runtime::new(alveo_u50());
+        let q0 = rt.create_queue("a");
+        let q1 = rt.create_queue("b");
+        let first = rt.enqueue_kernel(q0, "stage1", SlrId::Slr0, 2e-3, &[]);
+        let second = rt.enqueue_kernel(q1, "stage2", SlrId::Slr1, 1e-3, &[first]);
+        let _ = second;
+        assert!((rt.finish() - 3e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_order_queue_serialises_without_deps() {
+        let mut rt = Runtime::new(alveo_u50());
+        let q = rt.create_queue("dma");
+        let b1 = rt.create_buffer("x", 1 << 20);
+        let b2 = rt.create_buffer("y", 1 << 20);
+        rt.enqueue_write(q, b1, &[]);
+        rt.enqueue_write(q, b2, &[]);
+        let spans = rt.timeline().unit_spans("dma");
+        assert_eq!(spans.len(), 2);
+        assert!(spans[1].start >= spans[0].end - 1e-12);
+    }
+
+    #[test]
+    fn hbm_loads_use_channel_model() {
+        let mut rt = Runtime::new(alveo_u50());
+        let q = rt.create_queue("maxi-0");
+        rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+        let dev = alveo_u50();
+        assert!((rt.finish() - dev.hbm.read_time_s(12_600_000, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "HBM exhausted")]
+    fn over_allocation_panics() {
+        let mut rt = Runtime::new(alveo_u50());
+        let _ = rt.create_buffer("huge", 9 * 1024 * 1024 * 1024);
+    }
+
+    #[test]
+    fn hbm_accounting_accumulates() {
+        let mut rt = Runtime::new(alveo_u50());
+        rt.create_buffer("a", 100);
+        rt.create_buffer("b", 200);
+        assert_eq!(rt.hbm_used(), 300);
+    }
+}

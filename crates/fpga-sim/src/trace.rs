@@ -1,0 +1,107 @@
+//! Chrome trace-event export of a [`Timeline`].
+//!
+//! Produces the `chrome://tracing` / Perfetto JSON array format, with one
+//! track per unit, so the A1/A2/A3 Gantt charts (Figs 4.8–4.11) can be
+//! inspected interactively.
+
+use crate::timeline::Timeline;
+
+/// Minimal JSON string escaping for span labels.
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Render a timeline as Chrome trace-event JSON (complete "X" events, one
+/// thread id per unit, microsecond timestamps).
+pub fn to_chrome_trace(tl: &Timeline) -> String {
+    let units = tl.units();
+    let tid_of = |unit: &str| units.iter().position(|u| *u == unit).unwrap_or(0);
+    let mut out = String::from("[\n");
+    let mut first = true;
+    // thread-name metadata so tracks are labelled
+    for (tid, unit) in units.iter().enumerate() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            tid,
+            escape(unit)
+        ));
+    }
+    for span in tl.spans() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let ts_us = span.start * 1e6;
+        let dur_us = span.duration() * 1e6;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            escape(&span.label),
+            tid_of(&span.unit),
+            ts_us,
+            dur_us
+        ));
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut tl = Timeline::new();
+        tl.push("compute", "C1", 0.0, 1e-3).unwrap();
+        tl.push("load-0", "LW1", 0.0, 0.5e-3).unwrap();
+        tl.push("compute", "C2", 1e-3, 2e-3).unwrap();
+        tl
+    }
+
+    #[test]
+    fn trace_contains_all_spans_and_tracks() {
+        let json = to_chrome_trace(&sample());
+        assert!(json.contains("\"name\":\"C1\""));
+        assert!(json.contains("\"name\":\"LW1\""));
+        assert!(json.contains("\"name\":\"compute\""));
+        assert!(json.contains("\"name\":\"load-0\""));
+        // durations in microseconds
+        assert!(json.contains("\"dur\":1000.000"));
+    }
+
+    #[test]
+    fn trace_is_a_json_array() {
+        let json = to_chrome_trace(&sample());
+        let trimmed = json.trim();
+        assert!(trimmed.starts_with('['));
+        assert!(trimmed.ends_with(']'));
+        // balanced braces
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_timeline_is_empty_array() {
+        let json = to_chrome_trace(&Timeline::new());
+        assert_eq!(json.trim(), "[\n\n]".trim());
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let mut tl = Timeline::new();
+        tl.push("u", "with \"quote\"", 0.0, 1.0).unwrap();
+        let json = to_chrome_trace(&tl);
+        assert!(json.contains("with \\\"quote\\\""));
+    }
+}

@@ -1,0 +1,229 @@
+//! Word-level alignment between reference and hypothesis — the Kaldi-style
+//! `%WER ... [ S / D / I ]` breakdown behind the corpus WER number.
+
+use crate::text;
+use serde::{Deserialize, Serialize};
+
+/// One aligned operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AlignOp {
+    /// Words match.
+    Correct(String),
+    /// Reference word replaced by a hypothesis word.
+    Substitution {
+        /// Reference word.
+        reference: String,
+        /// Hypothesis word.
+        hypothesis: String,
+    },
+    /// Reference word missing from the hypothesis.
+    Deletion(String),
+    /// Extra hypothesis word.
+    Insertion(String),
+}
+
+/// Alignment summary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Alignment {
+    /// The operation sequence in reference order.
+    pub ops: Vec<AlignOp>,
+    /// Correct words.
+    pub correct: usize,
+    /// Substitutions.
+    pub substitutions: usize,
+    /// Deletions.
+    pub deletions: usize,
+    /// Insertions.
+    pub insertions: usize,
+    /// Reference word count.
+    pub ref_words: usize,
+}
+
+impl Alignment {
+    /// Total edits.
+    pub fn edits(&self) -> usize {
+        self.substitutions + self.deletions + self.insertions
+    }
+
+    /// WER implied by this alignment.
+    pub fn wer(&self) -> f64 {
+        if self.ref_words == 0 {
+            if self.insertions == 0 {
+                0.0
+            } else {
+                1.0
+            }
+        } else {
+            self.edits() as f64 / self.ref_words as f64
+        }
+    }
+
+    /// Kaldi-style one-line summary, e.g. `%WER 25.00 [ 1S 0D 1I / 4 ref ]`.
+    pub fn summary(&self) -> String {
+        format!(
+            "%WER {:.2} [ {}S {}D {}I / {} ref ]",
+            100.0 * self.wer(),
+            self.substitutions,
+            self.deletions,
+            self.insertions,
+            self.ref_words
+        )
+    }
+}
+
+/// Align a hypothesis against a reference transcript (both normalised).
+pub fn align(reference: &str, hypothesis: &str) -> Alignment {
+    let r = text::normalize(reference);
+    let h = text::normalize(hypothesis);
+    let rw: Vec<&str> = text::words(&r);
+    let hw: Vec<&str> = text::words(&h);
+    let (n, m) = (rw.len(), hw.len());
+
+    // full DP matrix with backtracking
+    let mut cost = vec![vec![0usize; m + 1]; n + 1];
+    for (i, row) in cost.iter_mut().enumerate() {
+        row[0] = i;
+    }
+    for (j, cell) in cost[0].iter_mut().enumerate() {
+        *cell = j;
+    }
+    for i in 1..=n {
+        for j in 1..=m {
+            let sub = cost[i - 1][j - 1] + usize::from(rw[i - 1] != hw[j - 1]);
+            cost[i][j] = sub.min(cost[i - 1][j] + 1).min(cost[i][j - 1] + 1);
+        }
+    }
+
+    // backtrack
+    let mut ops = Vec::new();
+    let (mut i, mut j) = (n, m);
+    while i > 0 || j > 0 {
+        if i > 0 && j > 0 {
+            let sub = cost[i - 1][j - 1] + usize::from(rw[i - 1] != hw[j - 1]);
+            if cost[i][j] == sub {
+                if rw[i - 1] == hw[j - 1] {
+                    ops.push(AlignOp::Correct(rw[i - 1].to_string()));
+                } else {
+                    ops.push(AlignOp::Substitution {
+                        reference: rw[i - 1].to_string(),
+                        hypothesis: hw[j - 1].to_string(),
+                    });
+                }
+                i -= 1;
+                j -= 1;
+                continue;
+            }
+        }
+        if i > 0 && cost[i][j] == cost[i - 1][j] + 1 {
+            ops.push(AlignOp::Deletion(rw[i - 1].to_string()));
+            i -= 1;
+        } else {
+            ops.push(AlignOp::Insertion(hw[j - 1].to_string()));
+            j -= 1;
+        }
+    }
+    ops.reverse();
+
+    let mut a = Alignment {
+        ops,
+        correct: 0,
+        substitutions: 0,
+        deletions: 0,
+        insertions: 0,
+        ref_words: n,
+    };
+    for op in &a.ops.clone() {
+        match op {
+            AlignOp::Correct(_) => a.correct += 1,
+            AlignOp::Substitution { .. } => a.substitutions += 1,
+            AlignOp::Deletion(_) => a.deletions += 1,
+            AlignOp::Insertion(_) => a.insertions += 1,
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wer::wer;
+
+    #[test]
+    fn perfect_match_is_all_correct() {
+        let a = align("THE CAT SAT", "THE CAT SAT");
+        assert_eq!(a.correct, 3);
+        assert_eq!(a.edits(), 0);
+        assert_eq!(a.wer(), 0.0);
+    }
+
+    #[test]
+    fn substitution_detected() {
+        let a = align("THE CAT SAT", "THE DOG SAT");
+        assert_eq!(a.substitutions, 1);
+        assert_eq!(a.correct, 2);
+        assert!(a.ops.contains(&AlignOp::Substitution {
+            reference: "CAT".into(),
+            hypothesis: "DOG".into()
+        }));
+    }
+
+    #[test]
+    fn deletion_and_insertion_detected() {
+        let del = align("A B C", "A C");
+        assert_eq!(del.deletions, 1);
+        assert_eq!(del.insertions, 0);
+        let ins = align("A C", "A B C");
+        assert_eq!(ins.insertions, 1);
+        assert_eq!(ins.deletions, 0);
+    }
+
+    #[test]
+    fn alignment_wer_matches_wer_function() {
+        for (r, h) in [
+            ("THE QUICK BROWN FOX", "THE QUICK BROWN FOX"),
+            ("THE QUICK BROWN FOX", "THE SLOW BROWN FOX JUMPED"),
+            ("A B C D E", "E D C B A"),
+            ("ONE TWO", ""),
+            ("", "GHOST WORDS"),
+        ] {
+            let a = align(r, h);
+            assert!(
+                (a.wer() - wer(r, h)).abs() < 1e-12,
+                "{:?} vs {:?}: {} vs {}",
+                r,
+                h,
+                a.wer(),
+                wer(r, h)
+            );
+        }
+    }
+
+    #[test]
+    fn ops_reconstruct_both_strings() {
+        let a = align("THE CAT SAT DOWN", "THE BAD CAT SAT");
+        let mut ref_out = Vec::new();
+        let mut hyp_out = Vec::new();
+        for op in &a.ops {
+            match op {
+                AlignOp::Correct(w) => {
+                    ref_out.push(w.clone());
+                    hyp_out.push(w.clone());
+                }
+                AlignOp::Substitution { reference, hypothesis } => {
+                    ref_out.push(reference.clone());
+                    hyp_out.push(hypothesis.clone());
+                }
+                AlignOp::Deletion(w) => ref_out.push(w.clone()),
+                AlignOp::Insertion(w) => hyp_out.push(w.clone()),
+            }
+        }
+        assert_eq!(ref_out.join(" "), "THE CAT SAT DOWN");
+        assert_eq!(hyp_out.join(" "), "THE BAD CAT SAT");
+    }
+
+    #[test]
+    fn summary_formats_kaldi_style() {
+        let a = align("A B C D", "A X C D E");
+        assert_eq!(a.summary(), "%WER 50.00 [ 1S 0D 1I / 4 ref ]");
+    }
+}

@@ -1,0 +1,169 @@
+//! Cepstral mean–variance normalisation (CMVN).
+//!
+//! The paper's E2E flow applies the training corpus's global CMVN statistics
+//! to the fbank features before decoding (the `cmvn.ark` of the Fig 5.1 log:
+//! `dump.sh ... data/train_960/cmvn.ark`). Both per-utterance and
+//! global-statistics variants are provided.
+
+use asr_tensor::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Accumulated per-dimension statistics (the `cmvn.ark` equivalent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CmvnStats {
+    /// Per-dimension sum.
+    sum: Vec<f64>,
+    /// Per-dimension sum of squares.
+    sum_sq: Vec<f64>,
+    /// Frames accumulated.
+    count: u64,
+}
+
+impl CmvnStats {
+    /// Empty statistics for `dim`-dimensional features.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "zero-dimensional features");
+        Self { sum: vec![0.0; dim], sum_sq: vec![0.0; dim], count: 0 }
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.sum.len()
+    }
+
+    /// Frames accumulated so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Accumulate an utterance's `frames × dim` features.
+    pub fn accumulate(&mut self, features: &Matrix) {
+        assert_eq!(features.cols(), self.dim(), "dimension mismatch");
+        for i in 0..features.rows() {
+            for (j, &x) in features.row(i).iter().enumerate() {
+                self.sum[j] += x as f64;
+                self.sum_sq[j] += (x as f64) * (x as f64);
+            }
+        }
+        self.count += features.rows() as u64;
+    }
+
+    /// Per-dimension mean.
+    pub fn mean(&self) -> Vec<f32> {
+        assert!(self.count > 0, "no frames accumulated");
+        self.sum.iter().map(|&s| (s / self.count as f64) as f32).collect()
+    }
+
+    /// Per-dimension standard deviation (floored at 1e-5).
+    pub fn std(&self) -> Vec<f32> {
+        assert!(self.count > 0, "no frames accumulated");
+        let n = self.count as f64;
+        self.sum
+            .iter()
+            .zip(&self.sum_sq)
+            .map(|(&s, &ss)| {
+                let mean = s / n;
+                let var = (ss / n - mean * mean).max(0.0);
+                (var.sqrt() as f32).max(1e-5)
+            })
+            .collect()
+    }
+
+    /// Apply `(x - mean) / std` to features using these statistics.
+    pub fn apply(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.cols(), self.dim(), "dimension mismatch");
+        let mean = self.mean();
+        let std = self.std();
+        let mut out = features.clone();
+        for i in 0..out.rows() {
+            for (j, x) in out.row_mut(i).iter_mut().enumerate() {
+                *x = (*x - mean[j]) / std[j];
+            }
+        }
+        out
+    }
+}
+
+/// Per-utterance CMVN: normalise each dimension by the utterance's own
+/// statistics.
+pub fn cmvn_per_utterance(features: &Matrix) -> Matrix {
+    let mut stats = CmvnStats::new(features.cols());
+    stats.accumulate(features);
+    stats.apply(features)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::init;
+
+    #[test]
+    fn per_utterance_output_has_zero_mean_unit_var() {
+        let f = init::uniform(200, 8, -3.0, 7.0, 1);
+        let n = cmvn_per_utterance(&f);
+        for j in 0..8 {
+            let col = n.col(j);
+            let mean: f32 = col.iter().sum::<f32>() / 200.0;
+            let var: f32 = col.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / 200.0;
+            assert!(mean.abs() < 1e-4, "dim {} mean {}", j, mean);
+            assert!((var - 1.0).abs() < 1e-2, "dim {} var {}", j, var);
+        }
+    }
+
+    #[test]
+    fn global_stats_accumulate_across_utterances() {
+        let a = init::uniform(50, 4, 0.0, 1.0, 2);
+        let b = init::uniform(70, 4, 2.0, 3.0, 3);
+        let mut stats = CmvnStats::new(4);
+        stats.accumulate(&a);
+        stats.accumulate(&b);
+        assert_eq!(stats.count(), 120);
+        let mean = stats.mean();
+        // means lie between the two utterance ranges
+        for &m in &mean {
+            assert!(m > 0.5 && m < 2.6, "mean {}", m);
+        }
+    }
+
+    #[test]
+    fn applying_training_stats_differs_from_per_utterance() {
+        let train = init::uniform(500, 4, -1.0, 1.0, 4);
+        let test = init::uniform(50, 4, 5.0, 6.0, 5); // shifted domain
+        let mut stats = CmvnStats::new(4);
+        stats.accumulate(&train);
+        let global = stats.apply(&test);
+        // globally normalised shifted data keeps a large positive mean
+        let mean: f32 = global.as_slice().iter().sum::<f32>() / global.len() as f32;
+        assert!(mean > 2.0, "global-normalised mean {}", mean);
+        let per_utt = cmvn_per_utterance(&test);
+        let mean_pu: f32 = per_utt.as_slice().iter().sum::<f32>() / per_utt.len() as f32;
+        assert!(mean_pu.abs() < 1e-3);
+    }
+
+    #[test]
+    fn constant_dimension_does_not_blow_up() {
+        let f = Matrix::filled(10, 3, 2.5);
+        let n = cmvn_per_utterance(&f);
+        assert!(n.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "no frames accumulated")]
+    fn empty_stats_panic_on_mean() {
+        let _ = CmvnStats::new(4).mean();
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_dim_panics() {
+        let mut stats = CmvnStats::new(4);
+        stats.accumulate(&Matrix::zeros(5, 3));
+    }
+
+    #[test]
+    fn stats_clone_and_compare() {
+        let mut stats = CmvnStats::new(2);
+        stats.accumulate(&init::uniform(10, 2, -1.0, 1.0, 9));
+        assert_eq!(stats.clone(), stats);
+    }
+}

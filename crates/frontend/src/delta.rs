@@ -1,0 +1,89 @@
+//! Delta (Δ) and delta-delta (ΔΔ) dynamic features.
+//!
+//! The classic regression-based deltas over a ±N frame window; standard in
+//! Kaldi/ESPnet front ends (the paper's recipe runs with `--do_delta false`,
+//! but the library supports the full feature surface).
+
+use asr_tensor::Matrix;
+
+/// Compute delta features with a ±`window` regression
+/// (`Δx_t = Σ_n n·(x_{t+n} − x_{t−n}) / 2Σ n²`, edges clamped).
+pub fn delta(features: &Matrix, window: usize) -> Matrix {
+    assert!(window >= 1, "delta window must be >= 1");
+    let t_max = features.rows();
+    let dim = features.cols();
+    assert!(t_max > 0, "empty feature matrix");
+    let denom: f32 = 2.0 * (1..=window).map(|n| (n * n) as f32).sum::<f32>();
+    let clamp = |t: isize| -> usize { t.clamp(0, t_max as isize - 1) as usize };
+    Matrix::from_fn(t_max, dim, |t, j| {
+        let mut acc = 0.0f32;
+        for n in 1..=window {
+            let fwd = features[(clamp(t as isize + n as isize), j)];
+            let bwd = features[(clamp(t as isize - n as isize), j)];
+            acc += n as f32 * (fwd - bwd);
+        }
+        acc / denom
+    })
+}
+
+/// Stack `[x, Δx, ΔΔx]` horizontally: `frames × 3·dim`.
+pub fn add_deltas(features: &Matrix, window: usize) -> Matrix {
+    let d1 = delta(features, window);
+    let d2 = delta(&d1, window);
+    Matrix::hconcat(&[features, &d1, &d2])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::init;
+
+    #[test]
+    fn constant_signal_has_zero_delta() {
+        let f = Matrix::filled(20, 4, 3.0);
+        let d = delta(&f, 2);
+        assert!(d.as_slice().iter().all(|&x| x.abs() < 1e-6));
+    }
+
+    #[test]
+    fn linear_ramp_has_constant_delta() {
+        // x_t = t => Δx = 1 in the interior
+        let f = Matrix::from_fn(30, 1, |t, _| t as f32);
+        let d = delta(&f, 2);
+        for t in 2..28 {
+            assert!((d[(t, 0)] - 1.0).abs() < 1e-5, "t={} delta={}", t, d[(t, 0)]);
+        }
+    }
+
+    #[test]
+    fn quadratic_has_constant_delta_delta() {
+        // x_t = t^2 => ΔΔx = 2 in the interior
+        let f = Matrix::from_fn(40, 1, |t, _| (t * t) as f32);
+        let dd = delta(&delta(&f, 2), 2);
+        for t in 4..36 {
+            assert!((dd[(t, 0)] - 2.0).abs() < 1e-3, "t={} dd={}", t, dd[(t, 0)]);
+        }
+    }
+
+    #[test]
+    fn add_deltas_triples_width() {
+        let f = init::uniform(15, 8, -1.0, 1.0, 1);
+        let stacked = add_deltas(&f, 2);
+        assert_eq!(stacked.shape(), (15, 24));
+        // the first block is the original features
+        assert_eq!(stacked.submatrix(0, 0, 15, 8), f);
+    }
+
+    #[test]
+    fn single_frame_is_all_zero_delta() {
+        let f = init::uniform(1, 4, -1.0, 1.0, 2);
+        let d = delta(&f, 2);
+        assert!(d.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be")]
+    fn zero_window_panics() {
+        let _ = delta(&Matrix::zeros(4, 4), 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end fbank feature extraction: the host-side DSP pipeline.
+//!
+//! waveform → pre-emphasis → 25 ms Hamming frames → 512-point STFT →
+//! 80-dim triangular mel filterbank → log energies, exactly the §3.1 recipe.
+
+use crate::audio::Waveform;
+use crate::mel::{apply_filterbank, mel_filterbank};
+use crate::preemphasis::{preemphasize, DEFAULT_ALPHA};
+use crate::stft::{power_spectrogram, StftConfig};
+use asr_tensor::Matrix;
+
+/// Fbank extraction parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FbankConfig {
+    /// STFT geometry.
+    pub stft: StftConfig,
+    /// Number of mel filters (paper: 80).
+    pub n_mels: usize,
+    /// Pre-emphasis coefficient.
+    pub preemph: f32,
+    /// Lowest filterbank frequency, Hz.
+    pub f_min: f32,
+    /// Highest filterbank frequency, Hz.
+    pub f_max: f32,
+}
+
+impl FbankConfig {
+    /// The paper's configuration at a sample rate: 80 mel filters.
+    pub fn paper_default(sample_rate: u32) -> Self {
+        FbankConfig {
+            stft: StftConfig::standard(sample_rate),
+            n_mels: 80,
+            preemph: DEFAULT_ALPHA,
+            f_min: 20.0,
+            f_max: sample_rate as f32 / 2.0 - 400.0,
+        }
+    }
+}
+
+/// A reusable fbank extractor (the filterbank matrix is precomputed).
+#[derive(Debug, Clone)]
+pub struct FbankExtractor {
+    cfg: FbankConfig,
+    sample_rate: u32,
+    filterbank: Matrix,
+}
+
+impl FbankExtractor {
+    /// Build an extractor for signals at `sample_rate`.
+    pub fn new(cfg: FbankConfig, sample_rate: u32) -> Self {
+        let filterbank =
+            mel_filterbank(cfg.n_mels, cfg.stft.bins(), sample_rate, cfg.f_min, cfg.f_max);
+        Self { cfg, sample_rate, filterbank }
+    }
+
+    /// The paper's extractor at 16 kHz.
+    pub fn paper_default() -> Self {
+        let sr = crate::audio::SAMPLE_RATE;
+        Self::new(FbankConfig::paper_default(sr), sr)
+    }
+
+    /// Extract `frames × n_mels` log-mel features from a waveform.
+    ///
+    /// # Panics
+    /// Panics if the waveform's sample rate doesn't match the extractor's.
+    pub fn extract(&self, w: &Waveform) -> Matrix {
+        assert_eq!(
+            w.sample_rate, self.sample_rate,
+            "waveform at {} Hz but extractor built for {} Hz",
+            w.sample_rate, self.sample_rate
+        );
+        let emphasized = preemphasize(w, self.cfg.preemph);
+        let spec = power_spectrogram(&emphasized, &self.cfg.stft);
+        apply_filterbank(&spec, &self.filterbank)
+    }
+
+    /// Feature dimensionality (`n_mels`).
+    pub fn dim(&self) -> usize {
+        self.cfg.n_mels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{synthesize_speech, SAMPLE_RATE};
+
+    #[test]
+    fn extracts_80_dim_features() {
+        let ex = FbankExtractor::paper_default();
+        let w = synthesize_speech("HELLO", 1);
+        let f = ex.extract(&w);
+        assert_eq!(f.cols(), 80);
+        assert!(f.rows() > 20, "expected dozens of frames, got {}", f.rows());
+        assert!(f.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn frame_rate_is_100_per_second() {
+        let ex = FbankExtractor::paper_default();
+        let w = crate::audio::Waveform::new(vec![0.01; 2 * SAMPLE_RATE as usize], SAMPLE_RATE);
+        let f = ex.extract(&w);
+        // 2 seconds -> ~198 frames at 10 ms hop
+        assert!((f.rows() as i64 - 198).abs() <= 2, "{} frames", f.rows());
+    }
+
+    #[test]
+    fn deterministic_features() {
+        let ex = FbankExtractor::paper_default();
+        let w = synthesize_speech("SAME INPUT", 5);
+        assert_eq!(ex.extract(&w), ex.extract(&w));
+    }
+
+    #[test]
+    fn louder_signal_higher_energy() {
+        let ex = FbankExtractor::paper_default();
+        let quiet = crate::audio::Waveform::new(
+            (0..SAMPLE_RATE).map(|n| 0.01 * (n as f32 * 0.3).sin()).collect(),
+            SAMPLE_RATE,
+        );
+        let loud = crate::audio::Waveform::new(
+            (0..SAMPLE_RATE).map(|n| 0.8 * (n as f32 * 0.3).sin()).collect(),
+            SAMPLE_RATE,
+        );
+        let (fq, fl) = (ex.extract(&quiet), ex.extract(&loud));
+        let mean = |m: &Matrix| m.sum() / m.len() as f32;
+        assert!(mean(&fl) > mean(&fq));
+    }
+
+    #[test]
+    #[should_panic(expected = "extractor built for")]
+    fn sample_rate_mismatch_panics() {
+        let ex = FbankExtractor::paper_default();
+        let w = crate::audio::Waveform::new(vec![0.0; 8000], 8000);
+        let _ = ex.extract(&w);
+    }
+}

@@ -1,0 +1,203 @@
+//! Radix-2 iterative FFT, implemented from scratch.
+//!
+//! The STFT of the feature pipeline needs only power-of-two sizes (frames are
+//! zero-padded to 512), so a classic iterative Cooley–Tukey with bit-reversal
+//! permutation suffices. A naive `O(n²)` DFT is kept as the test oracle.
+
+/// A complex number as a `(re, im)` pair — enough structure for an FFT
+/// without pulling in a numerics crate.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f32,
+    /// Imaginary part.
+    pub im: f32,
+}
+
+impl Complex {
+    /// Construct from parts.
+    pub fn new(re: f32, im: f32) -> Self {
+        Self { re, im }
+    }
+
+    /// Complex multiplication.
+    #[allow(clippy::should_implement_trait)] // tiny internal helper, not a public numeric type
+    pub fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+
+    /// Complex addition.
+    #[allow(clippy::should_implement_trait)]
+    pub fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+
+    /// Complex subtraction.
+    #[allow(clippy::should_implement_trait)]
+    pub fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f32 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+
+    /// Squared magnitude `|z|²` (power spectrum uses this).
+    pub fn norm_sq(self) -> f32 {
+        self.re * self.re + self.im * self.im
+    }
+}
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+/// Panics unless `x.len()` is a power of two.
+pub fn fft_inplace(x: &mut [Complex]) {
+    let n = x.len();
+    assert!(n.is_power_of_two(), "FFT length {} is not a power of two", n);
+    if n <= 1 {
+        return;
+    }
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if i < j {
+            x.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let mut len = 2;
+    while len <= n {
+        let ang = -2.0 * std::f32::consts::PI / len as f32;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for chunk in x.chunks_mut(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half].mul(w);
+                chunk[k] = u.add(v);
+                chunk[k + half] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// FFT of a real signal zero-padded to `nfft`, returning the one-sided
+/// spectrum (`nfft/2 + 1` bins).
+pub fn rfft(signal: &[f32], nfft: usize) -> Vec<Complex> {
+    assert!(nfft.is_power_of_two(), "nfft must be a power of two");
+    assert!(signal.len() <= nfft, "signal longer than nfft");
+    let mut buf: Vec<Complex> = signal.iter().map(|&s| Complex::new(s, 0.0)).collect();
+    buf.resize(nfft, Complex::default());
+    fft_inplace(&mut buf);
+    buf.truncate(nfft / 2 + 1);
+    buf
+}
+
+/// Power spectrum (|X[k]|²) of a real frame.
+pub fn power_spectrum(signal: &[f32], nfft: usize) -> Vec<f32> {
+    rfft(signal, nfft).into_iter().map(|c| c.norm_sq()).collect()
+}
+
+/// Naive `O(n²)` DFT — the correctness oracle for the FFT.
+pub fn dft_naive(x: &[Complex]) -> Vec<Complex> {
+    let n = x.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f32::consts::PI * (k * t) as f32 / n as f32;
+                acc = acc.add(v.mul(Complex::new(ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f32) -> bool {
+        (a.re - b.re).abs() < tol && (a.im - b.im).abs() < tol
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for &n in &[2usize, 4, 8, 16, 64, 256] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new(((i * 7 + 3) % 11) as f32 - 5.0, ((i * 5) % 7) as f32 - 3.0))
+                .collect();
+            let mut fast = x.clone();
+            fft_inplace(&mut fast);
+            let slow = dft_naive(&x);
+            for (f, s) in fast.iter().zip(&slow) {
+                assert!(close(*f, *s, 1e-2 * n as f32), "n={}: {:?} vs {:?}", n, f, s);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_tone_peaks_at_its_bin() {
+        // A sine at bin 8 of a 64-point FFT.
+        let n = 64;
+        let signal: Vec<f32> = (0..n)
+            .map(|t| (2.0 * std::f32::consts::PI * 8.0 * t as f32 / n as f32).sin())
+            .collect();
+        let spec = power_spectrum(&signal, n);
+        let peak = spec
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(peak, 8);
+    }
+
+    #[test]
+    fn rfft_length_is_onesided() {
+        let sig = vec![1.0f32; 100];
+        assert_eq!(rfft(&sig, 512).len(), 257);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_at_bin_zero() {
+        let spec = power_spectrum(&[1.0; 16], 16);
+        assert!(spec[0] > 200.0); // 16^2 = 256
+        for &p in &spec[1..] {
+            assert!(p < 1e-3);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_is_preserved() {
+        let x: Vec<Complex> =
+            (0..32).map(|i| Complex::new((i as f32 * 0.7).sin(), 0.0)).collect();
+        let time_energy: f32 = x.iter().map(|c| c.norm_sq()).sum();
+        let mut f = x.clone();
+        fft_inplace(&mut f);
+        let freq_energy: f32 = f.iter().map(|c| c.norm_sq()).sum::<f32>() / 32.0;
+        assert!((time_energy - freq_energy).abs() / time_energy < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![Complex::default(); 12];
+        fft_inplace(&mut x);
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let mut x = vec![Complex::new(3.0, -2.0)];
+        fft_inplace(&mut x);
+        assert_eq!(x[0], Complex::new(3.0, -2.0));
+    }
+}

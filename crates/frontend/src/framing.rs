@@ -1,0 +1,91 @@
+//! Frame extraction: split a signal into fixed-length overlapping frames.
+//!
+//! The paper uses 25 ms frames (§3.1); the standard hop is 10 ms.
+
+use crate::audio::Waveform;
+
+/// Framing parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameConfig {
+    /// Frame length in samples.
+    pub frame_len: usize,
+    /// Hop between frame starts in samples.
+    pub hop: usize,
+}
+
+impl FrameConfig {
+    /// 25 ms frames with a 10 ms hop at the given sample rate.
+    pub fn standard(sample_rate: u32) -> Self {
+        FrameConfig {
+            frame_len: (sample_rate as usize * 25) / 1000,
+            hop: (sample_rate as usize * 10) / 1000,
+        }
+    }
+
+    /// Number of whole frames a signal of `n` samples yields.
+    pub fn num_frames(&self, n: usize) -> usize {
+        if n < self.frame_len {
+            0
+        } else {
+            (n - self.frame_len) / self.hop + 1
+        }
+    }
+}
+
+/// Extract frames as owned vectors (each of length `frame_len`).
+pub fn frames(w: &Waveform, cfg: &FrameConfig) -> Vec<Vec<f32>> {
+    assert!(cfg.frame_len > 0 && cfg.hop > 0, "frame_len and hop must be positive");
+    let n = cfg.num_frames(w.samples.len());
+    (0..n)
+        .map(|i| {
+            let start = i * cfg.hop;
+            w.samples[start..start + cfg.frame_len].to_vec()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::SAMPLE_RATE;
+
+    #[test]
+    fn standard_config_at_16khz() {
+        let cfg = FrameConfig::standard(SAMPLE_RATE);
+        assert_eq!(cfg.frame_len, 400); // 25 ms
+        assert_eq!(cfg.hop, 160); // 10 ms
+    }
+
+    #[test]
+    fn frame_count_formula() {
+        let cfg = FrameConfig { frame_len: 4, hop: 2 };
+        assert_eq!(cfg.num_frames(3), 0);
+        assert_eq!(cfg.num_frames(4), 1);
+        assert_eq!(cfg.num_frames(8), 3); // starts at 0, 2, 4
+    }
+
+    #[test]
+    fn one_second_yields_about_100_frames() {
+        let cfg = FrameConfig::standard(SAMPLE_RATE);
+        // (16000 - 400) / 160 + 1 = 98
+        assert_eq!(cfg.num_frames(16_000), 98);
+    }
+
+    #[test]
+    fn frames_overlap_correctly() {
+        let w = Waveform::new((0..10).map(|i| i as f32).collect(), SAMPLE_RATE);
+        let cfg = FrameConfig { frame_len: 4, hop: 2 };
+        let f = frames(&w, &cfg);
+        assert_eq!(f.len(), 4);
+        assert_eq!(f[0], vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(f[1], vec![2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(f[3], vec![6.0, 7.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn short_signal_gives_no_frames() {
+        let w = Waveform::new(vec![0.0; 3], SAMPLE_RATE);
+        let cfg = FrameConfig { frame_len: 4, hop: 2 };
+        assert!(frames(&w, &cfg).is_empty());
+    }
+}

@@ -1,0 +1,95 @@
+//! Spectrogram / feature-map image export (binary PGM).
+//!
+//! Zero-dependency visual debugging: render any `frames × bins` matrix as a
+//! grayscale portable graymap, viewable in any image tool. Values map to
+//! 0–255 over the matrix's own range; frequency runs bottom-up like a
+//! conventional spectrogram.
+
+use asr_tensor::Matrix;
+
+/// Render a matrix as binary PGM (P5) bytes: one pixel per element,
+/// frequency (columns) on the vertical axis, time (rows) horizontal.
+pub fn to_pgm(m: &Matrix) -> Vec<u8> {
+    assert!(!m.is_empty(), "cannot render an empty matrix");
+    let (frames, bins) = m.shape();
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in m.as_slice() {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    let span = (hi - lo).max(f32::MIN_POSITIVE);
+
+    let mut out = Vec::with_capacity(frames * bins + 32);
+    out.extend_from_slice(format!("P5\n{} {}\n255\n", frames, bins).as_bytes());
+    // top image row = highest frequency bin
+    for bin in (0..bins).rev() {
+        for t in 0..frames {
+            let v = ((m[(t, bin)] - lo) / span * 255.0).round() as u8;
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Write a matrix as a PGM file.
+pub fn write_pgm(path: &std::path::Path, m: &Matrix) -> std::io::Result<()> {
+    std::fs::write(path, to_pgm(m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::synthesize_speech;
+    use crate::FbankExtractor;
+
+    #[test]
+    fn header_and_size_correct() {
+        let m = Matrix::from_fn(10, 4, |i, j| (i + j) as f32);
+        let pgm = to_pgm(&m);
+        let header = b"P5\n10 4\n255\n";
+        assert!(pgm.starts_with(header));
+        assert_eq!(pgm.len(), header.len() + 40);
+    }
+
+    #[test]
+    fn full_range_mapped() {
+        let m = Matrix::from_vec(1, 3, vec![0.0, 0.5, 1.0]);
+        let pgm = to_pgm(&m);
+        // frequency renders top-down: highest bin (1.0) first
+        let pixels = &pgm[pgm.len() - 3..];
+        assert_eq!(pixels, &[255, 128, 0]);
+    }
+
+    #[test]
+    fn constant_matrix_does_not_divide_by_zero() {
+        let m = Matrix::filled(4, 4, 2.0);
+        let pgm = to_pgm(&m);
+        assert!(pgm.len() > 16);
+    }
+
+    #[test]
+    fn real_fbank_renders() {
+        let ex = FbankExtractor::paper_default();
+        let features = ex.extract(&synthesize_speech("SPECTROGRAM", 1));
+        let pgm = to_pgm(&features);
+        // header + frames*80 pixels
+        assert!(pgm.len() > features.rows() * 80);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let m = Matrix::from_fn(6, 5, |i, j| (i * j) as f32);
+        let path = std::env::temp_dir().join("asr_accel_pgm_test.pgm");
+        write_pgm(&path, &m).unwrap();
+        let data = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(data, to_pgm(&m));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty matrix")]
+    fn empty_panics() {
+        let _ = to_pgm(&Matrix::zeros(0, 4));
+    }
+}

@@ -1,0 +1,161 @@
+//! Mel scale and triangular filterbank.
+//!
+//! Paper §3.1: "We then apply triangular filters of 80 dimensions to obtain
+//! the filter banks. Triangular filters ... provide a good approximation of
+//! the human auditory system's frequency response."
+
+use asr_tensor::Matrix;
+
+/// Hz → mel (HTK formula).
+pub fn hz_to_mel(hz: f32) -> f32 {
+    2595.0 * (1.0 + hz / 700.0).log10()
+}
+
+/// Mel → Hz (HTK formula).
+pub fn mel_to_hz(mel: f32) -> f32 {
+    700.0 * (10.0f32.powf(mel / 2595.0) - 1.0)
+}
+
+/// A bank of `n_filters` triangular filters over `bins` FFT bins.
+///
+/// Returned as an `n_filters × bins` matrix: multiplying a power spectrum
+/// column vector by it yields the filterbank energies.
+pub fn mel_filterbank(
+    n_filters: usize,
+    bins: usize,
+    sample_rate: u32,
+    f_min: f32,
+    f_max: f32,
+) -> Matrix {
+    assert!(n_filters > 0 && bins > 2, "degenerate filterbank");
+    assert!(f_min >= 0.0 && f_max > f_min, "invalid frequency range");
+    assert!(
+        f_max <= sample_rate as f32 / 2.0 + 1.0,
+        "f_max {} beyond Nyquist {}",
+        f_max,
+        sample_rate as f32 / 2.0
+    );
+    let nfft = (bins - 1) * 2;
+    let mel_min = hz_to_mel(f_min);
+    let mel_max = hz_to_mel(f_max);
+    // n_filters + 2 equally spaced points on the mel axis.
+    let points: Vec<f32> = (0..n_filters + 2)
+        .map(|i| {
+            let mel = mel_min + (mel_max - mel_min) * i as f32 / (n_filters + 1) as f32;
+            mel_to_hz(mel)
+        })
+        .collect();
+    // Convert to (fractional) FFT bin positions.
+    let to_bin = |hz: f32| hz * nfft as f32 / sample_rate as f32;
+
+    let mut fb = Matrix::zeros(n_filters, bins);
+    for m in 0..n_filters {
+        let (left, center, right) = (to_bin(points[m]), to_bin(points[m + 1]), to_bin(points[m + 2]));
+        for k in 0..bins {
+            let kf = k as f32;
+            let v = if kf >= left && kf <= center && center > left {
+                (kf - left) / (center - left)
+            } else if kf > center && kf <= right && right > center {
+                (right - kf) / (right - center)
+            } else {
+                0.0
+            };
+            fb[(m, k)] = v;
+        }
+    }
+    fb
+}
+
+/// Apply a filterbank to a `frames × bins` power spectrogram, producing
+/// `frames × n_filters` log-mel energies.
+pub fn apply_filterbank(spec: &Matrix, fb: &Matrix) -> Matrix {
+    assert_eq!(spec.cols(), fb.cols(), "bin count mismatch");
+    let mut out = Matrix::zeros(spec.rows(), fb.rows());
+    for t in 0..spec.rows() {
+        let srow = spec.row(t);
+        for m in 0..fb.rows() {
+            let e: f32 = srow.iter().zip(fb.row(m)).map(|(&s, &f)| s * f).sum();
+            // log with a floor, the standard log-mel transform
+            out[(t, m)] = (e.max(1e-10)).ln();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mel_roundtrip() {
+        for hz in [0.0f32, 100.0, 1000.0, 4000.0, 8000.0] {
+            assert!((mel_to_hz(hz_to_mel(hz)) - hz).abs() < 0.5, "roundtrip at {}", hz);
+        }
+    }
+
+    #[test]
+    fn mel_is_monotone() {
+        let mut prev = -1.0;
+        for hz in (0..80).map(|i| i as f32 * 100.0) {
+            let m = hz_to_mel(hz);
+            assert!(m > prev);
+            prev = m;
+        }
+    }
+
+    #[test]
+    fn filterbank_shape_and_range() {
+        let fb = mel_filterbank(80, 257, 16_000, 20.0, 7600.0);
+        assert_eq!(fb.shape(), (80, 257));
+        assert!(fb.as_slice().iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn every_filter_has_support() {
+        let fb = mel_filterbank(80, 257, 16_000, 20.0, 7600.0);
+        for m in 0..80 {
+            let sum: f32 = fb.row(m).iter().sum();
+            assert!(sum > 0.0, "filter {} is empty", m);
+        }
+    }
+
+    #[test]
+    fn filters_peak_at_increasing_bins() {
+        let fb = mel_filterbank(40, 257, 16_000, 20.0, 7600.0);
+        let mut prev_peak = 0usize;
+        for m in 0..40 {
+            let peak = fb
+                .row(m)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            assert!(peak >= prev_peak, "filter {} peak {} < {}", m, peak, prev_peak);
+            prev_peak = peak;
+        }
+    }
+
+    #[test]
+    fn apply_filterbank_shapes() {
+        let spec = Matrix::filled(10, 257, 1.0);
+        let fb = mel_filterbank(80, 257, 16_000, 20.0, 7600.0);
+        let out = apply_filterbank(&spec, &fb);
+        assert_eq!(out.shape(), (10, 80));
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn log_floor_prevents_neg_infinity() {
+        let spec = Matrix::zeros(2, 257);
+        let fb = mel_filterbank(10, 257, 16_000, 20.0, 7600.0);
+        let out = apply_filterbank(&spec, &fb);
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond Nyquist")]
+    fn fmax_beyond_nyquist_panics() {
+        let _ = mel_filterbank(80, 257, 16_000, 20.0, 9000.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Calibrated noisy-channel recognizer.
+//!
+//! We cannot train the 4-GFLOP ASR model in this environment, so the
+//! paper's accuracy figure (WER ≈ 9.5 %, §5.1.1) is reproduced as a
+//! *measurement*: a noisy channel perturbs ground-truth transcripts at
+//! per-word substitution/deletion/insertion rates chosen to sit at the
+//! trained model's operating point. The full WER machinery (normalisation,
+//! alignment, corpus aggregation) is exercised end to end; only the error
+//! source is synthetic. See DESIGN.md §2 for the substitution rationale.
+
+use crate::dataset::WORDS;
+use crate::text;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Per-word error rates of the simulated recognizer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorModel {
+    /// Probability a word is replaced by another vocabulary word.
+    pub p_sub: f64,
+    /// Probability a word is dropped.
+    pub p_del: f64,
+    /// Probability an extra word is inserted after a word.
+    pub p_ins: f64,
+}
+
+impl ErrorModel {
+    /// Calibrated to the paper's ~9.5 % WER: expected WER ≈ p_sub + p_del + p_ins.
+    pub fn paper_operating_point() -> Self {
+        ErrorModel { p_sub: 0.060, p_del: 0.020, p_ins: 0.015 }
+    }
+
+    /// A perfect recognizer (useful in tests).
+    pub fn perfect() -> Self {
+        ErrorModel { p_sub: 0.0, p_del: 0.0, p_ins: 0.0 }
+    }
+
+    /// Expected WER of this model (each error type contributes one edit per word).
+    pub fn expected_wer(&self) -> f64 {
+        self.p_sub + self.p_del + self.p_ins
+    }
+}
+
+/// Pass a transcript through the noisy channel, producing a hypothesis.
+pub fn recognize(transcript: &str, model: &ErrorModel, seed: u64) -> String {
+    let normalized = text::normalize(transcript);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut out: Vec<&str> = Vec::new();
+    for word in normalized.split_whitespace() {
+        let roll: f64 = rng.gen();
+        if roll < model.p_del {
+            continue; // deletion
+        } else if roll < model.p_del + model.p_sub {
+            // substitution: pick a different word
+            loop {
+                let cand = WORDS[rng.gen_range(0..WORDS.len())];
+                if cand != word {
+                    out.push(cand);
+                    break;
+                }
+            }
+        } else {
+            out.push(word);
+        }
+        if rng.gen::<f64>() < model.p_ins {
+            out.push(WORDS[rng.gen_range(0..WORDS.len())]);
+        }
+    }
+    out.join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::sample_transcript;
+    use crate::wer::corpus_wer;
+
+    #[test]
+    fn perfect_model_is_identity() {
+        let t = "THE QUICK BROWN FOX";
+        assert_eq!(recognize(t, &ErrorModel::perfect(), 1), t);
+    }
+
+    #[test]
+    fn recognizer_is_deterministic() {
+        let m = ErrorModel::paper_operating_point();
+        let t = sample_transcript(50, 3);
+        assert_eq!(recognize(&t, &m, 9), recognize(&t, &m, 9));
+    }
+
+    #[test]
+    fn corpus_wer_lands_near_paper_operating_point() {
+        // Large corpus: measured WER must sit near 9.5 % (within ±1.5 points).
+        let m = ErrorModel::paper_operating_point();
+        let pairs: Vec<(String, String)> = (0..200)
+            .map(|i| {
+                let r = sample_transcript(40, 1000 + i);
+                let h = recognize(&r, &m, 2000 + i);
+                (r, h)
+            })
+            .collect();
+        let wer = corpus_wer(&pairs);
+        assert!(
+            (wer - 0.095).abs() < 0.015,
+            "corpus WER {:.4} not near the paper's 0.095",
+            wer
+        );
+    }
+
+    #[test]
+    fn expected_wer_is_9_5_percent() {
+        assert!((ErrorModel::paper_operating_point().expected_wer() - 0.095).abs() < 1e-12);
+    }
+
+    #[test]
+    fn higher_rates_give_higher_wer() {
+        let low = ErrorModel { p_sub: 0.02, p_del: 0.0, p_ins: 0.0 };
+        let high = ErrorModel { p_sub: 0.30, p_del: 0.05, p_ins: 0.05 };
+        let pairs = |m: &ErrorModel| -> Vec<(String, String)> {
+            (0..50)
+                .map(|i| {
+                    let r = sample_transcript(40, i);
+                    (r.clone(), recognize(&r, m, 777 + i))
+                })
+                .collect()
+        };
+        assert!(corpus_wer(&pairs(&high)) > corpus_wer(&pairs(&low)) + 0.1);
+    }
+
+    #[test]
+    fn empty_transcript_stays_empty_without_insertions() {
+        let m = ErrorModel { p_sub: 0.5, p_del: 0.5, p_ins: 0.0 };
+        assert_eq!(recognize("", &m, 1), "");
+    }
+}

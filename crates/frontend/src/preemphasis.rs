@@ -1,0 +1,75 @@
+//! Pre-emphasis filter.
+//!
+//! `y[n] = x[n] − α·x[n−1]` boosts high-frequency content and attenuates the
+//! low end (paper §3.1: it "improves the signal-to-noise ratio and ...
+//! compensates for the high-frequency energy that is lost").
+
+use crate::audio::Waveform;
+
+/// Standard pre-emphasis coefficient.
+pub const DEFAULT_ALPHA: f32 = 0.97;
+
+/// Apply pre-emphasis with coefficient `alpha`.
+pub fn preemphasize(w: &Waveform, alpha: f32) -> Waveform {
+    assert!((0.0..1.0).contains(&alpha), "alpha {} outside [0,1)", alpha);
+    let mut out = Vec::with_capacity(w.samples.len());
+    let mut prev = 0.0f32;
+    for &x in &w.samples {
+        out.push(x - alpha * prev);
+        prev = x;
+    }
+    Waveform::new(out, w.sample_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::SAMPLE_RATE;
+
+    #[test]
+    fn constant_signal_becomes_small() {
+        // DC is attenuated to (1 - alpha) after the first sample.
+        let w = Waveform::new(vec![1.0; 100], SAMPLE_RATE);
+        let y = preemphasize(&w, DEFAULT_ALPHA);
+        assert_eq!(y.samples[0], 1.0);
+        for &v in &y.samples[1..] {
+            assert!((v - (1.0 - DEFAULT_ALPHA)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn alpha_zero_is_identity() {
+        let w = Waveform::new(vec![0.3, -0.2, 0.5], SAMPLE_RATE);
+        assert_eq!(preemphasize(&w, 0.0).samples, w.samples);
+    }
+
+    #[test]
+    fn high_frequency_passes_low_frequency_attenuated() {
+        let sr = SAMPLE_RATE as f32;
+        let lo: Vec<f32> =
+            (0..1600).map(|n| (2.0 * std::f32::consts::PI * 100.0 * n as f32 / sr).sin()).collect();
+        let hi: Vec<f32> = (0..1600)
+            .map(|n| (2.0 * std::f32::consts::PI * 6000.0 * n as f32 / sr).sin())
+            .collect();
+        let energy = |v: &[f32]| v.iter().map(|x| x * x).sum::<f32>();
+        let lo_out = preemphasize(&Waveform::new(lo.clone(), SAMPLE_RATE), DEFAULT_ALPHA);
+        let hi_out = preemphasize(&Waveform::new(hi.clone(), SAMPLE_RATE), DEFAULT_ALPHA);
+        let lo_ratio = energy(&lo_out.samples) / energy(&lo);
+        let hi_ratio = energy(&hi_out.samples) / energy(&hi);
+        assert!(lo_ratio < 0.05, "low freq should be strongly attenuated, got {}", lo_ratio);
+        assert!(hi_ratio > 1.0, "high freq should be boosted, got {}", hi_ratio);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0,1)")]
+    fn invalid_alpha_panics() {
+        let w = Waveform::new(vec![0.0], SAMPLE_RATE);
+        let _ = preemphasize(&w, 1.5);
+    }
+
+    #[test]
+    fn empty_signal_ok() {
+        let w = Waveform::new(vec![], SAMPLE_RATE);
+        assert!(preemphasize(&w, DEFAULT_ALPHA).samples.is_empty());
+    }
+}

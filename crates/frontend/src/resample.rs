@@ -1,0 +1,100 @@
+//! Linear-interpolation resampling.
+//!
+//! LibriSpeech is 16 kHz; real deployments meet 8 kHz telephony audio and
+//! 44.1/48 kHz consumer audio. Linear interpolation is the standard cheap
+//! resampler (adequate for feature extraction; a windowed-sinc kernel would
+//! be the audiophile option).
+
+use crate::audio::Waveform;
+
+/// Resample a waveform to `target_rate` by linear interpolation.
+pub fn resample(w: &Waveform, target_rate: u32) -> Waveform {
+    assert!(target_rate > 0, "target rate must be positive");
+    if w.sample_rate == target_rate || w.samples.is_empty() {
+        return Waveform::new(w.samples.clone(), target_rate.max(1));
+    }
+    let ratio = w.sample_rate as f64 / target_rate as f64;
+    let out_len = ((w.samples.len() as f64) / ratio).floor() as usize;
+    let mut out = Vec::with_capacity(out_len);
+    for i in 0..out_len {
+        let pos = i as f64 * ratio;
+        let i0 = pos.floor() as usize;
+        let frac = (pos - i0 as f64) as f32;
+        let s0 = w.samples[i0];
+        let s1 = *w.samples.get(i0 + 1).unwrap_or(&s0);
+        out.push(s0 + frac * (s1 - s0));
+    }
+    Waveform::new(out, target_rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::SAMPLE_RATE;
+
+    fn tone(freq: f32, rate: u32, secs: f32) -> Waveform {
+        let n = (rate as f32 * secs) as usize;
+        Waveform::new(
+            (0..n)
+                .map(|i| (2.0 * std::f32::consts::PI * freq * i as f32 / rate as f32).sin())
+                .collect(),
+            rate,
+        )
+    }
+
+    /// Dominant frequency via zero-crossing rate (cheap and adequate).
+    fn dominant_freq(w: &Waveform) -> f32 {
+        let crossings = w
+            .samples
+            .windows(2)
+            .filter(|p| (p[0] >= 0.0) != (p[1] >= 0.0))
+            .count();
+        crossings as f32 / 2.0 / w.duration_s() as f32
+    }
+
+    #[test]
+    fn identity_when_rates_match() {
+        let w = tone(440.0, SAMPLE_RATE, 0.1);
+        let r = resample(&w, SAMPLE_RATE);
+        assert_eq!(r.samples, w.samples);
+    }
+
+    #[test]
+    fn downsample_halves_length_keeps_pitch() {
+        let w = tone(440.0, 16_000, 1.0);
+        let r = resample(&w, 8_000);
+        assert!((r.samples.len() as i64 - 8_000).abs() <= 2);
+        assert!((r.duration_s() - 1.0).abs() < 1e-3);
+        assert!((dominant_freq(&r) - 440.0).abs() < 10.0, "pitch {}", dominant_freq(&r));
+    }
+
+    #[test]
+    fn upsample_preserves_duration_and_pitch() {
+        let w = tone(440.0, 8_000, 1.0);
+        let r = resample(&w, 16_000);
+        assert!((r.duration_s() - 1.0).abs() < 1e-3);
+        assert!((dominant_freq(&r) - 440.0).abs() < 10.0);
+    }
+
+    #[test]
+    fn from_48k_to_16k() {
+        let w = tone(1000.0, 48_000, 0.5);
+        let r = resample(&w, 16_000);
+        assert_eq!(r.sample_rate, 16_000);
+        assert!((dominant_freq(&r) - 1000.0).abs() < 30.0);
+    }
+
+    #[test]
+    fn amplitude_stays_bounded() {
+        let w = tone(300.0, 16_000, 0.2);
+        let r = resample(&w, 11_025);
+        assert!(r.peak() <= 1.0 + 1e-6);
+        assert!(r.peak() > 0.5);
+    }
+
+    #[test]
+    fn empty_input_ok() {
+        let w = Waveform::new(vec![], 16_000);
+        assert!(resample(&w, 8_000).samples.is_empty());
+    }
+}

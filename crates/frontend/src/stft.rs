@@ -1,0 +1,120 @@
+//! Short-Time Fourier Transform: framing + windowing + per-frame FFT.
+//!
+//! Paper §3.1: "We perform a Short-Time Fourier Transform (STFT) by breaking
+//! down a signal into short-time segments ... and then performing a Fourier
+//! Transform on each frame. This results in a matrix ... where each row
+//! corresponds to a frequency band and each column corresponds to a time
+//! frame." We store it transposed (time-major) for cache-friendly access.
+
+use crate::audio::Waveform;
+use crate::fft;
+use crate::framing::{frames, FrameConfig};
+use crate::window::{apply_window, window, WindowKind};
+use asr_tensor::Matrix;
+
+/// STFT parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StftConfig {
+    /// Frame/hop geometry.
+    pub frame: FrameConfig,
+    /// FFT size (power of two, ≥ frame length).
+    pub nfft: usize,
+    /// Window applied to each frame.
+    pub window: WindowKind,
+}
+
+impl StftConfig {
+    /// Standard ASR setup at a sample rate: 25 ms / 10 ms frames, 512-point
+    /// FFT, Hamming window.
+    pub fn standard(sample_rate: u32) -> Self {
+        StftConfig {
+            frame: FrameConfig::standard(sample_rate),
+            nfft: 512,
+            window: WindowKind::Hamming,
+        }
+    }
+
+    /// Number of frequency bins in the one-sided spectrum.
+    pub fn bins(&self) -> usize {
+        self.nfft / 2 + 1
+    }
+}
+
+/// Power spectrogram: `num_frames × bins`.
+pub fn power_spectrogram(w: &Waveform, cfg: &StftConfig) -> Matrix {
+    assert!(
+        cfg.nfft >= cfg.frame.frame_len,
+        "nfft {} smaller than frame length {}",
+        cfg.nfft,
+        cfg.frame.frame_len
+    );
+    let win = window(cfg.window, cfg.frame.frame_len);
+    let frame_list = frames(w, &cfg.frame);
+    let bins = cfg.bins();
+    let mut out = Matrix::zeros(frame_list.len(), bins);
+    for (i, mut frame) in frame_list.into_iter().enumerate() {
+        apply_window(&mut frame, &win);
+        let spec = fft::power_spectrum(&frame, cfg.nfft);
+        out.row_mut(i).copy_from_slice(&spec);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{synthesize_speech, SAMPLE_RATE};
+
+    #[test]
+    fn spectrogram_shape() {
+        let w = Waveform::new(vec![0.1; 16_000], SAMPLE_RATE);
+        let cfg = StftConfig::standard(SAMPLE_RATE);
+        let s = power_spectrogram(&w, &cfg);
+        assert_eq!(s.shape(), (98, 257));
+    }
+
+    #[test]
+    fn tone_energy_lands_in_right_bin() {
+        // 1 kHz tone at 16 kHz with nfft=512: bin = 1000/16000*512 = 32.
+        let sr = SAMPLE_RATE as f32;
+        let samples: Vec<f32> = (0..16_000)
+            .map(|n| (2.0 * std::f32::consts::PI * 1000.0 * n as f32 / sr).sin())
+            .collect();
+        let s = power_spectrogram(&Waveform::new(samples, SAMPLE_RATE), &StftConfig::standard(SAMPLE_RATE));
+        // average over frames, find the peak bin
+        let bins = s.cols();
+        let mut avg = vec![0.0f32; bins];
+        for i in 0..s.rows() {
+            for (a, &v) in avg.iter_mut().zip(s.row(i)) {
+                *a += v;
+            }
+        }
+        let peak = avg.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
+        assert!((peak as i64 - 32).unsigned_abs() <= 1, "peak bin {}", peak);
+    }
+
+    #[test]
+    fn silence_gives_zero_power() {
+        let w = Waveform::new(vec![0.0; 8000], SAMPLE_RATE);
+        let s = power_spectrogram(&w, &StftConfig::standard(SAMPLE_RATE));
+        assert_eq!(s.max_abs(), 0.0);
+    }
+
+    #[test]
+    fn speech_like_signal_has_nonzero_spectrum() {
+        let w = synthesize_speech("TEST PHRASE", 1);
+        let s = power_spectrogram(&w, &StftConfig::standard(SAMPLE_RATE));
+        assert!(s.rows() > 50);
+        assert!(s.max_abs() > 0.0);
+        assert!(s.as_slice().iter().all(|&x| x >= 0.0 && x.is_finite()));
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than frame length")]
+    fn nfft_too_small_panics() {
+        let w = Waveform::new(vec![0.0; 1000], SAMPLE_RATE);
+        let mut cfg = StftConfig::standard(SAMPLE_RATE);
+        cfg.nfft = 256; // frame_len = 400
+        let _ = power_spectrogram(&w, &cfg);
+    }
+}

@@ -1,0 +1,288 @@
+//! Convolutional subsampling front end.
+//!
+//! Paper §3.1: "The features generated are passed through a 2D convolutional
+//! layer, followed by a max-pool layer", producing the `d_model`-dimensional
+//! encoder inputs. The stack here is conv(3×3, stride 2) → ReLU →
+//! maxpool(2×2) → conv(3×3, stride 2) → ReLU → maxpool(5×2 over time×freq) →
+//! flatten → linear, a 40× time reduction: 100 fbank frames/s become
+//! 2.5 encoder steps/s, which maps the paper's audio lengths to its sequence
+//! lengths (13 s ≈ s = 32, and the "audio > ~8 s" ↔ "s > 18" crossover of
+//! §5.1.3 holds).
+
+use asr_tensor::{init, Matrix};
+
+/// Multi-channel 2-D feature map: one [`Matrix`] per channel.
+pub type FeatureMap = Vec<Matrix>;
+
+/// A 3×3 2-D convolution with configurable stride and implicit padding of 1.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// `out_channels × in_channels` kernels, each 3×3.
+    weights: Vec<Vec<Matrix>>,
+    /// One bias per output channel.
+    bias: Vec<f32>,
+    stride: usize,
+    in_channels: usize,
+    out_channels: usize,
+}
+
+impl Conv2d {
+    /// Seeded Xavier-initialised convolution.
+    pub fn seeded(in_channels: usize, out_channels: usize, stride: usize, seed: u64) -> Self {
+        assert!(stride >= 1, "stride must be >= 1");
+        let mut weights = Vec::with_capacity(out_channels);
+        let mut s = seed;
+        for _ in 0..out_channels {
+            let mut per_in = Vec::with_capacity(in_channels);
+            for _ in 0..in_channels {
+                per_in.push(init::xavier(3, 3, s));
+                s = s.wrapping_add(1);
+            }
+            weights.push(per_in);
+        }
+        Conv2d { weights, bias: vec![0.0; out_channels], stride, in_channels, out_channels }
+    }
+
+    /// Output spatial size for an input of `n` along one axis
+    /// (3×3 kernel, pad 1).
+    pub fn out_size(&self, n: usize) -> usize {
+        // floor((n + 2*1 - 3) / stride) + 1
+        (n + 2 - 3) / self.stride + 1
+    }
+
+    /// Forward pass over a feature map.
+    pub fn forward(&self, input: &FeatureMap) -> FeatureMap {
+        assert_eq!(input.len(), self.in_channels, "channel count mismatch");
+        assert!(!input.is_empty(), "empty input");
+        let (h, w) = input[0].shape();
+        assert!(h >= 1 && w >= 1);
+        let (oh, ow) = (self.out_size(h), self.out_size(w));
+        let mut out = Vec::with_capacity(self.out_channels);
+        for oc in 0..self.out_channels {
+            let mut plane = Matrix::filled(oh, ow, self.bias[oc]);
+            for (ic, inp) in input.iter().enumerate() {
+                let k = &self.weights[oc][ic];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0f32;
+                        // padded 3x3 window centred at (oy*stride, ox*stride)
+                        for ky in 0..3usize {
+                            for kx in 0..3usize {
+                                let iy = (oy * self.stride + ky) as isize - 1;
+                                let ix = (ox * self.stride + kx) as isize - 1;
+                                if iy >= 0 && (iy as usize) < h && ix >= 0 && (ix as usize) < w {
+                                    acc += k[(ky, kx)] * inp[(iy as usize, ix as usize)];
+                                }
+                            }
+                        }
+                        plane[(oy, ox)] += acc;
+                    }
+                }
+            }
+            out.push(plane);
+        }
+        out
+    }
+}
+
+/// ReLU over a feature map, in place.
+pub fn relu_map(map: &mut FeatureMap) {
+    for plane in map {
+        plane.map_inplace(|x| x.max(0.0));
+    }
+}
+
+/// Max pooling with kernel `(ph, pw)` and matching stride; truncates ragged
+/// edges (floor semantics).
+pub fn max_pool(map: &FeatureMap, ph: usize, pw: usize) -> FeatureMap {
+    assert!(ph >= 1 && pw >= 1, "pool kernel must be >= 1");
+    map.iter()
+        .map(|plane| {
+            let (h, w) = plane.shape();
+            let (oh, ow) = (h / ph, w / pw);
+            assert!(oh > 0 && ow > 0, "pooling {}x{} collapses a {}x{} plane", ph, pw, h, w);
+            Matrix::from_fn(oh, ow, |oy, ox| {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..ph {
+                    for dx in 0..pw {
+                        m = m.max(plane[(oy * ph + dy, ox * pw + dx)]);
+                    }
+                }
+                m
+            })
+        })
+        .collect()
+}
+
+/// The full subsampling front end.
+#[derive(Debug, Clone)]
+pub struct Subsampler {
+    conv1: Conv2d,
+    conv2: Conv2d,
+    /// Flattened (channels × freq) → `d_model` projection.
+    proj: Matrix,
+    channels: usize,
+    d_model: usize,
+    /// Time pooling of the final stage.
+    final_time_pool: usize,
+}
+
+impl Subsampler {
+    /// Paper-shaped subsampler: 80-dim fbank in, `d_model` out, 40× time
+    /// reduction, 32 conv channels.
+    pub fn paper_default(d_model: usize, seed: u64) -> Self {
+        Self::new(32, d_model, 5, seed)
+    }
+
+    /// Custom subsampler. Total time reduction is `2 · 2 · 2 · final_time_pool`.
+    pub fn new(channels: usize, d_model: usize, final_time_pool: usize, seed: u64) -> Self {
+        let conv1 = Conv2d::seeded(1, channels, 2, seed);
+        let conv2 = Conv2d::seeded(channels, channels, 2, seed + 10_000);
+        // After conv1(s2)+pool(2,2)+conv2(s2)+pool(final,2) on 80 mel bins:
+        // freq: 80 -> 40 -> 20 -> 10 -> 5.
+        let freq_out = 5;
+        let proj = init::xavier(channels * freq_out, d_model, seed + 20_000);
+        Subsampler { conv1, conv2, proj, channels, d_model, final_time_pool }
+    }
+
+    /// Overall time-axis reduction factor.
+    pub fn time_reduction(&self) -> usize {
+        2 * 2 * 2 * self.final_time_pool
+    }
+
+    /// Encoder sequence length produced from `t` fbank frames.
+    pub fn output_len(&self, t: usize) -> usize {
+        let c1 = self.conv1.out_size(t); // ceil-ish t/2
+        let p1 = c1 / 2;
+        let c2 = self.conv2.out_size(p1);
+        c2 / self.final_time_pool
+    }
+
+    /// Map `frames × 80` log-mel features to `s × d_model` encoder inputs.
+    ///
+    /// # Panics
+    /// Panics if the input is too short to survive the pooling chain.
+    pub fn forward(&self, features: &Matrix) -> Matrix {
+        assert_eq!(features.cols(), 80, "subsampler expects 80-dim fbank features");
+        let mut map: FeatureMap = vec![features.clone()];
+        map = self.conv1.forward(&map);
+        relu_map(&mut map);
+        map = max_pool(&map, 2, 2);
+        map = self.conv2.forward(&map);
+        relu_map(&mut map);
+        map = max_pool(&map, self.final_time_pool, 2);
+
+        let s = map[0].rows();
+        let freq = map[0].cols();
+        // Flatten channel x freq per time step, then project to d_model.
+        let mut flat = Matrix::zeros(s, self.channels * freq);
+        for (c, plane) in map.iter().enumerate() {
+            for t in 0..s {
+                for f in 0..freq {
+                    flat[(t, c * freq + f)] = plane[(t, f)];
+                }
+            }
+        }
+        asr_tensor::ops::matmul_blocked(&flat, &self.proj)
+    }
+
+    /// Output feature dimensionality.
+    pub fn d_model(&self) -> usize {
+        self.d_model
+    }
+}
+
+/// Seconds of audio that produce an encoder sequence of length `s` with the
+/// paper-shaped subsampler (2.5 encoder steps per second).
+pub fn audio_seconds_for_seq_len(s: usize) -> f64 {
+    s as f64 / 2.5
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_out_size_stride2() {
+        let c = Conv2d::seeded(1, 4, 2, 1);
+        assert_eq!(c.out_size(80), 40);
+        assert_eq!(c.out_size(100), 50);
+        // floor((3 + 2·pad − k)/stride) + 1 = floor(2/2) + 1 = 2
+        assert_eq!(c.out_size(3), 2);
+    }
+
+    #[test]
+    fn conv_forward_shapes() {
+        let c = Conv2d::seeded(1, 4, 2, 1);
+        let input = vec![Matrix::filled(10, 80, 0.5)];
+        let out = c.forward(&input);
+        assert_eq!(out.len(), 4);
+        assert_eq!(out[0].shape(), (5, 40));
+    }
+
+    #[test]
+    fn conv_identity_kernel_passes_signal() {
+        // Build a conv with a centre-1 kernel manually via seeded then check
+        // linearity instead: doubling the input doubles the output.
+        let c = Conv2d::seeded(1, 2, 1, 3);
+        let x1 = vec![Matrix::filled(6, 6, 1.0)];
+        let x2 = vec![Matrix::filled(6, 6, 2.0)];
+        let (o1, o2) = (c.forward(&x1), c.forward(&x2));
+        for (a, b) in o1.iter().zip(&o2) {
+            for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+                assert!((2.0 * u - v).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn max_pool_takes_maxima() {
+        let plane = Matrix::from_vec(2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let out = max_pool(&vec![plane], 2, 2);
+        assert_eq!(out[0].shape(), (1, 2));
+        assert_eq!(out[0].as_slice(), &[6.0, 8.0]);
+    }
+
+    #[test]
+    fn subsampler_reduces_time_40x() {
+        let sub = Subsampler::paper_default(512, 1);
+        assert_eq!(sub.time_reduction(), 40);
+        // 13 s of audio = 1300 frames -> s = 32 (the paper's ceiling)
+        let s = sub.output_len(1300);
+        assert!((s as i64 - 32).abs() <= 1, "1300 frames -> {}", s);
+        // 8 s of audio -> ~s = 18-20 (the A2/A3 crossover region)
+        let s8 = sub.output_len(800);
+        assert!((17..=20).contains(&s8), "800 frames -> {}", s8);
+    }
+
+    #[test]
+    fn subsampler_forward_shape() {
+        let sub = Subsampler::paper_default(512, 2);
+        let features = asr_tensor::init::uniform(200, 80, -1.0, 1.0, 3);
+        let out = sub.forward(&features);
+        assert_eq!(out.cols(), 512);
+        assert_eq!(out.rows(), sub.output_len(200));
+        assert!(out.as_slice().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn audio_seconds_mapping() {
+        assert!((audio_seconds_for_seq_len(32) - 12.8).abs() < 1e-9);
+        assert!((audio_seconds_for_seq_len(18) - 7.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 80-dim")]
+    fn wrong_feature_dim_panics() {
+        let sub = Subsampler::paper_default(512, 1);
+        let _ = sub.forward(&Matrix::zeros(100, 40));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Subsampler::paper_default(128, 9);
+        let b = Subsampler::paper_default(128, 9);
+        let f = asr_tensor::init::uniform(120, 80, -1.0, 1.0, 5);
+        assert_eq!(a.forward(&f), b.forward(&f));
+    }
+}

@@ -1,0 +1,59 @@
+//! Transcript normalisation.
+
+/// Normalise a transcript to the LibriSpeech convention: uppercase,
+/// apostrophes kept, every other non-letter collapsed to single spaces.
+pub fn normalize(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut last_space = true; // suppress leading spaces
+    for c in text.chars() {
+        let c = c.to_ascii_uppercase();
+        if c.is_ascii_uppercase() || c == '\'' {
+            out.push(c);
+            last_space = false;
+        } else if !last_space {
+            out.push(' ');
+            last_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Split a normalised transcript into words.
+pub fn words(text: &str) -> Vec<&str> {
+    text.split_whitespace().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uppercases_and_strips_punctuation() {
+        assert_eq!(normalize("Hello, world!"), "HELLO WORLD");
+    }
+
+    #[test]
+    fn keeps_apostrophes() {
+        assert_eq!(normalize("don't stop"), "DON'T STOP");
+    }
+
+    #[test]
+    fn collapses_whitespace() {
+        assert_eq!(normalize("  a   b\t\nc  "), "A B C");
+    }
+
+    #[test]
+    fn empty_and_punctuation_only() {
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("!!! ..."), "");
+    }
+
+    #[test]
+    fn words_splits() {
+        assert_eq!(words("A B C"), vec!["A", "B", "C"]);
+        assert!(words("").is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+//! Energy-based voice activity detection.
+//!
+//! LibriSpeech segments are pre-trimmed; real input streams are not. This
+//! frame-energy VAD with hysteresis finds speech regions so the pipeline can
+//! trim leading/trailing silence before feature extraction (shorter `s`,
+//! lower latency — directly visible in the Table 5.4/5.5 sweeps).
+
+use crate::audio::Waveform;
+use crate::framing::FrameConfig;
+
+/// VAD parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VadConfig {
+    /// Frame geometry for energy computation.
+    pub frame: FrameConfig,
+    /// Energy threshold relative to the utterance's peak frame energy
+    /// (e.g. 0.01 = −20 dB below peak).
+    pub rel_threshold: f32,
+    /// Frames of hang-over kept after speech drops below threshold.
+    pub hangover: usize,
+}
+
+impl VadConfig {
+    /// Sensible defaults at a sample rate.
+    pub fn standard(sample_rate: u32) -> Self {
+        VadConfig { frame: FrameConfig::standard(sample_rate), rel_threshold: 0.01, hangover: 5 }
+    }
+}
+
+/// Per-frame speech/no-speech decisions.
+pub fn frame_decisions(w: &Waveform, cfg: &VadConfig) -> Vec<bool> {
+    let frames = crate::framing::frames(w, &cfg.frame);
+    if frames.is_empty() {
+        return Vec::new();
+    }
+    let energies: Vec<f32> =
+        frames.iter().map(|f| f.iter().map(|x| x * x).sum::<f32>()).collect();
+    let peak = energies.iter().cloned().fold(0.0f32, f32::max);
+    if peak == 0.0 {
+        return vec![false; energies.len()];
+    }
+    let threshold = peak * cfg.rel_threshold;
+    let raw: Vec<bool> = energies.iter().map(|&e| e >= threshold).collect();
+    // hang-over smoothing
+    let mut out = raw.clone();
+    let mut hang = 0usize;
+    for (i, &active) in raw.iter().enumerate() {
+        if active {
+            hang = cfg.hangover;
+        } else if hang > 0 {
+            out[i] = true;
+            hang -= 1;
+        }
+    }
+    out
+}
+
+/// Trim leading and trailing silence, returning the speech portion (the
+/// whole waveform if no speech is detected).
+pub fn trim_silence(w: &Waveform, cfg: &VadConfig) -> Waveform {
+    let decisions = frame_decisions(w, cfg);
+    let first = decisions.iter().position(|&d| d);
+    let last = decisions.iter().rposition(|&d| d);
+    match (first, last) {
+        (Some(f), Some(l)) => {
+            let start = f * cfg.frame.hop;
+            let end = (l * cfg.frame.hop + cfg.frame.frame_len).min(w.samples.len());
+            Waveform::new(w.samples[start..end].to_vec(), w.sample_rate)
+        }
+        _ => w.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::audio::{synthesize_speech, SAMPLE_RATE};
+
+    fn padded_speech() -> (Waveform, f64) {
+        let speech = synthesize_speech("HELLO THERE", 1);
+        let silence = vec![0.0f32; SAMPLE_RATE as usize]; // 1 s each side
+        let mut samples = silence.clone();
+        samples.extend(&speech.samples);
+        samples.extend(&silence);
+        (Waveform::new(samples, SAMPLE_RATE), speech.duration_s())
+    }
+
+    #[test]
+    fn detects_speech_region() {
+        let (w, _) = padded_speech();
+        let d = frame_decisions(&w, &VadConfig::standard(SAMPLE_RATE));
+        // first and last ~1s of frames are silence
+        assert!(!d[..50].iter().any(|&x| x), "leading silence misdetected");
+        assert!(d.iter().any(|&x| x), "speech not detected at all");
+    }
+
+    #[test]
+    fn trim_recovers_roughly_the_speech_duration() {
+        let (w, speech_dur) = padded_speech();
+        let trimmed = trim_silence(&w, &VadConfig::standard(SAMPLE_RATE));
+        assert!(
+            (trimmed.duration_s() - speech_dur).abs() < 0.5,
+            "trimmed {} s vs speech {} s",
+            trimmed.duration_s(),
+            speech_dur
+        );
+        assert!(trimmed.duration_s() < w.duration_s() - 1.0);
+    }
+
+    #[test]
+    fn pure_silence_has_no_speech_frames() {
+        let w = Waveform::new(vec![0.0; 2 * SAMPLE_RATE as usize], SAMPLE_RATE);
+        let d = frame_decisions(&w, &VadConfig::standard(SAMPLE_RATE));
+        assert!(d.iter().all(|&x| !x));
+        // trimming silence-only audio returns it unchanged
+        assert_eq!(trim_silence(&w, &VadConfig::standard(SAMPLE_RATE)).samples.len(), w.samples.len());
+    }
+
+    #[test]
+    fn pure_speech_barely_trimmed() {
+        let speech = synthesize_speech("CONTINUOUS SPEECH", 2);
+        let trimmed = trim_silence(&speech, &VadConfig::standard(SAMPLE_RATE));
+        assert!(trimmed.duration_s() > speech.duration_s() * 0.8);
+    }
+
+    #[test]
+    fn hangover_bridges_short_gaps() {
+        // speech, 80 ms gap, speech: decisions should stay mostly contiguous
+        let a = synthesize_speech("ONE", 3);
+        let gap = vec![0.0f32; (0.08 * SAMPLE_RATE as f32) as usize];
+        let b = synthesize_speech("TWO", 4);
+        let mut samples = a.samples.clone();
+        samples.extend(&gap);
+        samples.extend(&b.samples);
+        let w = Waveform::new(samples, SAMPLE_RATE);
+        let d = frame_decisions(&w, &VadConfig::standard(SAMPLE_RATE));
+        let active: usize = d.iter().filter(|&&x| x).count();
+        assert!(active as f64 > d.len() as f64 * 0.6, "{}/{} active", active, d.len());
+    }
+
+    #[test]
+    fn empty_audio_ok() {
+        let w = Waveform::new(vec![], SAMPLE_RATE);
+        assert!(frame_decisions(&w, &VadConfig::standard(SAMPLE_RATE)).is_empty());
+    }
+}

@@ -1,0 +1,135 @@
+//! Word Error Rate — the paper's accuracy metric (§5.1.1, WER ≈ 9.5 %).
+
+use crate::text;
+
+/// Levenshtein edit distance between two token sequences
+/// (unit costs for substitution, insertion, deletion).
+pub fn edit_distance<T: PartialEq>(reference: &[T], hypothesis: &[T]) -> usize {
+    let (n, m) = (reference.len(), hypothesis.len());
+    if n == 0 {
+        return m;
+    }
+    if m == 0 {
+        return n;
+    }
+    // Two-row dynamic program.
+    let mut prev: Vec<usize> = (0..=m).collect();
+    let mut curr = vec![0usize; m + 1];
+    for i in 1..=n {
+        curr[0] = i;
+        for j in 1..=m {
+            let sub_cost = if reference[i - 1] == hypothesis[j - 1] { 0 } else { 1 };
+            curr[j] = (prev[j - 1] + sub_cost).min(prev[j] + 1).min(curr[j - 1] + 1);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[m]
+}
+
+/// Word error rate of one hypothesis against one reference transcript.
+/// Both are normalised first. An empty reference with a non-empty hypothesis
+/// counts as WER 1.0.
+pub fn wer(reference: &str, hypothesis: &str) -> f64 {
+    let r = text::normalize(reference);
+    let h = text::normalize(hypothesis);
+    let rw = text::words(&r);
+    let hw = text::words(&h);
+    if rw.is_empty() {
+        return if hw.is_empty() { 0.0 } else { 1.0 };
+    }
+    edit_distance(&rw, &hw) as f64 / rw.len() as f64
+}
+
+/// Character error rate (same convention).
+pub fn cer(reference: &str, hypothesis: &str) -> f64 {
+    let r: Vec<char> = text::normalize(reference).chars().collect();
+    let h: Vec<char> = text::normalize(hypothesis).chars().collect();
+    if r.is_empty() {
+        return if h.is_empty() { 0.0 } else { 1.0 };
+    }
+    edit_distance(&r, &h) as f64 / r.len() as f64
+}
+
+/// Corpus-level WER: total edits over total reference words (the standard
+/// aggregate, not a mean of per-utterance rates).
+pub fn corpus_wer(pairs: &[(String, String)]) -> f64 {
+    let mut edits = 0usize;
+    let mut ref_words = 0usize;
+    for (reference, hypothesis) in pairs {
+        let r = text::normalize(reference);
+        let h = text::normalize(hypothesis);
+        let rw = text::words(&r);
+        let hw = text::words(&h);
+        edits += edit_distance(&rw, &hw);
+        ref_words += rw.len();
+    }
+    if ref_words == 0 {
+        0.0
+    } else {
+        edits as f64 / ref_words as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_is_zero() {
+        assert_eq!(wer("THE CAT SAT", "THE CAT SAT"), 0.0);
+        assert_eq!(cer("ABC", "ABC"), 0.0);
+    }
+
+    #[test]
+    fn single_substitution() {
+        assert!((wer("THE CAT SAT", "THE DOG SAT") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deletion_and_insertion() {
+        assert!((wer("A B C D", "A B C") - 0.25).abs() < 1e-12);
+        assert!((wer("A B C", "A B C D") - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completely_wrong_is_one() {
+        assert!((wer("A B", "X Y") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wer_can_exceed_one_with_insertions() {
+        assert!(wer("A", "X Y Z") > 1.0);
+    }
+
+    #[test]
+    fn empty_reference_conventions() {
+        assert_eq!(wer("", ""), 0.0);
+        assert_eq!(wer("", "HELLO"), 1.0);
+    }
+
+    #[test]
+    fn edit_distance_symmetry_and_triangle() {
+        let a = ["A", "B", "C"];
+        let b = ["A", "C"];
+        let c = ["B", "C"];
+        let (ab, ba) = (edit_distance(&a, &b), edit_distance(&b, &a));
+        assert_eq!(ab, ba);
+        let (ac, cb) = (edit_distance(&a, &c), edit_distance(&c, &b));
+        assert!(ab <= ac + cb);
+    }
+
+    #[test]
+    fn normalisation_applied_before_scoring() {
+        assert_eq!(wer("Hello, World!", "hello world"), 0.0);
+    }
+
+    #[test]
+    fn corpus_wer_weights_by_length() {
+        let pairs = vec![
+            ("A B C D E F G H I J".to_string(), "A B C D E F G H I J".to_string()),
+            ("X".to_string(), "Y".to_string()),
+        ];
+        // 1 edit over 11 reference words
+        assert!((corpus_wer(&pairs) - 1.0 / 11.0).abs() < 1e-12);
+    }
+}

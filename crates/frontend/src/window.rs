@@ -1,0 +1,96 @@
+//! Analysis window functions.
+
+/// Supported window shapes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WindowKind {
+    /// All-ones window (no tapering).
+    Rectangular,
+    /// Hann window.
+    Hann,
+    /// Hamming window (the common ASR default).
+    Hamming,
+    /// Povey window (Kaldi's default, used by fbank pipelines).
+    Povey,
+}
+
+/// Generate the window coefficients for `len` samples.
+pub fn window(kind: WindowKind, len: usize) -> Vec<f32> {
+    assert!(len > 0, "window length must be positive");
+    if len == 1 {
+        return vec![1.0];
+    }
+    let denom = (len - 1) as f32;
+    (0..len)
+        .map(|n| {
+            let x = 2.0 * std::f32::consts::PI * n as f32 / denom;
+            match kind {
+                WindowKind::Rectangular => 1.0,
+                WindowKind::Hann => 0.5 - 0.5 * x.cos(),
+                WindowKind::Hamming => 0.54 - 0.46 * x.cos(),
+                WindowKind::Povey => (0.5 - 0.5 * x.cos()).powf(0.85),
+            }
+        })
+        .collect()
+}
+
+/// Multiply a frame by a window in place.
+pub fn apply_window(frame: &mut [f32], win: &[f32]) {
+    assert_eq!(frame.len(), win.len(), "window length mismatch");
+    for (x, &w) in frame.iter_mut().zip(win) {
+        *x *= w;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(window(WindowKind::Rectangular, 16).iter().all(|&x| x == 1.0));
+    }
+
+    #[test]
+    fn hann_endpoints_zero_center_one() {
+        let w = window(WindowKind::Hann, 101);
+        assert!(w[0].abs() < 1e-6);
+        assert!(w[100].abs() < 1e-6);
+        assert!((w[50] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hamming_endpoints_nonzero() {
+        let w = window(WindowKind::Hamming, 64);
+        assert!((w[0] - 0.08).abs() < 1e-5);
+        assert!(w.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for kind in [WindowKind::Hann, WindowKind::Hamming, WindowKind::Povey] {
+            let w = window(kind, 33);
+            for i in 0..w.len() {
+                assert!((w[i] - w[w.len() - 1 - i]).abs() < 1e-6, "{:?} asymmetric", kind);
+            }
+        }
+    }
+
+    #[test]
+    fn apply_window_multiplies() {
+        let mut frame = vec![2.0; 4];
+        let w = vec![0.0, 0.5, 1.0, 0.25];
+        apply_window(&mut frame, &w);
+        assert_eq!(frame, vec![0.0, 1.0, 2.0, 0.5]);
+    }
+
+    #[test]
+    fn length_one_window() {
+        assert_eq!(window(WindowKind::Hann, 1), vec![1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must be positive")]
+    fn zero_length_panics() {
+        let _ = window(WindowKind::Hann, 0);
+    }
+}

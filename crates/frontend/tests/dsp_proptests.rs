@@ -1,0 +1,98 @@
+//! Property tests for the DSP extension modules: resampling, VAD, CMVN,
+//! deltas.
+
+use asr_frontend::audio::Waveform;
+use asr_frontend::cmvn::cmvn_per_utterance;
+use asr_frontend::delta::{add_deltas, delta};
+use asr_frontend::framing::FrameConfig;
+use asr_frontend::resample::resample;
+use asr_frontend::vad::{frame_decisions, VadConfig};
+use asr_tensor::init;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn resample_preserves_duration(len in 160usize..16000, target in prop::sample::select(vec![8000u32, 11025, 22050, 44100])) {
+        let w = Waveform::new((0..len).map(|i| (i as f32 * 0.01).sin()).collect(), 16_000);
+        let r = resample(&w, target);
+        prop_assert_eq!(r.sample_rate, target);
+        prop_assert!((r.duration_s() - w.duration_s()).abs() < 0.01, "duration {} vs {}", r.duration_s(), w.duration_s());
+    }
+
+    #[test]
+    fn resample_output_within_input_range(len in 64usize..2000, seed in 0u64..100) {
+        let samples: Vec<f32> = (0..len).map(|i| {
+            
+            ((i as u64).wrapping_mul(seed + 7) % 200) as f32 / 100.0 - 1.0
+        }).collect();
+        let lo = samples.iter().cloned().fold(f32::MAX, f32::min);
+        let hi = samples.iter().cloned().fold(f32::MIN, f32::max);
+        let r = resample(&Waveform::new(samples, 16_000), 12_345);
+        // linear interpolation cannot overshoot the convex hull
+        for &x in &r.samples {
+            prop_assert!(x >= lo - 1e-6 && x <= hi + 1e-6);
+        }
+    }
+
+    #[test]
+    fn vad_decision_count_matches_frames(len in 400usize..8000) {
+        let w = Waveform::new(vec![0.2; len], 16_000);
+        let cfg = VadConfig::standard(16_000);
+        let d = frame_decisions(&w, &cfg);
+        prop_assert_eq!(d.len(), cfg.frame.num_frames(len));
+    }
+
+    #[test]
+    fn vad_constant_loud_signal_all_active(len in 800usize..4000) {
+        let w = Waveform::new((0..len).map(|i| 0.5 * (i as f32 * 0.3).sin()).collect(), 16_000);
+        let d = frame_decisions(&w, &VadConfig::standard(16_000));
+        prop_assert!(d.iter().all(|&x| x), "steady tone should be all-active");
+    }
+
+    #[test]
+    fn cmvn_is_idempotent(seed in 0u64..200, rows in 8usize..60, cols in 2usize..12) {
+        let f = init::uniform(rows, cols, -4.0, 9.0, seed);
+        let once = cmvn_per_utterance(&f);
+        let twice = cmvn_per_utterance(&once);
+        prop_assert!(asr_tensor::max_abs_diff(&twice, &once) < 1e-3);
+    }
+
+    #[test]
+    fn delta_is_linear(seed in 0u64..200, a in -2.0f32..2.0) {
+        let f = init::uniform(12, 4, -1.0, 1.0, seed);
+        let scaled = asr_tensor::ops::scale(&f, a);
+        let d_scaled = delta(&scaled, 2);
+        let scaled_d = asr_tensor::ops::scale(&delta(&f, 2), a);
+        prop_assert!(asr_tensor::max_abs_diff(&d_scaled, &scaled_d) < 1e-4);
+    }
+
+    #[test]
+    fn add_deltas_width_and_prefix(rows in 3usize..20, cols in 1usize..8, seed in 0u64..100) {
+        let f = init::uniform(rows, cols, -1.0, 1.0, seed);
+        let stacked = add_deltas(&f, 2);
+        prop_assert_eq!(stacked.shape(), (rows, 3 * cols));
+        prop_assert_eq!(stacked.submatrix(0, 0, rows, cols), f);
+    }
+
+    #[test]
+    fn framing_never_reads_out_of_bounds(len in 0usize..2000, flen in 1usize..400, hop in 1usize..200) {
+        // frames() must produce only full frames and never panic
+        let w = Waveform::new(vec![0.1; len], 16_000);
+        let cfg = FrameConfig { frame_len: flen, hop };
+        let frames = asr_frontend::framing::frames(&w, &cfg);
+        for f in &frames {
+            prop_assert_eq!(f.len(), flen);
+        }
+        prop_assert_eq!(frames.len(), cfg.num_frames(len));
+    }
+
+    #[test]
+    fn pgm_size_formula(rows in 1usize..30, cols in 1usize..30, seed in 0u64..50) {
+        let m = init::uniform(rows, cols, -1.0, 1.0, seed);
+        let pgm = asr_frontend::image::to_pgm(&m);
+        let header_len = format!("P5\n{} {}\n255\n", rows, cols).len();
+        prop_assert_eq!(pgm.len(), header_len + rows * cols);
+    }
+}

@@ -1,0 +1,112 @@
+//! Pipelined element-wise adder blocks.
+//!
+//! The design instantiates eight `s × 64` adders (one per PSA) that apply
+//! biases, sum block-striped partial products, and execute the residual Add of
+//! the Add-Norm blocks (paper §4.6). An adder processes one 64-wide row slice
+//! per cycle after a fixed pipeline-depth fill, so adding two `r × c` matrices
+//! costs `depth + r · ceil(c / lanes)` cycles.
+
+use asr_fpga_sim::Cycles;
+use asr_tensor::{ops, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// A fixed-width pipelined adder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PipelinedAdder {
+    /// Parallel add lanes (64 in the shipped design: an `s × 64` adder).
+    pub lanes: usize,
+    /// Pipeline depth in cycles (fp32 adder latency).
+    pub depth: u64,
+}
+
+impl PipelinedAdder {
+    /// The design's 64-lane adder; fp32 addition pipelines at ~8 stages in HLS.
+    pub fn paper_default() -> Self {
+        PipelinedAdder { lanes: 64, depth: 8 }
+    }
+
+    /// Cycles to add two `rows × cols` matrices element-wise.
+    pub fn cycles(&self, rows: usize, cols: usize) -> Cycles {
+        assert!(rows > 0 && cols > 0, "degenerate add {}x{}", rows, cols);
+        let beats = (rows * cols.div_ceil(self.lanes)) as u64;
+        Cycles(self.depth + beats)
+    }
+
+    /// Functional element-wise add with the cycle cost.
+    pub fn add_timed(&self, a: &Matrix, b: &Matrix) -> (Matrix, Cycles) {
+        let out = ops::add(a, b);
+        (out, self.cycles(a.rows(), a.cols()))
+    }
+
+    /// Broadcast bias add (`1 × cols` bias row onto every row) with cycles.
+    pub fn add_bias_timed(&self, a: &Matrix, bias: &Matrix) -> (Matrix, Cycles) {
+        let out = ops::add_bias(a, bias);
+        (out, self.cycles(a.rows(), a.cols()))
+    }
+
+    /// Cycles to accumulate `k` equally-sized partial products when the adder
+    /// is pipelined behind a PSA (Fig 4.3): the adds overlap the PSA passes,
+    /// so only one add latency is exposed instead of `k − 1`
+    /// ("Pipelining the adder reduces the latency from 8·t_PSA + 7·t_ADD to
+    /// 8·t_PSA + t_ADD").
+    pub fn pipelined_accumulate_cycles(&self, rows: usize, cols: usize, k: usize) -> Cycles {
+        assert!(k >= 1, "need at least one partial product");
+        self.cycles(rows, cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::init;
+
+    #[test]
+    fn cycles_one_beat_per_row_slice() {
+        let add = PipelinedAdder::paper_default();
+        // 32 rows x 64 cols: 32 beats + 8 depth
+        assert_eq!(add.cycles(32, 64), Cycles(40));
+        // 32 rows x 512 cols: 8 slices per row = 256 beats + 8
+        assert_eq!(add.cycles(32, 512), Cycles(264));
+    }
+
+    #[test]
+    fn narrow_matrix_still_one_beat_per_row() {
+        let add = PipelinedAdder::paper_default();
+        assert_eq!(add.cycles(4, 3), Cycles(8 + 4));
+    }
+
+    #[test]
+    fn functional_add_matches_ops() {
+        let add = PipelinedAdder::paper_default();
+        let a = init::uniform(3, 5, -1.0, 1.0, 1);
+        let b = init::uniform(3, 5, -1.0, 1.0, 2);
+        let (c, cyc) = add.add_timed(&a, &b);
+        assert_eq!(c, asr_tensor::ops::add(&a, &b));
+        assert_eq!(cyc, add.cycles(3, 5));
+    }
+
+    #[test]
+    fn bias_add_timed() {
+        let add = PipelinedAdder::paper_default();
+        let a = init::uniform(4, 8, -1.0, 1.0, 3);
+        let bias = init::uniform(1, 8, -1.0, 1.0, 4);
+        let (c, _) = add.add_bias_timed(&a, &bias);
+        assert_eq!(c, asr_tensor::ops::add_bias(&a, &bias));
+    }
+
+    #[test]
+    fn pipelined_accumulation_pays_one_add() {
+        let add = PipelinedAdder::paper_default();
+        // k partial products cost the same exposed latency as one add
+        assert_eq!(
+            add.pipelined_accumulate_cycles(32, 64, 8),
+            add.cycles(32, 64)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "degenerate add")]
+    fn zero_rows_panics() {
+        let _ = PipelinedAdder::paper_default().cycles(0, 4);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cycle-accurate simulation of a full output-stationary systolic array.
+//!
+//! This reproduces Fig 4.2 of the paper literally: an `l × n` grid of
+//! processing elements computes `C = A·B` for `A: l×m`, `B: m×n`. `A` rows
+//! stream in from the left (skewed one cycle per row), `B` columns stream in
+//! from the top (skewed one cycle per column); each PE multiplies the two
+//! values passing through it and accumulates into its stationary `c`
+//! register. The product is complete after exactly `l + m + n − 2` cycles.
+//!
+//! The grid is simulated cycle by cycle with explicit PE registers, matching
+//! the recurrences of the thesis's Algorithm 1:
+//!
+//! ```text
+//! a(i,j,k) = a(i,j-1,k);   b(i,j,k) = b(i-1,j,k);
+//! c(i,j,k) = c(i,j,k-1) + a(i,j,k) * b(i,j,k);
+//! ```
+
+use asr_fpga_sim::Cycles;
+use asr_tensor::Matrix;
+
+/// One processing element's registers.
+#[derive(Debug, Clone, Copy, Default)]
+struct Pe {
+    /// Operand travelling left → right.
+    a: f32,
+    /// Operand travelling top → bottom.
+    b: f32,
+    /// Stationary accumulator.
+    c: f32,
+}
+
+/// A full `rows × cols` systolic array.
+#[derive(Debug, Clone)]
+pub struct SystolicGrid {
+    rows: usize,
+    cols: usize,
+}
+
+impl SystolicGrid {
+    /// Build a grid of `rows × cols` PEs.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "grid must be non-empty");
+        Self { rows, cols }
+    }
+
+    /// Number of multiply-accumulate PEs in the grid.
+    pub fn pe_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Multiply `a (l×m)` by `b (m×n)` where `l == rows`, `n == cols`,
+    /// simulating every cycle. Returns the product and the exact cycle count.
+    pub fn matmul(&self, a: &Matrix, b: &Matrix) -> (Matrix, Cycles) {
+        assert_eq!(a.rows(), self.rows, "A rows {} != grid rows {}", a.rows(), self.rows);
+        assert_eq!(b.cols(), self.cols, "B cols {} != grid cols {}", b.cols(), self.cols);
+        assert_eq!(a.cols(), b.rows(), "inner dimensions differ");
+        let (l, m) = a.shape();
+        let n = b.cols();
+
+        let mut pes = vec![Pe::default(); l * n];
+        let total_cycles = l + m + n - 2;
+
+        // In hardware every PE updates simultaneously from its neighbours'
+        // *previous* values; we model that with a double buffer.
+        let mut next = pes.clone();
+        for t in 0..total_cycles {
+            for i in 0..l {
+                for j in 0..n {
+                    // a input: from the west neighbour, or the skewed A feed
+                    // at the boundary. Element A[i][k] enters row i at cycle
+                    // i + k, so at the boundary at time t the element is
+                    // A[i][t - i] (zero outside the valid window).
+                    let a_in = if j == 0 {
+                        let k = t as isize - i as isize;
+                        if k >= 0 && (k as usize) < m {
+                            a[(i, k as usize)]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        pes[i * n + (j - 1)].a
+                    };
+                    // b input: from the north neighbour or the skewed B feed.
+                    let b_in = if i == 0 {
+                        let k = t as isize - j as isize;
+                        if k >= 0 && (k as usize) < m {
+                            b[(k as usize, j)]
+                        } else {
+                            0.0
+                        }
+                    } else {
+                        pes[(i - 1) * n + j].b
+                    };
+                    let pe = &mut next[i * n + j];
+                    pe.a = a_in;
+                    pe.b = b_in;
+                    pe.c = pes[i * n + j].c + a_in * b_in;
+                }
+            }
+            std::mem::swap(&mut pes, &mut next);
+        }
+
+        let out = Matrix::from_fn(l, n, |i, j| pes[i * n + j].c);
+        (out, Cycles(total_cycles as u64))
+    }
+
+    /// The classic systolic latency law: cycles to multiply with inner
+    /// dimension `m` on this grid.
+    pub fn latency(&self, m: usize) -> Cycles {
+        Cycles((self.rows + m + self.cols - 2) as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::{assert_close, init, ops};
+
+    #[test]
+    fn fig_4_2_example_3x3_times_3x4() {
+        // The exact configuration illustrated in the paper's Fig 4.2.
+        let a = init::uniform(3, 3, -1.0, 1.0, 1);
+        let b = init::uniform(3, 4, -1.0, 1.0, 2);
+        let grid = SystolicGrid::new(3, 4);
+        let (c, cycles) = grid.matmul(&a, &b);
+        assert_close(&c, &ops::matmul_naive(&a, &b), 1e-5);
+        // l + m + n - 2 = 3 + 3 + 4 - 2 = 8
+        assert_eq!(cycles, Cycles(8));
+        assert_eq!(cycles, grid.latency(3));
+    }
+
+    #[test]
+    fn grid_matches_naive_various_shapes() {
+        for &(l, m, n) in &[(1, 1, 1), (2, 5, 3), (4, 4, 4), (6, 2, 5), (8, 16, 8)] {
+            let a = init::uniform(l, m, -2.0, 2.0, (l * 100 + m) as u64);
+            let b = init::uniform(m, n, -2.0, 2.0, (m * 100 + n) as u64);
+            let (c, cycles) = SystolicGrid::new(l, n).matmul(&a, &b);
+            assert_close(&c, &ops::matmul_naive(&a, &b), 1e-4);
+            assert_eq!(cycles, Cycles((l + m + n - 2) as u64));
+        }
+    }
+
+    #[test]
+    fn latency_linear_in_inner_dim() {
+        // The thesis: SA reduces O(n^3) sequential matmul to O(n) time.
+        let g = SystolicGrid::new(4, 4);
+        let d = g.latency(100).get() - g.latency(50).get();
+        assert_eq!(d, 50);
+    }
+
+    #[test]
+    fn pe_count() {
+        assert_eq!(SystolicGrid::new(2, 64).pe_count(), 128);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must be non-empty")]
+    fn empty_grid_panics() {
+        let _ = SystolicGrid::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "A rows")]
+    fn wrong_row_count_panics() {
+        let a = Matrix::zeros(3, 3);
+        let b = Matrix::zeros(3, 4);
+        let _ = SystolicGrid::new(2, 4).matmul(&a, &b);
+    }
+
+    #[test]
+    fn identity_through_grid() {
+        let a = Matrix::identity(5);
+        let b = init::uniform(5, 5, -1.0, 1.0, 9);
+        let (c, _) = SystolicGrid::new(5, 5).matmul(&a, &b);
+        assert_close(&c, &b, 1e-6);
+    }
+}

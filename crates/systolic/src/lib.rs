@@ -1,0 +1,30 @@
+//! Systolic-array matrix-multiplication engines.
+//!
+//! The paper's compute fabric is built from **partially-unrolled systolic
+//! arrays (PSAs)** of dimension 2×64 (§4.4, Algorithm 1). This crate provides
+//! both views of that hardware:
+//!
+//! * [`grid`] — a literal cycle-accurate simulation of the full
+//!   output-stationary systolic array of Fig 4.2 (PE grid, skewed operand
+//!   wavefronts). Used to validate the dataflow and the `l + m + n − 2`
+//!   latency law on small matrices.
+//! * [`psa`] — the PSA model used by the accelerator: a functional matmul
+//!   whose accumulation order matches the hardware, plus an analytic timing
+//!   model (row waves × column tiles × (m·II + drain)) with the partial-unroll
+//!   initiation-interval penalty the thesis describes ("increasing the latency
+//!   by at least ~16×" in exchange for LUT/DSP savings).
+//! * [`stripes`] — block-striped matmul with a pipelined accumulation adder:
+//!   the MM1/MM4/MM5/MM6 decomposition scheme (Figs 4.3, 4.5–4.7).
+//! * [`adder`] — the `s × 64` pipelined element-wise adder blocks.
+
+pub mod adder;
+pub mod grid;
+pub mod psa;
+pub mod psa_stepped;
+pub mod quant_psa;
+pub mod stripes;
+
+pub use adder::PipelinedAdder;
+pub use grid::SystolicGrid;
+pub use psa::{Psa, PsaConfig};
+pub use stripes::striped_matmul;

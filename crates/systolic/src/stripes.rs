@@ -1,0 +1,123 @@
+//! Block-striped matmul: the MM1 / MM4–MM6 decomposition scheme.
+//!
+//! Large products don't fit a single PSA pass, so the paper partitions the
+//! first operand into column stripes and the second into row stripes
+//! (Fig 4.3): each pairwise stripe product is a partial result, and a
+//! pipelined adder accumulates them. Because the adder is pipelined with the
+//! PSA, the exposed latency is `k · t_PSA + t_ADD` rather than
+//! `k · t_PSA + (k−1) · t_ADD`.
+
+use crate::adder::PipelinedAdder;
+use crate::psa::Psa;
+use asr_fpga_sim::Cycles;
+use asr_tensor::{ops, Matrix};
+
+/// Result of a striped matmul: the product and its modeled latency on one PSA.
+#[derive(Debug, Clone)]
+pub struct StripedResult {
+    /// The functional product.
+    pub output: Matrix,
+    /// Modeled cycles on a single PSA with its pipelined adder.
+    pub cycles: Cycles,
+    /// How many stripe passes were scheduled.
+    pub stripes: usize,
+}
+
+/// Multiply `a (l×m) · b (m×n)` by splitting the inner dimension into
+/// `stripes` equal blocks executed sequentially on `psa`, accumulating the
+/// partial products through `adder`.
+///
+/// # Panics
+/// Panics if `m` is not divisible by `stripes` or on shape mismatch.
+pub fn striped_matmul(
+    a: &Matrix,
+    b: &Matrix,
+    stripes: usize,
+    psa: &Psa,
+    adder: &PipelinedAdder,
+) -> StripedResult {
+    assert_eq!(a.cols(), b.rows(), "striped matmul shape mismatch");
+    assert!(stripes >= 1, "need at least one stripe");
+    assert_eq!(
+        a.cols() % stripes,
+        0,
+        "inner dim {} not divisible into {} stripes",
+        a.cols(),
+        stripes
+    );
+    let a_stripes = a.split_cols(stripes);
+    let b_stripes = b.split_rows(stripes);
+
+    let mut acc = Matrix::zeros(a.rows(), b.cols());
+    let mut cycles = Cycles::ZERO;
+    for (as_, bs) in a_stripes.iter().zip(&b_stripes) {
+        let (partial, c) = psa.matmul_timed(as_, bs);
+        ops::add_assign(&mut acc, &partial);
+        cycles += c;
+    }
+    // One exposed adder latency — the adds pipeline behind the PSA passes.
+    cycles += adder.pipelined_accumulate_cycles(a.rows(), b.cols(), stripes);
+
+    StripedResult { output: acc, cycles, stripes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::{assert_close, init};
+
+    fn rig() -> (Psa, PipelinedAdder) {
+        (Psa::paper_default(), PipelinedAdder::paper_default())
+    }
+
+    #[test]
+    fn striped_equals_reference_mm1_shape() {
+        // MM1: (s x 512) . (512 x 64) in 8 stripes of 64.
+        let (psa, adder) = rig();
+        let a = init::uniform(32, 512, -0.5, 0.5, 1);
+        let b = init::uniform(512, 64, -0.5, 0.5, 2);
+        let r = striped_matmul(&a, &b, 8, &psa, &adder);
+        assert_close(&r.output, &ops::matmul_naive(&a, &b), 1e-3);
+        assert_eq!(r.stripes, 8);
+    }
+
+    #[test]
+    fn one_stripe_degenerates_to_plain_psa() {
+        let (psa, adder) = rig();
+        let a = init::uniform(8, 16, -1.0, 1.0, 3);
+        let b = init::uniform(16, 8, -1.0, 1.0, 4);
+        let r = striped_matmul(&a, &b, 1, &psa, &adder);
+        assert_eq!(r.output, psa.matmul(&a, &b));
+        assert_eq!(r.cycles, psa.cycles(8, 16, 8) + adder.cycles(8, 8));
+    }
+
+    #[test]
+    fn cycle_cost_is_k_psa_plus_one_add() {
+        // The Fig 4.3 claim: 8*t_PSA + t_ADD, not 8*t_PSA + 7*t_ADD.
+        let (psa, adder) = rig();
+        let a = init::uniform(32, 512, -1.0, 1.0, 5);
+        let b = init::uniform(512, 64, -1.0, 1.0, 6);
+        let r = striped_matmul(&a, &b, 8, &psa, &adder);
+        let expected = Cycles(psa.cycles(32, 64, 64).get() * 8) + adder.cycles(32, 64);
+        assert_eq!(r.cycles, expected);
+    }
+
+    #[test]
+    fn more_stripes_same_answer() {
+        let (psa, adder) = rig();
+        let a = init::uniform(6, 24, -1.0, 1.0, 7);
+        let b = init::uniform(24, 10, -1.0, 1.0, 8);
+        let r2 = striped_matmul(&a, &b, 2, &psa, &adder);
+        let r4 = striped_matmul(&a, &b, 4, &psa, &adder);
+        assert_close(&r2.output, &r4.output, 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn indivisible_stripes_panics() {
+        let (psa, adder) = rig();
+        let a = Matrix::zeros(4, 10);
+        let b = Matrix::zeros(10, 4);
+        let _ = striped_matmul(&a, &b, 3, &psa, &adder);
+    }
+}

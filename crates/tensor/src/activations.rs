@@ -1,0 +1,158 @@
+//! Non-linear element-wise and row-wise operations: ReLU, softmax, masking.
+
+use crate::matrix::Matrix;
+
+/// ReLU applied element-wise (the FFN activation, Eq. 3.3 of the paper).
+pub fn relu(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    relu_inplace(&mut out);
+    out
+}
+
+/// In-place ReLU.
+pub fn relu_inplace(a: &mut Matrix) {
+    a.map_inplace(|x| x.max(0.0));
+}
+
+/// Numerically-stable row-wise softmax (the `Sm` block of Fig 4.13).
+///
+/// Each row is shifted by its max before exponentiation so large attention
+/// logits cannot overflow `f32`.
+pub fn softmax_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    softmax_rows_inplace(&mut out);
+    out
+}
+
+/// In-place row-wise softmax.
+pub fn softmax_rows_inplace(a: &mut Matrix) {
+    for i in 0..a.rows() {
+        let row = a.row_mut(i);
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        // A fully-masked row (all -inf) softmaxes to all zeros rather than NaN.
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        } else {
+            for x in row.iter_mut() {
+                *x = 0.0;
+            }
+        }
+    }
+}
+
+/// Apply the decoder look-ahead mask in place: positions `j > i` get `-inf`
+/// before softmax so the decoder only attends to already-generated tokens.
+pub fn apply_causal_mask(scores: &mut Matrix) {
+    assert_eq!(
+        scores.rows(),
+        scores.cols(),
+        "causal mask needs square scores, got {:?}",
+        scores.shape()
+    );
+    let n = scores.rows();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            scores[(i, j)] = f32::NEG_INFINITY;
+        }
+    }
+}
+
+/// Mask score columns `valid_len..` with `-inf` (padding mask for
+/// cross-attention over a padded encoder memory).
+pub fn apply_padding_mask(scores: &mut Matrix, valid_len: usize) {
+    assert!(
+        valid_len <= scores.cols(),
+        "padding mask valid_len {} > cols {}",
+        valid_len,
+        scores.cols()
+    );
+    for i in 0..scores.rows() {
+        for x in &mut scores.row_mut(i)[valid_len..] {
+            *x = f32::NEG_INFINITY;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let a = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.0, 3.0]);
+        assert_eq!(relu(&a).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0]);
+        let s = softmax_rows(&a);
+        for i in 0..2 {
+            let sum: f32 = s.row(i).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "row {} sums to {}", i, sum);
+            assert!(s.row(i).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant() {
+        let a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![101.0, 102.0, 103.0]);
+        let (sa, sb) = (softmax_rows(&a), softmax_rows(&b));
+        for j in 0..3 {
+            assert!((sa[(0, j)] - sb[(0, j)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_handles_large_logits() {
+        let a = Matrix::from_vec(1, 2, vec![1000.0, 999.0]);
+        let s = softmax_rows(&a);
+        assert!(s.as_slice().iter().all(|x| x.is_finite()));
+        assert!((s.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn causal_mask_zeroes_future_attention() {
+        let mut scores = Matrix::filled(4, 4, 1.0);
+        apply_causal_mask(&mut scores);
+        let s = softmax_rows(&scores);
+        for i in 0..4 {
+            for j in 0..4 {
+                if j > i {
+                    assert_eq!(s[(i, j)], 0.0, "future position ({}, {}) attended", i, j);
+                } else {
+                    // uniform over the visible prefix
+                    assert!((s[(i, j)] - 1.0 / (i as f32 + 1.0)).abs() < 1e-6);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn padding_mask_zeroes_padded_columns() {
+        let mut scores = Matrix::filled(2, 5, 0.3);
+        apply_padding_mask(&mut scores, 3);
+        let s = softmax_rows(&scores);
+        for i in 0..2 {
+            assert_eq!(s[(i, 3)], 0.0);
+            assert_eq!(s[(i, 4)], 0.0);
+            assert!((s.row(i).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn fully_masked_row_is_all_zero_not_nan() {
+        let mut scores = Matrix::filled(1, 3, 1.0);
+        apply_padding_mask(&mut scores, 0);
+        let s = softmax_rows(&scores);
+        assert!(s.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

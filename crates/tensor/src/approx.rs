@@ -1,0 +1,80 @@
+//! Approximate floating-point comparison helpers shared by the test suites.
+
+use crate::matrix::Matrix;
+
+/// Largest absolute element-wise difference between two same-shaped matrices.
+pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// True when every element pair is within `atol + rtol * |expected|`.
+pub fn relative_close(actual: &Matrix, expected: &Matrix, rtol: f32, atol: f32) -> bool {
+    if actual.shape() != expected.shape() {
+        return false;
+    }
+    actual
+        .as_slice()
+        .iter()
+        .zip(expected.as_slice())
+        .all(|(&x, &y)| (x - y).abs() <= atol + rtol * y.abs())
+}
+
+/// Panic with a diagnostic unless `actual` is element-wise within `tol`
+/// (absolute) of `expected`.
+pub fn assert_close(actual: &Matrix, expected: &Matrix, tol: f32) {
+    assert_eq!(
+        actual.shape(),
+        expected.shape(),
+        "assert_close shape mismatch: {:?} vs {:?}",
+        actual.shape(),
+        expected.shape()
+    );
+    let diff = max_abs_diff(actual, expected);
+    assert!(
+        diff <= tol,
+        "matrices differ: max |Δ| = {} > tol {}\nactual: {:?}\nexpected: {:?}",
+        diff,
+        tol,
+        actual,
+        expected
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_are_close() {
+        let a = Matrix::filled(2, 2, 1.5);
+        assert_close(&a, &a.clone(), 0.0);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matrices differ")]
+    fn distant_matrices_panic() {
+        let a = Matrix::filled(2, 2, 1.0);
+        let b = Matrix::filled(2, 2, 2.0);
+        assert_close(&a, &b, 0.5);
+    }
+
+    #[test]
+    fn relative_close_scales_with_magnitude() {
+        let a = Matrix::from_vec(1, 2, vec![1000.0, 0.001]);
+        let b = Matrix::from_vec(1, 2, vec![1000.5, 0.001]);
+        assert!(relative_close(&a, &b, 1e-3, 1e-6));
+        assert!(!relative_close(&a, &b, 1e-7, 1e-9));
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_close() {
+        let a = Matrix::zeros(2, 2);
+        let b = Matrix::zeros(2, 3);
+        assert!(!relative_close(&a, &b, 1.0, 1.0));
+    }
+}

@@ -1,0 +1,102 @@
+//! Layer normalisation (the `Norm` half of the paper's Add-Norm block, Eq. 3.4).
+
+use crate::matrix::Matrix;
+
+/// Default epsilon guarding the variance denominator.
+pub const LN_EPS: f32 = 1e-5;
+
+/// Row-wise layer norm with learned affine parameters:
+/// `N = w · (x - μ)/σ + b` per Eq. 3.4 of the paper.
+///
+/// `weight` and `bias` are `1 × cols` vectors (the `1 × 512` `L_N` matrices of
+/// Table 4.1 — each Add-Norm stores one weight and one bias row).
+pub fn layer_norm(x: &Matrix, weight: &Matrix, bias: &Matrix) -> Matrix {
+    assert_eq!(weight.rows(), 1, "layer_norm weight must be 1 x D");
+    assert_eq!(bias.rows(), 1, "layer_norm bias must be 1 x D");
+    assert_eq!(weight.cols(), x.cols(), "layer_norm weight width mismatch");
+    assert_eq!(bias.cols(), x.cols(), "layer_norm bias width mismatch");
+
+    let mut out = x.clone();
+    let w = weight.row(0);
+    let b = bias.row(0);
+    let d = x.cols() as f32;
+    for i in 0..out.rows() {
+        let row = out.row_mut(i);
+        let mean: f32 = row.iter().sum::<f32>() / d;
+        let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / d;
+        let inv_std = 1.0 / (var + LN_EPS).sqrt();
+        for (j, v) in row.iter_mut().enumerate() {
+            *v = w[j] * ((*v - mean) * inv_std) + b[j];
+        }
+    }
+    out
+}
+
+/// Layer norm without affine parameters (`w = 1`, `b = 0`); used by tests to
+/// check the normalisation statistics directly.
+pub fn layer_norm_plain(x: &Matrix) -> Matrix {
+    let ones = Matrix::filled(1, x.cols(), 1.0);
+    let zeros = Matrix::zeros(1, x.cols());
+    layer_norm(x, &ones, &zeros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+
+    #[test]
+    fn plain_norm_has_zero_mean_unit_var() {
+        let x = init::uniform(4, 64, -3.0, 5.0, 42);
+        let n = layer_norm_plain(&x);
+        for i in 0..4 {
+            let row = n.row(i);
+            let mean: f32 = row.iter().sum::<f32>() / 64.0;
+            let var: f32 = row.iter().map(|&v| (v - mean) * (v - mean)).sum::<f32>() / 64.0;
+            assert!(mean.abs() < 1e-4, "row {} mean {}", i, mean);
+            assert!((var - 1.0).abs() < 1e-2, "row {} var {}", i, var);
+        }
+    }
+
+    #[test]
+    fn affine_params_applied_after_norm() {
+        let x = init::uniform(2, 8, -1.0, 1.0, 7);
+        let w = Matrix::filled(1, 8, 2.0);
+        let b = Matrix::filled(1, 8, 0.5);
+        let plain = layer_norm_plain(&x);
+        let affine = layer_norm(&x, &w, &b);
+        for i in 0..2 {
+            for j in 0..8 {
+                assert!((affine[(i, j)] - (2.0 * plain[(i, j)] + 0.5)).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_row_does_not_nan() {
+        let x = Matrix::filled(1, 16, 3.0);
+        let n = layer_norm_plain(&x);
+        assert!(n.as_slice().iter().all(|x| x.is_finite()));
+        // zero variance: normalised values collapse to ~0
+        assert!(n.as_slice().iter().all(|x| x.abs() < 1e-2));
+    }
+
+    #[test]
+    fn norm_is_scale_invariant_per_row() {
+        let x = init::uniform(1, 32, -1.0, 1.0, 9);
+        let scaled = crate::ops::scale(&x, 10.0);
+        let (a, b) = (layer_norm_plain(&x), layer_norm_plain(&scaled));
+        for j in 0..32 {
+            assert!((a[(0, j)] - b[(0, j)]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "weight width mismatch")]
+    fn wrong_width_panics() {
+        let x = Matrix::zeros(2, 8);
+        let w = Matrix::zeros(1, 4);
+        let b = Matrix::zeros(1, 8);
+        let _ = layer_norm(&x, &w, &b);
+    }
+}

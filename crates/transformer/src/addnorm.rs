@@ -1,0 +1,55 @@
+//! The Add-Norm block (Eq 3.4): residual add then layer norm with learned
+//! affine parameters.
+
+use crate::weights::LayerNormWeights;
+use asr_tensor::norm::layer_norm;
+use asr_tensor::{ops, Matrix};
+
+/// `AddNorm(residual, sublayer_out) = LN(residual + sublayer_out)`.
+pub fn add_norm(residual: &Matrix, sublayer_out: &Matrix, ln: &LayerNormWeights) -> Matrix {
+    let sum = ops::add(residual, sublayer_out);
+    layer_norm(&sum, &ln.w, &ln.b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use asr_tensor::init;
+
+    #[test]
+    fn shape_preserved() {
+        let cfg = TransformerConfig::tiny();
+        let ln = LayerNormWeights::seeded(&cfg, 1);
+        let a = init::uniform(4, cfg.d_model, -1.0, 1.0, 2);
+        let b = init::uniform(4, cfg.d_model, -1.0, 1.0, 3);
+        assert_eq!(add_norm(&a, &b, &ln).shape(), a.shape());
+    }
+
+    #[test]
+    fn output_rows_are_normalised_before_affine() {
+        // With identity affine params, each output row has ~zero mean.
+        let cfg = TransformerConfig::tiny();
+        let ln = LayerNormWeights {
+            w: Matrix::filled(1, cfg.d_model, 1.0),
+            b: Matrix::zeros(1, cfg.d_model),
+        };
+        let a = init::uniform(3, cfg.d_model, -2.0, 5.0, 4);
+        let b = init::uniform(3, cfg.d_model, -2.0, 5.0, 5);
+        let y = add_norm(&a, &b, &ln);
+        for i in 0..3 {
+            let mean: f32 = y.row(i).iter().sum::<f32>() / cfg.d_model as f32;
+            assert!(mean.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn residual_matters() {
+        let cfg = TransformerConfig::tiny();
+        let ln = LayerNormWeights::seeded(&cfg, 1);
+        let a1 = init::uniform(2, cfg.d_model, -1.0, 1.0, 6);
+        let a2 = init::uniform(2, cfg.d_model, -1.0, 1.0, 7);
+        let b = init::uniform(2, cfg.d_model, -1.0, 1.0, 8);
+        assert_ne!(add_norm(&a1, &b, &ln), add_norm(&a2, &b, &ln));
+    }
+}

@@ -1,0 +1,162 @@
+//! Attention-map extraction and analysis.
+//!
+//! Tools for inspecting what the attention heads do: extract a head's
+//! post-softmax score matrix, measure its entropy (how diffuse the
+//! attention is), and its diagonality (how monotone/temporal it is — speech
+//! encoders typically develop near-diagonal attention). Used by tests to
+//! verify structural properties and by downstream users for debugging.
+
+use crate::attention::AttentionMask;
+use crate::weights::AttentionWeights;
+use asr_tensor::activations::{apply_causal_mask, softmax_rows_inplace};
+use asr_tensor::{ops, MatMul, Matrix};
+
+/// Post-softmax attention map of one head: an `s_q × s_kv` row-stochastic
+/// matrix.
+pub fn attention_map(
+    queries_from: &Matrix,
+    memory: &Matrix,
+    w: &AttentionWeights,
+    head: usize,
+    mask: AttentionMask,
+    backend: &dyn MatMul,
+) -> Matrix {
+    assert!(head < w.w_q.len(), "head {} out of range ({})", head, w.w_q.len());
+    let q = ops::add_bias(&backend.matmul(queries_from, &w.w_q[head]), &w.b_q[head]);
+    let k = ops::add_bias(&backend.matmul(memory, &w.w_k[head]), &w.b_k[head]);
+    let mut scores = backend.matmul(&q, &k.transpose());
+    let scale = 1.0 / (w.w_q[head].cols() as f32).sqrt();
+    scores.map_inplace(|x| x * scale);
+    if mask == AttentionMask::Causal {
+        apply_causal_mask(&mut scores);
+    }
+    softmax_rows_inplace(&mut scores);
+    scores
+}
+
+/// Mean Shannon entropy (nats) of the attention rows: 0 = each position
+/// attends to exactly one key; `ln(s_kv)` = uniform attention.
+pub fn attention_entropy(map: &Matrix) -> f32 {
+    assert!(map.rows() > 0, "empty attention map");
+    let mut total = 0.0f32;
+    for i in 0..map.rows() {
+        let h: f32 = map
+            .row(i)
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -p * p.ln())
+            .sum();
+        total += h;
+    }
+    total / map.rows() as f32
+}
+
+/// Diagonality: the attention mass within `band` positions of the diagonal,
+/// averaged over query rows (1.0 = strictly banded attention).
+pub fn diagonality(map: &Matrix, band: usize) -> f32 {
+    assert!(map.rows() > 0, "empty attention map");
+    let mut total = 0.0f32;
+    for i in 0..map.rows() {
+        let row = map.row(i);
+        let mass: f32 = row
+            .iter()
+            .enumerate()
+            .filter(|(j, _)| i.abs_diff(*j) <= band)
+            .map(|(_, &p)| p)
+            .sum();
+        total += mass;
+    }
+    total / map.rows() as f32
+}
+
+/// Argmax key position per query row (the hard alignment the head implies).
+pub fn alignment(map: &Matrix) -> Vec<usize> {
+    (0..map.rows())
+        .map(|i| {
+            map.row(i)
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j)
+                .unwrap()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::init;
+
+    fn rig() -> (TransformerConfig, AttentionWeights, Matrix) {
+        let cfg = TransformerConfig::tiny();
+        let w = AttentionWeights::seeded(&cfg, 5);
+        let x = init::uniform(8, cfg.d_model, -1.0, 1.0, 6);
+        (cfg, w, x)
+    }
+
+    #[test]
+    fn map_rows_are_distributions() {
+        let (_, w, x) = rig();
+        let m = attention_map(&x, &x, &w, 0, AttentionMask::None, &ReferenceBackend);
+        assert_eq!(m.shape(), (8, 8));
+        for i in 0..8 {
+            let s: f32 = m.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "row {} sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn causal_map_is_lower_triangular() {
+        let (_, w, x) = rig();
+        let m = attention_map(&x, &x, &w, 1, AttentionMask::Causal, &ReferenceBackend);
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                assert_eq!(m[(i, j)], 0.0, "({}, {}) should be masked", i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_bounds() {
+        // uniform map: entropy = ln(n); one-hot map: entropy = 0
+        let n = 6;
+        let uniform = Matrix::filled(n, n, 1.0 / n as f32);
+        assert!((attention_entropy(&uniform) - (n as f32).ln()).abs() < 1e-5);
+        let onehot = Matrix::identity(n);
+        assert_eq!(attention_entropy(&onehot), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_real_map_in_bounds() {
+        let (_, w, x) = rig();
+        let m = attention_map(&x, &x, &w, 0, AttentionMask::None, &ReferenceBackend);
+        let h = attention_entropy(&m);
+        assert!(h >= 0.0 && h <= (8f32).ln() + 1e-5, "entropy {}", h);
+    }
+
+    #[test]
+    fn diagonality_of_identity_is_one() {
+        let id = Matrix::identity(7);
+        assert!((diagonality(&id, 0) - 1.0).abs() < 1e-6);
+        // uniform attention in band 1 of a 7-wide map: about 3/7 per row
+        let uniform = Matrix::filled(7, 7, 1.0 / 7.0);
+        let d = diagonality(&uniform, 1);
+        assert!(d > 0.3 && d < 0.5, "{}", d);
+    }
+
+    #[test]
+    fn alignment_of_identity_is_monotone() {
+        let id = Matrix::identity(5);
+        assert_eq!(alignment(&id), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_head_panics() {
+        let (_, w, x) = rig();
+        let _ = attention_map(&x, &x, &w, 99, AttentionMask::None, &ReferenceBackend);
+    }
+}

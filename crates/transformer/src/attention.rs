@@ -1,0 +1,175 @@
+//! Scaled dot-product and multi-head attention (Eq 3.1–3.2).
+
+use crate::weights::AttentionWeights;
+use asr_tensor::activations::{apply_causal_mask, softmax_rows_inplace};
+use asr_tensor::{ops, MatMul, Matrix};
+
+/// Masking mode of an attention block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionMask {
+    /// No mask (encoder self-attention, decoder cross-attention).
+    None,
+    /// Look-ahead mask: position `i` attends only to `j ≤ i`
+    /// (decoder masked self-attention, "M-MHA").
+    Causal,
+}
+
+/// One attention head: `softmax(Q·Kᵀ / √d_k) · V` with the per-head linear
+/// projections applied first.
+///
+/// `queries_from` provides the Q projection input; `memory` provides K and V
+/// (identical for self-attention, the encoder output for cross-attention).
+#[allow(clippy::too_many_arguments)] // mirrors the head's hardware port list
+pub fn attention_head(
+    queries_from: &Matrix,
+    memory: &Matrix,
+    w_q: &Matrix,
+    b_q: &Matrix,
+    w_k: &Matrix,
+    b_k: &Matrix,
+    w_v: &Matrix,
+    b_v: &Matrix,
+    mask: AttentionMask,
+    backend: &dyn MatMul,
+) -> Matrix {
+    // MM1 projections (paper Table 4.2).
+    let q = ops::add_bias(&backend.matmul(queries_from, w_q), b_q);
+    let k = ops::add_bias(&backend.matmul(memory, w_k), b_k);
+    let v = ops::add_bias(&backend.matmul(memory, w_v), b_v);
+
+    // MM2: Q · Kᵀ, then scale (Sc) and softmax (Sm).
+    let mut scores = backend.matmul(&q, &k.transpose());
+    let scale = 1.0 / (w_q.cols() as f32).sqrt();
+    scores.map_inplace(|x| x * scale);
+    if mask == AttentionMask::Causal {
+        apply_causal_mask(&mut scores);
+    }
+    softmax_rows_inplace(&mut scores);
+
+    // MM3: attention-weighted values.
+    backend.matmul(&scores, &v)
+}
+
+/// Full multi-head attention (Eq 3.2): run every head, concatenate, project
+/// through `W_A` and add `B_A`.
+pub fn multi_head_attention(
+    queries_from: &Matrix,
+    memory: &Matrix,
+    w: &AttentionWeights,
+    mask: AttentionMask,
+    backend: &dyn MatMul,
+) -> Matrix {
+    let heads: Vec<Matrix> = (0..w.w_q.len())
+        .map(|h| {
+            attention_head(
+                queries_from,
+                memory,
+                &w.w_q[h],
+                &w.b_q[h],
+                &w.w_k[h],
+                &w.b_k[h],
+                &w.w_v[h],
+                &w.b_v[h],
+                mask,
+                backend,
+            )
+        })
+        .collect();
+    let refs: Vec<&Matrix> = heads.iter().collect();
+    let concat = Matrix::hconcat(&refs);
+    // MM4 + bias.
+    ops::add_bias(&backend.matmul(&concat, &w.w_a), &w.b_a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::init;
+
+    fn rig() -> (TransformerConfig, AttentionWeights, Matrix) {
+        let cfg = TransformerConfig::tiny();
+        let w = AttentionWeights::seeded(&cfg, 3);
+        let x = init::uniform(6, cfg.d_model, -1.0, 1.0, 7);
+        (cfg, w, x)
+    }
+
+    #[test]
+    fn mha_output_shape_matches_input() {
+        let (_, w, x) = rig();
+        let y = multi_head_attention(&x, &x, &w, AttentionMask::None, &ReferenceBackend);
+        assert_eq!(y.shape(), x.shape());
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn causal_mask_blocks_future_influence() {
+        // Changing a future position must not change earlier outputs when the
+        // causal mask is on.
+        let (_, w, x) = rig();
+        let y1 = multi_head_attention(&x, &x, &w, AttentionMask::Causal, &ReferenceBackend);
+        let mut x2 = x.clone();
+        // perturb the LAST row only
+        let last = x2.rows() - 1;
+        for v in x2.row_mut(last) {
+            *v += 1.0;
+        }
+        let y2 = multi_head_attention(&x2, &x2, &w, AttentionMask::Causal, &ReferenceBackend);
+        for i in 0..last {
+            for j in 0..y1.cols() {
+                assert!(
+                    (y1[(i, j)] - y2[(i, j)]).abs() < 1e-5,
+                    "row {} leaked future information",
+                    i
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unmasked_attention_sees_future() {
+        // Sanity inverse of the causal test: without the mask the earlier
+        // outputs DO change.
+        let (_, w, x) = rig();
+        let y1 = multi_head_attention(&x, &x, &w, AttentionMask::None, &ReferenceBackend);
+        let mut x2 = x.clone();
+        let last = x2.rows() - 1;
+        for v in x2.row_mut(last) {
+            *v += 1.0;
+        }
+        let y2 = multi_head_attention(&x2, &x2, &w, AttentionMask::None, &ReferenceBackend);
+        let changed = (0..last).any(|i| {
+            (0..y1.cols()).any(|j| (y1[(i, j)] - y2[(i, j)]).abs() > 1e-4)
+        });
+        assert!(changed);
+    }
+
+    #[test]
+    fn cross_attention_uses_memory_length() {
+        let (cfg, w, x) = rig();
+        let memory = init::uniform(9, cfg.d_model, -1.0, 1.0, 11);
+        let y = multi_head_attention(&x, &memory, &w, AttentionMask::None, &ReferenceBackend);
+        // output length follows the query side
+        assert_eq!(y.shape(), (6, cfg.d_model));
+    }
+
+    #[test]
+    fn single_row_attention_is_well_defined() {
+        let (cfg, w, _) = rig();
+        let x = init::uniform(1, cfg.d_model, -1.0, 1.0, 13);
+        let y = multi_head_attention(&x, &x, &w, AttentionMask::Causal, &ReferenceBackend);
+        assert_eq!(y.shape(), (1, cfg.d_model));
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn head_uses_scale_one_over_sqrt_dk() {
+        // With W_Q = W_K = identity-ish and large values the scale keeps
+        // softmax finite; indirectly verified through finiteness at large X.
+        let (_, w, _) = rig();
+        let x = init::uniform(4, 32, -30.0, 30.0, 17);
+        let y = multi_head_attention(&x, &x, &w, AttentionMask::None, &ReferenceBackend);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,252 @@
+//! Incremental decoding with a K/V cache.
+//!
+//! Naive autoregressive decoding recomputes the entire decoder stack for the
+//! whole prefix at every step — `O(T²)` attention projections. The standard
+//! inference optimisation caches each layer's K/V projections (self-attention)
+//! and the cross-attention K/V (which depend only on the encoder memory), so
+//! each step only projects the newest token. Decoding results are identical
+//! to the uncached path; the tests pin that equality token-for-token.
+
+use crate::model::Model;
+use crate::weights::{AttentionWeights, DecoderWeights};
+use asr_frontend::vocab::{self, TokenId};
+use asr_tensor::activations::softmax_rows_inplace;
+use asr_tensor::norm::layer_norm;
+use asr_tensor::{ops, MatMul, Matrix};
+
+/// Per-layer cached state.
+struct LayerCache {
+    /// Self-attention K per head: grows one row per step.
+    self_k: Vec<Matrix>,
+    /// Self-attention V per head.
+    self_v: Vec<Matrix>,
+    /// Cross-attention K per head (fixed once computed).
+    cross_k: Vec<Matrix>,
+    /// Cross-attention V per head.
+    cross_v: Vec<Matrix>,
+}
+
+/// Decoder-stack cache across steps.
+pub struct KvCache {
+    layers: Vec<LayerCache>,
+}
+
+impl KvCache {
+    /// Build the cache: precomputes the cross-attention K/V from the memory.
+    pub fn new(model: &Model, memory: &Matrix, backend: &dyn MatMul) -> Self {
+        let layers = model
+            .weights
+            .decoders
+            .iter()
+            .map(|dec| {
+                let h = dec.cross_mha.w_k.len();
+                let mut cross_k = Vec::with_capacity(h);
+                let mut cross_v = Vec::with_capacity(h);
+                for hd in 0..h {
+                    cross_k.push(ops::add_bias(
+                        &backend.matmul(memory, &dec.cross_mha.w_k[hd]),
+                        &dec.cross_mha.b_k[hd],
+                    ));
+                    cross_v.push(ops::add_bias(
+                        &backend.matmul(memory, &dec.cross_mha.w_v[hd]),
+                        &dec.cross_mha.b_v[hd],
+                    ));
+                }
+                LayerCache { self_k: Vec::new(), self_v: Vec::new(), cross_k, cross_v }
+            })
+            .collect();
+        KvCache { layers }
+    }
+
+    /// Steps cached so far.
+    pub fn len(&self) -> usize {
+        self.layers
+            .first()
+            .and_then(|l| l.self_k.first())
+            .map(|k| k.rows())
+            .unwrap_or(0)
+    }
+
+    /// True before the first step.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Attention of ONE new query row against cached K/V for one head.
+fn cached_head_attention(
+    q_row: &Matrix, // 1 × d_k
+    k: &Matrix,     // t × d_k
+    v: &Matrix,     // t × d_k
+) -> Matrix {
+    let mut scores = ops::matmul_naive(q_row, &k.transpose()); // 1 × t
+    let scale = 1.0 / (q_row.cols() as f32).sqrt();
+    scores.map_inplace(|x| x * scale);
+    // causality is implicit: the cache only holds past positions
+    softmax_rows_inplace(&mut scores);
+    ops::matmul_naive(&scores, v) // 1 × d_k
+}
+
+/// Multi-head attention of one new row with cache append (self-attention) or
+/// fixed cache (cross-attention).
+fn cached_mha(
+    x_row: &Matrix,
+    w: &AttentionWeights,
+    k_cache: &mut Vec<Matrix>,
+    v_cache: &mut Vec<Matrix>,
+    append: bool,
+    backend: &dyn MatMul,
+) -> Matrix {
+    let h = w.w_q.len();
+    let mut heads = Vec::with_capacity(h);
+    for hd in 0..h {
+        let q = ops::add_bias(&backend.matmul(x_row, &w.w_q[hd]), &w.b_q[hd]);
+        if append {
+            let k_new = ops::add_bias(&backend.matmul(x_row, &w.w_k[hd]), &w.b_k[hd]);
+            let v_new = ops::add_bias(&backend.matmul(x_row, &w.w_v[hd]), &w.b_v[hd]);
+            if k_cache.len() <= hd {
+                k_cache.push(k_new);
+                v_cache.push(v_new);
+            } else {
+                k_cache[hd] = Matrix::vconcat(&[&k_cache[hd], &k_new]);
+                v_cache[hd] = Matrix::vconcat(&[&v_cache[hd], &v_new]);
+            }
+        }
+        heads.push(cached_head_attention(&q, &k_cache[hd], &v_cache[hd]));
+    }
+    let refs: Vec<&Matrix> = heads.iter().collect();
+    ops::add_bias(&backend.matmul(&Matrix::hconcat(&refs), &w.w_a), &w.b_a)
+}
+
+fn cached_decoder_layer(
+    x_row: &Matrix,
+    dec: &DecoderWeights,
+    cache: &mut LayerCache,
+    backend: &dyn MatMul,
+) -> Matrix {
+    let self_att =
+        cached_mha(x_row, &dec.masked_mha, &mut cache.self_k, &mut cache.self_v, true, backend);
+    let x1 = layer_norm(&ops::add(x_row, &self_att), &dec.ln1.w, &dec.ln1.b);
+    // cross-attention: cache fixed, no append
+    let mut ck = cache.cross_k.clone();
+    let mut cv = cache.cross_v.clone();
+    let cross = cached_mha(&x1, &dec.cross_mha, &mut ck, &mut cv, false, backend);
+    let x2 = layer_norm(&ops::add(&x1, &cross), &dec.ln2.w, &dec.ln2.b);
+    let ffn = crate::ffn::ffn_forward(&x2, &dec.ffn, backend);
+    layer_norm(&ops::add(&x2, &ffn), &dec.ln3.w, &dec.ln3.b)
+}
+
+/// One incremental decode step: feed the newest token, get its logits row.
+pub fn step(
+    model: &Model,
+    token: TokenId,
+    cache: &mut KvCache,
+    backend: &dyn MatMul,
+) -> Matrix {
+    let mut x = model.embed(&[token]);
+    for (dec, layer_cache) in model.weights.decoders.iter().zip(&mut cache.layers) {
+        x = cached_decoder_layer(&x, dec, layer_cache, backend);
+    }
+    ops::add_bias(&backend.matmul(&x, &model.weights.out_proj), &model.weights.out_bias)
+}
+
+/// Greedy decode using the K/V cache; token-identical to
+/// [`Model::greedy_decode`] but `O(T)` projections instead of `O(T²)`.
+pub fn greedy_decode_cached(
+    model: &Model,
+    memory: &Matrix,
+    max_len: usize,
+    backend: &dyn MatMul,
+) -> Vec<TokenId> {
+    let mut cache = KvCache::new(model, memory, backend);
+    let mut tokens = vec![vocab::SOS];
+    let mut last = vocab::SOS;
+    for _ in 0..max_len {
+        let logits = step(model, last, &mut cache, backend);
+        let next = logits
+            .row(0)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(i, _)| i)
+            .expect("non-empty logits");
+        tokens.push(next);
+        last = next;
+        if next == vocab::EOS {
+            break;
+        }
+    }
+    tokens
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::init;
+
+    fn rig() -> (Model, Matrix) {
+        let model = Model::seeded(TransformerConfig::tiny(), 31);
+        let x = init::uniform(6, model.config.d_model, -1.0, 1.0, 4);
+        let mem = model.encode(&x, &ReferenceBackend);
+        (model, mem)
+    }
+
+    #[test]
+    fn cached_decode_matches_uncached_exactly() {
+        let (model, mem) = rig();
+        let uncached = model.greedy_decode(&mem, 12, &ReferenceBackend);
+        let cached = greedy_decode_cached(&model, &mem, 12, &ReferenceBackend);
+        assert_eq!(cached, uncached);
+    }
+
+    #[test]
+    fn cached_decode_matches_on_several_memories() {
+        let model = Model::seeded(TransformerConfig::tiny(), 77);
+        for seed in 0..5u64 {
+            let x = init::uniform(4, model.config.d_model, -2.0, 2.0, seed);
+            let mem = model.encode(&x, &ReferenceBackend);
+            assert_eq!(
+                greedy_decode_cached(&model, &mem, 8, &ReferenceBackend),
+                model.greedy_decode(&mem, 8, &ReferenceBackend),
+                "seed {}",
+                seed
+            );
+        }
+    }
+
+    #[test]
+    fn cache_grows_one_row_per_step() {
+        let (model, mem) = rig();
+        let mut cache = KvCache::new(&model, &mem, &ReferenceBackend);
+        assert!(cache.is_empty());
+        step(&model, vocab::SOS, &mut cache, &ReferenceBackend);
+        assert_eq!(cache.len(), 1);
+        step(&model, 5, &mut cache, &ReferenceBackend);
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn step_logits_match_full_forward_last_row() {
+        let (model, mem) = rig();
+        let prefix = [vocab::SOS, 7, 9];
+        // full forward
+        let full = model.decode_logits(&prefix, &mem, &ReferenceBackend);
+        // incremental
+        let mut cache = KvCache::new(&model, &mem, &ReferenceBackend);
+        let mut last_logits = Matrix::zeros(1, model.config.vocab_size);
+        for &t in &prefix {
+            last_logits = step(&model, t, &mut cache, &ReferenceBackend);
+        }
+        for j in 0..model.config.vocab_size {
+            assert!(
+                (last_logits[(0, j)] - full[(prefix.len() - 1, j)]).abs() < 1e-3,
+                "logit {} differs: {} vs {}",
+                j,
+                last_logits[(0, j)],
+                full[(prefix.len() - 1, j)]
+            );
+        }
+    }
+}

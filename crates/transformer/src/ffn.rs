@@ -1,0 +1,66 @@
+//! Position-wise feed-forward network (Eq 3.3):
+//! `FFN(x) = ReLU(x·W_1F + B_1F)·W_2F + B_2F`.
+
+use crate::weights::FfnWeights;
+use asr_tensor::activations::relu_inplace;
+use asr_tensor::{ops, MatMul, Matrix};
+
+/// Forward pass of the FFN block (MM5 then MM6 in the paper's scheme).
+pub fn ffn_forward(x: &Matrix, w: &FfnWeights, backend: &dyn MatMul) -> Matrix {
+    let mut hidden = ops::add_bias(&backend.matmul(x, &w.w1), &w.b1);
+    relu_inplace(&mut hidden);
+    ops::add_bias(&backend.matmul(&hidden, &w.w2), &w.b2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use crate::weights::FfnWeights;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::init;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let cfg = TransformerConfig::tiny();
+        let w = FfnWeights::seeded(&cfg, 1);
+        let x = init::uniform(5, cfg.d_model, -1.0, 1.0, 2);
+        let y = ffn_forward(&x, &w, &ReferenceBackend);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn hidden_width_is_d_ff() {
+        let cfg = TransformerConfig::tiny();
+        let w = FfnWeights::seeded(&cfg, 1);
+        assert_eq!(w.w1.cols(), cfg.d_ff);
+        assert_eq!(w.w2.rows(), cfg.d_ff);
+    }
+
+    #[test]
+    fn relu_gates_the_hidden_layer() {
+        // With a strongly negative b1 the hidden layer dies and the output
+        // collapses to b2 broadcast over rows.
+        let cfg = TransformerConfig::tiny();
+        let mut w = FfnWeights::seeded(&cfg, 1);
+        w.b1 = asr_tensor::Matrix::filled(1, cfg.d_ff, -1e6);
+        let x = init::uniform(3, cfg.d_model, -1.0, 1.0, 4);
+        let y = ffn_forward(&x, &w, &ReferenceBackend);
+        for i in 0..3 {
+            for j in 0..cfg.d_model {
+                assert!((y[(i, j)] - w.b2[(0, j)]).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_forward() {
+        let cfg = TransformerConfig::tiny();
+        let w = FfnWeights::seeded(&cfg, 1);
+        let x = init::uniform(4, cfg.d_model, -1.0, 1.0, 5);
+        assert_eq!(
+            ffn_forward(&x, &w, &ReferenceBackend),
+            ffn_forward(&x, &w, &ReferenceBackend)
+        );
+    }
+}

@@ -1,0 +1,41 @@
+//! The Transformer encoder–decoder ASR model (paper Chapter 3).
+//!
+//! The deployed model is ESPnet's `transformer_base`: **12 encoders and 6
+//! decoders**, `d_model = 512`, `h = 8` attention heads (`d_k = 64`),
+//! `d_ff = 2048`, character outputs, *no positional encoding* (the paper uses
+//! the CNN front end instead, §1.1). Everything the accelerator schedules is
+//! defined here:
+//!
+//! * [`config`] — model hyper-parameters, with [`config::TransformerConfig::paper_base`]
+//!   matching the thesis and a [`config::TransformerConfig::tiny`] for tests;
+//! * [`weights`] — per-layer weight containers, seeded init, byte accounting,
+//!   and the Table 4.1 weight-matrix inventory;
+//! * [`attention`] / [`ffn`] / [`addnorm`] — the MHA (Eq 3.1–3.2), FFN
+//!   (Eq 3.3) and Add-Norm (Eq 3.4) blocks;
+//! * [`encoder`] / [`decoder`] — layer forward passes;
+//! * [`model`] — the full stack with greedy autoregressive decoding;
+//! * [`flops`] — FLOP and operational-intensity accounting (§4.2): the model
+//!   costs ~4 GFLOPs at `s = 32`, matching the paper's figure.
+//!
+//! All forward passes run through the pluggable [`asr_tensor::MatMul`]
+//! backend, so the identical model code executes on the reference kernels or
+//! on the systolic functional units.
+
+pub mod addnorm;
+pub mod analysis;
+pub mod attention;
+pub mod beam;
+pub mod cache;
+pub mod config;
+pub mod decoder;
+pub mod encoder;
+pub mod ffn;
+pub mod flops;
+pub mod model;
+pub mod model_io;
+pub mod streaming;
+pub mod weights;
+
+pub use config::TransformerConfig;
+pub use model::Model;
+pub use weights::ModelWeights;

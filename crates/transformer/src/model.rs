@@ -1,0 +1,184 @@
+//! The full encoder–decoder model with greedy autoregressive decoding.
+
+use crate::config::TransformerConfig;
+use crate::decoder::decoder_forward;
+use crate::encoder::encoder_forward;
+use crate::weights::ModelWeights;
+use asr_frontend::vocab::{self, TokenId};
+use asr_tensor::{ops, MatMul, Matrix};
+
+/// The complete Transformer ASR model.
+#[derive(Debug, Clone)]
+pub struct Model {
+    /// Hyper-parameters.
+    pub config: TransformerConfig,
+    /// All weights.
+    pub weights: ModelWeights,
+}
+
+impl Model {
+    /// Build a seeded model for a configuration.
+    pub fn seeded(config: TransformerConfig, seed: u64) -> Self {
+        config.validate();
+        let weights = ModelWeights::seeded(&config, seed);
+        Self { config, weights }
+    }
+
+    /// Run the encoder stack over `s × d_model` features, producing the
+    /// encoder memory.
+    pub fn encode(&self, features: &Matrix, backend: &dyn MatMul) -> Matrix {
+        assert_eq!(
+            features.cols(),
+            self.config.d_model,
+            "encoder input width {} != d_model {}",
+            features.cols(),
+            self.config.d_model
+        );
+        let mut x = features.clone();
+        for enc in &self.weights.encoders {
+            x = encoder_forward(&x, enc, backend);
+        }
+        x
+    }
+
+    /// Embed a token sequence into a `t × d_model` matrix (no positional
+    /// encoding — the paper's model removed it).
+    pub fn embed(&self, tokens: &[TokenId]) -> Matrix {
+        assert!(!tokens.is_empty(), "cannot embed an empty sequence");
+        let d = self.config.d_model;
+        let mut out = Matrix::zeros(tokens.len(), d);
+        for (i, &t) in tokens.iter().enumerate() {
+            assert!(t < self.config.vocab_size, "token {} outside vocab", t);
+            out.row_mut(i).copy_from_slice(self.weights.embedding.row(t));
+        }
+        out
+    }
+
+    /// Run the decoder stack for a token prefix against the encoder memory,
+    /// returning `t × vocab` logits.
+    pub fn decode_logits(
+        &self,
+        tokens: &[TokenId],
+        memory: &Matrix,
+        backend: &dyn MatMul,
+    ) -> Matrix {
+        let mut x = self.embed(tokens);
+        for dec in &self.weights.decoders {
+            x = decoder_forward(&x, memory, dec, backend);
+        }
+        ops::add_bias(&backend.matmul(&x, &self.weights.out_proj), &self.weights.out_bias)
+    }
+
+    /// Greedy autoregressive decode: start from `<sos>`, repeatedly append
+    /// the argmax token, stop at `<eos>` or `max_len`.
+    pub fn greedy_decode(
+        &self,
+        memory: &Matrix,
+        max_len: usize,
+        backend: &dyn MatMul,
+    ) -> Vec<TokenId> {
+        let mut tokens = vec![vocab::SOS];
+        for _ in 0..max_len {
+            let logits = self.decode_logits(&tokens, memory, backend);
+            let last = logits.row(logits.rows() - 1);
+            let next = last
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(i, _)| i)
+                .expect("non-empty logits");
+            tokens.push(next);
+            if next == vocab::EOS {
+                break;
+            }
+        }
+        tokens
+    }
+
+    /// Full recognition: encode features, greedy-decode, return token ids.
+    pub fn transcribe_tokens(
+        &self,
+        features: &Matrix,
+        max_len: usize,
+        backend: &dyn MatMul,
+    ) -> Vec<TokenId> {
+        let memory = self.encode(features, backend);
+        self.greedy_decode(&memory, max_len, backend)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::init;
+
+    fn tiny_model() -> Model {
+        Model::seeded(TransformerConfig::tiny(), 42)
+    }
+
+    #[test]
+    fn encode_preserves_shape() {
+        let m = tiny_model();
+        let x = init::uniform(6, m.config.d_model, -1.0, 1.0, 1);
+        let mem = m.encode(&x, &ReferenceBackend);
+        assert_eq!(mem.shape(), x.shape());
+    }
+
+    #[test]
+    fn embed_looks_up_rows() {
+        let m = tiny_model();
+        let e = m.embed(&[0, 3, 3]);
+        assert_eq!(e.shape(), (3, m.config.d_model));
+        assert_eq!(e.row(1), e.row(2));
+        assert_eq!(e.row(0), m.weights.embedding.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside vocab")]
+    fn embed_rejects_oov() {
+        let m = tiny_model();
+        let _ = m.embed(&[999]);
+    }
+
+    #[test]
+    fn logits_have_vocab_width() {
+        let m = tiny_model();
+        let x = init::uniform(4, m.config.d_model, -1.0, 1.0, 2);
+        let mem = m.encode(&x, &ReferenceBackend);
+        let logits = m.decode_logits(&[vocab::SOS, 5], &mem, &ReferenceBackend);
+        assert_eq!(logits.shape(), (2, m.config.vocab_size));
+    }
+
+    #[test]
+    fn greedy_decode_terminates_and_is_deterministic() {
+        let m = tiny_model();
+        let x = init::uniform(5, m.config.d_model, -1.0, 1.0, 3);
+        let mem = m.encode(&x, &ReferenceBackend);
+        let t1 = m.greedy_decode(&mem, 12, &ReferenceBackend);
+        let t2 = m.greedy_decode(&mem, 12, &ReferenceBackend);
+        assert_eq!(t1, t2);
+        assert_eq!(t1[0], vocab::SOS);
+        assert!(t1.len() <= 13);
+        // every generated token is in-vocab
+        assert!(t1.iter().all(|&t| t < m.config.vocab_size));
+    }
+
+    #[test]
+    fn transcribe_runs_end_to_end() {
+        let m = tiny_model();
+        let x = init::uniform(6, m.config.d_model, -1.0, 1.0, 4);
+        let tokens = m.transcribe_tokens(&x, 8, &ReferenceBackend);
+        assert!(!tokens.is_empty());
+    }
+
+    #[test]
+    fn different_memory_can_change_transcription() {
+        let m = tiny_model();
+        let x1 = init::uniform(6, m.config.d_model, -4.0, 4.0, 5);
+        let x2 = init::uniform(6, m.config.d_model, -4.0, 4.0, 777);
+        let l1 = m.decode_logits(&[vocab::SOS], &m.encode(&x1, &ReferenceBackend), &ReferenceBackend);
+        let l2 = m.decode_logits(&[vocab::SOS], &m.encode(&x2, &ReferenceBackend), &ReferenceBackend);
+        assert_ne!(l1, l2);
+    }
+}

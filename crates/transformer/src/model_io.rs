@@ -1,0 +1,288 @@
+//! Binary serialization of model weights.
+//!
+//! The paper's host uploads a trained checkpoint to HBM once and streams it
+//! layer by layer; a deployable library therefore needs a compact on-disk
+//! weight format. This is a simple versioned little-endian container built
+//! on the `bytes` crate: magic, version, config header, then every matrix as
+//! `(rows: u32, cols: u32, f32 payload)` in a fixed traversal order.
+
+use crate::config::TransformerConfig;
+use crate::weights::{
+    AttentionWeights, DecoderWeights, EncoderWeights, FfnWeights, LayerNormWeights, ModelWeights,
+};
+use asr_tensor::Matrix;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// File magic: "TASR".
+const MAGIC: u32 = 0x5441_5352;
+/// Format version.
+const VERSION: u32 = 1;
+
+/// Serialization / deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoError {
+    /// Wrong magic number.
+    BadMagic(u32),
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Payload ended early.
+    Truncated,
+    /// A matrix header was inconsistent.
+    BadShape(u32, u32),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::BadMagic(m) => write!(f, "bad magic 0x{:08x}", m),
+            IoError::BadVersion(v) => write!(f, "unsupported version {}", v),
+            IoError::Truncated => write!(f, "truncated payload"),
+            IoError::BadShape(r, c) => write!(f, "bad matrix shape {}x{}", r, c),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Hard cap on a single matrix side, to reject corrupt headers early.
+const MAX_DIM: u32 = 1 << 20;
+
+fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
+    buf.put_u32_le(m.rows() as u32);
+    buf.put_u32_le(m.cols() as u32);
+    for &x in m.as_slice() {
+        buf.put_f32_le(x);
+    }
+}
+
+fn get_matrix(buf: &mut Bytes) -> Result<Matrix, IoError> {
+    if buf.remaining() < 8 {
+        return Err(IoError::Truncated);
+    }
+    let rows = buf.get_u32_le();
+    let cols = buf.get_u32_le();
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return Err(IoError::BadShape(rows, cols));
+    }
+    let n = rows as usize * cols as usize;
+    if buf.remaining() < n * 4 {
+        return Err(IoError::Truncated);
+    }
+    let mut data = Vec::with_capacity(n);
+    for _ in 0..n {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+}
+
+fn put_attention(buf: &mut BytesMut, a: &AttentionWeights) {
+    for group in [&a.w_q, &a.w_k, &a.w_v, &a.b_q, &a.b_k, &a.b_v] {
+        for m in group {
+            put_matrix(buf, m);
+        }
+    }
+    put_matrix(buf, &a.w_a);
+    put_matrix(buf, &a.b_a);
+}
+
+fn get_attention(buf: &mut Bytes, heads: usize) -> Result<AttentionWeights, IoError> {
+    let mut groups: Vec<Vec<Matrix>> = Vec::with_capacity(6);
+    for _ in 0..6 {
+        let mut g = Vec::with_capacity(heads);
+        for _ in 0..heads {
+            g.push(get_matrix(buf)?);
+        }
+        groups.push(g);
+    }
+    let b_v = groups.pop().unwrap();
+    let b_k = groups.pop().unwrap();
+    let b_q = groups.pop().unwrap();
+    let w_v = groups.pop().unwrap();
+    let w_k = groups.pop().unwrap();
+    let w_q = groups.pop().unwrap();
+    Ok(AttentionWeights { w_q, w_k, w_v, b_q, b_k, b_v, w_a: get_matrix(buf)?, b_a: get_matrix(buf)? })
+}
+
+fn put_ffn(buf: &mut BytesMut, f: &FfnWeights) {
+    put_matrix(buf, &f.w1);
+    put_matrix(buf, &f.b1);
+    put_matrix(buf, &f.w2);
+    put_matrix(buf, &f.b2);
+}
+
+fn get_ffn(buf: &mut Bytes) -> Result<FfnWeights, IoError> {
+    Ok(FfnWeights {
+        w1: get_matrix(buf)?,
+        b1: get_matrix(buf)?,
+        w2: get_matrix(buf)?,
+        b2: get_matrix(buf)?,
+    })
+}
+
+fn put_ln(buf: &mut BytesMut, l: &LayerNormWeights) {
+    put_matrix(buf, &l.w);
+    put_matrix(buf, &l.b);
+}
+
+fn get_ln(buf: &mut Bytes) -> Result<LayerNormWeights, IoError> {
+    Ok(LayerNormWeights { w: get_matrix(buf)?, b: get_matrix(buf)? })
+}
+
+/// Serialize a model's configuration and weights to bytes.
+pub fn to_bytes(cfg: &TransformerConfig, w: &ModelWeights) -> Bytes {
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION);
+    for v in [cfg.n_encoders, cfg.n_decoders, cfg.d_model, cfg.n_heads, cfg.d_ff, cfg.vocab_size] {
+        buf.put_u32_le(v as u32);
+    }
+    for enc in &w.encoders {
+        put_attention(&mut buf, &enc.mha);
+        put_ln(&mut buf, &enc.ln1);
+        put_ffn(&mut buf, &enc.ffn);
+        put_ln(&mut buf, &enc.ln2);
+    }
+    for dec in &w.decoders {
+        put_attention(&mut buf, &dec.masked_mha);
+        put_ln(&mut buf, &dec.ln1);
+        put_attention(&mut buf, &dec.cross_mha);
+        put_ln(&mut buf, &dec.ln2);
+        put_ffn(&mut buf, &dec.ffn);
+        put_ln(&mut buf, &dec.ln3);
+    }
+    put_matrix(&mut buf, &w.embedding);
+    put_matrix(&mut buf, &w.out_proj);
+    put_matrix(&mut buf, &w.out_bias);
+    buf.freeze()
+}
+
+/// Deserialize a model from bytes.
+pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), IoError> {
+    if buf.remaining() < 8 + 6 * 4 {
+        return Err(IoError::Truncated);
+    }
+    let magic = buf.get_u32_le();
+    if magic != MAGIC {
+        return Err(IoError::BadMagic(magic));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::BadVersion(version));
+    }
+    let cfg = TransformerConfig {
+        n_encoders: buf.get_u32_le() as usize,
+        n_decoders: buf.get_u32_le() as usize,
+        d_model: buf.get_u32_le() as usize,
+        n_heads: buf.get_u32_le() as usize,
+        d_ff: buf.get_u32_le() as usize,
+        vocab_size: buf.get_u32_le() as usize,
+    };
+    let mut encoders = Vec::with_capacity(cfg.n_encoders);
+    for _ in 0..cfg.n_encoders {
+        encoders.push(EncoderWeights {
+            mha: get_attention(&mut buf, cfg.n_heads)?,
+            ln1: get_ln(&mut buf)?,
+            ffn: get_ffn(&mut buf)?,
+            ln2: get_ln(&mut buf)?,
+        });
+    }
+    let mut decoders = Vec::with_capacity(cfg.n_decoders);
+    for _ in 0..cfg.n_decoders {
+        decoders.push(DecoderWeights {
+            masked_mha: get_attention(&mut buf, cfg.n_heads)?,
+            ln1: get_ln(&mut buf)?,
+            cross_mha: get_attention(&mut buf, cfg.n_heads)?,
+            ln2: get_ln(&mut buf)?,
+            ffn: get_ffn(&mut buf)?,
+            ln3: get_ln(&mut buf)?,
+        });
+    }
+    let weights = ModelWeights {
+        encoders,
+        decoders,
+        embedding: get_matrix(&mut buf)?,
+        out_proj: get_matrix(&mut buf)?,
+        out_bias: get_matrix(&mut buf)?,
+    };
+    Ok((cfg, weights))
+}
+
+/// Write a model to a file.
+pub fn save(path: &std::path::Path, cfg: &TransformerConfig, w: &ModelWeights) -> std::io::Result<()> {
+    std::fs::write(path, to_bytes(cfg, w))
+}
+
+/// Read a model from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<(TransformerConfig, ModelWeights)> {
+    let data = std::fs::read(path)?;
+    from_bytes(Bytes::from(data))
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 42);
+        let bytes = to_bytes(&cfg, &w);
+        let (cfg2, w2) = from_bytes(bytes).unwrap();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 7);
+        let path = std::env::temp_dir().join("tasr_model_io_test.bin");
+        save(&path, &cfg, &w).unwrap();
+        let (cfg2, w2) = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0xdeadbeef);
+        buf.put_u32_le(VERSION);
+        buf.put_bytes(0, 64);
+        assert!(matches!(from_bytes(buf.freeze()), Err(IoError::BadMagic(0xdeadbeef))));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let bytes = to_bytes(&cfg, &w);
+        let mut v = bytes.to_vec();
+        v[4] = 99; // bump version
+        assert!(matches!(from_bytes(Bytes::from(v)), Err(IoError::BadVersion(_))));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let bytes = to_bytes(&cfg, &w);
+        let cut = bytes.slice(0..bytes.len() / 2);
+        assert!(matches!(from_bytes(cut), Err(IoError::Truncated)));
+    }
+
+    #[test]
+    fn size_matches_weight_accounting() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let bytes = to_bytes(&cfg, &w);
+        // payload = weights + 8-byte header per matrix + 32-byte file header;
+        // it must be within a percent of the raw weight bytes
+        let raw = w.size_bytes();
+        assert!(bytes.len() as u64 > raw);
+        assert!((bytes.len() as u64) < raw + raw / 20 + 1024);
+    }
+}

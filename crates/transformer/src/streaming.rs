@@ -1,0 +1,158 @@
+//! Chunked (streaming) encoding.
+//!
+//! The paper cites streaming Transformer ASR (Moritz et al. [26]) as the
+//! related direction for real-time use: instead of attending over the whole
+//! utterance, the encoder processes fixed-size chunks with a window of left
+//! context, so transcription can begin before the audio ends. This module
+//! implements chunk-wise encoding over the same encoder stack; with the
+//! chunk spanning the whole input it reduces exactly to offline encoding.
+
+use crate::model::Model;
+use asr_tensor::{MatMul, Matrix};
+
+/// Streaming parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamingConfig {
+    /// Encoder steps per chunk.
+    pub chunk: usize,
+    /// Left-context steps carried into each chunk's attention window.
+    pub left_context: usize,
+}
+
+impl StreamingConfig {
+    /// A latency-oriented default: 8-step chunks with 8 steps of context.
+    pub fn low_latency() -> Self {
+        StreamingConfig { chunk: 8, left_context: 8 }
+    }
+}
+
+/// Encode features chunk by chunk. Each chunk attends over
+/// `[chunk_start − left_context, chunk_end)`; only the chunk's own rows are
+/// emitted. Output shape equals the offline encoder's.
+pub fn encode_streaming(
+    model: &Model,
+    features: &Matrix,
+    cfg: &StreamingConfig,
+    backend: &dyn MatMul,
+) -> Matrix {
+    assert!(cfg.chunk >= 1, "chunk must be >= 1");
+    let s = features.rows();
+    assert!(s >= 1, "empty input");
+    let mut out = Matrix::zeros(s, model.config.d_model);
+    let mut start = 0usize;
+    while start < s {
+        let end = (start + cfg.chunk).min(s);
+        let ctx_start = start.saturating_sub(cfg.left_context);
+        let window = features.submatrix(ctx_start, 0, end - ctx_start, features.cols());
+        let encoded = model.encode(&window, backend);
+        let chunk_rows = encoded.submatrix(start - ctx_start, 0, end - start, encoded.cols());
+        out.set_submatrix(start, 0, &chunk_rows);
+        start = end;
+    }
+    out
+}
+
+/// First-emission latency advantage: the number of encoder steps that must
+/// arrive before the first output can be produced (offline: all of them;
+/// streaming: one chunk).
+pub fn first_emission_steps(total_steps: usize, cfg: &StreamingConfig) -> usize {
+    cfg.chunk.min(total_steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TransformerConfig;
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::{init, max_abs_diff};
+
+    fn rig() -> (Model, Matrix) {
+        let model = Model::seeded(TransformerConfig::tiny(), 13);
+        let x = init::uniform(12, model.config.d_model, -1.0, 1.0, 5);
+        (model, x)
+    }
+
+    #[test]
+    fn whole_input_chunk_equals_offline() {
+        let (model, x) = rig();
+        let offline = model.encode(&x, &ReferenceBackend);
+        let streamed = encode_streaming(
+            &model,
+            &x,
+            &StreamingConfig { chunk: 12, left_context: 0 },
+            &ReferenceBackend,
+        );
+        assert_eq!(streamed, offline);
+    }
+
+    #[test]
+    fn chunked_output_has_right_shape_and_is_finite() {
+        let (model, x) = rig();
+        let streamed =
+            encode_streaming(&model, &x, &StreamingConfig { chunk: 4, left_context: 4 }, &ReferenceBackend);
+        assert_eq!(streamed.shape(), (12, model.config.d_model));
+        assert!(streamed.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn more_context_gets_closer_to_offline() {
+        let (model, x) = rig();
+        let offline = model.encode(&x, &ReferenceBackend);
+        let narrow = encode_streaming(
+            &model,
+            &x,
+            &StreamingConfig { chunk: 4, left_context: 0 },
+            &ReferenceBackend,
+        );
+        let wide = encode_streaming(
+            &model,
+            &x,
+            &StreamingConfig { chunk: 4, left_context: 8 },
+            &ReferenceBackend,
+        );
+        let err_narrow = max_abs_diff(&narrow, &offline);
+        let err_wide = max_abs_diff(&wide, &offline);
+        assert!(
+            err_wide <= err_narrow + 1e-6,
+            "wide context {} should not be worse than narrow {}",
+            err_wide,
+            err_narrow
+        );
+    }
+
+    #[test]
+    fn first_chunk_rows_ignore_the_future() {
+        // Changing input after the first chunk+0 context must not change the
+        // first chunk's output rows.
+        let (model, x) = rig();
+        let cfg = StreamingConfig { chunk: 4, left_context: 0 };
+        let a = encode_streaming(&model, &x, &cfg, &ReferenceBackend);
+        let mut x2 = x.clone();
+        for r in 6..12 {
+            for v in x2.row_mut(r) {
+                *v += 3.0;
+            }
+        }
+        let b = encode_streaming(&model, &x2, &cfg, &ReferenceBackend);
+        for r in 0..4 {
+            for c in 0..a.cols() {
+                assert_eq!(a[(r, c)], b[(r, c)], "row {} saw the future", r);
+            }
+        }
+    }
+
+    #[test]
+    fn first_emission_latency_is_one_chunk() {
+        let cfg = StreamingConfig::low_latency();
+        assert_eq!(first_emission_steps(32, &cfg), 8);
+        assert_eq!(first_emission_steps(4, &cfg), 4);
+    }
+
+    #[test]
+    fn ragged_final_chunk_handled() {
+        let (model, x) = rig(); // 12 rows
+        let streamed =
+            encode_streaming(&model, &x, &StreamingConfig { chunk: 5, left_context: 2 }, &ReferenceBackend);
+        assert_eq!(streamed.rows(), 12);
+    }
+}

@@ -1,0 +1,377 @@
+//! Weight containers, seeded initialisation, and size accounting.
+//!
+//! The layout mirrors the paper exactly: per-head `W_{Q/K/V}` projections of
+//! `d_model × d_k` with `1 × d_k` biases, the `W_A` output projection, the
+//! two FFN matrices, and `1 × d_model` layer-norm weight/bias rows. The
+//! [`WeightInventory`] reproduces Table 4.1 (the matrix census for the full
+//! 12 + 6 stack).
+
+use crate::config::TransformerConfig;
+use asr_tensor::{init, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Weights of one multi-head attention block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AttentionWeights {
+    /// Per-head query projections, each `d_model × d_k`.
+    pub w_q: Vec<Matrix>,
+    /// Per-head key projections.
+    pub w_k: Vec<Matrix>,
+    /// Per-head value projections.
+    pub w_v: Vec<Matrix>,
+    /// Per-head query biases, each `1 × d_k`.
+    pub b_q: Vec<Matrix>,
+    /// Per-head key biases.
+    pub b_k: Vec<Matrix>,
+    /// Per-head value biases.
+    pub b_v: Vec<Matrix>,
+    /// Output projection `W_A`, `d_model × d_model`.
+    pub w_a: Matrix,
+    /// Output bias `B_A`, `1 × d_model`.
+    pub b_a: Matrix,
+}
+
+impl AttentionWeights {
+    /// Seeded init for a configuration.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        let (d, dk, h) = (cfg.d_model, cfg.d_k(), cfg.n_heads);
+        let mat = |r, c, s| init::xavier(r, c, s);
+        let mut s = seed;
+        let mut take = || {
+            s = s.wrapping_add(1);
+            s
+        };
+        let heads = |r, c, take: &mut dyn FnMut() -> u64| {
+            (0..h).map(|_| mat(r, c, take())).collect::<Vec<_>>()
+        };
+        AttentionWeights {
+            w_q: heads(d, dk, &mut take),
+            w_k: heads(d, dk, &mut take),
+            w_v: heads(d, dk, &mut take),
+            b_q: heads(1, dk, &mut take),
+            b_k: heads(1, dk, &mut take),
+            b_v: heads(1, dk, &mut take),
+            w_a: mat(d, d, take()),
+            b_a: mat(1, d, take()),
+        }
+    }
+
+    /// Total f32 byte footprint of this block's weights.
+    pub fn size_bytes(&self) -> u64 {
+        let per_head: u64 = self
+            .w_q
+            .iter()
+            .chain(&self.w_k)
+            .chain(&self.w_v)
+            .chain(&self.b_q)
+            .chain(&self.b_k)
+            .chain(&self.b_v)
+            .map(|m| m.size_bytes())
+            .sum();
+        per_head + self.w_a.size_bytes() + self.b_a.size_bytes()
+    }
+}
+
+/// Weights of one feed-forward block (Eq 3.3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FfnWeights {
+    /// `W_1F`, `d_model × d_ff`.
+    pub w1: Matrix,
+    /// `B_1F`, `1 × d_ff`.
+    pub b1: Matrix,
+    /// `W_2F`, `d_ff × d_model`.
+    pub w2: Matrix,
+    /// `B_2F`, `1 × d_model`.
+    pub b2: Matrix,
+}
+
+impl FfnWeights {
+    /// Seeded init.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        FfnWeights {
+            w1: init::xavier(cfg.d_model, cfg.d_ff, seed),
+            b1: init::xavier(1, cfg.d_ff, seed + 1),
+            w2: init::xavier(cfg.d_ff, cfg.d_model, seed + 2),
+            b2: init::xavier(1, cfg.d_model, seed + 3),
+        }
+    }
+
+    /// Byte footprint.
+    pub fn size_bytes(&self) -> u64 {
+        self.w1.size_bytes() + self.b1.size_bytes() + self.w2.size_bytes() + self.b2.size_bytes()
+    }
+}
+
+/// Layer-norm affine parameters (one `L_N` pair of Table 4.1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerNormWeights {
+    /// Scale, `1 × d_model`.
+    pub w: Matrix,
+    /// Shift, `1 × d_model`.
+    pub b: Matrix,
+}
+
+impl LayerNormWeights {
+    /// Near-identity init (`w ≈ 1`, `b ≈ 0`) with a seeded perturbation so
+    /// different layers differ.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        let mut w = init::uniform(1, cfg.d_model, 0.9, 1.1, seed);
+        let b = init::uniform(1, cfg.d_model, -0.05, 0.05, seed + 1);
+        // keep scale strictly positive
+        w.map_inplace(|x| x.max(0.5));
+        LayerNormWeights { w, b }
+    }
+
+    /// Byte footprint.
+    pub fn size_bytes(&self) -> u64 {
+        self.w.size_bytes() + self.b.size_bytes()
+    }
+}
+
+/// One encoder layer: MHA + Add-Norm + FFN + Add-Norm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EncoderWeights {
+    /// Self-attention block.
+    pub mha: AttentionWeights,
+    /// Add-Norm after MHA.
+    pub ln1: LayerNormWeights,
+    /// Feed-forward block.
+    pub ffn: FfnWeights,
+    /// Add-Norm after FFN.
+    pub ln2: LayerNormWeights,
+}
+
+impl EncoderWeights {
+    /// Seeded init.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        EncoderWeights {
+            mha: AttentionWeights::seeded(cfg, seed),
+            ln1: LayerNormWeights::seeded(cfg, seed + 1_000),
+            ffn: FfnWeights::seeded(cfg, seed + 2_000),
+            ln2: LayerNormWeights::seeded(cfg, seed + 3_000),
+        }
+    }
+
+    /// Byte footprint of everything loaded for this layer.
+    pub fn size_bytes(&self) -> u64 {
+        self.mha.size_bytes() + self.ln1.size_bytes() + self.ffn.size_bytes() + self.ln2.size_bytes()
+    }
+}
+
+/// One decoder layer: masked MHA, cross MHA, FFN, each with Add-Norm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecoderWeights {
+    /// Masked self-attention.
+    pub masked_mha: AttentionWeights,
+    /// Add-Norm after masked MHA.
+    pub ln1: LayerNormWeights,
+    /// Cross-attention over the encoder memory.
+    pub cross_mha: AttentionWeights,
+    /// Add-Norm after cross MHA.
+    pub ln2: LayerNormWeights,
+    /// Feed-forward block.
+    pub ffn: FfnWeights,
+    /// Add-Norm after FFN.
+    pub ln3: LayerNormWeights,
+}
+
+impl DecoderWeights {
+    /// Seeded init.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        DecoderWeights {
+            masked_mha: AttentionWeights::seeded(cfg, seed),
+            ln1: LayerNormWeights::seeded(cfg, seed + 1_000),
+            cross_mha: AttentionWeights::seeded(cfg, seed + 2_000),
+            ln2: LayerNormWeights::seeded(cfg, seed + 3_000),
+            ffn: FfnWeights::seeded(cfg, seed + 4_000),
+            ln3: LayerNormWeights::seeded(cfg, seed + 5_000),
+        }
+    }
+
+    /// Byte footprint.
+    pub fn size_bytes(&self) -> u64 {
+        self.masked_mha.size_bytes()
+            + self.cross_mha.size_bytes()
+            + self.ffn.size_bytes()
+            + self.ln1.size_bytes()
+            + self.ln2.size_bytes()
+            + self.ln3.size_bytes()
+    }
+
+    /// Bytes of the combined M-MHA + MHA load phase (`LWi_m` of Fig 4.11).
+    pub fn mha_phase_bytes(&self) -> u64 {
+        self.masked_mha.size_bytes()
+            + self.cross_mha.size_bytes()
+            + self.ln1.size_bytes()
+            + self.ln2.size_bytes()
+    }
+
+    /// Bytes of the FFN load phase (`LWi_f` of Fig 4.11).
+    pub fn ffn_phase_bytes(&self) -> u64 {
+        self.ffn.size_bytes() + self.ln3.size_bytes()
+    }
+}
+
+/// The whole model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelWeights {
+    /// Encoder stack.
+    pub encoders: Vec<EncoderWeights>,
+    /// Decoder stack.
+    pub decoders: Vec<DecoderWeights>,
+    /// Token embedding table, `vocab × d_model` (decoder input; the model has
+    /// no positional encoding).
+    pub embedding: Matrix,
+    /// Output projection `d_model × vocab`.
+    pub out_proj: Matrix,
+    /// Output bias `1 × vocab`.
+    pub out_bias: Matrix,
+}
+
+impl ModelWeights {
+    /// Seeded init of the full stack.
+    pub fn seeded(cfg: &TransformerConfig, seed: u64) -> Self {
+        cfg.validate();
+        ModelWeights {
+            encoders: (0..cfg.n_encoders)
+                .map(|i| EncoderWeights::seeded(cfg, seed + 10_000 * i as u64))
+                .collect(),
+            decoders: (0..cfg.n_decoders)
+                .map(|i| DecoderWeights::seeded(cfg, seed + 1_000_000 + 10_000 * i as u64))
+                .collect(),
+            embedding: init::xavier(cfg.vocab_size, cfg.d_model, seed + 2_000_000),
+            out_proj: init::xavier(cfg.d_model, cfg.vocab_size, seed + 2_000_001),
+            out_bias: init::xavier(1, cfg.vocab_size, seed + 2_000_002),
+        }
+    }
+
+    /// Total weight bytes across the stack (the per-inference HBM traffic of
+    /// architecture A1–A3: every layer's weights are loaded once).
+    pub fn size_bytes(&self) -> u64 {
+        self.encoders.iter().map(|e| e.size_bytes()).sum::<u64>()
+            + self.decoders.iter().map(|d| d.size_bytes()).sum::<u64>()
+            + self.embedding.size_bytes()
+            + self.out_proj.size_bytes()
+            + self.out_bias.size_bytes()
+    }
+}
+
+/// One row of the Table 4.1 inventory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InventoryRow {
+    /// How many matrices of this kind the full stack reads.
+    pub count: usize,
+    /// Matrix family name as printed in the paper.
+    pub name: &'static str,
+    /// Dimensions `(rows, cols)`.
+    pub dims: (usize, usize),
+}
+
+/// The Table 4.1 census: weight matrices read for the encoder–decoder stack.
+pub fn weight_inventory(cfg: &TransformerConfig) -> Vec<InventoryRow> {
+    let (d, dk, dff, h) = (cfg.d_model, cfg.d_k(), cfg.d_ff, cfg.n_heads);
+    let (ne, nd) = (cfg.n_encoders, cfg.n_decoders);
+    // Attention blocks: 1 per encoder, 2 per decoder.
+    let att_blocks = ne + 2 * nd;
+    // Add-Norms: 2 per encoder, 3 per decoder; each stores a weight AND a bias row.
+    let ln_rows = 2 * (2 * ne + 3 * nd);
+    // FFNs: one per layer.
+    let ffns = ne + nd;
+    vec![
+        InventoryRow { count: att_blocks * 3 * h, name: "W_Q/K/V", dims: (d, dk) },
+        InventoryRow { count: att_blocks * 3 * h, name: "B_Q/K/V", dims: (1, dk) },
+        InventoryRow { count: att_blocks, name: "W_A", dims: (d, d) },
+        InventoryRow { count: att_blocks, name: "B_A", dims: (1, d) },
+        InventoryRow { count: ln_rows, name: "L_N", dims: (1, d) },
+        InventoryRow { count: ffns, name: "W_1F", dims: (d, dff) },
+        InventoryRow { count: ffns, name: "B_1F", dims: (1, dff) },
+        InventoryRow { count: ffns, name: "W_2F", dims: (dff, d) },
+        InventoryRow { count: ffns, name: "B_2F", dims: (1, d) },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inventory_reproduces_table_4_1() {
+        let inv = weight_inventory(&TransformerConfig::paper_base());
+        let find = |name: &str| inv.iter().find(|r| r.name == name).unwrap();
+        // Paper Table 4.1, row for row.
+        assert_eq!(find("W_Q/K/V").count, 576);
+        assert_eq!(find("W_Q/K/V").dims, (512, 64));
+        assert_eq!(find("B_Q/K/V").count, 576);
+        assert_eq!(find("B_Q/K/V").dims, (1, 64));
+        assert_eq!(find("W_A").count, 24);
+        assert_eq!(find("W_A").dims, (512, 512));
+        assert_eq!(find("B_A").count, 24);
+        assert_eq!(find("L_N").count, 84);
+        assert_eq!(find("L_N").dims, (1, 512));
+        assert_eq!(find("W_1F").count, 18);
+        assert_eq!(find("W_1F").dims, (512, 2048));
+        assert_eq!(find("B_1F").count, 18);
+        assert_eq!(find("W_2F").count, 18);
+        assert_eq!(find("W_2F").dims, (2048, 512));
+        assert_eq!(find("B_2F").count, 18);
+    }
+
+    #[test]
+    fn encoder_weight_footprint_is_12_6_mb() {
+        let cfg = TransformerConfig::paper_base();
+        let enc = EncoderWeights::seeded(&cfg, 1);
+        let mb = enc.size_bytes() as f64 / 1e6;
+        assert!((mb - 12.6).abs() < 0.2, "encoder weights {} MB", mb);
+    }
+
+    #[test]
+    fn decoder_weight_footprint_is_16_8_mb() {
+        let cfg = TransformerConfig::paper_base();
+        let dec = DecoderWeights::seeded(&cfg, 1);
+        let mb = dec.size_bytes() as f64 / 1e6;
+        assert!((mb - 16.8).abs() < 0.3, "decoder weights {} MB", mb);
+    }
+
+    #[test]
+    fn decoder_load_phases_partition_total() {
+        let cfg = TransformerConfig::tiny();
+        let dec = DecoderWeights::seeded(&cfg, 1);
+        assert_eq!(dec.mha_phase_bytes() + dec.ffn_phase_bytes(), dec.size_bytes());
+    }
+
+    #[test]
+    fn tiny_model_builds_and_is_deterministic() {
+        let cfg = TransformerConfig::tiny();
+        let a = ModelWeights::seeded(&cfg, 9);
+        let b = ModelWeights::seeded(&cfg, 9);
+        assert_eq!(a, b);
+        assert_eq!(a.encoders.len(), cfg.n_encoders);
+        assert_eq!(a.decoders.len(), cfg.n_decoders);
+        assert_eq!(a.embedding.shape(), (cfg.vocab_size, cfg.d_model));
+    }
+
+    #[test]
+    fn attention_weight_shapes() {
+        let cfg = TransformerConfig::tiny();
+        let att = AttentionWeights::seeded(&cfg, 1);
+        assert_eq!(att.w_q.len(), cfg.n_heads);
+        assert_eq!(att.w_q[0].shape(), (cfg.d_model, cfg.d_k()));
+        assert_eq!(att.b_v[0].shape(), (1, cfg.d_k()));
+        assert_eq!(att.w_a.shape(), (cfg.d_model, cfg.d_model));
+    }
+
+    #[test]
+    fn heads_have_distinct_weights() {
+        let cfg = TransformerConfig::tiny();
+        let att = AttentionWeights::seeded(&cfg, 1);
+        assert_ne!(att.w_q[0], att.w_q[1]);
+        assert_ne!(att.w_q[0], att.w_k[0]);
+    }
+
+    #[test]
+    fn layernorm_scale_positive() {
+        let cfg = TransformerConfig::tiny();
+        let ln = LayerNormWeights::seeded(&cfg, 4);
+        assert!(ln.w.as_slice().iter().all(|&x| x > 0.0));
+    }
+}

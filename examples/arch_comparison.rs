@@ -1,0 +1,50 @@
+//! Architecture comparison: simulate A1/A2/A3 and print the Fig 4.8–4.10
+//! Gantt charts for a short stack, then the Table 5.1 sweep.
+//!
+//! ```text
+//! cargo run --release --example arch_comparison
+//! ```
+
+use transformer_asr_accel::accel::arch::{simulate, Architecture};
+use transformer_asr_accel::accel::AccelConfig;
+use transformer_asr_accel::transformer::TransformerConfig;
+
+fn gantt(title: &str, cfg: &AccelConfig, arch: Architecture, s: usize) {
+    let r = simulate(cfg, arch, s);
+    println!("\n{} — makespan {:.2} ms, compute stall {:.2} ms", title, r.latency_s * 1e3, r.compute_stall_s * 1e3);
+    let scale = 60.0 / r.latency_s; // 60 character-wide chart
+    for unit in r.timeline.units() {
+        let mut line = vec![' '; 62];
+        for span in r.timeline.unit_spans(unit) {
+            let a = (span.start * scale) as usize;
+            let b = ((span.end * scale) as usize).min(61);
+            for c in line.iter_mut().take(b + 1).skip(a) {
+                *c = if unit.starts_with("load") { '=' } else { '#' };
+            }
+        }
+        println!("  {:<8} |{}|", unit, line.iter().collect::<String>());
+    }
+}
+
+fn main() {
+    // A 3-encoder/1-decoder stack keeps the charts readable.
+    let mut cfg = AccelConfig::paper_default();
+    cfg.model = TransformerConfig { n_encoders: 3, n_decoders: 1, ..TransformerConfig::paper_base() };
+    cfg.max_seq_len = 8;
+
+    for arch in Architecture::ALL {
+        gantt(&format!("Architecture {} (s = 8, 3 encoders + 1 decoder)", arch.name()), &cfg, arch, 8);
+    }
+
+    println!("\nTable 5.1 sweep (full 12+6 stack):");
+    println!("{:>4} {:>6} {:>12} {:>12}", "s", "arch", "latency(ms)", "vs A1");
+    for &s in &[4usize, 8, 16, 32] {
+        let mut full = AccelConfig::paper_default();
+        full.max_seq_len = s;
+        let a1 = simulate(&full, Architecture::A1, s).latency_s;
+        for arch in Architecture::ALL {
+            let lat = simulate(&full, arch, s).latency_s;
+            println!("{:>4} {:>6} {:>12.2} {:>11.2}x", s, arch.name(), lat * 1e3, a1 / lat);
+        }
+    }
+}

@@ -1,0 +1,61 @@
+//! Corpus evaluation: the §5.1.1/§5.1.5 story over a synthetic test set.
+//!
+//! Generates a LibriSpeech-style corpus (1–13 s utterances), recognizes each
+//! through the calibrated noisy channel, scores corpus WER, and reports the
+//! accelerator/CPU/GPU latency for each utterance's sequence length.
+//!
+//! ```text
+//! cargo run --release --example asr_corpus_eval
+//! ```
+
+use transformer_asr_accel::accel::{AccelConfig, HostController};
+use transformer_asr_accel::baselines::{CpuModel, GpuModel};
+use transformer_asr_accel::frontend::noise::{recognize, ErrorModel};
+use transformer_asr_accel::frontend::subsample::audio_seconds_for_seq_len;
+use transformer_asr_accel::frontend::wer::corpus_wer;
+use transformer_asr_accel::frontend::{dataset, Subsampler};
+use transformer_asr_accel::transformer::TransformerConfig;
+
+fn main() {
+    let corpus = dataset::corpus(12, 1.5, 13.0, 2023);
+    let error_model = ErrorModel::paper_operating_point();
+    let host = HostController::new(AccelConfig::paper_default());
+    let cpu = CpuModel::xeon_e5_2640();
+    let gpu = GpuModel::rtx_3080_ti();
+    let model_cfg = TransformerConfig::paper_base();
+    let sub = Subsampler::paper_default(512, 1);
+
+    println!(
+        "{:<14} {:>6} {:>4}  {:>9} {:>9} {:>9}  {:>6}",
+        "utterance", "dur(s)", "s", "fpga(ms)", "cpu(ms)", "gpu(ms)", "wer%"
+    );
+    let mut pairs = Vec::new();
+    for (i, utt) in corpus.iter().enumerate() {
+        // sequence length from audio duration through the conv front end
+        let frames = (utt.audio.duration_s() * 100.0) as usize;
+        let s = sub.output_len(frames).clamp(1, 32);
+        let hyp = recognize(&utt.transcript, &error_model, 500 + i as u64);
+
+        let fpga_ms = host.latency_report(s).accelerator_s * 1e3;
+        let cpu_ms = cpu.latency_s(s, &model_cfg) * 1e3;
+        let gpu_ms = gpu.latency_s(s, &model_cfg) * 1e3;
+        let w = transformer_asr_accel::frontend::wer::wer(&utt.transcript, &hyp);
+        println!(
+            "{:<14} {:>6.2} {:>4}  {:>9.2} {:>9.1} {:>9.1}  {:>6.2}",
+            utt.id,
+            utt.audio.duration_s(),
+            s,
+            fpga_ms,
+            cpu_ms,
+            gpu_ms,
+            100.0 * w
+        );
+        pairs.push((utt.transcript.clone(), hyp));
+    }
+
+    println!("\ncorpus WER: {:.2}%  (paper: ~9.5%)", 100.0 * corpus_wer(&pairs));
+    println!(
+        "note: audio of {:.1} s maps to the paper's maximum sequence length s = 32",
+        audio_seconds_for_seq_len(32)
+    );
+}

@@ -1,0 +1,48 @@
+//! Dump attention maps as PGM images and print their statistics.
+//!
+//! ```text
+//! cargo run --release --example attention_maps
+//! # writes target/attention/head{0..3}.pgm
+//! ```
+
+use transformer_asr_accel::frontend::image::write_pgm;
+use transformer_asr_accel::tensor::backend::ReferenceBackend;
+use transformer_asr_accel::tensor::init;
+use transformer_asr_accel::transformer::analysis::{
+    alignment, attention_entropy, attention_map, diagonality,
+};
+use transformer_asr_accel::transformer::attention::AttentionMask;
+use transformer_asr_accel::transformer::{Model, TransformerConfig};
+
+fn main() -> std::io::Result<()> {
+    let model = Model::seeded(TransformerConfig::tiny(), 99);
+    let x = init::uniform(16, model.config.d_model, -1.0, 1.0, 3);
+
+    let dir = std::path::Path::new("target/attention");
+    std::fs::create_dir_all(dir)?;
+
+    println!(
+        "{:>5} {:>10} {:>14} {:>12}  file",
+        "head", "entropy", "diagonality±2", "mode"
+    );
+    for head in 0..model.config.n_heads {
+        for (mask, tag) in [(AttentionMask::None, "enc"), (AttentionMask::Causal, "dec")] {
+            let map = attention_map(&x, &x, &model.weights.encoders[0].mha, head, mask, &ReferenceBackend);
+            let path = dir.join(format!("head{}_{}.pgm", head, tag));
+            write_pgm(&path, &map)?;
+            println!(
+                "{:>5} {:>10.3} {:>14.3} {:>12}  {}",
+                head,
+                attention_entropy(&map),
+                diagonality(&map, 2),
+                tag,
+                path.display()
+            );
+        }
+    }
+
+    let map = attention_map(&x, &x, &model.weights.encoders[0].mha, 0, AttentionMask::None, &ReferenceBackend);
+    println!("\nhead 0 hard alignment: {:?}", alignment(&map));
+    println!("(uniform-entropy ceiling at s=16: {:.3} nats)", (16f32).ln());
+    Ok(())
+}

@@ -1,0 +1,30 @@
+//! Export the evaluation's data series as CSV for plotting.
+//!
+//! Writes `target/csv/{fig5_2,table5_1,ii_sweep}.csv` — the series behind
+//! Fig 5.2, Table 5.1 and the §5.1.4 unroll-factor experiments.
+//!
+//! ```text
+//! cargo run --release --example export_csv
+//! ```
+
+use std::fs;
+use transformer_asr_accel::accel::{sweep, AccelConfig};
+
+fn main() -> std::io::Result<()> {
+    let cfg = AccelConfig::paper_default();
+    let dir = std::path::Path::new("target/csv");
+    fs::create_dir_all(dir)?;
+
+    let s_values: Vec<usize> = (2..=40).step_by(2).collect();
+    let jobs: Vec<(&str, Vec<sweep::SweepRow>)> = vec![
+        ("fig5_2.csv", sweep::sweep_load_compute(&cfg, &s_values)),
+        ("table5_1.csv", sweep::sweep_architectures(&cfg, &[4, 8, 16, 32])),
+        ("ii_sweep.csv", sweep::sweep_ii(&cfg, &[1, 2, 4, 8, 12, 16, 24, 32])),
+    ];
+    for (name, rows) in jobs {
+        let path = dir.join(name);
+        fs::write(&path, sweep::to_csv(&rows))?;
+        println!("wrote {} rows to {}", rows.len(), path.display());
+    }
+    Ok(())
+}

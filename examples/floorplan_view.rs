@@ -1,0 +1,28 @@
+//! Render the paper's floorplan (Fig 2.3) and audit its inter-SLR traffic,
+//! then decompose the calibrated kernel power.
+//!
+//! ```text
+//! cargo run --release --example floorplan_view
+//! ```
+
+use transformer_asr_accel::fpga::floorplan::Floorplan;
+use transformer_asr_accel::fpga::power::{estimate, PowerCoefficients};
+use transformer_asr_accel::fpga::resources::ResourceVector;
+
+fn main() {
+    let fp = Floorplan::paper_placement();
+    println!("{}", fp.render());
+
+    println!("inter-SLR crossings ({} — the traffic §4.6 minimises):", fp.isc_crossings().len());
+    for c in fp.isc_crossings() {
+        println!("  {} -> {}", c.from, c.to);
+    }
+
+    let used = ResourceVector::new(1202, 1348, 1_191_892, 765_828);
+    let p = estimate(&used, 2.9, &PowerCoefficients::ultrascale_plus_300mhz());
+    println!("\nkernel power decomposition (Table 5.2 design @ 2.9 GB/s weights):");
+    println!("  static : {:6.2} W", p.static_w);
+    println!("  fabric : {:6.2} W", p.fabric_w);
+    println!("  HBM    : {:6.2} W", p.hbm_w);
+    println!("  total  : {:6.2} W  (calibrated kernel power: 34.4 W, §5.1.6)", p.total_w());
+}

@@ -1,0 +1,37 @@
+//! Export the A1/A2/A3 schedules as Chrome trace JSON (open in
+//! `chrome://tracing` or https://ui.perfetto.dev) — interactive versions of
+//! the paper's Figs 4.8–4.11.
+//!
+//! ```text
+//! cargo run --release --example trace_export
+//! # writes target/traces/{a1,a2,a3}_s8.json
+//! ```
+
+use std::fs;
+use transformer_asr_accel::accel::arch::{simulate, Architecture};
+use transformer_asr_accel::accel::AccelConfig;
+use transformer_asr_accel::fpga::trace::to_chrome_trace;
+
+fn main() -> std::io::Result<()> {
+    let mut cfg = AccelConfig::paper_default();
+    cfg.max_seq_len = 8;
+
+    let dir = std::path::Path::new("target/traces");
+    fs::create_dir_all(dir)?;
+
+    for arch in Architecture::ALL {
+        let r = simulate(&cfg, arch, 8);
+        let json = to_chrome_trace(&r.timeline);
+        let path = dir.join(format!("{}_s8.json", arch.name().to_lowercase()));
+        fs::write(&path, &json)?;
+        println!(
+            "{}: {:6.2} ms makespan, {:2} spans -> {}",
+            arch.name(),
+            r.latency_s * 1e3,
+            r.timeline.spans().len(),
+            path.display()
+        );
+    }
+    println!("\nopen the JSON files in chrome://tracing or ui.perfetto.dev");
+    Ok(())
+}

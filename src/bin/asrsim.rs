@@ -1,0 +1,180 @@
+//! `asrsim` — command-line front end to the accelerator simulator.
+//!
+//! ```text
+//! asrsim latency   [--s N]             E2E latency report (§5.1.6)
+//! asrsim report    [--s N]             combined latency/resource/energy report
+//! asrsim arch      [--s N]             A1/A2/A3 comparison at one length
+//! asrsim dse                           Table 5.3 design-space exploration
+//! asrsim quant                         fixed-point (int8) report (§6.2)
+//! asrsim breakdown [--s N]             per-block latency breakdown (§5.1.4)
+//! asrsim pipeline  [--s N] [--n K]     pipelined batch throughput
+//! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
+//! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
+//! ```
+
+use std::process::ExitCode;
+use transformer_asr_accel::accel::arch::{simulate, Architecture};
+use transformer_asr_accel::accel::{
+    dse, latency, pipeline, quant, sweep, AccelConfig, HostController,
+};
+use transformer_asr_accel::fpga::trace::to_chrome_trace;
+
+fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().cloned() else {
+        eprintln!(
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv> [options]"
+        );
+        return ExitCode::FAILURE;
+    };
+    let s = parse_flag(&args, "--s", 32);
+
+    match cmd.as_str() {
+        "latency" => cmd_latency(s),
+        "report" => cmd_report(s),
+        "arch" => cmd_arch(s),
+        "dse" => cmd_dse(),
+        "quant" => cmd_quant(),
+        "breakdown" => cmd_breakdown(s),
+        "pipeline" => cmd_pipeline(s, parse_flag(&args, "--n", 10)),
+        "trace" => {
+            let Some(path) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: asrsim trace <out.json> [--s N]");
+                return ExitCode::FAILURE;
+            };
+            return cmd_trace(path, s);
+        }
+        "csv" => {
+            let Some(which) = args.get(1) else {
+                eprintln!("usage: asrsim csv <fig5.2|table5.1|ii>");
+                return ExitCode::FAILURE;
+            };
+            return cmd_csv(which);
+        }
+        other => {
+            eprintln!("unknown command '{}'", other);
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn unpadded(s: usize) -> AccelConfig {
+    let mut c = AccelConfig::paper_default();
+    c.max_seq_len = s.clamp(1, 512);
+    c
+}
+
+fn cmd_latency(s: usize) {
+    let host = HostController::new(unpadded(s));
+    let r = host.latency_report(s);
+    println!("sequence length      : {} (built {})", r.input_len, r.seq_len);
+    println!("preprocessing        : {:8.2} ms", r.preprocessing_s * 1e3);
+    println!("accelerator (A3)     : {:8.2} ms", r.accelerator_s * 1e3);
+    println!("end to end           : {:8.2} ms", r.total_s * 1e3);
+    println!("throughput           : {:8.2} seq/s", r.throughput_seq_per_s);
+    println!("workload             : {:8.2} GFLOPs", r.gflops);
+    println!("sustained            : {:8.2} GFLOPs/s", r.gflops_per_s);
+    println!("energy efficiency    : {:8.3} GFLOPs/J", r.gflops_per_joule);
+}
+
+fn cmd_report(s: usize) {
+    use transformer_asr_accel::accel::report;
+    let r = report::generate(&unpadded(s));
+    print!("{}", report::render(&r));
+}
+
+fn cmd_arch(s: usize) {
+    let cfg = unpadded(s);
+    println!("{:>6} {:>12} {:>12} {:>10}", "arch", "latency(ms)", "stall(ms)", "vs A1");
+    let a1 = simulate(&cfg, Architecture::A1, s).latency_s;
+    for a in Architecture::ALL {
+        let r = simulate(&cfg, a, s);
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>9.2}x",
+            a.name(),
+            r.latency_s * 1e3,
+            r.compute_stall_s * 1e3,
+            a1 / r.latency_s
+        );
+    }
+}
+
+fn cmd_dse() {
+    println!("{:>6} {:>10} {:>12} {:>6}", "heads", "psas/head", "latency(ms)", "fits");
+    for p in dse::explore(&AccelConfig::paper_default()) {
+        println!(
+            "{:>6} {:>10} {:>12.2} {:>6}",
+            p.parallel_heads,
+            p.psas_per_head,
+            p.latency_ms,
+            if p.fits { "yes" } else { "NO" }
+        );
+    }
+}
+
+fn cmd_quant() {
+    let r = quant::report(&AccelConfig::paper_default());
+    println!("fp32 latency : {:8.2} ms", r.fp32_latency_ms);
+    println!("int8 latency : {:8.2} ms ({:.2}x)", r.int8_latency_ms, r.speedup);
+    println!("fp32 fabric  : {}", r.fp32_resources.total());
+    println!("int8 fabric  : {}", r.int8_resources.total());
+    println!("int8 LUT     : {:.1}%", r.int8_lut_pct);
+}
+
+fn cmd_breakdown(s: usize) {
+    let b = latency::breakdown(&AccelConfig::paper_default(), s.clamp(1, 32));
+    println!("{:<36} {:>10} {:>9} {:>7}", "operation", "cycles", "ms", "% enc");
+    for r in &b.rows {
+        println!("{:<36} {:>10} {:>9.3} {:>6.1}%", r.name, r.cycles, r.ms, r.pct_of_encoder);
+    }
+    println!("encoder layer total: {} cycles; decoder layer: {} cycles", b.encoder_total, b.decoder_total);
+}
+
+fn cmd_pipeline(s: usize, n: usize) {
+    let cfg = unpadded(s);
+    let (r, _) = pipeline::run_pipeline(&cfg, Architecture::A3, s, n.max(1));
+    println!("utterances           : {}", r.n);
+    println!("total wall time      : {:8.2} ms", r.total_s * 1e3);
+    println!("steady-state rate    : {:8.2} seq/s", r.throughput_seq_per_s);
+    println!("host busy            : {:8.2} ms", r.host_busy_s * 1e3);
+    println!("accelerator busy     : {:8.2} ms", r.accel_busy_s * 1e3);
+}
+
+fn cmd_trace(path: &str, s: usize) -> ExitCode {
+    let cfg = unpadded(s);
+    let r = simulate(&cfg, Architecture::A3, s);
+    match std::fs::write(path, to_chrome_trace(&r.timeline)) {
+        Ok(()) => {
+            println!("wrote {} spans to {}", r.timeline.spans().len(), path);
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("failed to write {}: {}", path, e);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_csv(which: &str) -> ExitCode {
+    let cfg = AccelConfig::paper_default();
+    let rows = match which {
+        "fig5.2" => sweep::sweep_load_compute(&cfg, &(2..=40).step_by(2).collect::<Vec<_>>()),
+        "table5.1" => sweep::sweep_architectures(&cfg, &[4, 8, 16, 32]),
+        "ii" => sweep::sweep_ii(&cfg, &[1, 2, 4, 8, 12, 16, 24]),
+        other => {
+            eprintln!("unknown csv sweep '{}'", other);
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", sweep::to_csv(&rows));
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,91 @@
+//! Smoke tests for the `asrsim` CLI binary — every subcommand must run,
+//! exit cleanly, and print its headline numbers.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_asrsim"))
+        .args(args)
+        .output()
+        .expect("failed to launch asrsim");
+    let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+    (out.status.success(), stdout)
+}
+
+#[test]
+fn latency_subcommand() {
+    let (ok, out) = run(&["latency", "--s", "32"]);
+    assert!(ok);
+    assert!(out.contains("end to end"));
+    assert!(out.contains("GFLOPs/J"));
+}
+
+#[test]
+fn arch_subcommand_lists_all_three() {
+    let (ok, out) = run(&["arch", "--s", "8"]);
+    assert!(ok);
+    for a in ["A1", "A2", "A3"] {
+        assert!(out.contains(a), "missing {}", a);
+    }
+}
+
+#[test]
+fn dse_subcommand() {
+    let (ok, out) = run(&["dse"]);
+    assert!(ok);
+    assert!(out.lines().count() >= 5);
+}
+
+#[test]
+fn quant_subcommand() {
+    let (ok, out) = run(&["quant"]);
+    assert!(ok);
+    assert!(out.contains("int8 latency"));
+}
+
+#[test]
+fn breakdown_subcommand() {
+    let (ok, out) = run(&["breakdown"]);
+    assert!(ok);
+    assert!(out.contains("MM5"));
+    assert!(out.contains("encoder layer total"));
+}
+
+#[test]
+fn pipeline_subcommand() {
+    let (ok, out) = run(&["pipeline", "--s", "32", "--n", "4"]);
+    assert!(ok);
+    assert!(out.contains("steady-state rate"));
+}
+
+#[test]
+fn trace_subcommand_writes_json() {
+    let path = std::env::temp_dir().join("asrsim_cli_trace.json");
+    let (ok, _) = run(&["trace", path.to_str().unwrap(), "--s", "4"]);
+    assert!(ok);
+    let data = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(data.trim_start().starts_with('['));
+    assert!(data.contains("\"ph\":\"X\""));
+}
+
+#[test]
+fn csv_subcommand_emits_rows() {
+    let (ok, out) = run(&["csv", "fig5.2"]);
+    assert!(ok);
+    assert!(out.starts_with("param,value,series,metric_ms"));
+    assert!(out.lines().count() > 10);
+}
+
+#[test]
+fn unknown_command_fails() {
+    let (ok, _) = run(&["definitely-not-a-command"]);
+    assert!(!ok);
+}
+
+#[test]
+fn no_args_fails_with_usage() {
+    let out = Command::new(env!("CARGO_BIN_EXE_asrsim")).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

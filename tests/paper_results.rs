@@ -1,0 +1,142 @@
+//! Integration tests pinning the reproduced evaluation to the paper's
+//! published results (shape-level: who wins, by what factor, where the
+//! crossovers fall). EXPERIMENTS.md records the side-by-side values.
+
+use asr_bench::tables;
+
+#[test]
+fn table4_1_matches_paper_census() {
+    let rows = tables::table4_1_rows();
+    let find = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    assert_eq!(find("W_Q/K/V").count, 576);
+    assert_eq!(find("W_A").count, 24);
+    assert_eq!(find("L_N").count, 84);
+    assert_eq!(find("W_1F").count, 18);
+    assert_eq!(find("W_1F").dims, (512, 2048));
+}
+
+#[test]
+fn table4_2_matches_paper_dims() {
+    let rows = tables::table4_2_rows(32);
+    assert_eq!(rows.len(), 6);
+    assert_eq!(rows[0].input2, (512, 64)); // MM1 weight
+    assert_eq!(rows[4].input2, (512, 2048)); // MM5 weight
+    assert_eq!(rows[5].output, (32, 512)); // MM6 output
+}
+
+#[test]
+fn table5_1_improvement_bands() {
+    // Paper: A3 gains 1.94x/1.89x/1.86x/1.46x over A1 at s = 4/8/16/32.
+    let rows = tables::table5_1_rows();
+    let a3: Vec<&tables::Table51Row> = rows.iter().filter(|r| r.arch == "A3").collect();
+    let paper = [1.94, 1.89, 1.86, 1.46];
+    for (r, p) in a3.iter().zip(paper) {
+        assert!(
+            (r.improvement - p).abs() < 0.25,
+            "s={}: modeled {}x vs paper {}x",
+            r.s,
+            r.improvement,
+            p
+        );
+    }
+    // the gain shrinks monotonically with s
+    for w in a3.windows(2) {
+        assert!(w[0].improvement >= w[1].improvement - 0.03);
+    }
+}
+
+#[test]
+fn table5_2_exact_reproduction() {
+    let rows = tables::table5_2_rows();
+    let get = |n: &str| rows.iter().find(|r| r.0 == n).unwrap().1;
+    assert_eq!(get("BRAM_18K"), 1202);
+    assert_eq!(get("DSP"), 1348);
+    assert_eq!(get("FF"), 1_191_892);
+    assert_eq!(get("LUT"), 765_828);
+}
+
+#[test]
+fn table5_3_monotone_and_in_band() {
+    let rows = tables::table5_3_rows();
+    assert_eq!(rows.len(), 4);
+    for w in rows.windows(2) {
+        assert!(w[0].latency_ms < w[1].latency_ms);
+    }
+    assert!((rows[0].latency_ms - 84.15).abs() / 84.15 < 0.05);
+}
+
+#[test]
+fn table5_4_cpu_speedups() {
+    let rows = tables::table5_4_rows();
+    // speedup grows with s (padding makes the accelerator flat while the
+    // CPU cost grows), min near ~5x, max near ~55x, average near 32x.
+    for w in rows.windows(2) {
+        assert!(w[1].improvement > w[0].improvement);
+    }
+    let avg: f64 = rows.iter().map(|r| r.improvement).sum::<f64>() / rows.len() as f64;
+    assert!((avg - 32.0).abs() < 6.0, "avg {}", avg);
+    assert!(rows[0].improvement > 3.0 && rows[0].improvement < 12.0);
+    assert!(rows[5].improvement > 45.0 && rows[5].improvement < 65.0);
+}
+
+#[test]
+fn table5_5_gpu_speedups() {
+    let rows = tables::table5_5_rows();
+    for w in rows.windows(2) {
+        assert!(w[1].improvement > w[0].improvement);
+    }
+    let avg: f64 = rows.iter().map(|r| r.improvement).sum::<f64>() / rows.len() as f64;
+    assert!((avg - 8.8).abs() < 2.0, "avg {}", avg);
+}
+
+#[test]
+fn table5_6_ranking_and_factors() {
+    let rows = tables::table5_6_rows();
+    assert_eq!(rows.len(), 4);
+    // ranking: CPU < GPU < ref FPGA < this work
+    for w in rows.windows(2) {
+        assert!(w[1].gflops_per_s > w[0].gflops_per_s);
+    }
+    let ours = rows.last().unwrap();
+    // paper: 47.23 GFLOPs/s, 90.8x over the ARM CPU, 6.31x over the GPU,
+    // 3.26x over the reference FPGA
+    assert!((ours.gflops_per_s - 47.2).abs() < 4.0);
+    assert!((ours.improvement - 90.8).abs() < 8.0);
+    assert!((ours.gflops_per_s / rows[1].gflops_per_s - 6.31).abs() < 0.6);
+    assert!((ours.gflops_per_s / rows[2].gflops_per_s - 3.26).abs() < 0.4);
+}
+
+#[test]
+fn fig5_2_crossover_and_series_shape() {
+    assert!((16..=20).contains(&tables::fig5_2_crossover().unwrap()));
+    let rows = tables::fig5_2_rows((2..=40).step_by(2));
+    // load flat, compute monotone increasing
+    for w in rows.windows(2) {
+        assert_eq!(w[0].load_ms, w[1].load_ms);
+        assert!(w[1].compute_ms > w[0].compute_ms);
+    }
+}
+
+#[test]
+fn section_5_1_6_headline_numbers() {
+    let o = tables::section_5_1_6();
+    assert!((o.e2e_ms - 120.45).abs() / 120.45 < 0.05);
+    assert!((o.preprocessing_ms - 36.3).abs() < 0.5);
+    assert!((o.throughput_seq_per_s - 11.88).abs() / 11.88 < 0.05);
+    assert!((o.fpga_gflops_per_j - 1.38).abs() < 0.12);
+    assert!(o.fpga_gflops_per_j / o.gpu_gflops_per_j > 15.0);
+}
+
+#[test]
+fn wer_experiment_near_paper() {
+    let r = tables::wer_experiment(250, 3);
+    assert!((r.wer - 0.095).abs() < 0.02, "WER {}", r.wer);
+}
+
+#[test]
+fn discussion_claims() {
+    let d = tables::discussion();
+    assert!(d.ffn_over_mha > 1.5 && d.ffn_over_mha < 2.2);
+    assert_eq!(d.binding_constraint, "LUT");
+    assert!(d.binding_pct > 80.0);
+}

@@ -71,10 +71,7 @@ mod tests {
 
     fn paper_points_as_gflops() -> Vec<(f64, f64)> {
         let cfg = TransformerConfig::paper_base();
-        PAPER_CPU_LATENCIES
-            .iter()
-            .map(|&(s, t)| (flops::model_gflops(s, &cfg), t))
-            .collect()
+        PAPER_CPU_LATENCIES.iter().map(|&(s, t)| (flops::model_gflops(s, &cfg), t)).collect()
     }
 
     #[test]
@@ -83,7 +80,12 @@ mod tests {
         let (a, b) = fit_affine(&paper_points_as_gflops());
         let m = CpuModel::xeon_e5_2640();
         assert!((m.overhead_s - a).abs() < 0.02, "overhead {} vs fit {}", m.overhead_s, a);
-        assert!((1.0 / m.gflops_per_s - b).abs() < 0.05, "slope {} vs fit {}", 1.0 / m.gflops_per_s, b);
+        assert!(
+            (1.0 / m.gflops_per_s - b).abs() < 0.05,
+            "slope {} vs fit {}",
+            1.0 / m.gflops_per_s,
+            b
+        );
     }
 
     #[test]
@@ -92,13 +94,7 @@ mod tests {
         let m = CpuModel::xeon_e5_2640();
         for &(s, t) in &PAPER_CPU_LATENCIES {
             let pred = m.latency_s(s, &cfg);
-            assert!(
-                (pred - t).abs() < 0.75,
-                "s={}: predicted {} vs measured {}",
-                s,
-                pred,
-                t
-            );
+            assert!((pred - t).abs() < 0.75, "s={}: predicted {} vs measured {}", s, pred, t);
         }
     }
 
@@ -117,11 +113,9 @@ mod tests {
         let cfg = TransformerConfig::paper_base();
         let m = CpuModel::xeon_e5_2640();
         let accel = asr_accel_latency_s();
-        let avg: f64 = PAPER_CPU_LATENCIES
-            .iter()
-            .map(|&(s, _)| m.latency_s(s, &cfg) / accel)
-            .sum::<f64>()
-            / 6.0;
+        let avg: f64 =
+            PAPER_CPU_LATENCIES.iter().map(|&(s, _)| m.latency_s(s, &cfg) / accel).sum::<f64>()
+                / 6.0;
         assert!((avg - 32.0).abs() < 5.0, "average speedup {}", avg);
     }
 

@@ -39,10 +39,8 @@ mod tests {
     #[test]
     fn shipped_constants_match_the_fit() {
         let cfg = TransformerConfig::paper_base();
-        let pts: Vec<(f64, f64)> = PAPER_GPU_LATENCIES
-            .iter()
-            .map(|&(s, t)| (flops::model_gflops(s, &cfg), t))
-            .collect();
+        let pts: Vec<(f64, f64)> =
+            PAPER_GPU_LATENCIES.iter().map(|&(s, t)| (flops::model_gflops(s, &cfg), t)).collect();
         let (a, b) = fit_affine(&pts);
         let m = GpuModel::rtx_3080_ti();
         assert!((m.overhead_s - a).abs() < 0.02, "overhead {} vs fit {}", m.overhead_s, a);
@@ -75,11 +73,9 @@ mod tests {
         let cfg = TransformerConfig::paper_base();
         let m = GpuModel::rtx_3080_ti();
         let accel = 0.0867; // model's s=32 A3 latency
-        let avg: f64 = PAPER_GPU_LATENCIES
-            .iter()
-            .map(|&(s, _)| m.latency_s(s, &cfg) / accel)
-            .sum::<f64>()
-            / 6.0;
+        let avg: f64 =
+            PAPER_GPU_LATENCIES.iter().map(|&(s, _)| m.latency_s(s, &cfg) / accel).sum::<f64>()
+                / 6.0;
         assert!((avg - 8.8).abs() < 1.5, "average speedup {}", avg);
     }
 }

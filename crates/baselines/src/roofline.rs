@@ -100,7 +100,8 @@ mod tests {
     fn ridge_points_are_ordered_sensibly() {
         // GPUs need far more intensity than the PSA fabric to saturate.
         assert!(
-            Roofline::rtx_3080_ti().ridge_intensity() > Roofline::u50_psa_fabric().ridge_intensity()
+            Roofline::rtx_3080_ti().ridge_intensity()
+                > Roofline::u50_psa_fabric().ridge_intensity()
         );
     }
 

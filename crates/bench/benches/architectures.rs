@@ -10,11 +10,9 @@ fn bench_architectures(c: &mut Criterion) {
     for &s in &[4usize, 8, 16, 32] {
         let cfg = config_built_for(s);
         for arch in Architecture::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(arch.name(), s),
-                &s,
-                |b, &s| b.iter(|| black_box(simulate(&cfg, arch, s))),
-            );
+            group.bench_with_input(BenchmarkId::new(arch.name(), s), &s, |b, &s| {
+                b.iter(|| black_box(simulate(&cfg, arch, s)))
+            });
         }
     }
     group.finish();

@@ -6,14 +6,18 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn bench_latency_report(c: &mut Criterion) {
-    let host = HostController::new(AccelConfig::paper_default());
+    let host =
+        HostController::new(AccelConfig::paper_default()).expect("paper default config is valid");
     c.bench_function("e2e/latency_report_s32", |b| {
         b.iter(|| black_box(host.latency_report(black_box(32))))
     });
 
     let o = section_5_1_6();
     println!("\n§5.1.6 (modeled):");
-    println!("  E2E {:.2} ms   preproc {:.2} ms   {:.2} seq/s", o.e2e_ms, o.preprocessing_ms, o.throughput_seq_per_s);
+    println!(
+        "  E2E {:.2} ms   preproc {:.2} ms   {:.2} seq/s",
+        o.e2e_ms, o.preprocessing_ms, o.throughput_seq_per_s
+    );
     println!("  FPGA {:.3} GFLOPs/J   GPU {:.3} GFLOPs/J", o.fpga_gflops_per_j, o.gpu_gflops_per_j);
 }
 

@@ -7,9 +7,7 @@ use std::hint::black_box;
 fn bench_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("matmul");
     // MM1 (32x512 . 512x64), MM4 (32x512 . 512x512), MM5 (32x512 . 512x2048)
-    for &(name, m, k, n) in
-        &[("mm1", 32, 512, 64), ("mm4", 32, 512, 512), ("mm5", 32, 512, 2048)]
-    {
+    for &(name, m, k, n) in &[("mm1", 32, 512, 64), ("mm4", 32, 512, 512), ("mm5", 32, 512, 2048)] {
         let a = init::uniform(m, k, -1.0, 1.0, 1);
         let b = init::uniform(k, n, -1.0, 1.0, 2);
         group.bench_with_input(BenchmarkId::new("naive", name), &(), |bch, _| {

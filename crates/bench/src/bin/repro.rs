@@ -138,9 +138,7 @@ fn fig5_2() {
 
 fn table5_1() {
     heading("Table 5.1 — Architecture-wise latency (s = 4, 8, 16, 32)");
-    let paper = [
-        65.87, 53.45, 33.92, 75.57, 54.5, 39.9, 98.14, 56.27, 52.59, 122.8, 84.15, 84.15,
-    ];
+    let paper = [65.87, 53.45, 33.92, 75.57, 54.5, 39.9, 98.14, 56.27, 52.59, 122.8, 84.15, 84.15];
     // paper rows are ordered A1, A2, A3 per s; ours are A1, A2, A3 too
     let paper_ordered = [
         paper[0], paper[1], paper[2], paper[3], paper[4], paper[5], paper[6], paper[7], paper[8],
@@ -321,17 +319,9 @@ fn breakdown() {
         .rows
         .iter()
         .map(|r| {
-            vec![
-                r.name.clone(),
-                r.cycles.to_string(),
-                f(r.ms, 3),
-                f(r.pct_of_encoder, 1) + "%",
-            ]
+            vec![r.name.clone(), r.cycles.to_string(), f(r.ms, 3), f(r.pct_of_encoder, 1) + "%"]
         })
         .collect();
     print!("{}", render_table(&["operation", "cycles", "ms", "% of encoder"], &rows));
-    println!(
-        "encoder layer {} cycles; decoder layer {} cycles",
-        b.encoder_total, b.decoder_total
-    );
+    println!("encoder layer {} cycles; decoder layer {} cycles", b.encoder_total, b.decoder_total);
 }

@@ -284,7 +284,8 @@ pub struct OtherResults {
 
 /// §5.1.6: end-to-end latency, throughput and energy efficiency.
 pub fn section_5_1_6() -> OtherResults {
-    let host = HostController::new(AccelConfig::paper_default());
+    let host =
+        HostController::new(AccelConfig::paper_default()).expect("paper default config is valid");
     let r = host.latency_report(32);
     let gpu = GpuModel::rtx_3080_ti();
     let gpu_lat = gpu.latency_s(32, &TransformerConfig::paper_base());
@@ -355,21 +356,17 @@ pub fn fig5_1(seed: u64, quick: bool) -> Fig51Result {
         cfg.psas_per_head = 2;
         cfg.max_seq_len = 8;
     }
-    let host = HostController::new(cfg.clone());
+    let host = HostController::new(cfg.clone()).expect("valid configuration");
     let model = Model::seeded(cfg.model, seed);
     let sub = Subsampler::paper_default(cfg.model.d_model, seed + 1);
     let ex = FbankExtractor::paper_default();
     let utt: Utterance = dataset::utterance(if quick { 2.0 } else { 10.0 }, seed);
-    let r = host.process_utterance(
-        &utt,
-        &model,
-        &sub,
-        &ex,
-        &ErrorModel::paper_operating_point(),
-        seed + 2,
-    );
+    let r = host
+        .process_utterance(&utt, &model, &sub, &ex, &ErrorModel::paper_operating_point(), seed + 2)
+        .expect("model shape matches the configuration");
     // Always report the paper-size accelerator's latency for the figure.
     let paper_latency = HostController::new(AccelConfig::paper_default())
+        .expect("paper default config is valid")
         .latency_report(32)
         .total_s;
     Fig51Result {

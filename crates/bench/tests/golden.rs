@@ -20,10 +20,8 @@ fn table4_1_renders_the_paper_counts() {
 fn table4_2_renders_all_six_mms() {
     let rows = tables::table4_2_rows(32);
     assert_eq!(rows.len(), 6);
-    let rendered: String = rows
-        .iter()
-        .map(|r| format!("{} {}x{}\n", r.name, r.input2.0, r.input2.1))
-        .collect();
+    let rendered: String =
+        rows.iter().map(|r| format!("{} {}x{}\n", r.name, r.input2.0, r.input2.1)).collect();
     assert!(rendered.contains("MM1 512x64"));
     assert!(rendered.contains("MM5 512x2048"));
     assert!(rendered.contains("MM6 2048x512"));
@@ -60,9 +58,8 @@ fn fig5_2_series_stable_to_microseconds() {
 #[test]
 fn table5_1_latencies_stable() {
     let rows = tables::table5_1_rows();
-    let get = |s: usize, arch: &str| {
-        rows.iter().find(|r| r.s == s && r.arch == arch).unwrap().latency_ms
-    };
+    let get =
+        |s: usize, arch: &str| rows.iter().find(|r| r.s == s && r.arch == arch).unwrap().latency_ms;
     assert!((get(32, "A3") - 87.64).abs() < 0.5, "{}", get(32, "A3"));
     assert!((get(4, "A3") - 29.64).abs() < 0.5, "{}", get(4, "A3"));
     assert!((get(32, "A1") - 132.9).abs() < 1.0, "{}", get(32, "A1"));

@@ -154,7 +154,7 @@ fn build_phases(cfg: &AccelConfig, s: usize, arch: Architecture) -> Vec<Phase> {
 /// The input is padded to the built sequence length (§5.1.5); compute and
 /// load times are those of the padded length.
 pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> ArchResult {
-    cfg.validate();
+    cfg.validate().expect("valid accelerator configuration");
     let s = cfg.padded_seq_len(input_len);
     let clock = cfg.device.clock;
     let phases = build_phases(cfg, s, arch);
@@ -167,8 +167,7 @@ pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> Arch
         Architecture::A3 => 2,
     };
 
-    let load_time =
-        |bytes: u64| cfg.device.hbm.read_time_s(bytes, channels_per_engine);
+    let load_time = |bytes: u64| cfg.device.hbm.read_time_s(bytes, channels_per_engine);
 
     let mut tl = Timeline::new();
     let mut compute_end = vec![0.0f64; phases.len()];
@@ -351,8 +350,12 @@ mod tests {
         let c = unpadded(4);
         let a2 = simulate(&c, Architecture::A2, 4);
         let a3 = simulate(&c, Architecture::A3, 4);
-        assert!(a3.compute_stall_s < 0.65 * a2.compute_stall_s,
-            "A3 stall {} vs A2 stall {}", a3.compute_stall_s, a2.compute_stall_s);
+        assert!(
+            a3.compute_stall_s < 0.65 * a2.compute_stall_s,
+            "A3 stall {} vs A2 stall {}",
+            a3.compute_stall_s,
+            a2.compute_stall_s
+        );
     }
 
     #[test]

@@ -68,7 +68,7 @@ pub fn enumerate(base: &AccelConfig, space: &SearchSpace) -> Vec<Candidate> {
                 cfg.psa.cols = cols;
                 cfg.parallel_heads = heads;
                 cfg.psas_per_head = per_head;
-                cfg.validate();
+                cfg.validate().expect("valid accelerator configuration");
                 let fits = resources::check_fit(&cfg).is_ok();
                 let latency_ms = simulate(&cfg, Architecture::A3, cfg.max_seq_len).latency_s * 1e3;
                 out.push(Candidate {

@@ -39,11 +39,7 @@ fn head_via_schemes(
 
 /// Full encoder layer through the schemes: 8 heads → concat → MM4 + B_A →
 /// Add-Norm → MM5 + B_1F → ReLU → MM6 + B_2F → Add-Norm.
-pub fn encoder_forward_via_schemes(
-    cfg: &AccelConfig,
-    x: &Matrix,
-    w: &EncoderWeights,
-) -> Matrix {
+pub fn encoder_forward_via_schemes(cfg: &AccelConfig, x: &Matrix, w: &EncoderWeights) -> Matrix {
     assert_eq!(x.cols(), cfg.model.d_model, "input width mismatch");
     // the eight heads (computed concurrently on hardware; sequentially here)
     let heads: Vec<Matrix> =

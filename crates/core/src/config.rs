@@ -3,6 +3,7 @@
 //! systolic arrays ... providing scalability on the parallelism front").
 
 use crate::calib;
+use crate::error::AccelError;
 use asr_fpga_sim::device::{alveo_u50, DeviceSpec};
 use asr_systolic::adder::PipelinedAdder;
 use asr_systolic::psa::{Psa, PsaConfig};
@@ -58,28 +59,49 @@ impl AccelConfig {
         Psa::new(self.psa)
     }
 
-    /// Panic unless the configuration is internally consistent.
-    pub fn validate(&self) {
-        self.model.validate();
-        assert!(self.n_psas >= 1, "need at least one PSA");
-        assert_eq!(self.n_psas, 2 * self.psas_per_slr, "PSAs must split evenly across 2 SLRs");
-        assert!(self.parallel_heads >= 1 && self.parallel_heads <= self.model.n_heads);
-        assert_eq!(
-            self.parallel_heads * self.psas_per_head,
-            self.n_psas,
-            "heads × PSAs-per-head must use the whole pool"
-        );
-        assert_eq!(
-            self.model.n_heads % self.parallel_heads,
-            0,
-            "head count must divide into parallel groups"
-        );
-        assert!(self.max_seq_len >= 1);
-        assert!(
-            self.bytes_per_weight == 1 || self.bytes_per_weight == 2 || self.bytes_per_weight == 4,
-            "unsupported weight precision: {} bytes",
-            self.bytes_per_weight
-        );
+    /// Check that the configuration is internally consistent.
+    ///
+    /// Errors instead of panicking so the host can refuse a bad
+    /// configuration (or a bad degraded reconfiguration) gracefully.
+    pub fn validate(&self) -> Result<(), AccelError> {
+        self.model.try_validate().map_err(AccelError::Config)?;
+        if self.n_psas < 1 {
+            return Err(AccelError::Config("need at least one PSA".into()));
+        }
+        if self.n_psas != 2 * self.psas_per_slr {
+            return Err(AccelError::Config(format!(
+                "PSAs must split evenly across 2 SLRs: {} != 2 × {}",
+                self.n_psas, self.psas_per_slr
+            )));
+        }
+        if self.parallel_heads < 1 || self.parallel_heads > self.model.n_heads {
+            return Err(AccelError::Config(format!(
+                "parallel_heads {} outside 1..={}",
+                self.parallel_heads, self.model.n_heads
+            )));
+        }
+        if self.parallel_heads * self.psas_per_head != self.n_psas {
+            return Err(AccelError::Config(format!(
+                "heads × PSAs-per-head must use the whole pool: {} × {} != {}",
+                self.parallel_heads, self.psas_per_head, self.n_psas
+            )));
+        }
+        if !self.model.n_heads.is_multiple_of(self.parallel_heads) {
+            return Err(AccelError::Config(format!(
+                "head count {} must divide into parallel groups of {}",
+                self.model.n_heads, self.parallel_heads
+            )));
+        }
+        if self.max_seq_len < 1 {
+            return Err(AccelError::Config("max_seq_len must be at least 1".into()));
+        }
+        if !matches!(self.bytes_per_weight, 1 | 2 | 4) {
+            return Err(AccelError::Config(format!(
+                "unsupported weight precision: {} bytes",
+                self.bytes_per_weight
+            )));
+        }
+        Ok(())
     }
 
     /// Number of sequential head passes the MHA schedule needs.
@@ -99,6 +121,14 @@ impl AccelConfig {
         );
         self.max_seq_len
     }
+
+    /// Non-panicking [`Self::padded_seq_len`] for fallible entry points.
+    pub fn checked_padded_seq_len(&self, input_len: usize) -> Result<usize, AccelError> {
+        if input_len > self.max_seq_len {
+            return Err(AccelError::InvalidInput { input_len, max_seq_len: self.max_seq_len });
+        }
+        Ok(self.max_seq_len)
+    }
 }
 
 #[cfg(test)]
@@ -108,7 +138,7 @@ mod tests {
     #[test]
     fn paper_default_is_valid() {
         let c = AccelConfig::paper_default();
-        c.validate();
+        c.validate().unwrap();
         assert_eq!(c.n_psas, 8);
         assert_eq!(c.psas_per_slr, 4);
         assert_eq!(c.head_passes(), 1);
@@ -120,18 +150,28 @@ mod tests {
             let mut c = AccelConfig::paper_default();
             c.parallel_heads = heads;
             c.psas_per_head = per_head;
-            c.validate();
+            c.validate().unwrap();
             assert_eq!(c.head_passes(), 8 / heads);
         }
     }
 
     #[test]
-    #[should_panic(expected = "whole pool")]
-    fn mismatched_pool_panics() {
+    fn mismatched_pool_is_a_config_error() {
         let mut c = AccelConfig::paper_default();
         c.parallel_heads = 4;
         c.psas_per_head = 1;
-        c.validate();
+        let err = c.validate().unwrap_err();
+        assert!(matches!(&err, AccelError::Config(msg) if msg.contains("whole pool")), "{}", err);
+    }
+
+    #[test]
+    fn checked_padding_errors_instead_of_panicking() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.checked_padded_seq_len(4).unwrap(), 32);
+        assert!(matches!(
+            c.checked_padded_seq_len(33),
+            Err(AccelError::InvalidInput { input_len: 33, max_seq_len: 32 })
+        ));
     }
 
     #[test]

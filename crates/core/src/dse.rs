@@ -36,7 +36,7 @@ pub fn explore_points(base: &AccelConfig, points: &[(usize, usize)]) -> Vec<Desi
             let mut cfg = base.clone();
             cfg.parallel_heads = heads;
             cfg.psas_per_head = per_head;
-            cfg.validate();
+            cfg.validate().expect("valid accelerator configuration");
             let r = simulate(&cfg, Architecture::A3, cfg.max_seq_len);
             DesignPoint {
                 parallel_heads: heads,
@@ -51,7 +51,10 @@ pub fn explore_points(base: &AccelConfig, points: &[(usize, usize)]) -> Vec<Desi
 /// Sweep PSA dimensions (rows × cols candidates), reporting latency and fit —
 /// the "we have experimented with various dimensions of the PSA block"
 /// exploration of §5.1.4.
-pub fn explore_psa_shapes(base: &AccelConfig, shapes: &[(usize, usize)]) -> Vec<(usize, usize, f64, bool)> {
+pub fn explore_psa_shapes(
+    base: &AccelConfig,
+    shapes: &[(usize, usize)],
+) -> Vec<(usize, usize, f64, bool)> {
     shapes
         .iter()
         .map(|&(rows, cols)| {

@@ -14,8 +14,7 @@ pub fn accelerator_gflops_per_s(cfg: &AccelConfig, s: usize, latency_s: f64) -> 
 /// Accelerator energy efficiency in GFLOPs/J at the calibrated kernel power
 /// (§5.1.6 reports 1.38 GFLOPs/J).
 pub fn accelerator_gflops_per_joule(cfg: &AccelConfig, s: usize, latency_s: f64) -> f64 {
-    let profile =
-        energy::PowerProfile { name: "U50 kernels", watts: calib::KERNEL_POWER_W };
+    let profile = energy::PowerProfile { name: "U50 kernels", watts: calib::KERNEL_POWER_W };
     energy::gflops_per_joule(flops::model_gflops(s, &cfg.model), profile, latency_s)
 }
 

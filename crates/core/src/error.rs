@@ -1,0 +1,104 @@
+//! Typed errors for the accelerator model.
+//!
+//! The seed grew up panicking at every boundary — fine for a calculator,
+//! useless for a host runtime that must *survive* faults and degrade instead
+//! of dying. [`AccelError`] is the error type every fallible entry point
+//! ([`crate::config::AccelConfig::validate`],
+//! [`crate::host_runtime::run_through_runtime`],
+//! [`crate::host_runtime::run_with_recovery`],
+//! [`crate::host::HostController`]) returns; panics are reserved for
+//! internal invariants.
+
+use asr_fpga_sim::runtime::RuntimeError;
+
+/// Anything that can go wrong between the host API and the card.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// The accelerator configuration is internally inconsistent.
+    Config(String),
+    /// The input is longer than the built (padded) sequence length.
+    InvalidInput {
+        /// Unpadded input length requested.
+        input_len: usize,
+        /// The bitstream's built sequence length.
+        max_seq_len: usize,
+    },
+    /// The requested operation does not apply to this architecture.
+    UnsupportedArch(String),
+    /// A runtime resource operation failed (HBM exhaustion, double release).
+    Runtime(RuntimeError),
+    /// A model passed to the host does not match the accelerator's shape.
+    ModelMismatch(String),
+    /// A command kept failing after every allowed retry and no degradation
+    /// rung was left to fall back to.
+    Unrecoverable {
+        /// The phase being scheduled when recovery ran out of options.
+        phase: String,
+        /// The failing command's label.
+        label: String,
+        /// Attempts consumed (including the first).
+        attempts: u32,
+    },
+}
+
+impl std::fmt::Display for AccelError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccelError::Config(msg) => write!(f, "invalid configuration: {}", msg),
+            AccelError::InvalidInput { input_len, max_seq_len } => write!(
+                f,
+                "input length {} exceeds the built sequence length {}",
+                input_len, max_seq_len
+            ),
+            AccelError::UnsupportedArch(msg) => write!(f, "unsupported architecture: {}", msg),
+            AccelError::Runtime(e) => write!(f, "runtime error: {}", e),
+            AccelError::ModelMismatch(msg) => write!(f, "model mismatch: {}", msg),
+            AccelError::Unrecoverable { phase, label, attempts } => write!(
+                f,
+                "unrecoverable fault in phase {}: '{}' failed after {} attempts",
+                phase, label, attempts
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AccelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AccelError::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RuntimeError> for AccelError {
+    fn from(e: RuntimeError) -> Self {
+        AccelError::Runtime(e)
+    }
+}
+
+/// Result alias used across the crate's fallible boundaries.
+pub type Result<T> = std::result::Result<T, AccelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = AccelError::InvalidInput { input_len: 64, max_seq_len: 32 };
+        assert!(e.to_string().contains("64"));
+        assert!(e.to_string().contains("32"));
+        let e = AccelError::Unrecoverable { phase: "E3".into(), label: "LWE3".into(), attempts: 4 };
+        assert!(e.to_string().contains("LWE3"));
+    }
+
+    #[test]
+    fn runtime_errors_convert() {
+        let e: AccelError =
+            RuntimeError::HbmExhausted { requested: 10, used: 5, capacity: 12 }.into();
+        assert!(matches!(e, AccelError::Runtime(_)));
+        use std::error::Error;
+        assert!(e.source().is_some());
+    }
+}

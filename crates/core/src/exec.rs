@@ -64,8 +64,7 @@ mod tests {
         let mem_ref = model.encode(&x, &ReferenceBackend);
         assert!(max_abs_diff(&mem_sys, &mem_ref) < 1e-3);
 
-        let toks_sys =
-            model.greedy_decode(&mem_sys, 10, &SystolicBackend::paper_default());
+        let toks_sys = model.greedy_decode(&mem_sys, 10, &SystolicBackend::paper_default());
         let toks_ref = model.greedy_decode(&mem_ref, 10, &ReferenceBackend);
         assert_eq!(toks_sys, toks_ref, "transcriptions must agree across backends");
     }

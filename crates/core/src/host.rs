@@ -17,6 +17,7 @@ use crate::arch::{simulate, ArchResult, Architecture};
 use crate::calib;
 use crate::config::AccelConfig;
 use crate::energy;
+use crate::error::{AccelError, Result};
 use crate::exec::SystolicBackend;
 use asr_frontend::dataset::Utterance;
 use asr_frontend::noise::{self, ErrorModel};
@@ -76,15 +77,17 @@ pub struct HostController {
 
 impl HostController {
     /// Controller over a configuration, scheduling with architecture A3.
-    pub fn new(cfg: AccelConfig) -> Self {
-        cfg.validate();
-        Self { cfg, arch: Architecture::A3 }
+    ///
+    /// Fails with [`AccelError::Config`] on an inconsistent configuration.
+    pub fn new(cfg: AccelConfig) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Self { cfg, arch: Architecture::A3 })
     }
 
     /// Controller with an explicit architecture.
-    pub fn with_arch(cfg: AccelConfig, arch: Architecture) -> Self {
-        cfg.validate();
-        Self { cfg, arch }
+    pub fn with_arch(cfg: AccelConfig, arch: Architecture) -> Result<Self> {
+        cfg.validate()?;
+        Ok(Self { cfg, arch })
     }
 
     /// Simulate the accelerator schedule for an input length.
@@ -126,11 +129,13 @@ impl HostController {
         extractor: &FbankExtractor,
         error_model: &ErrorModel,
         seed: u64,
-    ) -> E2eResult {
-        assert_eq!(
-            model.config, self.cfg.model,
-            "model shape does not match the accelerator configuration"
-        );
+    ) -> Result<E2eResult> {
+        if model.config != self.cfg.model {
+            return Err(AccelError::ModelMismatch(format!(
+                "model shape {:?} does not match the accelerator configuration {:?}",
+                model.config, self.cfg.model
+            )));
+        }
         let features = extractor.extract(&utt.audio);
         let encoder_in = subsampler.forward(&features);
         let input_len = encoder_in.rows().min(self.cfg.max_seq_len).max(1);
@@ -145,13 +150,13 @@ impl HostController {
         let model_text = vocab.decode(&tokens);
         let recognized_text = noise::recognize(&utt.transcript, error_model, seed);
 
-        E2eResult {
+        Ok(E2eResult {
             n_frames: features.rows(),
             input_len,
             latency: self.latency_report(input_len),
             model_text,
             recognized_text,
-        }
+        })
     }
 }
 
@@ -165,17 +170,25 @@ mod tests {
     #[test]
     fn section_5_1_6_numbers_reproduce() {
         // E2E 120.45 ms, preprocessing 36.3 ms, throughput 11.88 seq/s at s=32.
-        let host = HostController::new(AccelConfig::paper_default());
+        let host = HostController::new(AccelConfig::paper_default()).unwrap();
         let r = host.latency_report(32);
-        assert!((r.preprocessing_s * 1e3 - 36.3).abs() < 0.5, "preproc {} ms", r.preprocessing_s * 1e3);
+        assert!(
+            (r.preprocessing_s * 1e3 - 36.3).abs() < 0.5,
+            "preproc {} ms",
+            r.preprocessing_s * 1e3
+        );
         assert!((r.total_s * 1e3 - 120.45).abs() / 120.45 < 0.05, "total {} ms", r.total_s * 1e3);
-        assert!((r.throughput_seq_per_s - 11.88).abs() / 11.88 < 0.05, "{} seq/s", r.throughput_seq_per_s);
+        assert!(
+            (r.throughput_seq_per_s - 11.88).abs() / 11.88 < 0.05,
+            "{} seq/s",
+            r.throughput_seq_per_s
+        );
         assert!((r.gflops - 4.0).abs() < 0.2);
     }
 
     #[test]
     fn short_inputs_pad_to_the_built_length() {
-        let host = HostController::new(AccelConfig::paper_default());
+        let host = HostController::new(AccelConfig::paper_default()).unwrap();
         let r = host.latency_report(4);
         assert_eq!(r.input_len, 4);
         assert_eq!(r.seq_len, 32);
@@ -189,12 +202,14 @@ mod tests {
         cfg.parallel_heads = 4; // tiny() has 4 heads
         cfg.psas_per_head = 2;
         cfg.max_seq_len = 8;
-        let host = HostController::new(cfg.clone());
+        let host = HostController::new(cfg.clone()).unwrap();
         let model = Model::seeded(cfg.model, 11);
         let sub = Subsampler::paper_default(cfg.model.d_model, 3);
         let ex = FbankExtractor::paper_default();
         let utt = dataset::utterance(2.0, 5);
-        let r = host.process_utterance(&utt, &model, &sub, &ex, &ErrorModel::paper_operating_point(), 9);
+        let r = host
+            .process_utterance(&utt, &model, &sub, &ex, &ErrorModel::paper_operating_point(), 9)
+            .unwrap();
         assert!(r.n_frames > 100, "frames {}", r.n_frames);
         assert!(r.input_len >= 1 && r.input_len <= 8);
         // The noisy-channel recognition stays close to the ground truth.
@@ -204,13 +219,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "does not match the accelerator configuration")]
-    fn mismatched_model_panics() {
-        let host = HostController::new(AccelConfig::paper_default());
+    fn mismatched_model_is_a_typed_error() {
+        let host = HostController::new(AccelConfig::paper_default()).unwrap();
         let model = Model::seeded(TransformerConfig::tiny(), 1);
         let sub = Subsampler::paper_default(32, 1);
         let ex = FbankExtractor::paper_default();
         let utt = dataset::utterance(1.0, 1);
-        let _ = host.process_utterance(&utt, &model, &sub, &ex, &ErrorModel::perfect(), 1);
+        let err =
+            host.process_utterance(&utt, &model, &sub, &ex, &ErrorModel::perfect(), 1).unwrap_err();
+        assert!(matches!(err, AccelError::ModelMismatch(_)), "{}", err);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_construction() {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.parallel_heads = 3; // 8 heads don't divide into groups of 3
+        let err = HostController::new(cfg).unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
     }
 }

@@ -7,25 +7,117 @@
 //! simulators are independent implementations of the same contract, and the
 //! tests pin them to each other: a disagreement means one of them mis-models
 //! the overlap structure.
+//!
+//! On top of the fault-free path ([`run_through_runtime`]) sits the
+//! fault-tolerant host ([`run_with_recovery`]): every command's
+//! [`CommandStatus`] is checked, transient failures are retried with
+//! exponential backoff, hangs are reaped by the watchdog and relaunched, and
+//! permanent faults walk the **degradation ladder**:
+//!
+//! * losing one of A3's two prefetch engines degrades A3 → A2 (all loads on
+//!   the survivor, prefetching preserved);
+//! * losing the last prefetch engine degrades A2 → A1 (a recovery DMA path
+//!   that cannot overlap compute: every load waits for the previous layer's
+//!   compute);
+//! * losing an SLR halves the PSA pool (`psas_per_slr` halved, the head
+//!   split re-balanced) and relaunches every remaining kernel on the
+//!   surviving SLR.
+//!
+//! Fault markers and recovery decisions are both recorded on the timeline's
+//! [`FAULT_UNIT`] track, so a degraded run's Gantt chart shows *what broke
+//! and what the host did about it*.
 
 use crate::arch::{layer_bytes, Architecture};
 use crate::calib;
 use crate::config::AccelConfig;
+use crate::error::{AccelError, Result};
 use crate::schedule::{decoder, encoder};
 use asr_fpga_sim::device::SlrId;
-use asr_fpga_sim::runtime::{Event, Runtime};
+use asr_fpga_sim::faults::FaultPlan;
+use asr_fpga_sim::runtime::{CommandStatus, Event, QueueId, Runtime, FAULT_UNIT};
+
+/// Which compute recurrence a phase uses (so degraded configurations can
+/// re-derive the phase cost mid-run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PhaseKind {
+    Encoder,
+    DecoderMha,
+    DecoderFfn,
+    DecoderFull,
+}
+
+/// Static phase metadata: label, weight traffic, and cost recurrence.
+#[derive(Debug, Clone)]
+struct PhaseMeta {
+    label: String,
+    bytes: u64,
+    kind: PhaseKind,
+}
+
+/// The 18-layer (24-phase at A3 granularity) schedule skeleton.
+fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PhaseMeta> {
+    let bytes = layer_bytes(cfg);
+    let mut phases: Vec<PhaseMeta> = Vec::new();
+    for i in 0..cfg.model.n_encoders {
+        phases.push(PhaseMeta {
+            label: format!("E{}", i + 1),
+            bytes: bytes.encoder,
+            kind: PhaseKind::Encoder,
+        });
+    }
+    for i in 0..cfg.model.n_decoders {
+        if arch == Architecture::A3 {
+            phases.push(PhaseMeta {
+                label: format!("D{}m", i + 1),
+                bytes: bytes.decoder_mha,
+                kind: PhaseKind::DecoderMha,
+            });
+            phases.push(PhaseMeta {
+                label: format!("D{}f", i + 1),
+                bytes: bytes.decoder_ffn,
+                kind: PhaseKind::DecoderFfn,
+            });
+        } else {
+            phases.push(PhaseMeta {
+                label: format!("D{}", i + 1),
+                bytes: bytes.decoder_mha + bytes.decoder_ffn,
+                kind: PhaseKind::DecoderFull,
+            });
+        }
+    }
+    phases
+}
+
+/// Seconds of compute for one phase under a (possibly degraded) config.
+fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
+    let clock = cfg.device.clock;
+    match kind {
+        PhaseKind::Encoder => clock.to_seconds(encoder::encoder_cycles(cfg, s)),
+        PhaseKind::DecoderMha => clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
+        PhaseKind::DecoderFfn => clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
+        PhaseKind::DecoderFull => clock.to_seconds(decoder::decoder_cycles(cfg, s)),
+    }
+}
+
+fn check_prefetch_arch(arch: Architecture) -> Result<()> {
+    if !matches!(arch, Architecture::A2 | Architecture::A3) {
+        return Err(AccelError::UnsupportedArch(
+            "the runtime path models the prefetching architectures (A2/A3)".into(),
+        ));
+    }
+    Ok(())
+}
 
 /// Drive the A2/A3 prefetch schedule through the runtime; returns the
 /// runtime (for its timeline) and the makespan in seconds.
-pub fn run_through_runtime(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> (Runtime, f64) {
-    cfg.validate();
-    assert!(
-        matches!(arch, Architecture::A2 | Architecture::A3),
-        "the runtime path models the prefetching architectures"
-    );
-    let s = cfg.padded_seq_len(input_len);
-    let bytes = layer_bytes(cfg);
-    let clock = cfg.device.clock;
+pub fn run_through_runtime(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+) -> Result<(Runtime, f64)> {
+    cfg.validate()?;
+    check_prefetch_arch(arch)?;
+    let s = cfg.checked_padded_seq_len(input_len)?;
 
     let mut rt = Runtime::new(cfg.device.clone());
     let engines = match arch {
@@ -36,42 +128,7 @@ pub fn run_through_runtime(cfg: &AccelConfig, arch: Architecture, input_len: usi
         (0..engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
     let compute_queue = rt.create_queue("kernels");
 
-    // phase list mirrors arch::build_phases
-    struct Phase {
-        label: String,
-        bytes: u64,
-        compute_s: f64,
-    }
-    let mut phases: Vec<Phase> = Vec::new();
-    for i in 0..cfg.model.n_encoders {
-        phases.push(Phase {
-            label: format!("E{}", i + 1),
-            bytes: bytes.encoder,
-            compute_s: clock.to_seconds(encoder::encoder_cycles(cfg, s)),
-        });
-    }
-    for i in 0..cfg.model.n_decoders {
-        if arch == Architecture::A3 {
-            phases.push(Phase {
-                label: format!("D{}m", i + 1),
-                bytes: bytes.decoder_mha,
-                compute_s: clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
-            });
-            phases.push(Phase {
-                label: format!("D{}f", i + 1),
-                bytes: bytes.decoder_ffn,
-                compute_s: clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
-            });
-        } else {
-            phases.push(Phase {
-                label: format!("D{}", i + 1),
-                bytes: bytes.decoder_mha + bytes.decoder_ffn,
-                compute_s: clock.to_seconds(decoder::decoder_cycles(cfg, s)),
-            });
-        }
-    }
-
-    let mut load_events: Vec<Event> = Vec::with_capacity(phases.len());
+    let phases = phase_list(cfg, arch);
     let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
     for (i, p) in phases.iter().enumerate() {
         // Phase-granular double buffer (see arch.rs): this load's slot is
@@ -90,7 +147,6 @@ pub fn run_through_runtime(cfg: &AccelConfig, arch: Architecture, input_len: usi
             calib::HBM_CHANNELS_A1_A2,
             &deps,
         );
-        load_events.push(lw);
 
         let mut cdeps = vec![lw];
         if i >= 1 {
@@ -100,20 +156,362 @@ pub fn run_through_runtime(cfg: &AccelConfig, arch: Architecture, input_len: usi
             compute_queue,
             format!("C{}", p.label),
             if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
-            p.compute_s,
+            phase_compute_s(cfg, p.kind, s),
             &cdeps,
         );
         compute_events.push(ck);
     }
 
     let total = rt.finish();
-    (rt, total)
+    Ok((rt, total))
+}
+
+/// How the host reacts to failed, hung, and dead commands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryPolicy {
+    /// Attempts allowed per command (including the first). Transient faults
+    /// that outlast this many attempts make the run [`AccelError::Unrecoverable`].
+    pub max_attempts: u32,
+    /// First retry backoff, seconds; doubles on each further retry
+    /// (modelled as host-side latency on the failing queue).
+    pub backoff_base_s: f64,
+    /// Per-command watchdog: hung commands are reaped after this long.
+    /// `None` leaves hangs unreaped (infinite makespan).
+    pub watchdog_s: Option<f64>,
+    /// Whether permanent faults may walk the A3 → A2 → A1 ladder (and halve
+    /// the PSA pool on SLR loss). With `false`, any permanent fault is
+    /// unrecoverable.
+    pub allow_degradation: bool,
+}
+
+impl Default for RecoveryPolicy {
+    fn default() -> Self {
+        RecoveryPolicy {
+            max_attempts: 4,
+            backoff_base_s: 1e-4,
+            watchdog_s: Some(0.05),
+            allow_degradation: true,
+        }
+    }
+}
+
+/// One recovery decision, as recorded on the timeline's fault track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryEvent {
+    /// Simulation time of the decision, seconds.
+    pub time_s: f64,
+    /// Phase being scheduled (e.g. `"E3"`, `"D2f"`).
+    pub phase: String,
+    /// What the host did (retry, degrade, reschedule) and why.
+    pub detail: String,
+}
+
+/// Outcome of a fault-injected run that survived to completion.
+#[derive(Debug, Clone)]
+pub struct FaultedRun {
+    /// The runtime (its timeline holds work spans, fault markers, and
+    /// recovery annotations).
+    pub runtime: Runtime,
+    /// Makespan with faults and recovery, seconds.
+    pub makespan_s: f64,
+    /// Fault-free makespan of the same schedule, seconds.
+    pub nominal_s: f64,
+    /// Architecture the run started at.
+    pub entry_arch: Architecture,
+    /// Architecture the run finished at (after any ladder descent).
+    pub final_arch: Architecture,
+    /// SLR that dropped out, if one did.
+    pub dead_slr: Option<usize>,
+    /// Total retries spent on transient faults.
+    pub retries: u32,
+    /// Every recovery decision, in order.
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl FaultedRun {
+    /// Latency penalty of the faults, as a fraction of nominal (0 = clean).
+    pub fn slowdown(&self) -> f64 {
+        if self.nominal_s > 0.0 {
+            self.makespan_s / self.nominal_s - 1.0
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Run the prefetch schedule through the runtime with a fault plan attached,
+/// retrying transient failures and walking the degradation ladder on
+/// permanent ones.
+///
+/// Returns `Ok` whenever the policy leaves a path to completion — possibly
+/// at a lower architecture rung and a larger makespan — and
+/// [`AccelError::Unrecoverable`] when retries are exhausted or degradation
+/// is disallowed/impossible.
+pub fn run_with_recovery(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    plan: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> Result<FaultedRun> {
+    cfg.validate()?;
+    check_prefetch_arch(arch)?;
+    let s = cfg.checked_padded_seq_len(input_len)?;
+    let (_, nominal_s) = run_through_runtime(cfg, arch, input_len)?;
+
+    let mut rt = Runtime::with_faults(cfg.device.clone(), plan);
+    rt.set_watchdog(policy.watchdog_s);
+
+    let n_engines = match arch {
+        Architecture::A3 => 2,
+        _ => 1,
+    };
+    let mut engines: Vec<QueueId> =
+        (0..n_engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
+    let compute_queue = rt.create_queue("kernels");
+
+    let phases = phase_list(cfg, arch);
+    let mut level = arch;
+    let mut live_cfg = cfg.clone();
+    let mut dead_slr: Option<usize> = None;
+    let mut events: Vec<RecoveryEvent> = Vec::new();
+    let mut retries = 0u32;
+
+    let mut record = |rt: &mut Runtime, t: f64, phase: &str, detail: String| {
+        rt.annotate(FAULT_UNIT, format!("recovery: {}", detail), t);
+        events.push(RecoveryEvent { time_s: t, phase: phase.to_string(), detail });
+    };
+
+    let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
+    for (i, p) in phases.iter().enumerate() {
+        // ---- load phase, with retry / engine-ladder recovery ----
+        let load_label = format!("LW{}", p.label);
+        let mut attempts = 0u32;
+        let load_ev = loop {
+            let slot = i % engines.len();
+            let mut deps: Vec<Event> = Vec::new();
+            if i >= 2 {
+                deps.push(compute_events[i - 2]);
+            }
+            if level == Architecture::A1 && i >= 1 {
+                // No prefetch rung left: loads serialize behind compute.
+                deps.push(compute_events[i - 1]);
+            }
+            let lw = rt.enqueue_hbm_load(
+                engines[slot],
+                load_label.clone(),
+                p.bytes,
+                calib::HBM_CHANNELS_A1_A2,
+                &deps,
+            );
+            attempts += 1;
+            match rt.status(lw) {
+                CommandStatus::Completed => break lw,
+                CommandStatus::Failed(cause) if cause.is_permanent() => {
+                    if !policy.allow_degradation {
+                        return Err(AccelError::Unrecoverable {
+                            phase: p.label.clone(),
+                            label: load_label,
+                            attempts,
+                        });
+                    }
+                    let t = rt.finish_time(lw);
+                    engines.remove(slot);
+                    attempts = 0; // degradation re-issues the command with a fresh budget
+                    if engines.is_empty() {
+                        // Last prefetch engine gone: fall to A1 on a
+                        // recovery DMA path that cannot overlap compute.
+                        engines.push(rt.create_queue("maxi-recovery"));
+                        level = Architecture::A1;
+                        record(
+                            &mut rt,
+                            t,
+                            &p.label,
+                            "engine lost, degrade to A1 (no prefetch)".into(),
+                        );
+                    } else {
+                        let was = level;
+                        level = Architecture::A2;
+                        record(
+                            &mut rt,
+                            t,
+                            &p.label,
+                            format!(
+                                "engine lost, degrade {} -> A2 (single prefetch engine)",
+                                was.name()
+                            ),
+                        );
+                    }
+                }
+                _ => {
+                    // Transient failure or watchdog timeout: back off and retry.
+                    if attempts >= policy.max_attempts {
+                        return Err(AccelError::Unrecoverable {
+                            phase: p.label.clone(),
+                            label: load_label,
+                            attempts,
+                        });
+                    }
+                    let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
+                    let t = rt.finish_time(lw);
+                    rt.enqueue_backoff(
+                        engines[slot],
+                        format!("backoff#{} {}", attempts, load_label),
+                        backoff,
+                        &[],
+                    );
+                    retries += 1;
+                    record(
+                        &mut rt,
+                        t,
+                        &p.label,
+                        format!(
+                            "retry #{} of {} after {:.1} us backoff",
+                            attempts,
+                            load_label,
+                            backoff * 1e6
+                        ),
+                    );
+                }
+            }
+        };
+
+        // ---- compute phase, with retry / SLR-ladder recovery ----
+        let kernel_label = format!("C{}", p.label);
+        let mut attempts = 0u32;
+        let ck = loop {
+            let slr = match dead_slr {
+                Some(d) => SlrId::from_index(1 - d),
+                None => {
+                    if i % 2 == 0 {
+                        SlrId::Slr0
+                    } else {
+                        SlrId::Slr1
+                    }
+                }
+            };
+            let mut cdeps = vec![load_ev];
+            if i >= 1 {
+                cdeps.push(compute_events[i - 1]);
+            }
+            let ck = rt.enqueue_kernel(
+                compute_queue,
+                kernel_label.clone(),
+                slr,
+                phase_compute_s(&live_cfg, p.kind, s),
+                &cdeps,
+            );
+            attempts += 1;
+            match rt.status(ck) {
+                CommandStatus::Completed => break ck,
+                CommandStatus::Failed(cause) if cause.is_permanent() => {
+                    if !policy.allow_degradation || dead_slr.is_some() {
+                        // Second SLR loss (or ladder disabled): nothing left.
+                        return Err(AccelError::Unrecoverable {
+                            phase: p.label.clone(),
+                            label: kernel_label,
+                            attempts,
+                        });
+                    }
+                    let t = rt.finish_time(ck);
+                    dead_slr = Some(slr.index());
+                    attempts = 0; // relaunch on the survivor starts a fresh budget
+                    live_cfg =
+                        slr_degraded_config(&live_cfg).map_err(|_| AccelError::Unrecoverable {
+                            phase: p.label.clone(),
+                            label: kernel_label.clone(),
+                            attempts,
+                        })?;
+                    record(
+                        &mut rt,
+                        t,
+                        &p.label,
+                        format!(
+                            "SLR{} lost: PSA pool halved to {}, relaunch on SLR{}",
+                            slr.index(),
+                            live_cfg.n_psas,
+                            1 - slr.index()
+                        ),
+                    );
+                }
+                _ => {
+                    if attempts >= policy.max_attempts {
+                        return Err(AccelError::Unrecoverable {
+                            phase: p.label.clone(),
+                            label: kernel_label,
+                            attempts,
+                        });
+                    }
+                    let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
+                    let t = rt.finish_time(ck);
+                    rt.enqueue_backoff(
+                        compute_queue,
+                        format!("backoff#{} {}", attempts, kernel_label),
+                        backoff,
+                        &[],
+                    );
+                    retries += 1;
+                    record(
+                        &mut rt,
+                        t,
+                        &p.label,
+                        format!(
+                            "relaunch #{} of {} after {:.1} us backoff",
+                            attempts,
+                            kernel_label,
+                            backoff * 1e6
+                        ),
+                    );
+                }
+            }
+        };
+        compute_events.push(ck);
+    }
+
+    let makespan_s = rt.finish();
+    Ok(FaultedRun {
+        runtime: rt,
+        makespan_s,
+        nominal_s,
+        entry_arch: arch,
+        final_arch: level,
+        dead_slr,
+        retries,
+        events,
+    })
+}
+
+/// The configuration after losing one SLR: half the PSA pool, head split
+/// re-balanced so `parallel_heads × psas_per_head == n_psas` still holds.
+///
+/// The survivor's PSAs are modelled as a (halved) 2-SLR pool to keep the
+/// config invariants; only the pool *size* affects the schedule recurrences.
+pub fn slr_degraded_config(cfg: &AccelConfig) -> Result<AccelConfig> {
+    if cfg.psas_per_slr < 2 || !cfg.n_psas.is_multiple_of(2) {
+        return Err(AccelError::Config(format!(
+            "cannot halve a {}-PSA pool after SLR loss",
+            cfg.n_psas
+        )));
+    }
+    let mut d = cfg.clone();
+    d.n_psas = cfg.n_psas / 2;
+    d.psas_per_slr = cfg.psas_per_slr / 2;
+    if d.psas_per_head >= 2 && d.parallel_heads * (d.psas_per_head / 2) == d.n_psas {
+        d.psas_per_head /= 2;
+    } else if d.parallel_heads >= 2 && (d.parallel_heads / 2) * d.psas_per_head == d.n_psas {
+        d.parallel_heads /= 2;
+    } else {
+        return Err(AccelError::Config("no head split matches the degraded PSA pool".into()));
+    }
+    d.validate()?;
+    Ok(d)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::arch::simulate;
+    use asr_fpga_sim::faults::FaultKind;
 
     fn unpadded(s: usize) -> AccelConfig {
         let mut c = AccelConfig::paper_default();
@@ -126,7 +524,7 @@ mod tests {
         for s in [4usize, 8, 16, 32] {
             let cfg = unpadded(s);
             let bespoke = simulate(&cfg, Architecture::A3, s).latency_s;
-            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A3, s);
+            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A3, s).unwrap();
             assert!(
                 (bespoke - via_runtime).abs() / bespoke < 0.01,
                 "s={}: arch {} vs runtime {}",
@@ -142,7 +540,7 @@ mod tests {
         for s in [4usize, 16, 32] {
             let cfg = unpadded(s);
             let bespoke = simulate(&cfg, Architecture::A2, s).latency_s;
-            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A2, s);
+            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A2, s).unwrap();
             assert!(
                 (bespoke - via_runtime).abs() / bespoke < 0.01,
                 "s={}: arch {} vs runtime {}",
@@ -156,7 +554,7 @@ mod tests {
     #[test]
     fn runtime_timeline_has_load_and_kernel_tracks() {
         let cfg = unpadded(8);
-        let (rt, _) = run_through_runtime(&cfg, Architecture::A3, 8);
+        let (rt, _) = run_through_runtime(&cfg, Architecture::A3, 8).unwrap();
         let units = rt.timeline().units();
         assert!(units.contains(&"maxi-0"));
         assert!(units.contains(&"maxi-1"));
@@ -166,9 +564,175 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "prefetching architectures")]
-    fn a1_rejected() {
+    fn a1_is_a_typed_error() {
         let cfg = unpadded(4);
-        let _ = run_through_runtime(&cfg, Architecture::A1, 4);
+        let err = run_through_runtime(&cfg, Architecture::A1, 4).unwrap_err();
+        assert!(matches!(err, AccelError::UnsupportedArch(_)), "{}", err);
+    }
+
+    #[test]
+    fn oversized_input_is_a_typed_error() {
+        let cfg = unpadded(4);
+        let err = run_through_runtime(&cfg, Architecture::A3, 5).unwrap_err();
+        assert!(matches!(err, AccelError::InvalidInput { .. }), "{}", err);
+    }
+
+    #[test]
+    fn zero_fault_recovery_is_bit_identical_to_fault_free() {
+        for arch in [Architecture::A2, Architecture::A3] {
+            let cfg = unpadded(8);
+            let (rt, total) = run_through_runtime(&cfg, arch, 8).unwrap();
+            let run =
+                run_with_recovery(&cfg, arch, 8, FaultPlan::none(), &RecoveryPolicy::default())
+                    .unwrap();
+            assert_eq!(rt.timeline().spans(), run.runtime.timeline().spans());
+            assert_eq!(total.to_bits(), run.makespan_s.to_bits());
+            assert_eq!(run.final_arch, arch);
+            assert_eq!(run.retries, 0);
+            assert!(run.events.is_empty());
+        }
+    }
+
+    #[test]
+    fn transient_load_error_is_retried_to_completion() {
+        let cfg = unpadded(8);
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWE3".into(), failing_attempts: 2 });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(run.retries, 2);
+        assert!(run.makespan_s.is_finite());
+        assert!(run.makespan_s >= run.nominal_s, "faults cannot speed a run up");
+        assert_eq!(run.final_arch, Architecture::A3, "transients don't degrade");
+        assert!(!run.runtime.timeline().unit_spans(FAULT_UNIT).is_empty());
+    }
+
+    #[test]
+    fn retries_exhausted_is_unrecoverable() {
+        let cfg = unpadded(8);
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWE3".into(), failing_attempts: 99 });
+        let err = run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default())
+            .unwrap_err();
+        assert!(matches!(err, AccelError::Unrecoverable { .. }), "{}", err);
+    }
+
+    #[test]
+    fn engine_loss_from_start_matches_a2_within_1_percent() {
+        // The ISSUE acceptance: a dead A3 prefetch engine leaves a schedule
+        // equivalent to A2 from that layer onward. Killed from command 0,
+        // the whole run must land within 1% of the A2 runtime schedule.
+        // Use a load-bound length so A2 and A3 genuinely differ.
+        let cfg = unpadded(4);
+        let plan = FaultPlan::none()
+            .with(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: 0 });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 4, plan, &RecoveryPolicy::default()).unwrap();
+        let (_, a2) = run_through_runtime(&cfg, Architecture::A2, 4).unwrap();
+        assert_eq!(run.final_arch, Architecture::A2);
+        assert!(
+            (run.makespan_s - a2).abs() / a2 < 0.01,
+            "degraded A3 {} vs A2 {}",
+            run.makespan_s,
+            a2
+        );
+        // the fault and the degradation decision are both on the timeline
+        let markers = run.runtime.timeline().unit_spans(FAULT_UNIT);
+        assert!(markers.iter().any(|m| m.label.contains("engine-dropout")));
+        assert!(markers.iter().any(|m| m.label.contains("degrade")));
+    }
+
+    #[test]
+    fn engine_loss_mid_run_lands_between_a3_and_a2() {
+        let cfg = unpadded(4);
+        let plan = FaultPlan::none()
+            .with(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: 4 });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 4, plan, &RecoveryPolicy::default()).unwrap();
+        let (_, a2) = run_through_runtime(&cfg, Architecture::A2, 4).unwrap();
+        let (_, a3) = run_through_runtime(&cfg, Architecture::A3, 4).unwrap();
+        assert_eq!(run.final_arch, Architecture::A2);
+        assert!(run.makespan_s >= a3 - 1e-12, "{} vs A3 {}", run.makespan_s, a3);
+        assert!(run.makespan_s <= a2 * 1.01, "{} vs A2 {}", run.makespan_s, a2);
+    }
+
+    #[test]
+    fn double_engine_loss_degrades_to_a1() {
+        let cfg = unpadded(4);
+        let plan = FaultPlan::none()
+            .with(FaultKind::EngineDropout { queue: "maxi-0".into(), from_command: 2 })
+            .with(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: 2 });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 4, plan, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(run.final_arch, Architecture::A1);
+        // A1 without overlap is no faster than the bespoke A1 simulation
+        // minus its first-fill (loose sanity bound), and certainly slower
+        // than fault-free A3.
+        let (_, a3) = run_through_runtime(&cfg, Architecture::A3, 4).unwrap();
+        assert!(
+            run.makespan_s > a3,
+            "A1 fallback {} must cost more than A3 {}",
+            run.makespan_s,
+            a3
+        );
+    }
+
+    #[test]
+    fn slr_loss_halves_the_pool_and_relaunches() {
+        let cfg = unpadded(8);
+        let plan = FaultPlan::none().with(FaultKind::SlrDropout { slr: 1, from_command: 3 });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(run.dead_slr, Some(1));
+        assert!(run.makespan_s > run.nominal_s, "halved pool must cost latency");
+        // every kernel from the dropout onward runs on SLR0
+        let kernels = run.runtime.timeline().unit_spans("kernels");
+        let relaunched: Vec<_> =
+            kernels.iter().filter(|k| !k.label.starts_with('!')).skip(3).collect();
+        assert!(!relaunched.is_empty());
+        assert!(relaunched.iter().all(|k| k.label.contains("@SLR0")), "all on the survivor");
+    }
+
+    #[test]
+    fn degradation_disallowed_makes_permanent_faults_fatal() {
+        let cfg = unpadded(4);
+        let plan = FaultPlan::none()
+            .with(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: 0 });
+        let policy = RecoveryPolicy { allow_degradation: false, ..RecoveryPolicy::default() };
+        let err = run_with_recovery(&cfg, Architecture::A3, 4, plan, &policy).unwrap_err();
+        assert!(matches!(err, AccelError::Unrecoverable { .. }), "{}", err);
+    }
+
+    #[test]
+    fn degraded_config_rebalances_the_head_split() {
+        let d = slr_degraded_config(&AccelConfig::paper_default()).unwrap();
+        assert_eq!(d.n_psas, 4);
+        assert_eq!(d.psas_per_slr, 2);
+        assert_eq!(d.parallel_heads * d.psas_per_head, 4);
+        d.validate().unwrap();
+        // an already-minimal pool cannot degrade further
+        let mut tiny = AccelConfig::paper_default();
+        tiny.n_psas = 2;
+        tiny.psas_per_slr = 1;
+        tiny.parallel_heads = 2;
+        tiny.psas_per_head = 1;
+        assert!(slr_degraded_config(&tiny).is_err());
+    }
+
+    #[test]
+    fn seeded_plans_always_complete() {
+        let cfg = unpadded(8);
+        for seed in 0..24u64 {
+            let run = run_with_recovery(
+                &cfg,
+                Architecture::A3,
+                8,
+                FaultPlan::seeded(seed),
+                &RecoveryPolicy::default(),
+            )
+            .unwrap_or_else(|e| panic!("seed {}: {}", seed, e));
+            assert!(run.makespan_s.is_finite(), "seed {}", seed);
+            assert!(run.makespan_s >= run.nominal_s - 1e-12, "seed {}", seed);
+        }
     }
 }

@@ -29,6 +29,7 @@ pub mod calib;
 pub mod config;
 pub mod dse;
 pub mod energy;
+pub mod error;
 pub mod exec;
 pub mod host;
 pub mod host_runtime;
@@ -43,7 +44,9 @@ pub mod schedule;
 pub mod sweep;
 pub mod verify;
 
-pub use arch::{Architecture, ArchResult};
+pub use arch::{ArchResult, Architecture};
 pub use config::AccelConfig;
+pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
+pub use host_runtime::{run_with_recovery, FaultedRun, RecoveryPolicy};

@@ -35,18 +35,16 @@ pub enum MmKind {
 
 impl MmKind {
     /// All six kinds in paper order.
-    pub const ALL: [MmKind; 6] = [
-        MmKind::Mm1,
-        MmKind::Mm2,
-        MmKind::Mm3,
-        MmKind::Mm4,
-        MmKind::Mm5,
-        MmKind::Mm6,
-    ];
+    pub const ALL: [MmKind; 6] =
+        [MmKind::Mm1, MmKind::Mm2, MmKind::Mm3, MmKind::Mm4, MmKind::Mm5, MmKind::Mm6];
 
     /// Operand and output dimensions for sequence length `s`
     /// (Table 4.2 row): `((l, m), (m, n), (l, n))`.
-    pub fn dims(self, s: usize, cfg: &AccelConfig) -> ((usize, usize), (usize, usize), (usize, usize)) {
+    pub fn dims(
+        self,
+        s: usize,
+        cfg: &AccelConfig,
+    ) -> ((usize, usize), (usize, usize), (usize, usize)) {
         let d = cfg.model.d_model;
         let dk = cfg.model.d_k();
         let dff = cfg.model.d_ff;
@@ -224,11 +222,7 @@ mod tests {
     fn all_mm_cycles_monotone_in_s() {
         let c = cfg();
         for kind in MmKind::ALL {
-            assert!(
-                mm_cycles(kind, &c, 32) >= mm_cycles(kind, &c, 4),
-                "{:?} not monotone",
-                kind
-            );
+            assert!(mm_cycles(kind, &c, 32) >= mm_cycles(kind, &c, 4), "{:?} not monotone", kind);
         }
     }
 

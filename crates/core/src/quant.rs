@@ -103,7 +103,7 @@ mod tests {
         let q = int8_config(&base());
         assert_eq!(q.psa.ii, 4);
         assert_eq!(q.bytes_per_weight, 1);
-        q.validate();
+        q.validate().unwrap();
     }
 
     #[test]
@@ -158,7 +158,8 @@ mod tests {
     #[test]
     fn int8_still_fits_the_device() {
         let q = int8_config(&base());
-        let est = resources::estimate_with_psa_cost(&q, Int8Psa::from_fp32(base().psa).resource_cost());
+        let est =
+            resources::estimate_with_psa_cost(&q, Int8Psa::from_fp32(base().psa).resource_cost());
         assert!(est.total().fits_within(&q.device.total_resources()));
     }
 }

@@ -38,14 +38,10 @@ pub struct AccelReport {
 
 /// Build the report for a configuration.
 pub fn generate(cfg: &AccelConfig) -> AccelReport {
-    cfg.validate();
+    cfg.validate().expect("valid accelerator configuration");
     let s = cfg.max_seq_len;
     let sims: Vec<_> = Architecture::ALL.iter().map(|&a| simulate(cfg, a, s)).collect();
-    let latency_ms = [
-        sims[0].latency_s * 1e3,
-        sims[1].latency_s * 1e3,
-        sims[2].latency_s * 1e3,
-    ];
+    let latency_ms = [sims[0].latency_s * 1e3, sims[1].latency_s * 1e3, sims[2].latency_s * 1e3];
     let a3 = &sims[2];
     let est = resources::estimate(cfg).total();
     let (name, _) = est.binding_constraint(&cfg.device.total_resources());

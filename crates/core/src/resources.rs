@@ -16,7 +16,8 @@ use serde::{Deserialize, Serialize};
 /// Per-lane cost of one pipelined fp32 adder lane (LUT-based, no DSP).
 const ADDER_LANE: ResourceVector = ResourceVector { bram_18k: 0, dsp: 0, ff: 180, lut: 120 };
 /// One softmax (exp) unit; one per SLR.
-const SOFTMAX_UNIT: ResourceVector = ResourceVector { bram_18k: 0, dsp: 64, ff: 14_000, lut: 9_000 };
+const SOFTMAX_UNIT: ResourceVector =
+    ResourceVector { bram_18k: 0, dsp: 64, ff: 14_000, lut: 9_000 };
 /// One layer-norm unit; one per SLR.
 const NORM_UNIT: ResourceVector = ResourceVector { bram_18k: 0, dsp: 48, ff: 11_000, lut: 7_000 };
 /// Double-buffered weight storage per SLR.
@@ -57,7 +58,7 @@ pub fn estimate(cfg: &AccelConfig) -> ResourceEstimate {
 /// Estimate with an explicit per-PSA cost — used by the int8 variant in
 /// [`crate::quant`], which swaps the fp32 MAC fabric for integer PEs.
 pub fn estimate_with_psa_cost(cfg: &AccelConfig, psa_cost: ResourceVector) -> ResourceEstimate {
-    cfg.validate();
+    cfg.validate().expect("valid accelerator configuration");
     let n = cfg.n_psas as u64;
     let adder = ADDER_LANE * (cfg.adder.lanes as u64) * n;
     let funcs = (SOFTMAX_UNIT + NORM_UNIT) * 2;

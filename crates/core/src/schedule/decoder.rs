@@ -55,14 +55,8 @@ mod tests {
         // 12 encoders + 6 decoders, compute only, s = 32: the paper's A2/A3
         // compute-bound latency is 84.15 ms. The model must land within 2%.
         let c = cfg();
-        let total = Cycles(
-            encoder_cycles(&c, 32).get() * 12 + decoder_cycles(&c, 32).get() * 6,
-        );
+        let total = Cycles(encoder_cycles(&c, 32).get() * 12 + decoder_cycles(&c, 32).get() * 6);
         let ms = Clock::u50_kernel().to_ms(total);
-        assert!(
-            (ms - 84.15).abs() / 84.15 < 0.02,
-            "stack compute = {} ms vs paper 84.15 ms",
-            ms
-        );
+        assert!((ms - 84.15).abs() / 84.15 < 0.02, "stack compute = {} ms vs paper 84.15 ms", ms);
     }
 }

@@ -121,8 +121,7 @@ fn lay_ffn_block(cfg: &AccelConfig, tl: &mut Timeline, t0: u64, tag: &str, s: us
         span(tl, &format!("adder-{}", p), &format!("{} MM6 acc", tag), t, acc6);
     }
     t += acc6.get();
-    let crossing =
-        Cycles(asr_fpga_sim::isc::IscSpec::u50().transfer_cycles((s * d) as u64 * 4));
+    let crossing = Cycles(asr_fpga_sim::isc::IscSpec::u50().transfer_cycles((s * d) as u64 * 4));
     t = span(tl, "isc", &format!("{} MM6 cross-SLR", tag), t, crossing);
     let acc6b = cfg.adder.cycles(s, d);
     for p in 0..cfg.n_psas {

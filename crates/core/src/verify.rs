@@ -46,9 +46,7 @@ pub enum Violation {
 
 /// Extract the phase key from a span label ("LWE3" / "CE3" → "E3").
 fn phase_key(label: &str) -> Option<&str> {
-    label
-        .strip_prefix("LW")
-        .or_else(|| label.strip_prefix('C'))
+    label.strip_prefix("LW").or_else(|| label.strip_prefix('C'))
 }
 
 /// Verify a simulated architecture result; empty vec means all invariants hold.
@@ -205,11 +203,7 @@ mod tests {
         tl.push("compute", "CE2", 4.0, 5.0).unwrap();
         tl.push("compute", "CE3", 5.0, 6.0).unwrap();
         let v = verify_timeline(&tl);
-        assert!(
-            v.iter().any(|x| matches!(x, Violation::BufferOversubscribed { .. })),
-            "{:?}",
-            v
-        );
+        assert!(v.iter().any(|x| matches!(x, Violation::BufferOversubscribed { .. })), "{:?}", v);
     }
 
     #[test]

@@ -10,11 +10,11 @@ use proptest::prelude::*;
 /// unroll penalty, head split and built length.
 fn valid_config() -> impl Strategy<Value = AccelConfig> {
     (
-        1usize..=4,       // psa rows exponent -> 2,4,8,16? use 2..=8 via *2
+        1usize..=4, // psa rows exponent -> 2,4,8,16? use 2..=8 via *2
         prop::sample::select(vec![32usize, 64, 128]), // psa cols
-        1u64..=16,        // ii
+        1u64..=16,  // ii
         prop::sample::select(vec![(8usize, 1usize), (4, 2), (2, 4), (1, 8)]),
-        1usize..=48,      // built seq len
+        1usize..=48, // built seq len
     )
         .prop_map(|(rows_half, cols, ii, (heads, per_head), s)| {
             let mut cfg = AccelConfig::paper_default();

@@ -27,6 +27,26 @@ impl SlrId {
         }
     }
 
+    /// The SLR with the given index.
+    ///
+    /// # Panics
+    /// Panics if `i > 1` — the U50 has exactly two SLRs.
+    pub fn from_index(i: usize) -> SlrId {
+        match i {
+            0 => SlrId::Slr0,
+            1 => SlrId::Slr1,
+            _ => panic!("no SLR{} on this device", i),
+        }
+    }
+
+    /// The other SLR of the pair (the failover target).
+    pub fn sibling(self) -> SlrId {
+        match self {
+            SlrId::Slr0 => SlrId::Slr1,
+            SlrId::Slr1 => SlrId::Slr0,
+        }
+    }
+
     /// Whether HBM is directly attached (true only for SLR0 on the U50).
     pub fn has_direct_hbm(self) -> bool {
         matches!(self, SlrId::Slr0)

@@ -1,0 +1,288 @@
+//! Deterministic fault injection for the runtime model.
+//!
+//! Real Alveo deployments fail in well-known ways: an HBM AXI burst errors
+//! out, a PCIe DMA descriptor bounces, a kernel wedges and never raises its
+//! done interrupt, a memory controller drops pseudo-channels after an ECC
+//! storm, or a whole SLR goes dark after a clock-domain upset. This module
+//! models those events as a *plan*: a seeded, deterministic list of faults
+//! that the [`crate::runtime::Runtime`] consults every time a command is
+//! enqueued. Determinism matters — the same `(plan, schedule)` pair must
+//! produce bit-identical timelines on every run, so recovery policies can be
+//! regression-tested like any other schedule.
+//!
+//! Faults come in two flavours:
+//!
+//! * **Transient** ([`FaultKind::HbmLoadError`], [`FaultKind::PcieError`],
+//!   [`FaultKind::KernelHang`], [`FaultKind::HbmStall`]) — strike commands
+//!   whose label contains a substring, for the first `failing_attempts`
+//!   attempts of that command. Re-enqueueing the same label on the same
+//!   queue counts as the next attempt, so a retry policy eventually gets a
+//!   clean run.
+//! * **Structural** ([`FaultKind::EngineDropout`], [`FaultKind::SlrDropout`],
+//!   [`FaultKind::ChannelDegrade`]) — permanent from their trigger point
+//!   onward: every later command on the dead unit fails instantly (or, for
+//!   channel degradation, runs slower). Retrying is pointless; the host must
+//!   degrade — see `asr-accel::host_runtime::run_with_recovery`.
+
+use serde::{Deserialize, Serialize};
+
+/// One fault in a plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// An HBM burst read errors out: loads whose label contains `label` fail
+    /// on their first `failing_attempts` attempts. The failure is detected
+    /// halfway through the nominal transfer (the AXI response arrives after
+    /// the burst is already in flight).
+    HbmLoadError {
+        /// Substring matched against the command label.
+        label: String,
+        /// Attempts that fail before the command succeeds.
+        failing_attempts: u32,
+    },
+    /// An HBM load runs `factor`× slower than nominal (controller refresh
+    /// storms, row-conflict pathologies). Completes successfully unless the
+    /// watchdog fires first.
+    HbmStall {
+        /// Substring matched against the command label.
+        label: String,
+        /// Slowdown multiplier (> 1).
+        factor: f64,
+    },
+    /// A PCIe DMA (write or read) errors out for the first
+    /// `failing_attempts` attempts; detected halfway through the transfer.
+    PcieError {
+        /// Substring matched against the command label.
+        label: String,
+        /// Attempts that fail before the command succeeds.
+        failing_attempts: u32,
+    },
+    /// A kernel wedges and never completes. Only the watchdog can turn this
+    /// into a [`crate::runtime::CommandStatus::TimedOut`]; without one the
+    /// makespan is infinite.
+    KernelHang {
+        /// Substring matched against the command label.
+        label: String,
+        /// Attempts that hang before the kernel runs clean.
+        failing_attempts: u32,
+    },
+    /// The DMA engine behind queue `queue` dies: from its `from_command`-th
+    /// enqueued command onward, everything on that queue fails instantly
+    /// with [`crate::runtime::FailureCause::EngineDead`].
+    EngineDropout {
+        /// Queue (engine) name, e.g. `"maxi-1"`.
+        queue: String,
+        /// Per-queue command ordinal (0-based) at which the engine dies.
+        from_command: usize,
+    },
+    /// A whole SLR goes dark: from the `from_command`-th kernel launch
+    /// onward, kernels placed on SLR `slr` fail instantly with
+    /// [`crate::runtime::FailureCause::SlrDead`].
+    SlrDropout {
+        /// SLR index (0 or 1 on the U50).
+        slr: usize,
+        /// Global kernel-launch ordinal (0-based) at which the SLR dies.
+        from_command: usize,
+    },
+    /// The HBM controller loses `lost` pseudo-channels: from the
+    /// `from_load`-th HBM load onward, every load runs with
+    /// `max(1, channels - lost)` effective channels.
+    ChannelDegrade {
+        /// Channels lost.
+        lost: u32,
+        /// Global HBM-load ordinal (0-based) at which degradation begins.
+        from_load: usize,
+    },
+}
+
+impl FaultKind {
+    /// Short human tag used in timeline fault markers.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FaultKind::HbmLoadError { .. } => "hbm-load-error",
+            FaultKind::HbmStall { .. } => "hbm-stall",
+            FaultKind::PcieError { .. } => "pcie-error",
+            FaultKind::KernelHang { .. } => "kernel-hang",
+            FaultKind::EngineDropout { .. } => "engine-dropout",
+            FaultKind::SlrDropout { .. } => "slr-dropout",
+            FaultKind::ChannelDegrade { .. } => "channel-degrade",
+        }
+    }
+}
+
+/// A deterministic set of faults to inject into one run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    faults: Vec<FaultKind>,
+}
+
+/// Knobs for [`FaultPlan::seeded`]: expected fault counts per class over one
+/// 18-layer pass (≈ 24 loads / 24 kernels at A3 granularity).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultProfile {
+    /// Probability a transient HBM load error is drawn.
+    pub p_load_error: f64,
+    /// Probability an HBM stall is drawn.
+    pub p_stall: f64,
+    /// Probability a kernel hang is drawn.
+    pub p_hang: f64,
+    /// Probability a load-engine dropout is drawn.
+    pub p_engine_dropout: f64,
+    /// Probability an SLR dropout is drawn.
+    pub p_slr_dropout: f64,
+    /// Probability a channel degradation is drawn.
+    pub p_channel_degrade: f64,
+    /// Ordinal range faults are placed in (commands 0..span).
+    pub span: usize,
+}
+
+impl Default for FaultProfile {
+    fn default() -> Self {
+        FaultProfile {
+            p_load_error: 0.8,
+            p_stall: 0.5,
+            p_hang: 0.5,
+            p_engine_dropout: 0.35,
+            p_slr_dropout: 0.25,
+            p_channel_degrade: 0.35,
+            span: 24,
+        }
+    }
+}
+
+/// SplitMix64 — tiny, seedable, and good enough for fault placement.
+#[derive(Debug, Clone)]
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, p: f64) -> bool {
+        ((self.next() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl FaultPlan {
+    /// The empty plan: no faults, runtime behaviour bit-identical to a
+    /// runtime constructed without a plan.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The faults in the plan.
+    pub fn faults(&self) -> &[FaultKind] {
+        &self.faults
+    }
+
+    /// Add a fault (builder style).
+    pub fn with(mut self, fault: FaultKind) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Add a fault in place.
+    pub fn push(&mut self, fault: FaultKind) {
+        self.faults.push(fault);
+    }
+
+    /// Draw a deterministic plan from a seed with the default profile.
+    ///
+    /// Every fault drawn is *recoverable*: transient faults fail at most two
+    /// attempts (a retry policy with ≥ 3 attempts always clears them) and
+    /// structural faults leave at least one engine, one SLR, and one HBM
+    /// channel alive, so the degradation ladder always has a rung to stand on.
+    pub fn seeded(seed: u64) -> Self {
+        Self::seeded_with(seed, &FaultProfile::default())
+    }
+
+    /// Draw a deterministic plan from a seed and an explicit profile.
+    pub fn seeded_with(seed: u64, profile: &FaultProfile) -> Self {
+        let mut rng = SplitMix64(seed ^ 0x00FA_017F_A017);
+        let mut plan = FaultPlan::none();
+        let span = profile.span.max(1);
+
+        if rng.chance(profile.p_load_error) {
+            // Strike a specific load by ordinal-ish label: the host labels
+            // loads "LW<phase>", so hit whichever phase the draw picks by
+            // matching the whole class and bounding the attempts.
+            let attempts = 1 + (rng.next() % 2) as u32; // 1..=2 failing attempts
+            plan.push(FaultKind::HbmLoadError { label: "LW".into(), failing_attempts: attempts });
+        }
+        if rng.chance(profile.p_stall) {
+            let factor = 1.5 + (rng.next() % 4) as f64 * 0.5; // 1.5..=3.0
+            plan.push(FaultKind::HbmStall { label: "LW".into(), factor });
+        }
+        if rng.chance(profile.p_hang) {
+            let attempts = 1 + (rng.next() % 2) as u32;
+            plan.push(FaultKind::KernelHang { label: "C".into(), failing_attempts: attempts });
+        }
+        if rng.chance(profile.p_engine_dropout) {
+            // Only ever kill engine 1 so a survivor (maxi-0) always remains.
+            let from = (rng.next() as usize) % span;
+            plan.push(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: from });
+        }
+        if rng.chance(profile.p_slr_dropout) {
+            // Only ever kill SLR 1 so SLR 0 (the HBM-attached one) survives.
+            let from = (rng.next() as usize) % span;
+            plan.push(FaultKind::SlrDropout { slr: 1, from_command: from });
+        }
+        if rng.chance(profile.p_channel_degrade) {
+            let from = (rng.next() as usize) % span;
+            plan.push(FaultKind::ChannelDegrade { lost: 1, from_load: from });
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        for seed in 0..32u64 {
+            assert_eq!(FaultPlan::seeded(seed), FaultPlan::seeded(seed));
+        }
+        // and not all identical
+        assert!((0..32u64).map(FaultPlan::seeded).any(|p| p != FaultPlan::seeded(0)));
+    }
+
+    #[test]
+    fn seeded_plans_are_recoverable() {
+        for seed in 0..256u64 {
+            for f in FaultPlan::seeded(seed).faults() {
+                match f {
+                    FaultKind::HbmLoadError { failing_attempts, .. }
+                    | FaultKind::PcieError { failing_attempts, .. }
+                    | FaultKind::KernelHang { failing_attempts, .. } => {
+                        assert!(*failing_attempts <= 2, "seed {}: {:?}", seed, f);
+                    }
+                    FaultKind::HbmStall { factor, .. } => assert!(*factor > 1.0),
+                    FaultKind::EngineDropout { queue, .. } => assert_eq!(queue, "maxi-1"),
+                    FaultKind::SlrDropout { slr, .. } => assert_eq!(*slr, 1),
+                    FaultKind::ChannelDegrade { lost, .. } => assert!(*lost < 2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_accumulates() {
+        let p = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWE3".into(), failing_attempts: 1 })
+            .with(FaultKind::SlrDropout { slr: 1, from_command: 4 });
+        assert_eq!(p.faults().len(), 2);
+        assert!(!p.is_empty());
+        assert!(FaultPlan::none().is_empty());
+    }
+}

@@ -47,11 +47,7 @@ impl Floorplan {
     /// Panics on a duplicate block name.
     pub fn place(&mut self, name: impl Into<String>, slr: SlrId) {
         let name = name.into();
-        assert!(
-            !self.blocks.iter().any(|b| b.name == name),
-            "block '{}' already placed",
-            name
-        );
+        assert!(!self.blocks.iter().any(|b| b.name == name), "block '{}' already placed", name);
         self.blocks.push(PlacedBlock { name, slr });
     }
 
@@ -62,11 +58,7 @@ impl Floorplan {
     pub fn connect(&mut self, from: impl Into<String>, to: impl Into<String>) {
         let (from, to) = (from.into(), to.into());
         for end in [&from, &to] {
-            assert!(
-                self.blocks.iter().any(|b| &b.name == end),
-                "endpoint '{}' not placed",
-                end
-            );
+            assert!(self.blocks.iter().any(|b| &b.name == end), "endpoint '{}' not placed", end);
         }
         self.connections.push(Connection { from, to });
     }
@@ -79,10 +71,7 @@ impl Floorplan {
     /// Connections that cross the SLR boundary — the traffic the paper's
     /// schedule is designed to minimise (§4.6).
     pub fn isc_crossings(&self) -> Vec<&Connection> {
-        self.connections
-            .iter()
-            .filter(|c| self.slr_of(&c.from) != self.slr_of(&c.to))
-            .collect()
+        self.connections.iter().filter(|c| self.slr_of(&c.from) != self.slr_of(&c.to)).collect()
     }
 
     /// Blocks per SLR.
@@ -125,12 +114,8 @@ impl Floorplan {
         let mut out = String::new();
         for slr in [SlrId::Slr1, SlrId::Slr0] {
             out.push_str(&format!("+---------------- SLR{} ----------------+\n", slr.index()));
-            let names: Vec<&str> = self
-                .blocks
-                .iter()
-                .filter(|b| b.slr == slr)
-                .map(|b| b.name.as_str())
-                .collect();
+            let names: Vec<&str> =
+                self.blocks.iter().filter(|b| b.slr == slr).map(|b| b.name.as_str()).collect();
             for chunk in names.chunks(4) {
                 out.push_str(&format!("| {:<38}|\n", chunk.join("  ")));
             }

@@ -22,6 +22,7 @@ pub mod bitstream;
 pub mod clock;
 pub mod device;
 pub mod energy;
+pub mod faults;
 pub mod floorplan;
 pub mod hbm;
 pub mod isc;
@@ -35,5 +36,7 @@ pub mod trace;
 
 pub use clock::{Clock, Cycles};
 pub use device::{alveo_u50, DeviceSpec, SlrId};
+pub use faults::{FaultKind, FaultPlan, FaultProfile};
 pub use resources::ResourceVector;
+pub use runtime::{CommandStatus, FailureCause, RuntimeError};
 pub use timeline::{Span, Timeline};

@@ -63,11 +63,7 @@ pub fn sequential(l: &Loop) -> PragmaOutcome {
 /// Panics if `ii == 0`.
 pub fn pipeline(l: &Loop, ii: u64) -> PragmaOutcome {
     assert!(ii >= 1, "II must be >= 1");
-    let latency = if l.trip_count == 0 {
-        0
-    } else {
-        (l.trip_count - 1) * ii + l.body.latency
-    };
+    let latency = if l.trip_count == 0 { 0 } else { (l.trip_count - 1) * ii + l.body.latency };
     PragmaOutcome { latency, ii, resources: l.body.resources }
 }
 
@@ -114,11 +110,7 @@ mod tests {
     use super::*;
 
     fn body() -> LoopBody {
-        LoopBody {
-            latency: 12,
-            resources: ResourceVector::new(0, 1, 900, 600),
-            array_reads: 1,
-        }
+        LoopBody { latency: 12, resources: ResourceVector::new(0, 1, 900, 600), array_reads: 1 }
     }
 
     #[test]

@@ -124,11 +124,7 @@ impl Sum for ResourceVector {
 
 impl fmt::Display for ResourceVector {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "BRAM_18K={} DSP={} FF={} LUT={}",
-            self.bram_18k, self.dsp, self.ff, self.lut
-        )
+        write!(f, "BRAM_18K={} DSP={} FF={} LUT={}", self.bram_18k, self.dsp, self.ff, self.lut)
     }
 }
 

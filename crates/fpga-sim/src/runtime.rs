@@ -6,10 +6,23 @@
 //! deterministic task graph over the platform's transfer/compute costs, and
 //! produces a [`Timeline`] of what the queues did — the §2.2.7 process flow
 //! made executable.
+//!
+//! Commands can *fail*: a [`crate::faults::FaultPlan`] attached to the
+//! runtime turns enqueues into failed, stalled, or hung commands, and every
+//! event carries a [`CommandStatus`]. Failures propagate through event
+//! dependencies (a command whose dependency did not complete is itself
+//! `Failed`), and an optional per-command watchdog converts hangs into
+//! [`CommandStatus::TimedOut`] instead of an infinite makespan. With an
+//! empty plan the arithmetic is bit-identical to the fault-free model.
 
 use crate::device::{DeviceSpec, SlrId};
+use crate::faults::{FaultKind, FaultPlan};
 use crate::timeline::Timeline;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Timeline unit that carries zero-duration fault/recovery markers.
+pub const FAULT_UNIT: &str = "faults";
 
 /// Handle to an enqueued command's completion.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -23,16 +36,103 @@ pub struct BufferId(usize);
 struct BufferInfo {
     size_bytes: u64,
     label: String,
+    released: bool,
+}
+
+/// Why a command failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FailureCause {
+    /// Transient HBM burst error (retry may succeed).
+    HbmLoad,
+    /// Transient PCIe DMA error (retry may succeed).
+    PcieTransfer,
+    /// The DMA engine behind the queue is dead (permanent).
+    EngineDead,
+    /// The SLR hosting the kernel is dead (permanent).
+    SlrDead,
+    /// An upstream dependency did not complete; this command never ran.
+    Dependency,
+}
+
+impl FailureCause {
+    /// Permanent faults make retrying on the same unit pointless.
+    pub fn is_permanent(self) -> bool {
+        matches!(self, FailureCause::EngineDead | FailureCause::SlrDead)
+    }
+}
+
+/// Terminal state of an enqueued command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommandStatus {
+    /// Ran to completion.
+    Completed,
+    /// Errored out; see the cause.
+    Failed(FailureCause),
+    /// Hung and was reaped by the watchdog.
+    TimedOut,
+}
+
+impl CommandStatus {
+    /// Convenience: did the command complete?
+    pub fn is_ok(self) -> bool {
+        self == CommandStatus::Completed
+    }
 }
 
 #[derive(Debug, Clone, Copy)]
 struct EventInfo {
     finish_s: f64,
+    status: CommandStatus,
 }
 
 /// An in-order command queue bound to one engine (DMA channel or kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct QueueId(usize);
+
+/// Errors surfaced by runtime resource management.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RuntimeError {
+    /// A buffer allocation exceeded HBM capacity — the failure a real
+    /// `clCreateBuffer` returns as `CL_MEM_OBJECT_ALLOCATION_FAILURE`.
+    HbmExhausted {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes already allocated.
+        used: u64,
+        /// Device capacity.
+        capacity: u64,
+    },
+    /// The buffer was already released.
+    AlreadyReleased {
+        /// The buffer's label.
+        label: String,
+    },
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::HbmExhausted { requested, used, capacity } => {
+                write!(f, "HBM exhausted: {} + {} > {}", used, requested, capacity)
+            }
+            RuntimeError::AlreadyReleased { label } => {
+                write!(f, "buffer '{}' already released", label)
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Command classes the fault plan discriminates on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum CmdClass {
+    HbmLoad,
+    PcieTransfer,
+    Kernel(usize),
+    /// Host-side pause (retry backoff); never faulted.
+    Backoff,
+}
 
 /// The modeled OpenCL context: device + buffers + queues + events.
 #[derive(Debug, Clone)]
@@ -43,11 +143,30 @@ pub struct Runtime {
     queues: Vec<(String, f64)>, // (unit name, free-at time)
     timeline: Timeline,
     hbm_used: u64,
+    plan: FaultPlan,
+    watchdog_s: Option<f64>,
+    /// Commands dispatched per queue (dependency-failed commands never
+    /// reach the engine and do not count).
+    queue_cmds: Vec<usize>,
+    /// Attempt counts per (queue, label): re-enqueueing the same label on
+    /// the same queue is the next attempt of the same logical command.
+    attempts: HashMap<(usize, String), u32>,
+    /// HBM loads dispatched (for [`FaultKind::ChannelDegrade`] triggers).
+    loads_dispatched: usize,
+    /// Kernels dispatched (for [`FaultKind::SlrDropout`] triggers).
+    kernels_dispatched: usize,
+    /// Structural faults already marked on the timeline (marker spams once).
+    marked: Vec<String>,
 }
 
 impl Runtime {
-    /// Create a context on a device.
+    /// Create a context on a device (no faults).
     pub fn new(device: DeviceSpec) -> Self {
+        Self::with_faults(device, FaultPlan::none())
+    }
+
+    /// Create a context on a device with a fault plan attached.
+    pub fn with_faults(device: DeviceSpec, plan: FaultPlan) -> Self {
         Runtime {
             device,
             buffers: Vec::new(),
@@ -55,45 +174,237 @@ impl Runtime {
             queues: Vec::new(),
             timeline: Timeline::new(),
             hbm_used: 0,
+            plan,
+            watchdog_s: None,
+            queue_cmds: Vec::new(),
+            attempts: HashMap::new(),
+            loads_dispatched: 0,
+            kernels_dispatched: 0,
+            marked: Vec::new(),
         }
+    }
+
+    /// Arm (or disarm with `None`) the per-command watchdog: any command
+    /// whose effective duration exceeds the timeout is reaped at the timeout
+    /// with status [`CommandStatus::TimedOut`]. Hung kernels *require* a
+    /// watchdog to finish at all.
+    pub fn set_watchdog(&mut self, timeout_s: Option<f64>) {
+        self.watchdog_s = timeout_s;
+    }
+
+    /// The attached fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// Create an in-order command queue (named after its engine).
     pub fn create_queue(&mut self, name: impl Into<String>) -> QueueId {
         self.queues.push((name.into(), 0.0));
+        self.queue_cmds.push(0);
         QueueId(self.queues.len() - 1)
     }
 
     /// Allocate a device (HBM) buffer.
     ///
-    /// # Panics
-    /// Panics if the allocation exceeds HBM capacity — the same failure a
-    /// real `clCreateBuffer` would return.
-    pub fn create_buffer(&mut self, label: impl Into<String>, size_bytes: u64) -> BufferId {
-        assert!(
-            self.hbm_used + size_bytes <= self.device.hbm.capacity_bytes,
-            "HBM exhausted: {} + {} > {}",
-            self.hbm_used,
-            size_bytes,
-            self.device.hbm.capacity_bytes
-        );
+    /// Fails with [`RuntimeError::HbmExhausted`] when the allocation exceeds
+    /// HBM capacity — the same failure a real `clCreateBuffer` returns.
+    pub fn create_buffer(
+        &mut self,
+        label: impl Into<String>,
+        size_bytes: u64,
+    ) -> Result<BufferId, RuntimeError> {
+        if self.hbm_used + size_bytes > self.device.hbm.capacity_bytes {
+            return Err(RuntimeError::HbmExhausted {
+                requested: size_bytes,
+                used: self.hbm_used,
+                capacity: self.device.hbm.capacity_bytes,
+            });
+        }
         self.hbm_used += size_bytes;
-        self.buffers.push(BufferInfo { size_bytes, label: label.into() });
-        BufferId(self.buffers.len() - 1)
+        self.buffers.push(BufferInfo { size_bytes, label: label.into(), released: false });
+        Ok(BufferId(self.buffers.len() - 1))
+    }
+
+    /// Release a buffer, returning its bytes to the HBM pool so later
+    /// allocations can reuse the space (`clReleaseMemObject`).
+    pub fn release_buffer(&mut self, buf: BufferId) -> Result<(), RuntimeError> {
+        let info = &mut self.buffers[buf.0];
+        if info.released {
+            return Err(RuntimeError::AlreadyReleased { label: info.label.clone() });
+        }
+        info.released = true;
+        self.hbm_used -= info.size_bytes;
+        Ok(())
     }
 
     fn deps_ready(&self, deps: &[Event]) -> f64 {
         deps.iter().map(|e| self.events[e.0].finish_s).fold(0.0, f64::max)
     }
 
-    fn enqueue(&mut self, queue: QueueId, label: String, duration_s: f64, deps: &[Event]) -> Event {
+    /// The first transient fault matching this command at this attempt, and
+    /// whether a structural fault kills it outright.
+    fn faulted_outcome(
+        &self,
+        queue: usize,
+        label: &str,
+        class: CmdClass,
+        attempt: u32,
+    ) -> Option<(CommandStatus, FaultOverride)> {
+        if class == CmdClass::Backoff {
+            return None;
+        }
+        // Structural faults take precedence regardless of plan order: a dead
+        // engine or SLR cannot execute the command, so a transient stall or
+        // error matching the same command must not mask the dropout.
+        for f in self.plan.faults() {
+            match (f, class) {
+                (FaultKind::EngineDropout { queue: q, from_command }, _)
+                    if *q == self.queues[queue].0 && self.queue_cmds[queue] >= *from_command =>
+                {
+                    return Some((
+                        CommandStatus::Failed(FailureCause::EngineDead),
+                        FaultOverride::Instant,
+                    ));
+                }
+                (FaultKind::SlrDropout { slr, from_command }, CmdClass::Kernel(k_slr))
+                    if *slr == k_slr && self.kernels_dispatched >= *from_command =>
+                {
+                    return Some((
+                        CommandStatus::Failed(FailureCause::SlrDead),
+                        FaultOverride::Instant,
+                    ));
+                }
+                _ => {}
+            }
+        }
+        for f in self.plan.faults() {
+            match (f, class) {
+                (FaultKind::HbmLoadError { label: l, failing_attempts }, CmdClass::HbmLoad)
+                    if label.contains(l.as_str()) && attempt <= *failing_attempts =>
+                {
+                    return Some((
+                        CommandStatus::Failed(FailureCause::HbmLoad),
+                        FaultOverride::Partial(0.5),
+                    ));
+                }
+                (FaultKind::PcieError { label: l, failing_attempts }, CmdClass::PcieTransfer)
+                    if label.contains(l.as_str()) && attempt <= *failing_attempts =>
+                {
+                    return Some((
+                        CommandStatus::Failed(FailureCause::PcieTransfer),
+                        FaultOverride::Partial(0.5),
+                    ));
+                }
+                (FaultKind::KernelHang { label: l, failing_attempts }, CmdClass::Kernel(_))
+                    if label.contains(l.as_str()) && attempt <= *failing_attempts =>
+                {
+                    return Some((CommandStatus::TimedOut, FaultOverride::Hang));
+                }
+                (FaultKind::HbmStall { label: l, factor }, CmdClass::HbmLoad)
+                    if label.contains(l.as_str()) =>
+                {
+                    return Some((CommandStatus::Completed, FaultOverride::Slowdown(*factor)));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// Record a zero-duration fault marker on the dedicated timeline unit.
+    fn mark_fault(&mut self, tag: &str, label: &str, t: f64) {
+        let text = format!("{}: {}", tag, label);
+        self.timeline.push(FAULT_UNIT, text, t, t).expect("zero-duration markers never overlap");
+    }
+
+    /// Record a structural fault marker only the first time it fires.
+    fn mark_structural(&mut self, tag: &str, label: &str, t: f64) {
+        if !self.marked.iter().any(|k| k == tag) {
+            self.marked.push(tag.to_string());
+            self.mark_fault(tag, label, t);
+        }
+    }
+
+    fn enqueue_cmd(
+        &mut self,
+        queue: QueueId,
+        label: String,
+        class: CmdClass,
+        nominal_s: f64,
+        deps: &[Event],
+    ) -> Event {
         let ready = self.deps_ready(deps);
+
+        // Failure propagation: a command whose dependency did not complete
+        // never reaches the engine.
+        if deps.iter().any(|e| !self.events[e.0].status.is_ok()) {
+            self.events.push(EventInfo {
+                finish_s: ready,
+                status: CommandStatus::Failed(FailureCause::Dependency),
+            });
+            return Event(self.events.len() - 1);
+        }
+
+        let attempt = {
+            let c = self.attempts.entry((queue.0, label.clone())).or_insert(0);
+            *c += 1;
+            *c
+        };
+
+        let outcome = self.faulted_outcome(queue.0, &label, class, attempt);
+
         let (unit, free) = self.queues[queue.0].clone();
         let start = free.max(ready);
-        let end = start + duration_s;
-        self.timeline.push(unit, label, start, end).expect("in-order queue never overlaps");
+
+        let (status, duration, span_label) = match outcome {
+            None => (CommandStatus::Completed, nominal_s, label.clone()),
+            Some((st, FaultOverride::Instant)) => (st, 0.0, format!("!{}", label)),
+            Some((st, FaultOverride::Partial(frac))) => {
+                (st, nominal_s * frac, format!("!{}", label))
+            }
+            Some((st, FaultOverride::Hang)) => match self.watchdog_s {
+                Some(w) => (st, w, format!("!{}", label)),
+                None => (st, f64::INFINITY, format!("!{}", label)),
+            },
+            Some((_, FaultOverride::Slowdown(factor))) => {
+                let slowed = nominal_s * factor;
+                match self.watchdog_s {
+                    Some(w) if slowed > w => (CommandStatus::TimedOut, w, format!("!{}", label)),
+                    _ => (CommandStatus::Completed, slowed, format!("~{}", label)),
+                }
+            }
+        };
+        // The watchdog reaps any over-long command, faulted or not.
+        let (status, duration) = match self.watchdog_s {
+            Some(w) if duration > w => (CommandStatus::TimedOut, w),
+            _ => (status, duration),
+        };
+
+        let end = start + duration;
+        self.timeline.push(unit, span_label, start, end).expect("in-order queue never overlaps");
         self.queues[queue.0].1 = end;
-        self.events.push(EventInfo { finish_s: end });
+        self.queue_cmds[queue.0] += 1;
+        match class {
+            CmdClass::HbmLoad => self.loads_dispatched += 1,
+            CmdClass::Kernel(_) => self.kernels_dispatched += 1,
+            _ => {}
+        }
+
+        if let Some((st, _)) = outcome {
+            let tag = match st {
+                CommandStatus::Failed(FailureCause::EngineDead) => Some("engine-dropout"),
+                CommandStatus::Failed(FailureCause::SlrDead) => Some("slr-dropout"),
+                CommandStatus::Failed(FailureCause::HbmLoad) => Some("hbm-load-error"),
+                CommandStatus::Failed(FailureCause::PcieTransfer) => Some("pcie-error"),
+                CommandStatus::TimedOut => Some("kernel-hang"),
+                _ => None,
+            };
+            if let Some(tag) = tag {
+                self.mark_fault(tag, &label, end);
+            }
+        }
+
+        self.events.push(EventInfo { finish_s: end, status });
         Event(self.events.len() - 1)
     }
 
@@ -101,18 +412,19 @@ impl Runtime {
     pub fn enqueue_write(&mut self, queue: QueueId, buf: BufferId, deps: &[Event]) -> Event {
         let info = self.buffers[buf.0].clone();
         let t = self.device.pcie.transfer_time_s(info.size_bytes);
-        self.enqueue(queue, format!("write {}", info.label), t, deps)
+        self.enqueue_cmd(queue, format!("write {}", info.label), CmdClass::PcieTransfer, t, deps)
     }
 
     /// Enqueue a device → host read-back of the buffer.
     pub fn enqueue_read(&mut self, queue: QueueId, buf: BufferId, deps: &[Event]) -> Event {
         let info = self.buffers[buf.0].clone();
         let t = self.device.pcie.transfer_time_s(info.size_bytes);
-        self.enqueue(queue, format!("read {}", info.label), t, deps)
+        self.enqueue_cmd(queue, format!("read {}", info.label), CmdClass::PcieTransfer, t, deps)
     }
 
     /// Enqueue an HBM burst load of `bytes` through `channels` channels
-    /// (a kernel M-AXI weight fetch).
+    /// (a kernel M-AXI weight fetch). An active [`FaultKind::ChannelDegrade`]
+    /// reduces the effective channel count.
     pub fn enqueue_hbm_load(
         &mut self,
         queue: QueueId,
@@ -121,8 +433,25 @@ impl Runtime {
         channels: u32,
         deps: &[Event],
     ) -> Event {
-        let t = self.device.hbm.read_time_s(bytes, channels);
-        self.enqueue(queue, label.into(), t, deps)
+        let label = label.into();
+        let mut effective = channels;
+        let mut degraded = None;
+        for f in self.plan.faults() {
+            if let FaultKind::ChannelDegrade { lost, from_load } = f {
+                if self.loads_dispatched >= *from_load {
+                    effective = channels.saturating_sub(*lost).max(1);
+                    degraded = Some(*lost);
+                }
+            }
+        }
+        let t = self.device.hbm.read_time_s(bytes, effective);
+        let ev = self.enqueue_cmd(queue, label.clone(), CmdClass::HbmLoad, t, deps);
+        if let Some(lost) = degraded {
+            let t_end = self.events[ev.0].finish_s;
+            let note = format!("-{} HBM ch ({})", lost, label);
+            self.mark_structural("channel-degrade", &note, t_end);
+        }
+        ev
     }
 
     /// Enqueue a kernel launch of a known duration on the SLR's compute queue.
@@ -135,7 +464,29 @@ impl Runtime {
         deps: &[Event],
     ) -> Event {
         let label = format!("{} @SLR{}", name.into(), slr.index());
-        self.enqueue(queue, label, duration_s, deps)
+        self.enqueue_cmd(queue, label, CmdClass::Kernel(slr.index()), duration_s, deps)
+    }
+
+    /// Enqueue a host-side pause on a queue (retry backoff). Never faulted;
+    /// shows up on the timeline so recovery cost is visible.
+    pub fn enqueue_backoff(
+        &mut self,
+        queue: QueueId,
+        label: impl Into<String>,
+        delay_s: f64,
+        deps: &[Event],
+    ) -> Event {
+        self.enqueue_cmd(queue, label.into(), CmdClass::Backoff, delay_s, deps)
+    }
+
+    /// Terminal status of an enqueued command.
+    pub fn status(&self, ev: Event) -> CommandStatus {
+        self.events[ev.0].status
+    }
+
+    /// The instant the command's event fired (its end time).
+    pub fn finish_time(&self, ev: Event) -> f64 {
+        self.events[ev.0].finish_s
     }
 
     /// Block until everything completes; returns the finish time, seconds.
@@ -148,10 +499,29 @@ impl Runtime {
         &self.timeline
     }
 
+    /// Append a zero-duration annotation span on a named unit (used by the
+    /// host to record recovery decisions next to the fault markers).
+    pub fn annotate(&mut self, unit: &str, label: impl Into<String>, t: f64) {
+        self.timeline.push(unit, label.into(), t, t).expect("zero-duration markers never overlap");
+    }
+
     /// Bytes of HBM currently allocated.
     pub fn hbm_used(&self) -> u64 {
         self.hbm_used
     }
+}
+
+/// How a fault reshapes a command's duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultOverride {
+    /// Fails at enqueue time (dead unit): zero duration.
+    Instant,
+    /// Fails after this fraction of the nominal duration.
+    Partial(f64),
+    /// Never completes (watchdog or infinite).
+    Hang,
+    /// Completes, but this many times slower.
+    Slowdown(f64),
 }
 
 #[cfg(test)]
@@ -164,13 +534,13 @@ mod tests {
         let mut rt = Runtime::new(alveo_u50());
         let dma = rt.create_queue("pcie-dma");
         let k0 = rt.create_queue("kernel-slr0");
-        let buf = rt.create_buffer("weights", 12_600_000);
-        let out = rt.create_buffer("output", 64 * 1024);
+        let buf = rt.create_buffer("weights", 12_600_000).unwrap();
+        let out = rt.create_buffer("output", 64 * 1024).unwrap();
 
         let w = rt.enqueue_write(dma, buf, &[]);
         let k = rt.enqueue_kernel(k0, "encoder", SlrId::Slr0, 4.2e-3, &[w]);
         let r = rt.enqueue_read(dma, out, &[k]);
-        let _ = r;
+        assert!(rt.status(r).is_ok());
         let total = rt.finish();
         // write (~1ms) + compute (4.2ms) + read (small)
         assert!(total > 5e-3 && total < 7e-3, "total {}", total);
@@ -207,8 +577,8 @@ mod tests {
     fn in_order_queue_serialises_without_deps() {
         let mut rt = Runtime::new(alveo_u50());
         let q = rt.create_queue("dma");
-        let b1 = rt.create_buffer("x", 1 << 20);
-        let b2 = rt.create_buffer("y", 1 << 20);
+        let b1 = rt.create_buffer("x", 1 << 20).unwrap();
+        let b2 = rt.create_buffer("y", 1 << 20).unwrap();
         rt.enqueue_write(q, b1, &[]);
         rt.enqueue_write(q, b2, &[]);
         let spans = rt.timeline().unit_spans("dma");
@@ -226,17 +596,180 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "HBM exhausted")]
-    fn over_allocation_panics() {
+    fn over_allocation_errors() {
         let mut rt = Runtime::new(alveo_u50());
-        let _ = rt.create_buffer("huge", 9 * 1024 * 1024 * 1024);
+        let err = rt.create_buffer("huge", 9 * 1024 * 1024 * 1024).unwrap_err();
+        assert!(matches!(err, RuntimeError::HbmExhausted { .. }));
     }
 
     #[test]
     fn hbm_accounting_accumulates() {
         let mut rt = Runtime::new(alveo_u50());
-        rt.create_buffer("a", 100);
-        rt.create_buffer("b", 200);
+        rt.create_buffer("a", 100).unwrap();
+        rt.create_buffer("b", 200).unwrap();
         assert_eq!(rt.hbm_used(), 300);
+    }
+
+    #[test]
+    fn release_returns_bytes_to_the_pool() {
+        let mut rt = Runtime::new(alveo_u50());
+        let cap = alveo_u50().hbm.capacity_bytes;
+        let a = rt.create_buffer("a", cap - 10).unwrap();
+        // pool is full: the next allocation fails
+        assert!(rt.create_buffer("b", 100).is_err());
+        rt.release_buffer(a).unwrap();
+        assert_eq!(rt.hbm_used(), 0);
+        // released bytes are reusable
+        let b = rt.create_buffer("b", cap - 10).unwrap();
+        let _ = b;
+        assert_eq!(rt.hbm_used(), cap - 10);
+    }
+
+    #[test]
+    fn double_release_is_an_error() {
+        let mut rt = Runtime::new(alveo_u50());
+        let a = rt.create_buffer("a", 100).unwrap();
+        rt.release_buffer(a).unwrap();
+        assert!(matches!(rt.release_buffer(a), Err(RuntimeError::AlreadyReleased { .. })));
+        assert_eq!(rt.hbm_used(), 0, "double release must not underflow");
+    }
+
+    #[test]
+    fn transient_load_error_fails_then_retry_succeeds() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LW3".into(), failing_attempts: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("maxi-0");
+        let first = rt.enqueue_hbm_load(q, "LW3", 1 << 20, 2, &[]);
+        assert_eq!(rt.status(first), CommandStatus::Failed(FailureCause::HbmLoad));
+        // second attempt of the same label clears
+        let second = rt.enqueue_hbm_load(q, "LW3", 1 << 20, 2, &[]);
+        assert!(rt.status(second).is_ok());
+        // the failed attempt took half the nominal time and is on the timeline
+        let spans = rt.timeline().unit_spans("maxi-0");
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].label.starts_with('!'));
+        assert!((spans[0].duration() - spans[1].duration() / 2.0).abs() < 1e-12);
+        // and the fault is marked
+        assert_eq!(rt.timeline().unit_spans(FAULT_UNIT).len(), 1);
+    }
+
+    #[test]
+    fn failure_propagates_through_dependencies() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LW".into(), failing_attempts: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("maxi-0");
+        let k = rt.create_queue("kernels");
+        let lw = rt.enqueue_hbm_load(q, "LW1", 1 << 20, 2, &[]);
+        let ck = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[lw]);
+        assert_eq!(rt.status(ck), CommandStatus::Failed(FailureCause::Dependency));
+        // the dependent kernel never ran: no span on its queue
+        assert!(rt.timeline().unit_spans("kernels").is_empty());
+        // and a retry chain downstream of the failure still works
+        let lw2 = rt.enqueue_hbm_load(q, "LW1", 1 << 20, 2, &[]);
+        let ck2 = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[lw2]);
+        assert!(rt.status(ck2).is_ok());
+    }
+
+    #[test]
+    fn watchdog_reaps_hung_kernel() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "C2".into(), failing_attempts: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        rt.set_watchdog(Some(5e-3));
+        let k = rt.create_queue("kernels");
+        let ev = rt.enqueue_kernel(k, "C2", SlrId::Slr0, 1e-3, &[]);
+        assert_eq!(rt.status(ev), CommandStatus::TimedOut);
+        assert!((rt.finish_time(ev) - 5e-3).abs() < 1e-12, "reaped at the watchdog timeout");
+        // retry of the hung kernel completes in the nominal time
+        let ev2 = rt.enqueue_kernel(k, "C2", SlrId::Slr0, 1e-3, &[]);
+        assert!(rt.status(ev2).is_ok());
+        assert!((rt.finish_time(ev2) - 6e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hang_without_watchdog_is_infinite() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "C".into(), failing_attempts: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let k = rt.create_queue("kernels");
+        let ev = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[]);
+        assert_eq!(rt.status(ev), CommandStatus::TimedOut);
+        assert!(rt.finish().is_infinite());
+    }
+
+    #[test]
+    fn dead_engine_fails_everything_from_trigger() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::EngineDropout { queue: "maxi-1".into(), from_command: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q0 = rt.create_queue("maxi-0");
+        let q1 = rt.create_queue("maxi-1");
+        let first = rt_load(&mut rt, q1, "LW1");
+        assert!(rt.status(first).is_ok(), "command 0 still fine");
+        let dead = rt_load(&mut rt, q1, "LW2");
+        assert_eq!(rt.status(dead), CommandStatus::Failed(FailureCause::EngineDead));
+        assert!(FailureCause::EngineDead.is_permanent());
+        // retrying on the dead engine is pointless
+        let retried = rt_load(&mut rt, q1, "LW2");
+        assert!(!rt.status(retried).is_ok());
+        // the sibling engine is unaffected
+        let sibling = rt_load(&mut rt, q0, "LW2");
+        assert!(rt.status(sibling).is_ok());
+    }
+
+    fn rt_load(rt: &mut Runtime, q: QueueId, label: &str) -> Event {
+        rt.enqueue_hbm_load(q, label, 1 << 20, 2, &[])
+    }
+
+    #[test]
+    fn dead_slr_fails_its_kernels_only() {
+        let plan = FaultPlan::none().with(FaultKind::SlrDropout { slr: 1, from_command: 0 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let k = rt.create_queue("kernels");
+        let on0 = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[]);
+        let on1 = rt.enqueue_kernel(k, "C2", SlrId::Slr1, 1e-3, &[]);
+        assert!(rt.status(on0).is_ok());
+        assert_eq!(rt.status(on1), CommandStatus::Failed(FailureCause::SlrDead));
+    }
+
+    #[test]
+    fn channel_degrade_slows_loads() {
+        let plan = FaultPlan::none().with(FaultKind::ChannelDegrade { lost: 1, from_load: 0 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("maxi-0");
+        rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+        let dev = alveo_u50();
+        // two channels requested, one effective
+        assert!((rt.finish() - dev.hbm.read_time_s(12_600_000, 1)).abs() < 1e-12);
+        assert!(!rt.timeline().unit_spans(FAULT_UNIT).is_empty());
+    }
+
+    #[test]
+    fn stall_slows_but_completes() {
+        let plan = FaultPlan::none().with(FaultKind::HbmStall { label: "LW1".into(), factor: 2.0 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("maxi-0");
+        let ev = rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+        assert!(rt.status(ev).is_ok());
+        let dev = alveo_u50();
+        assert!((rt.finish() - 2.0 * dev.hbm.read_time_s(12_600_000, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_plan_is_bit_identical_to_no_plan() {
+        let build = |rt: &mut Runtime| {
+            let q = rt.create_queue("maxi-0");
+            let k = rt.create_queue("kernels");
+            let lw = rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+            rt.enqueue_kernel(k, "C1", SlrId::Slr0, 4.2e-3, &[lw]);
+        };
+        let mut a = Runtime::new(alveo_u50());
+        let mut b = Runtime::with_faults(alveo_u50(), FaultPlan::none());
+        build(&mut a);
+        build(&mut b);
+        assert_eq!(a.timeline().spans(), b.timeline().spans());
+        assert_eq!(a.finish().to_bits(), b.finish().to_bits());
     }
 }

@@ -97,11 +97,7 @@ impl Timeline {
                 let s = &self.spans[i];
                 // overlap iff intervals intersect with positive measure
                 if start < s.end - EPS && s.start < end - EPS {
-                    return Err(TimelineError::Overlap {
-                        unit,
-                        label,
-                        existing: s.label.clone(),
-                    });
+                    return Err(TimelineError::Overlap { unit, label, existing: s.label.clone() });
                 }
             }
         }
@@ -120,10 +116,8 @@ impl Timeline {
         match self.by_unit.get(unit) {
             None => t,
             Some(indices) => {
-                let last_end = indices
-                    .iter()
-                    .map(|&i| self.spans[i].end)
-                    .fold(f64::NEG_INFINITY, f64::max);
+                let last_end =
+                    indices.iter().map(|&i| self.spans[i].end).fold(f64::NEG_INFINITY, f64::max);
                 t.max(last_end)
             }
         }

@@ -124,14 +124,8 @@ pub fn align(reference: &str, hypothesis: &str) -> Alignment {
     }
     ops.reverse();
 
-    let mut a = Alignment {
-        ops,
-        correct: 0,
-        substitutions: 0,
-        deletions: 0,
-        insertions: 0,
-        ref_words: n,
-    };
+    let mut a =
+        Alignment { ops, correct: 0, substitutions: 0, deletions: 0, insertions: 0, ref_words: n };
     for op in &a.ops.clone() {
         match op {
             AlignOp::Correct(_) => a.correct += 1,

@@ -30,10 +30,7 @@ impl Waveform {
 
     /// Encode as 16-bit PCM (LibriSpeech's storage format); values clamp.
     pub fn to_pcm16(&self) -> Vec<i16> {
-        self.samples
-            .iter()
-            .map(|&x| (x.clamp(-1.0, 1.0) * i16::MAX as f32) as i16)
-            .collect()
+        self.samples.iter().map(|&x| (x.clamp(-1.0, 1.0) * i16::MAX as f32) as i16).collect()
     }
 
     /// Decode 16-bit PCM back to float samples.

@@ -13,17 +13,126 @@ use rand_chacha::ChaCha8Rng;
 
 /// The corpus word list: common English words (uppercase, LibriSpeech style).
 pub const WORDS: &[&str] = &[
-    "THE", "OF", "AND", "TO", "A", "IN", "THAT", "IT", "HIS", "WAS", "HE", "WITH", "AS", "FOR",
-    "HAD", "YOU", "NOT", "BE", "HER", "IS", "BUT", "AT", "ON", "SHE", "BY", "WHICH", "HAVE",
-    "FROM", "THIS", "HIM", "THEY", "ALL", "WERE", "MY", "ARE", "ME", "ONE", "THEIR", "SO", "AN",
-    "SAID", "THEM", "WE", "WHO", "WOULD", "BEEN", "WILL", "NO", "WHEN", "THERE", "IF", "MORE",
-    "OUT", "UP", "INTO", "YOUR", "WHAT", "DOWN", "ABOUT", "TIME", "THAN", "COULD", "PEOPLE",
-    "MADE", "OVER", "DID", "LIKE", "ONLY", "OTHER", "NEW", "SOME", "VERY", "JUST", "GREAT",
-    "BEFORE", "MUST", "THROUGH", "WHERE", "MUCH", "GOOD", "SHOULD", "WELL", "LITTLE", "SUCH",
-    "AFTER", "FIRST", "PUBLIC", "FOLLOW", "SCENT", "ANYTHING", "CONTRABAND", "SUSPECTED",
-    "RECOMMENDATION", "ADOPT", "INSTINCT", "HOUSE", "WATER", "LIGHT", "SOUND", "VOICE", "NIGHT",
-    "MORNING", "HEART", "HAND", "WORLD", "LIFE", "YEARS", "PLACE", "THOUGHT", "AGAIN", "AGAINST",
-    "BETWEEN", "ANOTHER", "NEVER", "UNDER", "WHILE", "ALWAYS", "NOTHING", "MOMENT", "TOWARD",
+    "THE",
+    "OF",
+    "AND",
+    "TO",
+    "A",
+    "IN",
+    "THAT",
+    "IT",
+    "HIS",
+    "WAS",
+    "HE",
+    "WITH",
+    "AS",
+    "FOR",
+    "HAD",
+    "YOU",
+    "NOT",
+    "BE",
+    "HER",
+    "IS",
+    "BUT",
+    "AT",
+    "ON",
+    "SHE",
+    "BY",
+    "WHICH",
+    "HAVE",
+    "FROM",
+    "THIS",
+    "HIM",
+    "THEY",
+    "ALL",
+    "WERE",
+    "MY",
+    "ARE",
+    "ME",
+    "ONE",
+    "THEIR",
+    "SO",
+    "AN",
+    "SAID",
+    "THEM",
+    "WE",
+    "WHO",
+    "WOULD",
+    "BEEN",
+    "WILL",
+    "NO",
+    "WHEN",
+    "THERE",
+    "IF",
+    "MORE",
+    "OUT",
+    "UP",
+    "INTO",
+    "YOUR",
+    "WHAT",
+    "DOWN",
+    "ABOUT",
+    "TIME",
+    "THAN",
+    "COULD",
+    "PEOPLE",
+    "MADE",
+    "OVER",
+    "DID",
+    "LIKE",
+    "ONLY",
+    "OTHER",
+    "NEW",
+    "SOME",
+    "VERY",
+    "JUST",
+    "GREAT",
+    "BEFORE",
+    "MUST",
+    "THROUGH",
+    "WHERE",
+    "MUCH",
+    "GOOD",
+    "SHOULD",
+    "WELL",
+    "LITTLE",
+    "SUCH",
+    "AFTER",
+    "FIRST",
+    "PUBLIC",
+    "FOLLOW",
+    "SCENT",
+    "ANYTHING",
+    "CONTRABAND",
+    "SUSPECTED",
+    "RECOMMENDATION",
+    "ADOPT",
+    "INSTINCT",
+    "HOUSE",
+    "WATER",
+    "LIGHT",
+    "SOUND",
+    "VOICE",
+    "NIGHT",
+    "MORNING",
+    "HEART",
+    "HAND",
+    "WORLD",
+    "LIFE",
+    "YEARS",
+    "PLACE",
+    "THOUGHT",
+    "AGAIN",
+    "AGAINST",
+    "BETWEEN",
+    "ANOTHER",
+    "NEVER",
+    "UNDER",
+    "WHILE",
+    "ALWAYS",
+    "NOTHING",
+    "MOMENT",
+    "TOWARD",
 ];
 
 /// One utterance: audio plus ground-truth transcript.
@@ -41,22 +150,27 @@ pub struct Utterance {
 pub fn sample_transcript(n_words: usize, seed: u64) -> String {
     assert!(n_words > 0, "transcript needs at least one word");
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    (0..n_words)
-        .map(|_| WORDS[rng.gen_range(0..WORDS.len())])
-        .collect::<Vec<_>>()
-        .join(" ")
+    (0..n_words).map(|_| WORDS[rng.gen_range(0..WORDS.len())]).collect::<Vec<_>>().join(" ")
 }
 
 /// Generate one utterance with roughly `target_seconds` of audio.
 ///
-/// The formant synthesiser produces ~70 ms per character and characters per
-/// word average ~5 (plus a space), so the word count is derived from the
-/// duration target; the actual duration then lands close to it.
+/// The formant synthesiser produces ~70 ms per character, so words are drawn
+/// until the transcript's character count (spaces included) covers the
+/// duration target; the actual duration then lands close to it regardless of
+/// which words the seeded draw happens to pick.
 pub fn utterance(target_seconds: f64, seed: u64) -> Utterance {
     assert!(target_seconds > 0.0, "duration must be positive");
-    let chars_needed = target_seconds / 0.07;
-    let n_words = ((chars_needed / 6.0).round() as usize).max(1);
-    let transcript = sample_transcript(n_words, seed);
+    let chars_needed = (target_seconds / 0.07).round() as usize;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut words: Vec<&str> = vec![WORDS[rng.gen_range(0..WORDS.len())]];
+    let mut chars = words[0].len();
+    while chars + 1 < chars_needed {
+        let w = WORDS[rng.gen_range(0..WORDS.len())];
+        chars += 1 + w.len(); // the joining space plus the word
+        words.push(w);
+    }
+    let transcript = words.join(" ");
     let audio = synthesize_speech(&transcript, seed ^ 0x5eed);
     let id = format!("{}-{}-{:04}", 1000 + (seed % 9000), 10 + (seed % 90), seed % 10_000);
     Utterance { id, transcript, audio }
@@ -112,13 +226,8 @@ mod tests {
         assert_eq!(s.dev.len(), 2);
         assert_eq!(s.test.len(), 2);
         // disjoint by id
-        let mut ids: Vec<&str> = s
-            .train
-            .iter()
-            .chain(&s.dev)
-            .chain(&s.test)
-            .map(|u| u.id.as_str())
-            .collect();
+        let mut ids: Vec<&str> =
+            s.train.iter().chain(&s.dev).chain(&s.test).map(|u| u.id.as_str()).collect();
         let before = ids.len();
         ids.sort_unstable();
         ids.dedup();
@@ -158,12 +267,7 @@ mod tests {
         for &target in &[2.0, 5.0, 10.0, 13.0] {
             let u = utterance(target, 42);
             let d = u.audio.duration_s();
-            assert!(
-                (d - target).abs() / target < 0.35,
-                "target {} s got {} s",
-                target,
-                d
-            );
+            assert!((d - target).abs() / target < 0.35, "target {} s got {} s", target, d);
         }
     }
 

@@ -152,12 +152,7 @@ mod tests {
             .map(|t| (2.0 * std::f32::consts::PI * 8.0 * t as f32 / n as f32).sin())
             .collect();
         let spec = power_spectrum(&signal, n);
-        let peak = spec
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
-            .unwrap()
-            .0;
+        let peak = spec.iter().enumerate().max_by(|a, b| a.1.partial_cmp(b.1).unwrap()).unwrap().0;
         assert_eq!(peak, 8);
     }
 
@@ -178,8 +173,7 @@ mod tests {
 
     #[test]
     fn parseval_energy_is_preserved() {
-        let x: Vec<Complex> =
-            (0..32).map(|i| Complex::new((i as f32 * 0.7).sin(), 0.0)).collect();
+        let x: Vec<Complex> = (0..32).map(|i| Complex::new((i as f32 * 0.7).sin(), 0.0)).collect();
         let time_energy: f32 = x.iter().map(|c| c.norm_sq()).sum();
         let mut f = x.clone();
         fft_inplace(&mut f);

@@ -50,7 +50,8 @@ pub fn mel_filterbank(
 
     let mut fb = Matrix::zeros(n_filters, bins);
     for m in 0..n_filters {
-        let (left, center, right) = (to_bin(points[m]), to_bin(points[m + 1]), to_bin(points[m + 2]));
+        let (left, center, right) =
+            (to_bin(points[m]), to_bin(points[m + 1]), to_bin(points[m + 2]));
         for k in 0..bins {
             let kf = k as f32;
             let v = if kf >= left && kf <= center && center > left {

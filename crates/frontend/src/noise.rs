@@ -100,11 +100,7 @@ mod tests {
             })
             .collect();
         let wer = corpus_wer(&pairs);
-        assert!(
-            (wer - 0.095).abs() < 0.015,
-            "corpus WER {:.4} not near the paper's 0.095",
-            wer
-        );
+        assert!((wer - 0.095).abs() < 0.015, "corpus WER {:.4} not near the paper's 0.095", wer);
     }
 
     #[test]

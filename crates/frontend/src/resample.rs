@@ -44,11 +44,7 @@ mod tests {
 
     /// Dominant frequency via zero-crossing rate (cheap and adequate).
     fn dominant_freq(w: &Waveform) -> f32 {
-        let crossings = w
-            .samples
-            .windows(2)
-            .filter(|p| (p[0] >= 0.0) != (p[1] >= 0.0))
-            .count();
+        let crossings = w.samples.windows(2).filter(|p| (p[0] >= 0.0) != (p[1] >= 0.0)).count();
         crossings as f32 / 2.0 / w.duration_s() as f32
     }
 

@@ -80,7 +80,10 @@ mod tests {
         let samples: Vec<f32> = (0..16_000)
             .map(|n| (2.0 * std::f32::consts::PI * 1000.0 * n as f32 / sr).sin())
             .collect();
-        let s = power_spectrogram(&Waveform::new(samples, SAMPLE_RATE), &StftConfig::standard(SAMPLE_RATE));
+        let s = power_spectrogram(
+            &Waveform::new(samples, SAMPLE_RATE),
+            &StftConfig::standard(SAMPLE_RATE),
+        );
         // average over frames, find the peak bin
         let bins = s.cols();
         let mut avg = vec![0.0f32; bins];

@@ -33,8 +33,7 @@ pub fn frame_decisions(w: &Waveform, cfg: &VadConfig) -> Vec<bool> {
     if frames.is_empty() {
         return Vec::new();
     }
-    let energies: Vec<f32> =
-        frames.iter().map(|f| f.iter().map(|x| x * x).sum::<f32>()).collect();
+    let energies: Vec<f32> = frames.iter().map(|f| f.iter().map(|x| x * x).sum::<f32>()).collect();
     let peak = energies.iter().cloned().fold(0.0f32, f32::max);
     if peak == 0.0 {
         return vec![false; energies.len()];
@@ -113,7 +112,10 @@ mod tests {
         let d = frame_decisions(&w, &VadConfig::standard(SAMPLE_RATE));
         assert!(d.iter().all(|&x| !x));
         // trimming silence-only audio returns it unchanged
-        assert_eq!(trim_silence(&w, &VadConfig::standard(SAMPLE_RATE)).samples.len(), w.samples.len());
+        assert_eq!(
+            trim_silence(&w, &VadConfig::standard(SAMPLE_RATE)).samples.len(),
+            w.samples.len()
+        );
     }
 
     #[test]

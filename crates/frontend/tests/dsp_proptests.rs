@@ -24,7 +24,7 @@ proptest! {
     #[test]
     fn resample_output_within_input_range(len in 64usize..2000, seed in 0u64..100) {
         let samples: Vec<f32> = (0..len).map(|i| {
-            
+
             ((i as u64).wrapping_mul(seed + 7) % 200) as f32 / 100.0 - 1.0
         }).collect();
         let lo = samples.iter().cloned().fold(f32::MAX, f32::min);

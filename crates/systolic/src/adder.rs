@@ -98,10 +98,7 @@ mod tests {
     fn pipelined_accumulation_pays_one_add() {
         let add = PipelinedAdder::paper_default();
         // k partial products cost the same exposed latency as one add
-        assert_eq!(
-            add.pipelined_accumulate_cycles(32, 64, 8),
-            add.cycles(32, 64)
-        );
+        assert_eq!(add.pipelined_accumulate_cycles(32, 64, 8), add.cycles(32, 64));
     }
 
     #[test]

@@ -149,12 +149,7 @@ impl Psa {
     /// complete design reproduces Table 5.2 (see `asr-accel::resources`).
     pub fn resource_cost(&self) -> ResourceVector {
         let pes = self.config.pe_count() as u64;
-        ResourceVector {
-            bram_18k: 24,
-            dsp: pes,
-            ff: pes * 900 + 4_000,
-            lut: pes * 600 + 2_000,
-        }
+        ResourceVector { bram_18k: 24, dsp: pes, ff: pes * 900 + 4_000, lut: pes * 600 + 2_000 }
     }
 }
 

@@ -120,7 +120,11 @@ mod tests {
 
     #[test]
     fn wave_count_is_tiles_times_row_pairs() {
-        let r = run_stepped(&cfg(), &init::uniform(32, 8, -1.0, 1.0, 3), &init::uniform(8, 128, -1.0, 1.0, 4));
+        let r = run_stepped(
+            &cfg(),
+            &init::uniform(32, 8, -1.0, 1.0, 3),
+            &init::uniform(8, 128, -1.0, 1.0, 4),
+        );
         // ceil(32/2) * ceil(128/64) = 16 * 2 = 32
         assert_eq!(r.waves, 32);
     }

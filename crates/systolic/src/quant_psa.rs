@@ -59,12 +59,7 @@ impl Int8Psa {
     /// DSP (two int8 MACs pack per DSP48E2).
     pub fn resource_cost(&self) -> ResourceVector {
         let pes = (self.config.rows * self.config.cols) as u64;
-        ResourceVector {
-            bram_18k: 24,
-            dsp: pes / 2,
-            ff: pes * 225 + 4_000,
-            lut: pes * 150 + 2_000,
-        }
+        ResourceVector { bram_18k: 24, dsp: pes / 2, ff: pes * 225 + 4_000, lut: pes * 150 + 2_000 }
     }
 }
 

@@ -5,10 +5,7 @@ use crate::matrix::Matrix;
 /// Largest absolute element-wise difference between two same-shaped matrices.
 pub fn max_abs_diff(a: &Matrix, b: &Matrix) -> f32 {
     assert_eq!(a.shape(), b.shape(), "max_abs_diff shape mismatch");
-    a.as_slice()
-        .iter()
-        .zip(b.as_slice())
-        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+    a.as_slice().iter().zip(b.as_slice()).fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
 }
 
 /// True when every element pair is within `atol + rtol * |expected|`.

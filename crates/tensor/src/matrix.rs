@@ -189,10 +189,7 @@ impl Matrix {
     pub fn hconcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "hconcat of zero matrices");
         let rows = parts[0].rows;
-        assert!(
-            parts.iter().all(|m| m.rows == rows),
-            "hconcat: row counts differ"
-        );
+        assert!(parts.iter().all(|m| m.rows == rows), "hconcat: row counts differ");
         let cols: usize = parts.iter().map(|m| m.cols).sum();
         let mut out = Matrix::zeros(rows, cols);
         let mut c0 = 0;
@@ -207,10 +204,7 @@ impl Matrix {
     pub fn vconcat(parts: &[&Matrix]) -> Matrix {
         assert!(!parts.is_empty(), "vconcat of zero matrices");
         let cols = parts[0].cols;
-        assert!(
-            parts.iter().all(|m| m.cols == cols),
-            "vconcat: column counts differ"
-        );
+        assert!(parts.iter().all(|m| m.cols == cols), "vconcat: column counts differ");
         let rows: usize = parts.iter().map(|m| m.rows).sum();
         let mut out = Matrix::zeros(rows, cols);
         let mut r0 = 0;
@@ -305,8 +299,7 @@ impl fmt::Debug for Matrix {
         let show = self.rows.min(6);
         for i in 0..show {
             let row = self.row(i);
-            let shown: Vec<String> =
-                row.iter().take(8).map(|x| format!("{:9.4}", x)).collect();
+            let shown: Vec<String> = row.iter().take(8).map(|x| format!("{:9.4}", x)).collect();
             let ellipsis = if self.cols > 8 { ", ..." } else { "" };
             writeln!(f, "  [{}{}]", shown.join(", "), ellipsis)?;
         }

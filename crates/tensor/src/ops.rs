@@ -77,21 +77,18 @@ pub fn matmul_parallel(a: &Matrix, b: &Matrix) -> Matrix {
     let (m, k) = a.shape();
     let n = b.cols();
     let mut out = Matrix::zeros(m, n);
-    out.as_mut_slice()
-        .par_chunks_mut(n)
-        .enumerate()
-        .for_each(|(i, orow)| {
-            let arow = a.row(i);
-            for (p, &aip) in arow.iter().enumerate().take(k) {
-                if aip == 0.0 {
-                    continue;
-                }
-                let brow = b.row(p);
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += aip * bv;
-                }
+    out.as_mut_slice().par_chunks_mut(n).enumerate().for_each(|(i, orow)| {
+        let arow = a.row(i);
+        for (p, &aip) in arow.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
             }
-        });
+            let brow = b.row(p);
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    });
     out
 }
 
@@ -127,13 +124,7 @@ pub fn add_bias(a: &Matrix, bias: &Matrix) -> Matrix {
 /// In-place broadcast bias add.
 pub fn add_bias_assign(a: &mut Matrix, bias: &Matrix) {
     assert_eq!(bias.rows(), 1, "bias must be a row vector, got {:?}", bias.shape());
-    assert_eq!(
-        bias.cols(),
-        a.cols(),
-        "bias width {} != matrix width {}",
-        bias.cols(),
-        a.cols()
-    );
+    assert_eq!(bias.cols(), a.cols(), "bias width {} != matrix width {}", bias.cols(), a.cols());
     let b = bias.row(0);
     for i in 0..a.rows() {
         for (x, &bv) in a.row_mut(i).iter_mut().zip(b) {

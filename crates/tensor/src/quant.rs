@@ -27,11 +27,8 @@ impl QuantizedMatrix {
         let max_abs = m.max_abs();
         // an all-zero matrix quantizes with a unit scale
         let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
-        let data = m
-            .as_slice()
-            .iter()
-            .map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
+        let data =
+            m.as_slice().iter().map(|&x| (x / scale).round().clamp(-127.0, 127.0) as i8).collect();
         QuantizedMatrix { rows: m.rows(), cols: m.cols(), data, scale }
     }
 
@@ -95,12 +92,7 @@ pub fn matmul_quantized(a: &QuantizedMatrix, b: &QuantizedMatrix) -> Matrix {
 pub fn quantization_rmse(m: &Matrix) -> f32 {
     let deq = QuantizedMatrix::quantize(m).dequantize();
     let n = m.len().max(1) as f32;
-    (m.as_slice()
-        .iter()
-        .zip(deq.as_slice())
-        .map(|(&x, &y)| (x - y) * (x - y))
-        .sum::<f32>()
-        / n)
+    (m.as_slice().iter().zip(deq.as_slice()).map(|(&x, &y)| (x - y) * (x - y)).sum::<f32>() / n)
         .sqrt()
 }
 

@@ -114,10 +114,8 @@ mod tests {
         let a = init::uniform(8, 32, -1.0, 1.0, 3);
         let b = init::uniform(32, 8, -1.0, 1.0, 4);
         let exact = ops::matmul_naive(&a, &b);
-        let approx = matmul_quantized16(
-            &Quantized16Matrix::quantize(&a),
-            &Quantized16Matrix::quantize(&b),
-        );
+        let approx =
+            matmul_quantized16(&Quantized16Matrix::quantize(&a), &Quantized16Matrix::quantize(&b));
         let rel = max_abs_diff(&approx, &exact) / exact.max_abs().max(1e-6);
         assert!(rel < 3e-4, "relative error {}", rel);
     }

@@ -38,10 +38,15 @@ pub fn summarize(m: &Matrix) -> Summary {
         }
     }
     let mean = (sum / n as f64) as f32;
-    let var = m.as_slice().iter().map(|&x| {
-        let d = x - mean;
-        (d * d) as f64
-    }).sum::<f64>() / n as f64;
+    let var = m
+        .as_slice()
+        .iter()
+        .map(|&x| {
+            let d = x - mean;
+            (d * d) as f64
+        })
+        .sum::<f64>()
+        / n as f64;
     Summary { count: m.len(), min, max, mean, std: (var as f32).sqrt(), sparsity: zeros as f32 / n }
 }
 

@@ -40,12 +40,7 @@ pub fn attention_entropy(map: &Matrix) -> f32 {
     assert!(map.rows() > 0, "empty attention map");
     let mut total = 0.0f32;
     for i in 0..map.rows() {
-        let h: f32 = map
-            .row(i)
-            .iter()
-            .filter(|&&p| p > 0.0)
-            .map(|&p| -p * p.ln())
-            .sum();
+        let h: f32 = map.row(i).iter().filter(|&&p| p > 0.0).map(|&p| -p * p.ln()).sum();
         total += h;
     }
     total / map.rows() as f32
@@ -58,12 +53,8 @@ pub fn diagonality(map: &Matrix, band: usize) -> f32 {
     let mut total = 0.0f32;
     for i in 0..map.rows() {
         let row = map.row(i);
-        let mass: f32 = row
-            .iter()
-            .enumerate()
-            .filter(|(j, _)| i.abs_diff(*j) <= band)
-            .map(|(_, &p)| p)
-            .sum();
+        let mass: f32 =
+            row.iter().enumerate().filter(|(j, _)| i.abs_diff(*j) <= band).map(|(_, &p)| p).sum();
         total += mass;
     }
     total / map.rows() as f32

@@ -139,9 +139,8 @@ mod tests {
             *v += 1.0;
         }
         let y2 = multi_head_attention(&x2, &x2, &w, AttentionMask::None, &ReferenceBackend);
-        let changed = (0..last).any(|i| {
-            (0..y1.cols()).any(|j| (y1[(i, j)] - y2[(i, j)]).abs() > 1e-4)
-        });
+        let changed =
+            (0..last).any(|i| (0..y1.cols()).any(|j| (y1[(i, j)] - y2[(i, j)]).abs() > 1e-4));
         assert!(changed);
     }
 

@@ -64,8 +64,7 @@ pub fn beam_search(
 ) -> Vec<Hypothesis> {
     assert!(cfg.beam >= 1, "beam width must be >= 1");
     assert!(cfg.max_len >= 1, "max_len must be >= 1");
-    let mut beams =
-        vec![Hypothesis { tokens: vec![vocab::SOS], log_prob: 0.0, finished: false }];
+    let mut beams = vec![Hypothesis { tokens: vec![vocab::SOS], log_prob: 0.0, finished: false }];
 
     for _ in 0..cfg.max_len {
         if beams.iter().all(|h| h.finished) {
@@ -92,8 +91,9 @@ pub fn beam_search(
                 });
             }
         }
-        candidates
-            .sort_by(|a, b| b.score(cfg.length_penalty).partial_cmp(&a.score(cfg.length_penalty)).unwrap());
+        candidates.sort_by(|a, b| {
+            b.score(cfg.length_penalty).partial_cmp(&a.score(cfg.length_penalty)).unwrap()
+        });
         candidates.truncate(cfg.beam);
         beams = candidates;
     }

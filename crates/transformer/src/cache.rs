@@ -60,11 +60,7 @@ impl KvCache {
 
     /// Steps cached so far.
     pub fn len(&self) -> usize {
-        self.layers
-            .first()
-            .and_then(|l| l.self_k.first())
-            .map(|k| k.rows())
-            .unwrap_or(0)
+        self.layers.first().and_then(|l| l.self_k.first()).map(|k| k.rows()).unwrap_or(0)
     }
 
     /// True before the first step.
@@ -137,12 +133,7 @@ fn cached_decoder_layer(
 }
 
 /// One incremental decode step: feed the newest token, get its logits row.
-pub fn step(
-    model: &Model,
-    token: TokenId,
-    cache: &mut KvCache,
-    backend: &dyn MatMul,
-) -> Matrix {
+pub fn step(model: &Model, token: TokenId, cache: &mut KvCache, backend: &dyn MatMul) -> Matrix {
     let mut x = model.embed(&[token]);
     for (dec, layer_cache) in model.weights.decoders.iter().zip(&mut cache.layers) {
         x = cached_decoder_layer(&x, dec, layer_cache, backend);

@@ -54,18 +54,31 @@ impl TransformerConfig {
         1.0 / (self.d_k() as f32).sqrt()
     }
 
+    /// Check that the configuration is internally consistent.
+    pub fn try_validate(&self) -> Result<(), String> {
+        if self.n_encoders < 1 {
+            return Err("need at least one encoder".into());
+        }
+        if self.n_heads < 1 {
+            return Err("need at least one head".into());
+        }
+        if self.d_model < 1 || self.d_ff < 1 || self.vocab_size < 4 {
+            return Err("model dimensions must be positive (vocab >= 4)".into());
+        }
+        if !self.d_model.is_multiple_of(self.n_heads) {
+            return Err(format!(
+                "d_model {} not divisible by {} heads",
+                self.d_model, self.n_heads
+            ));
+        }
+        Ok(())
+    }
+
     /// Panic unless the configuration is internally consistent.
     pub fn validate(&self) {
-        assert!(self.n_encoders >= 1, "need at least one encoder");
-        assert!(self.n_heads >= 1, "need at least one head");
-        assert!(self.d_model >= 1 && self.d_ff >= 1 && self.vocab_size >= 4);
-        assert_eq!(
-            self.d_model % self.n_heads,
-            0,
-            "d_model {} not divisible by {} heads",
-            self.d_model,
-            self.n_heads
-        );
+        if let Err(msg) = self.try_validate() {
+            panic!("{}", msg);
+        }
     }
 }
 

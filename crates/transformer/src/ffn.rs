@@ -58,9 +58,6 @@ mod tests {
         let cfg = TransformerConfig::tiny();
         let w = FfnWeights::seeded(&cfg, 1);
         let x = init::uniform(4, cfg.d_model, -1.0, 1.0, 5);
-        assert_eq!(
-            ffn_forward(&x, &w, &ReferenceBackend),
-            ffn_forward(&x, &w, &ReferenceBackend)
-        );
+        assert_eq!(ffn_forward(&x, &w, &ReferenceBackend), ffn_forward(&x, &w, &ReferenceBackend));
     }
 }

@@ -26,7 +26,8 @@ pub fn attention_flops(s_q: usize, s_kv: usize, cfg: &TransformerConfig) -> u64 
     // MM4 output projection.
     let mm4 = matmul_flops(s_q, d, d);
     // Minor ops: biases (one add/element), scale + softmax (~5 flops/score).
-    let minor = h * (s_q as u64 * dk as u64 * 3) + (s_q as u64 * d as u64)
+    let minor = h * (s_q as u64 * dk as u64 * 3)
+        + (s_q as u64 * d as u64)
         + 5 * h * (s_q as u64 * s_kv as u64);
     mm1 + mm2 + mm3 + mm4 + minor
 }
@@ -52,14 +53,15 @@ pub fn encoder_flops(s: usize, cfg: &TransformerConfig) -> u64 {
 /// FLOPs of one decoder layer (masked self-attention at length `t`,
 /// cross-attention over an `s`-length memory, FFN).
 pub fn decoder_flops(t: usize, s: usize, cfg: &TransformerConfig) -> u64 {
-    attention_flops(t, t, cfg) + attention_flops(t, s, cfg) + ffn_flops(t, cfg)
+    attention_flops(t, t, cfg)
+        + attention_flops(t, s, cfg)
+        + ffn_flops(t, cfg)
         + 3 * layernorm_flops(t, cfg)
 }
 
 /// FLOPs of the full stack at sequence length `s` (decoder at `t = s`).
 pub fn model_flops(s: usize, cfg: &TransformerConfig) -> u64 {
-    cfg.n_encoders as u64 * encoder_flops(s, cfg)
-        + cfg.n_decoders as u64 * decoder_flops(s, s, cfg)
+    cfg.n_encoders as u64 * encoder_flops(s, cfg) + cfg.n_decoders as u64 * decoder_flops(s, s, cfg)
 }
 
 /// Model FLOPs in GFLOPs.

@@ -177,8 +177,10 @@ mod tests {
         let m = tiny_model();
         let x1 = init::uniform(6, m.config.d_model, -4.0, 4.0, 5);
         let x2 = init::uniform(6, m.config.d_model, -4.0, 4.0, 777);
-        let l1 = m.decode_logits(&[vocab::SOS], &m.encode(&x1, &ReferenceBackend), &ReferenceBackend);
-        let l2 = m.decode_logits(&[vocab::SOS], &m.encode(&x2, &ReferenceBackend), &ReferenceBackend);
+        let l1 =
+            m.decode_logits(&[vocab::SOS], &m.encode(&x1, &ReferenceBackend), &ReferenceBackend);
+        let l2 =
+            m.decode_logits(&[vocab::SOS], &m.encode(&x2, &ReferenceBackend), &ReferenceBackend);
         assert_ne!(l1, l2);
     }
 }

@@ -101,7 +101,16 @@ fn get_attention(buf: &mut Bytes, heads: usize) -> Result<AttentionWeights, IoEr
     let w_v = groups.pop().unwrap();
     let w_k = groups.pop().unwrap();
     let w_q = groups.pop().unwrap();
-    Ok(AttentionWeights { w_q, w_k, w_v, b_q, b_k, b_v, w_a: get_matrix(buf)?, b_a: get_matrix(buf)? })
+    Ok(AttentionWeights {
+        w_q,
+        w_k,
+        w_v,
+        b_q,
+        b_k,
+        b_v,
+        w_a: get_matrix(buf)?,
+        b_a: get_matrix(buf)?,
+    })
 }
 
 fn put_ffn(buf: &mut BytesMut, f: &FfnWeights) {
@@ -209,7 +218,11 @@ pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), I
 }
 
 /// Write a model to a file.
-pub fn save(path: &std::path::Path, cfg: &TransformerConfig, w: &ModelWeights) -> std::io::Result<()> {
+pub fn save(
+    path: &std::path::Path,
+    cfg: &TransformerConfig,
+    w: &ModelWeights,
+) -> std::io::Result<()> {
     std::fs::write(path, to_bytes(cfg, w))
 }
 

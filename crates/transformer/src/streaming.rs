@@ -88,8 +88,12 @@ mod tests {
     #[test]
     fn chunked_output_has_right_shape_and_is_finite() {
         let (model, x) = rig();
-        let streamed =
-            encode_streaming(&model, &x, &StreamingConfig { chunk: 4, left_context: 4 }, &ReferenceBackend);
+        let streamed = encode_streaming(
+            &model,
+            &x,
+            &StreamingConfig { chunk: 4, left_context: 4 },
+            &ReferenceBackend,
+        );
         assert_eq!(streamed.shape(), (12, model.config.d_model));
         assert!(streamed.as_slice().iter().all(|v| v.is_finite()));
     }
@@ -151,8 +155,12 @@ mod tests {
     #[test]
     fn ragged_final_chunk_handled() {
         let (model, x) = rig(); // 12 rows
-        let streamed =
-            encode_streaming(&model, &x, &StreamingConfig { chunk: 5, left_context: 2 }, &ReferenceBackend);
+        let streamed = encode_streaming(
+            &model,
+            &x,
+            &StreamingConfig { chunk: 5, left_context: 2 },
+            &ReferenceBackend,
+        );
         assert_eq!(streamed.rows(), 12);
     }
 }

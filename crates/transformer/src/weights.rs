@@ -154,7 +154,10 @@ impl EncoderWeights {
 
     /// Byte footprint of everything loaded for this layer.
     pub fn size_bytes(&self) -> u64 {
-        self.mha.size_bytes() + self.ln1.size_bytes() + self.ffn.size_bytes() + self.ln2.size_bytes()
+        self.mha.size_bytes()
+            + self.ln1.size_bytes()
+            + self.ffn.size_bytes()
+            + self.ln2.size_bytes()
     }
 }
 

@@ -11,7 +11,12 @@ use transformer_asr_accel::transformer::TransformerConfig;
 
 fn gantt(title: &str, cfg: &AccelConfig, arch: Architecture, s: usize) {
     let r = simulate(cfg, arch, s);
-    println!("\n{} — makespan {:.2} ms, compute stall {:.2} ms", title, r.latency_s * 1e3, r.compute_stall_s * 1e3);
+    println!(
+        "\n{} — makespan {:.2} ms, compute stall {:.2} ms",
+        title,
+        r.latency_s * 1e3,
+        r.compute_stall_s * 1e3
+    );
     let scale = 60.0 / r.latency_s; // 60 character-wide chart
     for unit in r.timeline.units() {
         let mut line = vec![' '; 62];
@@ -29,11 +34,17 @@ fn gantt(title: &str, cfg: &AccelConfig, arch: Architecture, s: usize) {
 fn main() {
     // A 3-encoder/1-decoder stack keeps the charts readable.
     let mut cfg = AccelConfig::paper_default();
-    cfg.model = TransformerConfig { n_encoders: 3, n_decoders: 1, ..TransformerConfig::paper_base() };
+    cfg.model =
+        TransformerConfig { n_encoders: 3, n_decoders: 1, ..TransformerConfig::paper_base() };
     cfg.max_seq_len = 8;
 
     for arch in Architecture::ALL {
-        gantt(&format!("Architecture {} (s = 8, 3 encoders + 1 decoder)", arch.name()), &cfg, arch, 8);
+        gantt(
+            &format!("Architecture {} (s = 8, 3 encoders + 1 decoder)", arch.name()),
+            &cfg,
+            arch,
+            8,
+        );
     }
 
     println!("\nTable 5.1 sweep (full 12+6 stack):");

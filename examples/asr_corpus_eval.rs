@@ -19,7 +19,8 @@ use transformer_asr_accel::transformer::TransformerConfig;
 fn main() {
     let corpus = dataset::corpus(12, 1.5, 13.0, 2023);
     let error_model = ErrorModel::paper_operating_point();
-    let host = HostController::new(AccelConfig::paper_default());
+    let host =
+        HostController::new(AccelConfig::paper_default()).expect("paper default config is valid");
     let cpu = CpuModel::xeon_e5_2640();
     let gpu = GpuModel::rtx_3080_ti();
     let model_cfg = TransformerConfig::paper_base();

@@ -21,13 +21,17 @@ fn main() -> std::io::Result<()> {
     let dir = std::path::Path::new("target/attention");
     std::fs::create_dir_all(dir)?;
 
-    println!(
-        "{:>5} {:>10} {:>14} {:>12}  file",
-        "head", "entropy", "diagonality±2", "mode"
-    );
+    println!("{:>5} {:>10} {:>14} {:>12}  file", "head", "entropy", "diagonality±2", "mode");
     for head in 0..model.config.n_heads {
         for (mask, tag) in [(AttentionMask::None, "enc"), (AttentionMask::Causal, "dec")] {
-            let map = attention_map(&x, &x, &model.weights.encoders[0].mha, head, mask, &ReferenceBackend);
+            let map = attention_map(
+                &x,
+                &x,
+                &model.weights.encoders[0].mha,
+                head,
+                mask,
+                &ReferenceBackend,
+            );
             let path = dir.join(format!("head{}_{}.pgm", head, tag));
             write_pgm(&path, &map)?;
             println!(
@@ -41,7 +45,14 @@ fn main() -> std::io::Result<()> {
         }
     }
 
-    let map = attention_map(&x, &x, &model.weights.encoders[0].mha, 0, AttentionMask::None, &ReferenceBackend);
+    let map = attention_map(
+        &x,
+        &x,
+        &model.weights.encoders[0].mha,
+        0,
+        AttentionMask::None,
+        &ReferenceBackend,
+    );
     println!("\nhead 0 hard alignment: {:?}", alignment(&map));
     println!("(uniform-entropy ceiling at s=16: {:.3} nats)", (16f32).ln());
     Ok(())

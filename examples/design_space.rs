@@ -11,7 +11,10 @@ fn main() {
     let base = AccelConfig::paper_default();
 
     println!("Table 5.3 — heads × PSAs-per-head (A3, s = 32):");
-    println!("{:>14} {:>14} {:>12} {:>6}", "parallel heads", "PSAs per head", "latency(ms)", "fits");
+    println!(
+        "{:>14} {:>14} {:>12} {:>6}",
+        "parallel heads", "PSAs per head", "latency(ms)", "fits"
+    );
     for p in dse::explore(&base) {
         println!(
             "{:>14} {:>14} {:>12.2} {:>6}",
@@ -38,10 +41,9 @@ fn main() {
     println!("  misc/control  : {}", est.misc);
     println!("  TOTAL         : {}", est.total());
     match resources::check_fit(&base) {
-        Ok((b, d, f, l)) => println!(
-            "  fits: BRAM {:.1}%  DSP {:.1}%  FF {:.1}%  LUT {:.1}%",
-            b, d, f, l
-        ),
+        Ok((b, d, f, l)) => {
+            println!("  fits: BRAM {:.1}%  DSP {:.1}%  FF {:.1}%  LUT {:.1}%", b, d, f, l)
+        }
         Err(e) => println!("  DOES NOT FIT: {}", e),
     }
 

@@ -25,14 +25,20 @@ fn main() {
 
     let fb = arch::layer_bytes(&base);
     let qb = arch::layer_bytes(&quant::int8_config(&base));
-    println!("\n  encoder weight traffic : {:.2} MB -> {:.2} MB per layer",
-        fb.encoder as f64 / 1e6, qb.encoder as f64 / 1e6);
+    println!(
+        "\n  encoder weight traffic : {:.2} MB -> {:.2} MB per layer",
+        fb.encoder as f64 / 1e6,
+        qb.encoder as f64 / 1e6
+    );
 
     let f_total = r.fp32_resources.total();
     let q_total = r.int8_resources.total();
     println!("\n  resources (fp32) : {}", f_total);
     println!("  resources (int8) : {}", q_total);
-    println!("  int8 LUT utilization: {:.1}%  (fp32 design: ~87.9%, the binding constraint)", r.int8_lut_pct);
+    println!(
+        "  int8 LUT utilization: {:.1}%  (fp32 design: ~87.9%, the binding constraint)",
+        r.int8_lut_pct
+    );
 
     // Numerical story on a tiny model.
     let model = Model::seeded(TransformerConfig::tiny(), 3);

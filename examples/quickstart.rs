@@ -29,7 +29,7 @@ fn main() {
     cfg.psas_per_head = 2;
     cfg.max_seq_len = 32;
 
-    let host = HostController::new(cfg.clone());
+    let host = HostController::new(cfg.clone()).expect("valid configuration");
     let model = Model::seeded(cfg.model, 7);
     let subsampler = Subsampler::paper_default(cfg.model.d_model, 1);
     let extractor = FbankExtractor::paper_default();
@@ -37,20 +37,23 @@ fn main() {
     println!("stage 1: Feature Generation");
     println!("stage 2: Conv subsampling");
     println!("stage 3: Decoding (Transformer on the systolic backend)");
-    let r = host.process_utterance(
-        &utt,
-        &model,
-        &subsampler,
-        &extractor,
-        &ErrorModel::paper_operating_point(),
-        11,
-    );
+    let r = host
+        .process_utterance(
+            &utt,
+            &model,
+            &subsampler,
+            &extractor,
+            &ErrorModel::paper_operating_point(),
+            11,
+        )
+        .expect("model shape matches the configuration");
     println!("  {} fbank frames -> encoder sequence length {}", r.n_frames, r.input_len);
     println!("Recognized text: {}", r.recognized_text);
     println!("  (WER vs ground truth: {:.1}%)", 100.0 * wer(&utt.transcript, &r.recognized_text));
 
     // The paper-size accelerator's latency story for this input length.
-    let paper_host = HostController::new(AccelConfig::paper_default());
+    let paper_host =
+        HostController::new(AccelConfig::paper_default()).expect("paper default config is valid");
     let lat = paper_host.latency_report(r.input_len.min(32));
     println!("\nPaper-size accelerator model (padded to s = {}):", lat.seq_len);
     println!("  preprocessing : {:7.2} ms", lat.preprocessing_s * 1e3);

@@ -36,18 +36,13 @@ fn main() {
         let cfg = StreamingConfig { chunk, left_context: ctx };
         let streamed = encode_streaming(&model, &enc_in, &cfg, &ReferenceBackend);
         let div = max_abs_diff(&streamed, &offline);
-        println!(
-            "{:>8} {:>8} {:>16} {:>22.4}",
-            chunk,
-            ctx,
-            first_emission_steps(s, &cfg),
-            div
-        );
+        println!("{:>8} {:>8} {:>16} {:>22.4}", chunk, ctx, first_emission_steps(s, &cfg), div);
     }
 
     // Latency view: the accelerator can start on chunk 1 while audio for
     // chunk 2 is still being spoken.
-    let host = HostController::new(AccelConfig::paper_default());
+    let host =
+        HostController::new(AccelConfig::paper_default()).expect("paper default config is valid");
     let full = host.latency_report(32).accelerator_s * 1e3;
     println!(
         "\noffline accelerator pass: {:.1} ms after ALL audio arrives;\n\

@@ -10,14 +10,18 @@
 //! asrsim pipeline  [--s N] [--n K]     pipelined batch throughput
 //! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
+//! asrsim faults <seed> [--s N]         fault-injected run: degraded vs nominal
+//! asrsim --faults <seed> [--s N]       same, as a flag
 //! ```
 
 use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
 use transformer_asr_accel::accel::{
-    dse, latency, pipeline, quant, sweep, AccelConfig, HostController,
+    dse, latency, pipeline, quant, run_with_recovery, sweep, AccelConfig, HostController,
+    RecoveryPolicy,
 };
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
+use transformer_asr_accel::fpga::FaultPlan;
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
     args.iter()
@@ -31,11 +35,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv> [options]"
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv|faults> [options]"
         );
         return ExitCode::FAILURE;
     };
     let s = parse_flag(&args, "--s", 32);
+
+    // `asrsim --faults <seed>` — the flag form of the `faults` subcommand.
+    if let Some(i) = args.iter().position(|a| a == "--faults") {
+        let Some(seed) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("usage: asrsim --faults <seed> [--s N]");
+            return ExitCode::FAILURE;
+        };
+        return cmd_faults(seed, s);
+    }
 
     match cmd.as_str() {
         "latency" => cmd_latency(s),
@@ -59,6 +72,13 @@ fn main() -> ExitCode {
             };
             return cmd_csv(which);
         }
+        "faults" => {
+            let Some(seed) = args.get(1).and_then(|v| v.parse::<u64>().ok()) else {
+                eprintln!("usage: asrsim faults <seed> [--s N]");
+                return ExitCode::FAILURE;
+            };
+            return cmd_faults(seed, s);
+        }
         other => {
             eprintln!("unknown command '{}'", other);
             return ExitCode::FAILURE;
@@ -74,7 +94,7 @@ fn unpadded(s: usize) -> AccelConfig {
 }
 
 fn cmd_latency(s: usize) {
-    let host = HostController::new(unpadded(s));
+    let host = HostController::new(unpadded(s)).expect("paper default config is valid");
     let r = host.latency_report(s);
     println!("sequence length      : {} (built {})", r.input_len, r.seq_len);
     println!("preprocessing        : {:8.2} ms", r.preprocessing_s * 1e3);
@@ -136,7 +156,10 @@ fn cmd_breakdown(s: usize) {
     for r in &b.rows {
         println!("{:<36} {:>10} {:>9.3} {:>6.1}%", r.name, r.cycles, r.ms, r.pct_of_encoder);
     }
-    println!("encoder layer total: {} cycles; decoder layer: {} cycles", b.encoder_total, b.decoder_total);
+    println!(
+        "encoder layer total: {} cycles; decoder layer: {} cycles",
+        b.encoder_total, b.decoder_total
+    );
 }
 
 fn cmd_pipeline(s: usize, n: usize) {
@@ -162,6 +185,40 @@ fn cmd_trace(path: &str, s: usize) -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+fn cmd_faults(seed: u64, s: usize) -> ExitCode {
+    let cfg = unpadded(s);
+    let s = cfg.max_seq_len;
+    let plan = FaultPlan::seeded(seed);
+    println!("fault seed           : {}", seed);
+    println!("injected faults      : {}", plan.faults().len());
+    for f in plan.faults() {
+        println!("  - {:?}", f);
+    }
+    let run = match run_with_recovery(&cfg, Architecture::A3, s, plan, &RecoveryPolicy::default()) {
+        Ok(run) => run,
+        Err(e) => {
+            eprintln!("unrecoverable: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("nominal latency      : {:8.2} ms ({})", run.nominal_s * 1e3, run.entry_arch.name());
+    println!("degraded latency     : {:8.2} ms ({})", run.makespan_s * 1e3, run.final_arch.name());
+    println!("fault overhead       : {:8.2} %", run.slowdown() * 100.0);
+    println!("retries              : {}", run.retries);
+    if let Some(slr) = run.dead_slr {
+        println!("dead SLR             : SLR{} (pool halved, relaunched on survivor)", slr);
+    }
+    if run.events.is_empty() {
+        println!("recovery events      : none");
+    } else {
+        println!("recovery events      :");
+        for e in &run.events {
+            println!("  [{:9.3} ms] {:<16} {}", e.time_s * 1e3, e.phase, e.detail);
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn cmd_csv(which: &str) -> ExitCode {

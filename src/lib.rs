@@ -22,7 +22,7 @@
 //! ```
 //! use transformer_asr_accel::accel::{AccelConfig, HostController};
 //!
-//! let host = HostController::new(AccelConfig::paper_default());
+//! let host = HostController::new(AccelConfig::paper_default()).unwrap();
 //! let report = host.latency_report(32);
 //! // The paper's §5.1.6 headline: ~120 ms end to end at s = 32.
 //! assert!((report.total_s * 1e3 - 120.45).abs() / 120.45 < 0.05);

@@ -78,6 +78,33 @@ fn csv_subcommand_emits_rows() {
 }
 
 #[test]
+fn faults_subcommand_reports_degraded_vs_nominal() {
+    let (ok, out) = run(&["faults", "0", "--s", "8"]);
+    assert!(ok);
+    assert!(out.contains("nominal latency"));
+    assert!(out.contains("degraded latency"));
+    assert!(out.contains("fault overhead"));
+    // seed 0 kills the maxi-1 prefetch engine and SLR1: both recoveries
+    // must show up in the report
+    assert!(out.contains("degrade A3 -> A2"));
+    assert!(out.contains("dead SLR"));
+}
+
+#[test]
+fn faults_flag_form_matches_subcommand() {
+    let (ok_a, out_a) = run(&["faults", "7", "--s", "8"]);
+    let (ok_b, out_b) = run(&["--faults", "7", "--s", "8"]);
+    assert!(ok_a && ok_b);
+    assert_eq!(out_a, out_b, "flag and subcommand forms must agree");
+}
+
+#[test]
+fn faults_without_seed_fails() {
+    let (ok, _) = run(&["faults"]);
+    assert!(!ok);
+}
+
+#[test]
 fn unknown_command_fails() {
     let (ok, _) = run(&["definitely-not-a-command"]);
     assert!(!ok);

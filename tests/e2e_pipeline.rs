@@ -23,11 +23,11 @@ fn tiny_rig() -> (AccelConfig, Model, Subsampler, FbankExtractor) {
 #[test]
 fn audio_to_text_runs_and_is_deterministic() {
     let (cfg, model, sub, ex) = tiny_rig();
-    let host = HostController::new(cfg);
+    let host = HostController::new(cfg).unwrap();
     let utt = dataset::utterance(3.0, 17);
     let em = ErrorModel::paper_operating_point();
-    let r1 = host.process_utterance(&utt, &model, &sub, &ex, &em, 4);
-    let r2 = host.process_utterance(&utt, &model, &sub, &ex, &em, 4);
+    let r1 = host.process_utterance(&utt, &model, &sub, &ex, &em, 4).unwrap();
+    let r2 = host.process_utterance(&utt, &model, &sub, &ex, &em, 4).unwrap();
     assert_eq!(r1.model_text, r2.model_text);
     assert_eq!(r1.recognized_text, r2.recognized_text);
     assert_eq!(r1.input_len, r2.input_len);
@@ -53,10 +53,12 @@ fn systolic_and_reference_transcriptions_agree() {
 #[test]
 fn longer_audio_longer_sequence() {
     let (cfg, model, sub, ex) = tiny_rig();
-    let host = HostController::new(cfg);
+    let host = HostController::new(cfg).unwrap();
     let em = ErrorModel::perfect();
-    let short = host.process_utterance(&dataset::utterance(2.0, 1), &model, &sub, &ex, &em, 1);
-    let long = host.process_utterance(&dataset::utterance(6.0, 1), &model, &sub, &ex, &em, 1);
+    let short =
+        host.process_utterance(&dataset::utterance(2.0, 1), &model, &sub, &ex, &em, 1).unwrap();
+    let long =
+        host.process_utterance(&dataset::utterance(6.0, 1), &model, &sub, &ex, &em, 1).unwrap();
     assert!(long.n_frames > short.n_frames * 2);
     assert!(long.input_len >= short.input_len);
 }
@@ -64,15 +66,15 @@ fn longer_audio_longer_sequence() {
 #[test]
 fn perfect_channel_recognizes_exactly() {
     let (cfg, model, sub, ex) = tiny_rig();
-    let host = HostController::new(cfg);
+    let host = HostController::new(cfg).unwrap();
     let utt = dataset::utterance(2.5, 31);
-    let r = host.process_utterance(&utt, &model, &sub, &ex, &ErrorModel::perfect(), 2);
+    let r = host.process_utterance(&utt, &model, &sub, &ex, &ErrorModel::perfect(), 2).unwrap();
     assert_eq!(r.recognized_text, utt.transcript);
 }
 
 #[test]
 fn latency_report_consistency() {
-    let host = HostController::new(AccelConfig::paper_default());
+    let host = HostController::new(AccelConfig::paper_default()).unwrap();
     let r = host.latency_report(20);
     assert_eq!(r.seq_len, 32); // padded
     assert!((r.total_s - (r.preprocessing_s + r.accelerator_s)).abs() < 1e-12);

@@ -11,8 +11,8 @@ use transformer_asr_accel::frontend::audio::{synthesize_speech, Waveform, SAMPLE
 use transformer_asr_accel::frontend::vad::{trim_silence, VadConfig};
 use transformer_asr_accel::frontend::{dataset, FbankExtractor};
 use transformer_asr_accel::tensor::backend::ReferenceBackend;
-use transformer_asr_accel::tensor::stats::sqnr_db;
 use transformer_asr_accel::tensor::init;
+use transformer_asr_accel::tensor::stats::sqnr_db;
 use transformer_asr_accel::transformer::beam::{beam_search, BeamConfig};
 use transformer_asr_accel::transformer::cache::greedy_decode_cached;
 use transformer_asr_accel::transformer::streaming::{encode_streaming, StreamingConfig};
@@ -96,7 +96,7 @@ fn bitstream_gatekeeps_the_host() {
 fn runtime_and_bespoke_simulators_agree_for_int8_too() {
     let q = quant::int8_config(&AccelConfig::paper_default());
     let bespoke = simulate(&q, Architecture::A3, 32).latency_s;
-    let (_, via_runtime) = run_through_runtime(&q, Architecture::A3, 32);
+    let (_, via_runtime) = run_through_runtime(&q, Architecture::A3, 32).unwrap();
     assert!((bespoke - via_runtime).abs() / bespoke < 0.01);
 }
 

@@ -1,0 +1,181 @@
+//! Offline stub of `criterion`.
+//!
+//! The bench targets must *compile* (and are executed once by `cargo test`
+//! because they set `harness = false`), but the air-gapped container cannot
+//! fetch the real criterion. This stub accepts the `criterion_group!` /
+//! `criterion_main!` / `Criterion` API the workspace's benches use and does
+//! no measurement: bench closures are registered but never iterated, so the
+//! binaries exit immediately.
+
+use std::fmt::Display;
+use std::time::Duration;
+
+/// Re-export of `std::hint::black_box` (criterion's own is a re-export too).
+pub use std::hint::black_box;
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Parameter-only id.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures; `iter` is a no-op.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    _private: (),
+}
+
+impl Bencher {
+    /// Would repeatedly time `_routine`; the stub never invokes it.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, _routine: R) {}
+
+    /// Batched variant — also a no-op.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        _setup: S,
+        _routine: R,
+        _size: BatchSize,
+    ) {
+    }
+}
+
+/// Batch sizing hint (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small input batches.
+    SmallInput,
+    /// Large input batches.
+    LargeInput,
+    /// One iteration per batch.
+    PerIteration,
+}
+
+/// A named group of benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Register a benchmark (closure is not executed).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: impl Display,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    /// Register a benchmark taking an input (closure is not executed).
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        _id: BenchmarkId,
+        _input: &I,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+/// Throughput annotation (accepted, ignored).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The bench context.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Register a standalone benchmark (closure is not executed).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        _id: impl Display,
+        _f: F,
+    ) -> &mut Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, _name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self }
+    }
+
+    /// Accepted and ignored.
+    pub fn sample_size(mut self, _n: usize) -> Self {
+        let _ = &mut self;
+        self
+    }
+
+    /// Final reporting hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Declares a bench group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,101 @@
+//! Offline stub of `rayon`.
+//!
+//! The build container cannot fetch crates.io, so the "parallel" iterators
+//! here execute sequentially on the calling thread. The API shape matches the
+//! subset the workspace uses (`par_chunks_mut`, `par_iter`, `into_par_iter`
+//! returning ordinary iterator adaptors), so swapping the real rayon back in
+//! requires no source changes.
+
+/// Sequential stand-ins for `rayon::prelude`.
+pub mod prelude {
+    /// `par_chunks_mut` on mutable slices — sequential fallback.
+    pub trait ParallelSliceMut<T> {
+        /// Mutable chunks of `size`, as a plain iterator.
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(size)
+        }
+    }
+
+    /// `par_chunks` on slices — sequential fallback.
+    pub trait ParallelSlice<T> {
+        /// Shared chunks of `size`, as a plain iterator.
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T>;
+    }
+
+    impl<T> ParallelSlice<T> for [T] {
+        fn par_chunks(&self, size: usize) -> std::slice::Chunks<'_, T> {
+            self.chunks(size)
+        }
+    }
+
+    /// `par_iter` / `par_iter_mut` — sequential fallback.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Item type.
+        type Iter;
+        /// Sequential iterator standing in for the parallel one.
+        fn par_iter(&'a self) -> Self::Iter;
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Iter = std::slice::Iter<'a, T>;
+        fn par_iter(&'a self) -> Self::Iter {
+            self.as_slice().iter()
+        }
+    }
+
+    /// `into_par_iter` — sequential fallback.
+    pub trait IntoParallelIterator {
+        /// Item type.
+        type Iter;
+        /// Sequential iterator standing in for the parallel one.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Iter = std::vec::IntoIter<T>;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl IntoParallelIterator for std::ops::Range<usize> {
+        type Iter = std::ops::Range<usize>;
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+/// Number of "threads" in the stub pool (always 1 — execution is sequential).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_chunks_mut_behaves_like_chunks_mut() {
+        let mut v = vec![1, 2, 3, 4, 5];
+        v.par_chunks_mut(2).for_each(|c| c.iter_mut().for_each(|x| *x *= 10));
+        assert_eq!(v, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn par_iter_sums() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.par_iter().sum::<i32>(), 6);
+    }
+}

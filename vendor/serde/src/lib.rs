@@ -1,0 +1,19 @@
+//! Offline stub of `serde`.
+//!
+//! Provides the `Serialize` / `Deserialize` trait names and re-exports the
+//! no-op derive macros so `#[derive(Serialize, Deserialize)]` compiles in the
+//! air-gapped build container. No actual (de)serialization machinery exists;
+//! nothing in this workspace invokes it.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize` (never implemented — the no-op
+/// derive emits no impls, and no code in this workspace requires the bound).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (never implemented).
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}

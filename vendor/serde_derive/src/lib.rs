@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive`.
+//!
+//! This workspace is built in an air-gapped container, so the real crates.io
+//! `serde_derive` is unavailable. Nothing in the repo actually serializes
+//! values (the derives only mark types as serializable for future use), so
+//! the derive macros here accept the full `#[derive(Serialize, Deserialize)]`
+//! + `#[serde(...)]` surface and expand to nothing.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

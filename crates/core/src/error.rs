@@ -38,6 +38,23 @@ pub enum AccelError {
         label: String,
         /// Attempts consumed (including the first).
         attempts: u32,
+        /// Simulation time at which the run was declared lost, seconds —
+        /// the failure-detection latency a serving tier charges the device.
+        at_s: f64,
+    },
+    /// The serving queue is full: the request was shed at admission.
+    Overloaded {
+        /// Requests already waiting.
+        queued: usize,
+        /// The bounded queue's capacity.
+        capacity: usize,
+    },
+    /// The request's deadline elapsed before a result was produced.
+    DeadlineExceeded {
+        /// The per-request deadline, seconds.
+        deadline_s: f64,
+        /// Time spent (queueing + cancelled service) before giving up, seconds.
+        waited_s: f64,
     },
 }
 
@@ -53,10 +70,22 @@ impl std::fmt::Display for AccelError {
             AccelError::UnsupportedArch(msg) => write!(f, "unsupported architecture: {}", msg),
             AccelError::Runtime(e) => write!(f, "runtime error: {}", e),
             AccelError::ModelMismatch(msg) => write!(f, "model mismatch: {}", msg),
-            AccelError::Unrecoverable { phase, label, attempts } => write!(
+            AccelError::Unrecoverable { phase, label, attempts, at_s } => write!(
                 f,
-                "unrecoverable fault in phase {}: '{}' failed after {} attempts",
-                phase, label, attempts
+                "unrecoverable fault in phase {}: '{}' failed after {} attempts ({:.3} ms in)",
+                phase,
+                label,
+                attempts,
+                at_s * 1e3
+            ),
+            AccelError::Overloaded { queued, capacity } => {
+                write!(f, "overloaded: {} requests already queued (capacity {})", queued, capacity)
+            }
+            AccelError::DeadlineExceeded { deadline_s, waited_s } => write!(
+                f,
+                "deadline of {:.1} ms exceeded after {:.1} ms",
+                deadline_s * 1e3,
+                waited_s * 1e3
             ),
         }
     }
@@ -89,8 +118,17 @@ mod tests {
         let e = AccelError::InvalidInput { input_len: 64, max_seq_len: 32 };
         assert!(e.to_string().contains("64"));
         assert!(e.to_string().contains("32"));
-        let e = AccelError::Unrecoverable { phase: "E3".into(), label: "LWE3".into(), attempts: 4 };
+        let e = AccelError::Unrecoverable {
+            phase: "E3".into(),
+            label: "LWE3".into(),
+            attempts: 4,
+            at_s: 1e-3,
+        };
         assert!(e.to_string().contains("LWE3"));
+        let e = AccelError::Overloaded { queued: 64, capacity: 64 };
+        assert!(e.to_string().contains("64"));
+        let e = AccelError::DeadlineExceeded { deadline_s: 0.2, waited_s: 0.3 };
+        assert!(e.to_string().contains("200.0 ms"));
     }
 
     #[test]

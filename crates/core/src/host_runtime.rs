@@ -99,24 +99,18 @@ fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
     }
 }
 
-fn check_prefetch_arch(arch: Architecture) -> Result<()> {
-    if !matches!(arch, Architecture::A2 | Architecture::A3) {
-        return Err(AccelError::UnsupportedArch(
-            "the runtime path models the prefetching architectures (A2/A3)".into(),
-        ));
-    }
-    Ok(())
-}
-
-/// Drive the A2/A3 prefetch schedule through the runtime; returns the
+/// Drive an architecture's schedule through the runtime; returns the
 /// runtime (for its timeline) and the makespan in seconds.
+///
+/// A2/A3 run their prefetch pipelines; A1 runs the same command stream with
+/// every load additionally gated on the previous layer's compute, which is
+/// exactly the Fig 4.8 no-overlap recurrence.
 pub fn run_through_runtime(
     cfg: &AccelConfig,
     arch: Architecture,
     input_len: usize,
 ) -> Result<(Runtime, f64)> {
     cfg.validate()?;
-    check_prefetch_arch(arch)?;
     let s = cfg.checked_padded_seq_len(input_len)?;
 
     let mut rt = Runtime::new(cfg.device.clone());
@@ -136,6 +130,10 @@ pub fn run_through_runtime(
         let mut deps: Vec<Event> = Vec::new();
         if i >= 2 {
             deps.push(compute_events[i - 2]);
+        }
+        if arch == Architecture::A1 && i >= 1 {
+            // No overlap at A1: every load waits out the previous compute.
+            deps.push(compute_events[i - 1]);
         }
         // Fig 4.11 pairing is positional: the paired FFN load lands on the
         // other engine, which the in-order queue handles naturally; the
@@ -239,9 +237,10 @@ impl FaultedRun {
     }
 }
 
-/// Run the prefetch schedule through the runtime with a fault plan attached,
-/// retrying transient failures and walking the degradation ladder on
-/// permanent ones.
+/// Run an architecture's schedule through the runtime with a fault plan
+/// attached, retrying transient failures and walking the degradation ladder
+/// on permanent ones. A run entered at A1 has no engine rung left below it,
+/// but still retries transients and survives an SLR loss.
 ///
 /// Returns `Ok` whenever the policy leaves a path to completion — possibly
 /// at a lower architecture rung and a larger makespan — and
@@ -255,7 +254,6 @@ pub fn run_with_recovery(
     policy: &RecoveryPolicy,
 ) -> Result<FaultedRun> {
     cfg.validate()?;
-    check_prefetch_arch(arch)?;
     let s = cfg.checked_padded_seq_len(input_len)?;
     let (_, nominal_s) = run_through_runtime(cfg, arch, input_len)?;
 
@@ -313,6 +311,7 @@ pub fn run_with_recovery(
                             phase: p.label.clone(),
                             label: load_label,
                             attempts,
+                            at_s: rt.finish_time(lw),
                         });
                     }
                     let t = rt.finish_time(lw);
@@ -350,6 +349,7 @@ pub fn run_with_recovery(
                             phase: p.label.clone(),
                             label: load_label,
                             attempts,
+                            at_s: rt.finish_time(lw),
                         });
                     }
                     let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
@@ -411,6 +411,7 @@ pub fn run_with_recovery(
                             phase: p.label.clone(),
                             label: kernel_label,
                             attempts,
+                            at_s: rt.finish_time(ck),
                         });
                     }
                     let t = rt.finish_time(ck);
@@ -421,6 +422,7 @@ pub fn run_with_recovery(
                             phase: p.label.clone(),
                             label: kernel_label.clone(),
                             attempts,
+                            at_s: t,
                         })?;
                     record(
                         &mut rt,
@@ -440,6 +442,7 @@ pub fn run_with_recovery(
                             phase: p.label.clone(),
                             label: kernel_label,
                             attempts,
+                            at_s: rt.finish_time(ck),
                         });
                     }
                     let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
@@ -564,10 +567,19 @@ mod tests {
     }
 
     #[test]
-    fn a1_is_a_typed_error() {
-        let cfg = unpadded(4);
-        let err = run_through_runtime(&cfg, Architecture::A1, 4).unwrap_err();
-        assert!(matches!(err, AccelError::UnsupportedArch(_)), "{}", err);
+    fn runtime_and_arch_simulators_agree_on_a1() {
+        for s in [4usize, 8, 16, 32] {
+            let cfg = unpadded(s);
+            let bespoke = simulate(&cfg, Architecture::A1, s).latency_s;
+            let (_, via_runtime) = run_through_runtime(&cfg, Architecture::A1, s).unwrap();
+            assert!(
+                (bespoke - via_runtime).abs() / bespoke < 0.01,
+                "s={}: arch {} vs runtime {}",
+                s,
+                bespoke,
+                via_runtime
+            );
+        }
     }
 
     #[test]
@@ -579,7 +591,7 @@ mod tests {
 
     #[test]
     fn zero_fault_recovery_is_bit_identical_to_fault_free() {
-        for arch in [Architecture::A2, Architecture::A3] {
+        for arch in [Architecture::A1, Architecture::A2, Architecture::A3] {
             let cfg = unpadded(8);
             let (rt, total) = run_through_runtime(&cfg, arch, 8).unwrap();
             let run =
@@ -717,6 +729,87 @@ mod tests {
         tiny.parallel_heads = 2;
         tiny.psas_per_head = 1;
         assert!(slr_degraded_config(&tiny).is_err());
+    }
+
+    #[test]
+    fn second_slr_loss_is_a_typed_error_not_a_panic() {
+        // Regression for the degradation ladder's bottom rung: with both
+        // SLRs dead the host must surface `AccelError::Unrecoverable`,
+        // never panic, whatever order the dropouts land in.
+        let cfg = unpadded(8);
+        for (a, b) in [(0usize, 1usize), (1, 0)] {
+            let plan = FaultPlan::none()
+                .with(FaultKind::SlrDropout { slr: a, from_command: 0 })
+                .with(FaultKind::SlrDropout { slr: b, from_command: 2 });
+            let err =
+                run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default())
+                    .unwrap_err();
+            assert!(
+                matches!(err, AccelError::Unrecoverable { .. }),
+                "slr order {}/{}: {}",
+                a,
+                b,
+                err
+            );
+        }
+    }
+
+    #[test]
+    fn degrading_a_degraded_config_bottoms_out_as_a_typed_error() {
+        // Walking `slr_degraded_config` down from the paper design point
+        // must end in `AccelError::Config`, not a panic or a zero-PSA pool.
+        let mut cfg = AccelConfig::paper_default();
+        let mut steps = 0;
+        loop {
+            match slr_degraded_config(&cfg) {
+                Ok(d) => {
+                    assert!(d.n_psas >= 1 && d.n_psas < cfg.n_psas);
+                    cfg = d;
+                    steps += 1;
+                    assert!(steps < 16, "degradation must terminate");
+                }
+                Err(e) => {
+                    assert!(matches!(e, AccelError::Config(_)), "{}", e);
+                    break;
+                }
+            }
+        }
+        assert!(steps >= 1, "the paper design point has at least one rung");
+    }
+
+    #[test]
+    fn unrecoverable_errors_carry_the_failure_time() {
+        let cfg = unpadded(8);
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWE1".into(), failing_attempts: u32::MAX });
+        let err = run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default())
+            .unwrap_err();
+        match err {
+            AccelError::Unrecoverable { at_s, attempts, .. } => {
+                assert!(at_s.is_finite() && at_s > 0.0, "failure time {}", at_s);
+                assert_eq!(attempts, RecoveryPolicy::default().max_attempts);
+            }
+            other => panic!("expected Unrecoverable, got {}", other),
+        }
+    }
+
+    #[test]
+    fn seeded_plans_complete_on_every_architecture() {
+        let cfg = unpadded(8);
+        for arch in [Architecture::A1, Architecture::A2, Architecture::A3] {
+            for seed in 0..12u64 {
+                let run = run_with_recovery(
+                    &cfg,
+                    arch,
+                    8,
+                    FaultPlan::seeded(seed),
+                    &RecoveryPolicy::default(),
+                )
+                .unwrap_or_else(|e| panic!("{} seed {}: {}", arch.name(), seed, e));
+                assert!(run.makespan_s.is_finite());
+                assert!(run.makespan_s >= run.nominal_s - 1e-12);
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,7 @@ pub mod quant;
 pub mod report;
 pub mod resources;
 pub mod schedule;
+pub mod serve;
 pub mod sweep;
 pub mod verify;
 
@@ -50,3 +51,6 @@ pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
 pub use host_runtime::{run_with_recovery, FaultedRun, RecoveryPolicy};
+pub use serve::{
+    pool_fault_plans, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
+};

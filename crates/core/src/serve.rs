@@ -1,0 +1,1084 @@
+//! Multi-device serving runtime: admission control, deadlines, circuit
+//! breakers, and failover across a pool of simulated Alveo cards.
+//!
+//! PR 1 made a *single* utterance survive injected faults
+//! ([`crate::host_runtime::run_with_recovery`]). This module adds the
+//! robustness *between* requests that a production deployment needs (the
+//! serving-tier concerns FTRANS and AccelTran leave to the host):
+//!
+//! * **Admission control** — a bounded FIFO queue; a request arriving at a
+//!   full queue is shed with the typed [`AccelError::Overloaded`].
+//! * **Deadlines** — each request carries `deadline_s` from its arrival.
+//!   Work still in flight at the deadline is cancelled (the device is freed
+//!   at the cancel instant) and the miss counts against the device's health;
+//!   queued requests that can no longer make their deadline even at the
+//!   fault-free nominal makespan are expired without wasting a device.
+//! * **Per-attempt timeout** — an attempt that outlives `attempt_timeout_s`
+//!   is cancelled early enough to leave deadline budget for a failover.
+//! * **Circuit breaker** — per device, closed → open after
+//!   `failure_threshold` consecutive failures, half-open after `cooldown_s`
+//!   of simulated time; the half-open probe request closes the breaker on
+//!   success and re-opens it on failure. A card that keeps tripping the
+//!   PR 1 degradation ladder is quarantined instead of retried forever.
+//! * **Failover** — a request that fails or times out on one device is
+//!   re-enqueued once at the head of the queue, excluding the card that
+//!   failed it; dispatch routes it to the healthiest other card.
+//! * **Drain / shutdown** — [`ServePool::drain`] completes all in-flight and
+//!   queued work; with a shutdown grace window, requests that would only
+//!   start after `last arrival + grace` are dropped and reported.
+//!
+//! Everything runs in *virtual* time — arrivals at `i / rps`, service times
+//! from the deterministic runtime simulation — so the same configuration
+//! reproduces bit-identical counts and latencies on every run, in CI or not.
+//! Per-device health is scored from the [`CommandStats`] of each run's
+//! command statuses (a degraded or retry-heavy run lowers the score even
+//! when it ultimately succeeds).
+
+use std::collections::VecDeque;
+
+use crate::arch::Architecture;
+use crate::config::AccelConfig;
+use crate::error::{AccelError, Result};
+use crate::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
+use asr_fpga_sim::device::DeviceId;
+use asr_fpga_sim::faults::{FaultKind, FaultPlan};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BreakerConfig {
+    /// Consecutive failures (hard failures, timeouts, deadline cancels) that
+    /// open the breaker.
+    pub failure_threshold: u32,
+    /// Simulated seconds the breaker stays open before admitting a
+    /// half-open probe request.
+    pub cooldown_s: f64,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown_s: 0.25 }
+    }
+}
+
+/// Breaker state machine: closed → open → half-open → (closed | open).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: requests flow.
+    Closed,
+    /// Quarantined: no requests until the cooldown elapses.
+    Open,
+    /// Cooldown elapsed: exactly one probe request is in flight.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Name as printed in the serve report.
+    pub fn name(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Breaker {
+    cfg: BreakerConfig,
+    state: BreakerState,
+    consecutive_failures: u32,
+    open_until_s: f64,
+    opens: u32,
+}
+
+impl Breaker {
+    fn new(cfg: BreakerConfig) -> Self {
+        Breaker {
+            cfg,
+            state: BreakerState::Closed,
+            consecutive_failures: 0,
+            open_until_s: 0.0,
+            opens: 0,
+        }
+    }
+
+    /// Would a request dispatched at `now` be admitted?
+    fn would_admit(&self, now: f64) -> bool {
+        match self.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => now >= self.open_until_s,
+            // The single probe is in flight (the device is busy with it);
+            // no further request is admitted until it reports.
+            BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// The breaker's next self-transition time, if one is pending.
+    fn reopen_time(&self) -> Option<f64> {
+        match self.state {
+            BreakerState::Open => Some(self.open_until_s),
+            _ => None,
+        }
+    }
+
+    /// A request was dispatched at `now`: an open breaker past its cooldown
+    /// moves to half-open (the request is the probe).
+    fn on_dispatch(&mut self, now: f64) {
+        if self.state == BreakerState::Open && now >= self.open_until_s {
+            self.state = BreakerState::HalfOpen;
+        }
+    }
+
+    fn on_success(&mut self) {
+        self.state = BreakerState::Closed;
+        self.consecutive_failures = 0;
+    }
+
+    fn on_failure(&mut self, now: f64) {
+        self.consecutive_failures += 1;
+        let probe_failed = self.state == BreakerState::HalfOpen;
+        if probe_failed || self.consecutive_failures >= self.cfg.failure_threshold {
+            self.state = BreakerState::Open;
+            self.open_until_s = now + self.cfg.cooldown_s;
+            self.opens += 1;
+        }
+    }
+}
+
+/// Serving-runtime configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Accelerator configuration every card in the pool is flashed with.
+    pub accel: AccelConfig,
+    /// Overlap architecture the cards run.
+    pub arch: Architecture,
+    /// Number of cards in the pool.
+    pub devices: usize,
+    /// Pool fault-model seed (see [`pool_fault_plans`]); 0 = clean pool.
+    pub fault_seed: u64,
+    /// Offered load, requests per second of simulated time.
+    pub rps: f64,
+    /// Per-request deadline from arrival, seconds.
+    pub deadline_s: f64,
+    /// Requests in the workload.
+    pub requests: usize,
+    /// Bounded admission queue capacity (waiting requests, in-flight excluded).
+    pub queue_capacity: usize,
+    /// Per-attempt service timeout; `None` means attempts are only bounded
+    /// by the request deadline (no budget left for failover on a timeout).
+    pub attempt_timeout_s: Option<f64>,
+    /// Circuit-breaker tuning.
+    pub breaker: BreakerConfig,
+    /// Single-run recovery policy handed to `run_with_recovery`.
+    pub policy: RecoveryPolicy,
+    /// Shutdown grace: queued requests that would start later than
+    /// `last arrival + grace` are dropped. `None` drains everything.
+    pub shutdown_grace_s: Option<f64>,
+}
+
+impl ServeConfig {
+    /// A serving setup over `devices` cards at `rps` offered load. The
+    /// cards are flashed with the *deployment* build: int8 weights (the
+    /// [`crate::quant`] variant — 4× less HBM traffic than the f32 research
+    /// build) at `s = 4` chunks, which keeps fault-free service near 12 ms
+    /// so a single healthy card sustains ~80 req/s. Override `accel` for
+    /// other builds.
+    pub fn new(devices: usize, fault_seed: u64, rps: f64, deadline_s: f64) -> Self {
+        let mut accel = AccelConfig::paper_default();
+        accel.max_seq_len = 4;
+        accel.bytes_per_weight = 1;
+        ServeConfig {
+            accel,
+            arch: Architecture::A3,
+            devices,
+            fault_seed,
+            rps,
+            deadline_s,
+            requests: 200,
+            queue_capacity: 64,
+            attempt_timeout_s: Some(deadline_s * 0.5),
+            breaker: BreakerConfig::default(),
+            policy: RecoveryPolicy::default(),
+            shutdown_grace_s: None,
+        }
+    }
+}
+
+/// The pool fault model behind `asrsim serve --faults <seed>`: seed 0 is a
+/// clean pool; any other seed breaks exactly one card — index
+/// `seed % devices` — with an HBM load fault that fails every attempt, so
+/// every run on it exhausts its retry budget and the serving tier must shed
+/// around it. Use [`ServePool::with_plans`] for arbitrary per-card plans.
+pub fn pool_fault_plans(seed: u64, devices: usize) -> Vec<FaultPlan> {
+    (0..devices)
+        .map(|i| {
+            if seed != 0 && i == (seed as usize) % devices {
+                FaultPlan::none().with(FaultKind::HbmLoadError {
+                    label: "LW".into(),
+                    failing_attempts: u32::MAX,
+                })
+            } else {
+                FaultPlan::none()
+            }
+        })
+        .collect()
+}
+
+/// Terminal outcome of one request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// Served within its deadline.
+    Completed {
+        /// Card that served it.
+        device: DeviceId,
+        /// Arrival-to-finish latency, seconds.
+        latency_s: f64,
+        /// Pure service time of the successful attempt, seconds
+        /// (bit-identical to the underlying `run_with_recovery` makespan).
+        service_s: f64,
+    },
+    /// Shed at admission (bounded queue full).
+    Shed,
+    /// Deadline elapsed — in the queue, or cancelled in flight with no
+    /// budget or failover left. Carries the typed error for callers.
+    DeadlineMissed(AccelError),
+    /// Hard failure on a device with no failover attempt remaining.
+    Failed(AccelError),
+    /// Dropped by the shutdown grace window before ever starting.
+    DroppedAtShutdown,
+}
+
+/// One request's journey through the pool.
+#[derive(Debug, Clone)]
+pub struct RequestRecord {
+    /// Submission order (0-based).
+    pub id: usize,
+    /// Arrival time, simulated seconds.
+    pub arrival_s: f64,
+    /// Service attempts dispatched (0 = never started).
+    pub attempts: u32,
+    /// Whether the request was re-enqueued onto another card.
+    pub failed_over: bool,
+    /// How it ended.
+    pub outcome: RequestOutcome,
+}
+
+/// Per-card section of the serve report.
+#[derive(Debug, Clone)]
+pub struct DeviceReport {
+    /// Card identity.
+    pub id: DeviceId,
+    /// Attempts dispatched to this card (probes included).
+    pub served: usize,
+    /// Attempts that completed within deadline.
+    pub completed: usize,
+    /// Attempts that ended in a hard failure.
+    pub failed: usize,
+    /// Attempts cancelled by a timeout or the deadline.
+    pub cancelled: usize,
+    /// Times the breaker opened.
+    pub breaker_opens: u32,
+    /// Breaker state at drain.
+    pub breaker_final: BreakerState,
+    /// Health score in [0, 1] at drain (EWMA of per-run command outcomes).
+    pub health: f64,
+    /// Busy seconds (service, failures, and cancelled work all occupy the card).
+    pub busy_s: f64,
+}
+
+/// Workload-level results of a serving run.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Requests submitted.
+    pub submitted: usize,
+    /// Requests served within deadline.
+    pub completed: usize,
+    /// Requests shed at admission.
+    pub shed: usize,
+    /// Requests whose deadline elapsed (queued or in flight).
+    pub deadline_missed: usize,
+    /// Requests that failed with no recovery path left.
+    pub failed: usize,
+    /// Requests dropped by the shutdown grace window.
+    pub dropped_at_shutdown: usize,
+    /// Failover re-enqueues performed.
+    pub failed_over: usize,
+    /// First arrival to last completion, simulated seconds.
+    pub wall_s: f64,
+    /// Completed requests per simulated second.
+    pub throughput_rps: f64,
+    /// Median arrival-to-finish latency over completed requests, seconds.
+    pub p50_latency_s: f64,
+    /// 99th-percentile latency over completed requests, seconds.
+    pub p99_latency_s: f64,
+    /// Per-card breakdown.
+    pub per_device: Vec<DeviceReport>,
+    /// Every request's journey, in submission order.
+    pub records: Vec<RequestRecord>,
+}
+
+impl ServeReport {
+    /// Fraction of submitted requests served within deadline.
+    pub fn success_ratio(&self) -> f64 {
+        if self.submitted == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.submitted as f64
+        }
+    }
+
+    /// Render the `asrsim serve` table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut line = |s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        line(format!("submitted            : {}", self.submitted));
+        line(format!(
+            "completed            : {} ({:.1} %)",
+            self.completed,
+            self.success_ratio() * 100.0
+        ));
+        line(format!("shed (admission)     : {}", self.shed));
+        line(format!("deadline missed      : {}", self.deadline_missed));
+        line(format!("failed               : {}", self.failed));
+        line(format!("dropped at shutdown  : {}", self.dropped_at_shutdown));
+        line(format!("failed over          : {}", self.failed_over));
+        line(format!("wall time            : {:8.2} ms", self.wall_s * 1e3));
+        line(format!("throughput           : {:8.2} req/s", self.throughput_rps));
+        line(format!(
+            "latency p50 / p99    : {:.2} / {:.2} ms",
+            self.p50_latency_s * 1e3,
+            self.p99_latency_s * 1e3
+        ));
+        line(format!(
+            "{:>6} {:>7} {:>6} {:>6} {:>7} {:>15} {:>7} {:>9}",
+            "device", "served", "ok", "fail", "cancel", "breaker(opens)", "health", "busy(ms)"
+        ));
+        for d in &self.per_device {
+            line(format!(
+                "{:>6} {:>7} {:>6} {:>6} {:>7} {:>10}({:>3}) {:>7.3} {:>9.2}",
+                d.id.to_string(),
+                d.served,
+                d.completed,
+                d.failed,
+                d.cancelled,
+                d.breaker_final.name(),
+                d.breaker_opens,
+                d.health,
+                d.busy_s * 1e3
+            ));
+        }
+        out
+    }
+}
+
+/// What one service attempt on one card does, memoised per card (the
+/// simulation is deterministic, so every attempt on a card behaves alike).
+#[derive(Debug, Clone, Copy)]
+enum AttemptOutcome {
+    /// Completes after `service_s` with run quality `quality` (the
+    /// `CommandStats` success ratio: degraded/retry-heavy runs score lower).
+    Ok { service_s: f64, quality: f64 },
+    /// Fails `fail_after_s` into the attempt (the `Unrecoverable` time).
+    Fail { fail_after_s: f64 },
+}
+
+#[derive(Debug, Clone)]
+struct Request {
+    id: usize,
+    arrival_s: f64,
+    attempts: u32,
+    failed_over: bool,
+    exclude: Option<usize>,
+}
+
+/// Why an in-flight attempt will leave the card at `finish_s`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FinishKind {
+    Success {
+        service_s: f64,
+        quality: f64,
+    },
+    Failure,
+    /// Cancelled by the per-attempt timeout: budget may remain to fail over.
+    AttemptTimeout,
+    /// Cancelled at the absolute deadline: terminal miss.
+    DeadlineCancel,
+}
+
+#[derive(Debug, Clone)]
+struct InFlight {
+    request: Request,
+    started_s: f64,
+    finish_s: f64,
+    kind: FinishKind,
+}
+
+#[derive(Debug)]
+struct Device {
+    id: DeviceId,
+    plan: FaultPlan,
+    breaker: Breaker,
+    health: f64,
+    in_flight: Option<InFlight>,
+    outcome: Option<AttemptOutcome>,
+    served: usize,
+    completed: usize,
+    failed: usize,
+    cancelled: usize,
+    busy_s: f64,
+}
+
+/// The serving pool: bounded queue + health-tracked devices, advanced in
+/// deterministic virtual time.
+#[derive(Debug)]
+pub struct ServePool {
+    cfg: ServeConfig,
+    devices: Vec<Device>,
+    queue: VecDeque<Request>,
+    now_s: f64,
+    /// Fault-free makespan of one request — the dispatcher's service-time
+    /// expectation for certain-miss expiry.
+    nominal_s: f64,
+    last_arrival_s: f64,
+    submitted: usize,
+    failed_over: usize,
+    records: Vec<(usize, RequestRecord)>,
+    last_finish_s: f64,
+    draining: bool,
+}
+
+impl ServePool {
+    /// A pool whose per-card fault plans come from [`pool_fault_plans`].
+    pub fn new(cfg: ServeConfig) -> Result<Self> {
+        let plans = pool_fault_plans(cfg.fault_seed, cfg.devices);
+        Self::with_plans(cfg, plans)
+    }
+
+    /// A pool with an explicit fault plan per card.
+    pub fn with_plans(cfg: ServeConfig, plans: Vec<FaultPlan>) -> Result<Self> {
+        if cfg.devices == 0 || plans.len() != cfg.devices {
+            return Err(AccelError::Config(format!(
+                "pool needs >= 1 device and one fault plan each (got {} plans for {} devices)",
+                plans.len(),
+                cfg.devices
+            )));
+        }
+        if cfg.rps <= 0.0 || !cfg.rps.is_finite() {
+            return Err(AccelError::Config(format!(
+                "offered load must be positive, got {}",
+                cfg.rps
+            )));
+        }
+        let s = cfg.accel.max_seq_len;
+        let (_, nominal_s) = run_through_runtime(&cfg.accel, cfg.arch, s)?;
+        if nominal_s > cfg.deadline_s {
+            return Err(AccelError::Config(format!(
+                "deadline {:.1} ms is below the nominal makespan {:.1} ms: every request would miss",
+                cfg.deadline_s * 1e3,
+                nominal_s * 1e3
+            )));
+        }
+        let devices = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, plan)| Device {
+                id: DeviceId::new(i),
+                plan,
+                breaker: Breaker::new(cfg.breaker.clone()),
+                health: 1.0,
+                in_flight: None,
+                outcome: None,
+                served: 0,
+                completed: 0,
+                failed: 0,
+                cancelled: 0,
+                busy_s: 0.0,
+            })
+            .collect();
+        Ok(ServePool {
+            devices,
+            queue: VecDeque::new(),
+            now_s: 0.0,
+            nominal_s,
+            last_arrival_s: 0.0,
+            submitted: 0,
+            failed_over: 0,
+            records: Vec::new(),
+            last_finish_s: 0.0,
+            draining: false,
+            cfg,
+        })
+    }
+
+    /// Fault-free makespan of one request (the service-time expectation).
+    pub fn nominal_s(&self) -> f64 {
+        self.nominal_s
+    }
+
+    /// Submit one request arriving at `arrival_s` (must not decrease between
+    /// calls). Returns the typed [`AccelError::Overloaded`] when the request
+    /// is shed at admission; the shed is also counted in the report.
+    pub fn submit(&mut self, arrival_s: f64) -> Result<()> {
+        self.advance_to(arrival_s);
+        let id = self.submitted;
+        self.submitted += 1;
+        self.last_arrival_s = arrival_s;
+        if self.queue.len() >= self.cfg.queue_capacity {
+            self.finish_request(
+                Request { id, arrival_s, attempts: 0, failed_over: false, exclude: None },
+                RequestOutcome::Shed,
+            );
+            return Err(AccelError::Overloaded {
+                queued: self.queue.len(),
+                capacity: self.cfg.queue_capacity,
+            });
+        }
+        self.queue.push_back(Request {
+            id,
+            arrival_s,
+            attempts: 0,
+            failed_over: false,
+            exclude: None,
+        });
+        self.dispatch();
+        Ok(())
+    }
+
+    /// Complete all queued and in-flight work (graceful shutdown) and return
+    /// the report. Queued requests outside the shutdown grace window are
+    /// dropped and reported, in-flight work always completes or is cancelled
+    /// at its deadline — never abandoned mid-run.
+    pub fn drain(mut self) -> ServeReport {
+        self.draining = true;
+        self.dispatch();
+        while !self.queue.is_empty() || self.devices.iter().any(|d| d.in_flight.is_some()) {
+            let next = self.next_event_time();
+            let t = next.expect("a drainable pool always has a next event");
+            self.advance_to(t);
+        }
+        self.into_report()
+    }
+
+    /// Run the configured workload end to end: `requests` arrivals at
+    /// `1/rps` spacing, then drain.
+    pub fn run(cfg: ServeConfig) -> Result<ServeReport> {
+        let n = cfg.requests;
+        let rps = cfg.rps;
+        let mut pool = ServePool::new(cfg)?;
+        for i in 0..n {
+            // A shed request is already recorded; the typed error is the
+            // caller-facing half of the same event.
+            let _ = pool.submit(i as f64 / rps);
+        }
+        Ok(pool.drain())
+    }
+
+    // ---- virtual-time machinery ----
+
+    /// Earliest *strictly future* internal event: an in-flight completion,
+    /// a breaker cooldown expiry that could unblock the queue, or the
+    /// queued head's deadline. Events at or before `now_s` have already
+    /// been applied by the dispatch that follows every clock move.
+    fn next_event_time(&self) -> Option<f64> {
+        let now = self.now_s;
+        let mut t: Option<f64> = None;
+        let mut fold = |cand: f64| {
+            if cand > now {
+                t = Some(t.map_or(cand, |cur: f64| cur.min(cand)));
+            }
+        };
+        for d in &self.devices {
+            if let Some(fl) = &d.in_flight {
+                fold(fl.finish_s);
+            } else if !self.queue.is_empty() {
+                if let Some(reopen) = d.breaker.reopen_time() {
+                    fold(reopen);
+                }
+            }
+        }
+        // A queued head that can no longer be served must still expire even
+        // if no completion or reopen precedes its deadline.
+        if let Some(r) = self.queue.front() {
+            fold(r.arrival_s + self.cfg.deadline_s);
+        }
+        t
+    }
+
+    /// Process every internal event up to and including `target`, then move
+    /// the clock there.
+    fn advance_to(&mut self, target: f64) {
+        loop {
+            match self.next_event_time() {
+                Some(t) if t <= target => {
+                    self.now_s = t;
+                    self.complete_finished();
+                    self.dispatch();
+                }
+                _ => break,
+            }
+        }
+        self.now_s = self.now_s.max(target);
+        self.dispatch();
+    }
+
+    /// Settle every in-flight attempt whose finish time has been reached.
+    fn complete_finished(&mut self) {
+        let now = self.now_s;
+        for i in 0..self.devices.len() {
+            let Some(fl) = self.devices[i].in_flight.clone() else { continue };
+            if fl.finish_s > now + 1e-15 {
+                continue;
+            }
+            self.devices[i].in_flight = None;
+            self.devices[i].busy_s += fl.finish_s - fl.started_s;
+            let r = fl.request;
+            match fl.kind {
+                FinishKind::Success { service_s, quality } => {
+                    let d = &mut self.devices[i];
+                    d.completed += 1;
+                    d.breaker.on_success();
+                    d.health = 0.8 * d.health + 0.2 * quality;
+                    let device = d.id;
+                    self.finish_request(
+                        r.clone(),
+                        RequestOutcome::Completed {
+                            device,
+                            latency_s: fl.finish_s - r.arrival_s,
+                            service_s,
+                        },
+                    );
+                }
+                FinishKind::Failure => {
+                    self.note_attempt_failure(i, fl.finish_s, true);
+                    let err = AccelError::Unrecoverable {
+                        phase: "serve".into(),
+                        label: format!("request#{} on {}", r.id, self.devices[i].id),
+                        attempts: r.attempts,
+                        at_s: fl.finish_s,
+                    };
+                    self.failover_or(r, i, RequestOutcome::Failed(err));
+                }
+                FinishKind::AttemptTimeout => {
+                    self.note_attempt_failure(i, fl.finish_s, false);
+                    let err = AccelError::DeadlineExceeded {
+                        deadline_s: self.cfg.deadline_s,
+                        waited_s: fl.finish_s - r.arrival_s,
+                    };
+                    self.failover_or(r, i, RequestOutcome::DeadlineMissed(err));
+                }
+                FinishKind::DeadlineCancel => {
+                    self.note_attempt_failure(i, fl.finish_s, false);
+                    let err = AccelError::DeadlineExceeded {
+                        deadline_s: self.cfg.deadline_s,
+                        waited_s: fl.finish_s - r.arrival_s,
+                    };
+                    self.finish_request(r, RequestOutcome::DeadlineMissed(err));
+                }
+            }
+        }
+    }
+
+    fn note_attempt_failure(&mut self, device: usize, at_s: f64, hard: bool) {
+        let d = &mut self.devices[device];
+        d.breaker.on_failure(at_s);
+        d.health *= 0.8;
+        if hard {
+            d.failed += 1;
+        } else {
+            d.cancelled += 1;
+        }
+    }
+
+    /// Re-enqueue a failed/timed-out request once onto the rest of the pool,
+    /// or record its terminal outcome.
+    fn failover_or(&mut self, mut r: Request, from_device: usize, terminal: RequestOutcome) {
+        let budget_left = self.now_s + self.nominal_s <= r.arrival_s + self.cfg.deadline_s;
+        if !r.failed_over && self.devices.len() > 1 && budget_left {
+            r.failed_over = true;
+            r.exclude = Some(from_device);
+            self.failed_over += 1;
+            self.queue.push_front(r);
+        } else {
+            self.finish_request(r, terminal);
+        }
+    }
+
+    /// Pull work from the queue head onto the best available card.
+    fn dispatch(&mut self) {
+        let now = self.now_s;
+        // The grace window only bites once the caller has started draining:
+        // before that, more arrivals may still come and the backlog is live.
+        let shutdown_cutoff = if self.draining {
+            self.cfg.shutdown_grace_s.map(|g| self.last_arrival_s + g)
+        } else {
+            None
+        };
+        while let Some(head) = self.queue.front().cloned() {
+            let deadline = head.arrival_s + self.cfg.deadline_s;
+            // Certain miss: even a fault-free run no longer fits the budget.
+            if now + self.nominal_s > deadline {
+                self.queue.pop_front();
+                let err = AccelError::DeadlineExceeded {
+                    deadline_s: self.cfg.deadline_s,
+                    waited_s: now - head.arrival_s,
+                };
+                self.finish_request(head, RequestOutcome::DeadlineMissed(err));
+                continue;
+            }
+            if let Some(cutoff) = shutdown_cutoff {
+                if now > cutoff {
+                    self.queue.pop_front();
+                    self.finish_request(head, RequestOutcome::DroppedAtShutdown);
+                    continue;
+                }
+            }
+            // Health-weighted least-loaded routing over idle cards whose
+            // breakers admit, excluding the card that already failed this
+            // request. A card's cost is its lifetime attempt count inflated
+            // by poor health, so a degraded-but-not-quarantined card keeps
+            // receiving a trickle of traffic (enough for its breaker to see
+            // consecutive failures and open) while healthy cards carry the
+            // bulk. Ties go to the lowest index — fully deterministic.
+            let mut best: Option<(usize, f64)> = None;
+            for (i, d) in self.devices.iter().enumerate() {
+                if d.in_flight.is_some() || Some(i) == head.exclude || !d.breaker.would_admit(now) {
+                    continue;
+                }
+                let cost = d.served as f64 / d.health;
+                best = match best {
+                    Some((_, b_cost)) if b_cost <= cost => best,
+                    _ => Some((i, cost)),
+                };
+            }
+            let Some((i, _)) = best else { break };
+            let mut r = self.queue.pop_front().expect("head just peeked");
+            r.attempts += 1;
+            self.start_attempt(i, r, deadline);
+        }
+    }
+
+    /// Place a request on a card and schedule how the attempt will end.
+    fn start_attempt(&mut self, device: usize, r: Request, deadline: f64) {
+        let now = self.now_s;
+        let outcome = self.device_outcome(device);
+        let d = &mut self.devices[device];
+        d.breaker.on_dispatch(now);
+        d.served += 1;
+        let attempt_cutoff = self.cfg.attempt_timeout_s.map(|t| now + t).unwrap_or(f64::INFINITY);
+        let (finish_s, kind) = match outcome {
+            AttemptOutcome::Ok { service_s, quality } => {
+                let finish = now + service_s;
+                if finish <= attempt_cutoff.min(deadline) {
+                    (finish, FinishKind::Success { service_s, quality })
+                } else if attempt_cutoff < deadline {
+                    (attempt_cutoff, FinishKind::AttemptTimeout)
+                } else {
+                    (deadline, FinishKind::DeadlineCancel)
+                }
+            }
+            AttemptOutcome::Fail { fail_after_s } => {
+                let finish = now + fail_after_s;
+                if finish <= attempt_cutoff.min(deadline) {
+                    (finish, FinishKind::Failure)
+                } else if attempt_cutoff < deadline {
+                    (attempt_cutoff, FinishKind::AttemptTimeout)
+                } else {
+                    (deadline, FinishKind::DeadlineCancel)
+                }
+            }
+        };
+        d.in_flight = Some(InFlight { request: r, started_s: now, finish_s, kind });
+    }
+
+    /// What an attempt on this card does — computed once per card by running
+    /// the card's fault plan through `run_with_recovery` (deterministic, so
+    /// every attempt on the card behaves identically).
+    fn device_outcome(&mut self, device: usize) -> AttemptOutcome {
+        if let Some(o) = self.devices[device].outcome {
+            return o;
+        }
+        let s = self.cfg.accel.max_seq_len;
+        let o = match run_with_recovery(
+            &self.cfg.accel,
+            self.cfg.arch,
+            s,
+            self.devices[device].plan.clone(),
+            &self.cfg.policy,
+        ) {
+            Ok(run) => AttemptOutcome::Ok {
+                service_s: run.makespan_s,
+                quality: run.runtime.command_stats().success_ratio(),
+            },
+            Err(AccelError::Unrecoverable { at_s, .. }) => {
+                AttemptOutcome::Fail { fail_after_s: at_s }
+            }
+            // Configuration-level failures were ruled out in `with_plans`;
+            // treat anything else as an instant hard failure.
+            Err(_) => AttemptOutcome::Fail { fail_after_s: 0.0 },
+        };
+        self.devices[device].outcome = Some(o);
+        o
+    }
+
+    fn finish_request(&mut self, r: Request, outcome: RequestOutcome) {
+        if let RequestOutcome::Completed { latency_s, .. } = outcome {
+            self.last_finish_s = self.last_finish_s.max(r.arrival_s + latency_s);
+        }
+        self.records.push((
+            r.id,
+            RequestRecord {
+                id: r.id,
+                arrival_s: r.arrival_s,
+                attempts: r.attempts,
+                failed_over: r.failed_over,
+                outcome,
+            },
+        ));
+    }
+
+    fn into_report(mut self) -> ServeReport {
+        self.records.sort_by_key(|(id, _)| *id);
+        let records: Vec<RequestRecord> = self.records.into_iter().map(|(_, r)| r).collect();
+        let count = |f: &dyn Fn(&RequestRecord) -> bool| records.iter().filter(|r| f(r)).count();
+        let completed = count(&|r| matches!(r.outcome, RequestOutcome::Completed { .. }));
+        let shed = count(&|r| matches!(r.outcome, RequestOutcome::Shed));
+        let deadline_missed = count(&|r| matches!(r.outcome, RequestOutcome::DeadlineMissed(_)));
+        let failed = count(&|r| matches!(r.outcome, RequestOutcome::Failed(_)));
+        let dropped = count(&|r| matches!(r.outcome, RequestOutcome::DroppedAtShutdown));
+        let mut latencies: Vec<f64> = records
+            .iter()
+            .filter_map(|r| match r.outcome {
+                RequestOutcome::Completed { latency_s, .. } => Some(latency_s),
+                _ => None,
+            })
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let pct = |p: f64| {
+            if latencies.is_empty() {
+                0.0
+            } else {
+                latencies[((latencies.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let wall_s = self.last_finish_s;
+        ServeReport {
+            submitted: self.submitted,
+            completed,
+            shed,
+            deadline_missed,
+            failed,
+            dropped_at_shutdown: dropped,
+            failed_over: self.failed_over,
+            wall_s,
+            throughput_rps: if wall_s > 0.0 { completed as f64 / wall_s } else { 0.0 },
+            p50_latency_s: pct(0.50),
+            p99_latency_s: pct(0.99),
+            per_device: self
+                .devices
+                .iter()
+                .map(|d| DeviceReport {
+                    id: d.id,
+                    served: d.served,
+                    completed: d.completed,
+                    failed: d.failed,
+                    cancelled: d.cancelled,
+                    breaker_opens: d.breaker.opens,
+                    breaker_final: d.breaker.state,
+                    health: d.health,
+                    busy_s: d.busy_s,
+                })
+                .collect(),
+            records,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(devices: usize, seed: u64, rps: f64, deadline_s: f64) -> ServeConfig {
+        ServeConfig::new(devices, seed, rps, deadline_s)
+    }
+
+    #[test]
+    fn clean_pool_serves_everything() {
+        let report = ServePool::run(cfg(2, 0, 40.0, 0.5)).unwrap();
+        assert_eq!(report.completed, report.submitted);
+        assert_eq!(report.shed + report.failed + report.deadline_missed, 0);
+        assert_eq!(report.failed_over, 0);
+        assert!(report.p50_latency_s > 0.0 && report.p99_latency_s >= report.p50_latency_s);
+        for d in &report.per_device {
+            assert_eq!(d.breaker_final, BreakerState::Closed);
+            assert!(d.health > 0.99, "{} health {}", d.id, d.health);
+        }
+    }
+
+    #[test]
+    fn faulty_device_is_quarantined_and_requests_fail_over() {
+        // seed 7 on a 2-card pool breaks dev1 (7 % 2 == 1).
+        let report = ServePool::run(cfg(2, 7, 50.0, 0.2)).unwrap();
+        assert!(
+            report.success_ratio() >= 0.90,
+            "success {:.3} with a faulty card",
+            report.success_ratio()
+        );
+        assert!(report.failed_over > 0, "failures must be re-routed");
+        let bad = &report.per_device[1];
+        assert!(bad.breaker_opens >= 1, "the breaker must open on the faulty card");
+        assert!(bad.failed > 0);
+        assert_eq!(bad.completed, 0, "every attempt on the broken card fails");
+        let good = &report.per_device[0];
+        assert!(good.completed > 0);
+        assert!(good.health > bad.health, "routing signal must separate the cards");
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_counts() {
+        let a = ServePool::run(cfg(3, 5, 80.0, 0.2)).unwrap();
+        let b = ServePool::run(cfg(3, 5, 80.0, 0.2)).unwrap();
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.shed, b.shed);
+        assert_eq!(a.deadline_missed, b.deadline_missed);
+        assert_eq!(a.failed, b.failed);
+        assert_eq!(a.failed_over, b.failed_over);
+        assert_eq!(a.wall_s.to_bits(), b.wall_s.to_bits());
+        assert_eq!(a.p99_latency_s.to_bits(), b.p99_latency_s.to_bits());
+        for (x, y) in a.per_device.iter().zip(&b.per_device) {
+            assert_eq!(
+                (x.served, x.completed, x.failed, x.cancelled),
+                (y.served, y.completed, y.failed, y.cancelled)
+            );
+            assert_eq!(x.breaker_opens, y.breaker_opens);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_with_a_typed_error() {
+        // One card, tiny queue, arrivals far faster than service.
+        let mut c = cfg(1, 0, 10_000.0, 1.0);
+        c.queue_capacity = 2;
+        c.requests = 50;
+        let mut pool = ServePool::new(c).unwrap();
+        let mut shed = 0;
+        for i in 0..50usize {
+            match pool.submit(i as f64 / 10_000.0) {
+                Ok(()) => {}
+                Err(AccelError::Overloaded { capacity, .. }) => {
+                    assert_eq!(capacity, 2);
+                    shed += 1;
+                }
+                Err(e) => panic!("unexpected error {}", e),
+            }
+        }
+        assert!(shed > 0, "a 2-deep queue at 10k rps must shed");
+        let report = pool.drain();
+        assert_eq!(report.shed, shed);
+        assert_eq!(report.submitted, 50);
+    }
+
+    #[test]
+    fn deadline_below_nominal_is_a_typed_config_error() {
+        let err = ServePool::run(cfg(2, 0, 10.0, 1e-6)).unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
+    }
+
+    #[test]
+    fn zero_devices_is_a_typed_config_error() {
+        let err = ServePool::new(cfg(0, 0, 10.0, 0.5)).unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
+    }
+
+    #[test]
+    fn queued_backlog_expires_instead_of_running_doomed_work() {
+        // One healthy card, deadline barely above nominal: any queue wait is
+        // fatal, and the pool must expire the backlog rather than run it.
+        let mut c = cfg(1, 0, 200.0, 1.0);
+        let mut pool = ServePool::new(c.clone()).unwrap();
+        c.deadline_s = pool.nominal_s() * 1.05;
+        c.requests = 40;
+        pool = ServePool::new(c).unwrap();
+        for i in 0..40usize {
+            let _ = pool.submit(i as f64 / 200.0);
+        }
+        let report = pool.drain();
+        assert!(report.deadline_missed > 0);
+        assert_eq!(report.completed + report.deadline_missed + report.shed, report.submitted);
+        // expiry is decided at dispatch, so missed requests never occupied a card
+        let served: usize = report.per_device.iter().map(|d| d.served).sum();
+        assert_eq!(served, report.completed);
+    }
+
+    #[test]
+    fn shutdown_grace_drops_the_tail_of_the_queue() {
+        let mut c = cfg(1, 0, 500.0, 2.0);
+        c.requests = 30;
+        c.shutdown_grace_s = Some(0.0);
+        let report = ServePool::run(c).unwrap();
+        assert!(report.dropped_at_shutdown > 0, "a zero-grace shutdown drops the backlog");
+        assert_eq!(
+            report.completed + report.dropped_at_shutdown + report.deadline_missed + report.shed,
+            report.submitted
+        );
+    }
+
+    #[test]
+    fn single_faulty_card_pool_fails_requests_without_hanging() {
+        // No failover target: requests must fail fast with typed errors and
+        // the drain must terminate (half-open probes keep failing).
+        let mut c = cfg(1, 1, 100.0, 0.3);
+        c.requests = 20;
+        let report = ServePool::run(c).unwrap();
+        assert_eq!(report.completed, 0);
+        assert_eq!(report.failed + report.deadline_missed + report.shed, report.submitted);
+        assert!(report.per_device[0].breaker_opens >= 1);
+        for r in &report.records {
+            match &r.outcome {
+                RequestOutcome::Failed(e) => {
+                    assert!(matches!(e, AccelError::Unrecoverable { .. }))
+                }
+                RequestOutcome::DeadlineMissed(e) => {
+                    assert!(matches!(e, AccelError::DeadlineExceeded { .. }))
+                }
+                RequestOutcome::Shed => {}
+                other => panic!("unexpected outcome {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_state_machine_walks_closed_open_half_open() {
+        let mut b = Breaker::new(BreakerConfig { failure_threshold: 2, cooldown_s: 1.0 });
+        assert!(b.would_admit(0.0));
+        b.on_failure(0.0);
+        assert!(b.would_admit(0.1), "one failure stays closed");
+        b.on_failure(0.2);
+        assert_eq!(b.state, BreakerState::Open);
+        assert!(!b.would_admit(0.5));
+        assert!(b.would_admit(1.3), "cooldown elapsed: probe admitted");
+        b.on_dispatch(1.3);
+        assert_eq!(b.state, BreakerState::HalfOpen);
+        assert!(!b.would_admit(1.4), "only one probe in flight");
+        b.on_failure(1.5);
+        assert_eq!(b.state, BreakerState::Open);
+        assert_eq!(b.opens, 2);
+        b.on_dispatch(2.6);
+        b.on_success();
+        assert_eq!(b.state, BreakerState::Closed);
+        assert!(b.would_admit(2.7));
+    }
+
+    #[test]
+    fn pool_fault_plans_break_exactly_one_card_per_nonzero_seed() {
+        assert!(pool_fault_plans(0, 4).iter().all(|p| p.is_empty()));
+        for seed in 1..9u64 {
+            let plans = pool_fault_plans(seed, 4);
+            let broken: Vec<usize> = (0..4).filter(|&i| !plans[i].is_empty()).collect();
+            assert_eq!(broken, vec![(seed as usize) % 4], "seed {}", seed);
+        }
+    }
+}

@@ -5,6 +5,7 @@
 use asr_accel::arch::{layer_bytes, simulate};
 use asr_accel::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
 use asr_accel::schedule;
+use asr_accel::serve;
 use asr_accel::{AccelConfig, Architecture};
 use asr_fpga_sim::{FaultKind, FaultPlan};
 use proptest::prelude::*;
@@ -29,8 +30,8 @@ fn valid_config() -> impl Strategy<Value = AccelConfig> {
         })
 }
 
-fn prefetch_arch() -> impl Strategy<Value = Architecture> {
-    prop::sample::select(vec![Architecture::A2, Architecture::A3])
+fn any_arch() -> impl Strategy<Value = Architecture> {
+    prop::sample::select(vec![Architecture::A1, Architecture::A2, Architecture::A3])
 }
 
 proptest! {
@@ -39,10 +40,13 @@ proptest! {
     // With an empty fault plan the recovery harness is a no-op wrapper:
     // the timeline and the makespan must be *bit-identical* to the plain
     // fault-free runtime schedule, with no retries and no recovery events.
+    // This holds on every architecture, A1 included (its runtime command
+    // stream gates each load on the previous compute instead of using a
+    // prefetch engine).
     #[test]
     fn zero_fault_plan_is_timeline_identical_to_baseline(
         cfg in valid_config(),
-        arch in prefetch_arch(),
+        arch in any_arch(),
     ) {
         let s = cfg.max_seq_len;
         let (rt, total) = run_through_runtime(&cfg, arch, s).unwrap();
@@ -133,6 +137,47 @@ proptest! {
                 run.makespan_s,
                 a2
             );
+        }
+    }
+
+    // The serving layer is pure orchestration: on a clean pool, every
+    // completed request's *service* time must be bit-identical to what an
+    // independent `run_with_recovery` call produces for the same build —
+    // queuing and routing may shift latencies but never touch the compute.
+    #[test]
+    fn clean_pool_service_times_match_independent_runs(
+        devices in 1usize..=3,
+        rps in prop::sample::select(vec![40.0f64, 80.0, 200.0]),
+        requests in 4usize..=24,
+        arch in any_arch(),
+    ) {
+        let mut cfg = serve::ServeConfig::new(devices, 0, rps, 2.0);
+        cfg.arch = arch;
+        cfg.requests = requests;
+        let s = cfg.accel.max_seq_len;
+        let solo = run_with_recovery(
+            &cfg.accel,
+            arch,
+            s,
+            FaultPlan::none(),
+            &cfg.policy,
+        )
+        .unwrap();
+        let report = serve::ServePool::run(cfg).unwrap();
+        prop_assert_eq!(report.completed, requests, "clean pool serves everything");
+        for r in &report.records {
+            match &r.outcome {
+                serve::RequestOutcome::Completed { service_s, latency_s, .. } => {
+                    prop_assert_eq!(
+                        service_s.to_bits(),
+                        solo.makespan_s.to_bits(),
+                        "request {} service diverged from the solo run",
+                        r.id
+                    );
+                    prop_assert!(*latency_s >= *service_s - 1e-15);
+                }
+                other => prop_assert!(false, "unexpected outcome {:?}", other),
+            }
         }
     }
 }

@@ -6,6 +6,32 @@ use crate::pcie::PcieSpec;
 use crate::resources::ResourceVector;
 use serde::{Deserialize, Serialize};
 
+/// Identity of one card in a multi-device pool.
+///
+/// The serving tier (`asr-accel::serve`) runs a pool of simulated cards and
+/// needs a stable, orderable identity to route requests, attribute health
+/// scores, and exclude a failed card from a request's failover attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DeviceId(usize);
+
+impl DeviceId {
+    /// Identity of the `i`-th card in a pool.
+    pub fn new(i: usize) -> DeviceId {
+        DeviceId(i)
+    }
+
+    /// Numeric pool index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
 /// Identifier of a Super Logic Region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum SlrId {
@@ -126,6 +152,13 @@ mod tests {
     #[test]
     fn clock_is_300mhz() {
         assert!((alveo_u50().clock.hz - 300e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn device_ids_order_and_render() {
+        assert!(DeviceId::new(0) < DeviceId::new(3));
+        assert_eq!(DeviceId::new(2).index(), 2);
+        assert_eq!(DeviceId::new(1).to_string(), "dev1");
     }
 
     #[test]

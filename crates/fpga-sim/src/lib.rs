@@ -35,8 +35,8 @@ pub mod timeline;
 pub mod trace;
 
 pub use clock::{Clock, Cycles};
-pub use device::{alveo_u50, DeviceSpec, SlrId};
+pub use device::{alveo_u50, DeviceId, DeviceSpec, SlrId};
 pub use faults::{FaultKind, FaultPlan, FaultProfile};
 pub use resources::ResourceVector;
-pub use runtime::{CommandStatus, FailureCause, RuntimeError};
+pub use runtime::{CommandStats, CommandStatus, FailureCause, RuntimeError};
 pub use timeline::{Span, Timeline};

@@ -85,6 +85,35 @@ struct EventInfo {
     status: CommandStatus,
 }
 
+/// Aggregate [`CommandStatus`] outcomes of everything a runtime enqueued —
+/// the per-device health signal a serving tier scores cards by.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommandStats {
+    /// Commands that ran to completion.
+    pub completed: usize,
+    /// Commands that failed (including dependency-propagated failures).
+    pub failed: usize,
+    /// Commands reaped by the watchdog.
+    pub timed_out: usize,
+}
+
+impl CommandStats {
+    /// Total commands enqueued.
+    pub fn total(self) -> usize {
+        self.completed + self.failed + self.timed_out
+    }
+
+    /// Fraction of commands that completed; 1.0 for an idle runtime, so a
+    /// device that has done nothing is presumed healthy.
+    pub fn success_ratio(self) -> f64 {
+        if self.total() == 0 {
+            1.0
+        } else {
+            self.completed as f64 / self.total() as f64
+        }
+    }
+}
+
 /// An in-order command queue bound to one engine (DMA channel or kernel).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct QueueId(usize);
@@ -484,6 +513,19 @@ impl Runtime {
         self.events[ev.0].status
     }
 
+    /// Aggregate outcome counts over every command enqueued so far.
+    pub fn command_stats(&self) -> CommandStats {
+        let mut stats = CommandStats::default();
+        for e in &self.events {
+            match e.status {
+                CommandStatus::Completed => stats.completed += 1,
+                CommandStatus::Failed(_) => stats.failed += 1,
+                CommandStatus::TimedOut => stats.timed_out += 1,
+            }
+        }
+        stats
+    }
+
     /// The instant the command's event fired (its end time).
     pub fn finish_time(&self, ev: Event) -> f64 {
         self.events[ev.0].finish_s
@@ -755,6 +797,28 @@ mod tests {
         assert!(rt.status(ev).is_ok());
         let dev = alveo_u50();
         assert!((rt.finish() - 2.0 * dev.hbm.read_time_s(12_600_000, 2)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn command_stats_count_every_terminal_status() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LW1".into(), failing_attempts: 1 })
+            .with(FaultKind::KernelHang { label: "C9".into(), failing_attempts: 1 });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        rt.set_watchdog(Some(5e-3));
+        assert_eq!(rt.command_stats(), CommandStats::default());
+        assert!((rt.command_stats().success_ratio() - 1.0).abs() < 1e-12, "idle is healthy");
+        let q = rt.create_queue("maxi-0");
+        let k = rt.create_queue("kernels");
+        let lw = rt.enqueue_hbm_load(q, "LW1", 1 << 20, 2, &[]); // fails once
+        let _dep = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[lw]); // dependency failure
+        let lw2 = rt.enqueue_hbm_load(q, "LW1", 1 << 20, 2, &[]); // retry completes
+        let _ck = rt.enqueue_kernel(k, "C1", SlrId::Slr0, 1e-3, &[lw2]); // completes
+        let _hang = rt.enqueue_kernel(k, "C9", SlrId::Slr0, 1e-3, &[]); // reaped
+        let stats = rt.command_stats();
+        assert_eq!(stats, CommandStats { completed: 2, failed: 2, timed_out: 1 });
+        assert_eq!(stats.total(), 5);
+        assert!((stats.success_ratio() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -10,12 +10,16 @@
 //! asrsim pipeline  [--s N] [--n K]     pipelined batch throughput
 //! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
-//! asrsim faults <seed> [--s N]         fault-injected run: degraded vs nominal
+//! asrsim faults <seed> [--s N] [--arch a1|a2|a3]
+//!                                      fault-injected run: degraded vs nominal
 //! asrsim --faults <seed> [--s N]       same, as a flag
+//! asrsim serve [--devices N] [--faults SEED] [--rps R] [--deadline-ms D]
+//!              [--n K] [--queue Q]     multi-device serving runtime
 //! ```
 
 use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
+use transformer_asr_accel::accel::serve::{ServeConfig, ServePool};
 use transformer_asr_accel::accel::{
     dse, latency, pipeline, quant, run_with_recovery, sweep, AccelConfig, HostController,
     RecoveryPolicy,
@@ -31,23 +35,46 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// `--arch a1|a2|a3` (default A3). `Err` carries the bad value.
+fn parse_arch_flag(args: &[String]) -> Result<Architecture, String> {
+    let Some(i) = args.iter().position(|a| a == "--arch") else {
+        return Ok(Architecture::A3);
+    };
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    match v.to_ascii_lowercase().as_str() {
+        "a1" => Ok(Architecture::A1),
+        "a2" => Ok(Architecture::A2),
+        "a3" => Ok(Architecture::A3),
+        other => Err(other.to_string()),
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv|faults> [options]"
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv|faults|serve> [options]"
         );
         return ExitCode::FAILURE;
     };
     let s = parse_flag(&args, "--s", 32);
 
     // `asrsim --faults <seed>` — the flag form of the `faults` subcommand.
-    if let Some(i) = args.iter().position(|a| a == "--faults") {
-        let Some(seed) = args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) else {
-            eprintln!("usage: asrsim --faults <seed> [--s N]");
+    // Only when it leads: `serve` owns its own `--faults` option.
+    if cmd == "--faults" {
+        let Some(seed) = args.get(1).and_then(|v| v.parse::<u64>().ok()) else {
+            eprintln!("usage: asrsim --faults <seed> [--s N] [--arch a1|a2|a3]");
             return ExitCode::FAILURE;
         };
-        return cmd_faults(seed, s);
+        return cmd_faults(seed, s, &args);
     }
 
     match cmd.as_str() {
@@ -74,11 +101,12 @@ fn main() -> ExitCode {
         }
         "faults" => {
             let Some(seed) = args.get(1).and_then(|v| v.parse::<u64>().ok()) else {
-                eprintln!("usage: asrsim faults <seed> [--s N]");
+                eprintln!("usage: asrsim faults <seed> [--s N] [--arch a1|a2|a3]");
                 return ExitCode::FAILURE;
             };
-            return cmd_faults(seed, s);
+            return cmd_faults(seed, s, &args);
         }
+        "serve" => return cmd_serve(&args),
         other => {
             eprintln!("unknown command '{}'", other);
             return ExitCode::FAILURE;
@@ -187,16 +215,24 @@ fn cmd_trace(path: &str, s: usize) -> ExitCode {
     }
 }
 
-fn cmd_faults(seed: u64, s: usize) -> ExitCode {
+fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
+    let arch = match parse_arch_flag(args) {
+        Ok(a) => a,
+        Err(bad) => {
+            eprintln!("unknown architecture '{}': expected a1, a2, or a3", bad);
+            return ExitCode::FAILURE;
+        }
+    };
     let cfg = unpadded(s);
     let s = cfg.max_seq_len;
     let plan = FaultPlan::seeded(seed);
     println!("fault seed           : {}", seed);
+    println!("architecture         : {}", arch.name());
     println!("injected faults      : {}", plan.faults().len());
     for f in plan.faults() {
         println!("  - {:?}", f);
     }
-    let run = match run_with_recovery(&cfg, Architecture::A3, s, plan, &RecoveryPolicy::default()) {
+    let run = match run_with_recovery(&cfg, arch, s, plan, &RecoveryPolicy::default()) {
         Ok(run) => run,
         Err(e) => {
             eprintln!("unrecoverable: {}", e);
@@ -219,6 +255,32 @@ fn cmd_faults(seed: u64, s: usize) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let devices = parse_flag(args, "--devices", 2);
+    let seed = parse_flag(args, "--faults", 0) as u64;
+    let rps = parse_f64_flag(args, "--rps", 50.0);
+    let deadline_s = parse_f64_flag(args, "--deadline-ms", 200.0) / 1e3;
+    let mut cfg = ServeConfig::new(devices, seed, rps, deadline_s);
+    cfg.requests = parse_flag(args, "--n", cfg.requests);
+    cfg.queue_capacity = parse_flag(args, "--queue", cfg.queue_capacity);
+    println!("devices              : {}", cfg.devices);
+    println!("pool fault seed      : {}", cfg.fault_seed);
+    println!("offered load         : {:8.2} req/s", cfg.rps);
+    println!("deadline             : {:8.2} ms", cfg.deadline_s * 1e3);
+    println!("requests             : {}", cfg.requests);
+    println!("queue capacity       : {}", cfg.queue_capacity);
+    match ServePool::run(cfg) {
+        Ok(report) => {
+            print!("{}", report.render());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {}", e);
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_csv(which: &str) -> ExitCode {

@@ -105,6 +105,51 @@ fn faults_without_seed_fails() {
 }
 
 #[test]
+fn faults_arch_flag_selects_the_architecture() {
+    let (ok_a1, out_a1) = run(&["faults", "0", "--s", "8", "--arch", "a1"]);
+    assert!(ok_a1);
+    assert!(out_a1.contains("architecture         : A1"));
+    // A1 has no prefetch engine to lose, so the A3 -> A2 rung never fires.
+    assert!(!out_a1.contains("degrade A3 -> A2"));
+
+    let (ok_a2, out_a2) = run(&["faults", "0", "--s", "8", "--arch", "a2"]);
+    assert!(ok_a2);
+    assert!(out_a2.contains("architecture         : A2"));
+
+    let (ok_bad, _) = run(&["faults", "0", "--arch", "a9"]);
+    assert!(!ok_bad, "an unknown architecture must be rejected");
+}
+
+#[test]
+fn serve_subcommand_reports_failover_around_the_faulty_card() {
+    let (ok, out) =
+        run(&["serve", "--devices", "2", "--faults", "7", "--rps", "50", "--deadline-ms", "200"]);
+    assert!(ok, "serve must exit cleanly:\n{}", out);
+    assert!(out.contains("submitted            : 200"));
+    assert!(out.contains("throughput"));
+    assert!(out.contains("latency p50 / p99"));
+    // seed 7 on two cards breaks dev1: its breaker must open and traffic
+    // must fail over to dev0.
+    assert!(out.contains("open"), "breaker state missing:\n{}", out);
+    assert!(out.contains("dev0") && out.contains("dev1"));
+}
+
+#[test]
+fn serve_same_seed_is_bit_identical_across_runs() {
+    let args = ["serve", "--devices", "3", "--faults", "5", "--rps", "80", "--n", "120"];
+    let (ok_a, out_a) = run(&args);
+    let (ok_b, out_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(out_a, out_b, "same seed must reproduce the identical report");
+}
+
+#[test]
+fn serve_rejects_an_impossible_deadline() {
+    let (ok, _) = run(&["serve", "--deadline-ms", "0.001"]);
+    assert!(!ok, "a deadline below the nominal makespan must be refused");
+}
+
+#[test]
 fn unknown_command_fails() {
     let (ok, _) = run(&["definitely-not-a-command"]);
     assert!(!ok);

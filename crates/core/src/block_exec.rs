@@ -10,6 +10,7 @@
 
 use crate::config::AccelConfig;
 use crate::mm_exec;
+use asr_systolic::abft::PsaMatmul;
 use asr_tensor::activations::{relu_inplace, softmax_rows_inplace};
 use asr_tensor::norm::layer_norm;
 use asr_tensor::{ops, Matrix};
@@ -19,42 +20,57 @@ use asr_transformer::weights::EncoderWeights;
 /// (the Fig 4.13 operation chain, functionally).
 fn head_via_schemes(
     cfg: &AccelConfig,
+    engine: &dyn PsaMatmul,
     x: &Matrix,
     w: &asr_transformer::weights::AttentionWeights,
     head: usize,
 ) -> Matrix {
     // MM1(K), B(K)
-    let k = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_k[head]), &w.b_k[head]);
+    let k = ops::add_bias(&mm_exec::mm1_exec_with(cfg, engine, x, &w.w_k[head]), &w.b_k[head]);
     // MM1(Q), B(Q)
-    let q = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_q[head]), &w.b_q[head]);
+    let q = ops::add_bias(&mm_exec::mm1_exec_with(cfg, engine, x, &w.w_q[head]), &w.b_q[head]);
     // MM2 (padded), then Sc + Sm
-    let mut scores = mm_exec::mm2_exec(cfg, &q, &k);
+    let mut scores = mm_exec::mm2_exec_with(cfg, engine, &q, &k);
     let scale = 1.0 / (cfg.model.d_k() as f32).sqrt();
     scores.map_inplace(|v| v * scale);
     softmax_rows_inplace(&mut scores);
     // MM1(V), B(V), MM3 (padded)
-    let v = ops::add_bias(&mm_exec::mm1_exec(cfg, x, &w.w_v[head]), &w.b_v[head]);
-    mm_exec::mm3_exec(cfg, &scores, &v)
+    let v = ops::add_bias(&mm_exec::mm1_exec_with(cfg, engine, x, &w.w_v[head]), &w.b_v[head]);
+    mm_exec::mm3_exec_with(cfg, engine, &scores, &v)
 }
 
 /// Full encoder layer through the schemes: 8 heads → concat → MM4 + B_A →
 /// Add-Norm → MM5 + B_1F → ReLU → MM6 + B_2F → Add-Norm.
 pub fn encoder_forward_via_schemes(cfg: &AccelConfig, x: &Matrix, w: &EncoderWeights) -> Matrix {
+    encoder_forward_via_schemes_with(cfg, &cfg.psa_engine(), x, w)
+}
+
+/// [`encoder_forward_via_schemes`] on an explicit PSA engine — the hook the
+/// integrity runner uses to route the whole layer through an ABFT-checked
+/// PSA ([`asr_systolic::abft::CheckedPsa`]).
+pub fn encoder_forward_via_schemes_with(
+    cfg: &AccelConfig,
+    engine: &dyn PsaMatmul,
+    x: &Matrix,
+    w: &EncoderWeights,
+) -> Matrix {
     assert_eq!(x.cols(), cfg.model.d_model, "input width mismatch");
     // the eight heads (computed concurrently on hardware; sequentially here)
     let heads: Vec<Matrix> =
-        (0..cfg.model.n_heads).map(|h| head_via_schemes(cfg, x, &w.mha, h)).collect();
+        (0..cfg.model.n_heads).map(|h| head_via_schemes(cfg, engine, x, &w.mha, h)).collect();
     let refs: Vec<&Matrix> = heads.iter().collect();
     let concat = Matrix::hconcat(&refs);
 
     // MM4 across the pool + B_A, then Add-Norm
-    let mha_out = ops::add_bias(&mm_exec::mm4_exec(cfg, &concat, &w.mha.w_a), &w.mha.b_a);
+    let mha_out =
+        ops::add_bias(&mm_exec::mm4_exec_with(cfg, engine, &concat, &w.mha.w_a), &w.mha.b_a);
     let x1 = layer_norm(&ops::add(x, &mha_out), &w.ln1.w, &w.ln1.b);
 
     // FFN: MM5 + B_1F, ReLU, MM6 + B_2F, Add-Norm
-    let mut hidden = ops::add_bias(&mm_exec::mm5_exec(cfg, &x1, &w.ffn.w1), &w.ffn.b1);
+    let mut hidden = ops::add_bias(&mm_exec::mm5_exec_with(cfg, engine, &x1, &w.ffn.w1), &w.ffn.b1);
     relu_inplace(&mut hidden);
-    let ffn_out = ops::add_bias(&mm_exec::mm6_exec(cfg, &hidden, &w.ffn.w2), &w.ffn.b2);
+    let ffn_out =
+        ops::add_bias(&mm_exec::mm6_exec_with(cfg, engine, &hidden, &w.ffn.w2), &w.ffn.b2);
     layer_norm(&ops::add(&x1, &ffn_out), &w.ln2.w, &w.ln2.b)
 }
 

@@ -5,6 +5,7 @@
 use crate::calib;
 use crate::error::AccelError;
 use asr_fpga_sim::device::{alveo_u50, DeviceSpec};
+use asr_systolic::abft::IntegrityLevel;
 use asr_systolic::adder::PipelinedAdder;
 use asr_systolic::psa::{Psa, PsaConfig};
 use asr_transformer::TransformerConfig;
@@ -34,6 +35,12 @@ pub struct AccelConfig {
     /// Bytes per weight streamed from HBM (4 for the f32 design; 1 for the
     /// int8 future-work variant in [`crate::quant`]).
     pub bytes_per_weight: u64,
+    /// Silent-data-corruption defense level: CRC checks on weight loads and
+    /// ABFT checksums on PSA matmuls (DESIGN.md §9). Defaults to
+    /// [`IntegrityLevel::Off`], which reproduces the paper's unprotected
+    /// datapath bit-for-bit.
+    #[serde(default)]
+    pub integrity: IntegrityLevel,
 }
 
 impl AccelConfig {
@@ -51,6 +58,7 @@ impl AccelConfig {
             model: TransformerConfig::paper_base(),
             max_seq_len: 32,
             bytes_per_weight: 4,
+            integrity: IntegrityLevel::Off,
         }
     }
 

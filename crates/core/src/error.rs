@@ -42,6 +42,36 @@ pub enum AccelError {
         /// the failure-detection latency a serving tier charges the device.
         at_s: f64,
     },
+    /// A weight stripe failed its CRC check on every allowed fetch attempt:
+    /// the data in HBM (or the link delivering it) is silently corrupt and
+    /// no clean copy could be obtained.
+    CorruptWeights {
+        /// The phase whose weights were being loaded.
+        phase: String,
+        /// The failing load command's label.
+        label: String,
+        /// Fetch attempts consumed (including the first).
+        attempts: u32,
+        /// Simulation time at which the load was abandoned, seconds.
+        at_s: f64,
+    },
+    /// An ABFT checksum mismatch was detected in a PSA pass but the
+    /// integrity level does not allow recomputation, so the result cannot
+    /// be trusted.
+    CorruptCompute {
+        /// The phase whose matmul failed its checksum.
+        phase: String,
+        /// Corrupted output tiles detected in the pass.
+        tiles: u64,
+    },
+    /// An activation guard tripped at a layer boundary: non-finite or
+    /// absurdly large values escaped into the datapath.
+    CorruptActivations {
+        /// The layer boundary where the guard fired.
+        boundary: String,
+        /// What the guard saw (NaN/Inf or the offending magnitude).
+        detail: String,
+    },
     /// The serving queue is full: the request was shed at admission.
     Overloaded {
         /// Requests already waiting.
@@ -78,6 +108,22 @@ impl std::fmt::Display for AccelError {
                 attempts,
                 at_s * 1e3
             ),
+            AccelError::CorruptWeights { phase, label, attempts, at_s } => write!(
+                f,
+                "corrupt weights in phase {}: '{}' failed CRC on all {} fetches ({:.3} ms in)",
+                phase,
+                label,
+                attempts,
+                at_s * 1e3
+            ),
+            AccelError::CorruptCompute { phase, tiles } => write!(
+                f,
+                "corrupt compute in phase {}: {} PSA tile(s) failed the ABFT checksum",
+                phase, tiles
+            ),
+            AccelError::CorruptActivations { boundary, detail } => {
+                write!(f, "corrupt activations at {}: {}", boundary, detail)
+            }
             AccelError::Overloaded { queued, capacity } => {
                 write!(f, "overloaded: {} requests already queued (capacity {})", queued, capacity)
             }
@@ -127,6 +173,21 @@ mod tests {
         assert!(e.to_string().contains("LWE3"));
         let e = AccelError::Overloaded { queued: 64, capacity: 64 };
         assert!(e.to_string().contains("64"));
+        let e = AccelError::CorruptWeights {
+            phase: "E1".into(),
+            label: "LWE1".into(),
+            attempts: 4,
+            at_s: 2e-3,
+        };
+        assert!(e.to_string().contains("CRC"));
+        assert!(e.to_string().contains("LWE1"));
+        let e = AccelError::CorruptCompute { phase: "D1".into(), tiles: 3 };
+        assert!(e.to_string().contains("ABFT"));
+        let e = AccelError::CorruptActivations {
+            boundary: "encoder 0 output".into(),
+            detail: "NaN".into(),
+        };
+        assert!(e.to_string().contains("encoder 0 output"));
         let e = AccelError::DeadlineExceeded { deadline_s: 0.2, waited_s: 0.3 };
         assert!(e.to_string().contains("200.0 ms"));
     }

@@ -26,14 +26,29 @@
 //! Fault markers and recovery decisions are both recorded on the timeline's
 //! [`FAULT_UNIT`] track, so a degraded run's Gantt chart shows *what broke
 //! and what the host did about it*.
+//!
+//! Loud faults fail commands; **silent** ones don't. A load that completed
+//! with corrupt payload ([`Runtime::payload_corrupt`]) is only caught here
+//! if the config's [`crate::config::AccelConfig::integrity`] level has the
+//! CRC checks on: the host then re-fetches the stripe (bounded by the same
+//! `max_attempts` budget) and fails typed with
+//! [`AccelError::CorruptWeights`] if clean bytes never arrive. A sticky PSA
+//! lane is caught by the ABFT column checksums: `Detect` fails typed
+//! ([`AccelError::CorruptCompute`], nothing can repair it), while
+//! `DetectAndRecompute` re-runs the corrupted tiles and charges the extra
+//! PSA cycles (DESIGN.md §9 cost model). Every decision lands on the
+//! [`FAULT_UNIT`] track as an `integrity:` annotation, and the run's
+//! [`CorruptionCounters`] report injected/detected/refetched/recomputed/
+//! escaped totals.
 
 use crate::arch::{layer_bytes, Architecture};
 use crate::calib;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
+use crate::integrity::CorruptionCounters;
 use crate::schedule::{decoder, encoder};
 use asr_fpga_sim::device::SlrId;
-use asr_fpga_sim::faults::FaultPlan;
+use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 use asr_fpga_sim::runtime::{CommandStatus, Event, QueueId, Runtime, FAULT_UNIT};
 
 /// Which compute recurrence a phase uses (so degraded configurations can
@@ -224,6 +239,8 @@ pub struct FaultedRun {
     pub retries: u32,
     /// Every recovery decision, in order.
     pub events: Vec<RecoveryEvent>,
+    /// Silent-corruption accounting (CRC + ABFT), per DESIGN.md §9.
+    pub corruption: CorruptionCounters,
 }
 
 impl FaultedRun {
@@ -257,6 +274,12 @@ pub fn run_with_recovery(
     let s = cfg.checked_padded_seq_len(input_len)?;
     let (_, nominal_s) = run_through_runtime(cfg, arch, input_len)?;
 
+    // Silent PSA faults never fail a command, so they must be read off the
+    // plan before it moves into the runtime.
+    let sticky_lanes =
+        plan.faults().iter().filter(|k| matches!(k, FaultKind::PsaStickyLane { .. })).count()
+            as u64;
+
     let mut rt = Runtime::with_faults(cfg.device.clone(), plan);
     rt.set_watchdog(policy.watchdog_s);
 
@@ -274,11 +297,44 @@ pub fn run_with_recovery(
     let mut dead_slr: Option<usize> = None;
     let mut events: Vec<RecoveryEvent> = Vec::new();
     let mut retries = 0u32;
+    let mut corruption = CorruptionCounters::default();
 
-    let mut record = |rt: &mut Runtime, t: f64, phase: &str, detail: String| {
-        rt.annotate(FAULT_UNIT, format!("recovery: {}", detail), t);
+    let mut record = |rt: &mut Runtime, t: f64, phase: &str, kind: &str, detail: String| {
+        rt.annotate(FAULT_UNIT, format!("{}: {}", kind, detail), t);
         events.push(RecoveryEvent { time_s: t, phase: phase.to_string(), detail });
     };
+
+    // A sticky PSA lane corrupts tiles in every phase; what happens next is
+    // the integrity level's call. `Detect` has no repair path — fail typed
+    // before wasting the run. `DetectAndRecompute` re-runs the faulty PSA's
+    // tiles: one extra PSA's worth of work per pass, re-spread across the
+    // pool, stretches every kernel by `1/n_psas` (DESIGN.md §9 cost model).
+    let mut kernel_stretch = 1.0f64;
+    if sticky_lanes > 0 {
+        corruption.injected += sticky_lanes;
+        if cfg.integrity.recomputes() {
+            corruption.detected += sticky_lanes;
+            corruption.recomputed += sticky_lanes;
+            kernel_stretch = 1.0 + sticky_lanes as f64 / cfg.n_psas as f64;
+            record(
+                &mut rt,
+                0.0,
+                &phases[0].label,
+                "integrity",
+                format!(
+                    "sticky PSA lane: ABFT recompute engaged, kernels stretched {:.3}x",
+                    kernel_stretch
+                ),
+            );
+        } else if cfg.integrity.checks_enabled() {
+            return Err(AccelError::CorruptCompute {
+                phase: phases[0].label.clone(),
+                tiles: sticky_lanes,
+            });
+        } else {
+            corruption.escaped += sticky_lanes;
+        }
+    }
 
     let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
     for (i, p) in phases.iter().enumerate() {
@@ -304,7 +360,39 @@ pub fn run_with_recovery(
             );
             attempts += 1;
             match rt.status(lw) {
-                CommandStatus::Completed => break lw,
+                CommandStatus::Completed => {
+                    // The DMA reported success — but is the payload clean?
+                    // Silent HBM/DMA corruption only trips the CRC check.
+                    if !rt.payload_corrupt(lw) {
+                        break lw;
+                    }
+                    corruption.injected += 1;
+                    if !cfg.integrity.checks_enabled() {
+                        // Nobody verifies the stripe: the corrupt weights
+                        // flow into compute and the run silently diverges.
+                        corruption.escaped += 1;
+                        break lw;
+                    }
+                    corruption.detected += 1;
+                    let t = rt.finish_time(lw);
+                    if attempts >= policy.max_attempts {
+                        return Err(AccelError::CorruptWeights {
+                            phase: p.label.clone(),
+                            label: load_label,
+                            attempts,
+                            at_s: t,
+                        });
+                    }
+                    corruption.refetched += 1;
+                    let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
+                    record(
+                        &mut rt,
+                        t,
+                        &p.label,
+                        "integrity",
+                        format!("{} on {}: CRC mismatch, refetch #{}", tag, load_label, attempts),
+                    );
+                }
                 CommandStatus::Failed(cause) if cause.is_permanent() => {
                     if !policy.allow_degradation {
                         return Err(AccelError::Unrecoverable {
@@ -326,6 +414,7 @@ pub fn run_with_recovery(
                             &mut rt,
                             t,
                             &p.label,
+                            "recovery",
                             "engine lost, degrade to A1 (no prefetch)".into(),
                         );
                     } else {
@@ -335,6 +424,7 @@ pub fn run_with_recovery(
                             &mut rt,
                             t,
                             &p.label,
+                            "recovery",
                             format!(
                                 "engine lost, degrade {} -> A2 (single prefetch engine)",
                                 was.name()
@@ -365,6 +455,7 @@ pub fn run_with_recovery(
                         &mut rt,
                         t,
                         &p.label,
+                        "recovery",
                         format!(
                             "retry #{} of {} after {:.1} us backoff",
                             attempts,
@@ -398,7 +489,7 @@ pub fn run_with_recovery(
                 compute_queue,
                 kernel_label.clone(),
                 slr,
-                phase_compute_s(&live_cfg, p.kind, s),
+                phase_compute_s(&live_cfg, p.kind, s) * kernel_stretch,
                 &cdeps,
             );
             attempts += 1;
@@ -428,6 +519,7 @@ pub fn run_with_recovery(
                         &mut rt,
                         t,
                         &p.label,
+                        "recovery",
                         format!(
                             "SLR{} lost: PSA pool halved to {}, relaunch on SLR{}",
                             slr.index(),
@@ -458,6 +550,7 @@ pub fn run_with_recovery(
                         &mut rt,
                         t,
                         &p.label,
+                        "recovery",
                         format!(
                             "relaunch #{} of {} after {:.1} us backoff",
                             attempts,
@@ -481,6 +574,7 @@ pub fn run_with_recovery(
         dead_slr,
         retries,
         events,
+        corruption,
     })
 }
 
@@ -809,6 +903,146 @@ mod tests {
                 assert!(run.makespan_s.is_finite());
                 assert!(run.makespan_s >= run.nominal_s - 1e-12);
             }
+        }
+    }
+
+    fn unpadded_at(s: usize, level: asr_systolic::abft::IntegrityLevel) -> AccelConfig {
+        let mut c = unpadded(s);
+        c.integrity = level;
+        c
+    }
+
+    #[test]
+    fn silent_corruption_escapes_at_off_with_nominal_timing() {
+        use asr_fpga_sim::faults::FaultProfile;
+        let cfg = unpadded(8); // integrity off by default
+        let plan = FaultPlan::seeded_with(3, &FaultProfile::silent_only());
+        assert!(plan.has_silent_faults());
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default()).unwrap();
+        // Nobody asks, nobody pays: timing is exactly nominal, but the
+        // corruption went straight into compute.
+        assert!((run.makespan_s - run.nominal_s).abs() < 1e-12);
+        assert!(run.corruption.injected > 0);
+        assert_eq!(run.corruption.escaped, run.corruption.injected);
+        assert_eq!(run.corruption.detected, 0);
+    }
+
+    #[test]
+    fn crc_detection_refetches_to_a_clean_stripe() {
+        use asr_systolic::abft::IntegrityLevel;
+        let cfg = unpadded_at(8, IntegrityLevel::Detect);
+        let plan = FaultPlan::none().with(FaultKind::HbmBitFlip {
+            label: "LWE3".into(),
+            word: 100,
+            bit: 7,
+            failing_attempts: 2,
+        });
+        let run =
+            run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default()).unwrap();
+        assert_eq!(run.corruption.injected, 2);
+        assert_eq!(run.corruption.detected, 2);
+        assert_eq!(run.corruption.refetched, 2);
+        assert_eq!(run.corruption.escaped, 0);
+        assert!(run.makespan_s > run.nominal_s, "refetch DMA traffic must cost latency");
+        let markers = run.runtime.timeline().unit_spans(FAULT_UNIT);
+        assert!(markers.iter().any(|m| m.label.contains("integrity:")));
+    }
+
+    #[test]
+    fn persistent_stripe_corruption_is_a_typed_error() {
+        use asr_systolic::abft::IntegrityLevel;
+        let cfg = unpadded_at(8, IntegrityLevel::Detect);
+        let plan = FaultPlan::none().with(FaultKind::HbmBitFlip {
+            label: "LWE1".into(),
+            word: 0,
+            bit: 0,
+            failing_attempts: u32::MAX,
+        });
+        let err = run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default())
+            .unwrap_err();
+        match err {
+            AccelError::CorruptWeights { attempts, at_s, .. } => {
+                assert_eq!(attempts, RecoveryPolicy::default().max_attempts);
+                assert!(at_s > 0.0);
+            }
+            other => panic!("expected CorruptWeights, got {}", other),
+        }
+    }
+
+    #[test]
+    fn sticky_lane_at_detect_fails_typed_and_recompute_completes() {
+        use asr_systolic::abft::IntegrityLevel;
+        let plan = || FaultPlan::none().with(FaultKind::PsaStickyLane { lane: 9, delta: 1.0 });
+        let detect = unpadded_at(8, IntegrityLevel::Detect);
+        let err =
+            run_with_recovery(&detect, Architecture::A3, 8, plan(), &RecoveryPolicy::default())
+                .unwrap_err();
+        assert!(matches!(err, AccelError::CorruptCompute { .. }), "{}", err);
+
+        let recompute = unpadded_at(8, IntegrityLevel::DetectAndRecompute);
+        let run =
+            run_with_recovery(&recompute, Architecture::A3, 8, plan(), &RecoveryPolicy::default())
+                .unwrap();
+        assert_eq!(run.corruption.recomputed, 1);
+        assert_eq!(run.corruption.escaped, 0);
+        assert!(run.makespan_s > run.nominal_s, "recomputed tiles must cost PSA cycles");
+        assert!(run.events.iter().any(|e| e.detail.contains("recompute")));
+    }
+
+    #[test]
+    fn integrity_levels_are_bit_identical_under_an_empty_plan() {
+        use asr_systolic::abft::IntegrityLevel;
+        // Satellite (c), timing side: with no faults injected, a checked run
+        // is bit-identical to the fault-free runtime *at the same level* —
+        // the defense machinery adds no nondeterminism, only the static
+        // checksum-pass cycles (visible as Off < Detect makespan).
+        let mut makespans = Vec::new();
+        for level in
+            [IntegrityLevel::Off, IntegrityLevel::Detect, IntegrityLevel::DetectAndRecompute]
+        {
+            let cfg = unpadded_at(8, level);
+            let (rt, total) = run_through_runtime(&cfg, Architecture::A3, 8).unwrap();
+            let run = run_with_recovery(
+                &cfg,
+                Architecture::A3,
+                8,
+                FaultPlan::none(),
+                &RecoveryPolicy::default(),
+            )
+            .unwrap();
+            assert_eq!(rt.timeline().spans(), run.runtime.timeline().spans(), "{:?}", level);
+            assert_eq!(total.to_bits(), run.makespan_s.to_bits(), "{:?}", level);
+            assert_eq!(run.corruption, CorruptionCounters::default(), "{:?}", level);
+            makespans.push(total);
+        }
+        assert!(makespans[1] > makespans[0], "ABFT checksum passes must cost cycles");
+        assert_eq!(
+            makespans[1].to_bits(),
+            makespans[2].to_bits(),
+            "recompute costs nothing when nothing corrupts"
+        );
+    }
+
+    #[test]
+    fn seeded_silent_plans_converge_at_detect_and_recompute() {
+        use asr_fpga_sim::faults::FaultProfile;
+        use asr_systolic::abft::IntegrityLevel;
+        let cfg = unpadded_at(8, IntegrityLevel::DetectAndRecompute);
+        for seed in 0..12u64 {
+            let plan = FaultPlan::seeded_with(seed, &FaultProfile::silent_only());
+            let run =
+                run_with_recovery(&cfg, Architecture::A3, 8, plan, &RecoveryPolicy::default())
+                    .unwrap_or_else(|e| panic!("seed {}: {}", seed, e));
+            assert!(run.corruption.injected > 0, "seed {}", seed);
+            assert_eq!(run.corruption.escaped, 0, "seed {}: nothing may escape", seed);
+            assert_eq!(run.corruption.detected, run.corruption.injected, "seed {}", seed);
+            assert_eq!(
+                run.corruption.detected,
+                run.corruption.refetched + run.corruption.recomputed,
+                "seed {}: every detection answered",
+                seed
+            );
         }
     }
 

@@ -1,0 +1,542 @@
+//! Silent-data-corruption defense: the functional half of DESIGN.md §9.
+//!
+//! The timing path ([`crate::host_runtime::run_with_recovery`]) charges the
+//! latency of CRC refetches and ABFT recomputes; this module carries the
+//! *data*. It loads a model stripe by stripe through the CRC envelope
+//! ([`asr_transformer::weights::WeightStripe`]), applies a fault plan's
+//! silent corruptions to the fetched bytes, and runs the full encoder +
+//! decoder forward pass through an ABFT-checked PSA
+//! ([`asr_systolic::abft::CheckedPsa`]). The end-to-end contract, pinned by
+//! the tests:
+//!
+//! * at [`IntegrityLevel::Off`] corrupted bytes flow straight into compute —
+//!   the run completes but its outputs silently diverge (`escaped` counts
+//!   every corruption that got through);
+//! * at [`IntegrityLevel::Detect`] every corruption is caught — weight
+//!   corruption is re-fetched (bounded), compute corruption fails typed
+//!   ([`AccelError::CorruptCompute`]) because nothing can repair it;
+//! * at [`IntegrityLevel::DetectAndRecompute`] the run completes with
+//!   outputs **bit-identical** to the zero-fault run: CRC refetch restores
+//!   clean stripes, the ABFT recompute path re-runs exactly the failing
+//!   column tiles, and `escaped` is zero.
+//!
+//! Independent of the level, [`guard_activations`] runs at every layer
+//! boundary: non-finite or absurd-magnitude activations fail typed even
+//! when the integrity checks are off.
+
+use crate::block_exec::encoder_forward_via_schemes_with;
+use crate::config::AccelConfig;
+use crate::error::{AccelError, Result};
+use asr_fpga_sim::faults::{FaultKind, FaultPlan};
+use asr_systolic::abft::{AbftStats, CheckedPsa, IntegrityLevel, LaneFault};
+use asr_tensor::{crc32, init, Matrix};
+use asr_transformer::decoder::decoder_forward;
+use asr_transformer::weights::{ModelWeights, WeightStripe};
+use serde::Serialize;
+
+/// Corruption accounting across a run: what was injected, what the defenses
+/// saw, and what got through.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CorruptionCounters {
+    /// Corruption events injected (corrupted stripe fetches + corrupted
+    /// PSA tiles).
+    pub injected: u64,
+    /// Events caught by a CRC or ABFT check.
+    pub detected: u64,
+    /// Weight stripes re-fetched after a CRC mismatch.
+    pub refetched: u64,
+    /// PSA tiles recomputed after an ABFT mismatch.
+    pub recomputed: u64,
+    /// Corruption events that flowed into compute unchecked. Must be zero
+    /// at any level with checks enabled; nonzero only at `Off`.
+    pub escaped: u64,
+}
+
+impl CorruptionCounters {
+    /// Fold another run's counters into this one.
+    pub fn merge(&mut self, other: &CorruptionCounters) {
+        self.injected += other.injected;
+        self.detected += other.detected;
+        self.refetched += other.refetched;
+        self.recomputed += other.recomputed;
+        self.escaped += other.escaped;
+    }
+
+    /// Whether any corruption was injected at all.
+    pub fn any_injected(&self) -> bool {
+        self.injected > 0
+    }
+}
+
+/// Activation values above this magnitude trip the guard even when finite —
+/// far above anything a layer-normed datapath produces legitimately.
+pub const MAX_ACTIVATION: f32 = 1e6;
+
+/// Always-on layer-boundary guard: NaN/Inf or absurd magnitudes fail typed
+/// ([`AccelError::CorruptActivations`]) regardless of the integrity level.
+pub fn guard_activations(m: &Matrix, boundary: &str) -> Result<()> {
+    for &v in m.as_slice() {
+        if !v.is_finite() {
+            return Err(AccelError::CorruptActivations {
+                boundary: boundary.to_string(),
+                detail: format!("non-finite value {}", v),
+            });
+        }
+        if v.abs() > MAX_ACTIVATION {
+            return Err(AccelError::CorruptActivations {
+                boundary: boundary.to_string(),
+                detail: format!("magnitude {} exceeds {}", v, MAX_ACTIVATION),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// One silent corruption applied to a weight stripe's fetched bytes.
+///
+/// `byte_in_word` is restricted to the three mantissa bytes (0..=2 of a
+/// little-endian f32), mirroring the seeded fault model: a corrupted weight
+/// stays *finite*, so only the checksums — not the NaN guards — can see it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StripeCorruption {
+    /// Index of the target stripe in [`ModelWeights::matrices`] order.
+    pub stripe: usize,
+    /// Word offset inside the stripe (taken modulo the stripe's length).
+    pub word: usize,
+    /// Byte within the word, 0..=2 (mantissa bytes only).
+    pub byte_in_word: u8,
+    /// XOR mask applied to that byte (nonzero).
+    pub xor: u8,
+    /// Fetch attempts that see the corruption; later fetches read clean
+    /// bytes (transient HBM/DMA upset).
+    pub failing_fetches: u32,
+}
+
+/// The silent faults of a [`FaultPlan`] projected onto the functional path.
+#[derive(Debug, Clone, Default)]
+pub struct FunctionalFaults {
+    /// Weight-stripe byte corruptions (HBM bit flips, DMA payload damage).
+    pub stripes: Vec<StripeCorruption>,
+    /// Sticky arithmetic fault on one PSA lane, if the plan drew one.
+    pub lane: Option<LaneFault>,
+}
+
+impl FunctionalFaults {
+    /// No faults.
+    pub fn none() -> Self {
+        FunctionalFaults::default()
+    }
+
+    /// Whether the plan carries any silent fault.
+    pub fn is_empty(&self) -> bool {
+        self.stripes.is_empty() && self.lane.is_none()
+    }
+
+    /// Project a plan's silent faults onto a model with `n_stripes` weight
+    /// matrices and a `psa_cols`-wide PSA. Loud faults are ignored — they
+    /// belong to the timing path.
+    pub fn from_plan(plan: &FaultPlan, n_stripes: usize, psa_cols: usize) -> Self {
+        let mut f = FunctionalFaults::default();
+        for k in plan.faults() {
+            match k {
+                FaultKind::HbmBitFlip { word, bit, failing_attempts, .. } => {
+                    f.stripes.push(StripeCorruption {
+                        stripe: word % n_stripes.max(1),
+                        word: word / n_stripes.max(1),
+                        byte_in_word: bit / 8,
+                        xor: 1u8 << (bit % 8),
+                        failing_fetches: *failing_attempts,
+                    });
+                }
+                FaultKind::DmaCorruption { word, xor, failing_attempts, .. } => {
+                    f.stripes.push(StripeCorruption {
+                        stripe: word % n_stripes.max(1),
+                        word: word / n_stripes.max(1),
+                        byte_in_word: 1,
+                        xor: *xor,
+                        failing_fetches: *failing_attempts,
+                    });
+                }
+                FaultKind::PsaStickyLane { lane, delta } => {
+                    f.lane = Some(LaneFault { lane: lane % psa_cols, delta: *delta });
+                }
+                _ => {}
+            }
+        }
+        f
+    }
+
+    /// [`Self::from_plan`] for a seeded silent-fault plan
+    /// ([`asr_fpga_sim::faults::FaultProfile::silent_only`]).
+    pub fn seeded(seed: u64, n_stripes: usize, psa_cols: usize) -> Self {
+        let profile = asr_fpga_sim::faults::FaultProfile::silent_only();
+        Self::from_plan(&FaultPlan::seeded_with(seed, &profile), n_stripes, psa_cols)
+    }
+}
+
+/// Fetch attempts allowed per stripe (including the first), mirroring
+/// [`crate::host_runtime::RecoveryPolicy::max_attempts`].
+pub const MAX_FETCHES: u32 = 4;
+
+/// Fetch one stripe through the CRC envelope, applying any corruption that
+/// targets it, and decode the bytes that the configured level lets through.
+fn fetch_stripe(
+    stripe: &WeightStripe,
+    idx: usize,
+    faults: &FunctionalFaults,
+    level: IntegrityLevel,
+    counters: &mut CorruptionCounters,
+) -> Result<Matrix> {
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let mut bytes = stripe.bytes.clone();
+        let mut hit = false;
+        for c in faults.stripes.iter().filter(|c| c.stripe == idx) {
+            if attempt > c.failing_fetches {
+                continue;
+            }
+            let words = bytes.len() / 4;
+            if words == 0 {
+                continue;
+            }
+            bytes[(c.word % words) * 4 + (c.byte_in_word as usize).min(2)] ^= c.xor;
+            hit = true;
+        }
+        if hit {
+            counters.injected += 1;
+        }
+        if !level.checks_enabled() {
+            // Off: nobody looks at the CRC; corrupted bytes flow downstream.
+            if hit {
+                counters.escaped += 1;
+            }
+            return Ok(decode_bytes(stripe, bytes));
+        }
+        if crc32(&bytes) == stripe.crc {
+            return Ok(decode_bytes(stripe, bytes));
+        }
+        counters.detected += 1;
+        if attempt >= MAX_FETCHES {
+            return Err(AccelError::CorruptWeights {
+                phase: "load".into(),
+                label: stripe.label.clone(),
+                attempts: attempt,
+                at_s: 0.0,
+            });
+        }
+        counters.refetched += 1;
+    }
+}
+
+fn decode_bytes(stripe: &WeightStripe, bytes: Vec<u8>) -> Matrix {
+    WeightStripe {
+        label: stripe.label.clone(),
+        rows: stripe.rows,
+        cols: stripe.cols,
+        bytes,
+        crc: stripe.crc,
+    }
+    .decode()
+}
+
+/// Load every weight matrix through the CRC envelope under `level`,
+/// applying `faults`. Returns the model the datapath will actually compute
+/// with (corrupted at `Off`, clean at `Detect`+ or a typed error).
+pub fn load_model_with_faults(
+    w: &ModelWeights,
+    faults: &FunctionalFaults,
+    level: IntegrityLevel,
+    counters: &mut CorruptionCounters,
+) -> Result<ModelWeights> {
+    let stripes: Vec<WeightStripe> = w
+        .matrices()
+        .iter()
+        .enumerate()
+        .map(|(i, m)| WeightStripe::export(format!("W{}", i), m))
+        .collect();
+    let mut loaded = w.clone();
+    for (i, (slot, stripe)) in loaded.matrices_mut().into_iter().zip(&stripes).enumerate() {
+        *slot = fetch_stripe(stripe, i, faults, level, counters)?;
+    }
+    Ok(loaded)
+}
+
+/// Outcome of a functional integrity run.
+#[derive(Debug, Clone)]
+pub struct IntegrityRun {
+    /// Corruption accounting (stripe fetches + PSA tiles).
+    pub counters: CorruptionCounters,
+    /// The ABFT engine's tile-level statistics.
+    pub abft: AbftStats,
+    /// Final encoder-stack output.
+    pub encoder_out: Matrix,
+    /// Final decoder-stack output.
+    pub decoder_out: Matrix,
+}
+
+/// Run the full functional pipeline — CRC-enveloped weight load, encoder
+/// stack through the MM1–MM6 schemes, decoder stack — on an ABFT-checked
+/// PSA, at the config's [`IntegrityLevel`].
+///
+/// Deterministic in `(cfg, model_seed, input_len, faults)`: two calls with
+/// equal inputs produce bit-identical outputs, which is what the
+/// bit-identity acceptance tests compare across levels.
+pub fn run_functional(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    input_len: usize,
+    faults: &FunctionalFaults,
+) -> Result<IntegrityRun> {
+    cfg.validate()?;
+    let level = cfg.integrity;
+    let mut counters = CorruptionCounters::default();
+
+    let clean = ModelWeights::seeded(&cfg.model, model_seed);
+    let w = load_model_with_faults(&clean, faults, level, &mut counters)?;
+
+    let engine = CheckedPsa::with_fault(cfg.psa_engine(), level, faults.lane);
+
+    let s = cfg.checked_padded_seq_len(input_len)?.min(input_len.max(1));
+    let mut x = init::uniform(s, cfg.model.d_model, -0.5, 0.5, model_seed ^ 0x5eed);
+    for (i, enc) in w.encoders.iter().enumerate() {
+        x = encoder_forward_via_schemes_with(cfg, &engine, &x, enc);
+        guard_activations(&x, &format!("encoder {} output", i))?;
+    }
+    let encoder_out = x;
+
+    // Decoder inputs: the first `s` embedding rows stand in for a decoded
+    // token prefix (the functional path needs data, not a beam search).
+    let steps = s.min(cfg.model.vocab_size);
+    let mut y = w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
+    for (i, dec) in w.decoders.iter().enumerate() {
+        y = decoder_forward(&y, &encoder_out, dec, &engine);
+        guard_activations(&y, &format!("decoder {} output", i))?;
+    }
+
+    let abft = engine.stats();
+    counters.injected += abft.corrupted_tiles;
+    match level {
+        IntegrityLevel::Off => counters.escaped += abft.corrupted_tiles,
+        IntegrityLevel::Detect => {
+            counters.detected += abft.detected;
+            if abft.detected > 0 {
+                return Err(AccelError::CorruptCompute {
+                    phase: "forward".into(),
+                    tiles: abft.detected,
+                });
+            }
+        }
+        IntegrityLevel::DetectAndRecompute => {
+            counters.detected += abft.detected;
+            counters.recomputed += abft.recomputed;
+        }
+    }
+    Ok(IntegrityRun { counters, abft, encoder_out, decoder_out: y })
+}
+
+/// A small-but-complete accelerator configuration for the functional
+/// integrity path: the tiny transformer (2 encoders, 1 decoder,
+/// `d_model = 32`, 4 heads) on a pool of eight 2×16 PSAs. Small enough
+/// that the full forward pass runs in test time; wide enough that every
+/// MM scheme's decomposition (stripes, pool splits, SLR halves) is
+/// non-degenerate.
+pub fn small_config() -> AccelConfig {
+    use asr_systolic::psa::PsaConfig;
+    let mut cfg = AccelConfig::paper_default();
+    cfg.model = asr_transformer::TransformerConfig::tiny();
+    cfg.psa = PsaConfig { rows: 2, cols: 16, ii: 12, fill: 8 };
+    cfg.parallel_heads = 4;
+    cfg.psas_per_head = 2;
+    cfg.max_seq_len = 8;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_at(level: IntegrityLevel) -> AccelConfig {
+        let mut c = small_config();
+        c.integrity = level;
+        c
+    }
+
+    #[test]
+    fn small_config_is_valid() {
+        small_config().validate().unwrap();
+    }
+
+    #[test]
+    fn guard_passes_normal_activations_and_fails_nan_inf_magnitude() {
+        let ok = Matrix::from_vec(1, 3, vec![0.5, -1.0, 3.0]);
+        guard_activations(&ok, "x").unwrap();
+        for bad in [f32::NAN, f32::INFINITY, -f32::INFINITY, 2e6] {
+            let m = Matrix::from_vec(1, 2, vec![1.0, bad]);
+            let err = guard_activations(&m, "encoder 1 output").unwrap_err();
+            match err {
+                AccelError::CorruptActivations { boundary, .. } => {
+                    assert_eq!(boundary, "encoder 1 output")
+                }
+                other => panic!("expected CorruptActivations, got {}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_load_is_bit_identical_and_counts_nothing() {
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let mut c = CorruptionCounters::default();
+        let loaded = load_model_with_faults(
+            &w,
+            &FunctionalFaults::none(),
+            IntegrityLevel::DetectAndRecompute,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(loaded, w);
+        assert_eq!(c, CorruptionCounters::default());
+    }
+
+    #[test]
+    fn corrupted_fetch_is_detected_and_refetched_clean() {
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 5,
+                word: 17,
+                byte_in_word: 2,
+                xor: 0x20,
+                failing_fetches: 2,
+            }],
+            lane: None,
+        };
+        let mut c = CorruptionCounters::default();
+        let loaded = load_model_with_faults(&w, &faults, IntegrityLevel::Detect, &mut c).unwrap();
+        assert_eq!(loaded, w, "refetched model must be bit-identical to clean");
+        assert_eq!(c.injected, 2);
+        assert_eq!(c.detected, 2);
+        assert_eq!(c.refetched, 2);
+        assert_eq!(c.escaped, 0);
+    }
+
+    #[test]
+    fn corruption_escapes_at_off_and_changes_the_weights() {
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 0,
+                word: 3,
+                byte_in_word: 0,
+                xor: 0x01,
+                failing_fetches: u32::MAX,
+            }],
+            lane: None,
+        };
+        let mut c = CorruptionCounters::default();
+        let loaded = load_model_with_faults(&w, &faults, IntegrityLevel::Off, &mut c).unwrap();
+        assert_ne!(loaded, w, "Off must let the corruption through");
+        assert_eq!(c.escaped, 1);
+        assert_eq!(c.detected, 0);
+        // every corrupted weight is still finite (mantissa-only corruption)
+        assert!(loaded.matrices().iter().all(|m| m.as_slice().iter().all(|v| v.is_finite())));
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_fetches_with_a_typed_error() {
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 2,
+                word: 0,
+                byte_in_word: 1,
+                xor: 0xff,
+                failing_fetches: u32::MAX,
+            }],
+            lane: None,
+        };
+        let mut c = CorruptionCounters::default();
+        let err = load_model_with_faults(&w, &faults, IntegrityLevel::Detect, &mut c).unwrap_err();
+        match err {
+            AccelError::CorruptWeights { label, attempts, .. } => {
+                assert_eq!(label, "W2");
+                assert_eq!(attempts, MAX_FETCHES);
+            }
+            other => panic!("expected CorruptWeights, got {}", other),
+        }
+    }
+
+    #[test]
+    fn seeded_projection_draws_all_three_silent_classes() {
+        let profile = asr_fpga_sim::faults::FaultProfile::silent_only();
+        let plan = FaultPlan::seeded_with(7, &profile);
+        let f = FunctionalFaults::from_plan(&plan, 133, 16);
+        assert_eq!(f.stripes.len(), 2, "bit flip + DMA corruption");
+        assert!(f.lane.is_some());
+        assert!(f.stripes.iter().all(|c| c.xor != 0 && c.byte_in_word <= 2));
+    }
+
+    #[test]
+    fn zero_fault_runs_are_bit_identical_across_all_levels() {
+        // Satellite (c): Detect and DetectAndRecompute under an empty fault
+        // plan are bit-identical to Off — the checks are pure observers.
+        let base =
+            run_functional(&cfg_at(IntegrityLevel::Off), 11, 4, &FunctionalFaults::none()).unwrap();
+        for level in [IntegrityLevel::Detect, IntegrityLevel::DetectAndRecompute] {
+            let run = run_functional(&cfg_at(level), 11, 4, &FunctionalFaults::none()).unwrap();
+            assert_eq!(run.encoder_out, base.encoder_out, "{:?}", level);
+            assert_eq!(run.decoder_out, base.decoder_out, "{:?}", level);
+            assert_eq!(run.counters, CorruptionCounters::default(), "{:?}", level);
+            assert!(run.abft.checked_tiles > 0, "{:?} must actually check", level);
+        }
+        assert_eq!(base.counters, CorruptionCounters::default());
+    }
+
+    #[test]
+    fn acceptance_detect_recompute_is_bit_identical_while_off_diverges() {
+        // The PR's acceptance criterion, end to end: a seeded plan with all
+        // three silent-fault classes; DetectAndRecompute restores the
+        // zero-fault bits with nothing escaped, Off silently diverges.
+        let clean =
+            run_functional(&cfg_at(IntegrityLevel::Off), 11, 4, &FunctionalFaults::none()).unwrap();
+        let seed = 7u64;
+        let n_stripes = ModelWeights::seeded(&small_config().model, 11).matrices().len();
+        let faults = FunctionalFaults::seeded(seed, n_stripes, small_config().psa.cols);
+        assert!(!faults.is_empty(), "seed must draw silent faults");
+
+        let protected =
+            run_functional(&cfg_at(IntegrityLevel::DetectAndRecompute), 11, 4, &faults).unwrap();
+        assert_eq!(protected.encoder_out, clean.encoder_out, "encoder bits must match");
+        assert_eq!(protected.decoder_out, clean.decoder_out, "decoder bits must match");
+        assert!(protected.counters.any_injected());
+        assert_eq!(protected.counters.escaped, 0, "nothing may escape at DetectAndRecompute");
+        assert_eq!(
+            protected.counters.detected,
+            protected.counters.refetched + protected.counters.recomputed,
+            "every detection is answered by a refetch or a recompute"
+        );
+
+        let unprotected = run_functional(&cfg_at(IntegrityLevel::Off), 11, 4, &faults).unwrap();
+        assert!(unprotected.counters.escaped > 0);
+        assert!(
+            unprotected.encoder_out != clean.encoder_out
+                || unprotected.decoder_out != clean.decoder_out,
+            "Off must demonstrably diverge"
+        );
+    }
+
+    #[test]
+    fn detect_without_recompute_fails_typed_on_compute_corruption() {
+        let faults =
+            FunctionalFaults { stripes: vec![], lane: Some(LaneFault { lane: 3, delta: 1.5 }) };
+        let err = run_functional(&cfg_at(IntegrityLevel::Detect), 11, 4, &faults).unwrap_err();
+        assert!(matches!(err, AccelError::CorruptCompute { .. }), "{}", err);
+        // ...while recompute survives the same fault bit-identically.
+        let clean =
+            run_functional(&cfg_at(IntegrityLevel::Off), 11, 4, &FunctionalFaults::none()).unwrap();
+        let repaired =
+            run_functional(&cfg_at(IntegrityLevel::DetectAndRecompute), 11, 4, &faults).unwrap();
+        assert_eq!(repaired.decoder_out, clean.decoder_out);
+        assert!(repaired.abft.recomputed > 0);
+    }
+}

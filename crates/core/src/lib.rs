@@ -20,7 +20,10 @@
 //!   prefetch, E2E latency/throughput/energy report (§5.1.6);
 //! * [`resources`] — the design-level resource estimator (Table 5.2);
 //! * [`dse`] — design-space exploration over heads × PSAs-per-head (Table 5.3);
-//! * [`energy`] — GFLOPs/s and GFLOPs/J accounting (Table 5.6, §5.1.6).
+//! * [`energy`] — GFLOPs/s and GFLOPs/J accounting (Table 5.6, §5.1.6);
+//! * [`integrity`] — the silent-data-corruption defense (DESIGN.md §9):
+//!   CRC-enveloped weight loads, ABFT-checked PSA matmuls, localized
+//!   recompute, and always-on activation guards.
 
 pub mod arch;
 pub mod autotune;
@@ -33,6 +36,7 @@ pub mod error;
 pub mod exec;
 pub mod host;
 pub mod host_runtime;
+pub mod integrity;
 pub mod latency;
 pub mod mm;
 pub mod mm_exec;
@@ -51,6 +55,7 @@ pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
 pub use host_runtime::{run_with_recovery, FaultedRun, RecoveryPolicy};
+pub use integrity::{CorruptionCounters, FunctionalFaults, IntegrityRun};
 pub use serve::{
     pool_fault_plans, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
 };

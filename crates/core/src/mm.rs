@@ -76,13 +76,28 @@ impl MmKind {
     }
 }
 
+/// ABFT checksum-pass overhead for `passes` PSA passes of inner dim `m` and
+/// output width `n` — zero when the configured [`IntegrityLevel`] runs no
+/// checks, so the paper's unprotected cycle counts are untouched at `Off`.
+///
+/// [`IntegrityLevel`]: asr_systolic::abft::IntegrityLevel
+fn integrity_overhead(cfg: &AccelConfig, m: usize, n: usize, passes: u64) -> Cycles {
+    if !cfg.integrity.checks_enabled() {
+        return Cycles(0);
+    }
+    let psa = cfg.psa_engine();
+    Cycles(asr_systolic::abft::checksum_pass_cycles(&psa, m, n).get() * passes)
+}
+
 /// Cycles of one MM1 on a single PSA: `d_model/psa.cols` stripe passes plus
 /// one exposed pipelined-adder latency (Fig 4.3).
 pub fn mm1_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
     let psa = cfg.psa_engine();
     let dk = cfg.model.d_k();
     let stripes = (cfg.model.d_model / cfg.psa.cols).max(1) as u64;
-    Cycles(psa.cycles(s, cfg.psa.cols, dk).get() * stripes) + cfg.adder.cycles(s, dk)
+    Cycles(psa.cycles(s, cfg.psa.cols, dk).get() * stripes)
+        + cfg.adder.cycles(s, dk)
+        + integrity_overhead(cfg, cfg.psa.cols, dk, stripes)
 }
 
 /// Cycles of MM2 (= MM3): the small product padded to the PSA width
@@ -91,7 +106,8 @@ pub fn mm2_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
     let psa = cfg.psa_engine();
     let w = cfg.psa.cols;
     // both the inner dim and output width are padded up to the PSA width
-    psa.cycles(s, w.max(cfg.model.d_k()), w.max(s.min(w)))
+    let (m, n) = (w.max(cfg.model.d_k()), w.max(s.min(w)));
+    psa.cycles(s, m, n) + integrity_overhead(cfg, m, n, 1)
 }
 
 /// Cycles of MM3 — identical shape to MM2 after padding.
@@ -106,7 +122,7 @@ pub fn mm4_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
     let psa = cfg.psa_engine();
     let d = cfg.model.d_model;
     let slice_m = d / cfg.n_psas;
-    psa.cycles(s, slice_m, d) + cfg.adder.cycles(s, d)
+    psa.cycles(s, slice_m, d) + cfg.adder.cycles(s, d) + integrity_overhead(cfg, slice_m, d, 1)
 }
 
 /// Cycles of MM5 over the whole pool (Fig 4.6): per SLR the `512×1024`
@@ -119,7 +135,7 @@ pub fn mm5_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
     // i.e. (s×256)·(256×512) in the paper's dimensions.
     let inner = d / 2;
     let out = dff / cfg.psas_per_slr;
-    psa.cycles(s, inner, out) + cfg.adder.cycles(s, out)
+    psa.cycles(s, inner, out) + cfg.adder.cycles(s, out) + integrity_overhead(cfg, inner, out, 1)
 }
 
 /// Cycles of MM6 over the whole pool (Fig 4.7): like MM5 plus the cross-SLR
@@ -132,7 +148,11 @@ pub fn mm6_cycles(cfg: &AccelConfig, s: usize) -> Cycles {
     let inner = dff / cfg.n_psas; // 2048/8 = 256 per PSA chunk
     let isc = asr_fpga_sim::isc::IscSpec::u50();
     let crossing = Cycles(isc.transfer_cycles((s * d) as u64 * 4));
-    psa.cycles(s, inner, d) + cfg.adder.cycles(s, d) + crossing + cfg.adder.cycles(s, d)
+    psa.cycles(s, inner, d)
+        + cfg.adder.cycles(s, d)
+        + crossing
+        + cfg.adder.cycles(s, d)
+        + integrity_overhead(cfg, inner, d, 1)
 }
 
 /// Cycle cost of a kind at sequence length `s` under the shipped routing.
@@ -224,6 +244,27 @@ mod tests {
         for kind in MmKind::ALL {
             assert!(mm_cycles(kind, &c, 32) >= mm_cycles(kind, &c, 4), "{:?} not monotone", kind);
         }
+    }
+
+    #[test]
+    fn integrity_checks_cost_cycles_but_off_is_free() {
+        use asr_systolic::abft::IntegrityLevel;
+        let off = cfg();
+        let mut detect = cfg();
+        detect.integrity = IntegrityLevel::Detect;
+        for kind in MmKind::ALL {
+            let base = mm_cycles(kind, &off, 32);
+            let checked = mm_cycles(kind, &detect, 32);
+            assert!(checked > base, "{:?}: ABFT pass must cost cycles", kind);
+            // the checksum row rides the existing wave structure: well under
+            // one extra wave-set per pass
+            assert!(checked.get() < base.get() * 2, "{:?}: overhead out of range", kind);
+        }
+        // DetectAndRecompute budgets the same checksum pass; recompute cycles
+        // are charged per detected tile at execution time, not statically.
+        let mut dr = cfg();
+        dr.integrity = IntegrityLevel::DetectAndRecompute;
+        assert_eq!(mm_cycles(MmKind::Mm4, &dr, 32), mm_cycles(MmKind::Mm4, &detect, 32));
     }
 
     #[test]

@@ -8,12 +8,17 @@
 //! model charges exactly the work the hardware would do.
 
 use crate::config::AccelConfig;
+use asr_systolic::abft::PsaMatmul;
 use asr_tensor::{ops, Matrix};
 
 /// MM1 (Fig 4.3): Input1 split into 8 column stripes, Input2 into 8 row
 /// stripes; pairwise stripe products accumulate through the pipelined adder.
 pub fn mm1_exec(cfg: &AccelConfig, x: &Matrix, w: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm1_exec_with(cfg, &cfg.psa_engine(), x, w)
+}
+
+/// [`mm1_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm1_exec_with(cfg: &AccelConfig, psa: &dyn PsaMatmul, x: &Matrix, w: &Matrix) -> Matrix {
     let stripes = cfg.model.d_model / cfg.psa.cols;
     assert_eq!(x.cols(), cfg.model.d_model, "MM1 input width");
     assert_eq!(w.rows(), cfg.model.d_model, "MM1 weight height");
@@ -29,7 +34,11 @@ pub fn mm1_exec(cfg: &AccelConfig, x: &Matrix, w: &Matrix) -> Matrix {
 /// MM2 (Fig 4.4): `Q · Kᵀ` with both operands zero-padded to the PSA width,
 /// result cropped back to `s × s`.
 pub fn mm2_exec(cfg: &AccelConfig, q: &Matrix, k: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm2_exec_with(cfg, &cfg.psa_engine(), q, k)
+}
+
+/// [`mm2_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm2_exec_with(cfg: &AccelConfig, psa: &dyn PsaMatmul, q: &Matrix, k: &Matrix) -> Matrix {
     let w = cfg.psa.cols;
     let s = q.rows();
     let kt = k.transpose();
@@ -41,7 +50,16 @@ pub fn mm2_exec(cfg: &AccelConfig, q: &Matrix, k: &Matrix) -> Matrix {
 
 /// MM3 (Fig 4.4): `scores · V` padded the same way.
 pub fn mm3_exec(cfg: &AccelConfig, scores: &Matrix, v: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm3_exec_with(cfg, &cfg.psa_engine(), scores, v)
+}
+
+/// [`mm3_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm3_exec_with(
+    cfg: &AccelConfig,
+    psa: &dyn PsaMatmul,
+    scores: &Matrix,
+    v: &Matrix,
+) -> Matrix {
     let w = cfg.psa.cols;
     let s = scores.rows();
     let sp = scores.pad_to(s, w.max(scores.cols()));
@@ -54,7 +72,16 @@ pub fn mm3_exec(cfg: &AccelConfig, scores: &Matrix, v: &Matrix) -> Matrix {
 /// (4 per SLR), the weight into 8 row stripes, one slice per PSA; partial
 /// products accumulate across the pool.
 pub fn mm4_exec(cfg: &AccelConfig, concat: &Matrix, w_a: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm4_exec_with(cfg, &cfg.psa_engine(), concat, w_a)
+}
+
+/// [`mm4_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm4_exec_with(
+    cfg: &AccelConfig,
+    psa: &dyn PsaMatmul,
+    concat: &Matrix,
+    w_a: &Matrix,
+) -> Matrix {
     let n = cfg.n_psas;
     let xs = concat.split_cols(n);
     let ws = w_a.split_rows(n);
@@ -70,7 +97,11 @@ pub fn mm4_exec(cfg: &AccelConfig, concat: &Matrix, w_a: &Matrix) -> Matrix {
 /// one `(s × d/2) · (d/2 × d_ff/4)` block; the per-output-half partials
 /// accumulate and the halves concatenate column-wise.
 pub fn mm5_exec(cfg: &AccelConfig, x: &Matrix, w1: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm5_exec_with(cfg, &cfg.psa_engine(), x, w1)
+}
+
+/// [`mm5_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm5_exec_with(_cfg: &AccelConfig, psa: &dyn PsaMatmul, x: &Matrix, w1: &Matrix) -> Matrix {
     let x_halves = x.split_cols(2);
     let w_row_halves = w1.split_rows(2);
     // each SLR owns one column half of the weights
@@ -93,7 +124,11 @@ pub fn mm5_exec(cfg: &AccelConfig, x: &Matrix, w1: &Matrix) -> Matrix {
 /// SLR), the weight into 8 row chunks; per-SLR partials sum locally, then the
 /// SLR1 partial crosses the ISC and the final accumulation yields `s × d`.
 pub fn mm6_exec(cfg: &AccelConfig, h: &Matrix, w2: &Matrix) -> Matrix {
-    let psa = cfg.psa_engine();
+    mm6_exec_with(cfg, &cfg.psa_engine(), h, w2)
+}
+
+/// [`mm6_exec`] on an explicit PSA engine (e.g. an ABFT-checked one).
+pub fn mm6_exec_with(cfg: &AccelConfig, psa: &dyn PsaMatmul, h: &Matrix, w2: &Matrix) -> Matrix {
     let n = cfg.n_psas;
     let hs = h.split_cols(n);
     let ws = w2.split_rows(n);

@@ -40,6 +40,7 @@ use crate::arch::Architecture;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
 use crate::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
+use crate::integrity::CorruptionCounters;
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 
@@ -284,6 +285,9 @@ pub struct DeviceReport {
     pub health: f64,
     /// Busy seconds (service, failures, and cancelled work all occupy the card).
     pub busy_s: f64,
+    /// Silent-corruption accounting summed over this card's attempts
+    /// (each successful attempt contributes its run's counters).
+    pub corruption: CorruptionCounters,
 }
 
 /// Workload-level results of a serving run.
@@ -315,6 +319,8 @@ pub struct ServeReport {
     pub per_device: Vec<DeviceReport>,
     /// Every request's journey, in submission order.
     pub records: Vec<RequestRecord>,
+    /// Pool-wide silent-corruption accounting (sum over cards).
+    pub corruption: CorruptionCounters,
 }
 
 impl ServeReport {
@@ -352,6 +358,16 @@ impl ServeReport {
             self.p50_latency_s * 1e3,
             self.p99_latency_s * 1e3
         ));
+        if self.corruption.any_injected() {
+            line(format!(
+                "corruption           : {} injected, {} detected, {} refetched, {} recomputed, {} escaped",
+                self.corruption.injected,
+                self.corruption.detected,
+                self.corruption.refetched,
+                self.corruption.recomputed,
+                self.corruption.escaped
+            ));
+        }
         line(format!(
             "{:>6} {:>7} {:>6} {:>6} {:>7} {:>15} {:>7} {:>9}",
             "device", "served", "ok", "fail", "cancel", "breaker(opens)", "health", "busy(ms)"
@@ -424,6 +440,10 @@ struct Device {
     health: f64,
     in_flight: Option<InFlight>,
     outcome: Option<AttemptOutcome>,
+    /// Counters of one run on this card (memoised with `outcome`).
+    run_corruption: CorruptionCounters,
+    /// Counters summed over every attempt dispatched to this card.
+    corruption: CorruptionCounters,
     served: usize,
     completed: usize,
     failed: usize,
@@ -491,6 +511,8 @@ impl ServePool {
                 health: 1.0,
                 in_flight: None,
                 outcome: None,
+                run_corruption: CorruptionCounters::default(),
+                corruption: CorruptionCounters::default(),
                 served: 0,
                 completed: 0,
                 failed: 0,
@@ -767,6 +789,8 @@ impl ServePool {
         let d = &mut self.devices[device];
         d.breaker.on_dispatch(now);
         d.served += 1;
+        let per_run = d.run_corruption;
+        d.corruption.merge(&per_run);
         let attempt_cutoff = self.cfg.attempt_timeout_s.map(|t| now + t).unwrap_or(f64::INFINITY);
         let (finish_s, kind) = match outcome {
             AttemptOutcome::Ok { service_s, quality } => {
@@ -808,13 +832,23 @@ impl ServePool {
             self.devices[device].plan.clone(),
             &self.cfg.policy,
         ) {
-            Ok(run) => AttemptOutcome::Ok {
-                service_s: run.makespan_s,
-                quality: run.runtime.command_stats().success_ratio(),
-            },
+            Ok(run) => {
+                self.devices[device].run_corruption = run.corruption;
+                AttemptOutcome::Ok {
+                    service_s: run.makespan_s,
+                    quality: run.runtime.command_stats().success_ratio(),
+                }
+            }
             Err(AccelError::Unrecoverable { at_s, .. }) => {
                 AttemptOutcome::Fail { fail_after_s: at_s }
             }
+            // A card whose stripes never fetch clean fails each attempt at
+            // the point the CRC budget ran out; repeated integrity failures
+            // then trip its breaker exactly like loud Unrecoverable runs.
+            Err(AccelError::CorruptWeights { at_s, .. }) => {
+                AttemptOutcome::Fail { fail_after_s: at_s }
+            }
+            Err(AccelError::CorruptCompute { .. }) => AttemptOutcome::Fail { fail_after_s: 0.0 },
             // Configuration-level failures were ruled out in `with_plans`;
             // treat anything else as an instant hard failure.
             Err(_) => AttemptOutcome::Fail { fail_after_s: 0.0 },
@@ -864,6 +898,10 @@ impl ServePool {
             }
         };
         let wall_s = self.last_finish_s;
+        let mut corruption = CorruptionCounters::default();
+        for d in &self.devices {
+            corruption.merge(&d.corruption);
+        }
         ServeReport {
             submitted: self.submitted,
             completed,
@@ -889,9 +927,11 @@ impl ServePool {
                     breaker_final: d.breaker.state,
                     health: d.health,
                     busy_s: d.busy_s,
+                    corruption: d.corruption,
                 })
                 .collect(),
             records,
+            corruption,
         }
     }
 }
@@ -1048,6 +1088,73 @@ mod tests {
                 other => panic!("unexpected outcome {:?}", other),
             }
         }
+    }
+
+    #[test]
+    fn persistent_silent_corruption_trips_the_breaker_at_detect() {
+        use asr_systolic::abft::IntegrityLevel;
+        // Card 1's stripes never fetch clean. At `Detect` every attempt on
+        // it fails typed (CorruptWeights) once the refetch budget runs out;
+        // the serving tier must quarantine the card and route around it.
+        let mut c = cfg(2, 0, 50.0, 0.2);
+        c.accel.integrity = IntegrityLevel::Detect;
+        c.requests = 40;
+        let plans = vec![
+            FaultPlan::none(),
+            FaultPlan::none().with(FaultKind::HbmBitFlip {
+                label: "LW".into(),
+                word: 9,
+                bit: 3,
+                failing_attempts: u32::MAX,
+            }),
+        ];
+        let mut pool = ServePool::with_plans(c, plans).unwrap();
+        for i in 0..40usize {
+            let _ = pool.submit(i as f64 / 50.0);
+        }
+        let report = pool.drain();
+        assert!(
+            report.success_ratio() >= 0.90,
+            "success {:.3} with a corrupt card",
+            report.success_ratio()
+        );
+        assert!(report.failed_over > 0, "integrity failures must be re-routed");
+        let bad = &report.per_device[1];
+        assert!(bad.breaker_opens >= 1, "repeated integrity failures must open the breaker");
+        assert_eq!(bad.completed, 0, "no attempt on the corrupt card may complete");
+        assert!(report.per_device[0].completed > 0);
+    }
+
+    #[test]
+    fn transient_corruption_is_scrubbed_and_reported() {
+        use asr_systolic::abft::IntegrityLevel;
+        // Card 1 delivers corrupt stripes on the first two fetches of every
+        // load; CRC refetch scrubs them, everything completes, and the
+        // report carries the corruption section with zero escapes.
+        let mut c = cfg(2, 0, 40.0, 0.5);
+        c.accel.integrity = IntegrityLevel::DetectAndRecompute;
+        c.requests = 30;
+        let plans = vec![
+            FaultPlan::none(),
+            FaultPlan::none().with(FaultKind::DmaCorruption {
+                label: "LW".into(),
+                word: 42,
+                xor: 0x11,
+                failing_attempts: 2,
+            }),
+        ];
+        let mut pool = ServePool::with_plans(c, plans).unwrap();
+        for i in 0..30usize {
+            let _ = pool.submit(i as f64 / 40.0);
+        }
+        let report = pool.drain();
+        assert_eq!(report.completed, report.submitted);
+        assert!(report.corruption.any_injected(), "the corrupt card must be exercised");
+        assert_eq!(report.corruption.escaped, 0);
+        assert_eq!(report.corruption.detected, report.corruption.injected);
+        assert!(report.per_device[1].corruption.refetched > 0);
+        assert_eq!(report.per_device[0].corruption, CorruptionCounters::default());
+        assert!(report.render().contains("corruption"));
     }
 
     #[test]

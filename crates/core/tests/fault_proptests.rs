@@ -4,10 +4,14 @@
 
 use asr_accel::arch::{layer_bytes, simulate};
 use asr_accel::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
+use asr_accel::integrity::{load_model_with_faults, FunctionalFaults, StripeCorruption};
 use asr_accel::schedule;
 use asr_accel::serve;
-use asr_accel::{AccelConfig, Architecture};
+use asr_accel::{AccelConfig, Architecture, CorruptionCounters};
 use asr_fpga_sim::{FaultKind, FaultPlan};
+use asr_systolic::abft::IntegrityLevel;
+use asr_transformer::weights::ModelWeights;
+use asr_transformer::TransformerConfig;
 use proptest::prelude::*;
 
 /// Strategy: a valid accelerator configuration with randomized PSA shape,
@@ -179,5 +183,58 @@ proptest! {
                 other => prop_assert!(false, "unexpected outcome {:?}", other),
             }
         }
+    }
+
+    // Satellite (b), CRC half: ANY transient single-byte corruption of any
+    // weight stripe is caught by the CRC envelope *before compute* — the
+    // Detect-level load refetches until the model is bit-identical to a
+    // clean load, with every injection accounted for — while the same fault
+    // at Off flows straight into the datapath.
+    #[test]
+    fn transient_stripe_corruption_always_refetches_to_a_bit_identical_model(
+        seed in 0u64..100,
+        stripe_sel in 0usize..1_000_000,
+        word in 0usize..4096,
+        byte_in_word in 0u8..3,
+        xor in 1u8..=255,
+        failing_fetches in 1u32..=3,
+    ) {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, seed);
+        let n_stripes = w.matrices().len();
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: stripe_sel % n_stripes,
+                word,
+                byte_in_word,
+                xor,
+                failing_fetches,
+            }],
+            lane: None,
+        };
+
+        let mut clean_c = CorruptionCounters::default();
+        let clean = load_model_with_faults(
+            &w, &FunctionalFaults::none(), IntegrityLevel::Detect, &mut clean_c,
+        ).unwrap();
+        prop_assert_eq!(clean_c, CorruptionCounters::default());
+
+        // Detect: every corrupted fetch is seen by the CRC and retried; the
+        // model that reaches compute is bit-identical to the clean load.
+        let mut c = CorruptionCounters::default();
+        let loaded = load_model_with_faults(&w, &faults, IntegrityLevel::Detect, &mut c).unwrap();
+        prop_assert_eq!(&loaded, &clean, "scrubbed load diverged from the clean load");
+        prop_assert_eq!(c.injected, failing_fetches as u64);
+        prop_assert_eq!(c.detected, failing_fetches as u64);
+        prop_assert_eq!(c.refetched, failing_fetches as u64);
+        prop_assert_eq!(c.escaped, 0);
+
+        // Off: the same fault escapes into the weights unnoticed.
+        let mut c0 = CorruptionCounters::default();
+        let off = load_model_with_faults(&w, &faults, IntegrityLevel::Off, &mut c0).unwrap();
+        prop_assert_eq!(c0.injected, 1);
+        prop_assert_eq!(c0.escaped, 1);
+        prop_assert_eq!(c0.detected, 0);
+        prop_assert!(off != clean, "mantissa corruption must change the loaded weights");
     }
 }

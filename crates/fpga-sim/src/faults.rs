@@ -23,6 +23,16 @@
 //!   onward: every later command on the dead unit fails instantly (or, for
 //!   channel degradation, runs slower). Retrying is pointless; the host must
 //!   degrade — see `asr-accel::host_runtime::run_with_recovery`.
+//! * **Silent** ([`FaultKind::HbmBitFlip`], [`FaultKind::DmaCorruption`],
+//!   [`FaultKind::PsaStickyLane`]) — the command *completes normally* but the
+//!   data is wrong: a flipped bit in a loaded weight stripe, a corrupted DMA
+//!   payload byte, or a PSA lane whose accumulator output is stuck offset.
+//!   Nothing in the runtime's status path reports them; only the integrity
+//!   layer (CRC stripe envelope + ABFT checksums, DESIGN.md §9) can notice.
+//!   The recoverability contract extends to them: every drawn silent fault is
+//!   detectable by those checks (bit flips stay within the CRC's guaranteed
+//!   detection classes, sticky-lane deltas are far above the ABFT tolerance)
+//!   and clears within two refetch attempts.
 
 use serde::{Deserialize, Serialize};
 
@@ -92,6 +102,46 @@ pub enum FaultKind {
         /// Global HBM-load ordinal (0-based) at which degradation begins.
         from_load: usize,
     },
+    /// *Silent*: one bit of one `f32` word in a loaded weight stripe flips in
+    /// HBM. The load completes with nominal timing and `Completed` status —
+    /// only a stripe CRC check can see it. Strikes loads whose label contains
+    /// `label` for the first `failing_attempts` attempts (a refetch reads a
+    /// clean copy once the transient upset has been scrubbed).
+    HbmBitFlip {
+        /// Substring matched against the command label.
+        label: String,
+        /// Word index into the stripe (applied modulo the stripe length).
+        word: usize,
+        /// Bit within the word (0..=22: mantissa bits, so the corrupted
+        /// value stays finite and slips past NaN/Inf guards).
+        bit: u8,
+        /// Attempts whose payload arrives corrupted.
+        failing_attempts: u32,
+    },
+    /// *Silent*: a DMA burst delivers one corrupted payload byte (the low
+    /// mantissa byte of word `word` is XORed with `xor`). Completes normally;
+    /// detectable only by the stripe CRC envelope.
+    DmaCorruption {
+        /// Substring matched against the command label.
+        label: String,
+        /// Word index into the stripe (applied modulo the stripe length).
+        word: usize,
+        /// Non-zero XOR mask applied to the word's low mantissa byte.
+        xor: u8,
+        /// Attempts whose payload arrives corrupted.
+        failing_attempts: u32,
+    },
+    /// *Silent*: a sticky arithmetic fault in one PSA column lane — every
+    /// output element the lane produces is offset by `delta`. Kernels still
+    /// report success; only an ABFT checksum column over the product can see
+    /// it, and only block-level recompute can repair it.
+    PsaStickyLane {
+        /// Column lane index (0-based, < PSA columns).
+        lane: usize,
+        /// Additive offset on the lane's accumulator output (finite, > 0,
+        /// and far above the ABFT detection tolerance).
+        delta: f32,
+    },
 }
 
 impl FaultKind {
@@ -105,7 +155,22 @@ impl FaultKind {
             FaultKind::EngineDropout { .. } => "engine-dropout",
             FaultKind::SlrDropout { .. } => "slr-dropout",
             FaultKind::ChannelDegrade { .. } => "channel-degrade",
+            FaultKind::HbmBitFlip { .. } => "hbm-bit-flip",
+            FaultKind::DmaCorruption { .. } => "dma-corruption",
+            FaultKind::PsaStickyLane { .. } => "psa-sticky-lane",
         }
+    }
+
+    /// True for faults that corrupt data while the command still reports
+    /// success — invisible to the status path, visible only to integrity
+    /// checks.
+    pub fn is_silent(&self) -> bool {
+        matches!(
+            self,
+            FaultKind::HbmBitFlip { .. }
+                | FaultKind::DmaCorruption { .. }
+                | FaultKind::PsaStickyLane { .. }
+        )
     }
 }
 
@@ -131,6 +196,12 @@ pub struct FaultProfile {
     pub p_slr_dropout: f64,
     /// Probability a channel degradation is drawn.
     pub p_channel_degrade: f64,
+    /// Probability a silent HBM bit flip is drawn.
+    pub p_bit_flip: f64,
+    /// Probability a silent DMA payload corruption is drawn.
+    pub p_dma_corrupt: f64,
+    /// Probability a sticky PSA lane fault is drawn.
+    pub p_psa_sticky: f64,
     /// Ordinal range faults are placed in (commands 0..span).
     pub span: usize,
 }
@@ -144,6 +215,29 @@ impl Default for FaultProfile {
             p_engine_dropout: 0.35,
             p_slr_dropout: 0.25,
             p_channel_degrade: 0.35,
+            p_bit_flip: 0.4,
+            p_dma_corrupt: 0.3,
+            p_psa_sticky: 0.3,
+            span: 24,
+        }
+    }
+}
+
+impl FaultProfile {
+    /// A profile that draws *only* silent faults, each with certainty — used
+    /// to exercise the integrity path without the loud-fault recovery ladder
+    /// interleaving.
+    pub fn silent_only() -> Self {
+        FaultProfile {
+            p_load_error: 0.0,
+            p_stall: 0.0,
+            p_hang: 0.0,
+            p_engine_dropout: 0.0,
+            p_slr_dropout: 0.0,
+            p_channel_degrade: 0.0,
+            p_bit_flip: 1.0,
+            p_dma_corrupt: 1.0,
+            p_psa_sticky: 1.0,
             span: 24,
         }
     }
@@ -240,7 +334,42 @@ impl FaultPlan {
             let from = (rng.next() as usize) % span;
             plan.push(FaultKind::ChannelDegrade { lost: 1, from_load: from });
         }
+        // Silent faults are drawn after every loud class so that adding them
+        // did not perturb which loud faults a given seed produces.
+        if rng.chance(profile.p_bit_flip) {
+            let attempts = 1 + (rng.next() % 2) as u32; // 1..=2 corrupt fetches
+            let word = (rng.next() % 4096) as usize;
+            let bit = (rng.next() % 23) as u8; // mantissa-only: value stays finite
+            plan.push(FaultKind::HbmBitFlip {
+                label: "LW".into(),
+                word,
+                bit,
+                failing_attempts: attempts,
+            });
+        }
+        if rng.chance(profile.p_dma_corrupt) {
+            let attempts = 1 + (rng.next() % 2) as u32;
+            let word = (rng.next() % 4096) as usize;
+            let xor = 1 + (rng.next() % 255) as u8; // never zero: always corrupts
+            plan.push(FaultKind::DmaCorruption {
+                label: "LW".into(),
+                word,
+                xor,
+                failing_attempts: attempts,
+            });
+        }
+        if rng.chance(profile.p_psa_sticky) {
+            let lane = (rng.next() % 64) as usize;
+            let delta = 0.5 + (rng.next() % 8) as f32 * 0.5; // 0.5..=4.0 ≫ ABFT tolerance
+            plan.push(FaultKind::PsaStickyLane { lane, delta });
+        }
         plan
+    }
+
+    /// True when the plan contains at least one silent (data-corrupting)
+    /// fault.
+    pub fn has_silent_faults(&self) -> bool {
+        self.faults.iter().any(FaultKind::is_silent)
     }
 }
 
@@ -271,9 +400,53 @@ mod tests {
                     FaultKind::EngineDropout { queue, .. } => assert_eq!(queue, "maxi-1"),
                     FaultKind::SlrDropout { slr, .. } => assert_eq!(*slr, 1),
                     FaultKind::ChannelDegrade { lost, .. } => assert!(*lost < 2),
+                    FaultKind::HbmBitFlip { bit, failing_attempts, .. } => {
+                        // Mantissa-only flip (stays finite → truly silent) and
+                        // clears within two refetches.
+                        assert!(*bit <= 22, "seed {}: {:?}", seed, f);
+                        assert!(*failing_attempts <= 2, "seed {}: {:?}", seed, f);
+                    }
+                    FaultKind::DmaCorruption { xor, failing_attempts, .. } => {
+                        assert_ne!(*xor, 0, "seed {}: zero XOR never corrupts", seed);
+                        assert!(*failing_attempts <= 2, "seed {}: {:?}", seed, f);
+                    }
+                    FaultKind::PsaStickyLane { lane, delta } => {
+                        // Within the 2×64 PSA and far above the ABFT tolerance.
+                        assert!(*lane < 64, "seed {}: {:?}", seed, f);
+                        assert!(delta.is_finite() && *delta >= 0.5, "seed {}: {:?}", seed, f);
+                    }
                 }
             }
         }
+    }
+
+    #[test]
+    fn silent_draws_do_not_perturb_loud_draws() {
+        // Appending the silent classes must not have changed which loud
+        // faults a seed produces: drawing with all-silent probabilities at
+        // zero reproduces the loud prefix of the default plan exactly.
+        let loud_only = FaultProfile {
+            p_bit_flip: 0.0,
+            p_dma_corrupt: 0.0,
+            p_psa_sticky: 0.0,
+            ..FaultProfile::default()
+        };
+        for seed in 0..64u64 {
+            let full = FaultPlan::seeded(seed);
+            let loud: Vec<_> = full.faults().iter().filter(|f| !f.is_silent()).cloned().collect();
+            assert_eq!(FaultPlan::seeded_with(seed, &loud_only).faults(), &loud[..]);
+        }
+    }
+
+    #[test]
+    fn silent_only_profile_draws_all_three_classes() {
+        for seed in [0u64, 1, 7, 42] {
+            let plan = FaultPlan::seeded_with(seed, &FaultProfile::silent_only());
+            assert_eq!(plan.faults().len(), 3);
+            assert!(plan.faults().iter().all(FaultKind::is_silent));
+            assert!(plan.has_silent_faults());
+        }
+        assert!(!FaultPlan::none().has_silent_faults());
     }
 
     #[test]

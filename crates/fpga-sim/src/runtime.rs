@@ -83,6 +83,10 @@ impl CommandStatus {
 struct EventInfo {
     finish_s: f64,
     status: CommandStatus,
+    /// Tag of the silent fault that corrupted this command's payload, if
+    /// any. The status still reads `Completed` — that is what makes the
+    /// fault silent; only an integrity check (CRC envelope) can observe it.
+    corrupt: Option<&'static str>,
 }
 
 /// Aggregate [`CommandStatus`] outcomes of everything a runtime enqueued —
@@ -370,6 +374,7 @@ impl Runtime {
             self.events.push(EventInfo {
                 finish_s: ready,
                 status: CommandStatus::Failed(FailureCause::Dependency),
+                corrupt: None,
             });
             return Event(self.events.len() - 1);
         }
@@ -433,8 +438,43 @@ impl Runtime {
             }
         }
 
-        self.events.push(EventInfo { finish_s: end, status });
+        // A command that completed may still carry a corrupted payload: a
+        // silent fault leaves timing and status untouched by design.
+        let corrupt =
+            if status.is_ok() { self.silent_corruption(&label, class, attempt) } else { None };
+
+        self.events.push(EventInfo { finish_s: end, status, corrupt });
         Event(self.events.len() - 1)
+    }
+
+    /// The first silent fault whose label/class/attempt window covers this
+    /// command. Silent faults never alter timing or status, so this is
+    /// consulted only to tag the event's payload as corrupt.
+    fn silent_corruption(
+        &self,
+        label: &str,
+        class: CmdClass,
+        attempt: u32,
+    ) -> Option<&'static str> {
+        if !matches!(class, CmdClass::HbmLoad | CmdClass::PcieTransfer) {
+            return None;
+        }
+        for f in self.plan.faults() {
+            match f {
+                FaultKind::HbmBitFlip { label: l, failing_attempts, .. }
+                    if label.contains(l.as_str()) && attempt <= *failing_attempts =>
+                {
+                    return Some("hbm-bit-flip");
+                }
+                FaultKind::DmaCorruption { label: l, failing_attempts, .. }
+                    if label.contains(l.as_str()) && attempt <= *failing_attempts =>
+                {
+                    return Some("dma-corruption");
+                }
+                _ => {}
+            }
+        }
+        None
     }
 
     /// Enqueue a host → device DMA of the whole buffer over PCIe.
@@ -511,6 +551,18 @@ impl Runtime {
     /// Terminal status of an enqueued command.
     pub fn status(&self, ev: Event) -> CommandStatus {
         self.events[ev.0].status
+    }
+
+    /// True when the command completed but a silent fault corrupted its
+    /// payload. The status path cannot see this — a host that never asks
+    /// (integrity off) computes on the wrong bits.
+    pub fn payload_corrupt(&self, ev: Event) -> bool {
+        self.events[ev.0].corrupt.is_some()
+    }
+
+    /// Tag of the silent fault that corrupted this command's payload.
+    pub fn corruption_tag(&self, ev: Event) -> Option<&'static str> {
+        self.events[ev.0].corrupt
     }
 
     /// Aggregate outcome counts over every command enqueued so far.
@@ -819,6 +871,52 @@ mod tests {
         assert_eq!(stats, CommandStats { completed: 2, failed: 2, timed_out: 1 });
         assert_eq!(stats.total(), 5);
         assert!((stats.success_ratio() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn silent_bit_flip_completes_with_nominal_timing_but_corrupt_payload() {
+        let plan = FaultPlan::none().with(FaultKind::HbmBitFlip {
+            label: "LW1".into(),
+            word: 17,
+            bit: 4,
+            failing_attempts: 1,
+        });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("maxi-0");
+        let ev = rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+        // Status and timing are exactly the fault-free ones...
+        assert!(rt.status(ev).is_ok());
+        let dev = alveo_u50();
+        assert!((rt.finish_time(ev) - dev.hbm.read_time_s(12_600_000, 2)).abs() < 1e-12);
+        // ...no fault marker appears on the timeline (it is *silent*)...
+        assert!(rt.timeline().unit_spans(FAULT_UNIT).is_empty());
+        // ...but the payload is flagged corrupt for whoever asks.
+        assert!(rt.payload_corrupt(ev));
+        assert_eq!(rt.corruption_tag(ev), Some("hbm-bit-flip"));
+        // The refetch reads a clean copy.
+        let ev2 = rt.enqueue_hbm_load(q, "LW1", 12_600_000, 2, &[]);
+        assert!(rt.status(ev2).is_ok());
+        assert!(!rt.payload_corrupt(ev2));
+    }
+
+    #[test]
+    fn dma_corruption_marks_pcie_transfers_too() {
+        let plan = FaultPlan::none().with(FaultKind::DmaCorruption {
+            label: "write".into(),
+            word: 3,
+            xor: 0x40,
+            failing_attempts: 1,
+        });
+        let mut rt = Runtime::with_faults(alveo_u50(), plan);
+        let q = rt.create_queue("pcie-dma");
+        let buf = rt.create_buffer("weights", 1 << 20).unwrap();
+        let ev = rt.enqueue_write(q, buf, &[]);
+        assert!(rt.status(ev).is_ok());
+        assert_eq!(rt.corruption_tag(ev), Some("dma-corruption"));
+        // Kernels are never payload-corrupted by DMA faults.
+        let k = rt.create_queue("kernels");
+        let ck = rt.enqueue_kernel(k, "write-back", SlrId::Slr0, 1e-3, &[ev]);
+        assert!(!rt.payload_corrupt(ck));
     }
 
     #[test]

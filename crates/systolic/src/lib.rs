@@ -17,6 +17,12 @@
 //!   the MM1/MM4/MM5/MM6 decomposition scheme (Figs 4.3, 4.5–4.7).
 //! * [`adder`] — the `s × 64` pipelined element-wise adder blocks.
 
+//! * [`abft`] — Huang–Abraham checksum protection over the PSA tiles: the
+//!   [`abft::IntegrityLevel`] knob, the [`abft::CheckedPsa`] engine with
+//!   per-tile detection and localized recompute, and the extra-cycle
+//!   accounting for the latency model (DESIGN.md §9).
+
+pub mod abft;
 pub mod adder;
 pub mod grid;
 pub mod psa;
@@ -24,6 +30,7 @@ pub mod psa_stepped;
 pub mod quant_psa;
 pub mod stripes;
 
+pub use abft::{AbftStats, CheckedPsa, IntegrityLevel, LaneFault, PsaMatmul};
 pub use adder::PipelinedAdder;
 pub use grid::SystolicGrid;
 pub use psa::{Psa, PsaConfig};

@@ -111,26 +111,39 @@ impl Psa {
             b.rows(),
             b.cols()
         );
-        let (l, m) = a.shape();
+        let l = a.rows();
         let n = b.cols();
         let mut out = Matrix::zeros(l, n);
         for j0 in (0..n).step_by(self.config.cols) {
             let je = (j0 + self.config.cols).min(n);
-            for i0 in (0..l).step_by(self.config.rows) {
-                let ie = (i0 + self.config.rows).min(l);
-                for i in i0..ie {
-                    let arow = a.row(i);
-                    let orow = &mut out.row_mut(i)[j0..je];
-                    for (k, &aik) in arow.iter().enumerate().take(m) {
-                        let brow = &b.row(k)[j0..je];
-                        for (o, &bv) in orow.iter_mut().zip(brow) {
-                            *o += aik * bv;
-                        }
+            self.matmul_region(a, b, &mut out, j0, je);
+        }
+        out
+    }
+
+    /// Compute one column tile `[j0, je)` of the product into `out`, with the
+    /// hardware accumulation order (row waves of height `b`, sequential `k`).
+    ///
+    /// This is the PSA's block primitive: `matmul` is exactly a loop of these
+    /// over the column tiles, and the ABFT recompute path re-runs a single
+    /// failing tile through the same code — so a recomputed tile is
+    /// bit-identical to a clean run by construction.
+    pub fn matmul_region(&self, a: &Matrix, b: &Matrix, out: &mut Matrix, j0: usize, je: usize) {
+        let (l, m) = a.shape();
+        debug_assert!(je <= b.cols() && j0 < je, "bad tile [{}, {})", j0, je);
+        for i0 in (0..l).step_by(self.config.rows) {
+            let ie = (i0 + self.config.rows).min(l);
+            for i in i0..ie {
+                let arow = a.row(i);
+                let orow = &mut out.row_mut(i)[j0..je];
+                for (k, &aik) in arow.iter().enumerate().take(m) {
+                    let brow = &b.row(k)[j0..je];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += aik * bv;
                     }
                 }
             }
         }
-        out
     }
 
     /// Functional product plus the modeled cycle cost — the pair the

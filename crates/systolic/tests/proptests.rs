@@ -1,6 +1,11 @@
 //! Property tests: the systolic engines are exact matmuls with lawful timing.
 
-use asr_systolic::{striped_matmul, PipelinedAdder, Psa, PsaConfig, SystolicGrid};
+#![recursion_limit = "4096"]
+
+use asr_systolic::{
+    striped_matmul, CheckedPsa, IntegrityLevel, LaneFault, PipelinedAdder, Psa, PsaConfig,
+    SystolicGrid,
+};
 use asr_tensor::{init, max_abs_diff, ops};
 use proptest::prelude::*;
 
@@ -98,5 +103,35 @@ proptest! {
         let fp32 = Psa::paper_default();
         let q = asr_systolic::quant_psa::Int8Psa::from_fp32(PsaConfig::paper_default());
         prop_assert!(q.cycles(l, m, n) <= fp32.cycles(l, m, n));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn abft_detects_any_single_lane_fault(
+        lane in 0usize..64, l in 1usize..12, m in 1usize..96, n in 1usize..160
+    ) {
+        // ABFT detects any single sticky lane fault within one block: every
+        // corrupted tile's checksum mismatches, and localized recompute
+        // restores the clean bits exactly. Delta sweeps the seeded range.
+        let psa = Psa::paper_default();
+        let delta = 0.5 + (lane % 8) as f32 * 0.5;
+        let seed = (lane * 131 + l * 17 + m * 3 + n) as u64;
+        let a = init::uniform(l, m, -1.0, 1.0, seed);
+        let b = init::uniform(m, n, -1.0, 1.0, seed + 1);
+        let clean = psa.matmul(&a, &b);
+        let eng = CheckedPsa::with_fault(
+            psa,
+            IntegrityLevel::DetectAndRecompute,
+            Some(LaneFault { lane, delta }),
+        );
+        let repaired = asr_systolic::PsaMatmul::matmul(&eng, &a, &b);
+        let stats = eng.stats();
+        // The lane corrupts a tile iff it lands inside the tile's width.
+        prop_assert_eq!(stats.detected, stats.corrupted_tiles);
+        prop_assert_eq!(stats.recomputed, stats.corrupted_tiles);
+        prop_assert_eq!(repaired, clean);
     }
 }

@@ -21,6 +21,7 @@
 pub mod activations;
 pub mod approx;
 pub mod backend;
+pub mod crc32;
 pub mod init;
 pub mod matrix;
 pub mod norm;
@@ -31,4 +32,5 @@ pub mod stats;
 
 pub use approx::{assert_close, max_abs_diff, relative_close};
 pub use backend::MatMul;
+pub use crc32::crc32;
 pub use matrix::Matrix;

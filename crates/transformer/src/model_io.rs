@@ -3,21 +3,27 @@
 //! The paper's host uploads a trained checkpoint to HBM once and streams it
 //! layer by layer; a deployable library therefore needs a compact on-disk
 //! weight format. This is a simple versioned little-endian container built
-//! on the `bytes` crate: magic, version, config header, then every matrix as
-//! `(rows: u32, cols: u32, f32 payload)` in a fixed traversal order.
+//! on the `bytes` crate: magic, version, config header, a CRC-32 table with
+//! one entry per stored matrix (the integrity envelope of DESIGN.md §9,
+//! computed at export time), then every matrix as
+//! `(rows: u32, cols: u32, f32 payload)` in a fixed traversal order. Every
+//! matrix record is verified against its stored CRC on load, so a corrupted
+//! checkpoint fails typed instead of producing silently wrong weights.
 
 use crate::config::TransformerConfig;
 use crate::weights::{
     AttentionWeights, DecoderWeights, EncoderWeights, FfnWeights, LayerNormWeights, ModelWeights,
 };
+use asr_tensor::crc32::Crc32;
 use asr_tensor::Matrix;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
 
 /// File magic: "TASR".
 const MAGIC: u32 = 0x5441_5352;
-/// Format version.
-const VERSION: u32 = 1;
+/// Format version. v2 added the per-stripe CRC table; v1 files (no
+/// checksums) are rejected rather than trusted.
+const VERSION: u32 = 2;
 
 /// Serialization / deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,6 +36,23 @@ pub enum IoError {
     Truncated,
     /// A matrix header was inconsistent.
     BadShape(u32, u32),
+    /// The stored stripe-CRC table does not cover every matrix the config
+    /// header promises (missing or malformed table).
+    MissingCrcs {
+        /// Entries the config header requires.
+        expected: u32,
+        /// Entries the file stores.
+        found: u32,
+    },
+    /// A matrix record's payload does not match its stored CRC.
+    CrcMismatch {
+        /// Index of the failing record in traversal order.
+        stripe: u32,
+        /// CRC stored in the table.
+        stored: u32,
+        /// CRC computed over the record as read.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -39,6 +62,14 @@ impl fmt::Display for IoError {
             IoError::BadVersion(v) => write!(f, "unsupported version {}", v),
             IoError::Truncated => write!(f, "truncated payload"),
             IoError::BadShape(r, c) => write!(f, "bad matrix shape {}x{}", r, c),
+            IoError::MissingCrcs { expected, found } => {
+                write!(f, "stripe CRC table has {} entries, config requires {}", found, expected)
+            }
+            IoError::CrcMismatch { stripe, stored, computed } => write!(
+                f,
+                "stripe {} CRC mismatch: stored 0x{:08x}, computed 0x{:08x}",
+                stripe, stored, computed
+            ),
         }
     }
 }
@@ -48,6 +79,43 @@ impl std::error::Error for IoError {}
 /// Hard cap on a single matrix side, to reject corrupt headers early.
 const MAX_DIM: u32 = 1 << 20;
 
+/// Number of matrix records (and therefore CRC-table entries) a checkpoint
+/// with this configuration must contain, in traversal order.
+fn stripe_count(cfg: &TransformerConfig) -> u32 {
+    let att = 6 * cfg.n_heads + 2;
+    (cfg.n_encoders * (att + 8) + cfg.n_decoders * (2 * att + 10) + 3) as u32
+}
+
+/// CRC-32 over a matrix record exactly as it is laid out on disk:
+/// `rows_le || cols_le || f32-LE payload`.
+fn matrix_record_crc(m: &Matrix) -> u32 {
+    let mut crc = Crc32::new();
+    crc.update(&(m.rows() as u32).to_le_bytes());
+    crc.update(&(m.cols() as u32).to_le_bytes());
+    for &x in m.as_slice() {
+        crc.update(&x.to_le_bytes());
+    }
+    crc.finalize()
+}
+
+/// Stored CRC table being consumed record-by-record during deserialization.
+struct CrcTable {
+    crcs: Vec<u32>,
+    next: usize,
+}
+
+impl CrcTable {
+    fn verify(&mut self, computed: u32) -> Result<(), IoError> {
+        let stripe = self.next as u32;
+        let stored = self.crcs[self.next];
+        self.next += 1;
+        if stored != computed {
+            return Err(IoError::CrcMismatch { stripe, stored, computed });
+        }
+        Ok(())
+    }
+}
+
 fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     buf.put_u32_le(m.rows() as u32);
     buf.put_u32_le(m.cols() as u32);
@@ -56,7 +124,7 @@ fn put_matrix(buf: &mut BytesMut, m: &Matrix) {
     }
 }
 
-fn get_matrix(buf: &mut Bytes) -> Result<Matrix, IoError> {
+fn get_matrix(buf: &mut Bytes, table: &mut CrcTable) -> Result<Matrix, IoError> {
     if buf.remaining() < 8 {
         return Err(IoError::Truncated);
     }
@@ -69,9 +137,16 @@ fn get_matrix(buf: &mut Bytes) -> Result<Matrix, IoError> {
     if buf.remaining() < n * 4 {
         return Err(IoError::Truncated);
     }
+    let mut payload = vec![0u8; n * 4];
+    buf.copy_to_slice(&mut payload);
+    let mut crc = Crc32::new();
+    crc.update(&rows.to_le_bytes());
+    crc.update(&cols.to_le_bytes());
+    crc.update(&payload);
+    table.verify(crc.finalize())?;
     let mut data = Vec::with_capacity(n);
-    for _ in 0..n {
-        data.push(buf.get_f32_le());
+    for chunk in payload.chunks_exact(4) {
+        data.push(f32::from_le_bytes(chunk.try_into().unwrap()));
     }
     Ok(Matrix::from_vec(rows as usize, cols as usize, data))
 }
@@ -86,12 +161,16 @@ fn put_attention(buf: &mut BytesMut, a: &AttentionWeights) {
     put_matrix(buf, &a.b_a);
 }
 
-fn get_attention(buf: &mut Bytes, heads: usize) -> Result<AttentionWeights, IoError> {
+fn get_attention(
+    buf: &mut Bytes,
+    heads: usize,
+    table: &mut CrcTable,
+) -> Result<AttentionWeights, IoError> {
     let mut groups: Vec<Vec<Matrix>> = Vec::with_capacity(6);
     for _ in 0..6 {
         let mut g = Vec::with_capacity(heads);
         for _ in 0..heads {
-            g.push(get_matrix(buf)?);
+            g.push(get_matrix(buf, table)?);
         }
         groups.push(g);
     }
@@ -108,8 +187,8 @@ fn get_attention(buf: &mut Bytes, heads: usize) -> Result<AttentionWeights, IoEr
         b_q,
         b_k,
         b_v,
-        w_a: get_matrix(buf)?,
-        b_a: get_matrix(buf)?,
+        w_a: get_matrix(buf, table)?,
+        b_a: get_matrix(buf, table)?,
     })
 }
 
@@ -120,12 +199,12 @@ fn put_ffn(buf: &mut BytesMut, f: &FfnWeights) {
     put_matrix(buf, &f.b2);
 }
 
-fn get_ffn(buf: &mut Bytes) -> Result<FfnWeights, IoError> {
+fn get_ffn(buf: &mut Bytes, table: &mut CrcTable) -> Result<FfnWeights, IoError> {
     Ok(FfnWeights {
-        w1: get_matrix(buf)?,
-        b1: get_matrix(buf)?,
-        w2: get_matrix(buf)?,
-        b2: get_matrix(buf)?,
+        w1: get_matrix(buf, table)?,
+        b1: get_matrix(buf, table)?,
+        w2: get_matrix(buf, table)?,
+        b2: get_matrix(buf, table)?,
     })
 }
 
@@ -134,8 +213,8 @@ fn put_ln(buf: &mut BytesMut, l: &LayerNormWeights) {
     put_matrix(buf, &l.b);
 }
 
-fn get_ln(buf: &mut Bytes) -> Result<LayerNormWeights, IoError> {
-    Ok(LayerNormWeights { w: get_matrix(buf)?, b: get_matrix(buf)? })
+fn get_ln(buf: &mut Bytes, table: &mut CrcTable) -> Result<LayerNormWeights, IoError> {
+    Ok(LayerNormWeights { w: get_matrix(buf, table)?, b: get_matrix(buf, table)? })
 }
 
 /// Serialize a model's configuration and weights to bytes.
@@ -145,6 +224,14 @@ pub fn to_bytes(cfg: &TransformerConfig, w: &ModelWeights) -> Bytes {
     buf.put_u32_le(VERSION);
     for v in [cfg.n_encoders, cfg.n_decoders, cfg.d_model, cfg.n_heads, cfg.d_ff, cfg.vocab_size] {
         buf.put_u32_le(v as u32);
+    }
+    // Stripe-CRC table: one entry per matrix, computed at export time over
+    // the exact bytes the record serializes to, in traversal order.
+    let stripes = w.matrices();
+    debug_assert_eq!(stripes.len() as u32, stripe_count(cfg));
+    buf.put_u32_le(stripes.len() as u32);
+    for m in &stripes {
+        buf.put_u32_le(matrix_record_crc(m));
     }
     for enc in &w.encoders {
         put_attention(&mut buf, &enc.mha);
@@ -187,32 +274,45 @@ pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), I
         d_ff: buf.get_u32_le() as usize,
         vocab_size: buf.get_u32_le() as usize,
     };
+    let expected = stripe_count(&cfg);
+    if buf.remaining() < 4 {
+        return Err(IoError::Truncated);
+    }
+    let found = buf.get_u32_le();
+    if found != expected {
+        return Err(IoError::MissingCrcs { expected, found });
+    }
+    if buf.remaining() < found as usize * 4 {
+        return Err(IoError::Truncated);
+    }
+    let crcs = (0..found).map(|_| buf.get_u32_le()).collect();
+    let mut table = CrcTable { crcs, next: 0 };
     let mut encoders = Vec::with_capacity(cfg.n_encoders);
     for _ in 0..cfg.n_encoders {
         encoders.push(EncoderWeights {
-            mha: get_attention(&mut buf, cfg.n_heads)?,
-            ln1: get_ln(&mut buf)?,
-            ffn: get_ffn(&mut buf)?,
-            ln2: get_ln(&mut buf)?,
+            mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
+            ln1: get_ln(&mut buf, &mut table)?,
+            ffn: get_ffn(&mut buf, &mut table)?,
+            ln2: get_ln(&mut buf, &mut table)?,
         });
     }
     let mut decoders = Vec::with_capacity(cfg.n_decoders);
     for _ in 0..cfg.n_decoders {
         decoders.push(DecoderWeights {
-            masked_mha: get_attention(&mut buf, cfg.n_heads)?,
-            ln1: get_ln(&mut buf)?,
-            cross_mha: get_attention(&mut buf, cfg.n_heads)?,
-            ln2: get_ln(&mut buf)?,
-            ffn: get_ffn(&mut buf)?,
-            ln3: get_ln(&mut buf)?,
+            masked_mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
+            ln1: get_ln(&mut buf, &mut table)?,
+            cross_mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
+            ln2: get_ln(&mut buf, &mut table)?,
+            ffn: get_ffn(&mut buf, &mut table)?,
+            ln3: get_ln(&mut buf, &mut table)?,
         });
     }
     let weights = ModelWeights {
         encoders,
         decoders,
-        embedding: get_matrix(&mut buf)?,
-        out_proj: get_matrix(&mut buf)?,
-        out_bias: get_matrix(&mut buf)?,
+        embedding: get_matrix(&mut buf, &mut table)?,
+        out_proj: get_matrix(&mut buf, &mut table)?,
+        out_bias: get_matrix(&mut buf, &mut table)?,
     };
     Ok((cfg, weights))
 }
@@ -285,6 +385,68 @@ mod tests {
         let bytes = to_bytes(&cfg, &w);
         let cut = bytes.slice(0..bytes.len() / 2);
         assert!(matches!(from_bytes(cut), Err(IoError::Truncated)));
+    }
+
+    #[test]
+    fn v1_files_without_crc_table_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes(&cfg, &w).to_vec();
+        v[4] = 1; // pretend to be the pre-CRC format
+        assert!(matches!(from_bytes(Bytes::from(v)), Err(IoError::BadVersion(1))));
+    }
+
+    #[test]
+    fn missing_crc_entries_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes(&cfg, &w).to_vec();
+        v[32] ^= 1; // stripe count lives right after the 32-byte file header
+        match from_bytes(Bytes::from(v)) {
+            Err(IoError::MissingCrcs { expected, found }) => {
+                assert_eq!(expected, stripe_count(&cfg));
+                assert_ne!(found, expected);
+            }
+            other => panic!("expected MissingCrcs, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn truncated_crc_table_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let bytes = to_bytes(&cfg, &w);
+        // cut mid-table: count promises stripe_count entries, only one fits
+        let cut = bytes.slice(0..40);
+        assert!(matches!(from_bytes(cut), Err(IoError::Truncated)));
+    }
+
+    #[test]
+    fn corrupted_payload_byte_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes(&cfg, &w).to_vec();
+        let n = v.len();
+        v[n - 3] ^= 0x40; // single bit deep inside the last matrix payload
+        match from_bytes(Bytes::from(v)) {
+            Err(IoError::CrcMismatch { stripe, stored, computed }) => {
+                assert_eq!(stripe, stripe_count(&cfg) - 1);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected CrcMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn corrupted_stored_crc_rejected() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes(&cfg, &w).to_vec();
+        v[36] ^= 0xff; // first CRC table entry
+        match from_bytes(Bytes::from(v)) {
+            Err(IoError::CrcMismatch { stripe, .. }) => assert_eq!(stripe, 0),
+            other => panic!("expected CrcMismatch, got {:?}", other),
+        }
     }
 
     #[test]

@@ -7,8 +7,64 @@
 //! 12 + 6 stack).
 
 use crate::config::TransformerConfig;
-use asr_tensor::{init, Matrix};
+use asr_tensor::{crc32, init, Matrix};
 use serde::{Deserialize, Serialize};
+
+/// One weight stripe as the HBM prefetch path sees it: the matrix's f32
+/// payload in little-endian bytes plus the CRC-32 computed at export time.
+/// The checksum travels with the stripe (through `model_io` and the host's
+/// prefetch queue), so any on-card corruption of the bytes is detectable
+/// before the stripe feeds a PSA (DESIGN.md §9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightStripe {
+    /// Stripe label (matches the host's load-command labels, e.g. `"E3/w_a"`).
+    pub label: String,
+    /// Row count of the source matrix.
+    pub rows: usize,
+    /// Column count of the source matrix.
+    pub cols: usize,
+    /// f32 little-endian payload, `rows·cols·4` bytes.
+    pub bytes: Vec<u8>,
+    /// CRC-32 over `bytes`, computed at export time from the clean payload.
+    pub crc: u32,
+}
+
+/// Serialize a matrix's payload as little-endian f32 bytes (the stripe wire
+/// format).
+pub fn matrix_le_bytes(m: &Matrix) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(m.len() * 4);
+    for &v in m.as_slice() {
+        bytes.extend_from_slice(&v.to_le_bytes());
+    }
+    bytes
+}
+
+impl WeightStripe {
+    /// Export a matrix as a stripe, computing its envelope CRC from the
+    /// clean payload.
+    pub fn export(label: impl Into<String>, m: &Matrix) -> Self {
+        let bytes = matrix_le_bytes(m);
+        let crc = crc32::crc32(&bytes);
+        WeightStripe { label: label.into(), rows: m.rows(), cols: m.cols(), bytes, crc }
+    }
+
+    /// Verify the payload against the export-time CRC.
+    pub fn crc_ok(&self) -> bool {
+        crc32::crc32(&self.bytes) == self.crc
+    }
+
+    /// Decode the payload back into a matrix (possibly corrupted — decoding
+    /// does not verify; that is the caller's integrity-level decision).
+    pub fn decode(&self) -> Matrix {
+        assert_eq!(self.bytes.len(), self.rows * self.cols * 4, "stripe payload size mismatch");
+        let data: Vec<f32> = self
+            .bytes
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Matrix::from_vec(self.rows, self.cols, data)
+    }
+}
 
 /// Weights of one multi-head attention block.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -70,6 +126,34 @@ impl AttentionWeights {
             .sum();
         per_head + self.w_a.size_bytes() + self.b_a.size_bytes()
     }
+
+    /// Every matrix of the block in the canonical (serialization) order.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        self.w_q
+            .iter()
+            .chain(&self.w_k)
+            .chain(&self.w_v)
+            .chain(&self.b_q)
+            .chain(&self.b_k)
+            .chain(&self.b_v)
+            .chain(std::iter::once(&self.w_a))
+            .chain(std::iter::once(&self.b_a))
+            .collect()
+    }
+
+    /// Mutable view of every matrix, same order as [`Self::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        self.w_q
+            .iter_mut()
+            .chain(self.w_k.iter_mut())
+            .chain(self.w_v.iter_mut())
+            .chain(self.b_q.iter_mut())
+            .chain(self.b_k.iter_mut())
+            .chain(self.b_v.iter_mut())
+            .chain(std::iter::once(&mut self.w_a))
+            .chain(std::iter::once(&mut self.b_a))
+            .collect()
+    }
 }
 
 /// Weights of one feed-forward block (Eq 3.3).
@@ -100,6 +184,16 @@ impl FfnWeights {
     pub fn size_bytes(&self) -> u64 {
         self.w1.size_bytes() + self.b1.size_bytes() + self.w2.size_bytes() + self.b2.size_bytes()
     }
+
+    /// Every matrix of the block in the canonical (serialization) order.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        vec![&self.w1, &self.b1, &self.w2, &self.b2]
+    }
+
+    /// Mutable view, same order as [`Self::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
+    }
 }
 
 /// Layer-norm affine parameters (one `L_N` pair of Table 4.1).
@@ -125,6 +219,16 @@ impl LayerNormWeights {
     /// Byte footprint.
     pub fn size_bytes(&self) -> u64 {
         self.w.size_bytes() + self.b.size_bytes()
+    }
+
+    /// Every matrix of the block in the canonical (serialization) order.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        vec![&self.w, &self.b]
+    }
+
+    /// Mutable view, same order as [`Self::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        vec![&mut self.w, &mut self.b]
     }
 }
 
@@ -158,6 +262,25 @@ impl EncoderWeights {
             + self.ln1.size_bytes()
             + self.ffn.size_bytes()
             + self.ln2.size_bytes()
+    }
+
+    /// Every matrix of the layer in the canonical (serialization) order:
+    /// mha, ln1, ffn, ln2 — the same order `model_io` writes them.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        let mut out = self.mha.matrices();
+        out.extend(self.ln1.matrices());
+        out.extend(self.ffn.matrices());
+        out.extend(self.ln2.matrices());
+        out
+    }
+
+    /// Mutable view, same order as [`Self::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = self.mha.matrices_mut();
+        out.extend(self.ln1.matrices_mut());
+        out.extend(self.ffn.matrices_mut());
+        out.extend(self.ln2.matrices_mut());
+        out
     }
 }
 
@@ -213,6 +336,29 @@ impl DecoderWeights {
     pub fn ffn_phase_bytes(&self) -> u64 {
         self.ffn.size_bytes() + self.ln3.size_bytes()
     }
+
+    /// Every matrix of the layer in the canonical (serialization) order:
+    /// masked_mha, ln1, cross_mha, ln2, ffn, ln3 — the `model_io` order.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        let mut out = self.masked_mha.matrices();
+        out.extend(self.ln1.matrices());
+        out.extend(self.cross_mha.matrices());
+        out.extend(self.ln2.matrices());
+        out.extend(self.ffn.matrices());
+        out.extend(self.ln3.matrices());
+        out
+    }
+
+    /// Mutable view, same order as [`Self::matrices`].
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = self.masked_mha.matrices_mut();
+        out.extend(self.ln1.matrices_mut());
+        out.extend(self.cross_mha.matrices_mut());
+        out.extend(self.ln2.matrices_mut());
+        out.extend(self.ffn.matrices_mut());
+        out.extend(self.ln3.matrices_mut());
+        out
+    }
 }
 
 /// The whole model.
@@ -256,6 +402,39 @@ impl ModelWeights {
             + self.embedding.size_bytes()
             + self.out_proj.size_bytes()
             + self.out_bias.size_bytes()
+    }
+
+    /// Every matrix of the model in the canonical (serialization) order —
+    /// exactly the order `model_io::to_bytes` writes them, which is what
+    /// lets the stored CRC table index by position.
+    pub fn matrices(&self) -> Vec<&Matrix> {
+        let mut out = Vec::new();
+        for e in &self.encoders {
+            out.extend(e.matrices());
+        }
+        for d in &self.decoders {
+            out.extend(d.matrices());
+        }
+        out.push(&self.embedding);
+        out.push(&self.out_proj);
+        out.push(&self.out_bias);
+        out
+    }
+
+    /// Mutable view, same order as [`Self::matrices`] — the slots a verified
+    /// (or deliberately corrupted) stripe decodes back into.
+    pub fn matrices_mut(&mut self) -> Vec<&mut Matrix> {
+        let mut out = Vec::new();
+        for e in &mut self.encoders {
+            out.extend(e.matrices_mut());
+        }
+        for d in &mut self.decoders {
+            out.extend(d.matrices_mut());
+        }
+        out.push(&mut self.embedding);
+        out.push(&mut self.out_proj);
+        out.push(&mut self.out_bias);
+        out
     }
 }
 
@@ -376,5 +555,40 @@ mod tests {
         let cfg = TransformerConfig::tiny();
         let ln = LayerNormWeights::seeded(&cfg, 4);
         assert!(ln.w.as_slice().iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn stripe_roundtrip_is_bit_identical() {
+        let m = init::uniform(5, 7, -2.0, 2.0, 11);
+        let s = WeightStripe::export("E1/w_a", &m);
+        assert!(s.crc_ok());
+        assert_eq!(s.bytes.len(), 5 * 7 * 4);
+        assert_eq!(s.decode(), m);
+    }
+
+    #[test]
+    fn stripe_crc_catches_bit_flips() {
+        let m = init::uniform(3, 9, -1.0, 1.0, 3);
+        let clean = WeightStripe::export("D2/w1", &m);
+        for byte in [0usize, 7, 50, 3 * 9 * 4 - 1] {
+            let mut s = clean.clone();
+            s.bytes[byte] ^= 0x10;
+            assert!(!s.crc_ok(), "flip at byte {} escaped", byte);
+        }
+    }
+
+    #[test]
+    fn matrix_traversal_matches_inventory_count() {
+        let cfg = TransformerConfig::tiny();
+        let model = ModelWeights::seeded(&cfg, 5);
+        let from_inventory: usize =
+            weight_inventory(&cfg).iter().map(|r| r.count).sum::<usize>() + 3;
+        assert_eq!(model.matrices().len(), from_inventory);
+        // Mutable traversal walks the same matrices in the same order.
+        let mut copy = model.clone();
+        let expected: Vec<Matrix> = model.matrices().into_iter().cloned().collect();
+        for (got, want) in copy.encoders[0].matrices_mut().into_iter().zip(&expected) {
+            assert_eq!(&*got, want);
+        }
     }
 }

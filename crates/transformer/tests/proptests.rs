@@ -4,7 +4,7 @@ use asr_tensor::backend::ReferenceBackend;
 use asr_tensor::init;
 use asr_transformer::decoder::decoder_forward;
 use asr_transformer::encoder::encoder_forward;
-use asr_transformer::weights::{DecoderWeights, EncoderWeights};
+use asr_transformer::weights::{DecoderWeights, EncoderWeights, ModelWeights, WeightStripe};
 use asr_transformer::{flops, Model, TransformerConfig};
 use proptest::prelude::*;
 
@@ -83,5 +83,47 @@ proptest! {
         let (cfg2, w2) = asr_transformer::model_io::from_bytes(bytes).unwrap();
         prop_assert_eq!(cfg, cfg2);
         prop_assert_eq!(w, w2);
+    }
+
+    // The CRC envelope catches ANY single-bit flip, anywhere in any weight
+    // stripe — mantissa, exponent, or sign byte alike — and flipping the bit
+    // back restores the envelope (the stripe itself is untouched).
+    #[test]
+    fn any_single_bit_flip_in_any_stripe_breaks_the_crc(
+        seed in 0u64..200,
+        stripe_sel in 0usize..1_000_000,
+        bit_sel in 0usize..1_000_000_000,
+    ) {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, seed);
+        let mats = w.matrices();
+        let si = stripe_sel % mats.len();
+        let mut stripe = WeightStripe::export(format!("W{}", si), mats[si]);
+        prop_assert!(stripe.crc_ok(), "freshly exported stripe must verify");
+        let nbits = stripe.bytes.len() * 8;
+        let b = bit_sel % nbits;
+        stripe.bytes[b / 8] ^= 1 << (b % 8);
+        prop_assert!(!stripe.crc_ok(), "flip of bit {} in stripe {} escaped the CRC", b, si);
+        stripe.bytes[b / 8] ^= 1 << (b % 8);
+        prop_assert!(stripe.crc_ok(), "undoing the flip must restore the envelope");
+    }
+
+    // CRC32 detects any error burst confined to 32 bits, so an arbitrary
+    // nonzero XOR smeared over one byte can never slip through either.
+    #[test]
+    fn any_single_byte_xor_in_any_stripe_breaks_the_crc(
+        seed in 0u64..200,
+        stripe_sel in 0usize..1_000_000,
+        byte_sel in 0usize..1_000_000_000,
+        xor in 1u8..=255,
+    ) {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, seed);
+        let mats = w.matrices();
+        let si = stripe_sel % mats.len();
+        let mut stripe = WeightStripe::export(format!("W{}", si), mats[si]);
+        let bi = byte_sel % stripe.bytes.len();
+        stripe.bytes[bi] ^= xor;
+        prop_assert!(!stripe.crc_ok(), "xor {:#04x} at byte {} of stripe {} escaped the CRC", xor, bi, si);
     }
 }

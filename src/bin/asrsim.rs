@@ -10,11 +10,12 @@
 //! asrsim pipeline  [--s N] [--n K]     pipelined batch throughput
 //! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
-//! asrsim faults <seed> [--s N] [--arch a1|a2|a3]
+//! asrsim faults <seed> [--s N] [--arch a1|a2|a3] [--integrity off|detect|detect-recompute]
 //!                                      fault-injected run: degraded vs nominal
 //! asrsim --faults <seed> [--s N]       same, as a flag
 //! asrsim serve [--devices N] [--faults SEED] [--rps R] [--deadline-ms D]
-//!              [--n K] [--queue Q]     multi-device serving runtime
+//!              [--n K] [--queue Q] [--integrity off|detect|detect-recompute]
+//!                                      multi-device serving runtime
 //! ```
 
 use std::process::ExitCode;
@@ -26,6 +27,7 @@ use transformer_asr_accel::accel::{
 };
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
 use transformer_asr_accel::fpga::FaultPlan;
+use transformer_asr_accel::systolic::abft::IntegrityLevel;
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
     args.iter()
@@ -41,6 +43,16 @@ fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// `--integrity off|detect|detect-recompute` (default off). `Err` carries
+/// the bad value.
+fn parse_integrity_flag(args: &[String]) -> Result<IntegrityLevel, String> {
+    let Some(i) = args.iter().position(|a| a == "--integrity") else {
+        return Ok(IntegrityLevel::Off);
+    };
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    IntegrityLevel::parse(&v.to_ascii_lowercase()).ok_or_else(|| v.to_string())
 }
 
 /// `--arch a1|a2|a3` (default A3). `Err` carries the bad value.
@@ -223,11 +235,23 @@ fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cfg = unpadded(s);
+    let level = match parse_integrity_flag(args) {
+        Ok(l) => l,
+        Err(bad) => {
+            eprintln!(
+                "unknown integrity level '{}': expected off, detect, or detect-recompute",
+                bad
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = unpadded(s);
+    cfg.integrity = level;
     let s = cfg.max_seq_len;
     let plan = FaultPlan::seeded(seed);
     println!("fault seed           : {}", seed);
     println!("architecture         : {}", arch.name());
+    println!("integrity level      : {}", level.name());
     println!("injected faults      : {}", plan.faults().len());
     for f in plan.faults() {
         println!("  - {:?}", f);
@@ -243,6 +267,16 @@ fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
     println!("degraded latency     : {:8.2} ms ({})", run.makespan_s * 1e3, run.final_arch.name());
     println!("fault overhead       : {:8.2} %", run.slowdown() * 100.0);
     println!("retries              : {}", run.retries);
+    let c = &run.corruption;
+    if c.any_injected() || level.checks_enabled() {
+        println!(
+            "corruption           : {} injected, {} detected, {} refetched, {} recomputed, {} escaped",
+            c.injected, c.detected, c.refetched, c.recomputed, c.escaped
+        );
+        if c.escaped > 0 {
+            println!("                       WARNING: corrupted data reached compute undetected");
+        }
+    }
     if let Some(slr) = run.dead_slr {
         println!("dead SLR             : SLR{} (pool halved, relaunched on survivor)", slr);
     }
@@ -262,11 +296,23 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     let seed = parse_flag(args, "--faults", 0) as u64;
     let rps = parse_f64_flag(args, "--rps", 50.0);
     let deadline_s = parse_f64_flag(args, "--deadline-ms", 200.0) / 1e3;
+    let level = match parse_integrity_flag(args) {
+        Ok(l) => l,
+        Err(bad) => {
+            eprintln!(
+                "unknown integrity level '{}': expected off, detect, or detect-recompute",
+                bad
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     let mut cfg = ServeConfig::new(devices, seed, rps, deadline_s);
+    cfg.accel.integrity = level;
     cfg.requests = parse_flag(args, "--n", cfg.requests);
     cfg.queue_capacity = parse_flag(args, "--queue", cfg.queue_capacity);
     println!("devices              : {}", cfg.devices);
     println!("pool fault seed      : {}", cfg.fault_seed);
+    println!("integrity level      : {}", level.name());
     println!("offered load         : {:8.2} req/s", cfg.rps);
     println!("deadline             : {:8.2} ms", cfg.deadline_s * 1e3);
     println!("requests             : {}", cfg.requests);

@@ -97,6 +97,8 @@ pub struct ArchResult {
     pub arch: Architecture,
     /// Padded sequence length.
     pub seq_len: usize,
+    /// Utterances sharing the schedule (1 = the paper's solo run).
+    pub batch: usize,
     /// End-to-end accelerator latency (all 18 layers), seconds.
     pub latency_s: f64,
     /// Sum of load-phase durations, seconds.
@@ -154,7 +156,27 @@ fn build_phases(cfg: &AccelConfig, s: usize, arch: Architecture) -> Vec<Phase> {
 /// The input is padded to the built sequence length (§5.1.5); compute and
 /// load times are those of the padded length.
 pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> ArchResult {
+    simulate_batch(cfg, arch, input_len, 1)
+}
+
+/// Simulate an architecture serving a *batch* of `batch` equal-length
+/// utterances through one pass over the 18 layers: every phase's weights
+/// are loaded once, and its compute block lasts `batch ×` the solo compute
+/// (the utterances run back-to-back under the resident layer). On A2/A3 the
+/// next phase's prefetch overlaps the whole batch's compute, so the
+/// residual per-utterance stall shrinks with `batch`; A1 stays strictly
+/// sequential — loads still never overlap compute.
+///
+/// `batch == 1` reproduces [`simulate`] bit-for-bit (same spans, same
+/// labels: the compute scale factor is exactly 1.0).
+pub fn simulate_batch(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    batch: usize,
+) -> ArchResult {
     cfg.validate().expect("valid accelerator configuration");
+    assert!(batch >= 1, "batch size must be >= 1");
     let s = cfg.padded_seq_len(input_len);
     let clock = cfg.device.clock;
     let phases = build_phases(cfg, s, arch);
@@ -179,7 +201,7 @@ pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> Arch
             for (i, p) in phases.iter().enumerate() {
                 let lt = load_time(p.load_bytes);
                 tl.push("load-0", format!("LW{}", p.label), t, t + lt).unwrap();
-                let ct = clock.to_seconds(p.compute);
+                let ct = clock.to_seconds(p.compute) * batch as f64;
                 tl.push("compute", format!("C{}", p.label), t + lt, t + lt + ct).unwrap();
                 load_end[i] = t + lt;
                 compute_end[i] = t + lt + ct;
@@ -213,7 +235,7 @@ pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> Arch
 
                 let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
                 let cs = load_end[i].max(prev_c);
-                let ct = clock.to_seconds(p.compute);
+                let ct = clock.to_seconds(p.compute) * batch as f64;
                 tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
                 compute_end[i] = cs + ct;
             }
@@ -225,6 +247,7 @@ pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> Arch
     ArchResult {
         arch,
         seq_len: s,
+        batch,
         latency_s,
         load_total_s,
         compute_total_s: tl.busy_time("compute"),

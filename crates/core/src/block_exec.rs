@@ -74,6 +74,22 @@ pub fn encoder_forward_via_schemes_with(
     layer_norm(&ops::add(&x1, &ffn_out), &w.ln2.w, &w.ln2.b)
 }
 
+/// One encoder layer over a whole batch of utterances, under a single
+/// weight residency: the layer's stripes are fetched once (the timing path
+/// charges one `LW` load per batch) and the utterances stream through the
+/// schemes back-to-back. Functionally each output is bit-identical to
+/// [`encoder_forward_via_schemes_with`] on that utterance alone — the PSA
+/// engine is stateless per matmul, so sharing it across the batch cannot
+/// leak data between utterances.
+pub fn encoder_forward_via_schemes_batch(
+    cfg: &AccelConfig,
+    engine: &dyn PsaMatmul,
+    xs: &[Matrix],
+    w: &EncoderWeights,
+) -> Vec<Matrix> {
+    xs.iter().map(|x| encoder_forward_via_schemes_with(cfg, engine, x, w)).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,6 +134,18 @@ mod tests {
             &encoder_forward(&x, &w, &ReferenceBackend),
         );
         assert!(d < 5e-3, "diverges by {}", d);
+    }
+
+    #[test]
+    fn batched_layer_is_bit_identical_to_solo_layers() {
+        let cfg = AccelConfig::paper_default();
+        let w = EncoderWeights::seeded(&TransformerConfig::paper_base(), 5);
+        let xs: Vec<Matrix> = (0..3).map(|i| init::uniform(4, 512, -0.5, 0.5, 10 + i)).collect();
+        let engine = cfg.psa_engine();
+        let batched = encoder_forward_via_schemes_batch(&cfg, &engine, &xs, &w);
+        for (x, b) in xs.iter().zip(&batched) {
+            assert_eq!(*b, encoder_forward_via_schemes_with(&cfg, &engine, x, &w));
+        }
     }
 
     #[test]

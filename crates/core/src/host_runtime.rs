@@ -114,6 +114,54 @@ fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
     }
 }
 
+/// Per-utterance kernel label: the solo stream keeps the historical
+/// `C{phase}` labels (bit-identity with every pre-batching pin), a batched
+/// stream names each utterance's slice `C{phase}[u{n}]` so fault plans can
+/// target a single utterance mid-batch.
+fn kernel_label(phase: &str, batch: usize, u: usize) -> String {
+    if batch == 1 {
+        format!("C{}", phase)
+    } else {
+        format!("C{}[u{}]", phase, u)
+    }
+}
+
+/// Count the HBM weight loads a run actually issued and the seconds its
+/// prefetch engines spent busy, off the timeline (backoff pauses parked on
+/// the `maxi-*` queues are excluded).
+fn load_stats(rt: &Runtime) -> (usize, f64) {
+    let mut issued = 0usize;
+    let mut busy = 0.0f64;
+    for unit in rt.timeline().units() {
+        if !unit.starts_with("maxi") {
+            continue;
+        }
+        for span in rt.timeline().unit_spans(unit) {
+            if span.label.trim_start_matches(['!', '~']).starts_with("LW") {
+                issued += 1;
+                busy += span.end - span.start;
+            }
+        }
+    }
+    (issued, busy)
+}
+
+/// A fault-free batched schedule driven through the runtime.
+#[derive(Debug, Clone)]
+pub struct BatchRun {
+    /// The runtime (its timeline holds the batched command stream).
+    pub runtime: Runtime,
+    /// Time the whole batch finishes, seconds.
+    pub makespan_s: f64,
+    /// Per-utterance completion times (the finish of each utterance's final
+    /// phase), seconds; non-decreasing in utterance index.
+    pub utterance_finish_s: Vec<f64>,
+    /// HBM weight loads issued — one per *phase*, not per utterance.
+    pub loads_issued: usize,
+    /// Seconds the prefetch engines spent moving weights.
+    pub load_busy_s: f64,
+}
+
 /// Drive an architecture's schedule through the runtime; returns the
 /// runtime (for its timeline) and the makespan in seconds.
 ///
@@ -125,10 +173,37 @@ pub fn run_through_runtime(
     arch: Architecture,
     input_len: usize,
 ) -> Result<(Runtime, f64)> {
+    let run = run_batch_through_runtime(cfg, arch, input_len, 1)?;
+    Ok((run.runtime, run.makespan_s))
+}
+
+/// Drive a *batched* schedule through the runtime: each phase's weight
+/// stripes are loaded **once** for the whole batch, and the `batch`
+/// per-utterance computes run back-to-back under the resident layer. On
+/// A2/A3 the prefetch of phase `l+1` therefore overlaps the entire batch's
+/// compute on phase `l`, amortizing the load cost over `batch` utterances;
+/// on A1 every load still waits out the previous phase's *last* compute, so
+/// the no-overlap baseline keeps its shape.
+///
+/// At `batch == 1` the emitted command stream is identical — labels,
+/// dependency sets, order — to [`run_through_runtime`]'s, which is what the
+/// batch-vs-solo bit-identity tests pin.
+pub fn run_batch_through_runtime(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    batch: usize,
+) -> Result<BatchRun> {
     cfg.validate()?;
+    if batch == 0 {
+        return Err(AccelError::Config("batch size must be >= 1".into()));
+    }
     let s = cfg.checked_padded_seq_len(input_len)?;
 
     let mut rt = Runtime::new(cfg.device.clone());
+    if batch > 1 {
+        rt.set_batch_tag(Some(format!("B{}", batch)));
+    }
     let engines = match arch {
         Architecture::A3 => 2,
         _ => 1,
@@ -138,17 +213,22 @@ pub fn run_through_runtime(
     let compute_queue = rt.create_queue("kernels");
 
     let phases = phase_list(cfg, arch);
-    let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
+    let last_phase = phases.len() - 1;
+    // Per phase, the compute event of the batch's *last* utterance: that is
+    // what frees the double-buffer slot (and what A1 loads serialize on).
+    let mut phase_last_compute: Vec<Event> = Vec::with_capacity(phases.len());
+    let mut prev_compute: Option<Event> = None;
+    let mut utterance_finish_s: Vec<f64> = Vec::with_capacity(batch);
     for (i, p) in phases.iter().enumerate() {
         // Phase-granular double buffer (see arch.rs): this load's slot is
         // freed by the compute two phases back.
         let mut deps: Vec<Event> = Vec::new();
         if i >= 2 {
-            deps.push(compute_events[i - 2]);
+            deps.push(phase_last_compute[i - 2]);
         }
         if arch == Architecture::A1 && i >= 1 {
             // No overlap at A1: every load waits out the previous compute.
-            deps.push(compute_events[i - 1]);
+            deps.push(phase_last_compute[i - 1]);
         }
         // Fig 4.11 pairing is positional: the paired FFN load lands on the
         // other engine, which the in-order queue handles naturally; the
@@ -161,22 +241,30 @@ pub fn run_through_runtime(
             &deps,
         );
 
-        let mut cdeps = vec![lw];
-        if i >= 1 {
-            cdeps.push(compute_events[i - 1]);
+        let compute_s = phase_compute_s(cfg, p.kind, s);
+        for u in 0..batch {
+            let mut cdeps = vec![lw];
+            if let Some(prev) = prev_compute {
+                cdeps.push(prev);
+            }
+            let ck = rt.enqueue_kernel(
+                compute_queue,
+                kernel_label(&p.label, batch, u),
+                if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
+                compute_s,
+                &cdeps,
+            );
+            prev_compute = Some(ck);
+            if i == last_phase {
+                utterance_finish_s.push(rt.finish_time(ck));
+            }
         }
-        let ck = rt.enqueue_kernel(
-            compute_queue,
-            format!("C{}", p.label),
-            if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
-            phase_compute_s(cfg, p.kind, s),
-            &cdeps,
-        );
-        compute_events.push(ck);
+        phase_last_compute.push(prev_compute.expect("batch >= 1 enqueued a compute"));
     }
 
-    let total = rt.finish();
-    Ok((rt, total))
+    let makespan_s = rt.finish();
+    let (loads_issued, load_busy_s) = load_stats(&rt);
+    Ok(BatchRun { runtime: rt, makespan_s, utterance_finish_s, loads_issued, load_busy_s })
 }
 
 /// How the host reacts to failed, hung, and dead commands.
@@ -254,6 +342,67 @@ impl FaultedRun {
     }
 }
 
+/// Outcome of a fault-injected *batched* run that survived to completion.
+/// The non-batch fields mean exactly what they do on [`FaultedRun`].
+#[derive(Debug, Clone)]
+pub struct BatchedRun {
+    /// The runtime (work spans, fault markers, recovery annotations).
+    pub runtime: Runtime,
+    /// Makespan of the whole batch with faults and recovery, seconds.
+    pub makespan_s: f64,
+    /// Fault-free makespan of the same *batched* schedule, seconds.
+    pub nominal_s: f64,
+    /// Utterances in the batch.
+    pub batch: usize,
+    /// Per-utterance completion times (finish of each utterance's final
+    /// phase), seconds.
+    pub utterance_finish_s: Vec<f64>,
+    /// HBM weight loads issued (one per phase per attempt, never per
+    /// utterance).
+    pub loads_issued: usize,
+    /// Seconds the prefetch engines spent moving weights.
+    pub load_busy_s: f64,
+    /// Architecture the run started at.
+    pub entry_arch: Architecture,
+    /// Architecture the run finished at (after any ladder descent).
+    pub final_arch: Architecture,
+    /// SLR that dropped out, if one did.
+    pub dead_slr: Option<usize>,
+    /// Total retries spent on transient faults.
+    pub retries: u32,
+    /// Every recovery decision, in order.
+    pub events: Vec<RecoveryEvent>,
+    /// Silent-corruption accounting (CRC + ABFT), per DESIGN.md §9.
+    pub corruption: CorruptionCounters,
+}
+
+/// A batched run that died mid-flight: the typed error, when the device
+/// gave up, and which utterances had already finished every phase — the
+/// serving layer fails over only the rest.
+#[derive(Debug, Clone)]
+pub struct BatchFailure {
+    /// The typed error that ended the run.
+    pub error: AccelError,
+    /// When the host detected the failure, seconds into the run (0 for
+    /// pre-dispatch errors such as a sticky lane caught at `Detect`).
+    pub at_s: f64,
+    /// Completion times of the utterances that finished their final phase
+    /// before the failure (a prefix of the batch, in utterance order).
+    pub finished_s: Vec<f64>,
+}
+
+impl BatchFailure {
+    fn from_error(error: AccelError, finished_s: Vec<f64>) -> Self {
+        let at_s = match &error {
+            AccelError::Unrecoverable { at_s, .. } | AccelError::CorruptWeights { at_s, .. } => {
+                *at_s
+            }
+            _ => 0.0,
+        };
+        BatchFailure { error, at_s, finished_s }
+    }
+}
+
 /// Run an architecture's schedule through the runtime with a fault plan
 /// attached, retrying transient failures and walking the degradation ladder
 /// on permanent ones. A run entered at A1 has no engine rung left below it,
@@ -270,9 +419,44 @@ pub fn run_with_recovery(
     plan: FaultPlan,
     policy: &RecoveryPolicy,
 ) -> Result<FaultedRun> {
-    cfg.validate()?;
-    let s = cfg.checked_padded_seq_len(input_len)?;
-    let (_, nominal_s) = run_through_runtime(cfg, arch, input_len)?;
+    match run_batch_with_recovery(cfg, arch, input_len, 1, plan, policy) {
+        Ok(b) => Ok(FaultedRun {
+            runtime: b.runtime,
+            makespan_s: b.makespan_s,
+            nominal_s: b.nominal_s,
+            entry_arch: b.entry_arch,
+            final_arch: b.final_arch,
+            dead_slr: b.dead_slr,
+            retries: b.retries,
+            events: b.events,
+            corruption: b.corruption,
+        }),
+        Err(f) => Err(f.error),
+    }
+}
+
+/// [`run_with_recovery`] generalized to a batch: one CRC-verified weight
+/// load per phase for the whole batch, per-utterance computes back-to-back
+/// under the resident layer, and the same retry/degradation ladder. A
+/// mid-batch fault reports which utterances already finished
+/// ([`BatchFailure::finished_s`]) so callers can fail over only the rest.
+///
+/// `run_with_recovery` delegates here with `batch == 1`, so the solo path
+/// and the batched path cannot drift apart.
+pub fn run_batch_with_recovery(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    batch: usize,
+    plan: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> std::result::Result<BatchedRun, BatchFailure> {
+    let nominal = run_batch_through_runtime(cfg, arch, input_len, batch)
+        .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
+    let nominal_s = nominal.makespan_s;
+    let s = cfg
+        .checked_padded_seq_len(input_len)
+        .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
 
     // Silent PSA faults never fail a command, so they must be read off the
     // plan before it moves into the runtime.
@@ -282,6 +466,9 @@ pub fn run_with_recovery(
 
     let mut rt = Runtime::with_faults(cfg.device.clone(), plan);
     rt.set_watchdog(policy.watchdog_s);
+    if batch > 1 {
+        rt.set_batch_tag(Some(format!("B{}", batch)));
+    }
 
     let n_engines = match arch {
         Architecture::A3 => 2,
@@ -327,29 +514,35 @@ pub fn run_with_recovery(
                 ),
             );
         } else if cfg.integrity.checks_enabled() {
-            return Err(AccelError::CorruptCompute {
-                phase: phases[0].label.clone(),
-                tiles: sticky_lanes,
-            });
+            return Err(BatchFailure::from_error(
+                AccelError::CorruptCompute { phase: phases[0].label.clone(), tiles: sticky_lanes },
+                Vec::new(),
+            ));
         } else {
             corruption.escaped += sticky_lanes;
         }
     }
 
-    let mut compute_events: Vec<Event> = Vec::with_capacity(phases.len());
+    let last_phase = phases.len() - 1;
+    // Per phase, the compute event of the batch's last utterance (frees the
+    // double-buffer slot; gates A1 loads).
+    let mut phase_last_compute: Vec<Event> = Vec::with_capacity(phases.len());
+    let mut prev_compute: Option<Event> = None;
+    let mut finished_s: Vec<f64> = Vec::with_capacity(batch);
     for (i, p) in phases.iter().enumerate() {
-        // ---- load phase, with retry / engine-ladder recovery ----
+        // ---- load phase (once for the whole batch), with retry /
+        // engine-ladder recovery ----
         let load_label = format!("LW{}", p.label);
         let mut attempts = 0u32;
         let load_ev = loop {
             let slot = i % engines.len();
             let mut deps: Vec<Event> = Vec::new();
             if i >= 2 {
-                deps.push(compute_events[i - 2]);
+                deps.push(phase_last_compute[i - 2]);
             }
             if level == Architecture::A1 && i >= 1 {
                 // No prefetch rung left: loads serialize behind compute.
-                deps.push(compute_events[i - 1]);
+                deps.push(phase_last_compute[i - 1]);
             }
             let lw = rt.enqueue_hbm_load(
                 engines[slot],
@@ -376,12 +569,15 @@ pub fn run_with_recovery(
                     corruption.detected += 1;
                     let t = rt.finish_time(lw);
                     if attempts >= policy.max_attempts {
-                        return Err(AccelError::CorruptWeights {
-                            phase: p.label.clone(),
-                            label: load_label,
-                            attempts,
-                            at_s: t,
-                        });
+                        return Err(BatchFailure::from_error(
+                            AccelError::CorruptWeights {
+                                phase: p.label.clone(),
+                                label: load_label,
+                                attempts,
+                                at_s: t,
+                            },
+                            finished_s,
+                        ));
                     }
                     corruption.refetched += 1;
                     let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
@@ -395,12 +591,15 @@ pub fn run_with_recovery(
                 }
                 CommandStatus::Failed(cause) if cause.is_permanent() => {
                     if !policy.allow_degradation {
-                        return Err(AccelError::Unrecoverable {
-                            phase: p.label.clone(),
-                            label: load_label,
-                            attempts,
-                            at_s: rt.finish_time(lw),
-                        });
+                        return Err(BatchFailure::from_error(
+                            AccelError::Unrecoverable {
+                                phase: p.label.clone(),
+                                label: load_label,
+                                attempts,
+                                at_s: rt.finish_time(lw),
+                            },
+                            finished_s,
+                        ));
                     }
                     let t = rt.finish_time(lw);
                     engines.remove(slot);
@@ -435,12 +634,15 @@ pub fn run_with_recovery(
                 _ => {
                     // Transient failure or watchdog timeout: back off and retry.
                     if attempts >= policy.max_attempts {
-                        return Err(AccelError::Unrecoverable {
-                            phase: p.label.clone(),
-                            label: load_label,
-                            attempts,
-                            at_s: rt.finish_time(lw),
-                        });
+                        return Err(BatchFailure::from_error(
+                            AccelError::Unrecoverable {
+                                phase: p.label.clone(),
+                                label: load_label,
+                                attempts,
+                                at_s: rt.finish_time(lw),
+                            },
+                            finished_s,
+                        ));
                     }
                     let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
                     let t = rt.finish_time(lw);
@@ -467,108 +669,130 @@ pub fn run_with_recovery(
             }
         };
 
-        // ---- compute phase, with retry / SLR-ladder recovery ----
-        let kernel_label = format!("C{}", p.label);
-        let mut attempts = 0u32;
-        let ck = loop {
-            let slr = match dead_slr {
-                Some(d) => SlrId::from_index(1 - d),
-                None => {
-                    if i % 2 == 0 {
-                        SlrId::Slr0
-                    } else {
-                        SlrId::Slr1
+        // ---- compute phase: the batch's utterances back-to-back under the
+        // resident layer, each with retry / SLR-ladder recovery ----
+        for u in 0..batch {
+            let kernel_label = kernel_label(&p.label, batch, u);
+            let mut attempts = 0u32;
+            let ck = loop {
+                let slr = match dead_slr {
+                    Some(d) => SlrId::from_index(1 - d),
+                    None => {
+                        if i % 2 == 0 {
+                            SlrId::Slr0
+                        } else {
+                            SlrId::Slr1
+                        }
+                    }
+                };
+                let mut cdeps = vec![load_ev];
+                if let Some(prev) = prev_compute {
+                    cdeps.push(prev);
+                }
+                let ck = rt.enqueue_kernel(
+                    compute_queue,
+                    kernel_label.clone(),
+                    slr,
+                    phase_compute_s(&live_cfg, p.kind, s) * kernel_stretch,
+                    &cdeps,
+                );
+                attempts += 1;
+                match rt.status(ck) {
+                    CommandStatus::Completed => break ck,
+                    CommandStatus::Failed(cause) if cause.is_permanent() => {
+                        if !policy.allow_degradation || dead_slr.is_some() {
+                            // Second SLR loss (or ladder disabled): nothing left.
+                            return Err(BatchFailure::from_error(
+                                AccelError::Unrecoverable {
+                                    phase: p.label.clone(),
+                                    label: kernel_label,
+                                    attempts,
+                                    at_s: rt.finish_time(ck),
+                                },
+                                finished_s,
+                            ));
+                        }
+                        let t = rt.finish_time(ck);
+                        dead_slr = Some(slr.index());
+                        attempts = 0; // relaunch on the survivor starts a fresh budget
+                        live_cfg = slr_degraded_config(&live_cfg).map_err(|_| {
+                            BatchFailure::from_error(
+                                AccelError::Unrecoverable {
+                                    phase: p.label.clone(),
+                                    label: kernel_label.clone(),
+                                    attempts,
+                                    at_s: t,
+                                },
+                                finished_s.clone(),
+                            )
+                        })?;
+                        record(
+                            &mut rt,
+                            t,
+                            &p.label,
+                            "recovery",
+                            format!(
+                                "SLR{} lost: PSA pool halved to {}, relaunch on SLR{}",
+                                slr.index(),
+                                live_cfg.n_psas,
+                                1 - slr.index()
+                            ),
+                        );
+                    }
+                    _ => {
+                        if attempts >= policy.max_attempts {
+                            return Err(BatchFailure::from_error(
+                                AccelError::Unrecoverable {
+                                    phase: p.label.clone(),
+                                    label: kernel_label,
+                                    attempts,
+                                    at_s: rt.finish_time(ck),
+                                },
+                                finished_s,
+                            ));
+                        }
+                        let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
+                        let t = rt.finish_time(ck);
+                        rt.enqueue_backoff(
+                            compute_queue,
+                            format!("backoff#{} {}", attempts, kernel_label),
+                            backoff,
+                            &[],
+                        );
+                        retries += 1;
+                        record(
+                            &mut rt,
+                            t,
+                            &p.label,
+                            "recovery",
+                            format!(
+                                "relaunch #{} of {} after {:.1} us backoff",
+                                attempts,
+                                kernel_label,
+                                backoff * 1e6
+                            ),
+                        );
                     }
                 }
             };
-            let mut cdeps = vec![load_ev];
-            if i >= 1 {
-                cdeps.push(compute_events[i - 1]);
+            prev_compute = Some(ck);
+            if i == last_phase {
+                finished_s.push(rt.finish_time(ck));
             }
-            let ck = rt.enqueue_kernel(
-                compute_queue,
-                kernel_label.clone(),
-                slr,
-                phase_compute_s(&live_cfg, p.kind, s) * kernel_stretch,
-                &cdeps,
-            );
-            attempts += 1;
-            match rt.status(ck) {
-                CommandStatus::Completed => break ck,
-                CommandStatus::Failed(cause) if cause.is_permanent() => {
-                    if !policy.allow_degradation || dead_slr.is_some() {
-                        // Second SLR loss (or ladder disabled): nothing left.
-                        return Err(AccelError::Unrecoverable {
-                            phase: p.label.clone(),
-                            label: kernel_label,
-                            attempts,
-                            at_s: rt.finish_time(ck),
-                        });
-                    }
-                    let t = rt.finish_time(ck);
-                    dead_slr = Some(slr.index());
-                    attempts = 0; // relaunch on the survivor starts a fresh budget
-                    live_cfg =
-                        slr_degraded_config(&live_cfg).map_err(|_| AccelError::Unrecoverable {
-                            phase: p.label.clone(),
-                            label: kernel_label.clone(),
-                            attempts,
-                            at_s: t,
-                        })?;
-                    record(
-                        &mut rt,
-                        t,
-                        &p.label,
-                        "recovery",
-                        format!(
-                            "SLR{} lost: PSA pool halved to {}, relaunch on SLR{}",
-                            slr.index(),
-                            live_cfg.n_psas,
-                            1 - slr.index()
-                        ),
-                    );
-                }
-                _ => {
-                    if attempts >= policy.max_attempts {
-                        return Err(AccelError::Unrecoverable {
-                            phase: p.label.clone(),
-                            label: kernel_label,
-                            attempts,
-                            at_s: rt.finish_time(ck),
-                        });
-                    }
-                    let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
-                    let t = rt.finish_time(ck);
-                    rt.enqueue_backoff(
-                        compute_queue,
-                        format!("backoff#{} {}", attempts, kernel_label),
-                        backoff,
-                        &[],
-                    );
-                    retries += 1;
-                    record(
-                        &mut rt,
-                        t,
-                        &p.label,
-                        "recovery",
-                        format!(
-                            "relaunch #{} of {} after {:.1} us backoff",
-                            attempts,
-                            kernel_label,
-                            backoff * 1e6
-                        ),
-                    );
-                }
-            }
-        };
-        compute_events.push(ck);
+        }
+        phase_last_compute.push(prev_compute.expect("batch >= 1 enqueued a compute"));
     }
 
     let makespan_s = rt.finish();
-    Ok(FaultedRun {
+    let (loads_issued, load_busy_s) = load_stats(&rt);
+    Ok(BatchedRun {
         runtime: rt,
         makespan_s,
         nominal_s,
+        batch,
+        utterance_finish_s: finished_s,
+        loads_issued,
+        load_busy_s,
         entry_arch: arch,
         final_arch: level,
         dead_slr,

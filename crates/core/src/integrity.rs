@@ -24,7 +24,7 @@
 //! boundary: non-finite or absurd-magnitude activations fail typed even
 //! when the integrity checks are off.
 
-use crate::block_exec::encoder_forward_via_schemes_with;
+use crate::block_exec::encoder_forward_via_schemes_batch;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
@@ -273,6 +273,55 @@ pub struct IntegrityRun {
     pub encoder_out: Matrix,
     /// Final decoder-stack output.
     pub decoder_out: Matrix,
+    /// Greedy per-step transcript: argmax token of each decoder row through
+    /// the host-side classifier head (`out_proj` + `out_bias`).
+    pub transcript: Vec<usize>,
+}
+
+/// Per-utterance outputs of a batched functional run.
+#[derive(Debug, Clone)]
+pub struct UtteranceRun {
+    /// Final encoder-stack output for this utterance.
+    pub encoder_out: Matrix,
+    /// Final decoder-stack output for this utterance.
+    pub decoder_out: Matrix,
+    /// Greedy per-step transcript for this utterance.
+    pub transcript: Vec<usize>,
+}
+
+/// Outcome of a batched functional run: shared defenses (the model is
+/// loaded and CRC-scrubbed **once** for the whole batch, one ABFT engine
+/// checks every utterance), per-utterance data.
+#[derive(Debug, Clone)]
+pub struct BatchIntegrityRun {
+    /// Corruption accounting for the batch — one stripe load's worth, not
+    /// one per utterance.
+    pub counters: CorruptionCounters,
+    /// The shared ABFT engine's tile-level statistics across the batch.
+    pub abft: AbftStats,
+    /// Each utterance's outputs, in input order.
+    pub utterances: Vec<UtteranceRun>,
+}
+
+/// The host-side classifier head: project decoder output onto the vocab
+/// and take each row's argmax (ties break to the lowest index, so the
+/// transcript is deterministic).
+fn transcript_of(w: &ModelWeights, decoder_out: &Matrix) -> Vec<usize> {
+    use asr_tensor::backend::ReferenceBackend;
+    use asr_tensor::{ops, MatMul};
+    let logits = ops::add_bias(&ReferenceBackend.matmul(decoder_out, &w.out_proj), &w.out_bias);
+    (0..logits.rows())
+        .map(|r| {
+            let row = logits.row(r);
+            let mut best = 0usize;
+            for (i, &v) in row.iter().enumerate() {
+                if v > row[best] {
+                    best = i;
+                }
+            }
+            best
+        })
+        .collect()
 }
 
 /// Run the full functional pipeline — CRC-enveloped weight load, encoder
@@ -288,7 +337,55 @@ pub fn run_functional(
     input_len: usize,
     faults: &FunctionalFaults,
 ) -> Result<IntegrityRun> {
+    run_functional_with_input(cfg, model_seed, model_seed ^ 0x5eed, input_len, faults)
+}
+
+/// [`run_functional`] with the input features seeded independently of the
+/// model — the solo half of the batch-vs-solo bit-identity tests, where the
+/// same `input_seed` must transcribe identically alone and inside a batch.
+pub fn run_functional_with_input(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    input_seed: u64,
+    input_len: usize,
+    faults: &FunctionalFaults,
+) -> Result<IntegrityRun> {
+    let batch = run_functional_batch(cfg, model_seed, &[input_seed], input_len, faults)?;
+    let BatchIntegrityRun { counters, abft, mut utterances } = batch;
+    let u = utterances.pop().expect("batch of one");
+    Ok(IntegrityRun {
+        counters,
+        abft,
+        encoder_out: u.encoder_out,
+        decoder_out: u.decoder_out,
+        transcript: u.transcript,
+    })
+}
+
+/// The batched functional pipeline: load the model **once** through the CRC
+/// envelope, then run every utterance through the encoder stack layer-major
+/// (all utterances finish layer `l` before any starts `l+1` — the
+/// functional mirror of the timing path's one-`LW`-load-per-batch schedule)
+/// and through the decoder stack per utterance, all on one shared
+/// ABFT-checked PSA.
+///
+/// Each utterance's outputs are bit-identical to a solo
+/// [`run_functional_with_input`] with the same `input_seed`: weights are
+/// read-only, and the checked PSA applies its fault statelessly per matmul,
+/// so batching cannot change any utterance's bits. The *counters* are one
+/// batch's worth: stripe corruptions are injected (and scrubbed) once per
+/// batch, not once per utterance — that is the amortization this PR pins.
+pub fn run_functional_batch(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    input_seeds: &[u64],
+    input_len: usize,
+    faults: &FunctionalFaults,
+) -> Result<BatchIntegrityRun> {
     cfg.validate()?;
+    if input_seeds.is_empty() {
+        return Err(AccelError::Config("batch needs >= 1 utterance".into()));
+    }
     let level = cfg.integrity;
     let mut counters = CorruptionCounters::default();
 
@@ -298,20 +395,29 @@ pub fn run_functional(
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), level, faults.lane);
 
     let s = cfg.checked_padded_seq_len(input_len)?.min(input_len.max(1));
-    let mut x = init::uniform(s, cfg.model.d_model, -0.5, 0.5, model_seed ^ 0x5eed);
+    let mut xs: Vec<Matrix> = input_seeds
+        .iter()
+        .map(|&seed| init::uniform(s, cfg.model.d_model, -0.5, 0.5, seed))
+        .collect();
     for (i, enc) in w.encoders.iter().enumerate() {
-        x = encoder_forward_via_schemes_with(cfg, &engine, &x, enc);
-        guard_activations(&x, &format!("encoder {} output", i))?;
+        xs = encoder_forward_via_schemes_batch(cfg, &engine, &xs, enc);
+        for (u, x) in xs.iter().enumerate() {
+            guard_activations(x, &format!("encoder {} output [u{}]", i, u))?;
+        }
     }
-    let encoder_out = x;
 
     // Decoder inputs: the first `s` embedding rows stand in for a decoded
     // token prefix (the functional path needs data, not a beam search).
     let steps = s.min(cfg.model.vocab_size);
-    let mut y = w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
-    for (i, dec) in w.decoders.iter().enumerate() {
-        y = decoder_forward(&y, &encoder_out, dec, &engine);
-        guard_activations(&y, &format!("decoder {} output", i))?;
+    let mut utterances = Vec::with_capacity(xs.len());
+    for (u, encoder_out) in xs.into_iter().enumerate() {
+        let mut y = w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
+        for (i, dec) in w.decoders.iter().enumerate() {
+            y = decoder_forward(&y, &encoder_out, dec, &engine);
+            guard_activations(&y, &format!("decoder {} output [u{}]", i, u))?;
+        }
+        let transcript = transcript_of(&w, &y);
+        utterances.push(UtteranceRun { encoder_out, decoder_out: y, transcript });
     }
 
     let abft = engine.stats();
@@ -332,7 +438,7 @@ pub fn run_functional(
             counters.recomputed += abft.recomputed;
         }
     }
-    Ok(IntegrityRun { counters, abft, encoder_out, decoder_out: y })
+    Ok(BatchIntegrityRun { counters, abft, utterances })
 }
 
 /// A small-but-complete accelerator configuration for the functional

@@ -49,13 +49,19 @@ pub mod serve;
 pub mod sweep;
 pub mod verify;
 
-pub use arch::{ArchResult, Architecture};
+pub use arch::{simulate_batch, ArchResult, Architecture};
 pub use config::AccelConfig;
 pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
-pub use host_runtime::{run_with_recovery, FaultedRun, RecoveryPolicy};
-pub use integrity::{CorruptionCounters, FunctionalFaults, IntegrityRun};
+pub use host_runtime::{
+    run_batch_through_runtime, run_batch_with_recovery, run_with_recovery, BatchFailure, BatchRun,
+    BatchedRun, FaultedRun, RecoveryPolicy,
+};
+pub use integrity::{
+    run_functional_batch, BatchIntegrityRun, CorruptionCounters, FunctionalFaults, IntegrityRun,
+    UtteranceRun,
+};
 pub use serve::{
-    pool_fault_plans, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
+    pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
 };

@@ -34,12 +34,12 @@
 //! command statuses (a degraded or retry-heavy run lowers the score even
 //! when it ultimately succeeds).
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 
 use crate::arch::Architecture;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
-use crate::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
+use crate::host_runtime::{run_batch_through_runtime, run_batch_with_recovery, RecoveryPolicy};
 use crate::integrity::CorruptionCounters;
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
@@ -146,6 +146,32 @@ impl Breaker {
     }
 }
 
+/// Dynamic-batching tuning for the serving pool.
+///
+/// Compatible queued requests (same build, same padded length — always true
+/// in this pool) are coalesced into one device dispatch: the card loads each
+/// layer's weight stripes once (CRC-verified once) and runs the batch's
+/// per-utterance computes back-to-back under the resident layer, so the
+/// A2/A3 prefetch cost is amortized over the whole batch. A request only
+/// joins a batch whose *projected batched makespan* still fits its deadline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Largest number of queued requests coalesced into one dispatch
+    /// (1 = the pre-batching solo path, bit-identically).
+    pub max_batch: usize,
+    /// How long the dispatcher may hold an underfull batch open waiting for
+    /// more arrivals, measured from the queue head's arrival; 0 dispatches
+    /// immediately. Only an empty remainder of the queue lingers — if more
+    /// work is already waiting, the batch dispatches at once.
+    pub linger_s: f64,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig { max_batch: 1, linger_s: 0.0 }
+    }
+}
+
 /// Serving-runtime configuration.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
@@ -175,6 +201,9 @@ pub struct ServeConfig {
     /// Shutdown grace: queued requests that would start later than
     /// `last arrival + grace` are dropped. `None` drains everything.
     pub shutdown_grace_s: Option<f64>,
+    /// Dynamic-batching tuning (default: batch of 1, no linger — the
+    /// pre-batching behavior).
+    pub batch: BatchConfig,
 }
 
 impl ServeConfig {
@@ -201,6 +230,7 @@ impl ServeConfig {
             breaker: BreakerConfig::default(),
             policy: RecoveryPolicy::default(),
             shutdown_grace_s: None,
+            batch: BatchConfig::default(),
         }
     }
 }
@@ -234,9 +264,16 @@ pub enum RequestOutcome {
         device: DeviceId,
         /// Arrival-to-finish latency, seconds.
         latency_s: f64,
-        /// Pure service time of the successful attempt, seconds
-        /// (bit-identical to the underlying `run_with_recovery` makespan).
+        /// Pure service time from batch dispatch to this utterance's last
+        /// kernel (at batch 1, bit-identical to the underlying
+        /// `run_with_recovery` makespan).
         service_s: f64,
+        /// How many utterances shared the dispatch that served it.
+        batch: usize,
+        /// Corruption counters of the batch run that served it (the card
+        /// loads and scrubs each stripe once per batch, so the counters are
+        /// shared by every utterance riding in it).
+        corruption: CorruptionCounters,
     },
     /// Shed at admission (bounded queue full).
     Shed,
@@ -321,6 +358,21 @@ pub struct ServeReport {
     pub records: Vec<RequestRecord>,
     /// Pool-wide silent-corruption accounting (sum over cards).
     pub corruption: CorruptionCounters,
+    /// Device dispatches performed (a batch of any size is one dispatch).
+    pub batches: usize,
+    /// Mean utterances per dispatch.
+    pub mean_batch: f64,
+    /// Mean batch occupancy: `mean_batch / max_batch`, in [0, 1].
+    pub occupancy: f64,
+    /// Configured batch-size ceiling.
+    pub max_batch: usize,
+    /// Mean HBM weight-load busy seconds *per utterance* over successful
+    /// batch runs — the amortization headline (each batch pays its layer
+    /// loads once, split across its members).
+    pub amortized_load_s: f64,
+    /// HBM weight-load busy seconds of one fault-free solo run — the
+    /// un-amortized baseline every request would pay at batch 1.
+    pub solo_load_s: f64,
 }
 
 impl ServeReport {
@@ -358,6 +410,17 @@ impl ServeReport {
             self.p50_latency_s * 1e3,
             self.p99_latency_s * 1e3
         ));
+        line(format!(
+            "batches dispatched   : {} (mean batch {:.2}, occupancy {:.0} %)",
+            self.batches,
+            self.mean_batch,
+            self.occupancy * 100.0
+        ));
+        line(format!(
+            "amortized load/utt   : {:.3} ms (solo {:.3} ms)",
+            self.amortized_load_s * 1e3,
+            self.solo_load_s * 1e3
+        ));
         if self.corruption.any_injected() {
             line(format!(
                 "corruption           : {} injected, {} detected, {} refetched, {} recomputed, {} escaped",
@@ -390,15 +453,25 @@ impl ServeReport {
     }
 }
 
-/// What one service attempt on one card does, memoised per card (the
-/// simulation is deterministic, so every attempt on a card behaves alike).
-#[derive(Debug, Clone, Copy)]
-enum AttemptOutcome {
-    /// Completes after `service_s` with run quality `quality` (the
-    /// `CommandStats` success ratio: degraded/retry-heavy runs score lower).
-    Ok { service_s: f64, quality: f64 },
-    /// Fails `fail_after_s` into the attempt (the `Unrecoverable` time).
-    Fail { fail_after_s: f64 },
+/// What one batched dispatch on one card does, memoised per card and batch
+/// size (the simulation is deterministic, so every size-`b` dispatch on a
+/// card behaves alike).
+#[derive(Debug, Clone)]
+enum BatchOutcome {
+    /// The whole batch completes after `service_s`, utterance `u` finishing
+    /// at `utt_finish_s[u]`, with run quality `quality` (the `CommandStats`
+    /// success ratio: degraded/retry-heavy runs score lower).
+    Ok {
+        service_s: f64,
+        utt_finish_s: Vec<f64>,
+        quality: f64,
+        corruption: CorruptionCounters,
+        load_busy_s: f64,
+    },
+    /// The run dies `fail_after_s` into the dispatch; utterances that
+    /// already produced their last kernel (`finished_s[u]`, front of the
+    /// batch) still count as served.
+    Fail { fail_after_s: f64, finished_s: Vec<f64> },
 }
 
 #[derive(Debug, Clone)]
@@ -410,12 +483,11 @@ struct Request {
     exclude: Option<usize>,
 }
 
-/// Why an in-flight attempt will leave the card at `finish_s`.
+/// How one member of an in-flight batch will leave the card.
 #[derive(Debug, Clone, Copy, PartialEq)]
-enum FinishKind {
+enum MemberEnd {
     Success {
         service_s: f64,
-        quality: f64,
     },
     Failure,
     /// Cancelled by the per-attempt timeout: budget may remain to fail over.
@@ -426,10 +498,16 @@ enum FinishKind {
 
 #[derive(Debug, Clone)]
 struct InFlight {
-    request: Request,
+    /// Batch members with their individual settle times and ends.
+    members: Vec<(Request, f64, MemberEnd)>,
     started_s: f64,
+    /// When the card frees up (last member settle, capped by any cutoff).
     finish_s: f64,
-    kind: FinishKind,
+    /// Run quality when the whole batch succeeded; `None` on any cancel
+    /// or failure (those score the card down instead).
+    batch_quality: Option<f64>,
+    /// Counters of the batch run serving this dispatch.
+    run_corruption: CorruptionCounters,
 }
 
 #[derive(Debug)]
@@ -439,12 +517,12 @@ struct Device {
     breaker: Breaker,
     health: f64,
     in_flight: Option<InFlight>,
-    outcome: Option<AttemptOutcome>,
-    /// Counters of one run on this card (memoised with `outcome`).
-    run_corruption: CorruptionCounters,
-    /// Counters summed over every attempt dispatched to this card.
+    /// Memoised dispatch behaviour, keyed by batch size.
+    outcomes: HashMap<usize, BatchOutcome>,
+    /// Counters summed over every batch run dispatched to this card.
     corruption: CorruptionCounters,
     served: usize,
+    batches: usize,
     completed: usize,
     failed: usize,
     cancelled: usize,
@@ -462,6 +540,14 @@ pub struct ServePool {
     /// Fault-free makespan of one request — the dispatcher's service-time
     /// expectation for certain-miss expiry.
     nominal_s: f64,
+    /// Fault-free makespan per batch size (memoised; seeded with size 1).
+    nominal_batch: HashMap<usize, f64>,
+    /// HBM weight-load busy seconds of one fault-free solo run.
+    solo_load_s: f64,
+    /// Load busy seconds summed over successful batch runs.
+    load_busy_total_s: f64,
+    /// Utterances carried by those successful batch runs.
+    ok_batch_utts: usize,
     last_arrival_s: f64,
     submitted: usize,
     failed_over: usize,
@@ -492,8 +578,18 @@ impl ServePool {
                 cfg.rps
             )));
         }
+        if cfg.batch.max_batch == 0 {
+            return Err(AccelError::Config("batch.max_batch must be >= 1".into()));
+        }
+        if !cfg.batch.linger_s.is_finite() || cfg.batch.linger_s < 0.0 {
+            return Err(AccelError::Config(format!(
+                "batch.linger_s must be finite and >= 0, got {}",
+                cfg.batch.linger_s
+            )));
+        }
         let s = cfg.accel.max_seq_len;
-        let (_, nominal_s) = run_through_runtime(&cfg.accel, cfg.arch, s)?;
+        let nominal = run_batch_through_runtime(&cfg.accel, cfg.arch, s, 1)?;
+        let nominal_s = nominal.makespan_s;
         if nominal_s > cfg.deadline_s {
             return Err(AccelError::Config(format!(
                 "deadline {:.1} ms is below the nominal makespan {:.1} ms: every request would miss",
@@ -510,10 +606,10 @@ impl ServePool {
                 breaker: Breaker::new(cfg.breaker.clone()),
                 health: 1.0,
                 in_flight: None,
-                outcome: None,
-                run_corruption: CorruptionCounters::default(),
+                outcomes: HashMap::new(),
                 corruption: CorruptionCounters::default(),
                 served: 0,
+                batches: 0,
                 completed: 0,
                 failed: 0,
                 cancelled: 0,
@@ -525,6 +621,10 @@ impl ServePool {
             queue: VecDeque::new(),
             now_s: 0.0,
             nominal_s,
+            nominal_batch: HashMap::from([(1, nominal_s)]),
+            solo_load_s: nominal.load_busy_s,
+            load_busy_total_s: 0.0,
+            ok_batch_utts: 0,
             last_arrival_s: 0.0,
             submitted: 0,
             failed_over: 0,
@@ -538,6 +638,20 @@ impl ServePool {
     /// Fault-free makespan of one request (the service-time expectation).
     pub fn nominal_s(&self) -> f64 {
         self.nominal_s
+    }
+
+    /// Fault-free makespan of a size-`batch` dispatch — the projected batch
+    /// makespan a joining request's deadline is checked against. Memoised;
+    /// the underlying schedule is deterministic.
+    pub fn batch_nominal_s(&mut self, batch: usize) -> f64 {
+        if let Some(&t) = self.nominal_batch.get(&batch) {
+            return t;
+        }
+        let s = self.cfg.accel.max_seq_len;
+        let run = run_batch_through_runtime(&self.cfg.accel, self.cfg.arch, s, batch)
+            .expect("pool config validated at construction");
+        self.nominal_batch.insert(batch, run.makespan_s);
+        run.makespan_s
     }
 
     /// Submit one request arriving at `arrival_s` (must not decrease between
@@ -626,6 +740,13 @@ impl ServePool {
         if let Some(r) = self.queue.front() {
             fold(r.arrival_s + self.cfg.deadline_s);
         }
+        // A lingering underfull batch dispatches when the head's linger
+        // window closes, even with no other event pending.
+        if !self.draining && self.cfg.batch.max_batch > 1 && self.cfg.batch.linger_s > 0.0 {
+            if let Some(r) = self.queue.front() {
+                fold(r.arrival_s + self.cfg.batch.linger_s);
+            }
+        }
         t
     }
 
@@ -646,72 +767,85 @@ impl ServePool {
         self.dispatch();
     }
 
-    /// Settle every in-flight attempt whose finish time has been reached.
+    /// Settle every in-flight batch whose finish time has been reached:
+    /// score the card once per dispatch, then settle each member on its own
+    /// terms — a mid-batch fault fails over only the unfinished utterances.
     fn complete_finished(&mut self) {
         let now = self.now_s;
         for i in 0..self.devices.len() {
-            let Some(fl) = self.devices[i].in_flight.clone() else { continue };
-            if fl.finish_s > now + 1e-15 {
+            let due = matches!(&self.devices[i].in_flight, Some(fl) if fl.finish_s <= now + 1e-15);
+            if !due {
                 continue;
             }
-            self.devices[i].in_flight = None;
+            let fl = self.devices[i].in_flight.take().expect("checked above");
             self.devices[i].busy_s += fl.finish_s - fl.started_s;
-            let r = fl.request;
-            match fl.kind {
-                FinishKind::Success { service_s, quality } => {
-                    let d = &mut self.devices[i];
-                    d.completed += 1;
-                    d.breaker.on_success();
-                    d.health = 0.8 * d.health + 0.2 * quality;
-                    let device = d.id;
-                    self.finish_request(
-                        r.clone(),
-                        RequestOutcome::Completed {
-                            device,
-                            latency_s: fl.finish_s - r.arrival_s,
-                            service_s,
-                        },
-                    );
-                }
-                FinishKind::Failure => {
-                    self.note_attempt_failure(i, fl.finish_s, true);
-                    let err = AccelError::Unrecoverable {
-                        phase: "serve".into(),
-                        label: format!("request#{} on {}", r.id, self.devices[i].id),
-                        attempts: r.attempts,
-                        at_s: fl.finish_s,
-                    };
-                    self.failover_or(r, i, RequestOutcome::Failed(err));
-                }
-                FinishKind::AttemptTimeout => {
-                    self.note_attempt_failure(i, fl.finish_s, false);
-                    let err = AccelError::DeadlineExceeded {
-                        deadline_s: self.cfg.deadline_s,
-                        waited_s: fl.finish_s - r.arrival_s,
-                    };
-                    self.failover_or(r, i, RequestOutcome::DeadlineMissed(err));
-                }
-                FinishKind::DeadlineCancel => {
-                    self.note_attempt_failure(i, fl.finish_s, false);
-                    let err = AccelError::DeadlineExceeded {
-                        deadline_s: self.cfg.deadline_s,
-                        waited_s: fl.finish_s - r.arrival_s,
-                    };
-                    self.finish_request(r, RequestOutcome::DeadlineMissed(err));
+            let hard = fl.members.iter().any(|(_, _, e)| matches!(e, MemberEnd::Failure));
+            let soft = fl.members.iter().any(|(_, _, e)| {
+                matches!(e, MemberEnd::AttemptTimeout | MemberEnd::DeadlineCancel)
+            });
+            if hard || soft {
+                self.note_attempt_failure(i, fl.finish_s);
+            } else if let Some(quality) = fl.batch_quality {
+                let d = &mut self.devices[i];
+                d.breaker.on_success();
+                d.health = 0.8 * d.health + 0.2 * quality;
+            }
+            let batch = fl.members.len();
+            let device = self.devices[i].id;
+            // Reverse order so failover push_fronts leave the queue in
+            // request-id order.
+            for (r, t, end) in fl.members.into_iter().rev() {
+                match end {
+                    MemberEnd::Success { service_s } => {
+                        self.devices[i].completed += 1;
+                        self.finish_request(
+                            r.clone(),
+                            RequestOutcome::Completed {
+                                device,
+                                latency_s: t - r.arrival_s,
+                                service_s,
+                                batch,
+                                corruption: fl.run_corruption,
+                            },
+                        );
+                    }
+                    MemberEnd::Failure => {
+                        self.devices[i].failed += 1;
+                        let err = AccelError::Unrecoverable {
+                            phase: "serve".into(),
+                            label: format!("request#{} on {}", r.id, device),
+                            attempts: r.attempts,
+                            at_s: t,
+                        };
+                        self.failover_or(r, i, RequestOutcome::Failed(err));
+                    }
+                    MemberEnd::AttemptTimeout => {
+                        self.devices[i].cancelled += 1;
+                        let err = AccelError::DeadlineExceeded {
+                            deadline_s: self.cfg.deadline_s,
+                            waited_s: t - r.arrival_s,
+                        };
+                        self.failover_or(r, i, RequestOutcome::DeadlineMissed(err));
+                    }
+                    MemberEnd::DeadlineCancel => {
+                        self.devices[i].cancelled += 1;
+                        let err = AccelError::DeadlineExceeded {
+                            deadline_s: self.cfg.deadline_s,
+                            waited_s: t - r.arrival_s,
+                        };
+                        self.finish_request(r, RequestOutcome::DeadlineMissed(err));
+                    }
                 }
             }
         }
     }
 
-    fn note_attempt_failure(&mut self, device: usize, at_s: f64, hard: bool) {
+    /// A dispatch that ended in any failure or cancel counts once against
+    /// the card's breaker and health (member bookkeeping is separate).
+    fn note_attempt_failure(&mut self, device: usize, at_s: f64) {
         let d = &mut self.devices[device];
         d.breaker.on_failure(at_s);
         d.health *= 0.8;
-        if hard {
-            d.failed += 1;
-        } else {
-            d.cancelled += 1;
-        }
     }
 
     /// Re-enqueue a failed/timed-out request once onto the rest of the pool,
@@ -776,84 +910,155 @@ impl ServePool {
                 };
             }
             let Some((i, _)) = best else { break };
-            let mut r = self.queue.pop_front().expect("head just peeked");
-            r.attempts += 1;
-            self.start_attempt(i, r, deadline);
+            // Grow the dispatch past the head: a queued request only joins
+            // when the *projected batched makespan* still fits every
+            // member's deadline (batch-aware admission), and a failed-over
+            // request never rides the card it excluded.
+            let max_batch = self.cfg.batch.max_batch;
+            let mut size = 1usize;
+            while size < max_batch && size < self.queue.len() {
+                if self.queue[size].exclude == Some(i) {
+                    break;
+                }
+                let projected = self.batch_nominal_s(size + 1);
+                let fits = (0..=size)
+                    .all(|j| now + projected <= self.queue[j].arrival_s + self.cfg.deadline_s);
+                if !fits {
+                    break;
+                }
+                size += 1;
+            }
+            // Linger: hold an underfull batch open while the whole queue
+            // fits in it and the head's linger window is still running.
+            if !self.draining
+                && size < max_batch
+                && size == self.queue.len()
+                && now < head.arrival_s + self.cfg.batch.linger_s
+            {
+                break;
+            }
+            let members: Vec<Request> = (0..size)
+                .map(|_| {
+                    let mut r = self.queue.pop_front().expect("sized against the queue");
+                    r.attempts += 1;
+                    r
+                })
+                .collect();
+            self.start_attempt(i, members);
         }
     }
 
-    /// Place a request on a card and schedule how the attempt will end.
-    fn start_attempt(&mut self, device: usize, r: Request, deadline: f64) {
+    /// Place a batch on a card and schedule how each member will end.
+    fn start_attempt(&mut self, device: usize, members: Vec<Request>) {
         let now = self.now_s;
-        let outcome = self.device_outcome(device);
-        let d = &mut self.devices[device];
-        d.breaker.on_dispatch(now);
-        d.served += 1;
-        let per_run = d.run_corruption;
-        d.corruption.merge(&per_run);
+        let b = members.len();
+        let outcome = self.device_outcome(device, b);
         let attempt_cutoff = self.cfg.attempt_timeout_s.map(|t| now + t).unwrap_or(f64::INFINITY);
-        let (finish_s, kind) = match outcome {
-            AttemptOutcome::Ok { service_s, quality } => {
-                let finish = now + service_s;
-                if finish <= attempt_cutoff.min(deadline) {
-                    (finish, FinishKind::Success { service_s, quality })
-                } else if attempt_cutoff < deadline {
-                    (attempt_cutoff, FinishKind::AttemptTimeout)
-                } else {
-                    (deadline, FinishKind::DeadlineCancel)
-                }
+        let latest_deadline = members
+            .iter()
+            .map(|r| r.arrival_s + self.cfg.deadline_s)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cutoff = attempt_cutoff.min(latest_deadline);
+        let (settled, finish_s, batch_quality, run_corruption) = match outcome {
+            BatchOutcome::Ok { service_s, utt_finish_s, quality, corruption, load_busy_s } => {
+                self.load_busy_total_s += load_busy_s;
+                self.ok_batch_utts += b;
+                let mut all_ok = true;
+                let settled: Vec<(Request, f64, MemberEnd)> = members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(u, r)| {
+                        let end_u = now + utt_finish_s[u];
+                        let dl_u = r.arrival_s + self.cfg.deadline_s;
+                        if end_u <= cutoff && end_u <= dl_u {
+                            (r, end_u, MemberEnd::Success { service_s: utt_finish_s[u] })
+                        } else if dl_u <= cutoff {
+                            all_ok = false;
+                            (r, dl_u, MemberEnd::DeadlineCancel)
+                        } else {
+                            all_ok = false;
+                            (r, cutoff, MemberEnd::AttemptTimeout)
+                        }
+                    })
+                    .collect();
+                let finish_s = (now + service_s).min(cutoff);
+                (settled, finish_s, all_ok.then_some(quality), corruption)
             }
-            AttemptOutcome::Fail { fail_after_s } => {
-                let finish = now + fail_after_s;
-                if finish <= attempt_cutoff.min(deadline) {
-                    (finish, FinishKind::Failure)
-                } else if attempt_cutoff < deadline {
-                    (attempt_cutoff, FinishKind::AttemptTimeout)
-                } else {
-                    (deadline, FinishKind::DeadlineCancel)
-                }
+            BatchOutcome::Fail { fail_after_s, finished_s } => {
+                // A mid-batch fault: members whose last kernel already
+                // landed are served; the rest fail at the fault instant.
+                let fail_t = now + fail_after_s;
+                let settled: Vec<(Request, f64, MemberEnd)> = members
+                    .into_iter()
+                    .enumerate()
+                    .map(|(u, r)| {
+                        let dl_u = r.arrival_s + self.cfg.deadline_s;
+                        if let Some(&f) = finished_s.get(u) {
+                            let end_u = now + f;
+                            if end_u <= cutoff && end_u <= dl_u {
+                                return (r, end_u, MemberEnd::Success { service_s: f });
+                            }
+                        }
+                        if fail_t <= cutoff && fail_t <= dl_u {
+                            (r, fail_t, MemberEnd::Failure)
+                        } else if dl_u <= cutoff {
+                            (r, dl_u, MemberEnd::DeadlineCancel)
+                        } else {
+                            (r, cutoff, MemberEnd::AttemptTimeout)
+                        }
+                    })
+                    .collect();
+                let finish_s = fail_t.min(cutoff);
+                (settled, finish_s, None, CorruptionCounters::default())
             }
         };
-        d.in_flight = Some(InFlight { request: r, started_s: now, finish_s, kind });
+        let d = &mut self.devices[device];
+        d.breaker.on_dispatch(now);
+        d.served += b;
+        d.batches += 1;
+        d.corruption.merge(&run_corruption);
+        d.in_flight = Some(InFlight {
+            members: settled,
+            started_s: now,
+            finish_s,
+            batch_quality,
+            run_corruption,
+        });
     }
 
-    /// What an attempt on this card does — computed once per card by running
-    /// the card's fault plan through `run_with_recovery` (deterministic, so
-    /// every attempt on the card behaves identically).
-    fn device_outcome(&mut self, device: usize) -> AttemptOutcome {
-        if let Some(o) = self.devices[device].outcome {
-            return o;
+    /// What a size-`batch` dispatch on this card does — computed once per
+    /// (card, batch size) by running the card's fault plan through the
+    /// batched recovery runtime (deterministic, so every size-`batch`
+    /// dispatch on the card behaves identically).
+    fn device_outcome(&mut self, device: usize, batch: usize) -> BatchOutcome {
+        if let Some(o) = self.devices[device].outcomes.get(&batch) {
+            return o.clone();
         }
         let s = self.cfg.accel.max_seq_len;
-        let o = match run_with_recovery(
+        let o = match run_batch_with_recovery(
             &self.cfg.accel,
             self.cfg.arch,
             s,
+            batch,
             self.devices[device].plan.clone(),
             &self.cfg.policy,
         ) {
-            Ok(run) => {
-                self.devices[device].run_corruption = run.corruption;
-                AttemptOutcome::Ok {
-                    service_s: run.makespan_s,
-                    quality: run.runtime.command_stats().success_ratio(),
-                }
+            Ok(run) => BatchOutcome::Ok {
+                service_s: run.makespan_s,
+                quality: run.runtime.command_stats().success_ratio(),
+                corruption: run.corruption,
+                load_busy_s: run.load_busy_s,
+                utt_finish_s: run.utterance_finish_s,
+            },
+            // A card whose run dies — loudly (`Unrecoverable`) or via an
+            // exhausted CRC budget (`CorruptWeights`) — fails the still
+            // unfinished members at the recorded fault time; utterances
+            // already past their last kernel are carried in `finished_s`.
+            Err(fail) => {
+                BatchOutcome::Fail { fail_after_s: fail.at_s, finished_s: fail.finished_s }
             }
-            Err(AccelError::Unrecoverable { at_s, .. }) => {
-                AttemptOutcome::Fail { fail_after_s: at_s }
-            }
-            // A card whose stripes never fetch clean fails each attempt at
-            // the point the CRC budget ran out; repeated integrity failures
-            // then trip its breaker exactly like loud Unrecoverable runs.
-            Err(AccelError::CorruptWeights { at_s, .. }) => {
-                AttemptOutcome::Fail { fail_after_s: at_s }
-            }
-            Err(AccelError::CorruptCompute { .. }) => AttemptOutcome::Fail { fail_after_s: 0.0 },
-            // Configuration-level failures were ruled out in `with_plans`;
-            // treat anything else as an instant hard failure.
-            Err(_) => AttemptOutcome::Fail { fail_after_s: 0.0 },
         };
-        self.devices[device].outcome = Some(o);
+        self.devices[device].outcomes.insert(batch, o.clone());
         o
     }
 
@@ -902,6 +1107,14 @@ impl ServePool {
         for d in &self.devices {
             corruption.merge(&d.corruption);
         }
+        let batches: usize = self.devices.iter().map(|d| d.batches).sum();
+        let served: usize = self.devices.iter().map(|d| d.served).sum();
+        let mean_batch = if batches > 0 { served as f64 / batches as f64 } else { 0.0 };
+        let amortized_load_s = if self.ok_batch_utts > 0 {
+            self.load_busy_total_s / self.ok_batch_utts as f64
+        } else {
+            0.0
+        };
         ServeReport {
             submitted: self.submitted,
             completed,
@@ -932,6 +1145,12 @@ impl ServePool {
                 .collect(),
             records,
             corruption,
+            batches,
+            mean_batch,
+            occupancy: mean_batch / self.cfg.batch.max_batch as f64,
+            max_batch: self.cfg.batch.max_batch,
+            amortized_load_s,
+            solo_load_s: self.solo_load_s,
         }
     }
 }
@@ -1177,6 +1396,238 @@ mod tests {
         b.on_success();
         assert_eq!(b.state, BreakerState::Closed);
         assert!(b.would_admit(2.7));
+    }
+
+    #[test]
+    fn invalid_batch_config_is_a_typed_config_error() {
+        let mut c = cfg(1, 0, 10.0, 0.5);
+        c.batch = BatchConfig { max_batch: 0, linger_s: 0.0 };
+        assert!(matches!(ServePool::new(c).unwrap_err(), AccelError::Config(_)));
+        let mut c = cfg(1, 0, 10.0, 0.5);
+        c.batch = BatchConfig { max_batch: 4, linger_s: -1.0 };
+        assert!(matches!(ServePool::new(c).unwrap_err(), AccelError::Config(_)));
+    }
+
+    #[test]
+    fn batch_capable_pool_with_no_backlog_matches_the_solo_path_bitwise() {
+        // Two cards at 25 ms spacing with ~12 ms service: a device is always
+        // free at arrival, so the queue never backs up and every dispatch is
+        // solo. The batch-capable pool must then reproduce the max_batch=1
+        // path bit for bit — request by request.
+        let base = cfg(2, 0, 40.0, 0.5);
+        let mut batched = base.clone();
+        batched.batch = BatchConfig { max_batch: 4, linger_s: 0.0 };
+        let a = ServePool::run(base).unwrap();
+        let b = ServePool::run(batched).unwrap();
+        assert_eq!(a.submitted, b.submitted);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.wall_s.to_bits(), b.wall_s.to_bits());
+        assert_eq!(a.p50_latency_s.to_bits(), b.p50_latency_s.to_bits());
+        assert_eq!(a.p99_latency_s.to_bits(), b.p99_latency_s.to_bits());
+        for (x, y) in a.records.iter().zip(&b.records) {
+            match (&x.outcome, &y.outcome) {
+                (
+                    RequestOutcome::Completed { latency_s: la, service_s: sa, device: da, .. },
+                    RequestOutcome::Completed {
+                        latency_s: lb,
+                        service_s: sb,
+                        device: db,
+                        batch,
+                        ..
+                    },
+                ) => {
+                    assert_eq!(da, db);
+                    assert_eq!(la.to_bits(), lb.to_bits(), "request {}", x.id);
+                    assert_eq!(sa.to_bits(), sb.to_bits(), "request {}", x.id);
+                    assert_eq!(*batch, 1);
+                }
+                other => panic!("outcomes diverged: {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn backlog_coalesces_and_amortizes_weight_loads() {
+        // One card, 1 ms arrivals, ~12 ms service: the backlog forms batches
+        // and each batch pays its layer loads once, so the per-utterance
+        // amortized load cost drops below the solo baseline.
+        let mut c = cfg(1, 0, 1000.0, 0.5);
+        c.requests = 9;
+        c.batch = BatchConfig { max_batch: 4, linger_s: 0.0 };
+        let report = ServePool::run(c).unwrap();
+        assert_eq!(report.completed, report.submitted);
+        assert!(
+            report.records.iter().any(|r| matches!(
+                r.outcome,
+                RequestOutcome::Completed { batch, .. } if batch > 1
+            )),
+            "a 9-deep backlog on one card must coalesce"
+        );
+        assert!(report.batches < report.submitted);
+        assert!(report.mean_batch > 1.0);
+        assert!(report.occupancy > 0.0 && report.occupancy <= 1.0);
+        assert!(report.solo_load_s > 0.0);
+        assert!(
+            report.amortized_load_s < report.solo_load_s,
+            "amortized {} must beat solo {}",
+            report.amortized_load_s,
+            report.solo_load_s
+        );
+        let rendered = report.render();
+        assert!(rendered.contains("occupancy"), "{}", rendered);
+        assert!(rendered.contains("amortized"), "{}", rendered);
+    }
+
+    #[test]
+    fn linger_holds_an_underfull_batch_until_it_fills_or_expires() {
+        let mut c = cfg(1, 0, 10.0, 0.5);
+        c.batch = BatchConfig { max_batch: 2, linger_s: 0.005 };
+        let mut pool = ServePool::new(c).unwrap();
+        let n1 = pool.nominal_s();
+        pool.submit(0.0).unwrap(); // lingers...
+        pool.submit(0.002).unwrap(); // ...fills the batch: dispatch at 2 ms
+        pool.submit(0.1).unwrap(); // lone: lingers the full 5 ms window
+        pool.submit(0.2).unwrap(); // lone at drain: dispatches immediately
+        let report = pool.drain();
+        assert_eq!(report.completed, 4);
+        match &report.records[0].outcome {
+            RequestOutcome::Completed { latency_s, batch, .. } => {
+                assert_eq!(*batch, 2);
+                // Held 2 ms for the batch to fill, then served batched.
+                assert!(*latency_s > 0.002 + n1, "latency {}", latency_s);
+            }
+            other => panic!("unexpected outcome {:?}", other),
+        }
+        match &report.records[2].outcome {
+            RequestOutcome::Completed { latency_s, batch, .. } => {
+                assert_eq!(*batch, 1);
+                // Dispatched exactly when its linger window closed.
+                assert!(
+                    (*latency_s - (0.005 + n1)).abs() < 1e-9,
+                    "latency {} vs linger+nominal {}",
+                    latency_s,
+                    0.005 + n1
+                );
+            }
+            other => panic!("unexpected outcome {:?}", other),
+        }
+        match &report.records[3].outcome {
+            RequestOutcome::Completed { latency_s, batch, .. } => {
+                assert_eq!(*batch, 1);
+                // Draining skips the linger: served at its arrival.
+                assert!((*latency_s - n1).abs() < 1e-9, "latency {}", latency_s);
+            }
+            other => panic!("unexpected outcome {:?}", other),
+        }
+    }
+
+    #[test]
+    fn request_whose_deadline_cannot_fit_the_batch_is_not_coalesced() {
+        let mut probe_cfg = cfg(1, 0, 10.0, 1.0);
+        probe_cfg.batch = BatchConfig { max_batch: 2, linger_s: 0.0 };
+        probe_cfg.attempt_timeout_s = None;
+        let mut probe = ServePool::new(probe_cfg.clone()).unwrap();
+        let n1 = probe.nominal_s();
+        let n2 = probe.batch_nominal_s(2);
+        assert!(n2 > n1, "a second utterance must lengthen the batch");
+        // Deadline window where the queue head fits solo at its dispatch
+        // time (~n1, after the first request's run) but a batch of two
+        // would blow its deadline: 2*n1 - a1 <= d < n1 + n2 - a1.
+        let tight = 2.0 * n1 - 0.001 + 0.5 * (n2 - n1);
+        let mut c = probe_cfg.clone();
+        c.deadline_s = tight;
+        let mut pool = ServePool::new(c).unwrap();
+        pool.submit(0.0).unwrap();
+        pool.submit(0.001).unwrap();
+        pool.submit(0.002).unwrap();
+        let report = pool.drain();
+        assert!(
+            !report.records.iter().any(|r| matches!(
+                r.outcome,
+                RequestOutcome::Completed { batch, .. } if batch > 1
+            )),
+            "no batch may form against the tight deadline"
+        );
+        assert!(
+            matches!(report.records[1].outcome, RequestOutcome::Completed { batch: 1, .. }),
+            "the head still serves solo: {:?}",
+            report.records[1].outcome
+        );
+        // Control: the same arrivals with a roomy deadline do coalesce.
+        let mut pool = ServePool::new(probe_cfg).unwrap();
+        pool.submit(0.0).unwrap();
+        pool.submit(0.001).unwrap();
+        pool.submit(0.002).unwrap();
+        let report = pool.drain();
+        assert!(report
+            .records
+            .iter()
+            .any(|r| matches!(r.outcome, RequestOutcome::Completed { batch: 2, .. })));
+    }
+
+    #[test]
+    fn mid_batch_fault_fails_over_only_the_unfinished_utterances() {
+        // Card 0 hangs utterance 1's final-phase kernel — a fault only a
+        // batched dispatch can trigger (solo labels carry no [u1]). The
+        // batch's first utterance is already finished when the run dies, so
+        // only the second fails over; card 1 serves it.
+        let mut c = cfg(2, 0, 200.0, 1.0);
+        c.batch = BatchConfig { max_batch: 2, linger_s: 0.0 };
+        let plans = vec![
+            FaultPlan::none().with(FaultKind::KernelHang {
+                label: "D6f[u1]".into(),
+                failing_attempts: u32::MAX,
+            }),
+            FaultPlan::none(),
+        ];
+        let mut pool = ServePool::with_plans(c, plans).unwrap();
+        for i in 0..4usize {
+            pool.submit(i as f64 * 1e-4).unwrap();
+        }
+        let report = pool.drain();
+        assert_eq!(report.completed, 4, "records: {:?}", report.records);
+        assert_eq!(report.failed_over, 1);
+        // Request 2 rode the front of the faulty batch and still completed.
+        match &report.records[2].outcome {
+            RequestOutcome::Completed { batch, .. } => assert_eq!(*batch, 2),
+            other => panic!("unexpected outcome {:?}", other),
+        }
+        assert!(!report.records[2].failed_over);
+        // Request 3 was the unfinished utterance: failed over, served solo.
+        match &report.records[3].outcome {
+            RequestOutcome::Completed { batch, device, .. } => {
+                assert_eq!(*batch, 1);
+                assert_eq!(*device, DeviceId::new(1));
+            }
+            other => panic!("unexpected outcome {:?}", other),
+        }
+        assert!(report.records[3].failed_over);
+        assert_eq!(report.records[3].attempts, 2);
+        assert_eq!(report.per_device[0].failed, 1);
+    }
+
+    #[test]
+    fn mid_batch_fault_without_failover_is_a_typed_unrecoverable() {
+        let mut c = cfg(1, 0, 200.0, 1.0);
+        c.batch = BatchConfig { max_batch: 2, linger_s: 0.0 };
+        let plans = vec![FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "D6f[u1]".into(), failing_attempts: u32::MAX })];
+        let mut pool = ServePool::with_plans(c, plans).unwrap();
+        pool.submit(0.0).unwrap();
+        pool.submit(1e-4).unwrap();
+        pool.submit(2e-4).unwrap();
+        let report = pool.drain();
+        // Solo dispatches never match the fault; the batch's front member
+        // survives it; only the hung utterance fails, typed.
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.failed, 1);
+        assert_eq!(report.failed_over, 0, "one card: nowhere to fail over");
+        match &report.records[2].outcome {
+            RequestOutcome::Failed(e) => {
+                assert!(matches!(e, AccelError::Unrecoverable { .. }), "{}", e)
+            }
+            other => panic!("unexpected outcome {:?}", other),
+        }
     }
 
     #[test]

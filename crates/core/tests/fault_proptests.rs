@@ -14,6 +14,15 @@ use asr_transformer::weights::ModelWeights;
 use asr_transformer::TransformerConfig;
 use proptest::prelude::*;
 
+/// Case count: `PROPTEST_CASES` when set (the CI deep-proptest job exports
+/// 512), else the tier-1 default. The vendored proptest does not read the
+/// environment itself, so the config expression does.
+fn env_cases(default: u32) -> ProptestConfig {
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
+    ProptestConfig::with_cases(cases)
+}
+
 /// Strategy: a valid accelerator configuration with randomized PSA shape,
 /// head split and built length (mirrors the scheduling proptests).
 fn valid_config() -> impl Strategy<Value = AccelConfig> {
@@ -39,7 +48,7 @@ fn any_arch() -> impl Strategy<Value = Architecture> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+    #![proptest_config(env_cases(32))]
 
     // With an empty fault plan the recovery harness is a no-op wrapper:
     // the timeline and the makespan must be *bit-identical* to the plain

@@ -41,6 +41,50 @@ impl Model {
         x
     }
 
+    /// Run the encoder stack over a batch of utterances **layer-major**:
+    /// every utterance advances through layer `l` before any touches layer
+    /// `l+1`, mirroring the accelerator's batched schedule where each
+    /// layer's weights are resident once and the batch streams under them.
+    /// Each output is bit-identical to [`Model::encode`] on that utterance
+    /// alone — weights are read-only, so residency order cannot change the
+    /// arithmetic.
+    pub fn encode_batch(&self, features: &[Matrix], backend: &dyn MatMul) -> Vec<Matrix> {
+        let mut xs: Vec<Matrix> = features
+            .iter()
+            .map(|f| {
+                assert_eq!(
+                    f.cols(),
+                    self.config.d_model,
+                    "encoder input width {} != d_model {}",
+                    f.cols(),
+                    self.config.d_model
+                );
+                f.clone()
+            })
+            .collect();
+        for enc in &self.weights.encoders {
+            for x in xs.iter_mut() {
+                *x = encoder_forward(x, enc, backend);
+            }
+        }
+        xs
+    }
+
+    /// Full recognition over a batch: layer-major batched encode, then a
+    /// greedy decode per utterance. Token-for-token identical to
+    /// [`Model::transcribe_tokens`] on each utterance alone.
+    pub fn transcribe_batch(
+        &self,
+        features: &[Matrix],
+        max_len: usize,
+        backend: &dyn MatMul,
+    ) -> Vec<Vec<TokenId>> {
+        self.encode_batch(features, backend)
+            .iter()
+            .map(|memory| self.greedy_decode(memory, max_len, backend))
+            .collect()
+    }
+
     /// Embed a token sequence into a `t × d_model` matrix (no positional
     /// encoding — the paper's model removed it).
     pub fn embed(&self, tokens: &[TokenId]) -> Matrix {
@@ -162,6 +206,29 @@ mod tests {
         assert!(t1.len() <= 13);
         // every generated token is in-vocab
         assert!(t1.iter().all(|&t| t < m.config.vocab_size));
+    }
+
+    #[test]
+    fn batched_encode_is_bit_identical_to_solo_encodes() {
+        let m = tiny_model();
+        let features: Vec<Matrix> =
+            (0..4).map(|i| init::uniform(5, m.config.d_model, -1.0, 1.0, 100 + i)).collect();
+        let batched = m.encode_batch(&features, &ReferenceBackend);
+        assert_eq!(batched.len(), 4);
+        for (f, b) in features.iter().zip(&batched) {
+            assert_eq!(*b, m.encode(f, &ReferenceBackend), "layer-major must not change bits");
+        }
+    }
+
+    #[test]
+    fn batched_transcription_matches_solo_token_for_token() {
+        let m = tiny_model();
+        let features: Vec<Matrix> =
+            (0..3).map(|i| init::uniform(6, m.config.d_model, -4.0, 4.0, 31 * (i + 1))).collect();
+        let batched = m.transcribe_batch(&features, 8, &ReferenceBackend);
+        for (f, b) in features.iter().zip(&batched) {
+            assert_eq!(*b, m.transcribe_tokens(f, 8, &ReferenceBackend));
+        }
     }
 
     #[test]

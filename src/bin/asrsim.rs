@@ -14,8 +14,10 @@
 //!                                      fault-injected run: degraded vs nominal
 //! asrsim --faults <seed> [--s N]       same, as a flag
 //! asrsim serve [--devices N] [--faults SEED] [--rps R] [--deadline-ms D]
-//!              [--n K] [--queue Q] [--integrity off|detect|detect-recompute]
-//!                                      multi-device serving runtime
+//!              [--n K] [--queue Q] [--batch B] [--linger-ms L]
+//!              [--integrity off|detect|detect-recompute]
+//!                                      multi-device serving runtime with
+//!                                      dynamic batching
 //! ```
 
 use std::process::ExitCode;
@@ -310,6 +312,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     cfg.accel.integrity = level;
     cfg.requests = parse_flag(args, "--n", cfg.requests);
     cfg.queue_capacity = parse_flag(args, "--queue", cfg.queue_capacity);
+    cfg.batch.max_batch = parse_flag(args, "--batch", cfg.batch.max_batch);
+    cfg.batch.linger_s = parse_f64_flag(args, "--linger-ms", cfg.batch.linger_s * 1e3) / 1e3;
     println!("devices              : {}", cfg.devices);
     println!("pool fault seed      : {}", cfg.fault_seed);
     println!("integrity level      : {}", level.name());
@@ -317,6 +321,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("deadline             : {:8.2} ms", cfg.deadline_s * 1e3);
     println!("requests             : {}", cfg.requests);
     println!("queue capacity       : {}", cfg.queue_capacity);
+    println!("max batch            : {}", cfg.batch.max_batch);
+    println!("batch linger         : {:8.2} ms", cfg.batch.linger_s * 1e3);
     match ServePool::run(cfg) {
         Ok(report) => {
             print!("{}", report.render());

@@ -144,6 +144,62 @@ fn serve_same_seed_is_bit_identical_across_runs() {
 }
 
 #[test]
+fn serve_batched_reports_occupancy_and_amortized_loads() {
+    let (ok, out) = run(&[
+        "serve",
+        "--devices",
+        "2",
+        "--batch",
+        "4",
+        "--linger-ms",
+        "5",
+        "--faults",
+        "7",
+        "--rps",
+        "120",
+        "--deadline-ms",
+        "200",
+        "--n",
+        "80",
+    ]);
+    assert!(ok, "batched serve must exit cleanly:\n{}", out);
+    assert!(out.contains("max batch            : 4"), "{}", out);
+    assert!(out.contains("batch linger         :"), "{}", out);
+    assert!(out.contains("occupancy"), "occupancy line missing:\n{}", out);
+    assert!(out.contains("amortized load/utt"), "amortization line missing:\n{}", out);
+    assert!(out.contains("batches dispatched"), "{}", out);
+}
+
+#[test]
+fn serve_batched_same_seed_is_bit_identical_across_runs() {
+    let args = [
+        "serve",
+        "--devices",
+        "2",
+        "--batch",
+        "4",
+        "--linger-ms",
+        "5",
+        "--faults",
+        "7",
+        "--rps",
+        "120",
+        "--n",
+        "80",
+    ];
+    let (ok_a, out_a) = run(&args);
+    let (ok_b, out_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(out_a, out_b, "same seed must reproduce the identical batched report");
+}
+
+#[test]
+fn serve_rejects_a_zero_batch() {
+    let (ok, _) = run(&["serve", "--batch", "0"]);
+    assert!(!ok, "batch 0 must be refused");
+}
+
+#[test]
 fn serve_rejects_an_impossible_deadline() {
     let (ok, _) = run(&["serve", "--deadline-ms", "0.001"]);
     assert!(!ok, "a deadline below the nominal makespan must be refused");

@@ -1,8 +1,8 @@
 //! Reference-work data for Table 5.6 (published numbers, §5.1.7).
 //!
 //! The paper compares GFLOPs-per-second against three published
-//! implementations: the HAT CPU baseline [34], and the GPU and FPGA designs
-//! of Qi et al. [29] (2-encoder/1-decoder transformer, hidden 400, FF 200,
+//! implementations: the HAT CPU baseline \[34\], and the GPU and FPGA designs
+//! of Qi et al. \[29\] (2-encoder/1-decoder transformer, hidden 400, FF 200,
 //! 4 heads, on 8× Quadro RTX 6000 and an Alveo U200). No code exists to
 //! port, so their printed numbers are data.
 

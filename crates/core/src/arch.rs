@@ -10,14 +10,20 @@
 //!   Decoder layers split their load into the combined M-MHA+MHA phase and
 //!   the FFN phase, loaded concurrently on the two engines (Fig 4.11).
 //!
-//! Each simulator builds an explicit [`Timeline`], so unit exclusivity (no
-//! double-booked load engine or PSA pool) is machine-checked, and stalls are
-//! measured rather than assumed.
+//! Since the `core::plan` refactor the three architectures are not three
+//! simulators: [`simulate_batch`] lowers the request into one
+//! [`crate::plan::ExecPlan`] (where A1/A2/A3 differ only in the prefetch
+//! edges the lowering emits) and prices it with the analytic walker
+//! [`crate::plan::walk_cost`]. The walker builds an explicit [`Timeline`],
+//! so unit exclusivity (no double-booked load engine or PSA pool) is
+//! machine-checked, and stalls are measured rather than assumed.
 
 use crate::calib;
 use crate::config::AccelConfig;
-use crate::schedule::{decoder, encoder};
-use asr_fpga_sim::{Cycles, Timeline};
+use crate::plan::{walk_cost, ExecPlan, PlanCost};
+use crate::schedule::encoder;
+use asr_fpga_sim::Timeline;
+use asr_systolic::abft::IntegrityLevel;
 use serde::{Deserialize, Serialize};
 
 /// Which overlap architecture to simulate.
@@ -43,17 +49,6 @@ impl Architecture {
             Architecture::A3 => "A3",
         }
     }
-}
-
-/// One schedulable unit of work: a weight-load phase plus its compute phase.
-#[derive(Debug, Clone)]
-struct Phase {
-    label: String,
-    load_bytes: u64,
-    compute: Cycles,
-    /// A3 decoders: this phase's load may start together with the previous
-    /// phase's load (the Fig 4.11 M-MHA/FFN pairing).
-    pair_with_prev_load: bool,
 }
 
 /// Analytic weight footprints (f32 bytes) of the model's layer phases.
@@ -111,44 +106,20 @@ pub struct ArchResult {
     pub timeline: Timeline,
 }
 
-/// Build the 18-layer phase list for an architecture.
-fn build_phases(cfg: &AccelConfig, s: usize, arch: Architecture) -> Vec<Phase> {
-    let bytes = layer_bytes(cfg);
-    let clock_phases_split = arch == Architecture::A3;
-    let mut phases = Vec::new();
-    for i in 0..cfg.model.n_encoders {
-        phases.push(Phase {
-            label: format!("E{}", i + 1),
-            load_bytes: bytes.encoder,
-            compute: encoder::encoder_cycles(cfg, s),
-            pair_with_prev_load: false,
-        });
-    }
-    for i in 0..cfg.model.n_decoders {
-        if clock_phases_split {
-            // Fig 4.11: LWi_m ∥ LWi_f on the two engines; Ci_m then Ci_f.
-            phases.push(Phase {
-                label: format!("D{}m", i + 1),
-                load_bytes: bytes.decoder_mha,
-                compute: decoder::decoder_mha_phase_cycles(cfg, s),
-                pair_with_prev_load: false,
-            });
-            phases.push(Phase {
-                label: format!("D{}f", i + 1),
-                load_bytes: bytes.decoder_ffn,
-                compute: decoder::decoder_ffn_phase_cycles(cfg, s),
-                pair_with_prev_load: true,
-            });
-        } else {
-            phases.push(Phase {
-                label: format!("D{}", i + 1),
-                load_bytes: bytes.decoder_mha + bytes.decoder_ffn,
-                compute: decoder::decoder_cycles(cfg, s),
-                pair_with_prev_load: false,
-            });
+impl ArchResult {
+    /// Assemble the public result from a plan and its analytic pricing.
+    fn from_cost(plan: &ExecPlan, cost: PlanCost) -> ArchResult {
+        ArchResult {
+            arch: plan.arch,
+            seq_len: plan.seq_len,
+            batch: plan.batch,
+            latency_s: cost.latency_s,
+            load_total_s: cost.load_total_s,
+            compute_total_s: cost.compute_total_s,
+            compute_stall_s: cost.compute_stall_s,
+            timeline: cost.timeline,
         }
     }
-    phases
 }
 
 /// Simulate an architecture for an input of (unpadded) length `input_len`.
@@ -169,91 +140,19 @@ pub fn simulate(cfg: &AccelConfig, arch: Architecture, input_len: usize) -> Arch
 ///
 /// `batch == 1` reproduces [`simulate`] bit-for-bit (same spans, same
 /// labels: the compute scale factor is exactly 1.0).
+///
+/// Since the plan refactor this is a thin wrapper: lower once, price with
+/// the shared analytic walker. The A1/A2/A3 recurrences live in the plan's
+/// edges, not here.
 pub fn simulate_batch(
     cfg: &AccelConfig,
     arch: Architecture,
     input_len: usize,
     batch: usize,
 ) -> ArchResult {
-    cfg.validate().expect("valid accelerator configuration");
-    assert!(batch >= 1, "batch size must be >= 1");
-    let s = cfg.padded_seq_len(input_len);
-    let clock = cfg.device.clock;
-    let phases = build_phases(cfg, s, arch);
-
-    // Per-engine channel budget: A1/A2 drive one two-channel engine; A3
-    // drives two engines of two channels each (§5.1.6).
-    let channels_per_engine = calib::HBM_CHANNELS_A1_A2;
-    let engines: usize = match arch {
-        Architecture::A1 | Architecture::A2 => 1,
-        Architecture::A3 => 2,
-    };
-
-    let load_time = |bytes: u64| cfg.device.hbm.read_time_s(bytes, channels_per_engine);
-
-    let mut tl = Timeline::new();
-    let mut compute_end = vec![0.0f64; phases.len()];
-    let mut load_end = vec![0.0f64; phases.len()];
-
-    match arch {
-        Architecture::A1 => {
-            let mut t = 0.0;
-            for (i, p) in phases.iter().enumerate() {
-                let lt = load_time(p.load_bytes);
-                tl.push("load-0", format!("LW{}", p.label), t, t + lt).unwrap();
-                let ct = clock.to_seconds(p.compute) * batch as f64;
-                tl.push("compute", format!("C{}", p.label), t + lt, t + lt + ct).unwrap();
-                load_end[i] = t + lt;
-                compute_end[i] = t + lt + ct;
-                t = compute_end[i];
-            }
-        }
-        Architecture::A2 | Architecture::A3 => {
-            let mut engine_free = vec![0.0f64; engines];
-            for (i, p) in phases.iter().enumerate() {
-                let engine = i % engines;
-                let lt = load_time(p.load_bytes);
-                // Double-buffered weights at PHASE granularity: each load
-                // phase (a whole encoder, or a decoder's M-MHA/FFN half,
-                // Fig 4.11) owns a buffer slot freed by the compute two
-                // phases back. This is the stricter of the two plausible
-                // buffer policies and the one that reproduces the paper's
-                // measured Table 5.1 gains (1.94x -> 1.46x); gating at layer
-                // granularity overlaps deeper and overshoots them.
-                let buffer_free = if i >= 2 { compute_end[i - 2] } else { 0.0 };
-                let mut start = engine_free[engine].max(buffer_free);
-                if p.pair_with_prev_load && i >= 1 {
-                    // Fig 4.11: the FFN load launches together with its MHA
-                    // partner's load (they occupy different engines).
-                    let partner_start = load_end[i - 1] - load_time(phases[i - 1].load_bytes);
-                    start = start.max(partner_start);
-                }
-                tl.push(format!("load-{}", engine), format!("LW{}", p.label), start, start + lt)
-                    .unwrap();
-                load_end[i] = start + lt;
-                engine_free[engine] = start + lt;
-
-                let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
-                let cs = load_end[i].max(prev_c);
-                let ct = clock.to_seconds(p.compute) * batch as f64;
-                tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
-                compute_end[i] = cs + ct;
-            }
-        }
-    }
-
-    let latency_s = tl.makespan();
-    let load_total_s: f64 = (0..engines).map(|e| tl.busy_time(&format!("load-{}", e))).sum();
-    ArchResult {
-        arch,
-        seq_len: s,
-        batch,
-        latency_s,
-        load_total_s,
-        compute_total_s: tl.busy_time("compute"),
-        compute_stall_s: tl.stall_time("compute"),
-        timeline: tl,
-    }
+    let plan = ExecPlan::lower(cfg, arch, input_len, batch, IntegrityLevel::Off)
+        .expect("valid simulation request");
+    ArchResult::from_cost(&plan, walk_cost(cfg, &plan))
 }
 
 /// Load time of one encoder layer's weights (Fig 5.2's "Load" series), seconds.

@@ -4,6 +4,8 @@
 //! useless for a host runtime that must *survive* faults and degrade instead
 //! of dying. [`AccelError`] is the error type every fallible entry point
 //! ([`crate::config::AccelConfig::validate`],
+//! [`crate::plan::PlanBuilder::build`] — where lowering rejects bad batches
+//! and over-length inputs before any executor runs —
 //! [`crate::host_runtime::run_through_runtime`],
 //! [`crate::host_runtime::run_with_recovery`],
 //! [`crate::host::HostController`]) returns; panics are reserved for

@@ -1,12 +1,14 @@
 //! The 18-layer schedule expressed through the OpenCL-style runtime model.
 //!
-//! `arch::simulate` computes the A1/A2/A3 schedules with a bespoke recurrence;
-//! this module drives the *same* schedule through the event-based
+//! `arch::simulate` prices the lowered [`ExecPlan`] analytically; this
+//! module *executes* the same plan through the event-based
 //! [`asr_fpga_sim::runtime::Runtime`] — command queues, buffers, events —
-//! exactly as the paper's host code does through OpenCL (§2.2.7). The two
-//! simulators are independent implementations of the same contract, and the
-//! tests pin them to each other: a disagreement means one of them mis-models
-//! the overlap structure.
+//! exactly as the paper's host code does through OpenCL (§2.2.7).
+//! [`run_plan`] replays the plan's `LoadStripe`/`Compute` nodes fault-free;
+//! [`run_plan_with_recovery`] replays them under a fault plan with the full
+//! retry/degradation machinery. The analytic walker and this executor are
+//! independent consumers of one IR, and the tests pin them to each other: a
+//! disagreement means one of them mis-models the overlap structure.
 //!
 //! On top of the fault-free path ([`run_through_runtime`]) sits the
 //! fault-tolerant host ([`run_with_recovery`]): every command's
@@ -41,78 +43,15 @@
 //! [`CorruptionCounters`] report injected/detected/refetched/recomputed/
 //! escaped totals.
 
-use crate::arch::{layer_bytes, Architecture};
+use crate::arch::Architecture;
 use crate::calib;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
-use crate::integrity::CorruptionCounters;
-use crate::schedule::{decoder, encoder};
+use crate::integrity::{crc_refetch_step, CorruptionCounters, CrcStep};
+use crate::plan::{phase_compute_s, ExecPlan, PlanCmd};
 use asr_fpga_sim::device::SlrId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 use asr_fpga_sim::runtime::{CommandStatus, Event, QueueId, Runtime, FAULT_UNIT};
-
-/// Which compute recurrence a phase uses (so degraded configurations can
-/// re-derive the phase cost mid-run).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PhaseKind {
-    Encoder,
-    DecoderMha,
-    DecoderFfn,
-    DecoderFull,
-}
-
-/// Static phase metadata: label, weight traffic, and cost recurrence.
-#[derive(Debug, Clone)]
-struct PhaseMeta {
-    label: String,
-    bytes: u64,
-    kind: PhaseKind,
-}
-
-/// The 18-layer (24-phase at A3 granularity) schedule skeleton.
-fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PhaseMeta> {
-    let bytes = layer_bytes(cfg);
-    let mut phases: Vec<PhaseMeta> = Vec::new();
-    for i in 0..cfg.model.n_encoders {
-        phases.push(PhaseMeta {
-            label: format!("E{}", i + 1),
-            bytes: bytes.encoder,
-            kind: PhaseKind::Encoder,
-        });
-    }
-    for i in 0..cfg.model.n_decoders {
-        if arch == Architecture::A3 {
-            phases.push(PhaseMeta {
-                label: format!("D{}m", i + 1),
-                bytes: bytes.decoder_mha,
-                kind: PhaseKind::DecoderMha,
-            });
-            phases.push(PhaseMeta {
-                label: format!("D{}f", i + 1),
-                bytes: bytes.decoder_ffn,
-                kind: PhaseKind::DecoderFfn,
-            });
-        } else {
-            phases.push(PhaseMeta {
-                label: format!("D{}", i + 1),
-                bytes: bytes.decoder_mha + bytes.decoder_ffn,
-                kind: PhaseKind::DecoderFull,
-            });
-        }
-    }
-    phases
-}
-
-/// Seconds of compute for one phase under a (possibly degraded) config.
-fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
-    let clock = cfg.device.clock;
-    match kind {
-        PhaseKind::Encoder => clock.to_seconds(encoder::encoder_cycles(cfg, s)),
-        PhaseKind::DecoderMha => clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
-        PhaseKind::DecoderFfn => clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
-        PhaseKind::DecoderFull => clock.to_seconds(decoder::decoder_cycles(cfg, s)),
-    }
-}
 
 /// Per-utterance kernel label: the solo stream keeps the historical
 /// `C{phase}` labels (bit-identity with every pre-batching pin), a batched
@@ -188,83 +127,78 @@ pub fn run_through_runtime(
 /// At `batch == 1` the emitted command stream is identical — labels,
 /// dependency sets, order — to [`run_through_runtime`]'s, which is what the
 /// batch-vs-solo bit-identity tests pin.
+///
+/// Since the plan refactor this is a thin wrapper: lower once, replay with
+/// the shared executor [`run_plan`].
 pub fn run_batch_through_runtime(
     cfg: &AccelConfig,
     arch: Architecture,
     input_len: usize,
     batch: usize,
 ) -> Result<BatchRun> {
-    cfg.validate()?;
-    if batch == 0 {
-        return Err(AccelError::Config("batch size must be >= 1".into()));
-    }
-    let s = cfg.checked_padded_seq_len(input_len)?;
+    let plan = ExecPlan::lower(cfg, arch, input_len, batch, cfg.integrity)?;
+    Ok(run_plan(cfg, &plan))
+}
 
+/// The fault-free plan executor: replay an [`ExecPlan`]'s command DAG
+/// through the runtime in dispatch order. Every `LoadStripe` becomes an HBM
+/// load on its assigned engine queue (`maxi-{e}`), every `Compute` a kernel
+/// on its assigned SLR, with the plan's edges mapped to runtime events.
+/// `Verify` and `Barrier` nodes are semantic markers — CRC cost lives in
+/// the payload checks, ABFT cost in the kernel cycles — so they dispatch
+/// nothing.
+pub fn run_plan(cfg: &AccelConfig, plan: &ExecPlan) -> BatchRun {
     let mut rt = Runtime::new(cfg.device.clone());
-    if batch > 1 {
-        rt.set_batch_tag(Some(format!("B{}", batch)));
-    }
-    let engines = match arch {
-        Architecture::A3 => 2,
-        _ => 1,
-    };
+    rt.set_plan_tag(plan.tag());
     let load_queues: Vec<_> =
-        (0..engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
+        (0..plan.engines()).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
     let compute_queue = rt.create_queue("kernels");
 
-    let phases = phase_list(cfg, arch);
-    let last_phase = phases.len() - 1;
-    // Per phase, the compute event of the batch's *last* utterance: that is
-    // what frees the double-buffer slot (and what A1 loads serialize on).
-    let mut phase_last_compute: Vec<Event> = Vec::with_capacity(phases.len());
-    let mut prev_compute: Option<Event> = None;
+    let (batch, s) = (plan.batch, plan.seq_len);
+    let last_phase = plan.phases.len() - 1;
+    let mut events: Vec<Option<Event>> = vec![None; plan.nodes.len()];
+    let ev = |events: &[Option<Event>], ids: &[usize]| -> Vec<Event> {
+        ids.iter().map(|&d| events[d].expect("plan deps precede their node")).collect()
+    };
     let mut utterance_finish_s: Vec<f64> = Vec::with_capacity(batch);
-    for (i, p) in phases.iter().enumerate() {
-        // Phase-granular double buffer (see arch.rs): this load's slot is
-        // freed by the compute two phases back.
-        let mut deps: Vec<Event> = Vec::new();
-        if i >= 2 {
-            deps.push(phase_last_compute[i - 2]);
-        }
-        if arch == Architecture::A1 && i >= 1 {
-            // No overlap at A1: every load waits out the previous compute.
-            deps.push(phase_last_compute[i - 1]);
-        }
-        // Fig 4.11 pairing is positional: the paired FFN load lands on the
-        // other engine, which the in-order queue handles naturally; the
-        // dependency set is identical.
+    for (i, p) in plan.phases.iter().enumerate() {
+        let lw_id = plan.load_of(i);
+        let node = &plan.nodes[lw_id];
+        let PlanCmd::LoadStripe { engine, bytes, .. } = node.cmd else {
+            unreachable!("load_of indexes a LoadStripe")
+        };
         let lw = rt.enqueue_hbm_load(
-            load_queues[i % engines],
+            load_queues[engine],
             format!("LW{}", p.label),
-            p.bytes,
+            bytes,
             calib::HBM_CHANNELS_A1_A2,
-            &deps,
+            &ev(&events, &node.deps),
         );
+        events[lw_id] = Some(lw);
 
         let compute_s = phase_compute_s(cfg, p.kind, s);
-        for u in 0..batch {
-            let mut cdeps = vec![lw];
-            if let Some(prev) = prev_compute {
-                cdeps.push(prev);
-            }
+        for (u, &ck_id) in plan.computes_of(i).iter().enumerate() {
+            let cnode = &plan.nodes[ck_id];
+            let PlanCmd::Compute { slr, .. } = cnode.cmd else {
+                unreachable!("computes_of indexes Computes")
+            };
             let ck = rt.enqueue_kernel(
                 compute_queue,
                 kernel_label(&p.label, batch, u),
-                if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
+                SlrId::from_index(slr),
                 compute_s,
-                &cdeps,
+                &ev(&events, &cnode.deps),
             );
-            prev_compute = Some(ck);
+            events[ck_id] = Some(ck);
             if i == last_phase {
                 utterance_finish_s.push(rt.finish_time(ck));
             }
         }
-        phase_last_compute.push(prev_compute.expect("batch >= 1 enqueued a compute"));
     }
 
     let makespan_s = rt.finish();
     let (loads_issued, load_busy_s) = load_stats(&rt);
-    Ok(BatchRun { runtime: rt, makespan_s, utterance_finish_s, loads_issued, load_busy_s })
+    BatchRun { runtime: rt, makespan_s, utterance_finish_s, loads_issued, load_busy_s }
 }
 
 /// How the host reacts to failed, hung, and dead commands.
@@ -443,6 +377,9 @@ pub fn run_with_recovery(
 ///
 /// `run_with_recovery` delegates here with `batch == 1`, so the solo path
 /// and the batched path cannot drift apart.
+///
+/// Since the plan refactor this is a thin wrapper: lower once, replay with
+/// the shared fault-tolerant executor [`run_plan_with_recovery`].
 pub fn run_batch_with_recovery(
     cfg: &AccelConfig,
     arch: Architecture,
@@ -451,35 +388,46 @@ pub fn run_batch_with_recovery(
     plan: FaultPlan,
     policy: &RecoveryPolicy,
 ) -> std::result::Result<BatchedRun, BatchFailure> {
-    let nominal = run_batch_through_runtime(cfg, arch, input_len, batch)
+    let exec = ExecPlan::lower(cfg, arch, input_len, batch, cfg.integrity)
         .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
-    let nominal_s = nominal.makespan_s;
-    let s = cfg
-        .checked_padded_seq_len(input_len)
-        .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
+    run_plan_with_recovery(cfg, &exec, plan, policy)
+}
+
+/// The fault-tolerant plan executor: replay an [`ExecPlan`] under a
+/// [`FaultPlan`], checking every command's [`CommandStatus`]. Transient
+/// failures retry with exponential backoff against the plan node's own
+/// dependency edges; permanent engine loss drops the node's engine
+/// assignment and walks the A3 → A2 → A1 ladder (at A1 every remaining
+/// `LoadStripe` gains the serialize edge the A1 lowering would have given
+/// it); SLR loss halves the PSA pool and re-routes every remaining
+/// `Compute` node onto the survivor; silent corruption is answered per the
+/// plan's `Verify` semantics (CRC refetch via
+/// [`crate::integrity::crc_refetch_step`], ABFT stretch or typed failure).
+pub fn run_plan_with_recovery(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    faults: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> std::result::Result<BatchedRun, BatchFailure> {
+    let nominal_s = run_plan(cfg, plan).makespan_s;
+    let (batch, s) = (plan.batch, plan.seq_len);
 
     // Silent PSA faults never fail a command, so they must be read off the
-    // plan before it moves into the runtime.
+    // fault plan before it moves into the runtime.
     let sticky_lanes =
-        plan.faults().iter().filter(|k| matches!(k, FaultKind::PsaStickyLane { .. })).count()
+        faults.faults().iter().filter(|k| matches!(k, FaultKind::PsaStickyLane { .. })).count()
             as u64;
 
-    let mut rt = Runtime::with_faults(cfg.device.clone(), plan);
+    let mut rt = Runtime::with_faults(cfg.device.clone(), faults);
     rt.set_watchdog(policy.watchdog_s);
-    if batch > 1 {
-        rt.set_batch_tag(Some(format!("B{}", batch)));
-    }
+    rt.set_plan_tag(plan.tag());
 
-    let n_engines = match arch {
-        Architecture::A3 => 2,
-        _ => 1,
-    };
     let mut engines: Vec<QueueId> =
-        (0..n_engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
+        (0..plan.engines()).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
     let compute_queue = rt.create_queue("kernels");
 
-    let phases = phase_list(cfg, arch);
-    let mut level = arch;
+    let phases = &plan.phases;
+    let mut level = plan.arch;
     let mut live_cfg = cfg.clone();
     let mut dead_slr: Option<usize> = None;
     let mut events: Vec<RecoveryEvent> = Vec::new();
@@ -499,7 +447,7 @@ pub fn run_batch_with_recovery(
     let mut kernel_stretch = 1.0f64;
     if sticky_lanes > 0 {
         corruption.injected += sticky_lanes;
-        if cfg.integrity.recomputes() {
+        if plan.integrity.recomputes() {
             corruption.detected += sticky_lanes;
             corruption.recomputed += sticky_lanes;
             kernel_stretch = 1.0 + sticky_lanes as f64 / cfg.n_psas as f64;
@@ -513,7 +461,7 @@ pub fn run_batch_with_recovery(
                     kernel_stretch
                 ),
             );
-        } else if cfg.integrity.checks_enabled() {
+        } else if plan.integrity.checks_enabled() {
             return Err(BatchFailure::from_error(
                 AccelError::CorruptCompute { phase: phases[0].label.clone(), tiles: sticky_lanes },
                 Vec::new(),
@@ -524,25 +472,30 @@ pub fn run_batch_with_recovery(
     }
 
     let last_phase = phases.len() - 1;
-    // Per phase, the compute event of the batch's last utterance (frees the
-    // double-buffer slot; gates A1 loads).
-    let mut phase_last_compute: Vec<Event> = Vec::with_capacity(phases.len());
-    let mut prev_compute: Option<Event> = None;
+    // Runtime event of each plan node already replayed (what dependency
+    // edges resolve to); retries overwrite the slot with the last attempt.
+    let mut node_events: Vec<Option<Event>> = vec![None; plan.nodes.len()];
     let mut finished_s: Vec<f64> = Vec::with_capacity(batch);
     for (i, p) in phases.iter().enumerate() {
-        // ---- load phase (once for the whole batch), with retry /
+        // ---- load node (once for the whole batch), with retry /
         // engine-ladder recovery ----
+        let lw_id = plan.load_of(i);
         let load_label = format!("LW{}", p.label);
         let mut attempts = 0u32;
         let load_ev = loop {
             let slot = i % engines.len();
-            let mut deps: Vec<Event> = Vec::new();
-            if i >= 2 {
-                deps.push(phase_last_compute[i - 2]);
-            }
-            if level == Architecture::A1 && i >= 1 {
-                // No prefetch rung left: loads serialize behind compute.
-                deps.push(phase_last_compute[i - 1]);
+            // The plan's static prefetch edges, plus — after a mid-run
+            // descent to A1 — the serialize edge the A1 lowering would have
+            // emitted: no prefetch rung left, loads wait out compute.
+            let mut deps: Vec<Event> = plan.nodes[lw_id]
+                .deps
+                .iter()
+                .map(|&d| node_events[d].expect("plan deps precede their node"))
+                .collect();
+            if level == Architecture::A1 && plan.arch != Architecture::A1 && i >= 1 {
+                deps.push(
+                    node_events[plan.last_compute_of(i - 1)].expect("previous phase computed"),
+                );
             }
             let lw = rt.enqueue_hbm_load(
                 engines[slot],
@@ -555,39 +508,46 @@ pub fn run_batch_with_recovery(
             match rt.status(lw) {
                 CommandStatus::Completed => {
                     // The DMA reported success — but is the payload clean?
-                    // Silent HBM/DMA corruption only trips the CRC check.
-                    if !rt.payload_corrupt(lw) {
-                        break lw;
+                    // Silent HBM/DMA corruption only trips the CRC check;
+                    // the shared refetch step decides what happens next.
+                    let corrupt = rt.payload_corrupt(lw);
+                    if corrupt {
+                        corruption.injected += 1;
                     }
-                    corruption.injected += 1;
-                    if !cfg.integrity.checks_enabled() {
-                        // Nobody verifies the stripe: the corrupt weights
-                        // flow into compute and the run silently diverges.
-                        corruption.escaped += 1;
-                        break lw;
+                    match crc_refetch_step(
+                        corrupt,
+                        plan.integrity.checks_enabled(),
+                        attempts,
+                        policy.max_attempts,
+                        &mut corruption,
+                    ) {
+                        CrcStep::Accept | CrcStep::Escape => break lw,
+                        CrcStep::Exhausted => {
+                            return Err(BatchFailure::from_error(
+                                AccelError::CorruptWeights {
+                                    phase: p.label.clone(),
+                                    label: load_label,
+                                    attempts,
+                                    at_s: rt.finish_time(lw),
+                                },
+                                finished_s,
+                            ));
+                        }
+                        CrcStep::Refetch => {
+                            let t = rt.finish_time(lw);
+                            let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
+                            record(
+                                &mut rt,
+                                t,
+                                &p.label,
+                                "integrity",
+                                format!(
+                                    "{} on {}: CRC mismatch, refetch #{}",
+                                    tag, load_label, attempts
+                                ),
+                            );
+                        }
                     }
-                    corruption.detected += 1;
-                    let t = rt.finish_time(lw);
-                    if attempts >= policy.max_attempts {
-                        return Err(BatchFailure::from_error(
-                            AccelError::CorruptWeights {
-                                phase: p.label.clone(),
-                                label: load_label,
-                                attempts,
-                                at_s: t,
-                            },
-                            finished_s,
-                        ));
-                    }
-                    corruption.refetched += 1;
-                    let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
-                    record(
-                        &mut rt,
-                        t,
-                        &p.label,
-                        "integrity",
-                        format!("{} on {}: CRC mismatch, refetch #{}", tag, load_label, attempts),
-                    );
                 }
                 CommandStatus::Failed(cause) if cause.is_permanent() => {
                     if !policy.allow_degradation {
@@ -669,26 +629,30 @@ pub fn run_batch_with_recovery(
             }
         };
 
-        // ---- compute phase: the batch's utterances back-to-back under the
+        node_events[lw_id] = Some(load_ev);
+
+        // ---- compute nodes: the batch's utterances back-to-back under the
         // resident layer, each with retry / SLR-ladder recovery ----
-        for u in 0..batch {
+        for (u, &ck_id) in plan.computes_of(i).iter().enumerate() {
             let kernel_label = kernel_label(&p.label, batch, u);
             let mut attempts = 0u32;
             let ck = loop {
+                // The plan's static SLR assignment, unless an SLR died:
+                // then every remaining compute re-routes to the survivor.
                 let slr = match dead_slr {
                     Some(d) => SlrId::from_index(1 - d),
                     None => {
-                        if i % 2 == 0 {
-                            SlrId::Slr0
-                        } else {
-                            SlrId::Slr1
-                        }
+                        let PlanCmd::Compute { slr, .. } = plan.nodes[ck_id].cmd else {
+                            unreachable!("computes_of indexes Computes")
+                        };
+                        SlrId::from_index(slr)
                     }
                 };
-                let mut cdeps = vec![load_ev];
-                if let Some(prev) = prev_compute {
-                    cdeps.push(prev);
-                }
+                let cdeps: Vec<Event> = plan.nodes[ck_id]
+                    .deps
+                    .iter()
+                    .map(|&d| node_events[d].expect("plan deps precede their node"))
+                    .collect();
                 let ck = rt.enqueue_kernel(
                     compute_queue,
                     kernel_label.clone(),
@@ -775,12 +739,11 @@ pub fn run_batch_with_recovery(
                     }
                 }
             };
-            prev_compute = Some(ck);
+            node_events[ck_id] = Some(ck);
             if i == last_phase {
                 finished_s.push(rt.finish_time(ck));
             }
         }
-        phase_last_compute.push(prev_compute.expect("batch >= 1 enqueued a compute"));
     }
 
     let makespan_s = rt.finish();
@@ -793,7 +756,7 @@ pub fn run_batch_with_recovery(
         utterance_finish_s: finished_s,
         loads_issued,
         load_busy_s,
-        entry_arch: arch,
+        entry_arch: plan.arch,
         final_arch: level,
         dead_slr,
         retries,

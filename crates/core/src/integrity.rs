@@ -24,9 +24,11 @@
 //! boundary: non-finite or absurd-magnitude activations fail typed even
 //! when the integrity checks are off.
 
+use crate::arch::Architecture;
 use crate::block_exec::encoder_forward_via_schemes_batch;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
+use crate::plan::{ExecPlan, PhaseKind};
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 use asr_systolic::abft::{AbftStats, CheckedPsa, IntegrityLevel, LaneFault};
 use asr_tensor::{crc32, init, Matrix};
@@ -178,6 +180,59 @@ impl FunctionalFaults {
 /// [`crate::host_runtime::RecoveryPolicy::max_attempts`].
 pub const MAX_FETCHES: u32 = 4;
 
+/// What the host should do after one CRC-checked fetch attempt — the
+/// outcome of [`crc_refetch_step`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrcStep {
+    /// The stripe is clean (or no corruption was present): use it.
+    Accept,
+    /// Checks are off and the stripe is corrupt: use it anyway — the
+    /// corruption escapes into compute (`escaped` was counted).
+    Escape,
+    /// CRC mismatch with budget left: refetch (`detected`/`refetched`
+    /// counted).
+    Refetch,
+    /// CRC mismatch with the budget exhausted: fail typed with
+    /// [`AccelError::CorruptWeights`] (`detected` counted).
+    Exhausted,
+}
+
+/// One step of the CRC-refetch loop, shared by the timing executor
+/// (`host_runtime::run_plan_with_recovery`, where `corrupt` is the DMA's
+/// `payload_corrupt` bit) and the functional loader (`fetch_stripe`, where
+/// `corrupt` is an actual CRC-32 mismatch over the fetched bytes).
+///
+/// The helper owns the `detected`/`refetched`/`escaped` accounting and the
+/// budget decision; it deliberately does **not** count `injected` — on the
+/// functional side a stripe can be corrupted in a way the CRC still passes
+/// (two cancelling flips), so injection is the caller's observation, not a
+/// property of the check.
+pub fn crc_refetch_step(
+    corrupt: bool,
+    checks_enabled: bool,
+    attempt: u32,
+    max_attempts: u32,
+    counters: &mut CorruptionCounters,
+) -> CrcStep {
+    if !checks_enabled {
+        // Off: nobody looks at the CRC; corrupted bytes flow downstream.
+        if corrupt {
+            counters.escaped += 1;
+            return CrcStep::Escape;
+        }
+        return CrcStep::Accept;
+    }
+    if !corrupt {
+        return CrcStep::Accept;
+    }
+    counters.detected += 1;
+    if attempt >= max_attempts {
+        return CrcStep::Exhausted;
+    }
+    counters.refetched += 1;
+    CrcStep::Refetch
+}
+
 /// Fetch one stripe through the CRC envelope, applying any corruption that
 /// targets it, and decode the bytes that the configured level lets through.
 fn fetch_stripe(
@@ -206,26 +261,22 @@ fn fetch_stripe(
         if hit {
             counters.injected += 1;
         }
-        if !level.checks_enabled() {
-            // Off: nobody looks at the CRC; corrupted bytes flow downstream.
-            if hit {
-                counters.escaped += 1;
+        // `hit` says corruption was applied; with checks on the predicate is
+        // the CRC itself (a lucky pair of flips could cancel), and at Off
+        // the CRC is never read — `hit` is all the host could know.
+        let corrupt = if level.checks_enabled() { crc32(&bytes) != stripe.crc } else { hit };
+        match crc_refetch_step(corrupt, level.checks_enabled(), attempt, MAX_FETCHES, counters) {
+            CrcStep::Accept | CrcStep::Escape => return Ok(decode_bytes(stripe, bytes)),
+            CrcStep::Refetch => {}
+            CrcStep::Exhausted => {
+                return Err(AccelError::CorruptWeights {
+                    phase: "load".into(),
+                    label: stripe.label.clone(),
+                    attempts: attempt,
+                    at_s: 0.0,
+                });
             }
-            return Ok(decode_bytes(stripe, bytes));
         }
-        if crc32(&bytes) == stripe.crc {
-            return Ok(decode_bytes(stripe, bytes));
-        }
-        counters.detected += 1;
-        if attempt >= MAX_FETCHES {
-            return Err(AccelError::CorruptWeights {
-                phase: "load".into(),
-                label: stripe.label.clone(),
-                attempts: attempt,
-                at_s: 0.0,
-            });
-        }
-        counters.refetched += 1;
     }
 }
 
@@ -386,7 +437,36 @@ pub fn run_functional_batch(
     if input_seeds.is_empty() {
         return Err(AccelError::Config("batch needs >= 1 utterance".into()));
     }
-    let level = cfg.integrity;
+    let plan = ExecPlan::lower(cfg, Architecture::A2, input_len, input_seeds.len(), cfg.integrity)?;
+    run_functional_plan(cfg, &plan, model_seed, input_seeds, faults)
+}
+
+/// The functional interpreter over a lowered [`ExecPlan`]: one CRC-verified
+/// weight-load pass ([`load_model_with_faults`] — the plan's `LoadStripe` +
+/// `Verify(WeightCrc)` nodes carried into data), then the plan's phases in
+/// schedule order on one shared ABFT-checked PSA. Encoder phases run the
+/// whole batch layer-major through [`encoder_forward_via_schemes_batch`];
+/// decoder phases advance every utterance one layer.
+///
+/// The interpreter needs full decoder phases ([`PhaseKind::DecoderFull`]) —
+/// the A3 M-MHA/FFN half-phases are a *timing* split with no functional
+/// seam — so lower the plan at [`Architecture::A1`]/[`Architecture::A2`]
+/// granularity (as [`run_functional_batch`] does); half-phases fail typed.
+pub fn run_functional_plan(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    model_seed: u64,
+    input_seeds: &[u64],
+    faults: &FunctionalFaults,
+) -> Result<BatchIntegrityRun> {
+    if input_seeds.len() != plan.batch {
+        return Err(AccelError::Config(format!(
+            "plan lowered for batch {} but {} input seeds supplied",
+            plan.batch,
+            input_seeds.len()
+        )));
+    }
+    let level = plan.integrity;
     let mut counters = CorruptionCounters::default();
 
     let clean = ModelWeights::seeded(&cfg.model, model_seed);
@@ -394,31 +474,60 @@ pub fn run_functional_batch(
 
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), level, faults.lane);
 
-    let s = cfg.checked_padded_seq_len(input_len)?.min(input_len.max(1));
+    let input_len = plan.input_lens.iter().copied().max().unwrap_or(1);
+    let s = plan.seq_len.min(input_len.max(1));
     let mut xs: Vec<Matrix> = input_seeds
         .iter()
         .map(|&seed| init::uniform(s, cfg.model.d_model, -0.5, 0.5, seed))
         .collect();
-    for (i, enc) in w.encoders.iter().enumerate() {
-        xs = encoder_forward_via_schemes_batch(cfg, &engine, &xs, enc);
-        for (u, x) in xs.iter().enumerate() {
-            guard_activations(x, &format!("encoder {} output [u{}]", i, u))?;
-        }
-    }
 
     // Decoder inputs: the first `s` embedding rows stand in for a decoded
     // token prefix (the functional path needs data, not a beam search).
     let steps = s.min(cfg.model.vocab_size);
-    let mut utterances = Vec::with_capacity(xs.len());
-    for (u, encoder_out) in xs.into_iter().enumerate() {
-        let mut y = w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
-        for (i, dec) in w.decoders.iter().enumerate() {
-            y = decoder_forward(&y, &encoder_out, dec, &engine);
-            guard_activations(&y, &format!("decoder {} output [u{}]", i, u))?;
+    let embed_prefix = || w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
+    let mut ys: Vec<Matrix> = Vec::new();
+    let (mut enc_idx, mut dec_idx) = (0usize, 0usize);
+    for p in &plan.phases {
+        match p.kind {
+            PhaseKind::Encoder => {
+                xs = encoder_forward_via_schemes_batch(cfg, &engine, &xs, &w.encoders[enc_idx]);
+                for (u, x) in xs.iter().enumerate() {
+                    guard_activations(x, &format!("encoder {} output [u{}]", enc_idx, u))?;
+                }
+                enc_idx += 1;
+            }
+            PhaseKind::DecoderFull => {
+                if ys.is_empty() {
+                    ys = (0..xs.len()).map(|_| embed_prefix()).collect();
+                }
+                for (u, (y, encoder_out)) in ys.iter_mut().zip(&xs).enumerate() {
+                    *y = decoder_forward(y, encoder_out, &w.decoders[dec_idx], &engine);
+                    guard_activations(y, &format!("decoder {} output [u{}]", dec_idx, u))?;
+                }
+                dec_idx += 1;
+            }
+            PhaseKind::DecoderMha | PhaseKind::DecoderFfn => {
+                return Err(AccelError::Config(
+                    "functional interpreter needs full decoder phases; \
+                     lower the plan at A1/A2 granularity"
+                        .into(),
+                ));
+            }
         }
-        let transcript = transcript_of(&w, &y);
-        utterances.push(UtteranceRun { encoder_out, decoder_out: y, transcript });
     }
+    if ys.is_empty() {
+        // A plan with no decoder phases: the "decoder output" is the
+        // untouched token prefix, as on the pre-plan path.
+        ys = (0..xs.len()).map(|_| embed_prefix()).collect();
+    }
+    let utterances = xs
+        .into_iter()
+        .zip(ys)
+        .map(|(encoder_out, y)| {
+            let transcript = transcript_of(&w, &y);
+            UtteranceRun { encoder_out, decoder_out: y, transcript }
+        })
+        .collect::<Vec<_>>();
 
     let abft = engine.stats();
     counters.injected += abft.corrupted_tiles;

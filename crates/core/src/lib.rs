@@ -12,7 +12,12 @@
 //! * [`schedule`] — the block-wise compute schedules: the Fig 4.13 attention-
 //!   head schedule, encoder and decoder layer schedules;
 //! * [`arch`] — the three end-to-end load/compute overlap architectures
-//!   A1/A2/A3 (Figs 4.8–4.11) simulated on a span timeline;
+//!   A1/A2/A3 (Figs 4.8–4.11) priced on a span timeline;
+//! * [`plan`] — the lowered execution-plan IR: one [`plan::PlanBuilder`]
+//!   lowering into an explicit `LoadStripe`/`Compute`/`Verify`/`Barrier`
+//!   DAG, where A1/A2/A3 are prefetch-edge policies and solo execution is a
+//!   batch of one; consumed by the analytic walker, the runtime executors,
+//!   and the functional interpreter;
 //! * [`exec`] — the functional execution path: the real f32 model forward
 //!   pass routed through the systolic functional units
 //!   ([`exec::SystolicBackend`]), proving the dataflow is numerically faithful;
@@ -41,6 +46,7 @@ pub mod latency;
 pub mod mm;
 pub mod mm_exec;
 pub mod pipeline;
+pub mod plan;
 pub mod quant;
 pub mod report;
 pub mod resources;
@@ -55,13 +61,14 @@ pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
 pub use host_runtime::{
-    run_batch_through_runtime, run_batch_with_recovery, run_with_recovery, BatchFailure, BatchRun,
-    BatchedRun, FaultedRun, RecoveryPolicy,
+    run_batch_through_runtime, run_batch_with_recovery, run_plan, run_plan_with_recovery,
+    run_with_recovery, BatchFailure, BatchRun, BatchedRun, FaultedRun, RecoveryPolicy,
 };
 pub use integrity::{
-    run_functional_batch, BatchIntegrityRun, CorruptionCounters, FunctionalFaults, IntegrityRun,
-    UtteranceRun,
+    run_functional_batch, run_functional_plan, BatchIntegrityRun, CorruptionCounters,
+    FunctionalFaults, IntegrityRun, UtteranceRun,
 };
+pub use plan::{walk_cost, ExecPlan, PlanBuilder, PlanCmd, PlanCost, PlanNode};
 pub use serve::{
     pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
 };

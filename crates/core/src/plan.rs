@@ -1,0 +1,668 @@
+//! The lowered execution-plan IR: one program for solo, batch, and A1/A2/A3.
+//!
+//! Before this module the forward pass existed as six parallel bodies —
+//! `arch::simulate`/`simulate_batch`, the two `host_runtime` entry points and
+//! their `*_with_recovery` twins, and `integrity::run_functional_batch` —
+//! each re-deriving the A1/A2/A3 overlap structure by hand. The paper's own
+//! framing (Figs 4.8–4.11, 4.13) says these are one program: the host lowers
+//! the 18-layer schedule into an explicit stream of load/compute commands
+//! whose *edges* encode the prefetch policy. [`PlanBuilder`] does exactly
+//! that lowering once, and every consumer walks the same [`ExecPlan`]:
+//!
+//! * the **analytic cost walker** ([`walk_cost`]) prices the DAG with the
+//!   bespoke recurrence `arch::simulate_batch` used to hand-roll;
+//! * the **runtime executors** (`host_runtime::run_plan` and
+//!   `host_runtime::run_plan_with_recovery`) replay the commands through the
+//!   OpenCL-style [`asr_fpga_sim::runtime::Runtime`], fault-free or with the
+//!   full retry/degradation ladder;
+//! * the **functional interpreter** (`integrity::run_functional_plan`)
+//!   executes the plan's phases on real `f32` data through the CRC envelope
+//!   and the ABFT-checked PSA.
+//!
+//! A1/A2/A3 are not three simulators here — they are three *edge policies*
+//! applied during lowering:
+//!
+//! * **A1** — no overlap: every [`PlanCmd::LoadStripe`] gains a *serialize
+//!   edge* on the previous phase's last compute (plus the double-buffer
+//!   edge), so loads can never run under compute;
+//! * **A2** — single prefetch engine: loads carry only the *double-buffer
+//!   edge* (the compute two phases back frees the weight-buffer slot), so
+//!   one engine task-pipelines `LW_{i+1}` under `C_i`;
+//! * **A3** — two engines on disjoint HBM channel pairs, same double-buffer
+//!   edges, decoders split into M-MHA/FFN half-phases whose loads are
+//!   *paired* ([`PlanCmd::LoadStripe::paired_with_prev`], Fig 4.11) so both
+//!   engines fill concurrently.
+//!
+//! Solo execution is exactly a batch of one: the lowering emits one
+//! [`PlanCmd::Compute`] per utterance per phase, and a batch-of-one plan's
+//! command stream is identical — labels, dependency sets, order — to the
+//! historical solo stream, which the equivalence proptests pin span for
+//! span and bit for bit.
+
+use crate::arch::{layer_bytes, Architecture};
+use crate::calib;
+use crate::config::AccelConfig;
+use crate::error::{AccelError, Result};
+use crate::schedule::{decoder, encoder};
+use asr_fpga_sim::Timeline;
+use asr_systolic::abft::IntegrityLevel;
+
+/// Which compute recurrence a phase uses, so consumers (including degraded
+/// configurations mid-recovery) can re-derive the phase cost on demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// One full encoder layer (MHA + FFN, Fig 4.13).
+    Encoder,
+    /// A decoder's combined M-MHA + MHA half-phase (A3 granularity).
+    DecoderMha,
+    /// A decoder's FFN half-phase (A3 granularity).
+    DecoderFfn,
+    /// One full decoder layer (A1/A2 granularity).
+    DecoderFull,
+}
+
+/// One weight-residency phase of the lowered schedule: a whole encoder
+/// layer, a whole decoder layer (A1/A2), or a decoder half-phase (A3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanPhase {
+    /// Schedule label (`"E3"`, `"D2"`, `"D2f"`) — the `LW{label}` /
+    /// `C{label}` naming every consumer emits.
+    pub label: String,
+    /// Weight bytes this phase streams from HBM.
+    pub bytes: u64,
+    /// Cost recurrence of the phase's compute block.
+    pub kind: PhaseKind,
+}
+
+/// Index of a command node inside [`ExecPlan::nodes`].
+pub type CmdId = usize;
+
+/// What a [`Verify`](PlanCmd::Verify) node checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyCheck {
+    /// CRC-32 envelope over a fetched weight stripe.
+    WeightCrc,
+    /// ABFT column checksums over a compute block's PSA tiles.
+    AbftChecksum,
+}
+
+/// One lowered command. The IR is deliberately small: everything the three
+/// consumers need — engine, channel, and PSA-pool assignments — is explicit
+/// on the node, and everything policy-dependent (retry budgets, degraded
+/// costs) is left to the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanCmd {
+    /// Stream one phase's weight stripes from HBM into a buffer slot.
+    LoadStripe {
+        /// Phase index into [`ExecPlan::phases`].
+        phase: usize,
+        /// Prefetch engine (load queue) assignment: `phase % engines`.
+        engine: usize,
+        /// The two HBM channels this engine drives (disjoint per engine).
+        channels: [usize; 2],
+        /// Bytes moved.
+        bytes: u64,
+        /// Fig 4.11 pairing: this load may start together with the previous
+        /// phase's load (they occupy different engines).
+        paired_with_prev: bool,
+    },
+    /// One utterance's compute block under the phase's resident weights.
+    Compute {
+        /// Phase index into [`ExecPlan::phases`].
+        phase: usize,
+        /// Utterance index inside the batch.
+        utterance: usize,
+        /// SLR assignment (`phase % 2` — the static, fault-free projection;
+        /// the recovery executor re-routes onto a survivor after SLR loss).
+        slr: usize,
+        /// PSAs the compute block spreads over (the full pool when healthy).
+        psas: usize,
+    },
+    /// Integrity checkpoint attached to a load (CRC) or a compute (ABFT).
+    /// Verify nodes are emitted only when the plan's [`IntegrityLevel`] has
+    /// checks enabled; they carry no runtime command of their own — the
+    /// timing executors fold their cost into the checked command, and the
+    /// functional interpreter performs the actual byte/tile checks.
+    Verify {
+        /// Phase index into [`ExecPlan::phases`].
+        phase: usize,
+        /// The command this checkpoint verifies.
+        target: CmdId,
+        /// What is being checked.
+        check: VerifyCheck,
+    },
+    /// Synchronization point. The terminal barrier depends on the last
+    /// compute and the last load: its readiness is batch completion.
+    Barrier,
+}
+
+/// A command plus its dependency edges (indices of earlier nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanNode {
+    /// The lowered command.
+    pub cmd: PlanCmd,
+    /// Commands that must finish before this one may start. Queue order
+    /// (in-order engines) is positional and not repeated here.
+    pub deps: Vec<CmdId>,
+}
+
+/// Per-kind command totals of a plan (what `asrsim plan` prints).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCounts {
+    /// [`PlanCmd::LoadStripe`] nodes.
+    pub loads: usize,
+    /// [`PlanCmd::Compute`] nodes.
+    pub computes: usize,
+    /// [`PlanCmd::Verify`] nodes.
+    pub verifies: usize,
+    /// [`PlanCmd::Barrier`] nodes.
+    pub barriers: usize,
+}
+
+impl PlanCounts {
+    /// All nodes.
+    pub fn total(&self) -> usize {
+        self.loads + self.computes + self.verifies + self.barriers
+    }
+}
+
+/// A lowered, inspectable execution plan: the phase table plus the command
+/// DAG. Built by [`PlanBuilder`]; consumed by the analytic walker, the
+/// runtime executors, and the functional interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecPlan {
+    /// Overlap architecture the plan was lowered for (edge policy).
+    pub arch: Architecture,
+    /// Utterances in the batch (1 = solo).
+    pub batch: usize,
+    /// Unpadded input length of each utterance, in batch order.
+    pub input_lens: Vec<usize>,
+    /// Padded (built) sequence length every phase computes at.
+    pub seq_len: usize,
+    /// Integrity level the plan was lowered at (drives Verify emission).
+    pub integrity: IntegrityLevel,
+    /// The weight-residency phases, in schedule order.
+    pub phases: Vec<PlanPhase>,
+    /// The command DAG, in dispatch order.
+    pub nodes: Vec<PlanNode>,
+    /// Per phase, the [`PlanCmd::LoadStripe`] node id.
+    load_of: Vec<CmdId>,
+    /// Per phase, the [`PlanCmd::Compute`] node ids in utterance order.
+    computes_of: Vec<Vec<CmdId>>,
+}
+
+impl ExecPlan {
+    /// Lower a uniform batch: `batch` utterances of the same `input_len`.
+    /// This is the convenience constructor every thin wrapper uses; see
+    /// [`PlanBuilder`] for per-utterance lengths.
+    pub fn lower(
+        cfg: &AccelConfig,
+        arch: Architecture,
+        input_len: usize,
+        batch: usize,
+        integrity: IntegrityLevel,
+    ) -> Result<ExecPlan> {
+        PlanBuilder::new(cfg, arch).utterances(&vec![input_len; batch]).integrity(integrity).build()
+    }
+
+    /// Prefetch engines the plan drives (A1/A2 = 1, A3 = 2).
+    pub fn engines(&self) -> usize {
+        match self.arch {
+            Architecture::A3 => 2,
+            _ => 1,
+        }
+    }
+
+    /// The [`PlanCmd::LoadStripe`] node of a phase.
+    pub fn load_of(&self, phase: usize) -> CmdId {
+        self.load_of[phase]
+    }
+
+    /// A phase's [`PlanCmd::Compute`] nodes, in utterance order.
+    pub fn computes_of(&self, phase: usize) -> &[CmdId] {
+        &self.computes_of[phase]
+    }
+
+    /// The batch's last compute of a phase — what frees the double-buffer
+    /// slot and what A1 serialize edges (and degraded-to-A1 executors) gate
+    /// the next load on.
+    pub fn last_compute_of(&self, phase: usize) -> CmdId {
+        *self.computes_of[phase].last().expect("every phase computes")
+    }
+
+    /// The span tag the runtime appends to batched dispatches (`#B4`);
+    /// `None` at batch 1 so a solo stream stays label-identical to the
+    /// historical solo path.
+    pub fn tag(&self) -> Option<String> {
+        if self.batch > 1 {
+            Some(format!("B{}", self.batch))
+        } else {
+            None
+        }
+    }
+
+    /// Per-kind command totals.
+    pub fn counts(&self) -> PlanCounts {
+        let mut c = PlanCounts::default();
+        for n in &self.nodes {
+            match n.cmd {
+                PlanCmd::LoadStripe { .. } => c.loads += 1,
+                PlanCmd::Compute { .. } => c.computes += 1,
+                PlanCmd::Verify { .. } => c.verifies += 1,
+                PlanCmd::Barrier => c.barriers += 1,
+            }
+        }
+        c
+    }
+
+    /// Edge totals by policy: `(double_buffer, serialize, paired_loads)`.
+    /// Double-buffer edges gate a load on the compute two phases back;
+    /// serialize edges (A1 only) gate it on the previous phase's compute;
+    /// paired loads are the Fig 4.11 M-MHA/FFN launches.
+    pub fn edge_counts(&self) -> (usize, usize, usize) {
+        let (mut buf, mut ser, mut paired) = (0usize, 0usize, 0usize);
+        for (i, &lw) in self.load_of.iter().enumerate() {
+            let node = &self.nodes[lw];
+            for &d in &node.deps {
+                if let PlanCmd::Compute { phase, .. } = self.nodes[d].cmd {
+                    if i >= 2 && phase == i - 2 {
+                        buf += 1;
+                    } else if i >= 1 && phase == i - 1 {
+                        ser += 1;
+                    }
+                }
+            }
+            if let PlanCmd::LoadStripe { paired_with_prev: true, .. } = node.cmd {
+                paired += 1;
+            }
+        }
+        (buf, ser, paired)
+    }
+
+    /// Bytes each HBM channel moves over the whole plan (indexable by the
+    /// channel ids on the [`PlanCmd::LoadStripe`] nodes). Each engine's
+    /// traffic is striped evenly across its two channels.
+    pub fn channel_load_bytes(&self) -> Vec<u64> {
+        let mut ch = vec![0u64; 2 * self.engines()];
+        for n in &self.nodes {
+            if let PlanCmd::LoadStripe { channels, bytes, .. } = n.cmd {
+                ch[channels[0]] += bytes - bytes / 2;
+                ch[channels[1]] += bytes / 2;
+            }
+        }
+        ch
+    }
+}
+
+/// Builds an [`ExecPlan`] from `(AccelConfig, Architecture, batch of
+/// utterance lengths, IntegrityLevel)` — the single lowering every
+/// execution path shares.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder<'a> {
+    cfg: &'a AccelConfig,
+    arch: Architecture,
+    input_lens: Vec<usize>,
+    integrity: IntegrityLevel,
+}
+
+impl<'a> PlanBuilder<'a> {
+    /// Start a lowering for one architecture. The batch defaults to empty —
+    /// add utterances before [`build`](Self::build).
+    pub fn new(cfg: &'a AccelConfig, arch: Architecture) -> Self {
+        PlanBuilder { cfg, arch, input_lens: Vec::new(), integrity: cfg.integrity }
+    }
+
+    /// Set the batch: one entry per utterance, each an unpadded input
+    /// length. Every utterance is padded to the built sequence length, so a
+    /// mixed-length batch shares one schedule (§5.1.5).
+    pub fn utterances(mut self, input_lens: &[usize]) -> Self {
+        self.input_lens = input_lens.to_vec();
+        self
+    }
+
+    /// Override the integrity level (defaults to the config's).
+    pub fn integrity(mut self, level: IntegrityLevel) -> Self {
+        self.integrity = level;
+        self
+    }
+
+    /// Lower the schedule into the command DAG.
+    pub fn build(self) -> Result<ExecPlan> {
+        let cfg = self.cfg;
+        cfg.validate()?;
+        let batch = self.input_lens.len();
+        if batch == 0 {
+            return Err(AccelError::Config("batch size must be >= 1".into()));
+        }
+        let mut seq_len = 0usize;
+        for &len in &self.input_lens {
+            seq_len = seq_len.max(cfg.checked_padded_seq_len(len)?);
+        }
+        let phases = phase_list(cfg, self.arch);
+        let engines = match self.arch {
+            Architecture::A3 => 2,
+            _ => 1,
+        };
+        let verify = self.integrity.checks_enabled();
+
+        let mut nodes: Vec<PlanNode> = Vec::new();
+        let mut load_of: Vec<CmdId> = Vec::with_capacity(phases.len());
+        let mut computes_of: Vec<Vec<CmdId>> = Vec::with_capacity(phases.len());
+        let mut prev_compute: Option<CmdId> = None;
+        for (i, p) in phases.iter().enumerate() {
+            // Edge policy. Double-buffer edge (all architectures): this
+            // load's buffer slot is freed by the compute two phases back.
+            let mut deps: Vec<CmdId> = Vec::new();
+            if i >= 2 {
+                deps.push(*computes_of[i - 2].last().expect("phase computed"));
+            }
+            // Serialize edge (A1 only): no overlap — the load additionally
+            // waits out the previous phase's whole compute.
+            if self.arch == Architecture::A1 && i >= 1 {
+                deps.push(*computes_of[i - 1].last().expect("phase computed"));
+            }
+            let engine = i % engines;
+            let lw = nodes.len();
+            nodes.push(PlanNode {
+                cmd: PlanCmd::LoadStripe {
+                    phase: i,
+                    engine,
+                    channels: [2 * engine, 2 * engine + 1],
+                    bytes: p.bytes,
+                    paired_with_prev: p.kind == PhaseKind::DecoderFfn,
+                },
+                deps,
+            });
+            load_of.push(lw);
+            if verify {
+                nodes.push(PlanNode {
+                    cmd: PlanCmd::Verify { phase: i, target: lw, check: VerifyCheck::WeightCrc },
+                    deps: vec![lw],
+                });
+            }
+            let mut cs: Vec<CmdId> = Vec::with_capacity(batch);
+            for u in 0..batch {
+                let mut cdeps = vec![lw];
+                if let Some(prev) = prev_compute {
+                    cdeps.push(prev);
+                }
+                let ck = nodes.len();
+                nodes.push(PlanNode {
+                    cmd: PlanCmd::Compute { phase: i, utterance: u, slr: i % 2, psas: cfg.n_psas },
+                    deps: cdeps,
+                });
+                if verify {
+                    nodes.push(PlanNode {
+                        cmd: PlanCmd::Verify {
+                            phase: i,
+                            target: ck,
+                            check: VerifyCheck::AbftChecksum,
+                        },
+                        deps: vec![ck],
+                    });
+                }
+                prev_compute = Some(ck);
+                cs.push(ck);
+            }
+            computes_of.push(cs);
+        }
+        // Terminal barrier: ready exactly when the batch is complete.
+        let mut bdeps = vec![prev_compute.expect("schedule has phases")];
+        if let Some(&last_lw) = load_of.last() {
+            bdeps.push(last_lw);
+        }
+        nodes.push(PlanNode { cmd: PlanCmd::Barrier, deps: bdeps });
+
+        Ok(ExecPlan {
+            arch: self.arch,
+            batch,
+            input_lens: self.input_lens,
+            seq_len,
+            integrity: self.integrity,
+            phases,
+            nodes,
+            load_of,
+            computes_of,
+        })
+    }
+}
+
+/// The 18-layer (24-phase at A3 granularity) schedule skeleton.
+pub fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PlanPhase> {
+    let bytes = layer_bytes(cfg);
+    let mut phases: Vec<PlanPhase> = Vec::new();
+    for i in 0..cfg.model.n_encoders {
+        phases.push(PlanPhase {
+            label: format!("E{}", i + 1),
+            bytes: bytes.encoder,
+            kind: PhaseKind::Encoder,
+        });
+    }
+    for i in 0..cfg.model.n_decoders {
+        if arch == Architecture::A3 {
+            // Fig 4.11: LWi_m ∥ LWi_f on the two engines; Ci_m then Ci_f.
+            phases.push(PlanPhase {
+                label: format!("D{}m", i + 1),
+                bytes: bytes.decoder_mha,
+                kind: PhaseKind::DecoderMha,
+            });
+            phases.push(PlanPhase {
+                label: format!("D{}f", i + 1),
+                bytes: bytes.decoder_ffn,
+                kind: PhaseKind::DecoderFfn,
+            });
+        } else {
+            phases.push(PlanPhase {
+                label: format!("D{}", i + 1),
+                bytes: bytes.decoder_mha + bytes.decoder_ffn,
+                kind: PhaseKind::DecoderFull,
+            });
+        }
+    }
+    phases
+}
+
+/// Seconds of compute for one phase under a (possibly degraded) config.
+pub fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
+    let clock = cfg.device.clock;
+    match kind {
+        PhaseKind::Encoder => clock.to_seconds(encoder::encoder_cycles(cfg, s)),
+        PhaseKind::DecoderMha => clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
+        PhaseKind::DecoderFfn => clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
+        PhaseKind::DecoderFull => clock.to_seconds(decoder::decoder_cycles(cfg, s)),
+    }
+}
+
+/// What the analytic walker prices a plan at.
+#[derive(Debug, Clone)]
+pub struct PlanCost {
+    /// End-to-end makespan, seconds.
+    pub latency_s: f64,
+    /// Sum of load-span durations across the prefetch engines, seconds.
+    pub load_total_s: f64,
+    /// Sum of compute-span durations, seconds.
+    pub compute_total_s: f64,
+    /// Idle time on the compute unit between first and last compute, seconds.
+    pub compute_stall_s: f64,
+    /// The analytic span schedule (`load-{e}` / `compute` units).
+    pub timeline: Timeline,
+}
+
+/// The analytic cost walker: price an [`ExecPlan`] with the closed-form
+/// recurrence, producing the same spans the bespoke `arch::simulate_batch`
+/// used to emit (one `LW{label}` span per load, one `C{label}` span per
+/// phase covering the batch's back-to-back computes).
+///
+/// The walker derives every start time from the plan's *edges*: a load
+/// starts at the max of its engine's availability, its dependency finishes,
+/// and (for paired loads) its partner's start; a compute starts when its
+/// load and the previous compute are done. One recurrence prices all three
+/// architectures — the edge policy is already in the plan.
+pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
+    let channels_per_engine = calib::HBM_CHANNELS_A1_A2;
+    let load_time = |bytes: u64| cfg.device.hbm.read_time_s(bytes, channels_per_engine);
+    let engines = plan.engines();
+    let s = plan.seq_len;
+
+    let mut tl = Timeline::new();
+    let mut engine_free = vec![0.0f64; engines];
+    let mut load_end = vec![0.0f64; plan.phases.len()];
+    let mut compute_end = vec![0.0f64; plan.phases.len()];
+
+    for (i, p) in plan.phases.iter().enumerate() {
+        let node = &plan.nodes[plan.load_of(i)];
+        let PlanCmd::LoadStripe { engine, bytes, paired_with_prev, .. } = node.cmd else {
+            unreachable!("load_of indexes a LoadStripe");
+        };
+        let lt = load_time(bytes);
+        let mut start = engine_free[engine];
+        for &d in &node.deps {
+            if let PlanCmd::Compute { phase, .. } = plan.nodes[d].cmd {
+                start = start.max(compute_end[phase]);
+            }
+        }
+        if paired_with_prev && i >= 1 {
+            // Fig 4.11: the FFN load launches together with its MHA
+            // partner's load (they occupy different engines).
+            let partner_start = load_end[i - 1] - load_time(plan.phases[i - 1].bytes);
+            start = start.max(partner_start);
+        }
+        tl.push(format!("load-{}", engine), format!("LW{}", p.label), start, start + lt).unwrap();
+        load_end[i] = start + lt;
+        engine_free[engine] = start + lt;
+
+        let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
+        let cs = load_end[i].max(prev_c);
+        let ct = phase_compute_s(cfg, p.kind, s) * plan.batch as f64;
+        tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
+        compute_end[i] = cs + ct;
+    }
+
+    let latency_s = tl.makespan();
+    let load_total_s: f64 = (0..engines).map(|e| tl.busy_time(&format!("load-{}", e))).sum();
+    PlanCost {
+        latency_s,
+        load_total_s,
+        compute_total_s: tl.busy_time("compute"),
+        compute_stall_s: tl.stall_time("compute"),
+        timeline: tl,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unpadded(s: usize) -> AccelConfig {
+        let mut c = AccelConfig::paper_default();
+        c.max_seq_len = s;
+        c
+    }
+
+    #[test]
+    fn lowering_emits_one_load_per_phase_and_batch_computes() {
+        let cfg = unpadded(8);
+        for (arch, n_phases) in
+            [(Architecture::A1, 18), (Architecture::A2, 18), (Architecture::A3, 24)]
+        {
+            for batch in [1usize, 3] {
+                let plan = ExecPlan::lower(&cfg, arch, 8, batch, IntegrityLevel::Off).unwrap();
+                let c = plan.counts();
+                assert_eq!(c.loads, n_phases, "{:?}", arch);
+                assert_eq!(c.computes, n_phases * batch, "{:?}", arch);
+                assert_eq!(c.verifies, 0);
+                assert_eq!(c.barriers, 1);
+                assert_eq!(plan.phases.len(), n_phases);
+            }
+        }
+    }
+
+    #[test]
+    fn edge_policy_matches_the_architecture() {
+        let cfg = unpadded(8);
+        let a1 = ExecPlan::lower(&cfg, Architecture::A1, 8, 1, IntegrityLevel::Off).unwrap();
+        let (buf1, ser1, pair1) = a1.edge_counts();
+        assert_eq!(buf1, 16, "A1 keeps the double-buffer edges");
+        assert_eq!(ser1, 17, "A1 serializes every load behind the previous compute");
+        assert_eq!(pair1, 0);
+
+        let a2 = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let (buf2, ser2, pair2) = a2.edge_counts();
+        assert_eq!((buf2, ser2, pair2), (16, 0, 0), "A2 is pure double-buffer");
+
+        let a3 = ExecPlan::lower(&cfg, Architecture::A3, 8, 1, IntegrityLevel::Off).unwrap();
+        let (buf3, ser3, pair3) = a3.edge_counts();
+        assert_eq!((buf3, ser3), (22, 0));
+        assert_eq!(pair3, 6, "one paired FFN load per decoder");
+    }
+
+    #[test]
+    fn verify_nodes_appear_only_with_checks_enabled() {
+        let cfg = unpadded(8);
+        let off = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Off).unwrap();
+        assert_eq!(off.counts().verifies, 0);
+        let det = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Detect).unwrap();
+        // one CRC verify per load + one ABFT verify per compute
+        assert_eq!(det.counts().verifies, 24 + 24 * 2);
+        // and the verify nodes change nothing about loads/computes
+        assert_eq!(off.counts().loads, det.counts().loads);
+        assert_eq!(off.counts().computes, det.counts().computes);
+    }
+
+    #[test]
+    fn channel_bytes_cover_all_engine_channels() {
+        let cfg = unpadded(8);
+        let plan = ExecPlan::lower(&cfg, Architecture::A3, 8, 1, IntegrityLevel::Off).unwrap();
+        let ch = plan.channel_load_bytes();
+        assert_eq!(ch.len(), 4);
+        assert!(ch.iter().all(|&b| b > 0), "{:?}", ch);
+        let total: u64 = ch.iter().sum();
+        let expected: u64 = plan.phases.iter().map(|p| p.bytes).sum();
+        assert_eq!(total, expected);
+    }
+
+    #[test]
+    fn lowering_is_deterministic() {
+        let cfg = unpadded(8);
+        let a = ExecPlan::lower(&cfg, Architecture::A3, 8, 3, IntegrityLevel::Detect).unwrap();
+        let b = ExecPlan::lower(&cfg, Architecture::A3, 8, 3, IntegrityLevel::Detect).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_batch_is_a_typed_error() {
+        let cfg = unpadded(8);
+        let err = PlanBuilder::new(&cfg, Architecture::A3).build().unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
+    }
+
+    #[test]
+    fn oversized_utterance_is_a_typed_error() {
+        let cfg = unpadded(4);
+        let err = ExecPlan::lower(&cfg, Architecture::A3, 5, 1, IntegrityLevel::Off).unwrap_err();
+        assert!(matches!(err, AccelError::InvalidInput { .. }), "{}", err);
+    }
+
+    #[test]
+    fn walker_prices_a_batch_of_one_like_the_solo_simulation() {
+        // The tentpole invariant at the analytic layer: walk_cost on a
+        // batch-of-one plan is bitwise the solo arch::simulate result.
+        let cfg = unpadded(8);
+        for arch in Architecture::ALL {
+            let plan = ExecPlan::lower(&cfg, arch, 8, 1, IntegrityLevel::Off).unwrap();
+            let cost = walk_cost(&cfg, &plan);
+            let solo = crate::arch::simulate(&cfg, arch, 8);
+            assert_eq!(cost.timeline.spans(), solo.timeline.spans(), "{:?}", arch);
+            assert_eq!(cost.latency_s.to_bits(), solo.latency_s.to_bits(), "{:?}", arch);
+        }
+    }
+
+    #[test]
+    fn terminal_barrier_depends_on_the_last_compute() {
+        let cfg = unpadded(8);
+        let plan = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Off).unwrap();
+        let last = plan.nodes.last().unwrap();
+        assert_eq!(last.cmd, PlanCmd::Barrier);
+        assert!(last.deps.contains(&plan.last_compute_of(plan.phases.len() - 1)));
+    }
+}

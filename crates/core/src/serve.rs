@@ -30,7 +30,7 @@
 //! Everything runs in *virtual* time — arrivals at `i / rps`, service times
 //! from the deterministic runtime simulation — so the same configuration
 //! reproduces bit-identical counts and latencies on every run, in CI or not.
-//! Per-device health is scored from the [`CommandStats`] of each run's
+//! Per-device health is scored from the [`asr_fpga_sim::runtime::CommandStats`] of each run's
 //! command statuses (a degraded or retry-heavy run lowers the score even
 //! when it ultimately succeeds).
 

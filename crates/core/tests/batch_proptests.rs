@@ -16,9 +16,12 @@ use asr_accel::host_runtime::{
 use asr_accel::integrity::{
     run_functional_batch, run_functional_with_input, small_config, FunctionalFaults,
 };
+use asr_accel::plan::{phase_compute_s, phase_list, ExecPlan};
 use asr_accel::{calib, schedule, serve};
 use asr_accel::{AccelConfig, Architecture, CorruptionCounters};
-use asr_fpga_sim::{FaultKind, FaultPlan};
+use asr_fpga_sim::device::SlrId;
+use asr_fpga_sim::runtime::{Event, Runtime};
+use asr_fpga_sim::{Cycles, FaultKind, FaultPlan, Timeline};
 use asr_systolic::abft::{IntegrityLevel, LaneFault};
 use asr_transformer::weights::ModelWeights;
 use proptest::prelude::*;
@@ -448,5 +451,292 @@ fn batched_makespan_beats_b_solo_passes_under_overlap() {
             assert!(per_utt < prev_per_utt, "{:?}: per-utterance latency must shrink", arch);
             prev_per_utt = per_utt;
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-IR equivalence: the unified ExecPlan lowering and its two timing
+// consumers reproduce the pre-refactor per-architecture bodies bit for bit.
+// The references below are verbatim copies of the deleted recurrence and
+// emission loop (the per-arch `match` in `arch::simulate_batch` and the
+// straight-line loop in `run_batch_through_runtime`), so any drift in the
+// lowering's edge policy or the executors shows up as a span diff here.
+// ---------------------------------------------------------------------------
+
+struct LegacyPhase {
+    label: String,
+    load_bytes: u64,
+    compute: Cycles,
+    pair_with_prev_load: bool,
+}
+
+/// Verbatim copy of the deleted `arch::build_phases`.
+fn legacy_build_phases(cfg: &AccelConfig, s: usize, arch: Architecture) -> Vec<LegacyPhase> {
+    let bytes = layer_bytes(cfg);
+    let clock_phases_split = arch == Architecture::A3;
+    let mut phases = Vec::new();
+    for i in 0..cfg.model.n_encoders {
+        phases.push(LegacyPhase {
+            label: format!("E{}", i + 1),
+            load_bytes: bytes.encoder,
+            compute: schedule::encoder_cycles(cfg, s),
+            pair_with_prev_load: false,
+        });
+    }
+    for i in 0..cfg.model.n_decoders {
+        if clock_phases_split {
+            phases.push(LegacyPhase {
+                label: format!("D{}m", i + 1),
+                load_bytes: bytes.decoder_mha,
+                compute: schedule::decoder::decoder_mha_phase_cycles(cfg, s),
+                pair_with_prev_load: false,
+            });
+            phases.push(LegacyPhase {
+                label: format!("D{}f", i + 1),
+                load_bytes: bytes.decoder_ffn,
+                compute: schedule::decoder::decoder_ffn_phase_cycles(cfg, s),
+                pair_with_prev_load: true,
+            });
+        } else {
+            phases.push(LegacyPhase {
+                label: format!("D{}", i + 1),
+                load_bytes: bytes.decoder_mha + bytes.decoder_ffn,
+                compute: schedule::decoder_cycles(cfg, s),
+                pair_with_prev_load: false,
+            });
+        }
+    }
+    phases
+}
+
+struct LegacyArchResult {
+    latency_s: f64,
+    load_total_s: f64,
+    compute_total_s: f64,
+    compute_stall_s: f64,
+    timeline: Timeline,
+}
+
+/// Verbatim copy of the deleted per-architecture `match` in
+/// `arch::simulate_batch` — A1's serial walk and the A2/A3 prefetch
+/// recurrence as separate hand-rolled bodies.
+fn legacy_simulate_batch(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    batch: usize,
+) -> LegacyArchResult {
+    cfg.validate().expect("valid accelerator configuration");
+    let s = cfg.padded_seq_len(input_len);
+    let clock = cfg.device.clock;
+    let phases = legacy_build_phases(cfg, s, arch);
+
+    let channels_per_engine = calib::HBM_CHANNELS_A1_A2;
+    let engines: usize = match arch {
+        Architecture::A1 | Architecture::A2 => 1,
+        Architecture::A3 => 2,
+    };
+    let load_time = |bytes: u64| cfg.device.hbm.read_time_s(bytes, channels_per_engine);
+
+    let mut tl = Timeline::new();
+    let mut compute_end = vec![0.0f64; phases.len()];
+    let mut load_end = vec![0.0f64; phases.len()];
+
+    match arch {
+        Architecture::A1 => {
+            let mut t = 0.0;
+            for (i, p) in phases.iter().enumerate() {
+                let lt = load_time(p.load_bytes);
+                tl.push("load-0", format!("LW{}", p.label), t, t + lt).unwrap();
+                let ct = clock.to_seconds(p.compute) * batch as f64;
+                tl.push("compute", format!("C{}", p.label), t + lt, t + lt + ct).unwrap();
+                load_end[i] = t + lt;
+                compute_end[i] = t + lt + ct;
+                t = compute_end[i];
+            }
+        }
+        Architecture::A2 | Architecture::A3 => {
+            let mut engine_free = vec![0.0f64; engines];
+            for (i, p) in phases.iter().enumerate() {
+                let engine = i % engines;
+                let lt = load_time(p.load_bytes);
+                let buffer_free = if i >= 2 { compute_end[i - 2] } else { 0.0 };
+                let mut start = engine_free[engine].max(buffer_free);
+                if p.pair_with_prev_load && i >= 1 {
+                    let partner_start = load_end[i - 1] - load_time(phases[i - 1].load_bytes);
+                    start = start.max(partner_start);
+                }
+                tl.push(format!("load-{}", engine), format!("LW{}", p.label), start, start + lt)
+                    .unwrap();
+                load_end[i] = start + lt;
+                engine_free[engine] = start + lt;
+
+                let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
+                let cs = load_end[i].max(prev_c);
+                let ct = clock.to_seconds(p.compute) * batch as f64;
+                tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
+                compute_end[i] = cs + ct;
+            }
+        }
+    }
+
+    let latency_s = tl.makespan();
+    let load_total_s: f64 = (0..engines).map(|e| tl.busy_time(&format!("load-{}", e))).sum();
+    LegacyArchResult {
+        latency_s,
+        load_total_s,
+        compute_total_s: tl.busy_time("compute"),
+        compute_stall_s: tl.stall_time("compute"),
+        timeline: tl,
+    }
+}
+
+/// Verbatim copy of the deleted straight-line emission loop in
+/// `run_batch_through_runtime` (modulo the `set_batch_tag` →
+/// `set_plan_tag` rename). Returns the runtime plus the makespan and
+/// per-utterance finishes the old entry point reported.
+fn legacy_run_batch(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    input_len: usize,
+    batch: usize,
+) -> (Runtime, f64, Vec<f64>) {
+    let kernel_label = |phase: &str, u: usize| {
+        if batch == 1 {
+            format!("C{}", phase)
+        } else {
+            format!("C{}[u{}]", phase, u)
+        }
+    };
+    cfg.validate().unwrap();
+    let s = cfg.checked_padded_seq_len(input_len).unwrap();
+
+    let mut rt = Runtime::new(cfg.device.clone());
+    if batch > 1 {
+        rt.set_plan_tag(Some(format!("B{}", batch)));
+    }
+    let engines = match arch {
+        Architecture::A3 => 2,
+        _ => 1,
+    };
+    let load_queues: Vec<_> =
+        (0..engines).map(|e| rt.create_queue(format!("maxi-{}", e))).collect();
+    let compute_queue = rt.create_queue("kernels");
+
+    let phases = phase_list(cfg, arch);
+    let last_phase = phases.len() - 1;
+    let mut phase_last_compute: Vec<Event> = Vec::with_capacity(phases.len());
+    let mut prev_compute: Option<Event> = None;
+    let mut utterance_finish_s: Vec<f64> = Vec::with_capacity(batch);
+    for (i, p) in phases.iter().enumerate() {
+        let mut deps: Vec<Event> = Vec::new();
+        if i >= 2 {
+            deps.push(phase_last_compute[i - 2]);
+        }
+        if arch == Architecture::A1 && i >= 1 {
+            deps.push(phase_last_compute[i - 1]);
+        }
+        let lw = rt.enqueue_hbm_load(
+            load_queues[i % engines],
+            format!("LW{}", p.label),
+            p.bytes,
+            calib::HBM_CHANNELS_A1_A2,
+            &deps,
+        );
+
+        let compute_s = phase_compute_s(cfg, p.kind, s);
+        for u in 0..batch {
+            let mut cdeps = vec![lw];
+            if let Some(prev) = prev_compute {
+                cdeps.push(prev);
+            }
+            let ck = rt.enqueue_kernel(
+                compute_queue,
+                kernel_label(&p.label, u),
+                if i % 2 == 0 { SlrId::Slr0 } else { SlrId::Slr1 },
+                compute_s,
+                &cdeps,
+            );
+            prev_compute = Some(ck);
+            if i == last_phase {
+                utterance_finish_s.push(rt.finish_time(ck));
+            }
+        }
+        phase_last_compute.push(prev_compute.expect("batch >= 1 enqueued a compute"));
+    }
+
+    let makespan_s = rt.finish();
+    (rt, makespan_s, utterance_finish_s)
+}
+
+proptest! {
+    #![proptest_config(env_cases(24))]
+
+    // The analytic walker over a lowered plan reproduces the deleted
+    // per-architecture recurrences bit for bit: same spans, same scalar
+    // metrics, for every (arch, length, batch) request.
+    #[test]
+    fn plan_walker_matches_the_legacy_per_arch_recurrences(
+        arch in any_arch(),
+        batch in 1usize..=8,
+        s in prop::sample::select(vec![2usize, 4, 8, 16, 32]),
+    ) {
+        let cfg = unpadded(s);
+        let new = simulate_batch(&cfg, arch, s, batch);
+        let old = legacy_simulate_batch(&cfg, arch, s, batch);
+        prop_assert_eq!(old.timeline.spans(), new.timeline.spans(), "{:?} b={}", arch, batch);
+        prop_assert_eq!(old.latency_s.to_bits(), new.latency_s.to_bits());
+        prop_assert_eq!(old.load_total_s.to_bits(), new.load_total_s.to_bits());
+        prop_assert_eq!(old.compute_total_s.to_bits(), new.compute_total_s.to_bits());
+        prop_assert_eq!(old.compute_stall_s.to_bits(), new.compute_stall_s.to_bits());
+    }
+
+    // The plan executor replays the same command stream — labels, queues,
+    // dependency-resolved span times, per-utterance finishes — the deleted
+    // straight-line emission loop enqueued.
+    #[test]
+    fn plan_executor_matches_the_legacy_emission_loop(
+        arch in any_arch(),
+        batch in 1usize..=6,
+        s in prop::sample::select(vec![2usize, 4, 8, 16]),
+    ) {
+        let cfg = unpadded(s);
+        let new = run_batch_through_runtime(&cfg, arch, s, batch).unwrap();
+        let (rt, makespan_s, finishes) = legacy_run_batch(&cfg, arch, s, batch);
+        prop_assert_eq!(rt.timeline().spans(), new.runtime.timeline().spans(),
+            "{:?} b={}", arch, batch);
+        prop_assert_eq!(makespan_s.to_bits(), new.makespan_s.to_bits());
+        prop_assert_eq!(finishes.len(), new.utterance_finish_s.len());
+        for (a, b) in finishes.iter().zip(&new.utterance_finish_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    // Lowering is a pure function of its request: the same (config, arch,
+    // lengths, integrity) always produces the identical DAG, with the
+    // expected per-kind command totals.
+    #[test]
+    fn lowering_is_deterministic_with_the_expected_shape(
+        arch in any_arch(),
+        batch in 1usize..=8,
+        s in prop::sample::select(vec![2usize, 4, 8, 16]),
+        level_idx in 0usize..3,
+    ) {
+        let level = [
+            IntegrityLevel::Off,
+            IntegrityLevel::Detect,
+            IntegrityLevel::DetectAndRecompute,
+        ][level_idx];
+        let cfg = unpadded(s);
+        let a = ExecPlan::lower(&cfg, arch, s, batch, level).unwrap();
+        let b = ExecPlan::lower(&cfg, arch, s, batch, level).unwrap();
+        prop_assert_eq!(&a, &b, "lowering must be deterministic");
+        let c = a.counts();
+        prop_assert_eq!(c.loads, a.phases.len());
+        prop_assert_eq!(c.computes, a.phases.len() * batch);
+        prop_assert_eq!(c.barriers, 1);
+        let expected_verifies =
+            if level.checks_enabled() { c.loads + c.computes } else { 0 };
+        prop_assert_eq!(c.verifies, expected_verifies);
     }
 }

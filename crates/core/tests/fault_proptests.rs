@@ -3,8 +3,12 @@
 #![recursion_limit = "1024"]
 
 use asr_accel::arch::{layer_bytes, simulate};
-use asr_accel::host_runtime::{run_through_runtime, run_with_recovery, RecoveryPolicy};
+use asr_accel::host_runtime::{
+    run_batch_with_recovery, run_plan, run_plan_with_recovery, run_through_runtime,
+    run_with_recovery, RecoveryPolicy,
+};
 use asr_accel::integrity::{load_model_with_faults, FunctionalFaults, StripeCorruption};
+use asr_accel::plan::ExecPlan;
 use asr_accel::schedule;
 use asr_accel::serve;
 use asr_accel::{AccelConfig, Architecture, CorruptionCounters};
@@ -245,5 +249,87 @@ proptest! {
         prop_assert_eq!(c0.escaped, 1);
         prop_assert_eq!(c0.detected, 0);
         prop_assert!(off != clean, "mantissa corruption must change the loaded weights");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan-IR recovery equivalence: executing a pre-lowered ExecPlan directly is
+// the same machine as the length/batch wrappers, fault-free and faulted.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(env_cases(24))]
+
+    // Fault-free, the recovery executor over a lowered plan is a no-op
+    // wrapper around the plain plan executor at every integrity level:
+    // identical spans, identical makespan, zero retries, empty counters.
+    #[test]
+    fn zero_fault_plan_recovery_matches_run_plan_at_every_level(
+        cfg in valid_config(),
+        arch in any_arch(),
+        batch in 1usize..=4,
+        level_idx in 0usize..3,
+    ) {
+        let level = [
+            IntegrityLevel::Off,
+            IntegrityLevel::Detect,
+            IntegrityLevel::DetectAndRecompute,
+        ][level_idx];
+        let s = cfg.max_seq_len;
+        let plan = ExecPlan::lower(&cfg, arch, s, batch, level).unwrap();
+        let base = run_plan(&cfg, &plan);
+        let run = run_plan_with_recovery(&cfg, &plan, FaultPlan::none(), &RecoveryPolicy::default())
+            .unwrap_or_else(|f| panic!("clean plan failed: {}", f.error));
+        prop_assert_eq!(base.runtime.timeline().spans(), run.runtime.timeline().spans());
+        prop_assert_eq!(base.makespan_s.to_bits(), run.makespan_s.to_bits());
+        for (a, b) in base.utterance_finish_s.iter().zip(&run.utterance_finish_s) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        prop_assert_eq!(run.retries, 0);
+        prop_assert_eq!(run.final_arch, arch);
+        prop_assert_eq!(run.corruption, CorruptionCounters::default());
+    }
+
+    // Under seeded faults, the batch wrapper IS lower-then-execute: running
+    // the explicitly lowered plan through `run_plan_with_recovery` gives the
+    // bit-identical outcome (success spans and metrics, or the same typed
+    // error) as `run_batch_with_recovery` on the raw request.
+    #[test]
+    fn seeded_fault_recovery_is_identical_through_the_plan_and_the_wrapper(
+        seed in 0u64..1000,
+        s in 2usize..=16,
+        batch in 1usize..=4,
+        arch in any_arch(),
+        level_idx in 0usize..3,
+    ) {
+        let mut cfg = AccelConfig::paper_default();
+        cfg.max_seq_len = s;
+        cfg.integrity = [
+            IntegrityLevel::Off,
+            IntegrityLevel::Detect,
+            IntegrityLevel::DetectAndRecompute,
+        ][level_idx];
+        let plan = ExecPlan::lower(&cfg, arch, s, batch, cfg.integrity).unwrap();
+        let policy = RecoveryPolicy::default();
+        let direct = run_plan_with_recovery(&cfg, &plan, FaultPlan::seeded(seed), &policy);
+        let wrapped = run_batch_with_recovery(&cfg, arch, s, batch, FaultPlan::seeded(seed), &policy);
+        match (direct, wrapped) {
+            (Ok(d), Ok(w)) => {
+                prop_assert_eq!(d.runtime.timeline().spans(), w.runtime.timeline().spans());
+                prop_assert_eq!(d.makespan_s.to_bits(), w.makespan_s.to_bits());
+                prop_assert_eq!(d.nominal_s.to_bits(), w.nominal_s.to_bits());
+                prop_assert_eq!(d.retries, w.retries);
+                prop_assert_eq!(d.final_arch, w.final_arch);
+                prop_assert_eq!(d.corruption, w.corruption);
+                prop_assert_eq!(d.events.len(), w.events.len());
+            }
+            (Err(d), Err(w)) => prop_assert_eq!(d.error, w.error),
+            (d, w) => prop_assert!(
+                false,
+                "plan and wrapper disagreed on success: direct {:?} vs wrapped {:?}",
+                d.map(|r| r.makespan_s),
+                w.map(|r| r.makespan_s)
+            ),
+        }
     }
 }

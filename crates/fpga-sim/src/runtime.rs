@@ -190,11 +190,11 @@ pub struct Runtime {
     kernels_dispatched: usize,
     /// Structural faults already marked on the timeline (marker spams once).
     marked: Vec<String>,
-    /// Optional batch tag appended to *span labels only* (`label #tag`), so
-    /// a batched dispatch is identifiable on the Timeline. The raw command
-    /// label is untouched: fault matching and attempt counting must behave
-    /// exactly as in the solo path.
-    batch_tag: Option<String>,
+    /// Optional plan tag appended to *span labels only* (`label #tag`), so
+    /// a plan-driven batched dispatch is identifiable on the Timeline. The
+    /// raw command label is untouched: fault matching and attempt counting
+    /// must behave exactly as in the solo path.
+    plan_tag: Option<String>,
 }
 
 impl Runtime {
@@ -219,18 +219,19 @@ impl Runtime {
             loads_dispatched: 0,
             kernels_dispatched: 0,
             marked: Vec::new(),
-            batch_tag: None,
+            plan_tag: None,
         }
     }
 
-    /// Tag (or untag with `None`) subsequent commands as belonging to a
-    /// batched dispatch. The tag is appended to the *span label* on the
-    /// Timeline (`LWE1 #B4`); the command label itself — what fault plans
-    /// match on and what the attempt counter keys on — never changes, so a
-    /// tagged command stream is timing- and fault-identical to an untagged
-    /// one.
-    pub fn set_batch_tag(&mut self, tag: Option<String>) {
-        self.batch_tag = tag;
+    /// Tag (or untag with `None`) subsequent commands with an execution
+    /// plan's tag (see `ExecPlan::tag` in the core crate — `Some("B4")` for
+    /// a batch of four, `None` for solo). The tag is appended to the *span
+    /// label* on the Timeline (`LWE1 #B4`); the command label itself — what
+    /// fault plans match on and what the attempt counter keys on — never
+    /// changes, so a tagged command stream is timing- and fault-identical
+    /// to an untagged one.
+    pub fn set_plan_tag(&mut self, tag: Option<String>) {
+        self.plan_tag = tag;
     }
 
     /// Arm (or disarm with `None`) the per-command watchdog: any command
@@ -429,7 +430,7 @@ impl Runtime {
             Some(w) if duration > w => (CommandStatus::TimedOut, w),
             _ => (status, duration),
         };
-        let span_label = match &self.batch_tag {
+        let span_label = match &self.plan_tag {
             Some(tag) => format!("{} #{}", span_label, tag),
             None => span_label,
         };

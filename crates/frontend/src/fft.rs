@@ -101,7 +101,7 @@ pub fn rfft(signal: &[f32], nfft: usize) -> Vec<Complex> {
     buf
 }
 
-/// Power spectrum (|X[k]|²) of a real frame.
+/// Power spectrum (|X\[k\]|²) of a real frame.
 pub fn power_spectrum(signal: &[f32], nfft: usize) -> Vec<f32> {
     rfft(signal, nfft).into_iter().map(|c| c.norm_sq()).collect()
 }

@@ -25,20 +25,10 @@ impl Model {
     }
 
     /// Run the encoder stack over `s × d_model` features, producing the
-    /// encoder memory.
+    /// encoder memory. Exactly a batched encode of one — the same invariant
+    /// the plan IR gives the accelerator-side entry points.
     pub fn encode(&self, features: &Matrix, backend: &dyn MatMul) -> Matrix {
-        assert_eq!(
-            features.cols(),
-            self.config.d_model,
-            "encoder input width {} != d_model {}",
-            features.cols(),
-            self.config.d_model
-        );
-        let mut x = features.clone();
-        for enc in &self.weights.encoders {
-            x = encoder_forward(&x, enc, backend);
-        }
-        x
+        self.encode_batch(std::slice::from_ref(features), backend).pop().expect("batch of one")
     }
 
     /// Run the encoder stack over a batch of utterances **layer-major**:
@@ -140,14 +130,16 @@ impl Model {
     }
 
     /// Full recognition: encode features, greedy-decode, return token ids.
+    /// A batched transcription of one, like [`Model::encode`].
     pub fn transcribe_tokens(
         &self,
         features: &Matrix,
         max_len: usize,
         backend: &dyn MatMul,
     ) -> Vec<TokenId> {
-        let memory = self.encode(features, backend);
-        self.greedy_decode(&memory, max_len, backend)
+        self.transcribe_batch(std::slice::from_ref(features), max_len, backend)
+            .pop()
+            .expect("batch of one")
     }
 }
 

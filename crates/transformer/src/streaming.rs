@@ -1,6 +1,6 @@
 //! Chunked (streaming) encoding.
 //!
-//! The paper cites streaming Transformer ASR (Moritz et al. [26]) as the
+//! The paper cites streaming Transformer ASR (Moritz et al. \[26\]) as the
 //! related direction for real-time use: instead of attending over the whole
 //! utterance, the encoder processes fixed-size chunks with a window of left
 //! context, so transcription can begin before the audio ends. This module

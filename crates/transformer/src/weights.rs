@@ -3,7 +3,7 @@
 //! The layout mirrors the paper exactly: per-head `W_{Q/K/V}` projections of
 //! `d_model × d_k` with `1 × d_k` biases, the `W_A` output projection, the
 //! two FFN matrices, and `1 × d_model` layer-norm weight/bias rows. The
-//! [`WeightInventory`] reproduces Table 4.1 (the matrix census for the full
+//! [`weight_inventory`] census reproduces Table 4.1 (the matrix census for the full
 //! 12 + 6 stack).
 
 use crate::config::TransformerConfig;

@@ -11,7 +11,7 @@
 //! the success ratio stays high. Everything runs in virtual time, so the
 //! table is bit-identical on every machine and every run.
 
-use transformer_asr_accel::accel::serve::{ServeConfig, ServePool};
+use transformer_asr_accel::accel::serve::{BatchConfig, ServeConfig, ServePool};
 
 fn main() {
     let devices = 3;
@@ -52,4 +52,44 @@ fn main() {
     println!("\nevery non-zero seed row should stay near 100% success: the");
     println!("breaker quarantines the broken card and failover re-routes its");
     println!("traffic onto the surviving {} cards.", devices - 1);
+
+    // Second sweep: dynamic batching on a clean pool pushed past its solo
+    // capacity. Raising the batch ceiling lets each dispatch share one
+    // weight-load pass (the lowered plan issues each layer's HBM load once
+    // per batch, not per request), so the amortized load cost per utterance
+    // falls as occupancy rises and the overload clears.
+    let burst_rps = 300.0;
+    println!("\ndynamic batching (clean pool, {:.0} req/s, 5 ms linger):\n", burst_rps);
+    println!(
+        "{:>9} {:>8} {:>9} {:>10} {:>10} {:>13} {:>9} {:>9}",
+        "max batch",
+        "success%",
+        "batches",
+        "mean batch",
+        "occupancy",
+        "load/utt(ms)",
+        "p50(ms)",
+        "p99(ms)"
+    );
+    for max_batch in [1usize, 2, 4, 8] {
+        let mut cfg = ServeConfig::new(devices, 0, burst_rps, deadline_ms / 1e3);
+        cfg.requests = requests;
+        cfg.batch = BatchConfig { max_batch, linger_s: 5e-3 };
+        let report = ServePool::run(cfg).expect("serve config is valid");
+        println!(
+            "{:>9} {:>8.1} {:>9} {:>10.2} {:>9.0}% {:>13.3} {:>9.2} {:>9.2}",
+            max_batch,
+            report.success_ratio() * 100.0,
+            report.batches,
+            report.mean_batch,
+            report.occupancy * 100.0,
+            report.amortized_load_s * 1e3,
+            report.p50_latency_s * 1e3,
+            report.p99_latency_s * 1e3,
+        );
+    }
+    println!("\nsolo dispatch sheds load at this rate; batch 2-4 amortizes the");
+    println!("weight loads (load/utt drops with occupancy) and clears the");
+    println!("overload. Past the arrival concurrency (batch 8) extra linger");
+    println!("buys nothing and the deadline misses creep back in.");
 }

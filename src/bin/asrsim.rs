@@ -9,6 +9,11 @@
 //! asrsim breakdown [--s N]             per-block latency breakdown (§5.1.4)
 //! asrsim pipeline  [--s N] [--n K]     pipelined batch throughput
 //! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
+//! asrsim plan      [--s N] [--arch a1|a2|a3] [--batch B]
+//!                  [--integrity off|detect|detect-recompute]
+//!                                      lowered ExecPlan dump: command counts,
+//!                                      prefetch edges, critical path, and
+//!                                      per-channel HBM load bytes
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
 //! asrsim faults <seed> [--s N] [--arch a1|a2|a3] [--integrity off|detect|detect-recompute]
 //!                                      fault-injected run: degraded vs nominal
@@ -24,8 +29,8 @@ use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
 use transformer_asr_accel::accel::serve::{ServeConfig, ServePool};
 use transformer_asr_accel::accel::{
-    dse, latency, pipeline, quant, run_with_recovery, sweep, AccelConfig, HostController,
-    RecoveryPolicy,
+    dse, latency, pipeline, quant, run_with_recovery, sweep, walk_cost, AccelConfig, ExecPlan,
+    HostController, RecoveryPolicy,
 };
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
 use transformer_asr_accel::fpga::FaultPlan;
@@ -75,7 +80,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|csv|faults|serve> [options]"
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -120,6 +125,7 @@ fn main() -> ExitCode {
             };
             return cmd_faults(seed, s, &args);
         }
+        "plan" => return cmd_plan(s, &args),
         "serve" => return cmd_serve(&args),
         other => {
             eprintln!("unknown command '{}'", other);
@@ -289,6 +295,65 @@ fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
         for e in &run.events {
             println!("  [{:9.3} ms] {:<16} {}", e.time_s * 1e3, e.phase, e.detail);
         }
+    }
+    ExitCode::SUCCESS
+}
+
+fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
+    let arch = match parse_arch_flag(args) {
+        Ok(a) => a,
+        Err(bad) => {
+            eprintln!("unknown architecture '{}': expected a1, a2, or a3", bad);
+            return ExitCode::FAILURE;
+        }
+    };
+    let level = match parse_integrity_flag(args) {
+        Ok(l) => l,
+        Err(bad) => {
+            eprintln!(
+                "unknown integrity level '{}': expected off, detect, or detect-recompute",
+                bad
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let batch = parse_flag(args, "--batch", 1).max(1);
+    let cfg = unpadded(s);
+    let s = cfg.max_seq_len;
+    let plan = match ExecPlan::lower(&cfg, arch, s, batch, level) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("lowering failed: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    let counts = plan.counts();
+    let (buf, ser, paired) = plan.edge_counts();
+    let cost = walk_cost(&cfg, &plan);
+    println!("architecture         : {}", arch.name());
+    println!("input length         : {} (built {})", s, plan.seq_len);
+    println!("batch                : {}", plan.batch);
+    println!("integrity level      : {}", level.name());
+    println!("phases               : {}", plan.phases.len());
+    println!(
+        "commands             : {} LoadStripe, {} Compute, {} Verify, {} Barrier ({} total)",
+        counts.loads,
+        counts.computes,
+        counts.verifies,
+        counts.barriers,
+        counts.total()
+    );
+    println!(
+        "prefetch edges       : {} double-buffer, {} serialize, {} paired loads",
+        buf, ser, paired
+    );
+    println!("critical path        : {:8.2} ms", cost.latency_s * 1e3);
+    println!("load busy            : {:8.2} ms", cost.load_total_s * 1e3);
+    println!("compute busy         : {:8.2} ms", cost.compute_total_s * 1e3);
+    println!("compute stall        : {:8.2} ms", cost.compute_stall_s * 1e3);
+    println!("channel load bytes   :");
+    for (ch, bytes) in plan.channel_load_bytes().iter().enumerate() {
+        println!("  HBM[{}]             : {:>12} B", ch, bytes);
     }
     ExitCode::SUCCESS
 }

@@ -78,6 +78,41 @@ fn csv_subcommand_emits_rows() {
 }
 
 #[test]
+fn plan_subcommand_dumps_the_lowered_dag() {
+    let (ok, out) = run(&["plan", "--s", "8", "--arch", "a3", "--batch", "4"]);
+    assert!(ok, "plan must exit cleanly:\n{}", out);
+    assert!(out.contains("architecture         : A3"));
+    assert!(out.contains("batch                : 4"));
+    assert!(out.contains("phases               : 24"));
+    assert!(out.contains("24 LoadStripe, 96 Compute, 0 Verify, 1 Barrier"), "{}", out);
+    assert!(out.contains("22 double-buffer, 0 serialize, 6 paired loads"), "{}", out);
+    assert!(out.contains("critical path"));
+    // A3 drives two engines = four HBM channels.
+    for ch in ["HBM[0]", "HBM[1]", "HBM[2]", "HBM[3]"] {
+        assert!(out.contains(ch), "missing {}:\n{}", ch, out);
+    }
+}
+
+#[test]
+fn plan_subcommand_emits_verify_nodes_at_detect() {
+    let (ok, out) = run(&["plan", "--s", "8", "--arch", "a1", "--integrity", "detect"]);
+    assert!(ok);
+    assert!(out.contains("integrity level      : detect"));
+    // 18 phases at A1 granularity: one CRC verify per load, one ABFT verify
+    // per (solo) compute.
+    assert!(out.contains("18 LoadStripe, 18 Compute, 36 Verify, 1 Barrier"), "{}", out);
+    assert!(out.contains("16 double-buffer, 17 serialize, 0 paired loads"), "{}", out);
+    // A1 runs one engine = two HBM channels.
+    assert!(out.contains("HBM[1]") && !out.contains("HBM[2]"), "{}", out);
+}
+
+#[test]
+fn plan_subcommand_rejects_a_bad_arch() {
+    let (ok, _) = run(&["plan", "--arch", "a9"]);
+    assert!(!ok, "an unknown architecture must be rejected");
+}
+
+#[test]
 fn faults_subcommand_reports_degraded_vs_nominal() {
     let (ok, out) = run(&["faults", "0", "--s", "8"]);
     assert!(ok);

@@ -88,6 +88,14 @@ pub enum AccelError {
         /// Time spent (queueing + cancelled service) before giving up, seconds.
         waited_s: f64,
     },
+    /// A checkpoint failed validation against the target device's schedule
+    /// (stale stripe CRC, mismatched architecture/integrity/batch, or an
+    /// incoherent frontier). Resume must not proceed — the caller falls
+    /// back to a clean full restart rather than silently reusing state.
+    CheckpointRejected {
+        /// What the validation found.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -135,6 +143,9 @@ impl std::fmt::Display for AccelError {
                 deadline_s * 1e3,
                 waited_s * 1e3
             ),
+            AccelError::CheckpointRejected { reason } => {
+                write!(f, "checkpoint rejected: {} (full restart required)", reason)
+            }
         }
     }
 }
@@ -192,6 +203,9 @@ mod tests {
         assert!(e.to_string().contains("encoder 0 output"));
         let e = AccelError::DeadlineExceeded { deadline_s: 0.2, waited_s: 0.3 };
         assert!(e.to_string().contains("200.0 ms"));
+        let e = AccelError::CheckpointRejected { reason: "stale CRC on stripe E3".into() };
+        assert!(e.to_string().contains("stale CRC"));
+        assert!(e.to_string().contains("full restart"));
     }
 
     #[test]

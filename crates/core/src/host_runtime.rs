@@ -48,10 +48,10 @@ use crate::calib;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
 use crate::integrity::{crc_refetch_step, CorruptionCounters, CrcStep};
-use crate::plan::{phase_compute_s, ExecPlan, PlanCmd};
+use crate::plan::{phase_compute_s, ExecPlan, PlanCheckpoint, PlanCmd};
 use asr_fpga_sim::device::SlrId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
-use asr_fpga_sim::runtime::{CommandStatus, Event, QueueId, Runtime, FAULT_UNIT};
+use asr_fpga_sim::runtime::{CommandStats, CommandStatus, Event, QueueId, Runtime, FAULT_UNIT};
 
 /// Per-utterance kernel label: the solo stream keeps the historical
 /// `C{phase}` labels (bit-identity with every pre-batching pin), a batched
@@ -162,19 +162,22 @@ pub fn run_plan(cfg: &AccelConfig, plan: &ExecPlan) -> BatchRun {
     };
     let mut utterance_finish_s: Vec<f64> = Vec::with_capacity(batch);
     for (i, p) in plan.phases.iter().enumerate() {
-        let lw_id = plan.load_of(i);
-        let node = &plan.nodes[lw_id];
-        let PlanCmd::LoadStripe { engine, bytes, .. } = node.cmd else {
-            unreachable!("load_of indexes a LoadStripe")
-        };
-        let lw = rt.enqueue_hbm_load(
-            load_queues[engine],
-            format!("LW{}", p.label),
-            bytes,
-            calib::HBM_CHANNELS_A1_A2,
-            &ev(&events, &node.deps),
-        );
-        events[lw_id] = Some(lw);
+        // Resumed plans carry phases with no nodes (completed before the
+        // cut) and phases whose stripe is trusted resident (no load).
+        if let Some(lw_id) = plan.load_of(i) {
+            let node = &plan.nodes[lw_id];
+            let PlanCmd::LoadStripe { engine, bytes, .. } = node.cmd else {
+                unreachable!("load_of indexes a LoadStripe")
+            };
+            let lw = rt.enqueue_hbm_load(
+                load_queues[engine],
+                format!("LW{}", p.label),
+                bytes,
+                calib::HBM_CHANNELS_A1_A2,
+                &ev(&events, &node.deps),
+            );
+            events[lw_id] = Some(lw);
+        }
 
         let compute_s = phase_compute_s(cfg, p.kind, s);
         for (u, &ck_id) in plan.computes_of(i).iter().enumerate() {
@@ -208,8 +211,13 @@ pub struct RecoveryPolicy {
     /// that outlast this many attempts make the run [`AccelError::Unrecoverable`].
     pub max_attempts: u32,
     /// First retry backoff, seconds; doubles on each further retry
-    /// (modelled as host-side latency on the failing queue).
+    /// (modelled as host-side latency on the failing queue), capped at
+    /// [`max_backoff_s`](Self::max_backoff_s).
     pub backoff_base_s: f64,
+    /// Ceiling on any single backoff pause, seconds. Without it the
+    /// doubling is unbounded and a large `backoff_base_s` (or a raised
+    /// attempt budget) can park a queue long past any serving deadline.
+    pub max_backoff_s: f64,
     /// Per-command watchdog: hung commands are reaped after this long.
     /// `None` leaves hangs unreaped (infinite makespan).
     pub watchdog_s: Option<f64>,
@@ -219,11 +227,24 @@ pub struct RecoveryPolicy {
     pub allow_degradation: bool,
 }
 
+impl RecoveryPolicy {
+    /// Worst-case seconds one command can spend backing off before its
+    /// attempt budget runs out: the capped exponential series. Serving-tier
+    /// admission charges this against the request deadline so recovery
+    /// backoff cannot silently blow past an admission-checked deadline.
+    pub fn max_total_backoff_s(&self) -> f64 {
+        (1..self.max_attempts)
+            .map(|k| (self.backoff_base_s * f64::powi(2.0, k as i32 - 1)).min(self.max_backoff_s))
+            .sum()
+    }
+}
+
 impl Default for RecoveryPolicy {
     fn default() -> Self {
         RecoveryPolicy {
             max_attempts: 4,
             backoff_base_s: 1e-4,
+            max_backoff_s: 5e-3,
             watchdog_s: Some(0.05),
             allow_degradation: true,
         }
@@ -308,6 +329,12 @@ pub struct BatchedRun {
     pub events: Vec<RecoveryEvent>,
     /// Silent-corruption accounting (CRC + ABFT), per DESIGN.md §9.
     pub corruption: CorruptionCounters,
+    /// Phase barriers crossed — each one a point the run checkpointed at
+    /// (a resumed plan counts only the suffix's barriers).
+    pub checkpoints: u32,
+    /// The skipped/replayed accounting of the resume lowering, when this
+    /// run executed a checkpointed suffix rather than a full plan.
+    pub resume: Option<crate::plan::PlanResume>,
 }
 
 /// A batched run that died mid-flight: the typed error, when the device
@@ -323,6 +350,14 @@ pub struct BatchFailure {
     /// Completion times of the utterances that finished their final phase
     /// before the failure (a prefix of the batch, in utterance order).
     pub finished_s: Vec<f64>,
+    /// The barrier-granular frontier the run had reached when it died —
+    /// what a checkpointing caller resumes from (same device after a
+    /// transient, or the failover target cross-device). `None` only for
+    /// errors raised before any dispatch state existed (e.g. lowering).
+    pub checkpoint: Option<PlanCheckpoint>,
+    /// Command-level statistics of the dead run, watchdog kills included —
+    /// the health signal the serving tier folds into its routing EWMA.
+    pub stats: CommandStats,
 }
 
 impl BatchFailure {
@@ -333,7 +368,7 @@ impl BatchFailure {
             }
             _ => 0.0,
         };
-        BatchFailure { error, at_s, finished_s }
+        BatchFailure { error, at_s, finished_s, checkpoint: None, stats: CommandStats::default() }
     }
 }
 
@@ -380,6 +415,9 @@ pub fn run_with_recovery(
 ///
 /// Since the plan refactor this is a thin wrapper: lower once, replay with
 /// the shared fault-tolerant executor [`run_plan_with_recovery`].
+// The failure path is cold and consumed immediately; a boxed error
+// would just push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
 pub fn run_batch_with_recovery(
     cfg: &AccelConfig,
     arch: Architecture,
@@ -403,6 +441,9 @@ pub fn run_batch_with_recovery(
 /// `Compute` node onto the survivor; silent corruption is answered per the
 /// plan's `Verify` semantics (CRC refetch via
 /// [`crate::integrity::crc_refetch_step`], ABFT stretch or typed failure).
+// The failure path is cold and consumed immediately; a boxed error
+// would just push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
 pub fn run_plan_with_recovery(
     cfg: &AccelConfig,
     plan: &ExecPlan,
@@ -439,6 +480,27 @@ pub fn run_plan_with_recovery(
         events.push(RecoveryEvent { time_s: t, phase: phase.to_string(), detail });
     };
 
+    // Barrier-granular frontier, in absolute phase indices (a resumed plan
+    // starts past its cut, so a second failure checkpoints *forward* of the
+    // first — double faults compose). Every failure ships the frontier as a
+    // typed checkpoint plus the dead run's command stats.
+    let start = plan.start_phase();
+    let fail = |error: AccelError,
+                finished: Vec<f64>,
+                completed: usize,
+                loaded: usize,
+                rt: &Runtime|
+     -> BatchFailure {
+        let at_s = match &error {
+            AccelError::Unrecoverable { at_s, .. } | AccelError::CorruptWeights { at_s, .. } => {
+                *at_s
+            }
+            _ => 0.0,
+        };
+        let checkpoint = Some(PlanCheckpoint::at(plan, completed, loaded, &finished, at_s));
+        BatchFailure { error, at_s, finished_s: finished, checkpoint, stats: rt.command_stats() }
+    };
+
     // A sticky PSA lane corrupts tiles in every phase; what happens next is
     // the integrity level's call. `Detect` has no repair path — fail typed
     // before wasting the run. `DetectAndRecompute` re-runs the faulty PSA's
@@ -462,9 +524,12 @@ pub fn run_plan_with_recovery(
                 ),
             );
         } else if plan.integrity.checks_enabled() {
-            return Err(BatchFailure::from_error(
+            return Err(fail(
                 AccelError::CorruptCompute { phase: phases[0].label.clone(), tiles: sticky_lanes },
                 Vec::new(),
+                start,
+                start,
+                &rt,
             ));
         } else {
             corruption.escaped += sticky_lanes;
@@ -476,160 +541,181 @@ pub fn run_plan_with_recovery(
     // edges resolve to); retries overwrite the slot with the last attempt.
     let mut node_events: Vec<Option<Event>> = vec![None; plan.nodes.len()];
     let mut finished_s: Vec<f64> = Vec::with_capacity(batch);
+    let mut completed_phases = start;
+    let mut loaded_through = start;
+    let mut checkpoints = 0u32;
     for (i, p) in phases.iter().enumerate() {
+        if plan.load_of(i).is_none() && plan.computes_of(i).is_empty() {
+            // Completed before a resume cut: no work to replay.
+            continue;
+        }
         // ---- load node (once for the whole batch), with retry /
-        // engine-ladder recovery ----
-        let lw_id = plan.load_of(i);
-        let load_label = format!("LW{}", p.label);
-        let mut attempts = 0u32;
-        let load_ev = loop {
-            let slot = i % engines.len();
-            // The plan's static prefetch edges, plus — after a mid-run
-            // descent to A1 — the serialize edge the A1 lowering would have
-            // emitted: no prefetch rung left, loads wait out compute.
-            let mut deps: Vec<Event> = plan.nodes[lw_id]
-                .deps
-                .iter()
-                .map(|&d| node_events[d].expect("plan deps precede their node"))
-                .collect();
-            if level == Architecture::A1 && plan.arch != Architecture::A1 && i >= 1 {
-                deps.push(
-                    node_events[plan.last_compute_of(i - 1)].expect("previous phase computed"),
-                );
-            }
-            let lw = rt.enqueue_hbm_load(
-                engines[slot],
-                load_label.clone(),
-                p.bytes,
-                calib::HBM_CHANNELS_A1_A2,
-                &deps,
-            );
-            attempts += 1;
-            match rt.status(lw) {
-                CommandStatus::Completed => {
-                    // The DMA reported success — but is the payload clean?
-                    // Silent HBM/DMA corruption only trips the CRC check;
-                    // the shared refetch step decides what happens next.
-                    let corrupt = rt.payload_corrupt(lw);
-                    if corrupt {
-                        corruption.injected += 1;
+        // engine-ladder recovery. Skipped entirely when the stripe is
+        // trusted resident from the checkpointed run (same-device resume).
+        if let Some(lw_id) = plan.load_of(i) {
+            let load_label = format!("LW{}", p.label);
+            let mut attempts = 0u32;
+            let load_ev = loop {
+                let slot = i % engines.len();
+                // The plan's static prefetch edges, plus — after a mid-run
+                // descent to A1 — the serialize edge the A1 lowering would have
+                // emitted: no prefetch rung left, loads wait out compute.
+                let mut deps: Vec<Event> = plan.nodes[lw_id]
+                    .deps
+                    .iter()
+                    .map(|&d| node_events[d].expect("plan deps precede their node"))
+                    .collect();
+                if level == Architecture::A1 && plan.arch != Architecture::A1 && i >= 1 {
+                    if let Some(c) = plan.last_compute_of(i - 1) {
+                        deps.push(node_events[c].expect("previous phase computed"));
                     }
-                    match crc_refetch_step(
-                        corrupt,
-                        plan.integrity.checks_enabled(),
-                        attempts,
-                        policy.max_attempts,
-                        &mut corruption,
-                    ) {
-                        CrcStep::Accept | CrcStep::Escape => break lw,
-                        CrcStep::Exhausted => {
-                            return Err(BatchFailure::from_error(
-                                AccelError::CorruptWeights {
+                }
+                let lw = rt.enqueue_hbm_load(
+                    engines[slot],
+                    load_label.clone(),
+                    p.bytes,
+                    calib::HBM_CHANNELS_A1_A2,
+                    &deps,
+                );
+                attempts += 1;
+                match rt.status(lw) {
+                    CommandStatus::Completed => {
+                        // The DMA reported success — but is the payload clean?
+                        // Silent HBM/DMA corruption only trips the CRC check;
+                        // the shared refetch step decides what happens next.
+                        let corrupt = rt.payload_corrupt(lw);
+                        if corrupt {
+                            corruption.injected += 1;
+                        }
+                        match crc_refetch_step(
+                            corrupt,
+                            plan.integrity.checks_enabled(),
+                            attempts,
+                            policy.max_attempts,
+                            &mut corruption,
+                        ) {
+                            CrcStep::Accept | CrcStep::Escape => break lw,
+                            CrcStep::Exhausted => {
+                                return Err(fail(
+                                    AccelError::CorruptWeights {
+                                        phase: p.label.clone(),
+                                        label: load_label,
+                                        attempts,
+                                        at_s: rt.finish_time(lw),
+                                    },
+                                    finished_s,
+                                    completed_phases,
+                                    loaded_through,
+                                    &rt,
+                                ));
+                            }
+                            CrcStep::Refetch => {
+                                let t = rt.finish_time(lw);
+                                let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
+                                record(
+                                    &mut rt,
+                                    t,
+                                    &p.label,
+                                    "integrity",
+                                    format!(
+                                        "{} on {}: CRC mismatch, refetch #{}",
+                                        tag, load_label, attempts
+                                    ),
+                                );
+                            }
+                        }
+                    }
+                    CommandStatus::Failed(cause) if cause.is_permanent() => {
+                        if !policy.allow_degradation {
+                            return Err(fail(
+                                AccelError::Unrecoverable {
                                     phase: p.label.clone(),
                                     label: load_label,
                                     attempts,
                                     at_s: rt.finish_time(lw),
                                 },
                                 finished_s,
+                                completed_phases,
+                                loaded_through,
+                                &rt,
                             ));
                         }
-                        CrcStep::Refetch => {
-                            let t = rt.finish_time(lw);
-                            let tag = rt.corruption_tag(lw).unwrap_or("corrupt payload");
+                        let t = rt.finish_time(lw);
+                        engines.remove(slot);
+                        attempts = 0; // degradation re-issues the command with a fresh budget
+                        if engines.is_empty() {
+                            // Last prefetch engine gone: fall to A1 on a
+                            // recovery DMA path that cannot overlap compute.
+                            engines.push(rt.create_queue("maxi-recovery"));
+                            level = Architecture::A1;
                             record(
                                 &mut rt,
                                 t,
                                 &p.label,
-                                "integrity",
+                                "recovery",
+                                "engine lost, degrade to A1 (no prefetch)".into(),
+                            );
+                        } else {
+                            let was = level;
+                            level = Architecture::A2;
+                            record(
+                                &mut rt,
+                                t,
+                                &p.label,
+                                "recovery",
                                 format!(
-                                    "{} on {}: CRC mismatch, refetch #{}",
-                                    tag, load_label, attempts
+                                    "engine lost, degrade {} -> A2 (single prefetch engine)",
+                                    was.name()
                                 ),
                             );
                         }
                     }
-                }
-                CommandStatus::Failed(cause) if cause.is_permanent() => {
-                    if !policy.allow_degradation {
-                        return Err(BatchFailure::from_error(
-                            AccelError::Unrecoverable {
-                                phase: p.label.clone(),
-                                label: load_label,
-                                attempts,
-                                at_s: rt.finish_time(lw),
-                            },
-                            finished_s,
-                        ));
-                    }
-                    let t = rt.finish_time(lw);
-                    engines.remove(slot);
-                    attempts = 0; // degradation re-issues the command with a fresh budget
-                    if engines.is_empty() {
-                        // Last prefetch engine gone: fall to A1 on a
-                        // recovery DMA path that cannot overlap compute.
-                        engines.push(rt.create_queue("maxi-recovery"));
-                        level = Architecture::A1;
-                        record(
-                            &mut rt,
-                            t,
-                            &p.label,
-                            "recovery",
-                            "engine lost, degrade to A1 (no prefetch)".into(),
+                    _ => {
+                        // Transient failure or watchdog timeout: back off and retry.
+                        if attempts >= policy.max_attempts {
+                            return Err(fail(
+                                AccelError::Unrecoverable {
+                                    phase: p.label.clone(),
+                                    label: load_label,
+                                    attempts,
+                                    at_s: rt.finish_time(lw),
+                                },
+                                finished_s,
+                                completed_phases,
+                                loaded_through,
+                                &rt,
+                            ));
+                        }
+                        let backoff = (policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1))
+                            .min(policy.max_backoff_s);
+                        let t = rt.finish_time(lw);
+                        rt.enqueue_backoff(
+                            engines[slot],
+                            format!("backoff#{} {}", attempts, load_label),
+                            backoff,
+                            &[],
                         );
-                    } else {
-                        let was = level;
-                        level = Architecture::A2;
+                        retries += 1;
                         record(
                             &mut rt,
                             t,
                             &p.label,
                             "recovery",
                             format!(
-                                "engine lost, degrade {} -> A2 (single prefetch engine)",
-                                was.name()
+                                "retry #{} of {} after {:.1} us backoff",
+                                attempts,
+                                load_label,
+                                backoff * 1e6
                             ),
                         );
                     }
                 }
-                _ => {
-                    // Transient failure or watchdog timeout: back off and retry.
-                    if attempts >= policy.max_attempts {
-                        return Err(BatchFailure::from_error(
-                            AccelError::Unrecoverable {
-                                phase: p.label.clone(),
-                                label: load_label,
-                                attempts,
-                                at_s: rt.finish_time(lw),
-                            },
-                            finished_s,
-                        ));
-                    }
-                    let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
-                    let t = rt.finish_time(lw);
-                    rt.enqueue_backoff(
-                        engines[slot],
-                        format!("backoff#{} {}", attempts, load_label),
-                        backoff,
-                        &[],
-                    );
-                    retries += 1;
-                    record(
-                        &mut rt,
-                        t,
-                        &p.label,
-                        "recovery",
-                        format!(
-                            "retry #{} of {} after {:.1} us backoff",
-                            attempts,
-                            load_label,
-                            backoff * 1e6
-                        ),
-                    );
-                }
-            }
-        };
+            };
 
-        node_events[lw_id] = Some(load_ev);
+            node_events[lw_id] = Some(load_ev);
+        }
+        // Loaded (or trusted resident): the stripe frontier advances.
+        loaded_through = loaded_through.max(i + 1);
 
         // ---- compute nodes: the batch's utterances back-to-back under the
         // resident layer, each with retry / SLR-ladder recovery ----
@@ -666,7 +752,7 @@ pub fn run_plan_with_recovery(
                     CommandStatus::Failed(cause) if cause.is_permanent() => {
                         if !policy.allow_degradation || dead_slr.is_some() {
                             // Second SLR loss (or ladder disabled): nothing left.
-                            return Err(BatchFailure::from_error(
+                            return Err(fail(
                                 AccelError::Unrecoverable {
                                     phase: p.label.clone(),
                                     label: kernel_label,
@@ -674,13 +760,16 @@ pub fn run_plan_with_recovery(
                                     at_s: rt.finish_time(ck),
                                 },
                                 finished_s,
+                                completed_phases,
+                                loaded_through,
+                                &rt,
                             ));
                         }
                         let t = rt.finish_time(ck);
                         dead_slr = Some(slr.index());
                         attempts = 0; // relaunch on the survivor starts a fresh budget
                         live_cfg = slr_degraded_config(&live_cfg).map_err(|_| {
-                            BatchFailure::from_error(
+                            fail(
                                 AccelError::Unrecoverable {
                                     phase: p.label.clone(),
                                     label: kernel_label.clone(),
@@ -688,6 +777,9 @@ pub fn run_plan_with_recovery(
                                     at_s: t,
                                 },
                                 finished_s.clone(),
+                                completed_phases,
+                                loaded_through,
+                                &rt,
                             )
                         })?;
                         record(
@@ -705,7 +797,7 @@ pub fn run_plan_with_recovery(
                     }
                     _ => {
                         if attempts >= policy.max_attempts {
-                            return Err(BatchFailure::from_error(
+                            return Err(fail(
                                 AccelError::Unrecoverable {
                                     phase: p.label.clone(),
                                     label: kernel_label,
@@ -713,9 +805,13 @@ pub fn run_plan_with_recovery(
                                     at_s: rt.finish_time(ck),
                                 },
                                 finished_s,
+                                completed_phases,
+                                loaded_through,
+                                &rt,
                             ));
                         }
-                        let backoff = policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1);
+                        let backoff = (policy.backoff_base_s * f64::powi(2.0, attempts as i32 - 1))
+                            .min(policy.max_backoff_s);
                         let t = rt.finish_time(ck);
                         rt.enqueue_backoff(
                             compute_queue,
@@ -744,6 +840,10 @@ pub fn run_plan_with_recovery(
                 finished_s.push(rt.finish_time(ck));
             }
         }
+        // Phase barrier: every utterance's compute (and any verify) for
+        // this phase has retired — the frontier a checkpoint cuts at.
+        completed_phases = i + 1;
+        checkpoints += 1;
     }
 
     let makespan_s = rt.finish();
@@ -762,7 +862,30 @@ pub fn run_plan_with_recovery(
         retries,
         events,
         corruption,
+        checkpoints,
+        resume: plan.resume.clone(),
     })
+}
+
+/// Resume a checkpointed batch: lower the uncompleted suffix against this
+/// device's config — trusting resident stripes only on a same-device
+/// resume — and execute it under the device's fault plan. A poisoned or
+/// mismatched checkpoint surfaces as [`AccelError::CheckpointRejected`]
+/// inside the [`BatchFailure`] (with no checkpoint attached): the caller's
+/// clean fallback is a full restart, never silent reuse.
+// The failure path is cold and consumed immediately; a boxed error
+// would just push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
+pub fn resume_batch(
+    cfg: &AccelConfig,
+    ckpt: &PlanCheckpoint,
+    trust_resident: bool,
+    faults: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> std::result::Result<BatchedRun, BatchFailure> {
+    let plan = ExecPlan::resume(cfg, ckpt, trust_resident)
+        .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
+    run_plan_with_recovery(cfg, &plan, faults, policy)
 }
 
 /// The configuration after losing one SLR: half the PSA pool, head split
@@ -1231,6 +1354,137 @@ mod tests {
                 seed
             );
         }
+    }
+
+    #[test]
+    fn failure_carries_a_checkpoint_and_resume_skips_finished_phases() {
+        let cfg = unpadded(8);
+        let faults = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWD1".into(), failing_attempts: u32::MAX });
+        let failure = run_batch_with_recovery(
+            &cfg,
+            Architecture::A2,
+            8,
+            2,
+            faults,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        let ckpt = failure.checkpoint.as_ref().expect("mid-run failure checkpoints");
+        assert_eq!(ckpt.completed_phases, 12, "all encoder phases retired before LWD1 died");
+        assert!(ckpt.loaded_phases >= ckpt.completed_phases);
+        assert!(failure.stats.failed > 0, "dead attempts feed the health stats");
+
+        // Failover target: resume cross-device (no trust), clean card.
+        let resumed =
+            resume_batch(&cfg, ckpt, false, FaultPlan::none(), &RecoveryPolicy::default()).unwrap();
+        assert_eq!(resumed.utterance_finish_s.len(), 2, "both utterances served, exactly once");
+        assert_eq!(resumed.checkpoints, 6, "only the six decoder phases replay");
+        let full = run_batch_with_recovery(
+            &cfg,
+            Architecture::A2,
+            8,
+            2,
+            FaultPlan::none(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(resumed.loads_issued < full.loads_issued, "suffix loads strictly fewer");
+        assert!(resumed.makespan_s < full.makespan_s, "suffix compute strictly cheaper");
+    }
+
+    #[test]
+    fn double_fault_during_resume_advances_the_checkpoint() {
+        // Satellite: a second hard fault while executing a resumed suffix
+        // must resume again from the *newer* checkpoint (or fail typed) —
+        // never duplicate or drop an utterance.
+        let cfg = unpadded(8);
+        let first = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWD1".into(), failing_attempts: u32::MAX });
+        let f1 = run_batch_with_recovery(
+            &cfg,
+            Architecture::A2,
+            8,
+            2,
+            first,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        let c1 = f1.checkpoint.unwrap();
+
+        let second = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWD4".into(), failing_attempts: u32::MAX });
+        let f2 = resume_batch(&cfg, &c1, false, second, &RecoveryPolicy::default()).unwrap_err();
+        let c2 = f2.checkpoint.unwrap();
+        assert!(
+            c2.completed_phases > c1.completed_phases,
+            "second checkpoint is strictly newer: {} vs {}",
+            c2.completed_phases,
+            c1.completed_phases
+        );
+        assert_eq!(c2.remaining_lens().len() + f2.finished_s.len(), 2, "no utterance dropped");
+
+        let done =
+            resume_batch(&cfg, &c2, false, FaultPlan::none(), &RecoveryPolicy::default()).unwrap();
+        assert_eq!(
+            done.utterance_finish_s.len() + f2.finished_s.len() + f1.finished_s.len(),
+            2,
+            "every utterance served exactly once across the three attempts"
+        );
+    }
+
+    #[test]
+    fn resume_on_the_same_device_trusts_the_resident_stripe() {
+        let cfg = unpadded(8);
+        let faults = FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "CD2".into(), failing_attempts: u32::MAX });
+        let failure = run_batch_with_recovery(
+            &cfg,
+            Architecture::A2,
+            8,
+            1,
+            faults,
+            &RecoveryPolicy::default(),
+        )
+        .unwrap_err();
+        let ckpt = failure.checkpoint.unwrap();
+        assert!(failure.stats.timed_out > 0, "watchdog kills are recorded in the stats");
+        let same =
+            resume_batch(&cfg, &ckpt, true, FaultPlan::none(), &RecoveryPolicy::default()).unwrap();
+        let other = resume_batch(&cfg, &ckpt, false, FaultPlan::none(), &RecoveryPolicy::default())
+            .unwrap();
+        assert!(
+            same.loads_issued < other.loads_issued,
+            "same-device trust re-fetches strictly fewer stripes ({} vs {})",
+            same.loads_issued,
+            other.loads_issued
+        );
+        assert_eq!(same.utterance_finish_s.len(), 1);
+        assert_eq!(other.utterance_finish_s.len(), 1);
+    }
+
+    #[test]
+    fn backoff_is_capped_by_max_backoff_s() {
+        let cfg = unpadded(8);
+        let faults = || {
+            FaultPlan::none()
+                .with(FaultKind::HbmLoadError { label: "LWE3".into(), failing_attempts: 3 })
+        };
+        let slow = RecoveryPolicy {
+            backoff_base_s: 2e-3,
+            max_backoff_s: f64::INFINITY,
+            ..RecoveryPolicy::default()
+        };
+        let capped = RecoveryPolicy { max_backoff_s: 2e-3, ..slow.clone() };
+        let a = run_with_recovery(&cfg, Architecture::A3, 8, faults(), &slow).unwrap();
+        let b = run_with_recovery(&cfg, Architecture::A3, 8, faults(), &capped).unwrap();
+        assert!(
+            b.makespan_s < a.makespan_s,
+            "capped backoff must finish sooner: {} vs {}",
+            b.makespan_s,
+            a.makespan_s
+        );
+        assert!(capped.max_total_backoff_s() < slow.max_total_backoff_s());
     }
 
     #[test]

@@ -441,6 +441,128 @@ pub fn run_functional_batch(
     run_functional_plan(cfg, &plan, model_seed, input_seeds, faults)
 }
 
+/// Mid-run state of the functional interpreter, cut at a phase barrier —
+/// the data half of [`crate::plan::PlanCheckpoint`]. Captures the batch's
+/// partial activations (`xs`/`ys`), the layer cursors, and a CRC-32 over
+/// all of it so a poisoned or hand-edited checkpoint is *rejected typed*
+/// ([`AccelError::CheckpointRejected`]) instead of silently reused.
+///
+/// Resume reloads the model from `model_seed` through the same CRC
+/// envelope (deterministic, so the reloaded weights are bit-identical to
+/// the original load) and replays only the phases past `completed_phases`.
+#[derive(Debug, Clone)]
+pub struct FunctionalCheckpoint {
+    /// Phases fully retired before the cut — the first phase a resumed run
+    /// executes.
+    pub completed_phases: usize,
+    /// Encoder layers already consumed.
+    pub enc_idx: usize,
+    /// Decoder layers already consumed.
+    pub dec_idx: usize,
+    /// Model seed of the original run; resume reloads from it.
+    pub model_seed: u64,
+    /// Corruption accounting up to the cut (prefix-scoped; a resumed run's
+    /// counters are suffix-scoped and do **not** include these).
+    pub counters: CorruptionCounters,
+    /// Per-utterance encoder activations at the cut. Public so tests can
+    /// poison them; any mutation invalidates `state_crc`.
+    pub xs: Vec<Matrix>,
+    /// Per-utterance decoder activations at the cut (empty until the first
+    /// decoder phase ran).
+    pub ys: Vec<Matrix>,
+    /// CRC-32 over the activations and cursors, checked by [`Self::verify`].
+    pub state_crc: u32,
+}
+
+impl FunctionalCheckpoint {
+    fn crc_of(xs: &[Matrix], ys: &[Matrix], completed: usize, enc: usize, dec: usize) -> u32 {
+        let mut bytes = Vec::new();
+        for m in xs.iter().chain(ys) {
+            for v in m.as_slice() {
+                bytes.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        for idx in [completed, enc, dec] {
+            bytes.extend_from_slice(&(idx as u64).to_le_bytes());
+        }
+        crc32(&bytes)
+    }
+
+    /// Check the stored activation CRC against the state actually held.
+    /// A mismatch means the checkpoint was corrupted after capture; resume
+    /// must fall back to a clean full restart.
+    pub fn verify(&self) -> Result<()> {
+        let crc =
+            Self::crc_of(&self.xs, &self.ys, self.completed_phases, self.enc_idx, self.dec_idx);
+        if crc != self.state_crc {
+            return Err(AccelError::CheckpointRejected {
+                reason: format!(
+                    "stale CRC on functional activation state \
+                     (stored {:#010x}, computed {:#010x})",
+                    self.state_crc, crc
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// The interpreter's phase cursor: activations plus layer indices.
+struct PhaseCursor {
+    xs: Vec<Matrix>,
+    ys: Vec<Matrix>,
+    enc_idx: usize,
+    dec_idx: usize,
+}
+
+/// Execute the plan's phases in `range`, advancing the cursor in place.
+fn advance_phases(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    w: &ModelWeights,
+    engine: &CheckedPsa,
+    cur: &mut PhaseCursor,
+    range: std::ops::Range<usize>,
+    steps: usize,
+) -> Result<()> {
+    for p in &plan.phases[range] {
+        match p.kind {
+            PhaseKind::Encoder => {
+                cur.xs = encoder_forward_via_schemes_batch(
+                    cfg,
+                    engine,
+                    &cur.xs,
+                    &w.encoders[cur.enc_idx],
+                );
+                for (u, x) in cur.xs.iter().enumerate() {
+                    guard_activations(x, &format!("encoder {} output [u{}]", cur.enc_idx, u))?;
+                }
+                cur.enc_idx += 1;
+            }
+            PhaseKind::DecoderFull => {
+                if cur.ys.is_empty() {
+                    cur.ys = (0..cur.xs.len())
+                        .map(|_| w.embedding.submatrix(0, 0, steps, cfg.model.d_model))
+                        .collect();
+                }
+                for (u, (y, encoder_out)) in cur.ys.iter_mut().zip(&cur.xs).enumerate() {
+                    *y = decoder_forward(y, encoder_out, &w.decoders[cur.dec_idx], engine);
+                    guard_activations(y, &format!("decoder {} output [u{}]", cur.dec_idx, u))?;
+                }
+                cur.dec_idx += 1;
+            }
+            PhaseKind::DecoderMha | PhaseKind::DecoderFfn => {
+                return Err(AccelError::Config(
+                    "functional interpreter needs full decoder phases; \
+                     lower the plan at A1/A2 granularity"
+                        .into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// The functional interpreter over a lowered [`ExecPlan`]: one CRC-verified
 /// weight-load pass ([`load_model_with_faults`] — the plan's `LoadStripe` +
 /// `Verify(WeightCrc)` nodes carried into data), then the plan's phases in
@@ -459,6 +581,33 @@ pub fn run_functional_plan(
     input_seeds: &[u64],
     faults: &FunctionalFaults,
 ) -> Result<BatchIntegrityRun> {
+    if plan.resume.is_some() {
+        return Err(AccelError::Config(
+            "plan is a resumed suffix; interpret it via resume_functional_plan \
+             with the checkpoint it was lowered from"
+                .into(),
+        ));
+    }
+    let (w, engine, cur) = functional_prelude(cfg, plan, model_seed, input_seeds, faults)?;
+    let mut counters = cur.1;
+    let mut cursor = cur.0;
+    let steps = functional_steps(cfg, plan);
+    advance_phases(cfg, plan, &w, &engine, &mut cursor, 0..plan.phases.len(), steps)?;
+    functional_epilogue(plan, &w, &engine, cursor, &mut counters, steps)
+}
+
+/// Shared setup for the plan interpreter: validate the batch, load the
+/// model through the CRC envelope, build the checked engine, seed the
+/// encoder inputs. Returns the model, engine, and a fresh cursor paired
+/// with the load's corruption counters.
+#[allow(clippy::type_complexity)]
+fn functional_prelude(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    model_seed: u64,
+    input_seeds: &[u64],
+    faults: &FunctionalFaults,
+) -> Result<(ModelWeights, CheckedPsa, (PhaseCursor, CorruptionCounters))> {
     if input_seeds.len() != plan.batch {
         return Err(AccelError::Config(format!(
             "plan lowered for batch {} but {} input seeds supplied",
@@ -468,70 +617,57 @@ pub fn run_functional_plan(
     }
     let level = plan.integrity;
     let mut counters = CorruptionCounters::default();
-
     let clean = ModelWeights::seeded(&cfg.model, model_seed);
     let w = load_model_with_faults(&clean, faults, level, &mut counters)?;
-
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), level, faults.lane);
-
     let input_len = plan.input_lens.iter().copied().max().unwrap_or(1);
     let s = plan.seq_len.min(input_len.max(1));
-    let mut xs: Vec<Matrix> = input_seeds
+    let xs: Vec<Matrix> = input_seeds
         .iter()
         .map(|&seed| init::uniform(s, cfg.model.d_model, -0.5, 0.5, seed))
         .collect();
+    let cursor = PhaseCursor { xs, ys: Vec::new(), enc_idx: 0, dec_idx: 0 };
+    Ok((w, engine, (cursor, counters)))
+}
 
-    // Decoder inputs: the first `s` embedding rows stand in for a decoded
-    // token prefix (the functional path needs data, not a beam search).
-    let steps = s.min(cfg.model.vocab_size);
-    let embed_prefix = || w.embedding.submatrix(0, 0, steps, cfg.model.d_model);
-    let mut ys: Vec<Matrix> = Vec::new();
-    let (mut enc_idx, mut dec_idx) = (0usize, 0usize);
-    for p in &plan.phases {
-        match p.kind {
-            PhaseKind::Encoder => {
-                xs = encoder_forward_via_schemes_batch(cfg, &engine, &xs, &w.encoders[enc_idx]);
-                for (u, x) in xs.iter().enumerate() {
-                    guard_activations(x, &format!("encoder {} output [u{}]", enc_idx, u))?;
-                }
-                enc_idx += 1;
-            }
-            PhaseKind::DecoderFull => {
-                if ys.is_empty() {
-                    ys = (0..xs.len()).map(|_| embed_prefix()).collect();
-                }
-                for (u, (y, encoder_out)) in ys.iter_mut().zip(&xs).enumerate() {
-                    *y = decoder_forward(y, encoder_out, &w.decoders[dec_idx], &engine);
-                    guard_activations(y, &format!("decoder {} output [u{}]", dec_idx, u))?;
-                }
-                dec_idx += 1;
-            }
-            PhaseKind::DecoderMha | PhaseKind::DecoderFfn => {
-                return Err(AccelError::Config(
-                    "functional interpreter needs full decoder phases; \
-                     lower the plan at A1/A2 granularity"
-                        .into(),
-                ));
-            }
-        }
-    }
-    if ys.is_empty() {
+/// Decoder token-prefix length: the first `steps` embedding rows stand in
+/// for a decoded token prefix (the functional path needs data, not a beam
+/// search).
+fn functional_steps(cfg: &AccelConfig, plan: &ExecPlan) -> usize {
+    let input_len = plan.input_lens.iter().copied().max().unwrap_or(1);
+    plan.seq_len.min(input_len.max(1)).min(cfg.model.vocab_size)
+}
+
+/// Shared teardown: materialize per-utterance outputs and fold the ABFT
+/// statistics into the corruption counters under the plan's level.
+fn functional_epilogue(
+    plan: &ExecPlan,
+    w: &ModelWeights,
+    engine: &CheckedPsa,
+    mut cursor: PhaseCursor,
+    counters: &mut CorruptionCounters,
+    steps: usize,
+) -> Result<BatchIntegrityRun> {
+    if cursor.ys.is_empty() {
         // A plan with no decoder phases: the "decoder output" is the
         // untouched token prefix, as on the pre-plan path.
-        ys = (0..xs.len()).map(|_| embed_prefix()).collect();
+        cursor.ys = (0..cursor.xs.len())
+            .map(|_| w.embedding.submatrix(0, 0, steps, w.embedding.cols()))
+            .collect();
     }
-    let utterances = xs
+    let utterances = cursor
+        .xs
         .into_iter()
-        .zip(ys)
+        .zip(cursor.ys)
         .map(|(encoder_out, y)| {
-            let transcript = transcript_of(&w, &y);
+            let transcript = transcript_of(w, &y);
             UtteranceRun { encoder_out, decoder_out: y, transcript }
         })
         .collect::<Vec<_>>();
 
     let abft = engine.stats();
     counters.injected += abft.corrupted_tiles;
-    match level {
+    match plan.integrity {
         IntegrityLevel::Off => counters.escaped += abft.corrupted_tiles,
         IntegrityLevel::Detect => {
             counters.detected += abft.detected;
@@ -547,7 +683,108 @@ pub fn run_functional_plan(
             counters.recomputed += abft.recomputed;
         }
     }
-    Ok(BatchIntegrityRun { counters, abft, utterances })
+    Ok(BatchIntegrityRun { counters: *counters, abft, utterances })
+}
+
+/// Run the interpreter up to (exclusive) `cut_phase` and capture a
+/// [`FunctionalCheckpoint`] at that barrier. `cut_phase == 0` checkpoints
+/// before any compute; `cut_phase == plan.phases.len()` captures the
+/// completed state (useful only for exhaustive cut tests).
+pub fn functional_checkpoint_at(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    model_seed: u64,
+    input_seeds: &[u64],
+    faults: &FunctionalFaults,
+    cut_phase: usize,
+) -> Result<FunctionalCheckpoint> {
+    if cut_phase > plan.phases.len() {
+        return Err(AccelError::Config(format!(
+            "cut phase {} past the plan's {} phases",
+            cut_phase,
+            plan.phases.len()
+        )));
+    }
+    let (w, engine, (mut cursor, counters)) =
+        functional_prelude(cfg, plan, model_seed, input_seeds, faults)?;
+    let steps = functional_steps(cfg, plan);
+    advance_phases(cfg, plan, &w, &engine, &mut cursor, 0..cut_phase, steps)?;
+    let state_crc = FunctionalCheckpoint::crc_of(
+        &cursor.xs,
+        &cursor.ys,
+        cut_phase,
+        cursor.enc_idx,
+        cursor.dec_idx,
+    );
+    Ok(FunctionalCheckpoint {
+        completed_phases: cut_phase,
+        enc_idx: cursor.enc_idx,
+        dec_idx: cursor.dec_idx,
+        model_seed,
+        counters,
+        xs: cursor.xs,
+        ys: cursor.ys,
+        state_crc,
+    })
+}
+
+/// The checkpoint-interpreting path: verify the checkpoint's activation
+/// CRC (stale state is rejected typed — never silently reused), reload the
+/// model from the checkpoint's seed through the same CRC envelope, and
+/// replay only the phases past the cut. The resumed utterance outputs are
+/// **bit-identical** to an unfaulted straight run: the model reload is
+/// deterministic and the checked PSA applies its fault statelessly per
+/// matmul, so nothing about the cut can change the bits.
+///
+/// `plan` is the *full* plan the checkpoint was cut from. The returned
+/// counters are suffix-scoped (one model reload + the replayed phases);
+/// fold in `ckpt.counters` for whole-run accounting.
+pub fn resume_functional_plan(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    ckpt: &FunctionalCheckpoint,
+    input_seeds: &[u64],
+    faults: &FunctionalFaults,
+) -> Result<BatchIntegrityRun> {
+    ckpt.verify()?;
+    if ckpt.completed_phases > plan.phases.len() {
+        return Err(AccelError::CheckpointRejected {
+            reason: format!(
+                "frontier {} past the plan's {} phases",
+                ckpt.completed_phases,
+                plan.phases.len()
+            ),
+        });
+    }
+    if ckpt.xs.len() != plan.batch {
+        return Err(AccelError::CheckpointRejected {
+            reason: format!(
+                "checkpoint holds {} utterances but the plan batches {}",
+                ckpt.xs.len(),
+                plan.batch
+            ),
+        });
+    }
+    let (w, engine, (_fresh, counters)) =
+        functional_prelude(cfg, plan, ckpt.model_seed, input_seeds, faults)?;
+    let mut counters = counters;
+    let mut cursor = PhaseCursor {
+        xs: ckpt.xs.clone(),
+        ys: ckpt.ys.clone(),
+        enc_idx: ckpt.enc_idx,
+        dec_idx: ckpt.dec_idx,
+    };
+    let steps = functional_steps(cfg, plan);
+    advance_phases(
+        cfg,
+        plan,
+        &w,
+        &engine,
+        &mut cursor,
+        ckpt.completed_phases..plan.phases.len(),
+        steps,
+    )?;
+    functional_epilogue(plan, &w, &engine, cursor, &mut counters, steps)
 }
 
 /// A small-but-complete accelerator configuration for the functional
@@ -738,6 +975,57 @@ mod tests {
                 || unprotected.decoder_out != clean.decoder_out,
             "Off must demonstrably diverge"
         );
+    }
+
+    #[test]
+    fn functional_resume_is_bit_identical_to_a_straight_run() {
+        let cfg = cfg_at(IntegrityLevel::DetectAndRecompute);
+        let n_stripes = ModelWeights::seeded(&cfg.model, 11).matrices().len();
+        let faults = FunctionalFaults::seeded(7, n_stripes, cfg.psa.cols);
+        let seeds = [21u64, 22u64];
+        let plan = ExecPlan::lower(&cfg, Architecture::A2, 4, seeds.len(), cfg.integrity).unwrap();
+        let straight = run_functional_plan(&cfg, &plan, 11, &seeds, &faults).unwrap();
+
+        // Cut mid-plan (after the encoders), resume, compare every bit.
+        let cut = plan.phases.iter().filter(|p| p.kind == PhaseKind::Encoder).count();
+        let ckpt = functional_checkpoint_at(&cfg, &plan, 11, &seeds, &faults, cut).unwrap();
+        let resumed = resume_functional_plan(&cfg, &plan, &ckpt, &seeds, &faults).unwrap();
+        assert_eq!(resumed.utterances.len(), straight.utterances.len());
+        for (r, s) in resumed.utterances.iter().zip(&straight.utterances) {
+            assert_eq!(r.encoder_out, s.encoder_out);
+            assert_eq!(r.decoder_out, s.decoder_out);
+            assert_eq!(r.transcript, s.transcript);
+        }
+    }
+
+    #[test]
+    fn poisoned_functional_checkpoint_is_rejected_then_restarts_clean() {
+        let cfg = cfg_at(IntegrityLevel::Detect);
+        let seeds = [5u64];
+        let plan = ExecPlan::lower(&cfg, Architecture::A2, 4, 1, cfg.integrity).unwrap();
+        let mut ckpt =
+            functional_checkpoint_at(&cfg, &plan, 9, &seeds, &FunctionalFaults::none(), 1).unwrap();
+        ckpt.xs[0].as_mut_slice()[0] += 1.0;
+        let err = resume_functional_plan(&cfg, &plan, &ckpt, &seeds, &FunctionalFaults::none())
+            .unwrap_err();
+        match err {
+            AccelError::CheckpointRejected { reason } => assert!(reason.contains("stale CRC")),
+            other => panic!("expected CheckpointRejected, got {}", other),
+        }
+        // The clean full restart path stays open.
+        run_functional_plan(&cfg, &plan, 9, &seeds, &FunctionalFaults::none()).unwrap();
+    }
+
+    #[test]
+    fn run_functional_plan_rejects_resumed_suffix_plans() {
+        let cfg = cfg_at(IntegrityLevel::Detect);
+        let full = ExecPlan::lower(&cfg, Architecture::A2, 4, 1, cfg.integrity).unwrap();
+        let ckpt = crate::plan::PlanCheckpoint::at(&full, 1, 1, &[], 0.0);
+        let suffix = ExecPlan::resume(&cfg, &ckpt, false).unwrap();
+        let err =
+            run_functional_plan(&cfg, &suffix, 9, &[5], &FunctionalFaults::none()).unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
+        assert!(err.to_string().contains("resume_functional_plan"));
     }
 
     #[test]

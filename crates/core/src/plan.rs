@@ -46,6 +46,8 @@ use crate::error::{AccelError, Result};
 use crate::schedule::{decoder, encoder};
 use asr_fpga_sim::Timeline;
 use asr_systolic::abft::IntegrityLevel;
+use asr_tensor::crc32;
+use serde::{Deserialize, Serialize};
 
 /// Which compute recurrence a phase uses, so consumers (including degraded
 /// configurations mid-recovery) can re-derive the phase cost on demand.
@@ -166,6 +168,162 @@ impl PlanCounts {
     }
 }
 
+/// A weight stripe still resident in a device's double-buffer slots when a
+/// checkpoint was cut, with the CRC-32 the loader verified it against. A
+/// resume lowering may skip re-loading a resident stripe only when the
+/// caller asserts same-device trust *and* the recorded CRC still matches
+/// the stripe the schedule would fetch — anything else is re-loaded and
+/// re-verified (DESIGN.md §12 trust rules).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResidentStripe {
+    /// Phase index into the checkpointed schedule.
+    pub phase: usize,
+    /// The phase's schedule label (`"E3"`, `"D2f"`).
+    pub label: String,
+    /// Stripe bytes.
+    pub bytes: u64,
+    /// CRC-32 the load's verify accepted.
+    pub crc: u32,
+}
+
+/// A barrier-granular cut through an [`ExecPlan`]: everything needed to
+/// lower and execute only the uncompleted suffix of the DAG on the same or
+/// another device. Cuts land on phase barriers — a phase is in the frontier
+/// only once its load, its verifies, and *every* utterance's compute have
+/// retired — so a checkpoint never claims partial credit the Verify nodes
+/// have not signed off on. Partially-computed phases are replayed.
+///
+/// The checkpoint is self-describing (architecture, integrity level, padded
+/// sequence length, phase table digest): [`PlanBuilder::resume_from`]
+/// re-derives the schedule from the target device's config and rejects the
+/// checkpoint with [`AccelError::CheckpointRejected`] on any mismatch —
+/// stale stripes restart cleanly instead of being silently reused.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlanCheckpoint {
+    /// Overlap architecture the interrupted plan was lowered for.
+    pub arch: Architecture,
+    /// Integrity level the interrupted plan was lowered at.
+    pub integrity: IntegrityLevel,
+    /// Padded sequence length every phase computed at.
+    pub seq_len: usize,
+    /// Unpadded input lengths of the interrupted batch, in batch order.
+    pub input_lens: Vec<usize>,
+    /// Schedule labels, one per phase — the identity of the phase table.
+    pub phase_labels: Vec<String>,
+    /// Weight bytes per phase, parallel to `phase_labels`.
+    pub phase_bytes: Vec<u64>,
+    /// Leading utterances that retired their final compute before the cut;
+    /// they leave the batch and are not replayed.
+    pub finished_utterances: usize,
+    /// Finish times of those utterances (device-local seconds).
+    pub finished_s: Vec<f64>,
+    /// Barrier frontier: phases `[0, completed_phases)` fully computed for
+    /// every remaining utterance.
+    pub completed_phases: usize,
+    /// Load frontier: stripes of phases `[0, loaded_phases)` were fetched
+    /// and CRC-verified at least once (`>= completed_phases` when the
+    /// prefetch engines ran ahead of compute).
+    pub loaded_phases: usize,
+    /// Stripes still held in the two double-buffer slots at the cut (at
+    /// most the last two completed loads).
+    pub resident: Vec<ResidentStripe>,
+    /// Device-local time the checkpoint was cut, seconds.
+    pub captured_at_s: f64,
+}
+
+impl PlanCheckpoint {
+    /// The CRC-32 a phase's stripe verifies against in the timing model:
+    /// a digest of the schedule identity (label + byte count). The
+    /// functional path checks real bytes; the timing path checks that a
+    /// checkpoint's resident stripes still describe the stripes the
+    /// target schedule would fetch.
+    pub fn stripe_crc(phase: &PlanPhase) -> u32 {
+        let mut bytes = phase.label.as_bytes().to_vec();
+        bytes.extend_from_slice(&phase.bytes.to_le_bytes());
+        crc32(&bytes)
+    }
+
+    /// Snapshot a plan at a barrier frontier. `completed_phases` /
+    /// `loaded_phases` are absolute phase indices (a resumed plan's
+    /// checkpoint composes with its predecessor's frontier);
+    /// `finished_s` is the prefix of utterances past their final compute.
+    pub fn at(
+        plan: &ExecPlan,
+        completed_phases: usize,
+        loaded_phases: usize,
+        finished_s: &[f64],
+        captured_at_s: f64,
+    ) -> PlanCheckpoint {
+        let resident = (loaded_phases.saturating_sub(2)..loaded_phases)
+            .map(|i| ResidentStripe {
+                phase: i,
+                label: plan.phases[i].label.clone(),
+                bytes: plan.phases[i].bytes,
+                crc: Self::stripe_crc(&plan.phases[i]),
+            })
+            .collect();
+        PlanCheckpoint {
+            arch: plan.arch,
+            integrity: plan.integrity,
+            seq_len: plan.seq_len,
+            input_lens: plan.input_lens.clone(),
+            phase_labels: plan.phases.iter().map(|p| p.label.clone()).collect(),
+            phase_bytes: plan.phases.iter().map(|p| p.bytes).collect(),
+            finished_utterances: finished_s.len(),
+            finished_s: finished_s.to_vec(),
+            completed_phases,
+            loaded_phases,
+            resident,
+            captured_at_s,
+        }
+    }
+
+    /// Input lengths of the utterances still to serve (the batch a resume
+    /// lowering must be built with).
+    pub fn remaining_lens(&self) -> &[usize] {
+        &self.input_lens[self.finished_utterances..]
+    }
+
+    /// Whether any phase (for any remaining utterance) is still unexecuted.
+    pub fn work_remains(&self) -> bool {
+        self.completed_phases < self.phase_labels.len() && !self.remaining_lens().is_empty()
+    }
+
+    /// Bytes the interrupted run already moved over HBM (the load work a
+    /// non-checkpointed restart would re-pay).
+    pub fn loaded_bytes(&self) -> u64 {
+        self.phase_bytes[..self.loaded_phases.min(self.phase_bytes.len())].iter().sum()
+    }
+}
+
+/// Resume metadata attached to a plan lowered by
+/// [`PlanBuilder::resume_from`]: where the suffix starts and how much work
+/// the cut allowed the lowering to skip (the replay-accounting numbers the
+/// CLI surfaces).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlanResume {
+    /// First phase with nodes in this plan; phases `[0, start_phase)` have
+    /// neither a load nor computes.
+    pub start_phase: usize,
+    /// Suffix loads skipped because the stripe was resident and trusted.
+    pub trusted_loads: usize,
+    /// HBM bytes not re-moved: the completed-prefix loads plus any trusted
+    /// resident stripes.
+    pub skipped_load_bytes: u64,
+    /// Compute nodes not re-executed (completed phases × remaining batch).
+    pub skipped_computes: usize,
+    /// Suffix loads that re-fetch a stripe the interrupted run had already
+    /// loaded (untrusted residency — the replayed-bytes number).
+    pub replayed_loads: usize,
+    /// Bytes those replayed loads re-move.
+    pub replayed_load_bytes: u64,
+    /// Utterances that had fully finished before the cut (carried for
+    /// callers; they are not part of this plan's batch).
+    pub base_finished: usize,
+    /// Their recorded finish times, device-local to the interrupted run.
+    pub finished_s: Vec<f64>,
+}
+
 /// A lowered, inspectable execution plan: the phase table plus the command
 /// DAG. Built by [`PlanBuilder`]; consumed by the analytic walker, the
 /// runtime executors, and the functional interpreter.
@@ -185,9 +343,13 @@ pub struct ExecPlan {
     pub phases: Vec<PlanPhase>,
     /// The command DAG, in dispatch order.
     pub nodes: Vec<PlanNode>,
-    /// Per phase, the [`PlanCmd::LoadStripe`] node id.
-    load_of: Vec<CmdId>,
-    /// Per phase, the [`PlanCmd::Compute`] node ids in utterance order.
+    /// Present when this plan is the resumed suffix of a checkpointed run.
+    pub resume: Option<PlanResume>,
+    /// Per phase, the [`PlanCmd::LoadStripe`] node id. `None` for phases
+    /// before a resume cut and for trusted resident stripes.
+    load_of: Vec<Option<CmdId>>,
+    /// Per phase, the [`PlanCmd::Compute`] node ids in utterance order
+    /// (empty for phases before a resume cut).
     computes_of: Vec<Vec<CmdId>>,
 }
 
@@ -213,8 +375,32 @@ impl ExecPlan {
         }
     }
 
-    /// The [`PlanCmd::LoadStripe`] node of a phase.
-    pub fn load_of(&self, phase: usize) -> CmdId {
+    /// Re-lower the uncompleted suffix a checkpoint describes, for the
+    /// remaining utterances. `trust_resident` is the same-device switch:
+    /// only a resume on the device that cut the checkpoint may skip
+    /// re-loading resident stripes; a failover target passes `false` and
+    /// re-fetches (and re-verifies) everything the suffix needs.
+    pub fn resume(
+        cfg: &AccelConfig,
+        ckpt: &PlanCheckpoint,
+        trust_resident: bool,
+    ) -> Result<ExecPlan> {
+        PlanBuilder::new(cfg, ckpt.arch)
+            .utterances(ckpt.remaining_lens())
+            .integrity(ckpt.integrity)
+            .resume_from(ckpt, trust_resident)
+            .build()
+    }
+
+    /// First phase with work in this plan (0 unless resumed).
+    pub fn start_phase(&self) -> usize {
+        self.resume.as_ref().map_or(0, |r| r.start_phase)
+    }
+
+    /// The [`PlanCmd::LoadStripe`] node of a phase, if this plan fetches
+    /// the phase's stripe (`None` before a resume cut or when the stripe is
+    /// trusted resident).
+    pub fn load_of(&self, phase: usize) -> Option<CmdId> {
         self.load_of[phase]
     }
 
@@ -225,9 +411,9 @@ impl ExecPlan {
 
     /// The batch's last compute of a phase — what frees the double-buffer
     /// slot and what A1 serialize edges (and degraded-to-A1 executors) gate
-    /// the next load on.
-    pub fn last_compute_of(&self, phase: usize) -> CmdId {
-        *self.computes_of[phase].last().expect("every phase computes")
+    /// the next load on. `None` for phases before a resume cut.
+    pub fn last_compute_of(&self, phase: usize) -> Option<CmdId> {
+        self.computes_of[phase].last().copied()
     }
 
     /// The span tag the runtime appends to batched dispatches (`#B4`);
@@ -261,7 +447,8 @@ impl ExecPlan {
     /// paired loads are the Fig 4.11 M-MHA/FFN launches.
     pub fn edge_counts(&self) -> (usize, usize, usize) {
         let (mut buf, mut ser, mut paired) = (0usize, 0usize, 0usize);
-        for (i, &lw) in self.load_of.iter().enumerate() {
+        for (i, lw) in self.load_of.iter().enumerate() {
+            let Some(lw) = *lw else { continue };
             let node = &self.nodes[lw];
             for &d in &node.deps {
                 if let PlanCmd::Compute { phase, .. } = self.nodes[d].cmd {
@@ -303,13 +490,14 @@ pub struct PlanBuilder<'a> {
     arch: Architecture,
     input_lens: Vec<usize>,
     integrity: IntegrityLevel,
+    resume: Option<(PlanCheckpoint, bool)>,
 }
 
 impl<'a> PlanBuilder<'a> {
     /// Start a lowering for one architecture. The batch defaults to empty —
     /// add utterances before [`build`](Self::build).
     pub fn new(cfg: &'a AccelConfig, arch: Architecture) -> Self {
-        PlanBuilder { cfg, arch, input_lens: Vec::new(), integrity: cfg.integrity }
+        PlanBuilder { cfg, arch, input_lens: Vec::new(), integrity: cfg.integrity, resume: None }
     }
 
     /// Set the batch: one entry per utterance, each an unpadded input
@@ -323,6 +511,18 @@ impl<'a> PlanBuilder<'a> {
     /// Override the integrity level (defaults to the config's).
     pub fn integrity(mut self, level: IntegrityLevel) -> Self {
         self.integrity = level;
+        self
+    }
+
+    /// Lower only the uncompleted suffix a checkpoint describes. The
+    /// builder's batch must be the checkpoint's remaining utterances;
+    /// [`build`](Self::build) validates the checkpoint against the target
+    /// device's freshly-derived schedule and rejects any divergence with a
+    /// typed [`AccelError::CheckpointRejected`] — the caller then falls
+    /// back to a clean full restart. `trust_resident` permits skipping
+    /// re-loads of CRC-matching resident stripes (same-device resume only).
+    pub fn resume_from(mut self, ckpt: &PlanCheckpoint, trust_resident: bool) -> Self {
+        self.resume = Some((ckpt.clone(), trust_resident));
         self
     }
 
@@ -345,44 +545,93 @@ impl<'a> PlanBuilder<'a> {
         };
         let verify = self.integrity.checks_enabled();
 
+        // Resume validation: the checkpoint must describe exactly the
+        // schedule this config/architecture lowers to, and its resident
+        // stripes must still CRC-match what the schedule would fetch.
+        let resume = match &self.resume {
+            None => None,
+            Some((ckpt, trust)) => Some(validate_checkpoint(
+                ckpt,
+                *trust,
+                self.arch,
+                self.integrity,
+                seq_len,
+                &self.input_lens,
+                &phases,
+            )?),
+        };
+        let (start_phase, trusted) = match &resume {
+            Some(r) => (r.0, r.1.clone()),
+            None => (0, Vec::new()),
+        };
+
         let mut nodes: Vec<PlanNode> = Vec::new();
-        let mut load_of: Vec<CmdId> = Vec::with_capacity(phases.len());
+        let mut load_of: Vec<Option<CmdId>> = Vec::with_capacity(phases.len());
         let mut computes_of: Vec<Vec<CmdId>> = Vec::with_capacity(phases.len());
         let mut prev_compute: Option<CmdId> = None;
+        let mut trusted_loads = 0usize;
+        let mut trusted_bytes = 0u64;
         for (i, p) in phases.iter().enumerate() {
-            // Edge policy. Double-buffer edge (all architectures): this
-            // load's buffer slot is freed by the compute two phases back.
-            let mut deps: Vec<CmdId> = Vec::new();
-            if i >= 2 {
-                deps.push(*computes_of[i - 2].last().expect("phase computed"));
+            if i < start_phase {
+                // Completed before the cut: the suffix has no work here.
+                load_of.push(None);
+                computes_of.push(Vec::new());
+                continue;
             }
-            // Serialize edge (A1 only): no overlap — the load additionally
-            // waits out the previous phase's whole compute.
-            if self.arch == Architecture::A1 && i >= 1 {
-                deps.push(*computes_of[i - 1].last().expect("phase computed"));
-            }
-            let engine = i % engines;
-            let lw = nodes.len();
-            nodes.push(PlanNode {
-                cmd: PlanCmd::LoadStripe {
-                    phase: i,
-                    engine,
-                    channels: [2 * engine, 2 * engine + 1],
-                    bytes: p.bytes,
-                    paired_with_prev: p.kind == PhaseKind::DecoderFfn,
-                },
-                deps,
-            });
-            load_of.push(lw);
-            if verify {
+            let lw = if trusted.contains(&i) {
+                // Same-device resume over a CRC-trusted resident stripe:
+                // the bytes stay in their buffer slot, nothing to re-fetch.
+                trusted_loads += 1;
+                trusted_bytes += p.bytes;
+                None
+            } else {
+                // Edge policy. Double-buffer edge (all architectures): this
+                // load's buffer slot is freed by the compute two phases
+                // back — dropped when that compute retired before the cut.
+                let mut deps: Vec<CmdId> = Vec::new();
+                if i >= 2 {
+                    if let Some(&c) = computes_of[i - 2].last() {
+                        deps.push(c);
+                    }
+                }
+                // Serialize edge (A1 only): no overlap — the load
+                // additionally waits out the previous phase's whole compute.
+                if self.arch == Architecture::A1 && i >= 1 {
+                    if let Some(&c) = computes_of[i - 1].last() {
+                        deps.push(c);
+                    }
+                }
+                let engine = i % engines;
+                let lw = nodes.len();
                 nodes.push(PlanNode {
-                    cmd: PlanCmd::Verify { phase: i, target: lw, check: VerifyCheck::WeightCrc },
-                    deps: vec![lw],
+                    cmd: PlanCmd::LoadStripe {
+                        phase: i,
+                        engine,
+                        channels: [2 * engine, 2 * engine + 1],
+                        bytes: p.bytes,
+                        paired_with_prev: p.kind == PhaseKind::DecoderFfn,
+                    },
+                    deps,
                 });
-            }
+                if verify {
+                    nodes.push(PlanNode {
+                        cmd: PlanCmd::Verify {
+                            phase: i,
+                            target: lw,
+                            check: VerifyCheck::WeightCrc,
+                        },
+                        deps: vec![lw],
+                    });
+                }
+                Some(lw)
+            };
+            load_of.push(lw);
             let mut cs: Vec<CmdId> = Vec::with_capacity(batch);
             for u in 0..batch {
-                let mut cdeps = vec![lw];
+                let mut cdeps = Vec::with_capacity(2);
+                if let Some(lw) = lw {
+                    cdeps.push(lw);
+                }
                 if let Some(prev) = prev_compute {
                     cdeps.push(prev);
                 }
@@ -408,10 +657,29 @@ impl<'a> PlanBuilder<'a> {
         }
         // Terminal barrier: ready exactly when the batch is complete.
         let mut bdeps = vec![prev_compute.expect("schedule has phases")];
-        if let Some(&last_lw) = load_of.last() {
+        if let Some(&Some(last_lw)) = load_of.iter().rev().find(|l| l.is_some()) {
             bdeps.push(last_lw);
         }
         nodes.push(PlanNode { cmd: PlanCmd::Barrier, deps: bdeps });
+
+        let resume = resume.map(|(start, _, ckpt)| {
+            // Replayed loads: suffix stripes the interrupted run had
+            // already fetched but the target would not trust.
+            let replayed: Vec<usize> = (start..ckpt.loaded_phases.min(phases.len()))
+                .filter(|i| load_of[*i].is_some())
+                .collect();
+            PlanResume {
+                start_phase: start,
+                trusted_loads,
+                skipped_load_bytes: phases[..start].iter().map(|p| p.bytes).sum::<u64>()
+                    + trusted_bytes,
+                skipped_computes: start * batch,
+                replayed_loads: replayed.len(),
+                replayed_load_bytes: replayed.iter().map(|&i| phases[i].bytes).sum(),
+                base_finished: ckpt.finished_utterances,
+                finished_s: ckpt.finished_s.clone(),
+            }
+        });
 
         Ok(ExecPlan {
             arch: self.arch,
@@ -421,10 +689,86 @@ impl<'a> PlanBuilder<'a> {
             integrity: self.integrity,
             phases,
             nodes,
+            resume,
             load_of,
             computes_of,
         })
     }
+}
+
+/// Check a checkpoint against the freshly-derived target schedule. Returns
+/// `(start_phase, trusted resident phase indices, checkpoint)` or the typed
+/// rejection that sends the caller back to a clean full restart.
+#[allow(clippy::too_many_arguments)]
+fn validate_checkpoint(
+    ckpt: &PlanCheckpoint,
+    trust_resident: bool,
+    arch: Architecture,
+    integrity: IntegrityLevel,
+    seq_len: usize,
+    input_lens: &[usize],
+    phases: &[PlanPhase],
+) -> Result<(usize, Vec<usize>, PlanCheckpoint)> {
+    let reject = |reason: String| AccelError::CheckpointRejected { reason };
+    if ckpt.arch != arch {
+        return Err(reject(format!("architecture {:?} != plan {:?}", ckpt.arch, arch)));
+    }
+    if ckpt.integrity != integrity {
+        return Err(reject("integrity level differs from the target lowering".into()));
+    }
+    if ckpt.seq_len != seq_len {
+        return Err(reject(format!("padded seq len {} != target {}", ckpt.seq_len, seq_len)));
+    }
+    if ckpt.remaining_lens() != input_lens {
+        return Err(reject("remaining utterances differ from the builder's batch".into()));
+    }
+    if ckpt.finished_s.len() != ckpt.finished_utterances {
+        return Err(reject("finish times do not cover the finished prefix".into()));
+    }
+    if ckpt.phase_labels.len() != phases.len() || ckpt.phase_bytes.len() != phases.len() {
+        return Err(reject(format!(
+            "phase table has {} phases, target schedule {}",
+            ckpt.phase_labels.len(),
+            phases.len()
+        )));
+    }
+    for (i, p) in phases.iter().enumerate() {
+        if ckpt.phase_labels[i] != p.label || ckpt.phase_bytes[i] != p.bytes {
+            return Err(reject(format!(
+                "phase {} is {}, checkpoint says {}",
+                i, p.label, ckpt.phase_labels[i]
+            )));
+        }
+    }
+    if ckpt.completed_phases > phases.len() || ckpt.loaded_phases > phases.len() {
+        return Err(reject("frontier lies past the end of the schedule".into()));
+    }
+    if ckpt.loaded_phases < ckpt.completed_phases {
+        return Err(reject("load frontier behind the compute frontier".into()));
+    }
+    if !ckpt.work_remains() {
+        return Err(reject("nothing to resume: the checkpointed batch is complete".into()));
+    }
+    let mut trusted: Vec<usize> = Vec::new();
+    for r in &ckpt.resident {
+        let Some(p) = phases.get(r.phase) else {
+            return Err(reject(format!(
+                "resident stripe names phase {} of {}",
+                r.phase,
+                phases.len()
+            )));
+        };
+        if r.label != p.label || r.bytes != p.bytes || r.crc != PlanCheckpoint::stripe_crc(p) {
+            return Err(reject(format!(
+                "stale CRC on resident stripe {} (phase {})",
+                r.label, r.phase
+            )));
+        }
+        if trust_resident && r.phase >= ckpt.completed_phases {
+            trusted.push(r.phase);
+        }
+    }
+    Ok((ckpt.completed_phases, trusted, ckpt.clone()))
 }
 
 /// The 18-layer (24-phase at A3 granularity) schedule skeleton.
@@ -510,30 +854,39 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
     let mut compute_end = vec![0.0f64; plan.phases.len()];
 
     for (i, p) in plan.phases.iter().enumerate() {
-        let node = &plan.nodes[plan.load_of(i)];
-        let PlanCmd::LoadStripe { engine, bytes, paired_with_prev, .. } = node.cmd else {
-            unreachable!("load_of indexes a LoadStripe");
-        };
-        let lt = load_time(bytes);
-        let mut start = engine_free[engine];
-        for &d in &node.deps {
-            if let PlanCmd::Compute { phase, .. } = plan.nodes[d].cmd {
-                start = start.max(compute_end[phase]);
+        if let Some(lw_id) = plan.load_of(i) {
+            let node = &plan.nodes[lw_id];
+            let PlanCmd::LoadStripe { engine, bytes, paired_with_prev, .. } = node.cmd else {
+                unreachable!("load_of indexes a LoadStripe");
+            };
+            let lt = load_time(bytes);
+            let mut start = engine_free[engine];
+            for &d in &node.deps {
+                if let PlanCmd::Compute { phase, .. } = plan.nodes[d].cmd {
+                    start = start.max(compute_end[phase]);
+                }
             }
+            if paired_with_prev && i >= 1 && plan.load_of(i - 1).is_some() {
+                // Fig 4.11: the FFN load launches together with its MHA
+                // partner's load (they occupy different engines).
+                let partner_start = load_end[i - 1] - load_time(plan.phases[i - 1].bytes);
+                start = start.max(partner_start);
+            }
+            tl.push(format!("load-{}", engine), format!("LW{}", p.label), start, start + lt)
+                .unwrap();
+            load_end[i] = start + lt;
+            engine_free[engine] = start + lt;
         }
-        if paired_with_prev && i >= 1 {
-            // Fig 4.11: the FFN load launches together with its MHA
-            // partner's load (they occupy different engines).
-            let partner_start = load_end[i - 1] - load_time(plan.phases[i - 1].bytes);
-            start = start.max(partner_start);
+        // Trusted resident stripes (resumed plans) leave load_end at 0: the
+        // weights are already in their slot, compute gates only on order.
+        let n = plan.computes_of(i).len();
+        if n == 0 {
+            // Completed before a resume cut: no work to price.
+            continue;
         }
-        tl.push(format!("load-{}", engine), format!("LW{}", p.label), start, start + lt).unwrap();
-        load_end[i] = start + lt;
-        engine_free[engine] = start + lt;
-
         let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
         let cs = load_end[i].max(prev_c);
-        let ct = phase_compute_s(cfg, p.kind, s) * plan.batch as f64;
+        let ct = phase_compute_s(cfg, p.kind, s) * n as f64;
         tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
         compute_end[i] = cs + ct;
     }
@@ -663,6 +1016,103 @@ mod tests {
         let plan = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Off).unwrap();
         let last = plan.nodes.last().unwrap();
         assert_eq!(last.cmd, PlanCmd::Barrier);
-        assert!(last.deps.contains(&plan.last_compute_of(plan.phases.len() - 1)));
+        assert!(last.deps.contains(&plan.last_compute_of(plan.phases.len() - 1).unwrap()));
+    }
+
+    #[test]
+    fn resume_lowers_only_the_uncompleted_suffix() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Detect).unwrap();
+        let n = full.phases.len();
+        let ckpt = PlanCheckpoint::at(&full, 10, 11, &[], 1.0e-3);
+        let suffix = ExecPlan::resume(&cfg, &ckpt, false).unwrap();
+        assert_eq!(suffix.phases.len(), n, "phase table stays whole for stable indices");
+        for i in 0..10 {
+            assert!(suffix.load_of(i).is_none());
+            assert!(suffix.computes_of(i).is_empty());
+        }
+        let counts = suffix.counts();
+        assert_eq!(counts.loads, n - 10, "untrusted resume re-loads the whole suffix");
+        assert_eq!(counts.computes, (n - 10) * 2);
+        let r = suffix.resume.as_ref().unwrap();
+        assert_eq!(r.start_phase, 10);
+        assert_eq!(r.skipped_computes, 10 * 2);
+        let prefix_bytes: u64 = full.phases[..10].iter().map(|p| p.bytes).sum();
+        assert_eq!(r.skipped_load_bytes, prefix_bytes);
+        // phase 10 was already loaded (loaded_phases = 11) but is not
+        // trusted cross-device: its bytes are the replayed load traffic.
+        assert_eq!(r.replayed_loads, 1);
+        assert_eq!(r.replayed_load_bytes, full.phases[10].bytes);
+    }
+
+    #[test]
+    fn same_device_resume_trusts_resident_stripes() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let ckpt = PlanCheckpoint::at(&full, 6, 7, &[], 0.0);
+        let trusted = ExecPlan::resume(&cfg, &ckpt, true).unwrap();
+        // Phase 6's stripe is resident (loads ran one phase ahead) and
+        // trusted: no re-load, no replayed bytes.
+        assert!(trusted.load_of(6).is_none());
+        assert!(!trusted.computes_of(6).is_empty());
+        let r = trusted.resume.as_ref().unwrap();
+        assert_eq!(r.trusted_loads, 1);
+        assert_eq!(r.replayed_loads, 0);
+        let untrusted = ExecPlan::resume(&cfg, &ckpt, false).unwrap();
+        assert!(untrusted.load_of(6).is_some());
+        assert_eq!(untrusted.resume.as_ref().unwrap().replayed_loads, 1);
+        assert!(
+            r.skipped_load_bytes > untrusted.resume.as_ref().unwrap().skipped_load_bytes,
+            "trust skips strictly more bytes"
+        );
+    }
+
+    #[test]
+    fn poisoned_checkpoint_is_rejected_typed() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A3, 8, 1, IntegrityLevel::Off).unwrap();
+        let good = PlanCheckpoint::at(&full, 5, 6, &[], 0.0);
+        assert!(ExecPlan::resume(&cfg, &good, true).is_ok());
+
+        let mut stale = good.clone();
+        stale.resident[0].crc ^= 0xdead_beef;
+        let err = ExecPlan::resume(&cfg, &stale, true).unwrap_err();
+        assert!(matches!(err, AccelError::CheckpointRejected { .. }), "{}", err);
+        // Even without trust the stale CRC must reject, never silently reuse.
+        let err = ExecPlan::resume(&cfg, &stale, false).unwrap_err();
+        assert!(matches!(err, AccelError::CheckpointRejected { .. }), "{}", err);
+
+        let mut wrong_arch = good.clone();
+        wrong_arch.arch = Architecture::A1;
+        assert!(ExecPlan::resume(&cfg, &wrong_arch, false).is_err());
+
+        let mut done = good;
+        done.completed_phases = full.phases.len();
+        done.loaded_phases = full.phases.len();
+        let err = ExecPlan::resume(&cfg, &done, false).unwrap_err();
+        assert!(matches!(err, AccelError::CheckpointRejected { .. }), "{}", err);
+    }
+
+    #[test]
+    fn resumed_walk_costs_less_than_the_full_plan() {
+        let cfg = unpadded(8);
+        for arch in Architecture::ALL {
+            let full = ExecPlan::lower(&cfg, arch, 8, 2, IntegrityLevel::Off).unwrap();
+            let mut prev = walk_cost(&cfg, &full).latency_s;
+            for cut in 1..full.phases.len() {
+                let ckpt = PlanCheckpoint::at(&full, cut, cut, &[], 0.0);
+                let suffix = ExecPlan::resume(&cfg, &ckpt, false).unwrap();
+                let cost = walk_cost(&cfg, &suffix);
+                assert!(
+                    cost.latency_s <= prev + 1e-12,
+                    "{:?} cut {}: {} > {}",
+                    arch,
+                    cut,
+                    cost.latency_s,
+                    prev
+                );
+                prev = cost.latency_s;
+            }
+        }
     }
 }

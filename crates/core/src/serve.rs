@@ -35,12 +35,16 @@
 //! when it ultimately succeeds).
 
 use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
 
 use crate::arch::Architecture;
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
-use crate::host_runtime::{run_batch_through_runtime, run_batch_with_recovery, RecoveryPolicy};
+use crate::host_runtime::{
+    resume_batch, run_batch_through_runtime, run_batch_with_recovery, RecoveryPolicy,
+};
 use crate::integrity::CorruptionCounters;
+use crate::plan::PlanCheckpoint;
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 
@@ -204,6 +208,12 @@ pub struct ServeConfig {
     /// Dynamic-batching tuning (default: batch of 1, no linger — the
     /// pre-batching behavior).
     pub batch: BatchConfig,
+    /// Checkpointed failover (`asrsim serve --checkpoint`): a hard mid-batch
+    /// fault hands the failed attempt's [`PlanCheckpoint`] to the failover
+    /// target, which re-executes only the uncompleted suffix instead of the
+    /// whole batch. Off by default — failover restarts from scratch, and the
+    /// replayed-work accounting records what that re-payment cost.
+    pub checkpoint: bool,
 }
 
 impl ServeConfig {
@@ -231,6 +241,7 @@ impl ServeConfig {
             policy: RecoveryPolicy::default(),
             shutdown_grace_s: None,
             batch: BatchConfig::default(),
+            checkpoint: false,
         }
     }
 }
@@ -314,6 +325,9 @@ pub struct DeviceReport {
     pub failed: usize,
     /// Attempts cancelled by a timeout or the deadline.
     pub cancelled: usize,
+    /// Watchdog-timeout kills across this card's dispatches (hang-prone
+    /// cards accumulate these and are penalized by the health EWMA).
+    pub timed_out: usize,
     /// Times the breaker opened.
     pub breaker_opens: u32,
     /// Breaker state at drain.
@@ -373,6 +387,22 @@ pub struct ServeReport {
     /// HBM weight-load busy seconds of one fault-free solo run — the
     /// un-amortized baseline every request would pay at batch 1.
     pub solo_load_s: f64,
+    /// Failover dispatches that resumed a checkpointed suffix.
+    pub resumed_dispatches: usize,
+    /// Checkpoints rejected at validation (stale CRC or mismatch); each
+    /// fell back to a clean full restart — never silent reuse.
+    pub checkpoint_rejects: usize,
+    /// `LoadStripe` bytes re-fetched that a prior attempt already loaded
+    /// (what failover-from-scratch re-pays; resumes pay only untrusted
+    /// re-loads of the suffix).
+    pub replayed_load_bytes: u64,
+    /// Attempt-seconds re-executed that a prior attempt already spent.
+    pub replayed_compute_s: f64,
+    /// `LoadStripe` bytes resumes skipped (completed prefix + trusted
+    /// resident stripes).
+    pub skipped_load_bytes: u64,
+    /// Banked attempt-seconds successful resumes did not re-execute.
+    pub skipped_compute_s: f64,
 }
 
 impl ServeReport {
@@ -421,6 +451,20 @@ impl ServeReport {
             self.amortized_load_s * 1e3,
             self.solo_load_s * 1e3
         ));
+        line(format!(
+            "checkpoint resume    : {} resumed, {} rejected",
+            self.resumed_dispatches, self.checkpoint_rejects
+        ));
+        line(format!(
+            "replayed work        : {:.3} ms compute, {} load bytes",
+            self.replayed_compute_s * 1e3,
+            self.replayed_load_bytes
+        ));
+        line(format!(
+            "skipped by resume    : {:.3} ms compute, {} load bytes",
+            self.skipped_compute_s * 1e3,
+            self.skipped_load_bytes
+        ));
         if self.corruption.any_injected() {
             line(format!(
                 "corruption           : {} injected, {} detected, {} refetched, {} recomputed, {} escaped",
@@ -467,11 +511,20 @@ enum BatchOutcome {
         quality: f64,
         corruption: CorruptionCounters,
         load_busy_s: f64,
+        timed_out: usize,
     },
     /// The run dies `fail_after_s` into the dispatch; utterances that
     /// already produced their last kernel (`finished_s[u]`, front of the
-    /// batch) still count as served.
-    Fail { fail_after_s: f64, finished_s: Vec<f64> },
+    /// batch) still count as served. Carries the barrier-granular frontier
+    /// the run banked (`checkpoint`), the dead run's command quality for the
+    /// health EWMA, and its watchdog-kill count.
+    Fail {
+        fail_after_s: f64,
+        finished_s: Vec<f64>,
+        checkpoint: Option<Rc<PlanCheckpoint>>,
+        quality: f64,
+        timed_out: usize,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -481,6 +534,11 @@ struct Request {
     attempts: u32,
     failed_over: bool,
     exclude: Option<usize>,
+    /// The failed attempt's checkpoint riding with this failover member.
+    /// All members of one failed dispatch share one `Rc` — the dispatcher
+    /// re-assembles the group by pointer identity so a resumed suffix runs
+    /// with exactly the batch the checkpoint was cut for.
+    ckpt: Option<Rc<PlanCheckpoint>>,
 }
 
 /// How one member of an in-flight batch will leave the card.
@@ -508,6 +566,13 @@ struct InFlight {
     batch_quality: Option<f64>,
     /// Counters of the batch run serving this dispatch.
     run_corruption: CorruptionCounters,
+    /// The frontier a failed dispatch banked — handed to the failover
+    /// members at settle time. One fresh `Rc` per dispatch, so pointer
+    /// identity delimits exactly this batch's group in the queue.
+    checkpoint: Option<Rc<PlanCheckpoint>>,
+    /// The dead run's command quality (`None` when the dispatch succeeded
+    /// or was only cancelled).
+    fail_quality: Option<f64>,
 }
 
 #[derive(Debug)]
@@ -526,6 +591,9 @@ struct Device {
     completed: usize,
     failed: usize,
     cancelled: usize,
+    /// Watchdog-timeout kills summed over this card's dispatches — the
+    /// hang-prone signal behind the health penalty.
+    timed_out: usize,
     busy_s: f64,
 }
 
@@ -554,6 +622,18 @@ pub struct ServePool {
     records: Vec<(usize, RequestRecord)>,
     last_finish_s: f64,
     draining: bool,
+    /// Failover dispatches that resumed from a checkpointed suffix.
+    resumed_dispatches: usize,
+    /// Checkpoints rejected at validation; each fell back to a full restart.
+    checkpoint_rejects: usize,
+    /// `LoadStripe` bytes re-fetched that a prior attempt already loaded.
+    replayed_load_bytes: u64,
+    /// Attempt-seconds re-executed that a prior attempt already spent.
+    replayed_compute_s: f64,
+    /// `LoadStripe` bytes resumes skipped (completed prefix + trusted).
+    skipped_load_bytes: u64,
+    /// Banked attempt-seconds successful resumes did not re-execute.
+    skipped_compute_s: f64,
 }
 
 impl ServePool {
@@ -613,6 +693,7 @@ impl ServePool {
                 completed: 0,
                 failed: 0,
                 cancelled: 0,
+                timed_out: 0,
                 busy_s: 0.0,
             })
             .collect();
@@ -631,6 +712,12 @@ impl ServePool {
             records: Vec::new(),
             last_finish_s: 0.0,
             draining: false,
+            resumed_dispatches: 0,
+            checkpoint_rejects: 0,
+            replayed_load_bytes: 0,
+            replayed_compute_s: 0.0,
+            skipped_load_bytes: 0,
+            skipped_compute_s: 0.0,
             cfg,
         })
     }
@@ -664,7 +751,14 @@ impl ServePool {
         self.last_arrival_s = arrival_s;
         if self.queue.len() >= self.cfg.queue_capacity {
             self.finish_request(
-                Request { id, arrival_s, attempts: 0, failed_over: false, exclude: None },
+                Request {
+                    id,
+                    arrival_s,
+                    attempts: 0,
+                    failed_over: false,
+                    exclude: None,
+                    ckpt: None,
+                },
                 RequestOutcome::Shed,
             );
             return Err(AccelError::Overloaded {
@@ -678,6 +772,7 @@ impl ServePool {
             attempts: 0,
             failed_over: false,
             exclude: None,
+            ckpt: None,
         });
         self.dispatch();
         Ok(())
@@ -784,7 +879,11 @@ impl ServePool {
                 matches!(e, MemberEnd::AttemptTimeout | MemberEnd::DeadlineCancel)
             });
             if hard || soft {
-                self.note_attempt_failure(i, fl.finish_s);
+                self.note_attempt_failure(
+                    i,
+                    fl.finish_s,
+                    if hard { fl.fail_quality } else { None },
+                );
             } else if let Some(quality) = fl.batch_quality {
                 let d = &mut self.devices[i];
                 d.breaker.on_success();
@@ -817,6 +916,11 @@ impl ServePool {
                             attempts: r.attempts,
                             at_s: t,
                         };
+                        // The dispatch's banked frontier rides with every
+                        // failover member; whether it is resumed or re-paid
+                        // from scratch is decided at re-dispatch.
+                        let mut r = r;
+                        r.ckpt = fl.checkpoint.clone();
                         self.failover_or(r, i, RequestOutcome::Failed(err));
                     }
                     MemberEnd::AttemptTimeout => {
@@ -825,6 +929,8 @@ impl ServePool {
                             deadline_s: self.cfg.deadline_s,
                             waited_s: t - r.arrival_s,
                         };
+                        let mut r = r;
+                        r.ckpt = fl.checkpoint.clone();
                         self.failover_or(r, i, RequestOutcome::DeadlineMissed(err));
                     }
                     MemberEnd::DeadlineCancel => {
@@ -841,17 +947,27 @@ impl ServePool {
     }
 
     /// A dispatch that ended in any failure or cancel counts once against
-    /// the card's breaker and health (member bookkeeping is separate).
-    fn note_attempt_failure(&mut self, device: usize, at_s: f64) {
+    /// the card's breaker and health. A hard failure feeds half the dead
+    /// run's command quality into the EWMA — watchdog kills and retries the
+    /// run accumulated before dying drag a hang-prone card down faster than
+    /// the flat cancel penalty.
+    fn note_attempt_failure(&mut self, device: usize, at_s: f64, fail_quality: Option<f64>) {
         let d = &mut self.devices[device];
         d.breaker.on_failure(at_s);
-        d.health *= 0.8;
+        match fail_quality {
+            Some(q) => d.health = 0.8 * d.health + 0.2 * (0.5 * q),
+            None => d.health *= 0.8,
+        }
     }
 
     /// Re-enqueue a failed/timed-out request once onto the rest of the pool,
-    /// or record its terminal outcome.
+    /// or record its terminal outcome. The budget check charges the retry
+    /// backoff a recovering attempt may sleep through
+    /// ([`RecoveryPolicy::max_total_backoff_s`]) so a long backoff cannot
+    /// silently blow past an admission-checked deadline.
     fn failover_or(&mut self, mut r: Request, from_device: usize, terminal: RequestOutcome) {
-        let budget_left = self.now_s + self.nominal_s <= r.arrival_s + self.cfg.deadline_s;
+        let budget_left = self.now_s + self.nominal_s + self.cfg.policy.max_total_backoff_s()
+            <= r.arrival_s + self.cfg.deadline_s;
         if !r.failed_over && self.devices.len() > 1 && budget_left {
             r.failed_over = true;
             r.exclude = Some(from_device);
@@ -910,6 +1026,37 @@ impl ServePool {
                 };
             }
             let Some((i, _)) = best else { break };
+            // A checkpointed failover group rides together: the checkpoint
+            // was cut for exactly these members, so the dispatch *is* the
+            // group — no growing, no splitting. With checkpointing disabled
+            // (or a mangled group — a member expired out of it), the banked
+            // work is re-paid by a clean full restart and the re-payment is
+            // recorded in the replayed-work accounting.
+            if let Some(ck) = head.ckpt.clone() {
+                let mut group = 1usize;
+                while group < self.queue.len()
+                    && self.queue[group].ckpt.as_ref().is_some_and(|c| Rc::ptr_eq(c, &ck))
+                {
+                    group += 1;
+                }
+                if self.cfg.checkpoint && group == ck.remaining_lens().len() {
+                    let members: Vec<Request> = (0..group)
+                        .map(|_| {
+                            let mut r = self.queue.pop_front().expect("sized against the queue");
+                            r.attempts += 1;
+                            r
+                        })
+                        .collect();
+                    self.start_attempt(i, members);
+                    continue;
+                }
+                self.replayed_load_bytes += ck.loaded_bytes();
+                self.replayed_compute_s += ck.captured_at_s;
+                for r in self.queue.iter_mut().take(group) {
+                    r.ckpt = None;
+                }
+                // fall through: the head is a plain full-restart request now
+            }
             // Grow the dispatch past the head: a queued request only joins
             // when the *projected batched makespan* still fits every
             // member's deadline (batch-aware admission), and a failed-over
@@ -917,7 +1064,7 @@ impl ServePool {
             let max_batch = self.cfg.batch.max_batch;
             let mut size = 1usize;
             while size < max_batch && size < self.queue.len() {
-                if self.queue[size].exclude == Some(i) {
+                if self.queue[size].exclude == Some(i) || self.queue[size].ckpt.is_some() {
                     break;
                 }
                 let projected = self.batch_nominal_s(size + 1);
@@ -952,15 +1099,33 @@ impl ServePool {
     fn start_attempt(&mut self, device: usize, members: Vec<Request>) {
         let now = self.now_s;
         let b = members.len();
-        let outcome = self.device_outcome(device, b);
+        let outcome = match members[0].ckpt.clone() {
+            Some(ck) => self.resumed_outcome(device, &ck),
+            None => self.device_outcome(device, b),
+        };
         let attempt_cutoff = self.cfg.attempt_timeout_s.map(|t| now + t).unwrap_or(f64::INFINITY);
         let latest_deadline = members
             .iter()
             .map(|r| r.arrival_s + self.cfg.deadline_s)
             .fold(f64::NEG_INFINITY, f64::max);
         let cutoff = attempt_cutoff.min(latest_deadline);
-        let (settled, finish_s, batch_quality, run_corruption) = match outcome {
-            BatchOutcome::Ok { service_s, utt_finish_s, quality, corruption, load_busy_s } => {
+        let (
+            settled,
+            finish_s,
+            batch_quality,
+            run_corruption,
+            fail_ckpt,
+            fail_quality,
+            run_timeouts,
+        ) = match outcome {
+            BatchOutcome::Ok {
+                service_s,
+                utt_finish_s,
+                quality,
+                corruption,
+                load_busy_s,
+                timed_out,
+            } => {
                 self.load_busy_total_s += load_busy_s;
                 self.ok_batch_utts += b;
                 let mut all_ok = true;
@@ -982,9 +1147,9 @@ impl ServePool {
                     })
                     .collect();
                 let finish_s = (now + service_s).min(cutoff);
-                (settled, finish_s, all_ok.then_some(quality), corruption)
+                (settled, finish_s, all_ok.then_some(quality), corruption, None, None, timed_out)
             }
-            BatchOutcome::Fail { fail_after_s, finished_s } => {
+            BatchOutcome::Fail { fail_after_s, finished_s, checkpoint, quality, timed_out } => {
                 // A mid-batch fault: members whose last kernel already
                 // landed are served; the rest fail at the fault instant.
                 let fail_t = now + fail_after_s;
@@ -1009,13 +1174,26 @@ impl ServePool {
                     })
                     .collect();
                 let finish_s = fail_t.min(cutoff);
-                (settled, finish_s, None, CorruptionCounters::default())
+                // Re-wrap in a fresh `Rc`: memoised outcomes share one
+                // allocation across dispatches, and pointer identity must
+                // delimit exactly *this* dispatch's failover group.
+                let ckpt = checkpoint.map(|c| Rc::new((*c).clone()));
+                (
+                    settled,
+                    finish_s,
+                    None,
+                    CorruptionCounters::default(),
+                    ckpt,
+                    Some(quality),
+                    timed_out,
+                )
             }
         };
         let d = &mut self.devices[device];
         d.breaker.on_dispatch(now);
         d.served += b;
         d.batches += 1;
+        d.timed_out += run_timeouts;
         d.corruption.merge(&run_corruption);
         d.in_flight = Some(InFlight {
             members: settled,
@@ -1023,6 +1201,8 @@ impl ServePool {
             finish_s,
             batch_quality,
             run_corruption,
+            checkpoint: fail_ckpt,
+            fail_quality,
         });
     }
 
@@ -1043,23 +1223,86 @@ impl ServePool {
             self.devices[device].plan.clone(),
             &self.cfg.policy,
         ) {
-            Ok(run) => BatchOutcome::Ok {
-                service_s: run.makespan_s,
-                quality: run.runtime.command_stats().success_ratio(),
-                corruption: run.corruption,
-                load_busy_s: run.load_busy_s,
-                utt_finish_s: run.utterance_finish_s,
-            },
+            Ok(run) => {
+                let stats = run.runtime.command_stats();
+                BatchOutcome::Ok {
+                    service_s: run.makespan_s,
+                    quality: stats.success_ratio(),
+                    corruption: run.corruption,
+                    load_busy_s: run.load_busy_s,
+                    utt_finish_s: run.utterance_finish_s,
+                    timed_out: stats.timed_out,
+                }
+            }
             // A card whose run dies — loudly (`Unrecoverable`) or via an
             // exhausted CRC budget (`CorruptWeights`) — fails the still
             // unfinished members at the recorded fault time; utterances
             // already past their last kernel are carried in `finished_s`.
-            Err(fail) => {
-                BatchOutcome::Fail { fail_after_s: fail.at_s, finished_s: fail.finished_s }
-            }
+            Err(fail) => BatchOutcome::Fail {
+                fail_after_s: fail.at_s,
+                finished_s: fail.finished_s,
+                checkpoint: fail.checkpoint.map(Rc::new),
+                quality: fail.stats.success_ratio(),
+                timed_out: fail.stats.timed_out,
+            },
         };
         self.devices[device].outcomes.insert(batch, o.clone());
         o
+    }
+
+    /// What resuming `ck` on this card does — *not* memoised: each
+    /// checkpoint is a distinct suffix. The resume lowers against the
+    /// card's config without trusting the dead card's resident stripes
+    /// (failover is cross-device); a checkpoint that fails validation is
+    /// rejected typed and the dispatch falls back to a clean full restart,
+    /// re-paying the banked work.
+    fn resumed_outcome(&mut self, device: usize, ck: &PlanCheckpoint) -> BatchOutcome {
+        match resume_batch(
+            &self.cfg.accel,
+            ck,
+            false,
+            self.devices[device].plan.clone(),
+            &self.cfg.policy,
+        ) {
+            Ok(run) => {
+                self.resumed_dispatches += 1;
+                if let Some(res) = &run.resume {
+                    self.skipped_load_bytes += res.skipped_load_bytes;
+                    self.replayed_load_bytes += res.replayed_load_bytes;
+                }
+                self.skipped_compute_s += ck.captured_at_s;
+                let stats = run.runtime.command_stats();
+                BatchOutcome::Ok {
+                    service_s: run.makespan_s,
+                    quality: stats.success_ratio(),
+                    corruption: run.corruption,
+                    load_busy_s: run.load_busy_s,
+                    utt_finish_s: run.utterance_finish_s,
+                    timed_out: stats.timed_out,
+                }
+            }
+            Err(fail) => {
+                if matches!(fail.error, AccelError::CheckpointRejected { .. }) {
+                    self.checkpoint_rejects += 1;
+                    self.replayed_load_bytes += ck.loaded_bytes();
+                    self.replayed_compute_s += ck.captured_at_s;
+                    return self.device_outcome(device, ck.remaining_lens().len());
+                }
+                // Double fault mid-resume: the failure banks a *newer*
+                // frontier (its completed prefix includes the resumed
+                // suffix's progress), so the next failover resumes from
+                // there — utterances are partitioned, never replayed from
+                // scratch or dropped.
+                self.resumed_dispatches += 1;
+                BatchOutcome::Fail {
+                    fail_after_s: fail.at_s,
+                    finished_s: fail.finished_s,
+                    checkpoint: fail.checkpoint.map(Rc::new),
+                    quality: fail.stats.success_ratio(),
+                    timed_out: fail.stats.timed_out,
+                }
+            }
+        }
     }
 
     fn finish_request(&mut self, r: Request, outcome: RequestOutcome) {
@@ -1136,6 +1379,7 @@ impl ServePool {
                     completed: d.completed,
                     failed: d.failed,
                     cancelled: d.cancelled,
+                    timed_out: d.timed_out,
                     breaker_opens: d.breaker.opens,
                     breaker_final: d.breaker.state,
                     health: d.health,
@@ -1151,6 +1395,12 @@ impl ServePool {
             max_batch: self.cfg.batch.max_batch,
             amortized_load_s,
             solo_load_s: self.solo_load_s,
+            resumed_dispatches: self.resumed_dispatches,
+            checkpoint_rejects: self.checkpoint_rejects,
+            replayed_load_bytes: self.replayed_load_bytes,
+            replayed_compute_s: self.replayed_compute_s,
+            skipped_load_bytes: self.skipped_load_bytes,
+            skipped_compute_s: self.skipped_compute_s,
         }
     }
 }
@@ -1214,6 +1464,75 @@ mod tests {
             );
             assert_eq!(x.breaker_opens, y.breaker_opens);
         }
+    }
+
+    #[test]
+    fn checkpointed_failover_replays_strictly_fewer_bytes_and_cycles() {
+        // Device 0 dies mid-plan (decoder-4 load, after 12 encoder phases
+        // and 3 decoder phases banked); device 1 is clean. The same
+        // workload with --checkpoint resumes the banked frontier on the
+        // failover target instead of re-paying it.
+        let run = |checkpoint: bool| {
+            let mut c = cfg(2, 0, 20.0, 0.5);
+            c.requests = 4;
+            c.checkpoint = checkpoint;
+            let bad = FaultPlan::none()
+                .with(FaultKind::HbmLoadError { label: "LWD4".into(), failing_attempts: u32::MAX });
+            let mut pool = ServePool::with_plans(c, vec![bad, FaultPlan::none()]).unwrap();
+            for i in 0..4usize {
+                let _ = pool.submit(i as f64 / 20.0);
+            }
+            pool.drain()
+        };
+        let off = run(false);
+        let on = run(true);
+        assert_eq!(off.resumed_dispatches, 0);
+        assert!(off.replayed_load_bytes > 0, "restart-from-scratch re-pays the banked loads");
+        assert!(off.replayed_compute_s > 0.0);
+        assert!(on.resumed_dispatches > 0, "checkpointed failover must resume");
+        assert_eq!(on.checkpoint_rejects, 0);
+        assert!(
+            on.replayed_load_bytes < off.replayed_load_bytes,
+            "resume must replay strictly fewer LoadStripe bytes ({} vs {})",
+            on.replayed_load_bytes,
+            off.replayed_load_bytes
+        );
+        assert!(
+            on.replayed_compute_s < off.replayed_compute_s,
+            "resume must replay strictly fewer compute seconds ({} vs {})",
+            on.replayed_compute_s,
+            off.replayed_compute_s
+        );
+        assert!(on.skipped_load_bytes > 0, "the skipped prefix is the benefit");
+        assert_eq!(on.completed, on.submitted, "every request still served");
+        assert_eq!(off.completed, off.submitted);
+    }
+
+    #[test]
+    fn watchdog_kills_feed_device_accounting_and_health() {
+        // Device 0 hangs twice per run on an encoder kernel (the watchdog
+        // reaps it, the retry succeeds); device 1 is clean. The hang-prone
+        // card's kills must show in its accounting and drag its health
+        // below the clean card's, so routing shifts load away from it.
+        let mut c = cfg(2, 0, 50.0, 0.5);
+        c.requests = 10;
+        let hang = FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "CE5".into(), failing_attempts: 2 });
+        let mut pool = ServePool::with_plans(c, vec![hang, FaultPlan::none()]).unwrap();
+        for i in 0..10usize {
+            let _ = pool.submit(i as f64 / 50.0);
+        }
+        let report = pool.drain();
+        let hangy = &report.per_device[0];
+        let clean = &report.per_device[1];
+        assert!(hangy.timed_out > 0, "watchdog kills must be recorded");
+        assert_eq!(clean.timed_out, 0);
+        assert!(
+            hangy.health < clean.health,
+            "hang-prone card must score lower: {} vs {}",
+            hangy.health,
+            clean.health
+        );
     }
 
     #[test]

@@ -17,23 +17,36 @@
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
 //! asrsim faults <seed> [--s N] [--arch a1|a2|a3] [--integrity off|detect|detect-recompute]
 //!                                      fault-injected run: degraded vs nominal
+//! asrsim faults <seed> --checkpoint [--batch B] [--kill LABEL]
+//!                                      kill a batched run mid-flight, dump the
+//!                                      barrier checkpoint, then resume the
+//!                                      suffix on a clean spare and compare
+//!                                      against a full restart
 //! asrsim --faults <seed> [--s N]       same, as a flag
 //! asrsim serve [--devices N] [--faults SEED] [--rps R] [--deadline-ms D]
 //!              [--n K] [--queue Q] [--batch B] [--linger-ms L]
 //!              [--integrity off|detect|detect-recompute]
+//!              [--checkpoint] [--kill LABEL]
 //!                                      multi-device serving runtime with
-//!                                      dynamic batching
+//!                                      dynamic batching; --checkpoint resumes
+//!                                      failed batches from their barrier
+//!                                      frontier, --kill plants a persistent
+//!                                      load fault on card 0
+//! asrsim bench [--out FILE]            benchmark seed: plan lowering time,
+//!                                      analytic E2E latency, sustainable serve
+//!                                      rps, replayed-work with/without
+//!                                      checkpointing (default BENCH_serve.json)
 //! ```
 
 use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
-use transformer_asr_accel::accel::serve::{ServeConfig, ServePool};
+use transformer_asr_accel::accel::serve::{pool_fault_plans, ServeConfig, ServePool, ServeReport};
 use transformer_asr_accel::accel::{
-    dse, latency, pipeline, quant, run_with_recovery, sweep, walk_cost, AccelConfig, ExecPlan,
-    HostController, RecoveryPolicy,
+    dse, latency, pipeline, quant, resume_batch, run_batch_with_recovery, run_with_recovery, sweep,
+    walk_cost, AccelConfig, ExecPlan, HostController, RecoveryPolicy,
 };
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
-use transformer_asr_accel::fpga::FaultPlan;
+use transformer_asr_accel::fpga::{FaultKind, FaultPlan};
 use transformer_asr_accel::systolic::abft::IntegrityLevel;
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
@@ -42,6 +55,14 @@ fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
         .and_then(|i| args.get(i + 1))
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+fn parse_str_flag(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
 }
 
 fn parse_f64_flag(args: &[String], flag: &str, default: f64) -> f64 {
@@ -80,7 +101,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve> [options]"
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|bench> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -127,6 +148,7 @@ fn main() -> ExitCode {
         }
         "plan" => return cmd_plan(s, &args),
         "serve" => return cmd_serve(&args),
+        "bench" => return cmd_bench(&args),
         other => {
             eprintln!("unknown command '{}'", other);
             return ExitCode::FAILURE;
@@ -256,6 +278,9 @@ fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
     let mut cfg = unpadded(s);
     cfg.integrity = level;
     let s = cfg.max_seq_len;
+    if has_flag(args, "--checkpoint") {
+        return cmd_faults_checkpoint(seed, &cfg, arch, args);
+    }
     let plan = FaultPlan::seeded(seed);
     println!("fault seed           : {}", seed);
     println!("architecture         : {}", arch.name());
@@ -297,6 +322,121 @@ fn cmd_faults(seed: u64, s: usize, args: &[String]) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// `asrsim faults <seed> --checkpoint`: kill a batched run with a persistent
+/// load fault, show the barrier-granular checkpoint the failure carries, then
+/// resume the uncompleted suffix on a clean spare (cross-device, so resident
+/// stripes are not trusted) and compare against paying for a full restart.
+fn cmd_faults_checkpoint(
+    seed: u64,
+    cfg: &AccelConfig,
+    arch: Architecture,
+    args: &[String],
+) -> ExitCode {
+    let batch = parse_flag(args, "--batch", 2).max(1);
+    let kill = parse_str_flag(args, "--kill").unwrap_or_else(|| "LWD4".to_string());
+    let s = cfg.max_seq_len;
+    let policy = RecoveryPolicy::default();
+    // The kill goes *first*: transient-fault matching is first-match-wins,
+    // and a seeded plan's broad "LW" faults would mask it otherwise.
+    let mut plan = FaultPlan::none()
+        .with(FaultKind::HbmLoadError { label: kill.clone(), failing_attempts: u32::MAX });
+    for f in FaultPlan::seeded(seed).faults() {
+        plan.push(f.clone());
+    }
+    println!("fault seed           : {} (+ persistent kill on '{}')", seed, kill);
+    println!("architecture         : {}", arch.name());
+    println!("integrity level      : {}", cfg.integrity.name());
+    println!("batch                : {}", batch);
+    let failure = match run_batch_with_recovery(cfg, arch, s, batch, plan, &policy) {
+        Ok(run) => {
+            println!(
+                "run completed        : {:8.2} ms — '{}' matched no command, nothing to resume",
+                run.makespan_s * 1e3,
+                kill
+            );
+            return ExitCode::SUCCESS;
+        }
+        Err(f) => f,
+    };
+    println!("hard fault           : {}", failure.error);
+    let Some(ckpt) = failure.checkpoint else {
+        eprintln!("no checkpoint captured (the run died before any dispatch state existed)");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "checkpoint frontier  : {}/{} phases computed, {} loaded",
+        ckpt.completed_phases,
+        ckpt.phase_labels.len(),
+        ckpt.loaded_phases
+    );
+    println!(
+        "finished utterances  : {}/{} left the batch before the cut",
+        ckpt.finished_utterances, batch
+    );
+    let resident: Vec<String> = ckpt
+        .resident
+        .iter()
+        .map(|r| format!("{} ({} B, crc {:#010x})", r.label, r.bytes, r.crc))
+        .collect();
+    println!(
+        "resident stripes     : {}",
+        if resident.is_empty() { "none".to_string() } else { resident.join(", ") }
+    );
+    println!(
+        "banked work          : {:8.2} ms compute, {} load bytes",
+        ckpt.captured_at_s * 1e3,
+        ckpt.loaded_bytes()
+    );
+    // Fail over to a clean spare. Cross-device, so the double-buffer
+    // residency of the dead card is not trusted: suffix stripes re-load.
+    match resume_batch(cfg, &ckpt, false, FaultPlan::none(), &policy) {
+        Ok(run) => {
+            let res = run.resume.as_ref().expect("a resumed plan carries its accounting");
+            println!(
+                "resume               : ok on clean spare, suffix from phase {}",
+                res.start_phase
+            );
+            println!("  suffix makespan    : {:8.2} ms", run.makespan_s * 1e3);
+            println!(
+                "  skipped by resume  : {} computes, {} load bytes ({} trusted resident loads)",
+                res.skipped_computes, res.skipped_load_bytes, res.trusted_loads
+            );
+            println!(
+                "  replayed by resume : {} loads, {} bytes",
+                res.replayed_loads, res.replayed_load_bytes
+            );
+            match run_batch_with_recovery(cfg, arch, s, batch, FaultPlan::none(), &policy) {
+                Ok(full) => println!(
+                    "  full restart       : {:8.2} ms, {} loads — resume saves {:8.2} ms",
+                    full.makespan_s * 1e3,
+                    full.loads_issued,
+                    (full.makespan_s - run.makespan_s) * 1e3
+                ),
+                Err(f) => {
+                    eprintln!("full-restart baseline failed: {}", f.error);
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        Err(f) => {
+            // Typed rejection (or a second hard fault): never reuse the
+            // state silently — fall back to a clean full restart.
+            println!("resume failed        : {}", f.error);
+            match run_batch_with_recovery(cfg, arch, s, batch, FaultPlan::none(), &policy) {
+                Ok(full) => {
+                    println!("full restart         : {:8.2} ms", full.makespan_s * 1e3);
+                    ExitCode::SUCCESS
+                }
+                Err(f2) => {
+                    eprintln!("full restart failed: {}", f2.error);
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
 }
 
 fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
@@ -379,6 +519,8 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     cfg.queue_capacity = parse_flag(args, "--queue", cfg.queue_capacity);
     cfg.batch.max_batch = parse_flag(args, "--batch", cfg.batch.max_batch);
     cfg.batch.linger_s = parse_f64_flag(args, "--linger-ms", cfg.batch.linger_s * 1e3) / 1e3;
+    cfg.checkpoint = has_flag(args, "--checkpoint");
+    let kill = parse_str_flag(args, "--kill");
     println!("devices              : {}", cfg.devices);
     println!("pool fault seed      : {}", cfg.fault_seed);
     println!("integrity level      : {}", level.name());
@@ -388,13 +530,152 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     println!("queue capacity       : {}", cfg.queue_capacity);
     println!("max batch            : {}", cfg.batch.max_batch);
     println!("batch linger         : {:8.2} ms", cfg.batch.linger_s * 1e3);
-    match ServePool::run(cfg) {
-        Ok(report) => {
-            print!("{}", report.render());
+    println!("checkpointed failover: {}", if cfg.checkpoint { "on" } else { "off" });
+    if let Some(label) = &kill {
+        println!("killed load label    : '{}' (card 0, persistent)", label);
+    }
+    let report = match run_serve_pool(cfg, kill) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve failed: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    ExitCode::SUCCESS
+}
+
+/// Run the configured serve workload; with `kill`, card 0's fault plan is
+/// replaced by a persistent load fault on the given label (the other cards
+/// keep their seeded pool plans) to exercise failover paths on demand.
+fn run_serve_pool(
+    cfg: ServeConfig,
+    kill: Option<String>,
+) -> Result<ServeReport, transformer_asr_accel::accel::AccelError> {
+    let Some(label) = kill else {
+        return ServePool::run(cfg);
+    };
+    let mut plans = pool_fault_plans(cfg.fault_seed, cfg.devices);
+    plans[0] =
+        FaultPlan::none().with(FaultKind::HbmLoadError { label, failing_attempts: u32::MAX });
+    let (n, rps) = (cfg.requests, cfg.rps);
+    let mut pool = ServePool::with_plans(cfg, plans)?;
+    for i in 0..n {
+        let _ = pool.submit(i as f64 / rps);
+    }
+    Ok(pool.drain())
+}
+
+/// `asrsim bench [--out FILE]` — seed `BENCH_serve.json` with the numbers a
+/// regression harness tracks: plan-lowering wall time, the analytic E2E
+/// latency, the highest offered load the 2-card pool sustains at ≥99%
+/// completion, and the replayed-work cost of failover with and without
+/// checkpointing.
+fn cmd_bench(args: &[String]) -> ExitCode {
+    let out = parse_str_flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let cfg = AccelConfig::paper_default();
+
+    // Plan lowering wall time, best of 5 (real time, not simulated).
+    let mut lower_us = f64::INFINITY;
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        let plan = ExecPlan::lower(&cfg, Architecture::A3, 32, 8, cfg.integrity)
+            .expect("paper default lowers");
+        lower_us = lower_us.min(t0.elapsed().as_secs_f64() * 1e6);
+        std::hint::black_box(&plan);
+    }
+    println!("plan lowering        : {:8.1} us (batch 8, best of 5)", lower_us);
+
+    // Analytic E2E latency at the paper's headline length.
+    let host = HostController::new(cfg).expect("paper default config is valid");
+    let e2e_ms = host.latency_report(32).total_s * 1e3;
+    println!("analytic E2E         : {:8.2} ms (s = 32)", e2e_ms);
+
+    // Highest offered load a clean 2-card pool serves with ≥99% of requests
+    // completing inside a 200 ms deadline: coarse doubling, then bisection.
+    let sustains = |rps: f64| -> Option<(bool, f64)> {
+        let mut c = ServeConfig::new(2, 0, rps, 0.2);
+        c.requests = 60;
+        let r = ServePool::run(c).ok()?;
+        let ratio = r.completed as f64 / r.submitted.max(1) as f64;
+        Some((ratio >= 0.99, r.throughput_rps))
+    };
+    let (mut lo, mut hi, mut thr_at_lo) = (0.0_f64, 25.0_f64, 0.0_f64);
+    loop {
+        match sustains(hi) {
+            Some((true, thr)) => {
+                (lo, thr_at_lo) = (hi, thr);
+                if hi >= 1600.0 {
+                    break;
+                }
+                hi *= 2.0;
+            }
+            Some((false, _)) => break,
+            None => {
+                eprintln!("serve sweep failed at {:.0} rps", hi);
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for _ in 0..6 {
+        let mid = 0.5 * (lo + hi);
+        match sustains(mid) {
+            Some((true, thr)) => (lo, thr_at_lo) = (mid, thr),
+            Some((false, _)) => hi = mid,
+            None => break,
+        }
+    }
+    println!("sustainable load     : {:8.1} req/s at >=99% completion", lo);
+    println!("throughput there     : {:8.1} req/s completed", thr_at_lo);
+
+    // Replayed work on failover: card 0 dies mid-plan on every dispatch
+    // (decoder-4 load), card 1 is clean. Without checkpointing the failover
+    // re-pays the banked frontier; with it, only the suffix runs.
+    let replay = |checkpoint: bool| -> Option<ServeReport> {
+        let mut c = ServeConfig::new(2, 0, 20.0, 0.5);
+        c.requests = 4;
+        c.checkpoint = checkpoint;
+        run_serve_pool(c, Some("LWD4".to_string())).ok()
+    };
+    let (Some(off), Some(on)) = (replay(false), replay(true)) else {
+        eprintln!("replay benchmark failed");
+        return ExitCode::FAILURE;
+    };
+    println!(
+        "replayed (restart)   : {:8.3} ms compute, {} load bytes",
+        off.replayed_compute_s * 1e3,
+        off.replayed_load_bytes
+    );
+    println!(
+        "replayed (resume)    : {:8.3} ms compute, {} load bytes ({} resumed, {} skipped bytes)",
+        on.replayed_compute_s * 1e3,
+        on.replayed_load_bytes,
+        on.resumed_dispatches,
+        on.skipped_load_bytes
+    );
+
+    let json = format!(
+        "{{\n  \"plan_lowering_us\": {:.1},\n  \"analytic_e2e_ms\": {:.3},\n  \"sustainable_rps_at_99pct\": {:.1},\n  \"throughput_rps_at_sustainable\": {:.1},\n  \"replay\": {{\n    \"checkpoint_off\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {}\n    }},\n    \"checkpoint_on\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {},\n      \"skipped_compute_ms\": {:.3},\n      \"skipped_load_bytes\": {}\n    }}\n  }}\n}}\n",
+        lower_us,
+        e2e_ms,
+        lo,
+        thr_at_lo,
+        off.replayed_compute_s * 1e3,
+        off.replayed_load_bytes,
+        off.resumed_dispatches,
+        on.replayed_compute_s * 1e3,
+        on.replayed_load_bytes,
+        on.resumed_dispatches,
+        on.skipped_compute_s * 1e3,
+        on.skipped_load_bytes
+    );
+    match std::fs::write(&out, json) {
+        Ok(()) => {
+            println!("wrote {}", out);
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("serve failed: {}", e);
+            eprintln!("failed to write {}: {}", out, e);
             ExitCode::FAILURE
         }
     }

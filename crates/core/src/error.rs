@@ -96,6 +96,38 @@ pub enum AccelError {
         /// What the validation found.
         reason: String,
     },
+    /// A streaming configuration is degenerate: zero-step chunks, an
+    /// attention window that exceeds the built sequence length, or a
+    /// session parameter no schedule can be lowered for. Rejected typed at
+    /// session open instead of panicking (or silently clamping) mid-stream.
+    InvalidStream {
+        /// What the validation found.
+        reason: String,
+    },
+    /// A queued audio chunk was shed because it could no longer meet its
+    /// per-chunk deadline even if dispatched immediately — serving it would
+    /// only waste a device on audio the stream has already moved past.
+    StaleChunk {
+        /// Stream (session) the chunk belongs to.
+        stream: usize,
+        /// Chunk index within the stream.
+        chunk: usize,
+        /// The per-chunk deadline, seconds from the chunk's arrival.
+        deadline_s: f64,
+        /// How far past the point of no return the chunk was, seconds.
+        late_s: f64,
+    },
+    /// A stream's bounded chunk queue is full: the arriving chunk is shed
+    /// at the session boundary so a slow stream backs up onto itself
+    /// instead of starving the shared device pool.
+    StreamBackpressure {
+        /// Stream (session) whose queue overflowed.
+        stream: usize,
+        /// Chunks already waiting in the session queue.
+        queued: usize,
+        /// The bounded per-session queue capacity.
+        capacity: usize,
+    },
 }
 
 impl std::fmt::Display for AccelError {
@@ -146,6 +178,22 @@ impl std::fmt::Display for AccelError {
             AccelError::CheckpointRejected { reason } => {
                 write!(f, "checkpoint rejected: {} (full restart required)", reason)
             }
+            AccelError::InvalidStream { reason } => {
+                write!(f, "invalid streaming configuration: {}", reason)
+            }
+            AccelError::StaleChunk { stream, chunk, deadline_s, late_s } => write!(
+                f,
+                "stale chunk shed: stream {} chunk {} past its {:.1} ms deadline by {:.1} ms",
+                stream,
+                chunk,
+                deadline_s * 1e3,
+                late_s * 1e3
+            ),
+            AccelError::StreamBackpressure { stream, queued, capacity } => write!(
+                f,
+                "stream {} backpressure: {} chunks already queued (session capacity {})",
+                stream, queued, capacity
+            ),
         }
     }
 }
@@ -162,6 +210,20 @@ impl std::error::Error for AccelError {
 impl From<RuntimeError> for AccelError {
     fn from(e: RuntimeError) -> Self {
         AccelError::Runtime(e)
+    }
+}
+
+impl From<asr_transformer::streaming::StreamingError> for AccelError {
+    fn from(e: asr_transformer::streaming::StreamingError) -> Self {
+        use asr_transformer::streaming::StreamingError;
+        match e {
+            // Corrupted carryover state is a rejected resume, same contract
+            // as a poisoned PlanCheckpoint: restart clean, never reuse.
+            StreamingError::StateCrc { .. } => {
+                AccelError::CheckpointRejected { reason: e.to_string() }
+            }
+            _ => AccelError::InvalidStream { reason: e.to_string() },
+        }
     }
 }
 
@@ -206,6 +268,14 @@ mod tests {
         let e = AccelError::CheckpointRejected { reason: "stale CRC on stripe E3".into() };
         assert!(e.to_string().contains("stale CRC"));
         assert!(e.to_string().contains("full restart"));
+        let e = AccelError::InvalidStream { reason: "chunk must be >= 1 step".into() };
+        assert!(e.to_string().contains("chunk must be >= 1 step"));
+        let e = AccelError::StaleChunk { stream: 3, chunk: 7, deadline_s: 0.05, late_s: 0.01 };
+        assert!(e.to_string().contains("stream 3 chunk 7"));
+        assert!(e.to_string().contains("50.0 ms"));
+        let e = AccelError::StreamBackpressure { stream: 2, queued: 4, capacity: 4 };
+        assert!(e.to_string().contains("stream 2"));
+        assert!(e.to_string().contains("capacity 4"));
     }
 
     #[test]

@@ -888,6 +888,58 @@ pub fn resume_batch(
     run_plan_with_recovery(cfg, &plan, faults, policy)
 }
 
+/// One streaming chunk executed through the fault-tolerant plan executor,
+/// plus the stripe set the device pins for the stream's next chunk.
+#[derive(Debug, Clone)]
+pub struct StreamChunkRun {
+    /// The chunk's run (timeline, makespan, recovery events, checkpoints).
+    pub run: BatchedRun,
+    /// Elision accounting of the lowering (`None` on a cold first chunk).
+    pub reuse: Option<crate::plan::PlanReuse>,
+    /// Stripes now pinned in the device's stream weight cache — feed these
+    /// to the stream's next chunk.
+    pub pinned: Vec<crate::plan::ResidentStripe>,
+    /// Bytes the schedule would stream with nothing resident (the elision
+    /// fraction's denominator).
+    pub scheduled_load_bytes: u64,
+}
+
+/// Execute one chunk of a streaming session through the runtime: lower a
+/// batch-of-one plan for the `window_len`-step attention window — eliding
+/// every `LoadStripe` whose CRC-matching stripe is already pinned in the
+/// device's stream weight cache from the previous chunk — and replay it
+/// under the device's fault plan with the full retry/degradation ladder.
+/// On success the returned [`StreamChunkRun::pinned`] is what the device
+/// keeps resident for chunk *k+1*; on failure the [`BatchFailure`] carries
+/// the barrier-granular checkpoint exactly as a batch run's would, and the
+/// serving layer replays **only this chunk** on the failover target (the
+/// stream's carryover state lives above this layer, untouched by the
+/// device death).
+// The failure path is cold and consumed immediately; a boxed error
+// would just push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
+pub fn run_stream_chunk(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    window_len: usize,
+    resident: &[crate::plan::ResidentStripe],
+    pin_slots: usize,
+    faults: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> std::result::Result<StreamChunkRun, BatchFailure> {
+    let mut builder =
+        crate::plan::PlanBuilder::new(cfg, arch).utterances(&[window_len]).integrity(cfg.integrity);
+    if !resident.is_empty() {
+        builder = builder.reuse_resident(resident);
+    }
+    let plan = builder.build().map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
+    let pinned = plan.pinned_stripes(pin_slots);
+    let scheduled_load_bytes = plan.scheduled_load_bytes();
+    let reuse = plan.reuse;
+    let run = run_plan_with_recovery(cfg, &plan, faults, policy)?;
+    Ok(StreamChunkRun { run, reuse, pinned, scheduled_load_bytes })
+}
+
 /// The configuration after losing one SLR: half the PSA pool, head split
 /// re-balanced so `parallel_heads × psas_per_head == n_psas` still holds.
 ///
@@ -1502,5 +1554,76 @@ mod tests {
             assert!(run.makespan_s.is_finite(), "seed {}", seed);
             assert!(run.makespan_s >= run.nominal_s - 1e-12, "seed {}", seed);
         }
+    }
+
+    #[test]
+    fn stream_chunks_after_the_first_elide_the_pinned_stripe_set() {
+        let cfg = unpadded(8);
+        let policy = RecoveryPolicy::default();
+        for arch in [Architecture::A2, Architecture::A3] {
+            let cold = run_stream_chunk(&cfg, arch, 8, &[], 4, FaultPlan::none(), &policy).unwrap();
+            assert_eq!(cold.reuse, None, "a cold first chunk has nothing to elide");
+            assert_eq!(cold.pinned.len(), 4);
+
+            let warm = run_stream_chunk(&cfg, arch, 8, &cold.pinned, 4, FaultPlan::none(), &policy)
+                .unwrap();
+            let reuse = warm.reuse.expect("warm chunk carries reuse accounting");
+            assert_eq!(reuse.elided_loads, 4, "{:?}", arch);
+            assert_eq!(reuse.stale, 0);
+            // The acceptance floor: a warm chunk elides at least the
+            // double-buffered stripe set's bytes (two phases deep).
+            let double_buffered: u64 = cold.pinned.iter().take(2).map(|p| p.bytes).sum();
+            assert!(
+                reuse.elided_load_bytes >= double_buffered,
+                "{:?}: elided {} < double-buffered set {}",
+                arch,
+                reuse.elided_load_bytes,
+                double_buffered
+            );
+            assert!(
+                warm.run.makespan_s <= cold.run.makespan_s + 1e-12,
+                "{:?}: warm {} > cold {}",
+                arch,
+                warm.run.makespan_s,
+                cold.run.makespan_s
+            );
+            assert!(warm.run.loads_issued < cold.run.loads_issued);
+            assert_eq!(warm.scheduled_load_bytes, cold.scheduled_load_bytes);
+        }
+    }
+
+    #[test]
+    fn stream_chunk_failure_carries_a_replayable_checkpoint() {
+        // A mid-chunk device death hands back the barrier frontier; the
+        // serving layer replays only this chunk on the failover target and
+        // gets the same makespan a clean run would have.
+        let cfg = unpadded(8);
+        let policy = RecoveryPolicy { allow_degradation: false, ..RecoveryPolicy::default() };
+        let fail = run_stream_chunk(
+            &cfg,
+            Architecture::A2,
+            8,
+            &[],
+            4,
+            FaultPlan::none()
+                .with(FaultKind::EngineDropout { queue: "maxi-0".into(), from_command: 6 }),
+            &policy,
+        )
+        .unwrap_err();
+        assert!(fail.checkpoint.is_some(), "{}", fail.error);
+        // Replay the whole chunk cold on a healthy device — the stream's
+        // carryover state lives above this layer, so a full chunk replay
+        // is always safe.
+        let replay = run_stream_chunk(
+            &cfg,
+            Architecture::A2,
+            8,
+            &[],
+            4,
+            FaultPlan::none(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert_eq!(replay.run.retries, 0);
     }
 }

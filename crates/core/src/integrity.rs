@@ -25,7 +25,7 @@
 //! when the integrity checks are off.
 
 use crate::arch::Architecture;
-use crate::block_exec::encoder_forward_via_schemes_batch;
+use crate::block_exec::{encoder_forward_via_schemes_batch, encoder_forward_via_schemes_with};
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
 use crate::plan::{ExecPlan, PhaseKind};
@@ -787,6 +787,321 @@ pub fn resume_functional_plan(
     functional_epilogue(plan, &w, &engine, cursor, &mut counters, steps)
 }
 
+/// Carryover state of the *functional* streaming encoder — the integrity
+/// layer's mirror of `asr_transformer::streaming::StreamState`, carried
+/// between chunks of one live-dictation session. Holds the raw-feature
+/// left-context tail (never encoded activations: limited-context attention
+/// re-encodes the window, so raw rows are the only honest carryover), the
+/// stream cursors, and a CRC-32 envelope over all of it. A poisoned or
+/// hand-edited state is rejected typed ([`AccelError::CheckpointRejected`])
+/// before any compute — mid-stream failover must never resume from bytes
+/// it cannot vouch for.
+#[derive(Debug, Clone)]
+pub struct FunctionalStreamState {
+    /// Encoder steps consumed per chunk (the session's fixed chunk size).
+    pub chunk: usize,
+    /// Raw feature rows of left context carried between chunks.
+    pub left_context: usize,
+    /// Chunks already pushed through this stream.
+    pub chunk_idx: usize,
+    /// Feature rows already emitted — the resume cursor.
+    pub emitted_rows: usize,
+    /// The raw-feature left-context tail (empty before the first chunk).
+    pub ctx: Matrix,
+    /// CRC-32 over the cursors and context bytes; [`Self::verify`] checks it.
+    pub state_crc: u32,
+}
+
+impl FunctionalStreamState {
+    fn crc_of(chunk: usize, left: usize, idx: usize, emitted: usize, ctx: &Matrix) -> u32 {
+        let mut bytes = Vec::new();
+        for c in [chunk, left, idx, emitted, ctx.rows()] {
+            bytes.extend_from_slice(&(c as u64).to_le_bytes());
+        }
+        for v in ctx.as_slice() {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        crc32(&bytes)
+    }
+
+    /// Open a fresh stream. Degenerate session parameters are rejected
+    /// typed at open ([`AccelError::InvalidStream`]), never mid-stream.
+    pub fn open(chunk: usize, left_context: usize) -> Result<Self> {
+        if chunk == 0 {
+            return Err(AccelError::InvalidStream {
+                reason: "chunk must cover >= 1 encoder step".into(),
+            });
+        }
+        let ctx = Matrix::zeros(0, 0);
+        let state_crc = Self::crc_of(chunk, left_context, 0, 0, &ctx);
+        Ok(FunctionalStreamState {
+            chunk,
+            left_context,
+            chunk_idx: 0,
+            emitted_rows: 0,
+            ctx,
+            state_crc,
+        })
+    }
+
+    /// Check the stored CRC against the state actually held; a mismatch is
+    /// the same contract as a poisoned [`FunctionalCheckpoint`]: reject
+    /// typed, restart the stream clean.
+    pub fn verify(&self) -> Result<()> {
+        let crc = Self::crc_of(
+            self.chunk,
+            self.left_context,
+            self.chunk_idx,
+            self.emitted_rows,
+            &self.ctx,
+        );
+        if crc != self.state_crc {
+            return Err(AccelError::CheckpointRejected {
+                reason: format!(
+                    "stale CRC on stream carryover state \
+                     (stored {:#010x}, computed {:#010x})",
+                    self.state_crc, crc
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Lower the per-chunk [`ExecPlan`] a streaming session executes: a
+/// batch-of-one window of `chunk + left_context` steps at full-decoder
+/// phase granularity. Degenerate windows are rejected typed — a window the
+/// bitstream cannot hold is an [`AccelError::InvalidStream`] at session
+/// open, not an obscure lowering error three chunks in.
+pub fn lower_stream_chunk_plan(
+    cfg: &AccelConfig,
+    chunk: usize,
+    left_context: usize,
+) -> Result<ExecPlan> {
+    if chunk == 0 {
+        return Err(AccelError::InvalidStream {
+            reason: "chunk must cover >= 1 encoder step".into(),
+        });
+    }
+    let window = chunk + left_context;
+    if window > cfg.max_seq_len {
+        return Err(AccelError::InvalidStream {
+            reason: format!(
+                "attention window {} (chunk {} + left context {}) exceeds \
+                 the built sequence length {}",
+                window, chunk, left_context, cfg.max_seq_len
+            ),
+        });
+    }
+    ExecPlan::lower(cfg, Architecture::A2, window, 1, cfg.integrity)
+}
+
+/// One chunk through the checked schemes: verify the carryover state's CRC,
+/// re-encode the `[ctx | chunk]` window through the plan's encoder phases
+/// (each one an encoder layer, exactly as `advance_phases` maps them),
+/// emit the chunk's rows, and roll the raw-feature tail forward. The
+/// emitted rows are bit-identical to an offline encode of the same window —
+/// the chunk boundary is a scheduling seam, never a numeric one.
+pub fn push_functional_chunk(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    w: &ModelWeights,
+    engine: &CheckedPsa,
+    state: &FunctionalStreamState,
+    chunk: &Matrix,
+) -> Result<(Matrix, FunctionalStreamState)> {
+    state.verify()?;
+    if chunk.rows() == 0 || chunk.rows() > state.chunk {
+        return Err(AccelError::InvalidStream {
+            reason: format!(
+                "chunk {} carries {} rows; a {}-step stream accepts 1..={}",
+                state.chunk_idx,
+                chunk.rows(),
+                state.chunk,
+                state.chunk
+            ),
+        });
+    }
+    if chunk.cols() != cfg.model.d_model {
+        return Err(AccelError::InvalidStream {
+            reason: format!(
+                "chunk is {} wide but the model expects d_model {}",
+                chunk.cols(),
+                cfg.model.d_model
+            ),
+        });
+    }
+    let window =
+        if state.ctx.rows() == 0 { chunk.clone() } else { Matrix::vconcat(&[&state.ctx, chunk]) };
+    // The chunk plan's encoder phases map 1:1 onto encoder layers, exactly
+    // as `advance_phases` maps them for the batch interpreter.
+    let encoder_phases = plan.phases.iter().filter(|p| p.kind == PhaseKind::Encoder).count();
+    if encoder_phases != w.encoders.len() {
+        return Err(AccelError::ModelMismatch(format!(
+            "chunk plan schedules {} encoder phases but the model has {} encoder layers",
+            encoder_phases,
+            w.encoders.len()
+        )));
+    }
+    let mut x = window.clone();
+    for (enc_idx, enc) in w.encoders.iter().enumerate() {
+        x = encoder_forward_via_schemes_with(cfg, engine, &x, enc);
+        guard_activations(
+            &x,
+            &format!("stream chunk {} encoder {} output", state.chunk_idx, enc_idx),
+        )?;
+    }
+    let out = x.submatrix(state.ctx.rows(), 0, chunk.rows(), x.cols());
+
+    let keep = state.left_context.min(window.rows());
+    let ctx = if keep == 0 {
+        Matrix::zeros(0, 0)
+    } else {
+        window.submatrix(window.rows() - keep, 0, keep, window.cols())
+    };
+    let chunk_idx = state.chunk_idx + 1;
+    let emitted_rows = state.emitted_rows + chunk.rows();
+    let state_crc = FunctionalStreamState::crc_of(
+        state.chunk,
+        state.left_context,
+        chunk_idx,
+        emitted_rows,
+        &ctx,
+    );
+    let next = FunctionalStreamState {
+        chunk: state.chunk,
+        left_context: state.left_context,
+        chunk_idx,
+        emitted_rows,
+        ctx,
+        state_crc,
+    };
+    Ok((out, next))
+}
+
+/// A functional stream driven to the end of its features.
+#[derive(Debug, Clone)]
+pub struct FunctionalStreamRun {
+    /// Encoder rows emitted by *this* run, in stream order — the full
+    /// stream for a fresh run, the suffix past the cut for a resumed one.
+    pub encoder_out: Matrix,
+    /// First feature row this run emitted (0 for a fresh run).
+    pub start_row: usize,
+    /// Chunks pushed by this run.
+    pub chunks: usize,
+    /// Corruption accounting (model load + every chunk's ABFT traffic).
+    pub counters: CorruptionCounters,
+    /// ABFT statistics across the run's chunks.
+    pub abft: AbftStats,
+    /// Carryover state after the last chunk — what a failover would ship.
+    pub final_state: FunctionalStreamState,
+}
+
+/// Advance a stream over the features past `state.emitted_rows`, one chunk
+/// plan execution at a time.
+fn drive_functional_stream(
+    cfg: &AccelConfig,
+    plan: &ExecPlan,
+    w: &ModelWeights,
+    engine: &CheckedPsa,
+    mut state: FunctionalStreamState,
+    features: &Matrix,
+) -> Result<(Matrix, FunctionalStreamState, usize)> {
+    let s = features.rows();
+    let start = state.emitted_rows;
+    if start > s {
+        return Err(AccelError::InvalidStream {
+            reason: format!("stream already emitted {} of {} feature rows", start, s),
+        });
+    }
+    let mut out = Matrix::zeros(s - start, features.cols());
+    let mut chunks = 0usize;
+    let mut row = start;
+    while row < s {
+        let end = (row + state.chunk).min(s);
+        let chunk = features.submatrix(row, 0, end - row, features.cols());
+        let (emit, next) = push_functional_chunk(cfg, plan, w, engine, &state, &chunk)?;
+        out.set_submatrix(row - start, 0, &emit);
+        state = next;
+        chunks += 1;
+        row = end;
+    }
+    Ok((out, state, chunks))
+}
+
+/// Fold the engine's ABFT statistics into the counters under `level`,
+/// mirroring the batch path's epilogue semantics (typed failure at
+/// `Detect`, recompute accounting at `DetectAndRecompute`).
+fn fold_stream_abft(
+    level: IntegrityLevel,
+    engine: &CheckedPsa,
+    counters: &mut CorruptionCounters,
+) -> Result<AbftStats> {
+    let abft = engine.stats();
+    counters.injected += abft.corrupted_tiles;
+    match level {
+        IntegrityLevel::Off => counters.escaped += abft.corrupted_tiles,
+        IntegrityLevel::Detect => {
+            counters.detected += abft.detected;
+            if abft.detected > 0 {
+                return Err(AccelError::CorruptCompute {
+                    phase: "stream".into(),
+                    tiles: abft.detected,
+                });
+            }
+        }
+        IntegrityLevel::DetectAndRecompute => {
+            counters.detected += abft.detected;
+            counters.recomputed += abft.recomputed;
+        }
+    }
+    Ok(abft)
+}
+
+/// The functional streaming pipeline: load the model once through the CRC
+/// envelope, lower the session's per-chunk plan, and push the features
+/// through chunk by chunk. Deterministic in `(cfg, model_seed, features,
+/// chunk, left_context, faults)`; a run whose chunk spans the whole input
+/// is bit-identical to the offline batch encoder.
+pub fn run_functional_stream(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    features: &Matrix,
+    chunk: usize,
+    left_context: usize,
+    faults: &FunctionalFaults,
+) -> Result<FunctionalStreamRun> {
+    let state = FunctionalStreamState::open(chunk, left_context)?;
+    resume_functional_stream(cfg, model_seed, &state, features, faults)
+}
+
+/// The failover path: verify the shipped carryover state's CRC (stale
+/// state is rejected typed — never silently reused), reload the model from
+/// seed through the same deterministic CRC envelope, and replay **only the
+/// rows past the cut**. The emitted suffix is bit-identical to the
+/// uninterrupted stream's same rows: the raw-feature tail plus the
+/// deterministic reload is everything the encode depends on.
+pub fn resume_functional_stream(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    state: &FunctionalStreamState,
+    features: &Matrix,
+    faults: &FunctionalFaults,
+) -> Result<FunctionalStreamRun> {
+    state.verify()?;
+    cfg.validate()?;
+    let plan = lower_stream_chunk_plan(cfg, state.chunk, state.left_context)?;
+    let mut counters = CorruptionCounters::default();
+    let clean = ModelWeights::seeded(&cfg.model, model_seed);
+    let w = load_model_with_faults(&clean, faults, cfg.integrity, &mut counters)?;
+    let engine = CheckedPsa::with_fault(cfg.psa_engine(), cfg.integrity, faults.lane);
+    let start_row = state.emitted_rows;
+    let (encoder_out, final_state, chunks) =
+        drive_functional_stream(cfg, &plan, &w, &engine, state.clone(), features)?;
+    let abft = fold_stream_abft(cfg.integrity, &engine, &mut counters)?;
+    Ok(FunctionalStreamRun { encoder_out, start_row, chunks, counters, abft, final_state })
+}
+
 /// A small-but-complete accelerator configuration for the functional
 /// integrity path: the tiny transformer (2 encoders, 1 decoder,
 /// `d_model = 32`, 4 heads) on a pool of eight 2×16 PSAs. Small enough
@@ -1041,5 +1356,87 @@ mod tests {
             run_functional(&cfg_at(IntegrityLevel::DetectAndRecompute), 11, 4, &faults).unwrap();
         assert_eq!(repaired.decoder_out, clean.decoder_out);
         assert!(repaired.abft.recomputed > 0);
+    }
+
+    fn stream_features(seed: u64, rows: usize) -> Matrix {
+        let cfg = small_config();
+        init::uniform(rows, cfg.model.d_model, -0.5, 0.5, seed)
+    }
+
+    #[test]
+    fn full_window_stream_matches_the_offline_batch_encoder_bit_for_bit() {
+        // A chunk that spans the whole input encodes one window == the
+        // offline batch; the stream must reproduce its bits exactly.
+        let cfg = cfg_at(IntegrityLevel::Off);
+        let features = stream_features(7 ^ 0x5eed, 8);
+        let stream =
+            run_functional_stream(&cfg, 7, &features, 8, 0, &FunctionalFaults::none()).unwrap();
+        let offline = run_functional(&cfg, 7, 8, &FunctionalFaults::none()).unwrap();
+        assert_eq!(stream.chunks, 1);
+        assert_eq!(stream.encoder_out, offline.encoder_out);
+    }
+
+    #[test]
+    fn resumed_stream_suffix_is_bit_identical_even_under_silent_faults() {
+        // The failover contract: ship the CRC'd carryover state, replay the
+        // remaining rows, get the uninterrupted stream's bits — with a
+        // corrupted stripe fetch *and* a sticky PSA lane in play.
+        let cfg = cfg_at(IntegrityLevel::DetectAndRecompute);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 2,
+                word: 3,
+                byte_in_word: 1,
+                xor: 0x40,
+                failing_fetches: 1,
+            }],
+            lane: Some(LaneFault { lane: 1, delta: 0.75 }),
+        };
+        let features = stream_features(21, 8);
+        let full = run_functional_stream(&cfg, 4, &features, 2, 3, &faults).unwrap();
+        assert_eq!(full.chunks, 4);
+
+        // Run the first two chunks only, as the dying device would have.
+        let prefix = features.submatrix(0, 0, 4, features.cols());
+        let cut = run_functional_stream(&cfg, 4, &prefix, 2, 3, &faults).unwrap();
+        assert_eq!(cut.final_state.emitted_rows, 4);
+
+        let resumed =
+            resume_functional_stream(&cfg, 4, &cut.final_state, &features, &faults).unwrap();
+        assert_eq!(resumed.start_row, 4);
+        assert_eq!(resumed.chunks, 2, "only the unfinished rows replay");
+        let suffix = full.encoder_out.submatrix(4, 0, 4, full.encoder_out.cols());
+        assert_eq!(resumed.encoder_out, suffix);
+        assert_eq!(resumed.final_state.state_crc, full.final_state.state_crc);
+    }
+
+    #[test]
+    fn poisoned_stream_state_is_rejected_typed() {
+        let cfg = cfg_at(IntegrityLevel::Off);
+        let features = stream_features(3, 6);
+        let run =
+            run_functional_stream(&cfg, 5, &features, 2, 2, &FunctionalFaults::none()).unwrap();
+        let mut state = run.final_state;
+        state.emitted_rows -= 1; // a stale cursor must never silently resume
+        let err = resume_functional_stream(&cfg, 5, &state, &features, &FunctionalFaults::none())
+            .unwrap_err();
+        assert!(matches!(err, AccelError::CheckpointRejected { .. }), "{}", err);
+    }
+
+    #[test]
+    fn degenerate_stream_sessions_are_rejected_typed_at_open() {
+        let cfg = cfg_at(IntegrityLevel::Off);
+        let features = stream_features(3, 6);
+        let err =
+            run_functional_stream(&cfg, 5, &features, 0, 2, &FunctionalFaults::none()).unwrap_err();
+        assert!(matches!(err, AccelError::InvalidStream { .. }), "{}", err);
+        // Window past the built sequence length: typed at open, not a
+        // lowering error three chunks in.
+        let err = run_functional_stream(&cfg, 5, &features, 4, 16, &FunctionalFaults::none())
+            .unwrap_err();
+        match err {
+            AccelError::InvalidStream { reason } => assert!(reason.contains("attention window")),
+            other => panic!("expected InvalidStream, got {}", other),
+        }
     }
 }

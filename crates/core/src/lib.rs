@@ -52,6 +52,7 @@ pub mod report;
 pub mod resources;
 pub mod schedule;
 pub mod serve;
+pub mod stream;
 pub mod sweep;
 pub mod verify;
 
@@ -77,3 +78,4 @@ pub use plan::{
 pub use serve::{
     pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
 };
+pub use stream::{stream_analytics, StreamAnalytics, StreamConfig, StreamPool, StreamReport};

@@ -324,6 +324,27 @@ pub struct PlanResume {
     pub finished_s: Vec<f64>,
 }
 
+/// Resident-weight reuse accounting of a plan lowered with
+/// [`PlanBuilder::reuse_resident`]: how many of the offered stripes the
+/// lowering could elide, and how many were stale. This is the streaming
+/// tentpole's cross-chunk saving — chunk *k+1* of a stream skips the
+/// `LoadStripe`s whose CRC-matching stripes chunk *k* left pinned in the
+/// device's stream weight cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanReuse {
+    /// Resident stripes offered to the lowering.
+    pub offered: usize,
+    /// `LoadStripe` nodes elided because an offered stripe CRC-matched the
+    /// schedule's stripe for that phase.
+    pub elided_loads: usize,
+    /// HBM bytes those elided loads would have moved.
+    pub elided_load_bytes: u64,
+    /// Offered stripes that did **not** match the schedule (wrong phase,
+    /// label, byte count, or a stale CRC) — re-loaded and re-verified,
+    /// never silently reused.
+    pub stale: usize,
+}
+
 /// A lowered, inspectable execution plan: the phase table plus the command
 /// DAG. Built by [`PlanBuilder`]; consumed by the analytic walker, the
 /// runtime executors, and the functional interpreter.
@@ -345,6 +366,9 @@ pub struct ExecPlan {
     pub nodes: Vec<PlanNode>,
     /// Present when this plan is the resumed suffix of a checkpointed run.
     pub resume: Option<PlanResume>,
+    /// Present when this plan was lowered against a resident stripe set
+    /// ([`PlanBuilder::reuse_resident`] — streaming cross-chunk reuse).
+    pub reuse: Option<PlanReuse>,
     /// Per phase, the [`PlanCmd::LoadStripe`] node id. `None` for phases
     /// before a resume cut and for trusted resident stripes.
     load_of: Vec<Option<CmdId>>,
@@ -466,6 +490,33 @@ impl ExecPlan {
         (buf, ser, paired)
     }
 
+    /// Total weight bytes the schedule *would* stream with nothing
+    /// resident — the denominator of the streaming elided-load fraction.
+    pub fn scheduled_load_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.bytes).sum()
+    }
+
+    /// The leading `slots` phases' stripes with their schedule CRCs — what
+    /// a streaming device pins in its dedicated stream weight cache after
+    /// serving a chunk. The pipeline-fill loads are the ones a per-chunk
+    /// plan cannot amortize, so the cache pins the *front* of the schedule;
+    /// the cycling double-buffer slots keep handling the rest. Feed the
+    /// result to [`PlanBuilder::reuse_resident`] for the stream's next
+    /// chunk.
+    pub fn pinned_stripes(&self, slots: usize) -> Vec<ResidentStripe> {
+        self.phases
+            .iter()
+            .enumerate()
+            .take(slots)
+            .map(|(i, p)| ResidentStripe {
+                phase: i,
+                label: p.label.clone(),
+                bytes: p.bytes,
+                crc: PlanCheckpoint::stripe_crc(p),
+            })
+            .collect()
+    }
+
     /// Bytes each HBM channel moves over the whole plan (indexable by the
     /// channel ids on the [`PlanCmd::LoadStripe`] nodes). Each engine's
     /// traffic is striped evenly across its two channels.
@@ -491,13 +542,21 @@ pub struct PlanBuilder<'a> {
     input_lens: Vec<usize>,
     integrity: IntegrityLevel,
     resume: Option<(PlanCheckpoint, bool)>,
+    resident: Vec<ResidentStripe>,
 }
 
 impl<'a> PlanBuilder<'a> {
     /// Start a lowering for one architecture. The batch defaults to empty —
     /// add utterances before [`build`](Self::build).
     pub fn new(cfg: &'a AccelConfig, arch: Architecture) -> Self {
-        PlanBuilder { cfg, arch, input_lens: Vec::new(), integrity: cfg.integrity, resume: None }
+        PlanBuilder {
+            cfg,
+            arch,
+            input_lens: Vec::new(),
+            integrity: cfg.integrity,
+            resume: None,
+            resident: Vec::new(),
+        }
     }
 
     /// Set the batch: one entry per utterance, each an unpadded input
@@ -523,6 +582,20 @@ impl<'a> PlanBuilder<'a> {
     /// re-loads of CRC-matching resident stripes (same-device resume only).
     pub fn resume_from(mut self, ckpt: &PlanCheckpoint, trust_resident: bool) -> Self {
         self.resume = Some((ckpt.clone(), trust_resident));
+        self
+    }
+
+    /// Lower against a resident stripe set: any phase whose offered stripe
+    /// CRC-matches the schedule (same phase index, label, byte count, and
+    /// [`PlanCheckpoint::stripe_crc`]) keeps its weights in place and emits
+    /// **no** `LoadStripe` — the cross-chunk reuse of a streaming session,
+    /// where chunk *k* warms the device's stream weight cache for chunk
+    /// *k+1*. Stripes that do not match are *ignored* (counted stale on
+    /// [`PlanReuse`]) and their phases re-load and re-verify normally —
+    /// a stale cache costs bandwidth, never correctness. Mutually exclusive
+    /// with [`resume_from`](Self::resume_from).
+    pub fn reuse_resident(mut self, stripes: &[ResidentStripe]) -> Self {
+        self.resident = stripes.to_vec();
         self
     }
 
@@ -565,6 +638,36 @@ impl<'a> PlanBuilder<'a> {
             None => (0, Vec::new()),
         };
 
+        // Resident-reuse validation: every offered stripe either CRC-matches
+        // the stripe this schedule would fetch for its phase (its load is
+        // elided) or is counted stale and re-loaded. Checkpointed resume has
+        // its own trust path; mixing the two would double-count elisions.
+        if resume.is_some() && !self.resident.is_empty() {
+            return Err(AccelError::Config(
+                "reuse_resident and resume_from are mutually exclusive".into(),
+            ));
+        }
+        let mut reuse_acct = if self.resident.is_empty() {
+            None
+        } else {
+            Some(PlanReuse { offered: self.resident.len(), ..Default::default() })
+        };
+        let mut resident_ok = vec![false; phases.len()];
+        if let Some(acct) = reuse_acct.as_mut() {
+            for r in &self.resident {
+                match phases.get(r.phase) {
+                    Some(p)
+                        if r.label == p.label
+                            && r.bytes == p.bytes
+                            && r.crc == PlanCheckpoint::stripe_crc(p) =>
+                    {
+                        resident_ok[r.phase] = true;
+                    }
+                    _ => acct.stale += 1,
+                }
+            }
+        }
+
         let mut nodes: Vec<PlanNode> = Vec::new();
         let mut load_of: Vec<Option<CmdId>> = Vec::with_capacity(phases.len());
         let mut computes_of: Vec<Vec<CmdId>> = Vec::with_capacity(phases.len());
@@ -583,6 +686,16 @@ impl<'a> PlanBuilder<'a> {
                 // the bytes stay in their buffer slot, nothing to re-fetch.
                 trusted_loads += 1;
                 trusted_bytes += p.bytes;
+                None
+            } else if resident_ok[i] {
+                // Stream weight cache hit: an earlier chunk of this stream
+                // left the CRC-matching stripe pinned on the device, so the
+                // fetch is elided and the phase computes straight out of the
+                // resident slot.
+                if let Some(acct) = reuse_acct.as_mut() {
+                    acct.elided_loads += 1;
+                    acct.elided_load_bytes += p.bytes;
+                }
                 None
             } else {
                 // Edge policy. Double-buffer edge (all architectures): this
@@ -690,6 +803,7 @@ impl<'a> PlanBuilder<'a> {
             phases,
             nodes,
             resume,
+            reuse: reuse_acct,
             load_of,
             computes_of,
         })
@@ -1114,5 +1228,98 @@ mod tests {
                 prev = cost.latency_s;
             }
         }
+    }
+
+    #[test]
+    fn resident_reuse_elides_matching_stripes() {
+        let cfg = unpadded(8);
+        for arch in Architecture::ALL {
+            let cold = ExecPlan::lower(&cfg, arch, 8, 1, IntegrityLevel::Off).unwrap();
+            assert_eq!(cold.reuse, None, "cold plans carry no reuse accounting");
+            let pinned = cold.pinned_stripes(4);
+            assert_eq!(pinned.len(), 4);
+            let warm = PlanBuilder::new(&cfg, arch)
+                .utterances(&[8])
+                .reuse_resident(&pinned)
+                .build()
+                .unwrap();
+            let reuse = warm.reuse.expect("warm plan carries reuse accounting");
+            assert_eq!(reuse.offered, 4);
+            assert_eq!(reuse.elided_loads, 4);
+            assert_eq!(reuse.stale, 0);
+            let pinned_bytes: u64 = cold.phases[..4].iter().map(|p| p.bytes).sum();
+            assert_eq!(reuse.elided_load_bytes, pinned_bytes);
+            for i in 0..4 {
+                assert!(warm.load_of(i).is_none(), "{:?} phase {} load must be elided", arch, i);
+                assert!(!warm.computes_of(i).is_empty(), "computes still run from residency");
+            }
+            assert_eq!(warm.counts().loads, cold.counts().loads - 4);
+            assert_eq!(warm.counts().computes, cold.counts().computes);
+            // Fewer bytes on the wire can only help the critical path.
+            let (cold_s, warm_s) =
+                (walk_cost(&cfg, &cold).latency_s, walk_cost(&cfg, &warm).latency_s);
+            assert!(warm_s <= cold_s + 1e-12, "{:?}: warm {} > cold {}", arch, warm_s, cold_s);
+        }
+    }
+
+    #[test]
+    fn stale_resident_stripes_reload_instead_of_eliding() {
+        let cfg = unpadded(8);
+        let cold = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let mut pinned = cold.pinned_stripes(3);
+        pinned[1].crc ^= 0xdead_beef; // the cache entry no longer matches HBM
+        let warm = PlanBuilder::new(&cfg, Architecture::A2)
+            .utterances(&[8])
+            .reuse_resident(&pinned)
+            .build()
+            .unwrap();
+        let reuse = warm.reuse.unwrap();
+        assert_eq!(reuse.offered, 3);
+        assert_eq!(reuse.elided_loads, 2);
+        assert_eq!(reuse.stale, 1);
+        assert!(warm.load_of(0).is_none());
+        assert!(warm.load_of(1).is_some(), "stale stripe re-loads; never trusted");
+        assert!(warm.load_of(2).is_none());
+        // A stripe naming a phase past the schedule is stale too, not a panic.
+        let mut beyond = cold.pinned_stripes(1);
+        beyond[0].phase = cold.phases.len() + 7;
+        let plan = PlanBuilder::new(&cfg, Architecture::A2)
+            .utterances(&[8])
+            .reuse_resident(&beyond)
+            .build()
+            .unwrap();
+        assert_eq!(plan.reuse.unwrap().stale, 1);
+        assert_eq!(plan.reuse.unwrap().elided_loads, 0);
+    }
+
+    #[test]
+    fn reuse_survives_verify_nodes_and_keeps_compute_verifies() {
+        // With integrity on, an elided load drops its CRC verify (there is
+        // no fetch to check) but every compute keeps its ABFT verify.
+        let cfg = unpadded(8);
+        let cold = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Detect).unwrap();
+        let warm = PlanBuilder::new(&cfg, Architecture::A2)
+            .utterances(&[8])
+            .integrity(IntegrityLevel::Detect)
+            .reuse_resident(&cold.pinned_stripes(4))
+            .build()
+            .unwrap();
+        assert_eq!(warm.counts().loads, cold.counts().loads - 4);
+        assert_eq!(warm.counts().verifies, cold.counts().verifies - 4);
+        assert_eq!(warm.counts().computes, cold.counts().computes);
+    }
+
+    #[test]
+    fn reuse_and_resume_are_mutually_exclusive() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let ckpt = PlanCheckpoint::at(&full, 4, 5, &[], 1.0e-3);
+        let err = PlanBuilder::new(&cfg, Architecture::A2)
+            .utterances(ckpt.remaining_lens())
+            .resume_from(&ckpt, true)
+            .reuse_resident(&full.pinned_stripes(2))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, AccelError::Config(_)), "{}", err);
     }
 }

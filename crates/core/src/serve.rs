@@ -87,17 +87,20 @@ impl BreakerState {
     }
 }
 
+/// The per-device breaker state machine, shared with the streaming pool
+/// ([`crate::stream`]): a card that keeps failing requests — or keeps
+/// killing streams — is quarantined the same way.
 #[derive(Debug, Clone)]
-struct Breaker {
+pub(crate) struct Breaker {
     cfg: BreakerConfig,
-    state: BreakerState,
+    pub(crate) state: BreakerState,
     consecutive_failures: u32,
     open_until_s: f64,
-    opens: u32,
+    pub(crate) opens: u32,
 }
 
 impl Breaker {
-    fn new(cfg: BreakerConfig) -> Self {
+    pub(crate) fn new(cfg: BreakerConfig) -> Self {
         Breaker {
             cfg,
             state: BreakerState::Closed,
@@ -108,7 +111,7 @@ impl Breaker {
     }
 
     /// Would a request dispatched at `now` be admitted?
-    fn would_admit(&self, now: f64) -> bool {
+    pub(crate) fn would_admit(&self, now: f64) -> bool {
         match self.state {
             BreakerState::Closed => true,
             BreakerState::Open => now >= self.open_until_s,
@@ -119,7 +122,7 @@ impl Breaker {
     }
 
     /// The breaker's next self-transition time, if one is pending.
-    fn reopen_time(&self) -> Option<f64> {
+    pub(crate) fn reopen_time(&self) -> Option<f64> {
         match self.state {
             BreakerState::Open => Some(self.open_until_s),
             _ => None,
@@ -128,18 +131,18 @@ impl Breaker {
 
     /// A request was dispatched at `now`: an open breaker past its cooldown
     /// moves to half-open (the request is the probe).
-    fn on_dispatch(&mut self, now: f64) {
+    pub(crate) fn on_dispatch(&mut self, now: f64) {
         if self.state == BreakerState::Open && now >= self.open_until_s {
             self.state = BreakerState::HalfOpen;
         }
     }
 
-    fn on_success(&mut self) {
+    pub(crate) fn on_success(&mut self) {
         self.state = BreakerState::Closed;
         self.consecutive_failures = 0;
     }
 
-    fn on_failure(&mut self, now: f64) {
+    pub(crate) fn on_failure(&mut self, now: f64) {
         self.consecutive_failures += 1;
         let probe_failed = self.state == BreakerState::HalfOpen;
         if probe_failed || self.consecutive_failures >= self.cfg.failure_threshold {

@@ -34,7 +34,8 @@ fn main() {
     );
     for (chunk, ctx) in [(s, 0usize), (8, 16), (8, 8), (4, 8), (4, 0)] {
         let cfg = StreamingConfig { chunk, left_context: ctx };
-        let streamed = encode_streaming(&model, &enc_in, &cfg, &ReferenceBackend);
+        let streamed = encode_streaming(&model, &enc_in, &cfg, &ReferenceBackend)
+            .expect("valid streaming config");
         let div = max_abs_diff(&streamed, &offline);
         println!("{:>8} {:>8} {:>16} {:>22.4}", chunk, ctx, first_emission_steps(s, &cfg), div);
     }

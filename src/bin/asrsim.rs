@@ -32,15 +32,27 @@
 //!                                      failed batches from their barrier
 //!                                      frontier, --kill plants a persistent
 //!                                      load fault on card 0
+//! asrsim stream [--streams N] [--chunk-ms C] [--deadline-ms D]
+//!               [--faults SEED] [--jitter-ms J] [--devices K] [--chunks M]
+//!               [--integrity off|detect|detect-recompute]
+//!                                      fault-tolerant streaming sessions:
+//!                                      chunked plans with resident-weight
+//!                                      reuse, per-chunk deadlines with stale
+//!                                      shedding, bounded session queues, and
+//!                                      mid-stream failover that replays only
+//!                                      the unfinished chunk
 //! asrsim bench [--out FILE]            benchmark seed: plan lowering time,
 //!                                      analytic E2E latency, sustainable serve
 //!                                      rps, replayed-work with/without
-//!                                      checkpointing (default BENCH_serve.json)
+//!                                      checkpointing, per-chunk streaming
+//!                                      latency and elision
+//!                                      (default BENCH_serve.json)
 //! ```
 
 use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
 use transformer_asr_accel::accel::serve::{pool_fault_plans, ServeConfig, ServePool, ServeReport};
+use transformer_asr_accel::accel::stream::{stream_analytics, StreamConfig, StreamPool};
 use transformer_asr_accel::accel::{
     dse, latency, pipeline, quant, resume_batch, run_batch_with_recovery, run_with_recovery, sweep,
     walk_cost, AccelConfig, ExecPlan, HostController, RecoveryPolicy,
@@ -101,7 +113,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = args.first().cloned() else {
         eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|bench> [options]"
+            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|stream|bench> [options]"
         );
         return ExitCode::FAILURE;
     };
@@ -148,6 +160,7 @@ fn main() -> ExitCode {
         }
         "plan" => return cmd_plan(s, &args),
         "serve" => return cmd_serve(&args),
+        "stream" => return cmd_stream(&args),
         "bench" => return cmd_bench(&args),
         other => {
             eprintln!("unknown command '{}'", other);
@@ -545,6 +558,56 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `asrsim stream` — the fault-tolerant streaming session pool: N concurrent
+/// streams of fixed-cadence audio chunks over a shared card pool, per-chunk
+/// deadlines, resident-weight reuse across chunks, and mid-stream failover.
+fn cmd_stream(args: &[String]) -> ExitCode {
+    let devices = parse_flag(args, "--devices", 2);
+    let seed = parse_flag(args, "--faults", 0) as u64;
+    let streams = parse_flag(args, "--streams", 4);
+    let chunk_ms = parse_f64_flag(args, "--chunk-ms", 40.0);
+    let deadline_ms = parse_f64_flag(args, "--deadline-ms", 60.0);
+    let jitter_ms = parse_f64_flag(args, "--jitter-ms", 0.0);
+    let level = match parse_integrity_flag(args) {
+        Ok(l) => l,
+        Err(bad) => {
+            eprintln!(
+                "unknown integrity level '{}': expected off, detect, or detect-recompute",
+                bad
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut cfg = StreamConfig::new(devices, seed, streams, deadline_ms / 1e3);
+    cfg.accel.integrity = level;
+    cfg.chunk_interval_s = chunk_ms / 1e3;
+    cfg.jitter_s = jitter_ms / 1e3;
+    cfg.chunks_per_stream = parse_flag(args, "--chunks", cfg.chunks_per_stream);
+    println!("devices              : {}", cfg.devices);
+    println!("pool fault seed      : {}", cfg.fault_seed);
+    println!("integrity level      : {}", level.name());
+    println!(
+        "chunk window         : {} steps ({} chunk + {} left context)",
+        cfg.window(),
+        cfg.chunk_steps,
+        cfg.left_context
+    );
+    println!("chunk cadence        : {:8.2} ms", cfg.chunk_interval_s * 1e3);
+    println!("chunk deadline       : {:8.2} ms", cfg.deadline_s * 1e3);
+    println!("arrival jitter       : {:8.2} ms", cfg.jitter_s * 1e3);
+    println!("chunks per stream    : {}", cfg.chunks_per_stream);
+    println!("session queue        : {}", cfg.session_queue);
+    let report = match StreamPool::run(cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("stream failed: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    print!("{}", report.render());
+    ExitCode::SUCCESS
+}
+
 /// Run the configured serve workload; with `kill`, card 0's fault plan is
 /// replaced by a persistent load fault on the given label (the other cards
 /// keep their seeded pool plans) to exercise failover paths on demand.
@@ -654,12 +717,43 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         on.skipped_load_bytes
     );
 
+    // Streaming trajectory: analytic per-chunk latency of the streaming
+    // deployment, the elided-load fraction resident reuse buys a warm card,
+    // and the concurrent streams the default pool sustains.
+    let stream_cfg = StreamConfig::new(2, 0, 4, 0.060);
+    let sa = match stream_analytics(&stream_cfg) {
+        Ok(sa) => sa,
+        Err(e) => {
+            eprintln!("stream analytics failed: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "stream chunk         : {:8.2} ms cold, {:.2} ms warm (analytic, window {})",
+        sa.cold_chunk_s * 1e3,
+        sa.warm_chunk_s * 1e3,
+        stream_cfg.window()
+    );
+    println!(
+        "stream elision       : {:8.1} % of scheduled load bytes on a warm card",
+        sa.elided_fraction * 100.0
+    );
+    println!(
+        "sustainable streams  : {:8} at {:.0} ms cadence",
+        sa.sustainable_streams,
+        stream_cfg.chunk_interval_s * 1e3
+    );
+
     let json = format!(
-        "{{\n  \"plan_lowering_us\": {:.1},\n  \"analytic_e2e_ms\": {:.3},\n  \"sustainable_rps_at_99pct\": {:.1},\n  \"throughput_rps_at_sustainable\": {:.1},\n  \"replay\": {{\n    \"checkpoint_off\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {}\n    }},\n    \"checkpoint_on\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {},\n      \"skipped_compute_ms\": {:.3},\n      \"skipped_load_bytes\": {}\n    }}\n  }}\n}}\n",
+        "{{\n  \"plan_lowering_us\": {:.1},\n  \"analytic_e2e_ms\": {:.3},\n  \"sustainable_rps_at_99pct\": {:.1},\n  \"throughput_rps_at_sustainable\": {:.1},\n  \"streaming\": {{\n    \"cold_chunk_ms\": {:.3},\n    \"warm_chunk_ms\": {:.3},\n    \"elided_load_fraction\": {:.4},\n    \"sustainable_streams\": {}\n  }},\n  \"replay\": {{\n    \"checkpoint_off\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {}\n    }},\n    \"checkpoint_on\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {},\n      \"skipped_compute_ms\": {:.3},\n      \"skipped_load_bytes\": {}\n    }}\n  }}\n}}\n",
         lower_us,
         e2e_ms,
         lo,
         thr_at_lo,
+        sa.cold_chunk_s * 1e3,
+        sa.warm_chunk_s * 1e3,
+        sa.elided_fraction,
+        sa.sustainable_streams,
         off.replayed_compute_s * 1e3,
         off.replayed_load_bytes,
         off.resumed_dispatches,

@@ -241,6 +241,61 @@ fn serve_rejects_an_impossible_deadline() {
 }
 
 #[test]
+fn stream_subcommand_survives_a_seeded_device_fault() {
+    let (ok, out) = run(&[
+        "stream",
+        "--streams",
+        "4",
+        "--devices",
+        "4",
+        "--faults",
+        "1",
+        "--chunk-ms",
+        "40",
+        "--deadline-ms",
+        "60",
+        "--chunks",
+        "8",
+    ]);
+    assert!(ok, "stream must exit cleanly:\n{}", out);
+    // The seeded fault (card 1) must not kill a single session, and the
+    // unfinished chunk must be the only work replayed.
+    assert!(out.contains("streams dropped      : 0"), "{}", out);
+    assert!(out.contains("replayed chunks      : 1"), "{}", out);
+    assert!(out.contains("chunk latency p50/p99"), "{}", out);
+    // Warm chunks must elide resident stripes — the reuse path is live.
+    assert!(!out.contains("elided loads         : 0 ("), "no elisions:\n{}", out);
+    assert!(out.contains("dev0") && out.contains("dev3"));
+}
+
+#[test]
+fn stream_same_seed_is_bit_identical_across_runs() {
+    let args = [
+        "stream",
+        "--streams",
+        "6",
+        "--devices",
+        "3",
+        "--faults",
+        "5",
+        "--jitter-ms",
+        "4",
+        "--chunks",
+        "8",
+    ];
+    let (ok_a, out_a) = run(&args);
+    let (ok_b, out_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(out_a, out_b, "same seed must reproduce the identical stream report");
+}
+
+#[test]
+fn stream_rejects_an_impossible_deadline() {
+    let (ok, _) = run(&["stream", "--deadline-ms", "0.001"]);
+    assert!(!ok, "a deadline below the warm nominal chunk time must be refused");
+}
+
+#[test]
 fn unknown_command_fails() {
     let (ok, _) = run(&["definitely-not-a-command"]);
     assert!(!ok);

@@ -143,7 +143,8 @@ fn streaming_first_chunk_is_causal_end_to_end() {
     let sub = transformer_asr_accel::frontend::Subsampler::paper_default(model.config.d_model, 1);
     let enc_in = sub.forward(&ex.extract(&utt.audio));
     let cfg = StreamingConfig { chunk: 4, left_context: 0 };
-    let streamed = encode_streaming(&model, &enc_in, &cfg, &ReferenceBackend);
+    let streamed =
+        encode_streaming(&model, &enc_in, &cfg, &ReferenceBackend).expect("valid streaming config");
     assert_eq!(streamed.rows(), enc_in.rows());
     assert!(streamed.as_slice().iter().all(|v| v.is_finite()));
 }

@@ -41,6 +41,13 @@ pub struct AccelConfig {
     /// datapath bit-for-bit.
     #[serde(default)]
     pub integrity: IntegrityLevel,
+    /// Version of the weight set flashed on the device. Purely an identity
+    /// tag — it never changes timing — but every lowered `LoadStripe`,
+    /// resident stripe, and checkpoint carries it, so work banked under one
+    /// weight set can never be silently reused under another (DESIGN.md
+    /// §14 rolling upgrades).
+    #[serde(default)]
+    pub weight_version: u64,
 }
 
 impl AccelConfig {
@@ -59,6 +66,7 @@ impl AccelConfig {
             max_seq_len: 32,
             bytes_per_weight: 4,
             integrity: IntegrityLevel::Off,
+            weight_version: 0,
         }
     }
 

@@ -34,6 +34,7 @@ pub mod arch;
 pub mod autotune;
 pub mod block_exec;
 pub mod calib;
+pub mod cluster;
 pub mod config;
 pub mod dse;
 pub mod energy;
@@ -57,6 +58,10 @@ pub mod sweep;
 pub mod verify;
 
 pub use arch::{simulate_batch, ArchResult, Architecture};
+pub use cluster::{
+    Cluster, ClusterConfig, ClusterReport, NodeFault, NodeSummary, TrafficTrace, UpgradeConfig,
+    UpgradeOutcome,
+};
 pub use config::AccelConfig;
 pub use error::AccelError;
 pub use exec::SystolicBackend;
@@ -76,6 +81,7 @@ pub use plan::{
     ResidentStripe,
 };
 pub use serve::{
-    pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, ServeConfig, ServePool, ServeReport,
+    pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, Evicted, RequestOutcome,
+    RequestRecord, ServeConfig, ServePool, ServeReport,
 };
 pub use stream::{stream_analytics, StreamAnalytics, StreamConfig, StreamPool, StreamReport};

@@ -107,6 +107,9 @@ pub enum PlanCmd {
         /// Fig 4.11 pairing: this load may start together with the previous
         /// phase's load (they occupy different engines).
         paired_with_prev: bool,
+        /// Weight-set version the stripe belongs to
+        /// ([`AccelConfig::weight_version`] at lowering time).
+        version: u64,
     },
     /// One utterance's compute block under the phase's resident weights.
     Compute {
@@ -184,6 +187,11 @@ pub struct ResidentStripe {
     pub bytes: u64,
     /// CRC-32 the load's verify accepted.
     pub crc: u32,
+    /// Weight-set version the stripe was loaded from. A stripe pinned under
+    /// one version is *stale* under any other — its elision is refused
+    /// typed, never silently reused (rolling upgrades, DESIGN.md §14).
+    #[serde(default)]
+    pub version: u64,
 }
 
 /// A barrier-granular cut through an [`ExecPlan`]: everything needed to
@@ -229,6 +237,11 @@ pub struct PlanCheckpoint {
     pub resident: Vec<ResidentStripe>,
     /// Device-local time the checkpoint was cut, seconds.
     pub captured_at_s: f64,
+    /// Weight-set version the interrupted plan was lowered against. A
+    /// resume on a device flashed to any other version is rejected typed —
+    /// compute banked under one weight set never completes under another.
+    #[serde(default)]
+    pub weight_version: u64,
 }
 
 impl PlanCheckpoint {
@@ -236,10 +249,13 @@ impl PlanCheckpoint {
     /// a digest of the schedule identity (label + byte count). The
     /// functional path checks real bytes; the timing path checks that a
     /// checkpoint's resident stripes still describe the stripes the
-    /// target schedule would fetch.
-    pub fn stripe_crc(phase: &PlanPhase) -> u32 {
+    /// target schedule would fetch. The weight-set version is folded into
+    /// the digest, so a stripe loaded under one version can never
+    /// CRC-match the same schedule slot under another.
+    pub fn stripe_crc(phase: &PlanPhase, version: u64) -> u32 {
         let mut bytes = phase.label.as_bytes().to_vec();
         bytes.extend_from_slice(&phase.bytes.to_le_bytes());
+        bytes.extend_from_slice(&version.to_le_bytes());
         crc32(&bytes)
     }
 
@@ -259,7 +275,8 @@ impl PlanCheckpoint {
                 phase: i,
                 label: plan.phases[i].label.clone(),
                 bytes: plan.phases[i].bytes,
-                crc: Self::stripe_crc(&plan.phases[i]),
+                crc: Self::stripe_crc(&plan.phases[i], plan.weight_version),
+                version: plan.weight_version,
             })
             .collect();
         PlanCheckpoint {
@@ -275,6 +292,7 @@ impl PlanCheckpoint {
             loaded_phases,
             resident,
             captured_at_s,
+            weight_version: plan.weight_version,
         }
     }
 
@@ -343,6 +361,10 @@ pub struct PlanReuse {
     /// label, byte count, or a stale CRC) — re-loaded and re-verified,
     /// never silently reused.
     pub stale: usize,
+    /// The subset of `stale` refused *specifically* because the stripe was
+    /// pinned under a different weight-set version than the lowering's —
+    /// the typed stale-version rejection a rolling upgrade relies on.
+    pub stale_version: usize,
 }
 
 /// A lowered, inspectable execution plan: the phase table plus the command
@@ -360,6 +382,9 @@ pub struct ExecPlan {
     pub seq_len: usize,
     /// Integrity level the plan was lowered at (drives Verify emission).
     pub integrity: IntegrityLevel,
+    /// Weight-set version the plan was lowered against
+    /// ([`AccelConfig::weight_version`]).
+    pub weight_version: u64,
     /// The weight-residency phases, in schedule order.
     pub phases: Vec<PlanPhase>,
     /// The command DAG, in dispatch order.
@@ -512,7 +537,8 @@ impl ExecPlan {
                 phase: i,
                 label: p.label.clone(),
                 bytes: p.bytes,
-                crc: PlanCheckpoint::stripe_crc(p),
+                crc: PlanCheckpoint::stripe_crc(p, self.weight_version),
+                version: self.weight_version,
             })
             .collect()
     }
@@ -631,6 +657,7 @@ impl<'a> PlanBuilder<'a> {
                 seq_len,
                 &self.input_lens,
                 &phases,
+                cfg.weight_version,
             )?),
         };
         let (start_phase, trusted) = match &resume {
@@ -656,10 +683,18 @@ impl<'a> PlanBuilder<'a> {
         if let Some(acct) = reuse_acct.as_mut() {
             for r in &self.resident {
                 match phases.get(r.phase) {
+                    // A version-stale stripe is refused *before* the CRC
+                    // check so the refusal is typed on the accounting: the
+                    // weights on the device are simply not this lowering's
+                    // weight set, however intact they are.
+                    Some(_) if r.version != cfg.weight_version => {
+                        acct.stale += 1;
+                        acct.stale_version += 1;
+                    }
                     Some(p)
                         if r.label == p.label
                             && r.bytes == p.bytes
-                            && r.crc == PlanCheckpoint::stripe_crc(p) =>
+                            && r.crc == PlanCheckpoint::stripe_crc(p, cfg.weight_version) =>
                     {
                         resident_ok[r.phase] = true;
                     }
@@ -723,6 +758,7 @@ impl<'a> PlanBuilder<'a> {
                         channels: [2 * engine, 2 * engine + 1],
                         bytes: p.bytes,
                         paired_with_prev: p.kind == PhaseKind::DecoderFfn,
+                        version: cfg.weight_version,
                     },
                     deps,
                 });
@@ -800,6 +836,7 @@ impl<'a> PlanBuilder<'a> {
             input_lens: self.input_lens,
             seq_len,
             integrity: self.integrity,
+            weight_version: cfg.weight_version,
             phases,
             nodes,
             resume,
@@ -822,10 +859,20 @@ fn validate_checkpoint(
     seq_len: usize,
     input_lens: &[usize],
     phases: &[PlanPhase],
+    weight_version: u64,
 ) -> Result<(usize, Vec<usize>, PlanCheckpoint)> {
     let reject = |reason: String| AccelError::CheckpointRejected { reason };
     if ckpt.arch != arch {
         return Err(reject(format!("architecture {:?} != plan {:?}", ckpt.arch, arch)));
+    }
+    if ckpt.weight_version != weight_version {
+        // Compute banked under one weight set must never complete under
+        // another: a rolled or half-upgraded target refuses the resume
+        // typed and the caller re-pays the suffix from scratch.
+        return Err(reject(format!(
+            "weight version {} != target {}",
+            ckpt.weight_version, weight_version
+        )));
     }
     if ckpt.integrity != integrity {
         return Err(reject("integrity level differs from the target lowering".into()));
@@ -872,7 +919,16 @@ fn validate_checkpoint(
                 phases.len()
             )));
         };
-        if r.label != p.label || r.bytes != p.bytes || r.crc != PlanCheckpoint::stripe_crc(p) {
+        if r.version != ckpt.weight_version {
+            return Err(reject(format!(
+                "resident stripe {} pinned at weight version {}, checkpoint cut at {}",
+                r.label, r.version, ckpt.weight_version
+            )));
+        }
+        if r.label != p.label
+            || r.bytes != p.bytes
+            || r.crc != PlanCheckpoint::stripe_crc(p, weight_version)
+        {
             return Err(reject(format!(
                 "stale CRC on resident stripe {} (phase {})",
                 r.label, r.phase
@@ -944,6 +1000,31 @@ pub struct PlanCost {
     pub compute_stall_s: f64,
     /// The analytic span schedule (`load-{e}` / `compute` units).
     pub timeline: Timeline,
+    /// Per phase, when its `LoadStripe` retires (0 for phases with no load
+    /// in this plan: resume prefixes and trusted residents).
+    pub phase_load_end_s: Vec<f64>,
+    /// Per phase, when the *batch's last* compute retires (0 for phases
+    /// before a resume cut).
+    pub phase_compute_end_s: Vec<f64>,
+}
+
+impl PlanCost {
+    /// The barrier frontier at `elapsed_s` into the priced schedule:
+    /// `(completed_phases, loaded_phases)` exactly as a
+    /// [`PlanCheckpoint`] wants them. A phase counts completed once its
+    /// whole batch of computes retired, loaded once its stripe retired;
+    /// the load frontier never trails the compute frontier (a computed
+    /// phase's weights were necessarily resident). This is how a node
+    /// fail-stop at an arbitrary virtual time cuts a checkpoint from a
+    /// run that was never going to fail on its own (DESIGN.md §14).
+    pub fn frontier_at(&self, elapsed_s: f64) -> (usize, usize) {
+        let eps = 1e-12;
+        let completed =
+            self.phase_compute_end_s.iter().filter(|&&t| t > 0.0 && t <= elapsed_s + eps).count();
+        let loaded =
+            self.phase_load_end_s.iter().filter(|&&t| t > 0.0 && t <= elapsed_s + eps).count();
+        (completed, loaded.max(completed))
+    }
 }
 
 /// The analytic cost walker: price an [`ExecPlan`] with the closed-form
@@ -1013,6 +1094,8 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
         compute_total_s: tl.busy_time("compute"),
         compute_stall_s: tl.stall_time("compute"),
         timeline: tl,
+        phase_load_end_s: load_end,
+        phase_compute_end_s: compute_end,
     }
 }
 
@@ -1307,6 +1390,94 @@ mod tests {
         assert_eq!(warm.counts().loads, cold.counts().loads - 4);
         assert_eq!(warm.counts().verifies, cold.counts().verifies - 4);
         assert_eq!(warm.counts().computes, cold.counts().computes);
+    }
+
+    #[test]
+    fn resume_on_a_different_weight_version_is_rejected_typed() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A2, 8, 2, IntegrityLevel::Off).unwrap();
+        assert_eq!(full.weight_version, 0);
+        let ckpt = PlanCheckpoint::at(&full, 4, 5, &[], 1.0e-3);
+        assert_eq!(ckpt.weight_version, 0);
+        // The same device after a weight reflash: the banked prefix was
+        // computed under v0 weights and must not complete under v1.
+        let mut flashed = cfg.clone();
+        flashed.weight_version = 1;
+        let err = ExecPlan::resume(&flashed, &ckpt, true).unwrap_err();
+        match err {
+            AccelError::CheckpointRejected { reason } => {
+                assert!(reason.contains("weight version"), "{}", reason)
+            }
+            other => panic!("expected CheckpointRejected, got {}", other),
+        }
+        // Identical version resumes fine.
+        assert!(ExecPlan::resume(&cfg, &ckpt, true).is_ok());
+    }
+
+    #[test]
+    fn version_stale_resident_stripes_reload_with_typed_accounting() {
+        let cfg = unpadded(8);
+        let cold = ExecPlan::lower(&cfg, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let pinned = cold.pinned_stripes(3);
+        let mut flashed = cfg.clone();
+        flashed.weight_version = 2;
+        // Stripes pinned under v0 offered to a v2 lowering: every elision
+        // is refused and the refusal is typed as a version stale, not a
+        // generic CRC mismatch.
+        let warm = PlanBuilder::new(&flashed, Architecture::A2)
+            .utterances(&[8])
+            .reuse_resident(&pinned)
+            .build()
+            .unwrap();
+        let reuse = warm.reuse.unwrap();
+        assert_eq!(reuse.offered, 3);
+        assert_eq!(reuse.elided_loads, 0);
+        assert_eq!(reuse.stale, 3);
+        assert_eq!(reuse.stale_version, 3);
+        for i in 0..3 {
+            assert!(warm.load_of(i).is_some(), "phase {} must re-fetch v2 weights", i);
+        }
+        // Same-version stripes still elide, and the plan tags its loads.
+        let v2 = warm.pinned_stripes(3);
+        let rewarm = PlanBuilder::new(&flashed, Architecture::A2)
+            .utterances(&[8])
+            .reuse_resident(&v2)
+            .build()
+            .unwrap();
+        assert_eq!(rewarm.reuse.unwrap().elided_loads, 3);
+        assert_eq!(rewarm.reuse.unwrap().stale_version, 0);
+        for n in &rewarm.nodes {
+            if let PlanCmd::LoadStripe { version, .. } = n.cmd {
+                assert_eq!(version, 2, "every load carries the lowering's weight version");
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_at_walks_the_analytic_barrier_schedule() {
+        let cfg = unpadded(8);
+        let plan = ExecPlan::lower(&cfg, Architecture::A3, 8, 2, IntegrityLevel::Off).unwrap();
+        let cost = walk_cost(&cfg, &plan);
+        assert_eq!(cost.phase_compute_end_s.len(), plan.phases.len());
+        // Before anything retires: empty frontier. After the makespan: full.
+        assert_eq!(cost.frontier_at(0.0), (0, 0));
+        let (done, loaded) = cost.frontier_at(cost.latency_s + 1e-9);
+        assert_eq!(done, plan.phases.len());
+        assert_eq!(loaded, plan.phases.len());
+        // Mid-run the frontier is monotone and loads never trail computes.
+        let mut prev = (0usize, 0usize);
+        for k in 1..=20 {
+            let t = cost.latency_s * (k as f64) / 20.0;
+            let (c, l) = cost.frontier_at(t);
+            assert!(c >= prev.0 && l >= prev.1, "monotone");
+            assert!(l >= c, "loads never trail computes");
+            // A frontier cut at this instant must be a valid checkpoint.
+            if c > 0 && c < plan.phases.len() {
+                let ck = PlanCheckpoint::at(&plan, c, l, &[], t);
+                assert!(ExecPlan::resume(&cfg, &ck, false).is_ok(), "cut at {} resumes", t);
+            }
+            prev = (c, l);
+        }
     }
 
     #[test]

@@ -26,6 +26,15 @@
 //! * **Drain / shutdown** — [`ServePool::drain`] completes all in-flight and
 //!   queued work; with a shutdown grace window, requests that would only
 //!   start after `last arrival + grace` are dropped and reported.
+//! * **Cluster hooks** — a pool is one *fault domain* of the
+//!   [`crate::cluster`] tier: [`ServePool::run_until`] co-simulates it with
+//!   its siblings, [`ServePool::begin_drain`]/[`ServePool::end_drain`] park
+//!   it for a rolling weight upgrade, [`ServePool::set_weight_version`]
+//!   reflashes it (idle-only — a version can never change under an
+//!   in-flight batch), [`ServePool::fail_stop`] kills the whole node and
+//!   hands the survivors' work out as [`Evicted`] requests, and
+//!   [`ServePool::adopt`] takes another node's evictees in — checkpoints
+//!   riding along, resident-stripe trust refused cross-device as always.
 //!
 //! Everything runs in *virtual* time — arrivals at `i / rps`, service times
 //! from the deterministic runtime simulation — so the same configuration
@@ -44,7 +53,7 @@ use crate::host_runtime::{
     resume_batch, run_batch_through_runtime, run_batch_with_recovery, RecoveryPolicy,
 };
 use crate::integrity::CorruptionCounters;
-use crate::plan::PlanCheckpoint;
+use crate::plan::{walk_cost, ExecPlan, PlanCheckpoint};
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 
@@ -288,6 +297,10 @@ pub enum RequestOutcome {
         /// loads and scrubs each stripe once per batch, so the counters are
         /// shared by every utterance riding in it).
         corruption: CorruptionCounters,
+        /// Weight-set version the serving dispatch ran under. Members of
+        /// one dispatch always share it — flashing is idle-only — and the
+        /// cluster proptests audit exactly that.
+        version: u64,
     },
     /// Shed at admission (bounded queue full).
     Shed,
@@ -406,6 +419,14 @@ pub struct ServeReport {
     pub skipped_load_bytes: u64,
     /// Banked attempt-seconds successful resumes did not re-execute.
     pub skipped_compute_s: f64,
+    /// Weight-set version the pool's cards ended on.
+    pub weight_version: u64,
+    /// Checkpoint rejects caused specifically by a weight-version mismatch
+    /// (subset of `checkpoint_rejects`).
+    pub version_rejects: usize,
+    /// Requests forced out by [`ServePool::fail_stop`] for another node to
+    /// adopt (they are not losses — the adopting pool records their fate).
+    pub evicted: usize,
 }
 
 impl ServeReport {
@@ -458,6 +479,15 @@ impl ServeReport {
             "checkpoint resume    : {} resumed, {} rejected",
             self.resumed_dispatches, self.checkpoint_rejects
         ));
+        if self.version_rejects > 0 {
+            line(format!(
+                "version rejects      : {} (cross-version resume refused, v{})",
+                self.version_rejects, self.weight_version
+            ));
+        }
+        if self.evicted > 0 {
+            line(format!("evicted (fail-stop)  : {}", self.evicted));
+        }
         line(format!(
             "replayed work        : {:.3} ms compute, {} load bytes",
             self.replayed_compute_s * 1e3,
@@ -544,6 +574,23 @@ struct Request {
     ckpt: Option<Rc<PlanCheckpoint>>,
 }
 
+/// A request forced out of a fail-stopped pool ([`ServePool::fail_stop`])
+/// with everything another node needs to pick it up: the original arrival
+/// (its deadline does not reset just because its node died), the attempts
+/// already spent, and any barrier-granular checkpoint of the banked work.
+/// A whole dispatch's evictees share one `Rc` so the adopting pool's
+/// dispatcher re-assembles the failover group by pointer identity, exactly
+/// like an intra-pool checkpointed failover.
+#[derive(Debug, Clone)]
+pub struct Evicted {
+    /// Original arrival time (global virtual seconds).
+    pub arrival_s: f64,
+    /// Attempts already spent on the dead node.
+    pub attempts: u32,
+    /// The banked frontier riding with this request, if any.
+    pub ckpt: Option<Rc<PlanCheckpoint>>,
+}
+
 /// How one member of an in-flight batch will leave the card.
 #[derive(Debug, Clone, Copy, PartialEq)]
 enum MemberEnd {
@@ -625,6 +672,14 @@ pub struct ServePool {
     records: Vec<(usize, RequestRecord)>,
     last_finish_s: f64,
     draining: bool,
+    /// Fail-stopped: the node died; the pool refuses all further work.
+    dead: bool,
+    /// Requests forced out by [`ServePool::fail_stop`].
+    evicted: usize,
+    /// Checkpoint rejects caused specifically by a weight-version mismatch
+    /// (a subset of `checkpoint_rejects`) — the typed cross-version refusal
+    /// rolling upgrades rely on.
+    version_rejects: usize,
     /// Failover dispatches that resumed from a checkpointed suffix.
     resumed_dispatches: usize,
     /// Checkpoints rejected at validation; each fell back to a full restart.
@@ -715,6 +770,9 @@ impl ServePool {
             records: Vec::new(),
             last_finish_s: 0.0,
             draining: false,
+            dead: false,
+            evicted: 0,
+            version_rejects: 0,
             resumed_dispatches: 0,
             checkpoint_rejects: 0,
             replayed_load_bytes: 0,
@@ -748,6 +806,9 @@ impl ServePool {
     /// calls). Returns the typed [`AccelError::Overloaded`] when the request
     /// is shed at admission; the shed is also counted in the report.
     pub fn submit(&mut self, arrival_s: f64) -> Result<()> {
+        if self.dead {
+            return Err(AccelError::Config("pool is fail-stopped".into()));
+        }
         self.advance_to(arrival_s);
         let id = self.submitted;
         self.submitted += 1;
@@ -786,14 +847,250 @@ impl ServePool {
     /// dropped and reported, in-flight work always completes or is cancelled
     /// at its deadline — never abandoned mid-run.
     pub fn drain(mut self) -> ServeReport {
-        self.draining = true;
-        self.dispatch();
-        while !self.queue.is_empty() || self.devices.iter().any(|d| d.in_flight.is_some()) {
+        self.begin_drain();
+        while !self.is_idle() {
             let next = self.next_event_time();
             let t = next.expect("a drainable pool always has a next event");
             self.advance_to(t);
         }
         self.into_report()
+    }
+
+    // ---- cluster hooks ----
+    //
+    // A cluster router co-simulates several pools in one global virtual
+    // time: it peeks each pool's `next_event_s`, advances every pool to the
+    // earliest global event with `run_until`, and uses the drain/version/
+    // fail-stop hooks below to express node-granular lifecycle (rolling
+    // upgrades, node death, correlated fault injection) without duplicating
+    // the event loop.
+
+    /// Stop accepting the linger optimisation and start the shutdown grace
+    /// window: the borrowed half of [`ServePool::drain`], for callers that
+    /// need the pool back afterwards (rolling upgrades drain, flash, then
+    /// serve again via [`ServePool::end_drain`]).
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+        self.dispatch();
+    }
+
+    /// Leave draining mode (the node rejoins service after a flash).
+    pub fn end_drain(&mut self) {
+        self.draining = false;
+        self.dispatch();
+    }
+
+    /// No queued work and no card busy.
+    pub fn is_idle(&self) -> bool {
+        self.queue.is_empty() && self.devices.iter().all(|d| d.in_flight.is_none())
+    }
+
+    /// Whether [`ServePool::fail_stop`] has killed this pool.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Current virtual time, seconds.
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Queued (not yet dispatched) requests.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Requests currently on a card.
+    pub fn in_flight(&self) -> usize {
+        self.devices.iter().filter_map(|d| d.in_flight.as_ref()).map(|f| f.members.len()).sum()
+    }
+
+    /// Requests submitted so far (shed included).
+    pub fn submitted(&self) -> usize {
+        self.submitted
+    }
+
+    /// Earliest strictly-future internal event, for a co-simulating router.
+    pub fn next_event_s(&self) -> Option<f64> {
+        if self.dead {
+            return None;
+        }
+        self.next_event_time()
+    }
+
+    /// Process every internal event up to and including `target`, then move
+    /// the clock there. Public face of the virtual-time machinery for
+    /// co-simulation; a dead pool just moves its clock.
+    pub fn run_until(&mut self, target: f64) {
+        if self.dead {
+            self.now_s = self.now_s.max(target);
+            return;
+        }
+        self.advance_to(target);
+    }
+
+    /// The weight-set version the pool's cards are flashed to.
+    pub fn weight_version(&self) -> u64 {
+        self.cfg.accel.weight_version
+    }
+
+    /// Flash every card to weight version `v`. Only an idle, drained pool
+    /// may be flashed — in-flight or queued work pins the old version, which
+    /// is exactly the invariant that keeps any single dispatched batch on
+    /// one weight version. Clears the memoised dispatch outcomes (their
+    /// banked checkpoints are tagged with the old version).
+    pub fn set_weight_version(&mut self, v: u64) -> Result<()> {
+        if self.dead {
+            return Err(AccelError::Config("pool is fail-stopped".into()));
+        }
+        if !self.is_idle() {
+            return Err(AccelError::Config(format!(
+                "cannot flash weight version {} with {} queued and {} in flight",
+                v,
+                self.queue.len(),
+                self.in_flight()
+            )));
+        }
+        self.cfg.accel.weight_version = v;
+        for d in &mut self.devices {
+            d.outcomes.clear();
+        }
+        Ok(())
+    }
+
+    /// Final breaker state and lifetime open count per card.
+    pub fn breaker_summary(&self) -> Vec<(BreakerState, u32)> {
+        self.devices.iter().map(|d| (d.breaker.state, d.breaker.opens)).collect()
+    }
+
+    /// Merge extra fault plans (one per card) into the pool — the node-wide
+    /// correlated-burst injection point. Future dispatches see the merged
+    /// plan; the memoised outcomes are cleared so they do.
+    pub fn inject_faults(&mut self, extra: &[FaultPlan]) -> Result<()> {
+        if extra.len() != self.devices.len() {
+            return Err(AccelError::Config(format!(
+                "fault injection needs one plan per card: {} plans for {} cards",
+                extra.len(),
+                self.devices.len()
+            )));
+        }
+        for (d, plan) in self.devices.iter_mut().zip(extra) {
+            d.plan = d.plan.clone().merged(plan);
+            d.outcomes.clear();
+        }
+        Ok(())
+    }
+
+    /// Kill the node at the current virtual time. Utterances whose last
+    /// kernel already landed still count as completed (their results left
+    /// the cards before the power went); everything else — queued work and
+    /// unfinished in-flight members — is evicted with its original arrival
+    /// time, spent attempts, and (when checkpointing is on) a
+    /// barrier-granular cut of the banked work, for a surviving node to
+    /// [`ServePool::adopt`]. The pool refuses all work afterwards.
+    pub fn fail_stop(&mut self) -> Vec<Evicted> {
+        let now = self.now_s;
+        self.dead = true;
+        self.draining = true;
+        let mut out: Vec<Evicted> = Vec::new();
+        for i in 0..self.devices.len() {
+            let Some(fl) = self.devices[i].in_flight.take() else { continue };
+            self.devices[i].busy_s += (now - fl.started_s).max(0.0);
+            let batch = fl.members.len();
+            let device = self.devices[i].id;
+            // Finished prefix: members whose final kernel retired at or
+            // before the kill instant are served, not lost.
+            let mut finished_local: Vec<f64> = Vec::new();
+            let mut unfinished: Vec<Request> = Vec::new();
+            for (r, t, end) in fl.members {
+                match end {
+                    MemberEnd::Success { service_s } if t <= now + 1e-15 => {
+                        finished_local.push(service_s);
+                        self.devices[i].completed += 1;
+                        self.finish_request(
+                            r.clone(),
+                            RequestOutcome::Completed {
+                                device,
+                                latency_s: t - r.arrival_s,
+                                service_s,
+                                batch,
+                                corruption: fl.run_corruption,
+                                version: self.cfg.accel.weight_version,
+                            },
+                        );
+                    }
+                    _ => unfinished.push(r),
+                }
+            }
+            if unfinished.is_empty() {
+                continue;
+            }
+            // Cut the banked frontier at the kill instant. A member already
+            // carrying a checkpoint keeps it (a resumed suffix's absolute
+            // frontier is at least that cut); fresh members share one new
+            // cut over the analytic barrier schedule.
+            let group_ckpt: Option<Rc<PlanCheckpoint>> = if self.cfg.checkpoint
+                && unfinished.iter().any(|r| r.ckpt.is_none())
+            {
+                let s = self.cfg.accel.max_seq_len;
+                ExecPlan::lower(&self.cfg.accel, self.cfg.arch, s, batch, self.cfg.accel.integrity)
+                    .ok()
+                    .and_then(|plan| {
+                        let cost = walk_cost(&self.cfg.accel, &plan);
+                        let (completed, loaded) = cost.frontier_at(now - fl.started_s);
+                        let ck = PlanCheckpoint::at(
+                            &plan,
+                            completed,
+                            loaded,
+                            &finished_local,
+                            now - fl.started_s,
+                        );
+                        ck.work_remains().then(|| Rc::new(ck))
+                    })
+            } else {
+                None
+            };
+            for r in unfinished {
+                let ckpt = r.ckpt.clone().or_else(|| group_ckpt.clone());
+                self.evicted += 1;
+                out.push(Evicted { arrival_s: r.arrival_s, attempts: r.attempts, ckpt });
+            }
+        }
+        for r in std::mem::take(&mut self.queue) {
+            self.evicted += 1;
+            out.push(Evicted { arrival_s: r.arrival_s, attempts: r.attempts, ckpt: r.ckpt });
+        }
+        out
+    }
+
+    /// Take over requests evicted from a dead node. Each adopted request
+    /// keeps its original arrival time (its deadline does not reset because
+    /// its node died) and its checkpoint `Rc` (group identity survives the
+    /// handoff, so a whole evicted dispatch resumes together). Adoption
+    /// respects the bounded queue: overflow is shed typed, like admission.
+    pub fn adopt(&mut self, evicted: Vec<Evicted>) -> Result<()> {
+        if self.dead {
+            return Err(AccelError::Config("pool is fail-stopped".into()));
+        }
+        for e in evicted {
+            let id = self.submitted;
+            self.submitted += 1;
+            let r = Request {
+                id,
+                arrival_s: e.arrival_s,
+                attempts: e.attempts,
+                failed_over: false,
+                exclude: None,
+                ckpt: e.ckpt,
+            };
+            if self.queue.len() >= self.cfg.queue_capacity {
+                self.finish_request(r, RequestOutcome::Shed);
+                continue;
+            }
+            self.queue.push_back(r);
+        }
+        self.dispatch();
+        Ok(())
     }
 
     /// Run the configured workload end to end: `requests` arrivals at
@@ -908,6 +1205,7 @@ impl ServePool {
                                 service_s,
                                 batch,
                                 corruption: fl.run_corruption,
+                                version: self.cfg.accel.weight_version,
                             },
                         );
                     }
@@ -1260,6 +1558,17 @@ impl ServePool {
     /// rejected typed and the dispatch falls back to a clean full restart,
     /// re-paying the banked work.
     fn resumed_outcome(&mut self, device: usize, ck: &PlanCheckpoint) -> BatchOutcome {
+        // Cross-version refusal, typed and counted separately: a checkpoint
+        // cut under one weight set never completes under another (plan
+        // validation would reject it too; gating here types the counter the
+        // rolling-upgrade invariant is audited by).
+        if ck.weight_version != self.cfg.accel.weight_version {
+            self.version_rejects += 1;
+            self.checkpoint_rejects += 1;
+            self.replayed_load_bytes += ck.loaded_bytes();
+            self.replayed_compute_s += ck.captured_at_s;
+            return self.device_outcome(device, ck.remaining_lens().len());
+        }
         match resume_batch(
             &self.cfg.accel,
             ck,
@@ -1324,7 +1633,7 @@ impl ServePool {
         ));
     }
 
-    fn into_report(mut self) -> ServeReport {
+    pub(crate) fn into_report(mut self) -> ServeReport {
         self.records.sort_by_key(|(id, _)| *id);
         let records: Vec<RequestRecord> = self.records.into_iter().map(|(_, r)| r).collect();
         let count = |f: &dyn Fn(&RequestRecord) -> bool| records.iter().filter(|r| f(r)).count();
@@ -1404,6 +1713,9 @@ impl ServePool {
             replayed_compute_s: self.replayed_compute_s,
             skipped_load_bytes: self.skipped_load_bytes,
             skipped_compute_s: self.skipped_compute_s,
+            weight_version: self.cfg.accel.weight_version,
+            version_rejects: self.version_rejects,
+            evicted: self.evicted,
         }
     }
 }
@@ -1960,5 +2272,133 @@ mod tests {
             let broken: Vec<usize> = (0..4).filter(|&i| !plans[i].is_empty()).collect();
             assert_eq!(broken, vec![(seed as usize) % 4], "seed {}", seed);
         }
+    }
+
+    #[test]
+    fn drain_completes_an_in_flight_checkpointed_failover() {
+        // Device 0 dies mid-plan, so its dispatch banks a checkpoint and
+        // the members fail over. The drain is started while the *resumed*
+        // dispatch is still on device 1 — the drain loop must carry it to
+        // completion, not strand or restart it.
+        let mut c = cfg(2, 0, 20.0, 0.5);
+        c.requests = 4;
+        c.checkpoint = true;
+        let bad = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWD4".into(), failing_attempts: u32::MAX });
+        let mut pool = ServePool::with_plans(c, vec![bad, FaultPlan::none()]).unwrap();
+        for i in 0..4usize {
+            let _ = pool.submit(i as f64 / 20.0);
+        }
+        let mut t = 0.0;
+        while !(pool.resumed_dispatches > 0 && pool.in_flight() > 0) {
+            t += 1e-3;
+            assert!(t < 10.0, "a checkpointed failover must go in flight");
+            pool.run_until(t);
+        }
+        let report = pool.drain();
+        assert!(report.resumed_dispatches > 0);
+        assert_eq!(report.checkpoint_rejects, 0);
+        assert_eq!(report.completed, report.submitted, "drain must finish the resumed suffix");
+    }
+
+    #[test]
+    fn breaker_half_open_retrip_during_drain_ends_open() {
+        // Device 0 hard-fails every dispatch; a short cooldown lets its
+        // breaker probe half-open while the drain backlog is still live.
+        // The probe fails, the breaker re-trips, and the drain completes on
+        // the clean card: final state Open with at least two opens.
+        let mut c = cfg(2, 0, 400.0, 1.0);
+        c.requests = 20;
+        c.breaker = BreakerConfig { failure_threshold: 2, cooldown_s: 0.02 };
+        let bad = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LWE1".into(), failing_attempts: u32::MAX });
+        let mut pool = ServePool::with_plans(c, vec![bad, FaultPlan::none()]).unwrap();
+        for i in 0..20usize {
+            let _ = pool.submit(i as f64 / 400.0);
+        }
+        let report = pool.drain();
+        let bad_card = &report.per_device[0];
+        assert!(
+            bad_card.breaker_opens >= 2,
+            "cooldown must expire mid-drain and the probe re-trip: {} opens",
+            bad_card.breaker_opens
+        );
+        assert_eq!(bad_card.breaker_final, BreakerState::Open);
+        assert_eq!(report.failed + report.deadline_missed + report.completed, report.submitted);
+        assert!(report.completed > 0, "the clean card must carry the drain");
+    }
+
+    #[test]
+    fn fail_stop_evicts_unfinished_work_and_adoption_loses_nothing() {
+        // Kill node A mid-backlog; node B adopts the evictees. Utterances
+        // that finished on A before the kill stay completed on A; every
+        // evicted request is served by B — zero losses across the pair.
+        let mut ca = cfg(1, 0, 100.0, 2.0);
+        ca.checkpoint = true;
+        let mut a = ServePool::new(ca).unwrap();
+        for i in 0..8usize {
+            let _ = a.submit(i as f64 / 100.0);
+        }
+        a.run_until(0.03);
+        let evicted = a.fail_stop();
+        assert!(a.is_dead());
+        assert!(!evicted.is_empty(), "a mid-backlog kill must evict something");
+        assert!(a.submit(1.0).is_err(), "a dead pool refuses work");
+        let ra = {
+            let a_evicted = evicted.len();
+            let r = a.into_report();
+            assert_eq!(r.evicted, a_evicted);
+            r
+        };
+        let mut b = ServePool::new(cfg(1, 0, 100.0, 2.0)).unwrap();
+        b.run_until(0.03);
+        b.adopt(evicted).unwrap();
+        let rb = b.drain();
+        assert_eq!(
+            ra.completed + rb.completed,
+            ra.submitted,
+            "every utterance is either finished on the dead node or served by the adopter"
+        );
+        for rec in &rb.records {
+            assert!(
+                matches!(rec.outcome, RequestOutcome::Completed { .. }),
+                "adopted request lost: {:?}",
+                rec.outcome
+            );
+        }
+    }
+
+    #[test]
+    fn weight_version_flash_is_idle_only_and_cross_version_resume_is_refused() {
+        let mut c = cfg(1, 0, 50.0, 0.5);
+        c.checkpoint = true;
+        let mut pool = ServePool::new(c.clone()).unwrap();
+        pool.submit(0.0).unwrap();
+        assert!(
+            pool.set_weight_version(1).is_err(),
+            "an in-flight dispatch pins the current version"
+        );
+        while !pool.is_idle() {
+            let t = pool.next_event_s().expect("busy pool has a next event");
+            pool.run_until(t);
+        }
+        pool.set_weight_version(1).unwrap();
+        assert_eq!(pool.weight_version(), 1);
+        // A checkpoint cut under v0 arrives via adoption: the resume is
+        // refused typed (version_rejects) and the request is served by a
+        // clean full restart under v1.
+        let v0 = AccelConfig::paper_default();
+        let plan = ExecPlan::lower(&v0, c.arch, v0.max_seq_len, 1, v0.integrity).unwrap();
+        let cost = walk_cost(&v0, &plan);
+        let (completed, loaded) = cost.frontier_at(cost.latency_s * 0.5);
+        let ck = PlanCheckpoint::at(&plan, completed, loaded, &[], cost.latency_s * 0.5);
+        assert!(ck.work_remains());
+        let now = pool.now_s();
+        pool.adopt(vec![Evicted { arrival_s: now, attempts: 1, ckpt: Some(Rc::new(ck)) }]).unwrap();
+        let report = pool.drain();
+        assert_eq!(report.version_rejects, 1, "cross-version resume must be refused typed");
+        assert_eq!(report.checkpoint_rejects, 1);
+        assert_eq!(report.completed, report.submitted, "the refusal downgrades, not drops");
+        assert!(report.render().contains("version rejects"));
     }
 }

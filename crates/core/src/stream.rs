@@ -188,8 +188,10 @@ impl StreamConfig {
 
 /// Deterministic arrival jitter in `[0, max_s)` — splitmix64 over the
 /// (seed, stream, chunk) triple, so the same configuration reproduces the
-/// same arrival pattern bit-for-bit.
-fn jitter(seed: u64, stream: usize, chunk: usize, max_s: f64) -> f64 {
+/// same arrival pattern bit-for-bit. Shared with [`crate::cluster`]'s
+/// traffic traces and rendezvous router, which need the same property:
+/// seeded, hash-quality, allocation-free determinism.
+pub(crate) fn jitter(seed: u64, stream: usize, chunk: usize, max_s: f64) -> f64 {
     if max_s <= 0.0 {
         return 0.0;
     }

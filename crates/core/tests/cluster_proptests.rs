@@ -1,0 +1,262 @@
+//! Property tests for cluster-scale serving (DESIGN.md §14): zero lost
+//! finished utterances for a node kill at ANY virtual time — including
+//! mid-rolling-upgrade — a pre-kill completion prefix bit-identical to the
+//! fault-free run, no dispatched batch ever mixing weight versions, typed
+//! (never silent) cross-version checkpoint refusal, and rollouts that
+//! either complete or roll back cleanly.
+#![recursion_limit = "1024"]
+
+use asr_accel::cluster::{
+    Cluster, ClusterConfig, NodeFault, TrafficTrace, UpgradeConfig, UpgradeOutcome,
+};
+use asr_accel::serve::RequestOutcome;
+use proptest::prelude::*;
+
+/// Completions per (node, card): `(dispatch_start_bits, request_id, version)`.
+type PerCard = std::collections::BTreeMap<(usize, String), Vec<(u64, u64, u64)>>;
+
+/// Case count: `PROPTEST_CASES` when set (the CI deep-proptest job exports
+/// 512), else the tier-1 default. The vendored proptest does not read the
+/// environment itself, so the config expression does.
+fn env_cases(default: u32) -> ProptestConfig {
+    let cases =
+        std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(default);
+    ProptestConfig::with_cases(cases)
+}
+
+fn base(nodes: usize, rps: f64, seed: u64) -> ClusterConfig {
+    let mut c = ClusterConfig::new(nodes, 1, rps, 0.5);
+    c.requests = 150;
+    c.seed = seed;
+    c
+}
+
+fn trace(pick: usize) -> TrafficTrace {
+    match pick % 3 {
+        0 => TrafficTrace::Steady,
+        1 => TrafficTrace::Diurnal,
+        _ => TrafficTrace::Bursty,
+    }
+}
+
+/// Completion stamps of the run, `(finish_bits, arrival_bits)`, sorted —
+/// the bit-exact shape of the served workload.
+fn completions(r: &asr_accel::cluster::ClusterReport) -> Vec<(u64, u64)> {
+    let mut v: Vec<(u64, u64)> = r
+        .records
+        .iter()
+        .filter_map(|(_, rec)| match rec.outcome {
+            RequestOutcome::Completed { latency_s, .. } => {
+                Some(((rec.arrival_s + latency_s).to_bits(), rec.arrival_s.to_bits()))
+            }
+            _ => None,
+        })
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+proptest! {
+    #![proptest_config(env_cases(8))]
+
+    // The headline invariant: kill ANY single node at ANY virtual time —
+    // with survivors present — and no request vanishes: everything offered
+    // ends in exactly one typed terminal record, and every completion that
+    // settled before the kill is bit-identical to the fault-free run (a
+    // later fault cannot rewrite served history).
+    #[test]
+    fn any_time_node_kill_loses_nothing_and_keeps_the_finished_prefix(
+        seed in 0u64..512,
+        victim in 0usize..3,
+        kill_ms in 10u64..2500,
+        trace_pick in 0usize..3,
+    ) {
+        let at_s = kill_ms as f64 / 1e3;
+        let mut clean_cfg = base(3, 70.0, seed);
+        clean_cfg.trace = trace(trace_pick);
+        let mut kill_cfg = clean_cfg.clone();
+        kill_cfg.faults = vec![NodeFault::Kill { node: victim, at_s }];
+        let clean = Cluster::run(clean_cfg).unwrap();
+        let killed = Cluster::run(kill_cfg).unwrap();
+        prop_assert_eq!(killed.lost, 0, "a kill with survivors must lose nothing");
+        prop_assert_eq!(
+            killed.completed + killed.shed + killed.deadline_missed + killed.failed
+                + killed.dropped,
+            killed.offered,
+            "every offered request needs exactly one terminal record"
+        );
+        let cut = at_s.to_bits();
+        let pre = |v: &[(u64, u64)]| {
+            v.iter().copied().filter(|(f, _)| *f <= cut).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(
+            pre(&completions(&clean)),
+            pre(&completions(&killed)),
+            "completions settled before the kill must be bit-identical to the clean run"
+        );
+    }
+
+    // Same invariant under maximum churn: the kill lands while a rolling
+    // upgrade is in flight. The upgrade must still settle one way or the
+    // other (completed or rolled back), and nothing is lost.
+    #[test]
+    fn node_kill_mid_rolling_upgrade_loses_nothing_and_settles(
+        seed in 0u64..512,
+        victim in 0usize..3,
+        kill_ms in 100u64..2200,
+        upgrade_at_ms in 50u64..1500,
+    ) {
+        let mut cfg = base(3, 70.0, seed);
+        cfg.requests = 200;
+        cfg.upgrade = Some(UpgradeConfig::new(2, upgrade_at_ms as f64 / 1e3));
+        cfg.faults = vec![NodeFault::Kill { node: victim, at_s: kill_ms as f64 / 1e3 }];
+        let r = Cluster::run(cfg).unwrap();
+        prop_assert_eq!(r.lost, 0, "mid-upgrade kill must lose nothing");
+        prop_assert!(
+            matches!(r.upgrade, UpgradeOutcome::Completed | UpgradeOutcome::RolledBack),
+            "the rollout must settle, got {:?}", r.upgrade
+        );
+        if r.upgrade == UpgradeOutcome::Completed {
+            prop_assert!(
+                r.per_node.iter().filter(|n| !n.killed).all(|n| n.version == 2),
+                "a completed rollout leaves every live node on the target version"
+            );
+        }
+        prop_assert_eq!(
+            r.completed + r.shed + r.deadline_missed + r.failed + r.dropped,
+            r.offered
+        );
+    }
+
+    // Identical configuration, identical report — the cluster inherits the
+    // pools' determinism even through routing, faults, and upgrades.
+    #[test]
+    fn same_seed_reproduces_the_identical_cluster_run(
+        seed in 0u64..512,
+        nodes in 2usize..5,
+        trace_pick in 0usize..3,
+        kill_pick in 0usize..2,
+    ) {
+        let mut cfg = base(nodes, 60.0, seed);
+        cfg.trace = trace(trace_pick);
+        if kill_pick == 1 {
+            cfg.faults = vec![NodeFault::Kill { node: seed as usize % nodes, at_s: 0.9 }];
+        }
+        let a = Cluster::run(cfg.clone()).unwrap();
+        let b = Cluster::run(cfg).unwrap();
+        prop_assert_eq!(a.completed, b.completed);
+        prop_assert_eq!(a.lost, b.lost);
+        prop_assert_eq!(a.hedged, b.hedged);
+        prop_assert_eq!(a.handoffs, b.handoffs);
+        prop_assert_eq!(a.wall_s.to_bits(), b.wall_s.to_bits());
+        prop_assert_eq!(completions(&a), completions(&b));
+    }
+
+    // The no-mixed-versions pin: per (node, card), order completions by
+    // dispatch start. Members of one batch share a start, so a batch that
+    // mixed weight versions would show as an interleave at one timestamp;
+    // monotone non-decreasing versions with at most one switch per card
+    // proves every dispatch ran homogeneous.
+    #[test]
+    fn no_dispatched_batch_ever_mixes_weight_versions(
+        seed in 0u64..512,
+        upgrade_at_ms in 50u64..1200,
+        kill_pick in 0usize..2,
+        kill_ms in 200u64..2000,
+    ) {
+        let mut cfg = base(3, 80.0, seed);
+        cfg.requests = 200;
+        cfg.serve.batch.max_batch = 4;
+        cfg.upgrade = Some(UpgradeConfig::new(2, upgrade_at_ms as f64 / 1e3));
+        if kill_pick == 1 {
+            cfg.faults = vec![NodeFault::Kill { node: 0, at_s: kill_ms as f64 / 1e3 }];
+        }
+        let r = Cluster::run(cfg).unwrap();
+        prop_assert_eq!(r.lost, 0);
+        let mut by_card: PerCard = Default::default();
+        for (node, rec) in &r.records {
+            if let RequestOutcome::Completed { latency_s, service_s, device, version, .. } =
+                &rec.outcome
+            {
+                let start = (rec.arrival_s + latency_s - service_s).to_bits();
+                by_card
+                    .entry((*node, device.to_string()))
+                    .or_default()
+                    .push((start, rec.id as u64, *version));
+            }
+        }
+        for ((node, dev), mut v) in by_card {
+            v.sort_unstable();
+            // Same dispatch start => same batch => the version must match.
+            for w in v.windows(2) {
+                if w[0].0 == w[1].0 {
+                    prop_assert_eq!(
+                        w[0].2, w[1].2,
+                        "node {} card {} dispatched a mixed-version batch", node, dev
+                    );
+                }
+            }
+            let versions: Vec<u64> = v.iter().map(|(_, _, ver)| *ver).collect();
+            prop_assert!(
+                versions.windows(2).all(|w| w[0] <= w[1]),
+                "node {} card {} served versions non-monotonically: {:?} (flash is idle-only)",
+                node, dev, versions
+            );
+        }
+    }
+
+    // Cross-version failover is a typed downgrade, never silent reuse: a
+    // checkpoint cut at one weight version and adopted by a node flashed to
+    // another must surface as `version_rejects` (suffix replayed clean) —
+    // and still lose nothing.
+    #[test]
+    fn cross_version_checkpoints_are_refused_typed_and_nothing_is_lost(
+        seed in 0u64..512,
+        kill_ms in 400u64..1600,
+    ) {
+        let mut cfg = base(3, 80.0, seed);
+        cfg.requests = 200;
+        cfg.serve.batch.max_batch = 4;
+        // Fast rollout so versions are mixed when the kill lands.
+        cfg.upgrade = Some(UpgradeConfig::new(2, 0.05));
+        cfg.faults = vec![NodeFault::Kill { node: seed as usize % 3, at_s: kill_ms as f64 / 1e3 }];
+        let r = Cluster::run(cfg).unwrap();
+        prop_assert_eq!(r.lost, 0);
+        prop_assert!(
+            r.version_rejects <= r.checkpoint_rejects,
+            "version refusals are a subset of typed checkpoint rejections"
+        );
+        prop_assert_eq!(
+            r.completed + r.shed + r.deadline_missed + r.failed + r.dropped,
+            r.offered
+        );
+    }
+
+    // A rollout gated by a dying survivor set must end settled — completed
+    // when capacity returns, rolled back otherwise — and a rolled-back
+    // fleet's live nodes all run the original version.
+    #[test]
+    fn rollouts_complete_or_roll_back_cleanly(
+        seed in 0u64..512,
+        spare_pick in 0usize..2,
+    ) {
+        let mut cfg = base(2, 50.0, seed);
+        cfg.requests = 200;
+        cfg.upgrade = Some(UpgradeConfig::new(3, 0.5));
+        if spare_pick == 1 {
+            cfg.faults = vec![NodeFault::Kill { node: 1, at_s: 0.45 }];
+        }
+        let r = Cluster::run(cfg).unwrap();
+        prop_assert_eq!(r.lost, 0);
+        match r.upgrade {
+            UpgradeOutcome::Completed => prop_assert!(
+                r.per_node.iter().filter(|n| !n.killed).all(|n| n.version == 3)
+            ),
+            UpgradeOutcome::RolledBack => prop_assert!(
+                r.per_node.iter().filter(|n| !n.killed).all(|n| n.version == 0),
+                "a rolled-back fleet must be uniformly on the original version"
+            ),
+            UpgradeOutcome::NotRequested => prop_assert!(false, "an upgrade was requested"),
+        }
+    }
+}

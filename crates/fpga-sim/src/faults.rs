@@ -371,6 +371,38 @@ impl FaultPlan {
     pub fn has_silent_faults(&self) -> bool {
         self.faults.iter().any(FaultKind::is_silent)
     }
+
+    /// Compose two plans: every fault of `other` appended after this plan's.
+    /// Composition is how node-scoped fault domains are built — a device's
+    /// own plan merged with a fault that strikes the whole node at once
+    /// (see [`correlated_hbm_burst`]).
+    pub fn merged(mut self, other: &FaultPlan) -> Self {
+        self.faults.extend(other.faults.iter().cloned());
+        self
+    }
+}
+
+/// A *correlated* silent-corruption burst across every device of one node:
+/// the same upset (one shared memory controller, one power rail brown-out)
+/// flips the same mantissa bit of the same word in the same stripe class on
+/// all `devices` cards at once. Unlike [`FaultPlan::seeded`]'s independent
+/// per-card draws, the returned plans are identical by construction — which
+/// is exactly what makes the failure *correlated*: intra-node failover
+/// cannot route around it, only a different node (or the integrity layer's
+/// refetch) can. Every draw stays within the recoverable envelope
+/// (≤ 2 corrupt fetches, mantissa-only flips).
+pub fn correlated_hbm_burst(seed: u64, devices: usize) -> Vec<FaultPlan> {
+    let mut rng = SplitMix64(seed ^ 0x00C0_44E1_A7ED);
+    let word = (rng.next() % 4096) as usize;
+    let bit = (rng.next() % 23) as u8;
+    let attempts = 1 + (rng.next() % 2) as u32;
+    let burst = FaultPlan::none().with(FaultKind::HbmBitFlip {
+        label: "LW".into(),
+        word,
+        bit,
+        failing_attempts: attempts,
+    });
+    vec![burst; devices]
 }
 
 #[cfg(test)]
@@ -384,6 +416,43 @@ mod tests {
         }
         // and not all identical
         assert!((0..32u64).map(FaultPlan::seeded).any(|p| p != FaultPlan::seeded(0)));
+    }
+
+    #[test]
+    fn merged_plans_compose_in_order() {
+        let a = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "LW".into(), failing_attempts: 1 });
+        let b = FaultPlan::none()
+            .with(FaultKind::KernelHang { label: "C".into(), failing_attempts: 2 });
+        let m = a.clone().merged(&b);
+        assert_eq!(m.faults().len(), 2);
+        assert_eq!(m.faults()[0], a.faults()[0]);
+        assert_eq!(m.faults()[1], b.faults()[0]);
+        // Merging the empty plan is the identity in both directions.
+        assert_eq!(a.clone().merged(&FaultPlan::none()), a);
+        assert_eq!(FaultPlan::none().merged(&b), b);
+    }
+
+    #[test]
+    fn correlated_burst_is_identical_across_the_node_and_recoverable() {
+        for seed in 1..64u64 {
+            let plans = correlated_hbm_burst(seed, 4);
+            assert_eq!(plans.len(), 4);
+            for p in &plans {
+                // Correlation: every card sees the same upset.
+                assert_eq!(p, &plans[0], "seed {}", seed);
+                assert!(p.has_silent_faults());
+                let [FaultKind::HbmBitFlip { bit, failing_attempts, .. }] = p.faults() else {
+                    panic!("seed {}: burst must be a single silent bit flip", seed);
+                };
+                assert!(*bit < 23, "mantissa-only");
+                assert!(*failing_attempts <= 2, "within the recoverable envelope");
+            }
+            // Determinism, and different seeds move the upset around.
+            assert_eq!(plans, correlated_hbm_burst(seed, 4));
+        }
+        let distinct = (1..64u64).map(|s| correlated_hbm_burst(s, 1)).collect::<Vec<_>>();
+        assert!(distinct.iter().any(|p| p != &distinct[0]));
     }
 
     #[test]

@@ -41,16 +41,36 @@
 //!                                      shedding, bounded session queues, and
 //!                                      mid-stream failover that replays only
 //!                                      the unfinished chunk
-//! asrsim bench [--out FILE]            benchmark seed: plan lowering time,
-//!                                      analytic E2E latency, sustainable serve
-//!                                      rps, replayed-work with/without
-//!                                      checkpointing, per-chunk streaming
-//!                                      latency and elision
+//! asrsim cluster [--nodes N] [--devices K] [--rps R] [--deadline-ms D]
+//!                [--n REQS] [--sessions S] [--seed SEED]
+//!                [--trace steady|diurnal|bursty] [--no-checkpoint]
+//!                [--kill-node N@T] [--dropout N@T+O] [--hbm-burst N@T]
+//!                [--partition N@T+D] [--upgrade V] [--upgrade-at T]
+//!                                      multi-node cluster: each node is one
+//!                                      fault domain (a ServePool) behind a
+//!                                      session-affinity router; node-granular
+//!                                      faults, cross-node checkpointed
+//!                                      failover, rolling weight upgrades
+//! asrsim bench [--out FILE] [--label L] benchmark trajectory: appends one
+//!                                      entry (tagged with the git rev and a
+//!                                      PR label) of plan lowering time,
+//!                                      analytic E2E latency, sustainable
+//!                                      serve/cluster rps, replayed-work
+//!                                      with/without checkpointing, streaming
+//!                                      latency, upgrade downtime, and
+//!                                      failover-added p99
 //!                                      (default BENCH_serve.json)
 //! ```
+//!
+//! Failures are one-line typed errors with distinct exit codes so scripts
+//! can tell them apart: 2 = usage, 3 = bad flag value, 4 = contradictory
+//! flags, 5 = configuration the simulator refused, 6 = filesystem error.
 
 use std::process::ExitCode;
 use transformer_asr_accel::accel::arch::{simulate, Architecture};
+use transformer_asr_accel::accel::cluster::{
+    Cluster, ClusterConfig, NodeFault, TrafficTrace, UpgradeConfig,
+};
 use transformer_asr_accel::accel::serve::{pool_fault_plans, ServeConfig, ServePool, ServeReport};
 use transformer_asr_accel::accel::stream::{stream_analytics, StreamConfig, StreamPool};
 use transformer_asr_accel::accel::{
@@ -60,6 +80,94 @@ use transformer_asr_accel::accel::{
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
 use transformer_asr_accel::fpga::{FaultKind, FaultPlan};
 use transformer_asr_accel::systolic::abft::IntegrityLevel;
+
+/// Typed one-line CLI failure. Each variant maps to its own exit code so a
+/// harness can distinguish a typo (3) from an impossible combination (4)
+/// from a configuration the simulator itself refused (5).
+#[derive(Debug)]
+enum CliError {
+    /// Unknown command or missing required argument (exit 2).
+    Usage(String),
+    /// A flag's value failed to parse or is out of range (exit 3).
+    BadValue(String),
+    /// Flags that are valid alone but contradictory together (exit 4).
+    BadCombo(String),
+    /// The simulator rejected the configuration with a typed error (exit 5).
+    Rejected(String),
+    /// Filesystem failure (exit 6).
+    Io(String),
+}
+
+impl CliError {
+    fn exit(self) -> ExitCode {
+        let (kind, code, msg) = match &self {
+            CliError::Usage(m) => ("usage", 2, m),
+            CliError::BadValue(m) => ("bad value", 3, m),
+            CliError::BadCombo(m) => ("bad combination", 4, m),
+            CliError::Rejected(m) => ("rejected", 5, m),
+            CliError::Io(m) => ("io error", 6, m),
+        };
+        eprintln!("asrsim: {}: {}", kind, msg);
+        ExitCode::from(code)
+    }
+}
+
+fn finish(r: Result<(), CliError>) -> ExitCode {
+    match r {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => e.exit(),
+    }
+}
+
+/// Like [`parse_flag`], but a present flag with a missing or unparsable
+/// value is a typed error instead of silently becoming the default.
+fn parse_usize_strict(args: &[String], flag: &str, default: usize) -> Result<usize, CliError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    v.parse().map_err(|_| {
+        CliError::BadValue(format!("{} expects an unsigned integer, got '{}'", flag, v))
+    })
+}
+
+fn parse_f64_strict(args: &[String], flag: &str, default: f64) -> Result<f64, CliError> {
+    let Some(i) = args.iter().position(|a| a == flag) else {
+        return Ok(default);
+    };
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    match v.parse::<f64>() {
+        Ok(x) if x.is_finite() => Ok(x),
+        _ => Err(CliError::BadValue(format!("{} expects a finite number, got '{}'", flag, v))),
+    }
+}
+
+/// Every value of a repeatable flag, in order.
+fn flag_values(args: &[String], flag: &str) -> Vec<String> {
+    args.iter()
+        .enumerate()
+        .filter(|(_, a)| a.as_str() == flag)
+        .filter_map(|(i, _)| args.get(i + 1).cloned())
+        .collect()
+}
+
+/// `NODE@TIME` or `NODE@TIME+DURATION` fault spec (e.g. `0@0.5`, `1@0.5+0.3`).
+fn parse_fault_spec(flag: &str, v: &str, duration: bool) -> Result<(usize, f64, f64), CliError> {
+    let shape = if duration { "NODE@TIME+DURATION" } else { "NODE@TIME" };
+    let bad = || CliError::BadValue(format!("{} expects {}, got '{}'", flag, shape, v));
+    let (node_s, rest) = v.split_once('@').ok_or_else(bad)?;
+    let node: usize = node_s.parse().map_err(|_| bad())?;
+    let (at_s, dur_s) = if duration {
+        let (t, d) = rest.split_once('+').ok_or_else(bad)?;
+        (t.parse::<f64>().map_err(|_| bad())?, d.parse::<f64>().map_err(|_| bad())?)
+    } else {
+        (rest.parse::<f64>().map_err(|_| bad())?, 0.0)
+    };
+    if !at_s.is_finite() || !dur_s.is_finite() || at_s < 0.0 || dur_s < 0.0 {
+        return Err(bad());
+    }
+    Ok((node, at_s, dur_s))
+}
 
 fn parse_flag(args: &[String], flag: &str, default: usize) -> usize {
     args.iter()
@@ -111,11 +219,10 @@ fn parse_arch_flag(args: &[String]) -> Result<Architecture, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    const COMMANDS: &str =
+        "latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|stream|cluster|bench";
     let Some(cmd) = args.first().cloned() else {
-        eprintln!(
-            "usage: asrsim <latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|stream|bench> [options]"
-        );
-        return ExitCode::FAILURE;
+        return CliError::Usage(format!("asrsim <{}> [options]", COMMANDS)).exit();
     };
     let s = parse_flag(&args, "--s", 32);
 
@@ -159,12 +266,13 @@ fn main() -> ExitCode {
             return cmd_faults(seed, s, &args);
         }
         "plan" => return cmd_plan(s, &args),
-        "serve" => return cmd_serve(&args),
+        "serve" => return finish(cmd_serve(&args)),
         "stream" => return cmd_stream(&args),
-        "bench" => return cmd_bench(&args),
+        "cluster" => return finish(cmd_cluster(&args)),
+        "bench" => return finish(cmd_bench(&args)),
         other => {
-            eprintln!("unknown command '{}'", other);
-            return ExitCode::FAILURE;
+            return CliError::Usage(format!("unknown command '{}' (expected {})", other, COMMANDS))
+                .exit();
         }
     }
     ExitCode::SUCCESS
@@ -511,28 +619,40 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_serve(args: &[String]) -> ExitCode {
-    let devices = parse_flag(args, "--devices", 2);
-    let seed = parse_flag(args, "--faults", 0) as u64;
-    let rps = parse_f64_flag(args, "--rps", 50.0);
-    let deadline_s = parse_f64_flag(args, "--deadline-ms", 200.0) / 1e3;
-    let level = match parse_integrity_flag(args) {
-        Ok(l) => l,
-        Err(bad) => {
-            eprintln!(
-                "unknown integrity level '{}': expected off, detect, or detect-recompute",
-                bad
-            );
-            return ExitCode::FAILURE;
-        }
-    };
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    let devices = parse_usize_strict(args, "--devices", 2)?;
+    let seed = parse_usize_strict(args, "--faults", 0)? as u64;
+    let rps = parse_f64_strict(args, "--rps", 50.0)?;
+    let deadline_s = parse_f64_strict(args, "--deadline-ms", 200.0)? / 1e3;
+    let level = parse_integrity_flag(args).map_err(|bad| {
+        CliError::BadValue(format!(
+            "unknown integrity level '{}': expected off, detect, or detect-recompute",
+            bad
+        ))
+    })?;
+    let checkpoint = has_flag(args, "--checkpoint");
+    let batch = parse_usize_strict(args, "--batch", 0)?;
+    if has_flag(args, "--batch") && batch == 0 {
+        // The combo check outranks the range check: `--checkpoint` resumes
+        // *batched* dispatches, so disabling batching contradicts it.
+        return Err(if checkpoint {
+            CliError::BadCombo(
+                "--checkpoint resumes batched dispatches; it cannot be combined with --batch 0"
+                    .into(),
+            )
+        } else {
+            CliError::BadValue("--batch must be >= 1 (the dispatcher needs a batch bound)".into())
+        });
+    }
     let mut cfg = ServeConfig::new(devices, seed, rps, deadline_s);
     cfg.accel.integrity = level;
-    cfg.requests = parse_flag(args, "--n", cfg.requests);
-    cfg.queue_capacity = parse_flag(args, "--queue", cfg.queue_capacity);
-    cfg.batch.max_batch = parse_flag(args, "--batch", cfg.batch.max_batch);
-    cfg.batch.linger_s = parse_f64_flag(args, "--linger-ms", cfg.batch.linger_s * 1e3) / 1e3;
-    cfg.checkpoint = has_flag(args, "--checkpoint");
+    cfg.requests = parse_usize_strict(args, "--n", cfg.requests)?;
+    cfg.queue_capacity = parse_usize_strict(args, "--queue", cfg.queue_capacity)?;
+    if has_flag(args, "--batch") {
+        cfg.batch.max_batch = batch;
+    }
+    cfg.batch.linger_s = parse_f64_strict(args, "--linger-ms", cfg.batch.linger_s * 1e3)? / 1e3;
+    cfg.checkpoint = checkpoint;
     let kill = parse_str_flag(args, "--kill");
     println!("devices              : {}", cfg.devices);
     println!("pool fault seed      : {}", cfg.fault_seed);
@@ -547,15 +667,95 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     if let Some(label) = &kill {
         println!("killed load label    : '{}' (card 0, persistent)", label);
     }
-    let report = match run_serve_pool(cfg, kill) {
-        Ok(report) => report,
-        Err(e) => {
-            eprintln!("serve failed: {}", e);
-            return ExitCode::FAILURE;
-        }
-    };
+    let report = run_serve_pool(cfg, kill).map_err(|e| CliError::Rejected(e.to_string()))?;
     print!("{}", report.render());
-    ExitCode::SUCCESS
+    Ok(())
+}
+
+/// `asrsim cluster` — multi-node serving: each node is one fault domain
+/// behind a session-affinity router, with node-granular fault injection,
+/// cross-node checkpointed failover, and rolling weight upgrades.
+fn cmd_cluster(args: &[String]) -> Result<(), CliError> {
+    let nodes = parse_usize_strict(args, "--nodes", 2)?;
+    let devices = parse_usize_strict(args, "--devices", 1)?;
+    let rps = parse_f64_strict(args, "--rps", 60.0)?;
+    let deadline_s = parse_f64_strict(args, "--deadline-ms", 500.0)? / 1e3;
+    if nodes == 0 {
+        return Err(CliError::BadValue("--nodes must be >= 1".into()));
+    }
+    if devices == 0 {
+        return Err(CliError::BadValue("--devices must be >= 1 (cards per node)".into()));
+    }
+    let mut cfg = ClusterConfig::new(nodes, devices, rps, deadline_s);
+    cfg.requests = parse_usize_strict(args, "--n", cfg.requests)?;
+    cfg.sessions = parse_usize_strict(args, "--sessions", cfg.sessions)?;
+    cfg.seed = parse_usize_strict(args, "--seed", cfg.seed as usize)? as u64;
+    if let Some(t) = parse_str_flag(args, "--trace") {
+        cfg.trace = TrafficTrace::parse(&t).map_err(|e| CliError::BadValue(e.to_string()))?;
+    }
+    if has_flag(args, "--no-checkpoint") {
+        cfg.serve.checkpoint = false;
+    }
+    for v in flag_values(args, "--kill-node") {
+        let (node, at_s, _) = parse_fault_spec("--kill-node", &v, false)?;
+        cfg.faults.push(NodeFault::Kill { node, at_s });
+    }
+    for v in flag_values(args, "--dropout") {
+        let (node, at_s, outage_s) = parse_fault_spec("--dropout", &v, true)?;
+        cfg.faults.push(NodeFault::PowerDropout { node, at_s, outage_s });
+    }
+    for v in flag_values(args, "--hbm-burst") {
+        let (node, at_s, _) = parse_fault_spec("--hbm-burst", &v, false)?;
+        cfg.faults.push(NodeFault::HbmBurst { node, at_s, seed: cfg.seed ^ node as u64 });
+    }
+    for v in flag_values(args, "--partition") {
+        let (node, at_s, for_s) = parse_fault_spec("--partition", &v, true)?;
+        cfg.faults.push(NodeFault::Partition { node, at_s, for_s });
+    }
+    for f in &cfg.faults {
+        let (flag, node) = match f {
+            NodeFault::Kill { node, .. } => ("--kill-node", *node),
+            NodeFault::PowerDropout { node, .. } => ("--dropout", *node),
+            NodeFault::HbmBurst { node, .. } => ("--hbm-burst", *node),
+            NodeFault::Partition { node, .. } => ("--partition", *node),
+        };
+        if node >= nodes {
+            return Err(CliError::BadValue(format!(
+                "{} targets node {} but the cluster has {} (nodes are 0-based)",
+                flag, node, nodes
+            )));
+        }
+    }
+    if has_flag(args, "--upgrade") {
+        if nodes < 2 {
+            return Err(CliError::BadCombo(
+                "--upgrade is a rolling drain: it needs --nodes >= 2 so survivors keep serving"
+                    .into(),
+            ));
+        }
+        let to = parse_usize_strict(args, "--upgrade", 0)? as u64;
+        let at = parse_f64_strict(args, "--upgrade-at", 0.1)?;
+        cfg.upgrade = Some(UpgradeConfig::new(to, at));
+    } else if has_flag(args, "--upgrade-at") {
+        return Err(CliError::BadCombo("--upgrade-at needs --upgrade VERSION".into()));
+    }
+    println!("nodes                : {} x {} cards", cfg.nodes, devices);
+    println!("offered load         : {:8.2} req/s ({:?} trace)", cfg.rps, cfg.trace);
+    println!("deadline             : {:8.2} ms", cfg.serve.deadline_s * 1e3);
+    println!("requests / sessions  : {} / {}", cfg.requests, cfg.sessions);
+    println!("checkpointed failover: {}", if cfg.serve.checkpoint { "on" } else { "off" });
+    for f in &cfg.faults {
+        println!("fault                : {:?}", f);
+    }
+    if let Some(u) = &cfg.upgrade {
+        println!(
+            "rolling upgrade      : v{} -> v{} starting at {:.2} s",
+            cfg.serve.accel.weight_version, u.to_version, u.start_s
+        );
+    }
+    let report = Cluster::run(cfg).map_err(|e| CliError::Rejected(e.to_string()))?;
+    print!("{}", report.render());
+    Ok(())
 }
 
 /// `asrsim stream` — the fault-tolerant streaming session pool: N concurrent
@@ -629,13 +829,62 @@ fn run_serve_pool(
     Ok(pool.drain())
 }
 
-/// `asrsim bench [--out FILE]` — seed `BENCH_serve.json` with the numbers a
-/// regression harness tracks: plan-lowering wall time, the analytic E2E
-/// latency, the highest offered load the 2-card pool sustains at ≥99%
-/// completion, and the replayed-work cost of failover with and without
-/// checkpointing.
-fn cmd_bench(args: &[String]) -> ExitCode {
+/// Short git revision of the working tree, or `"unknown"` outside a repo.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Append one entry to the trajectory array at `path`. A missing file
+/// starts a fresh array; a legacy single-object `BENCH_serve.json` is
+/// wrapped in place as the first (pre-trajectory) point — nothing is ever
+/// overwritten.
+fn append_trajectory(path: &str, entry: &str) -> Result<(), CliError> {
+    let io = |e: std::io::Error| CliError::Io(format!("{}: {}", path, e));
+    let existing = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(io(e)),
+    };
+    let trimmed = existing.trim();
+    let body = if trimmed.is_empty() {
+        format!("[\n{}\n]\n", entry)
+    } else if let Some(head) = trimmed.strip_suffix(']') {
+        let head = head.trim_end().trim_end_matches(',');
+        if head == "[" {
+            format!("[\n{}\n]\n", entry)
+        } else {
+            format!("{},\n{}\n]\n", head, entry)
+        }
+    } else if trimmed.starts_with('{') {
+        format!(
+            "[\n{{ \"label\": \"pre-trajectory\", \"rev\": \"unknown\", \"bench\": {} }},\n{}\n]\n",
+            trimmed, entry
+        )
+    } else {
+        return Err(CliError::Io(format!(
+            "{}: neither a trajectory array nor a legacy bench object",
+            path
+        )));
+    };
+    std::fs::write(path, body).map_err(io)
+}
+
+/// `asrsim bench [--out FILE] [--label L]` — append one point to the
+/// `BENCH_serve.json` trajectory: plan-lowering wall time, the analytic E2E
+/// latency, the highest offered load the 2-card pool (and 1/2/3-node
+/// cluster) sustains at ≥99% completion, the replayed-work cost of failover
+/// with and without checkpointing, rolling-upgrade downtime, and the p99 a
+/// mid-trace node kill adds over the fault-free run.
+fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let out = parse_str_flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let label = parse_str_flag(args, "--label").unwrap_or_else(|| "dev".to_string());
     let cfg = AccelConfig::paper_default();
 
     // Plan lowering wall time, best of 5 (real time, not simulated).
@@ -675,8 +924,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
             }
             Some((false, _)) => break,
             None => {
-                eprintln!("serve sweep failed at {:.0} rps", hi);
-                return ExitCode::FAILURE;
+                return Err(CliError::Rejected(format!("serve sweep failed at {:.0} rps", hi)));
             }
         }
     }
@@ -701,8 +949,7 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         run_serve_pool(c, Some("LWD4".to_string())).ok()
     };
     let (Some(off), Some(on)) = (replay(false), replay(true)) else {
-        eprintln!("replay benchmark failed");
-        return ExitCode::FAILURE;
+        return Err(CliError::Rejected("replay benchmark failed".into()));
     };
     println!(
         "replayed (restart)   : {:8.3} ms compute, {} load bytes",
@@ -721,13 +968,8 @@ fn cmd_bench(args: &[String]) -> ExitCode {
     // deployment, the elided-load fraction resident reuse buys a warm card,
     // and the concurrent streams the default pool sustains.
     let stream_cfg = StreamConfig::new(2, 0, 4, 0.060);
-    let sa = match stream_analytics(&stream_cfg) {
-        Ok(sa) => sa,
-        Err(e) => {
-            eprintln!("stream analytics failed: {}", e);
-            return ExitCode::FAILURE;
-        }
-    };
+    let sa = stream_analytics(&stream_cfg)
+        .map_err(|e| CliError::Rejected(format!("stream analytics failed: {}", e)))?;
     println!(
         "stream chunk         : {:8.2} ms cold, {:.2} ms warm (analytic, window {})",
         sa.cold_chunk_s * 1e3,
@@ -744,8 +986,82 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         stream_cfg.chunk_interval_s * 1e3
     );
 
-    let json = format!(
-        "{{\n  \"plan_lowering_us\": {:.1},\n  \"analytic_e2e_ms\": {:.3},\n  \"sustainable_rps_at_99pct\": {:.1},\n  \"throughput_rps_at_sustainable\": {:.1},\n  \"streaming\": {{\n    \"cold_chunk_ms\": {:.3},\n    \"warm_chunk_ms\": {:.3},\n    \"elided_load_fraction\": {:.4},\n    \"sustainable_streams\": {}\n  }},\n  \"replay\": {{\n    \"checkpoint_off\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {}\n    }},\n    \"checkpoint_on\": {{\n      \"replayed_compute_ms\": {:.3},\n      \"replayed_load_bytes\": {},\n      \"resumed_dispatches\": {},\n      \"skipped_compute_ms\": {:.3},\n      \"skipped_load_bytes\": {}\n    }}\n  }}\n}}\n",
+    // Cluster scaling: the highest offered load an N-node × 1-card cluster
+    // serves with ≥99% of requests completing — same bisection as the pool.
+    let cluster_sustains = |nodes: usize, rps: f64| -> Option<(bool, f64)> {
+        let mut c = ClusterConfig::new(nodes, 1, rps, 0.2);
+        c.requests = 80;
+        let r = Cluster::run(c).ok()?;
+        Some((r.success_ratio() >= 0.99, r.throughput_rps))
+    };
+    let mut cluster_rps = Vec::new();
+    for nodes in 1..=3usize {
+        let (mut lo, mut hi) = (0.0_f64, 25.0_f64);
+        loop {
+            match cluster_sustains(nodes, hi) {
+                Some((true, _)) => {
+                    lo = hi;
+                    if hi >= 1600.0 {
+                        break;
+                    }
+                    hi *= 2.0;
+                }
+                Some((false, _)) => break,
+                None => {
+                    return Err(CliError::Rejected(format!(
+                        "cluster sweep died at {} nodes",
+                        nodes
+                    )))
+                }
+            }
+        }
+        for _ in 0..6 {
+            let mid = 0.5 * (lo + hi);
+            match cluster_sustains(nodes, mid) {
+                Some((true, _)) => lo = mid,
+                Some((false, _)) => hi = mid,
+                None => break,
+            }
+        }
+        println!(
+            "cluster sustainable  : {:8.1} req/s at >=99% ({} node{})",
+            lo,
+            nodes,
+            if nodes == 1 { "" } else { "s" }
+        );
+        cluster_rps.push(lo);
+    }
+
+    // Rolling-upgrade downtime on a 3-node cluster at moderate load, and
+    // the p99 a mid-trace node kill adds over the fault-free run.
+    let chaos = |faults: Vec<NodeFault>, upgrade: Option<UpgradeConfig>| -> Result<_, CliError> {
+        let mut c = ClusterConfig::new(3, 1, 60.0, 0.5);
+        c.requests = 200;
+        c.faults = faults;
+        c.upgrade = upgrade;
+        Cluster::run(c).map_err(|e| CliError::Rejected(e.to_string()))
+    };
+    let upgraded = chaos(Vec::new(), Some(UpgradeConfig::new(1, 0.3)))?;
+    let clean = chaos(Vec::new(), None)?;
+    let killed = chaos(vec![NodeFault::Kill { node: 1, at_s: 1.0 }], None)?;
+    let added_p99_ms = (killed.p99_latency_s - clean.p99_latency_s) * 1e3;
+    println!(
+        "upgrade downtime     : {:8.2} ms ({} over 3 nodes)",
+        upgraded.upgrade_downtime_s * 1e3,
+        upgraded.upgrade.name()
+    );
+    println!(
+        "failover-added p99   : {:8.2} ms (clean {:.2} -> node-kill {:.2}, {} lost)",
+        added_p99_ms,
+        clean.p99_latency_s * 1e3,
+        killed.p99_latency_s * 1e3,
+        killed.lost
+    );
+
+    let entry = format!(
+        "  {{\n    \"label\": \"{}\",\n    \"rev\": \"{}\",\n    \"bench\": {{\n      \"plan_lowering_us\": {:.1},\n      \"analytic_e2e_ms\": {:.3},\n      \"sustainable_rps_at_99pct\": {:.1},\n      \"throughput_rps_at_sustainable\": {:.1},\n      \"streaming\": {{\n        \"cold_chunk_ms\": {:.3},\n        \"warm_chunk_ms\": {:.3},\n        \"elided_load_fraction\": {:.4},\n        \"sustainable_streams\": {}\n      }},\n      \"replay\": {{\n        \"checkpoint_off\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {}\n        }},\n        \"checkpoint_on\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {},\n          \"skipped_compute_ms\": {:.3},\n          \"skipped_load_bytes\": {}\n        }}\n      }}\n    }},\n    \"cluster\": {{\n      \"sustainable_rps_at_99pct\": [{:.1}, {:.1}, {:.1}],\n      \"upgrade_downtime_ms\": {:.3},\n      \"upgrade_outcome\": \"{}\",\n      \"clean_p99_ms\": {:.3},\n      \"node_kill_p99_ms\": {:.3},\n      \"failover_added_p99_ms\": {:.3},\n      \"node_kill_lost\": {}\n    }}\n  }}",
+        label.replace('"', ""),
+        git_rev(),
         lower_us,
         e2e_ms,
         lo,
@@ -761,18 +1077,20 @@ fn cmd_bench(args: &[String]) -> ExitCode {
         on.replayed_load_bytes,
         on.resumed_dispatches,
         on.skipped_compute_s * 1e3,
-        on.skipped_load_bytes
+        on.skipped_load_bytes,
+        cluster_rps[0],
+        cluster_rps[1],
+        cluster_rps[2],
+        upgraded.upgrade_downtime_s * 1e3,
+        upgraded.upgrade.name(),
+        clean.p99_latency_s * 1e3,
+        killed.p99_latency_s * 1e3,
+        added_p99_ms,
+        killed.lost
     );
-    match std::fs::write(&out, json) {
-        Ok(()) => {
-            println!("wrote {}", out);
-            ExitCode::SUCCESS
-        }
-        Err(e) => {
-            eprintln!("failed to write {}: {}", out, e);
-            ExitCode::FAILURE
-        }
-    }
+    append_trajectory(&out, &entry)?;
+    println!("appended '{}' ({}) to {}", label, git_rev(), out);
+    Ok(())
 }
 
 fn cmd_csv(which: &str) -> ExitCode {

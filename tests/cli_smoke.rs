@@ -12,6 +12,16 @@ fn run(args: &[&str]) -> (bool, String) {
     (out.status.success(), stdout)
 }
 
+/// Exit code and stderr — for the typed-failure contract (2 = usage,
+/// 3 = bad value, 4 = bad combination, 5 = rejected config, 6 = io).
+fn run_code(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_asrsim"))
+        .args(args)
+        .output()
+        .expect("failed to launch asrsim");
+    (out.status.code().expect("no exit code"), String::from_utf8_lossy(&out.stderr).to_string())
+}
+
 #[test]
 fn latency_subcommand() {
     let (ok, out) = run(&["latency", "--s", "32"]);
@@ -296,9 +306,114 @@ fn stream_rejects_an_impossible_deadline() {
 }
 
 #[test]
+fn cluster_subcommand_survives_a_node_kill_with_zero_loss() {
+    let (ok, out) =
+        run(&["cluster", "--nodes", "3", "--rps", "60", "--n", "120", "--kill-node", "1@0.8"]);
+    assert!(ok, "cluster must exit cleanly:\n{}", out);
+    assert!(out.contains("lost                 : 0"), "{}", out);
+    assert!(out.contains("cluster nodes        : 3"), "{}", out);
+    assert!(out.contains("dead"), "the killed node must report dead:\n{}", out);
+}
+
+#[test]
+fn cluster_same_seed_is_bit_identical_across_runs() {
+    let args = [
+        "cluster",
+        "--nodes",
+        "3",
+        "--rps",
+        "80",
+        "--n",
+        "150",
+        "--trace",
+        "bursty",
+        "--seed",
+        "9",
+        "--kill-node",
+        "0@0.6",
+        "--partition",
+        "2@0.3+0.4",
+    ];
+    let (ok_a, out_a) = run(&args);
+    let (ok_b, out_b) = run(&args);
+    assert!(ok_a && ok_b);
+    assert_eq!(out_a, out_b, "same seed must reproduce the identical cluster report");
+}
+
+#[test]
+fn cluster_rolling_upgrade_with_mid_upgrade_kill_settles_cleanly() {
+    let (ok, out) = run(&[
+        "cluster",
+        "--nodes",
+        "3",
+        "--rps",
+        "80",
+        "--n",
+        "200",
+        "--upgrade",
+        "2",
+        "--upgrade-at",
+        "0.4",
+        "--kill-node",
+        "2@1.0",
+    ]);
+    assert!(ok, "chaos run must exit cleanly:\n{}", out);
+    assert!(out.contains("lost                 : 0"), "{}", out);
+    assert!(
+        out.contains("upgrade              : completed")
+            || out.contains("upgrade              : rolled back"),
+        "the rollout must settle:\n{}",
+        out
+    );
+}
+
+#[test]
+fn checkpoint_with_zero_batch_is_a_bad_combination() {
+    let (code, err) = run_code(&["serve", "--checkpoint", "--batch", "0"]);
+    assert_eq!(code, 4, "contradictory flags exit 4: {}", err);
+    assert!(err.starts_with("asrsim: bad combination:"), "{}", err);
+    assert_eq!(err.lines().count(), 1, "typed failures are one line: {}", err);
+}
+
+#[test]
+fn zero_batch_alone_is_a_bad_value() {
+    let (code, err) = run_code(&["serve", "--batch", "0"]);
+    assert_eq!(code, 3, "an out-of-range flag exits 3: {}", err);
+    assert!(err.starts_with("asrsim: bad value:"), "{}", err);
+}
+
+#[test]
+fn upgrade_without_enough_nodes_is_a_bad_combination() {
+    let (code, err) = run_code(&["cluster", "--nodes", "1", "--upgrade", "2"]);
+    assert_eq!(code, 4, "{}", err);
+    assert!(err.contains("--nodes >= 2"), "{}", err);
+}
+
+#[test]
+fn fault_on_a_nonexistent_node_is_a_bad_value() {
+    let (code, err) = run_code(&["cluster", "--nodes", "2", "--kill-node", "5@0.5"]);
+    assert_eq!(code, 3, "{}", err);
+    assert!(err.contains("node 5"), "{}", err);
+}
+
+#[test]
+fn unparsable_fault_spec_is_a_bad_value() {
+    let (code, err) = run_code(&["cluster", "--kill-node", "banana"]);
+    assert_eq!(code, 3, "{}", err);
+    assert!(err.contains("NODE@TIME"), "{}", err);
+}
+
+#[test]
+fn rejected_configuration_exits_5() {
+    let (code, err) = run_code(&["serve", "--deadline-ms", "0.001"]);
+    assert_eq!(code, 5, "a config the simulator refuses exits 5: {}", err);
+    assert!(err.starts_with("asrsim: rejected:"), "{}", err);
+}
+
+#[test]
 fn unknown_command_fails() {
-    let (ok, _) = run(&["definitely-not-a-command"]);
-    assert!(!ok);
+    let (code, err) = run_code(&["definitely-not-a-command"]);
+    assert_eq!(code, 2, "an unknown command is a usage error: {}", err);
 }
 
 #[test]

@@ -940,6 +940,55 @@ pub fn run_stream_chunk(
     Ok(StreamChunkRun { run, reuse, pinned, scheduled_load_bytes })
 }
 
+/// One autoregressive decode step executed through the fault-tolerant plan
+/// executor, plus the stripe set the device pins for the session's next
+/// step.
+#[derive(Debug, Clone)]
+pub struct DecodeStepRun {
+    /// The step's run (timeline, makespan, recovery events, checkpoints).
+    pub run: BatchedRun,
+    /// Elision accounting of the lowering (`None` on the cold first step).
+    pub reuse: Option<crate::plan::PlanReuse>,
+    /// Stripes now pinned in the device's decode weight cache — feed these
+    /// to the session's next step.
+    pub pinned: Vec<crate::plan::ResidentStripe>,
+    /// Bytes the step's schedule would stream with nothing resident.
+    pub scheduled_load_bytes: u64,
+    /// Bytes the lowered plan actually fetches after elision.
+    pub fetched_load_bytes: u64,
+}
+
+/// Execute one autoregressive decode step through the runtime: lower the
+/// step's [`crate::plan::DecodeStepSpec`] plan — eliding every `LoadStripe`
+/// whose CRC-matching stripe the previous step left pinned (steady-state
+/// steps fetch only the front-token embedding rows) — and replay it under
+/// the device's fault plan with the full retry/degradation ladder. On
+/// success the returned [`DecodeStepRun::pinned`] is what the device keeps
+/// resident for step `t + 1`; on failure the [`BatchFailure`] carries the
+/// barrier-granular checkpoint exactly as a batch run's would, and the
+/// serving layer replays **only this step** on the failover target (the
+/// beam state and KV cache ship with the session, above this layer).
+// The failure path is cold and consumed immediately; a boxed error
+// would just push the indirection onto every caller.
+#[allow(clippy::result_large_err)]
+pub fn run_decode_step(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    spec: crate::plan::DecodeStepSpec,
+    resident: &[crate::plan::ResidentStripe],
+    faults: FaultPlan,
+    policy: &RecoveryPolicy,
+) -> std::result::Result<DecodeStepRun, BatchFailure> {
+    let plan = ExecPlan::lower_decode_step(cfg, arch, spec, resident, cfg.integrity)
+        .map_err(|e| BatchFailure::from_error(e, Vec::new()))?;
+    let pinned = plan.decode_pinned_stripes();
+    let scheduled_load_bytes = plan.scheduled_load_bytes();
+    let fetched_load_bytes = plan.fetched_load_bytes();
+    let reuse = plan.reuse;
+    let run = run_plan_with_recovery(cfg, &plan, faults, policy)?;
+    Ok(DecodeStepRun { run, reuse, pinned, scheduled_load_bytes, fetched_load_bytes })
+}
+
 /// The configuration after losing one SLR: half the PSA pool, head split
 /// re-balanced so `parallel_heads × psas_per_head == n_psas` still holds.
 ///
@@ -1625,5 +1674,62 @@ mod tests {
         )
         .unwrap();
         assert_eq!(replay.run.retries, 0);
+    }
+
+    // -- decode-step execution ---------------------------------------------
+
+    #[test]
+    fn steady_decode_step_executes_faster_and_fetches_less_than_the_cold_step() {
+        let cfg = unpadded(8);
+        let spec0 = crate::plan::DecodeStepSpec::greedy(0, 8, 8);
+        let cold = run_decode_step(
+            &cfg,
+            Architecture::A2,
+            spec0,
+            &[],
+            FaultPlan::none(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        assert!(cold.run.makespan_s > 0.0);
+        assert!(!cold.pinned.is_empty(), "the cold step must pin its stripes");
+        assert_eq!(cold.fetched_load_bytes, cold.scheduled_load_bytes);
+
+        let spec1 = crate::plan::DecodeStepSpec::greedy(1, 8, 8);
+        let steady = run_decode_step(
+            &cfg,
+            Architecture::A2,
+            spec1,
+            &cold.pinned,
+            FaultPlan::none(),
+            &RecoveryPolicy::default(),
+        )
+        .unwrap();
+        let reuse = steady.reuse.expect("steady step lowers against residents");
+        assert!(reuse.elided_loads > 0, "steady step must elide pinned loads");
+        assert!(
+            steady.fetched_load_bytes * 2 < steady.scheduled_load_bytes,
+            "steady fetch {} vs scheduled {}",
+            steady.fetched_load_bytes,
+            steady.scheduled_load_bytes
+        );
+        assert!(
+            steady.run.makespan_s < cold.run.makespan_s,
+            "steady {} vs cold {}",
+            steady.run.makespan_s,
+            cold.run.makespan_s
+        );
+    }
+
+    #[test]
+    fn faulted_decode_step_recovers_with_the_batch_ladder() {
+        let cfg = unpadded(8);
+        let spec = crate::plan::DecodeStepSpec::greedy(0, 8, 8);
+        let faults = FaultPlan::none()
+            .with(FaultKind::HbmLoadError { label: "KV".into(), failing_attempts: 1 });
+        let run =
+            run_decode_step(&cfg, Architecture::A2, spec, &[], faults, &RecoveryPolicy::default())
+                .unwrap();
+        assert!(run.run.retries >= 1, "the transient fault must be retried");
     }
 }

@@ -28,12 +28,16 @@ use crate::arch::Architecture;
 use crate::block_exec::{encoder_forward_via_schemes_batch, encoder_forward_via_schemes_with};
 use crate::config::AccelConfig;
 use crate::error::{AccelError, Result};
-use crate::plan::{ExecPlan, PhaseKind};
+use crate::plan::{DecodeStepSpec, ExecPlan, PhaseKind, PlanReuse, ResidentStripe};
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
+use asr_frontend::vocab::{self, TokenId};
 use asr_systolic::abft::{AbftStats, CheckedPsa, IntegrityLevel, LaneFault};
 use asr_tensor::{crc32, init, Matrix};
+use asr_transformer::beam::{log_softmax, Hypothesis};
+use asr_transformer::cache::{self, KvCache};
 use asr_transformer::decoder::decoder_forward;
 use asr_transformer::weights::{ModelWeights, WeightStripe};
+use asr_transformer::Model;
 use serde::Serialize;
 
 /// Corruption accounting across a run: what was injected, what the defenses
@@ -558,6 +562,16 @@ fn advance_phases(
                         .into(),
                 ));
             }
+            PhaseKind::DecodeEmbed { .. }
+            | PhaseKind::DecodeKv { .. }
+            | PhaseKind::DecodeLayer { .. }
+            | PhaseKind::DecodeOut { .. } => {
+                return Err(AccelError::Config(
+                    "decode-step phases interpret via run_functional_decode, \
+                     not the eager plan interpreter"
+                        .into(),
+                ));
+            }
         }
     }
     Ok(())
@@ -1036,6 +1050,7 @@ fn fold_stream_abft(
     level: IntegrityLevel,
     engine: &CheckedPsa,
     counters: &mut CorruptionCounters,
+    phase: &str,
 ) -> Result<AbftStats> {
     let abft = engine.stats();
     counters.injected += abft.corrupted_tiles;
@@ -1045,7 +1060,7 @@ fn fold_stream_abft(
             counters.detected += abft.detected;
             if abft.detected > 0 {
                 return Err(AccelError::CorruptCompute {
-                    phase: "stream".into(),
+                    phase: phase.into(),
                     tiles: abft.detected,
                 });
             }
@@ -1098,8 +1113,186 @@ pub fn resume_functional_stream(
     let start_row = state.emitted_rows;
     let (encoder_out, final_state, chunks) =
         drive_functional_stream(cfg, &plan, &w, &engine, state.clone(), features)?;
-    let abft = fold_stream_abft(cfg.integrity, &engine, &mut counters)?;
+    let abft = fold_stream_abft(cfg.integrity, &engine, &mut counters, "stream")?;
     Ok(FunctionalStreamRun { encoder_out, start_row, chunks, counters, abft, final_state })
+}
+
+// ---------------------------------------------------------------------------
+// Plan-lowered autoregressive decode (DESIGN.md §15)
+// ---------------------------------------------------------------------------
+
+/// What [`run_functional_decode`] produced: the decoded hypotheses plus the
+/// corruption/ABFT accounting and the load-byte ledger its plan-lowered
+/// steps accumulated.
+#[derive(Debug, Clone)]
+pub struct FunctionalDecodeRun {
+    /// Best hypothesis token ids, including `<sos>` (and `<eos>` when the
+    /// beam finished before `max_steps`).
+    pub tokens: Vec<TokenId>,
+    /// Every surviving hypothesis, best-first (length = beam width).
+    pub hypotheses: Vec<Hypothesis>,
+    /// Decode steps executed — one lowered [`ExecPlan`] each.
+    pub steps: usize,
+    /// Corruption accounting (model load + the ABFT fold).
+    pub counters: CorruptionCounters,
+    /// ABFT statistics over every checked matmul in the session.
+    pub abft: AbftStats,
+    /// Scheduled load bytes of the cold (step-0) plan.
+    pub cold_load_bytes: u64,
+    /// Scheduled load bytes of the last steady-state plan (0 when the
+    /// session decoded a single step).
+    pub steady_load_bytes: u64,
+    /// HBM bytes actually fetched across all steps.
+    pub fetched_load_bytes: u64,
+    /// HBM bytes the KV-cache residency elided across all steps.
+    pub elided_load_bytes: u64,
+    /// Folded resident-reuse accounting across all steps.
+    pub reuse: PlanReuse,
+}
+
+impl FunctionalDecodeRun {
+    /// Fraction of the session's scheduled load bytes that never moved.
+    pub fn elided_fraction(&self) -> f64 {
+        let total = self.fetched_load_bytes + self.elided_load_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.elided_load_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// The plan-lowered functional decode twin: load the model through the CRC
+/// envelope, encode a seeded `mem_len`-row feature block, then run a
+/// KV-cached beam decode where EVERY step first lowers its
+/// [`DecodeStepSpec`] plan against the previous step's pinned stripes
+/// ([`ExecPlan::decode_pinned_stripes`]) — recording exactly which bytes
+/// the accelerator would fetch versus elide — and then scores all live
+/// hypotheses through one coalesced [`cache::step_beam`] on the checked
+/// engine.
+///
+/// At `beam = 1` the continuation choice ties-to-last like
+/// [`cache::greedy_decode_with`]'s argmax, so the twin's tokens are
+/// bit-identical to the cached greedy path — including under silent faults
+/// at `DetectAndRecompute`, where the CRC envelope and the ABFT recompute
+/// restore the clean bits before they reach the beam. Pinned by tests and
+/// `decode_proptests`.
+pub fn run_functional_decode(
+    cfg: &AccelConfig,
+    model_seed: u64,
+    input_seed: u64,
+    mem_len: usize,
+    max_steps: usize,
+    beam: usize,
+    faults: &FunctionalFaults,
+) -> Result<FunctionalDecodeRun> {
+    cfg.validate()?;
+    if mem_len == 0 || max_steps == 0 || beam == 0 {
+        return Err(AccelError::Config(format!(
+            "degenerate decode session: mem_len {} max_steps {} beam {}",
+            mem_len, max_steps, beam
+        )));
+    }
+    let mut counters = CorruptionCounters::default();
+    let clean = ModelWeights::seeded(&cfg.model, model_seed);
+    let w = load_model_with_faults(&clean, faults, cfg.integrity, &mut counters)?;
+    let engine = CheckedPsa::with_fault(cfg.psa_engine(), cfg.integrity, faults.lane);
+    let model = Model { config: cfg.model, weights: w };
+    let features = init::uniform(mem_len, cfg.model.d_model, -0.5, 0.5, input_seed);
+    let memory = model.encode(&features, &engine);
+    guard_activations(&memory, "decode encoder memory")?;
+
+    let root = KvCache::new(&model, &memory, &engine);
+    let mut beams =
+        vec![(Hypothesis { tokens: vec![vocab::SOS], log_prob: 0.0, finished: false }, root)];
+    let mut resident: Vec<ResidentStripe> = Vec::new();
+    let mut reuse = PlanReuse::default();
+    let (mut cold, mut steady, mut fetched, mut elided) = (0u64, 0u64, 0u64, 0u64);
+    let mut steps = 0usize;
+
+    for step in 0..max_steps {
+        if beams.iter().all(|(h, _)| h.finished) {
+            break;
+        }
+        // Lower this step's plan against whatever the previous step left
+        // pinned; the ledger records what the accelerator would move.
+        let spec = DecodeStepSpec { step, mem_len, beam, max_steps };
+        let plan =
+            ExecPlan::lower_decode_step(cfg, Architecture::A2, spec, &resident, cfg.integrity)?;
+        fetched += plan.fetched_load_bytes();
+        if let Some(r) = plan.reuse {
+            elided += r.elided_load_bytes;
+            reuse.offered += r.offered;
+            reuse.elided_loads += r.elided_loads;
+            reuse.elided_load_bytes += r.elided_load_bytes;
+            reuse.stale += r.stale;
+            reuse.stale_version += r.stale_version;
+        }
+        if step == 0 {
+            cold = plan.scheduled_load_bytes();
+        } else {
+            steady = plan.scheduled_load_bytes();
+        }
+        resident = plan.decode_pinned_stripes();
+        steps += 1;
+
+        // One coalesced batch-of-B step over every live hypothesis — the
+        // same arithmetic `beam_search_cached` runs, on the checked engine.
+        let live: Vec<usize> =
+            beams.iter().enumerate().filter(|(_, (h, _))| !h.finished).map(|(i, _)| i).collect();
+        let fronts: Vec<TokenId> =
+            live.iter().map(|&i| *beams[i].0.tokens.last().expect("non-empty")).collect();
+        let mut caches: Vec<KvCache> = live.iter().map(|&i| beams[i].1.clone()).collect();
+        let logits = cache::step_beam(&model, &fronts, &mut caches, &engine);
+        guard_activations(&logits, "decode logits")?;
+
+        let mut candidates: Vec<(Hypothesis, KvCache)> = Vec::with_capacity(beams.len() * beam);
+        let mut row = 0usize;
+        for (hyp, kv) in &beams {
+            if hyp.finished {
+                candidates.push((hyp.clone(), kv.clone()));
+                continue;
+            }
+            let lp = log_softmax(logits.row(row));
+            // Descending log-prob, ties to the higher token id — the same
+            // order `beam_search_cached` uses, so beam 1 == greedy.
+            let mut idx: Vec<usize> = (0..lp.len()).collect();
+            idx.sort_by(|&a, &b| lp[b].partial_cmp(&lp[a]).unwrap().then(b.cmp(&a)));
+            for &t in idx.iter().take(beam) {
+                let mut tokens = hyp.tokens.clone();
+                tokens.push(t);
+                candidates.push((
+                    Hypothesis {
+                        tokens,
+                        log_prob: hyp.log_prob + lp[t],
+                        finished: t == vocab::EOS,
+                    },
+                    caches[row].clone(),
+                ));
+            }
+            row += 1;
+        }
+        candidates.sort_by(|a, b| b.0.score(0.0).partial_cmp(&a.0.score(0.0)).unwrap());
+        candidates.truncate(beam);
+        beams = candidates;
+    }
+    beams.sort_by(|a, b| b.0.score(0.0).partial_cmp(&a.0.score(0.0)).unwrap());
+
+    let abft = fold_stream_abft(cfg.integrity, &engine, &mut counters, "decode")?;
+    let hypotheses: Vec<Hypothesis> = beams.into_iter().map(|(h, _)| h).collect();
+    let tokens = hypotheses[0].tokens.clone();
+    Ok(FunctionalDecodeRun {
+        tokens,
+        hypotheses,
+        steps,
+        counters,
+        abft,
+        cold_load_bytes: cold,
+        steady_load_bytes: steady,
+        fetched_load_bytes: fetched,
+        elided_load_bytes: elided,
+        reuse,
+    })
 }
 
 /// A small-but-complete accelerator configuration for the functional
@@ -1437,6 +1630,103 @@ mod tests {
         match err {
             AccelError::InvalidStream { reason } => assert!(reason.contains("attention window")),
             other => panic!("expected InvalidStream, got {}", other),
+        }
+    }
+
+    // -- plan-lowered decode twin ------------------------------------------
+
+    /// The eager reference the twin must match bit-for-bit: same seeded
+    /// model, same checked engine, `greedy_decode_with` on a fresh cache.
+    fn reference_greedy(cfg: &AccelConfig, model_seed: u64, input_seed: u64) -> Vec<TokenId> {
+        let w = ModelWeights::seeded(&cfg.model, model_seed);
+        let model = Model { config: cfg.model, weights: w };
+        let engine = CheckedPsa::with_fault(cfg.psa_engine(), cfg.integrity, None);
+        let features = init::uniform(6, cfg.model.d_model, -0.5, 0.5, input_seed);
+        let memory = model.encode(&features, &engine);
+        let mut kv = KvCache::new(&model, &memory, &engine);
+        cache::greedy_decode_with(&model, &mut kv, 8, &engine)
+    }
+
+    #[test]
+    fn decode_twin_beam_one_is_bit_identical_to_cached_greedy() {
+        let cfg = cfg_at(IntegrityLevel::DetectAndRecompute);
+        let run = run_functional_decode(&cfg, 7, 11, 6, 8, 1, &FunctionalFaults::none()).unwrap();
+        assert_eq!(run.tokens, reference_greedy(&cfg, 7, 11));
+        assert_eq!(run.counters, CorruptionCounters::default());
+        assert!(run.steps >= 1 && run.steps <= 8);
+    }
+
+    #[test]
+    fn faulted_decode_recovers_to_the_clean_transcript() {
+        // Seeded silent faults at DetectAndRecompute: the CRC envelope and
+        // the ABFT recompute must hand the beam exactly the clean bits.
+        let cfg = cfg_at(IntegrityLevel::DetectAndRecompute);
+        let n_stripes = ModelWeights::seeded(&cfg.model, 7).matrices().len();
+        for seed in [1u64, 2, 3] {
+            let faults = FunctionalFaults::seeded(seed, n_stripes, cfg.psa.cols);
+            let run = run_functional_decode(&cfg, 7, 11, 6, 8, 1, &faults).unwrap();
+            assert_eq!(run.tokens, reference_greedy(&cfg, 7, 11), "fault seed {}", seed);
+            assert_eq!(run.counters.escaped, 0, "fault seed {}", seed);
+        }
+    }
+
+    #[test]
+    fn decode_twin_elides_the_majority_of_load_bytes_and_balances() {
+        let cfg = cfg_at(IntegrityLevel::DetectAndRecompute);
+        let run = run_functional_decode(&cfg, 7, 11, 6, 8, 2, &FunctionalFaults::none()).unwrap();
+        if run.steps > 1 {
+            assert!(
+                run.elided_fraction() > 0.5,
+                "steady steps must elide most bytes, got {}",
+                run.elided_fraction()
+            );
+            assert!(run.steady_load_bytes <= run.cold_load_bytes);
+        }
+        assert_eq!(run.reuse.offered, run.reuse.elided_loads + run.reuse.stale);
+        assert_eq!(
+            run.fetched_load_bytes + run.elided_load_bytes,
+            run.cold_load_bytes + run.steady_load_bytes * (run.steps as u64 - 1)
+        );
+    }
+
+    #[test]
+    fn decode_twin_returns_beam_many_sorted_hypotheses() {
+        let cfg = cfg_at(IntegrityLevel::Off);
+        let run = run_functional_decode(&cfg, 7, 11, 6, 6, 3, &FunctionalFaults::none()).unwrap();
+        assert_eq!(run.hypotheses.len(), 3);
+        for w in run.hypotheses.windows(2) {
+            assert!(w[0].score(0.0) >= w[1].score(0.0));
+        }
+        assert_eq!(run.tokens, run.hypotheses[0].tokens);
+    }
+
+    #[test]
+    fn degenerate_decode_sessions_are_rejected_typed() {
+        let cfg = cfg_at(IntegrityLevel::Off);
+        for (mem, steps, beam) in [(0usize, 8usize, 1usize), (6, 0, 1), (6, 8, 0)] {
+            let err =
+                run_functional_decode(&cfg, 7, 11, mem, steps, beam, &FunctionalFaults::none())
+                    .unwrap_err();
+            assert!(matches!(err, AccelError::Config(_)), "{}", err);
+        }
+    }
+
+    #[test]
+    fn eager_plan_interpreter_rejects_decode_plans_typed() {
+        let cfg = cfg_at(IntegrityLevel::Off);
+        let plan = ExecPlan::lower_decode_step(
+            &cfg,
+            Architecture::A2,
+            DecodeStepSpec::greedy(0, 6, 8),
+            &[],
+            cfg.integrity,
+        )
+        .unwrap();
+        let err =
+            run_functional_plan(&cfg, &plan, 7, &[11], &FunctionalFaults::none()).unwrap_err();
+        match err {
+            AccelError::Config(reason) => assert!(reason.contains("decode"), "{}", reason),
+            other => panic!("expected Config, got {}", other),
         }
     }
 }

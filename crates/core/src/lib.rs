@@ -67,18 +67,18 @@ pub use error::AccelError;
 pub use exec::SystolicBackend;
 pub use host::HostController;
 pub use host_runtime::{
-    resume_batch, run_batch_through_runtime, run_batch_with_recovery, run_plan,
-    run_plan_with_recovery, run_with_recovery, BatchFailure, BatchRun, BatchedRun, FaultedRun,
-    RecoveryPolicy,
+    resume_batch, run_batch_through_runtime, run_batch_with_recovery, run_decode_step, run_plan,
+    run_plan_with_recovery, run_with_recovery, BatchFailure, BatchRun, BatchedRun, DecodeStepRun,
+    FaultedRun, RecoveryPolicy,
 };
 pub use integrity::{
-    functional_checkpoint_at, resume_functional_plan, run_functional_batch, run_functional_plan,
-    BatchIntegrityRun, CorruptionCounters, FunctionalCheckpoint, FunctionalFaults, IntegrityRun,
-    UtteranceRun,
+    functional_checkpoint_at, resume_functional_plan, run_functional_batch, run_functional_decode,
+    run_functional_plan, BatchIntegrityRun, CorruptionCounters, FunctionalCheckpoint,
+    FunctionalDecodeRun, FunctionalFaults, IntegrityRun, UtteranceRun,
 };
 pub use plan::{
-    walk_cost, ExecPlan, PlanBuilder, PlanCheckpoint, PlanCmd, PlanCost, PlanNode, PlanResume,
-    ResidentStripe,
+    decode_analytics, walk_cost, DecodeAnalytics, DecodeStepSpec, ExecPlan, PlanBuilder,
+    PlanCheckpoint, PlanCmd, PlanCost, PlanNode, PlanResume, ResidentStripe,
 };
 pub use serve::{
     pool_fault_plans, BatchConfig, BreakerConfig, BreakerState, Evicted, RequestOutcome,

@@ -81,7 +81,7 @@ impl MmKind {
 /// checks, so the paper's unprotected cycle counts are untouched at `Off`.
 ///
 /// [`IntegrityLevel`]: asr_systolic::abft::IntegrityLevel
-fn integrity_overhead(cfg: &AccelConfig, m: usize, n: usize, passes: u64) -> Cycles {
+pub(crate) fn integrity_overhead(cfg: &AccelConfig, m: usize, n: usize, passes: u64) -> Cycles {
     if !cfg.integrity.checks_enabled() {
         return Cycles(0);
     }

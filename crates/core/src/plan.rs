@@ -61,6 +61,86 @@ pub enum PhaseKind {
     DecoderFfn,
     /// One full decoder layer (A1/A2 granularity).
     DecoderFull,
+    /// The `beam` front-token embedding rows of a decode step. The phase's
+    /// label and byte count are step-invariant but its *content* is not —
+    /// the rows name different vocabulary entries every step — so this is
+    /// the one decode phase the lowering refuses to elide however well an
+    /// offered stripe CRC-matches.
+    DecodeEmbed {
+        /// Hypotheses coalesced into the one batch-of-`beam` kernel.
+        beam: usize,
+    },
+    /// The decode session's K/V residency: the once-projected encoder-memory
+    /// cross K/V plus the fixed-capacity self-attention cache allocation.
+    /// Cold (step 0) compute is the cross projection of all `mem_len` rows;
+    /// steady-state compute is only the per-step cache append.
+    DecodeKv {
+        /// 0-based decode step this plan lowers.
+        step: usize,
+        /// Encoder-memory rows the cross K/V cover.
+        mem_len: usize,
+        /// Hypotheses sharing the residency.
+        beam: usize,
+    },
+    /// One cached decoder-layer step: self-MHA over `step + 1` cached rows,
+    /// cross-MHA over the `mem_len` resident rows, output projections and
+    /// FFN, all coalesced batch-of-`beam`.
+    DecodeLayer {
+        /// 0-based decode step this plan lowers.
+        step: usize,
+        /// Encoder-memory rows cross-attention spans.
+        mem_len: usize,
+        /// Hypotheses coalesced into the one kernel.
+        beam: usize,
+    },
+    /// The vocabulary output projection of a decode step.
+    DecodeOut {
+        /// Hypotheses coalesced into the one kernel.
+        beam: usize,
+    },
+}
+
+impl PhaseKind {
+    /// Whether this is one of the per-step decode phases (as opposed to the
+    /// eager full-sequence encoder/decoder phases).
+    pub fn is_decode(&self) -> bool {
+        matches!(
+            self,
+            PhaseKind::DecodeEmbed { .. }
+                | PhaseKind::DecodeKv { .. }
+                | PhaseKind::DecodeLayer { .. }
+                | PhaseKind::DecodeOut { .. }
+        )
+    }
+}
+
+/// The shape of one autoregressive decode step lowered by
+/// [`PlanBuilder::decode_step`]. Everything that makes a phase's *bytes*
+/// step-varying is deliberately excluded: the self-attention cache is priced
+/// at its fixed `max_steps` allocation so every elidable phase keeps a
+/// step-invariant label, byte count, and
+/// [`PlanCheckpoint::stripe_crc`] — the precondition for cross-step
+/// [`PlanBuilder::reuse_resident`] elision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeStepSpec {
+    /// 0-based decode step (0 = cold: nothing resident yet).
+    pub step: usize,
+    /// Encoder-memory rows the cross-attention K/V are projected from.
+    pub mem_len: usize,
+    /// Beam hypotheses scored as one coalesced batch-of-`beam` compute per
+    /// phase (1 = greedy).
+    pub beam: usize,
+    /// Self-attention cache capacity in steps (the decode length budget the
+    /// session reserved bank space for). Must exceed `step`.
+    pub max_steps: usize,
+}
+
+impl DecodeStepSpec {
+    /// Spec for `step` of a greedy (beam-1) session over `mem_len` memory
+    /// rows with a `max_steps` cache budget.
+    pub fn greedy(step: usize, mem_len: usize, max_steps: usize) -> Self {
+        DecodeStepSpec { step, mem_len, beam: 1, max_steps }
+    }
 }
 
 /// One weight-residency phase of the lowered schedule: a whole encoder
@@ -394,6 +474,9 @@ pub struct ExecPlan {
     /// Present when this plan was lowered against a resident stripe set
     /// ([`PlanBuilder::reuse_resident`] — streaming cross-chunk reuse).
     pub reuse: Option<PlanReuse>,
+    /// Present when this plan lowers one autoregressive decode step
+    /// ([`PlanBuilder::decode_step`]).
+    pub decode: Option<DecodeStepSpec>,
     /// Per phase, the [`PlanCmd::LoadStripe`] node id. `None` for phases
     /// before a resume cut and for trusted resident stripes.
     load_of: Vec<Option<CmdId>>,
@@ -414,6 +497,23 @@ impl ExecPlan {
         integrity: IntegrityLevel,
     ) -> Result<ExecPlan> {
         PlanBuilder::new(cfg, arch).utterances(&vec![input_len; batch]).integrity(integrity).build()
+    }
+
+    /// Lower one autoregressive decode step, reusing whatever stripes a
+    /// previous step (or session warm-up) left pinned. Pass an empty
+    /// `resident` slice for the cold step.
+    pub fn lower_decode_step(
+        cfg: &AccelConfig,
+        arch: Architecture,
+        spec: DecodeStepSpec,
+        resident: &[ResidentStripe],
+        integrity: IntegrityLevel,
+    ) -> Result<ExecPlan> {
+        PlanBuilder::new(cfg, arch)
+            .decode_step(spec)
+            .reuse_resident(resident)
+            .integrity(integrity)
+            .build()
     }
 
     /// Prefetch engines the plan drives (A1/A2 = 1, A3 = 2).
@@ -521,6 +621,19 @@ impl ExecPlan {
         self.phases.iter().map(|p| p.bytes).sum()
     }
 
+    /// Bytes this plan's emitted `LoadStripe` nodes actually move — the
+    /// numerator left after resume skips and resident-reuse elision
+    /// (`scheduled_load_bytes` minus everything not fetched).
+    pub fn fetched_load_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| match n.cmd {
+                PlanCmd::LoadStripe { bytes, .. } => bytes,
+                _ => 0,
+            })
+            .sum()
+    }
+
     /// The leading `slots` phases' stripes with their schedule CRCs — what
     /// a streaming device pins in its dedicated stream weight cache after
     /// serving a chunk. The pipeline-fill loads are the ones a per-chunk
@@ -533,6 +646,27 @@ impl ExecPlan {
             .iter()
             .enumerate()
             .take(slots)
+            .map(|(i, p)| ResidentStripe {
+                phase: i,
+                label: p.label.clone(),
+                bytes: p.bytes,
+                crc: PlanCheckpoint::stripe_crc(p, self.weight_version),
+                version: self.weight_version,
+            })
+            .collect()
+    }
+
+    /// The stripes a decode session pins resident after a step: every phase
+    /// *except* the token-embedding rows, whose content changes each step
+    /// and must always be re-fetched. Feed the result to
+    /// [`PlanBuilder::reuse_resident`] for the next step's lowering; on a
+    /// non-decode plan this is empty (use
+    /// [`pinned_stripes`](Self::pinned_stripes) there).
+    pub fn decode_pinned_stripes(&self) -> Vec<ResidentStripe> {
+        self.phases
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| p.kind.is_decode() && !matches!(p.kind, PhaseKind::DecodeEmbed { .. }))
             .map(|(i, p)| ResidentStripe {
                 phase: i,
                 label: p.label.clone(),
@@ -569,6 +703,7 @@ pub struct PlanBuilder<'a> {
     integrity: IntegrityLevel,
     resume: Option<(PlanCheckpoint, bool)>,
     resident: Vec<ResidentStripe>,
+    decode: Option<DecodeStepSpec>,
 }
 
 impl<'a> PlanBuilder<'a> {
@@ -582,6 +717,7 @@ impl<'a> PlanBuilder<'a> {
             integrity: cfg.integrity,
             resume: None,
             resident: Vec::new(),
+            decode: None,
         }
     }
 
@@ -625,10 +761,51 @@ impl<'a> PlanBuilder<'a> {
         self
     }
 
+    /// Lower one autoregressive decode step instead of the eager
+    /// full-sequence schedule: the phase list becomes the per-step decode
+    /// skeleton (token embedding rows, K/V residency, the decoder layers,
+    /// the vocabulary projection) and every phase runs ONE coalesced
+    /// batch-of-`beam` compute — the beam rides inside the kernel, not the
+    /// utterance axis. The batch is implicitly solo; combine with
+    /// [`reuse_resident`](Self::reuse_resident) (feeding back
+    /// [`ExecPlan::decode_pinned_stripes`]) so steady-state steps fetch only
+    /// the embedding rows. Mutually exclusive with
+    /// [`resume_from`](Self::resume_from) — decode recovery replays the
+    /// step, it never resumes mid-step.
+    pub fn decode_step(mut self, spec: DecodeStepSpec) -> Self {
+        self.decode = Some(spec);
+        self
+    }
+
     /// Lower the schedule into the command DAG.
-    pub fn build(self) -> Result<ExecPlan> {
+    pub fn build(mut self) -> Result<ExecPlan> {
         let cfg = self.cfg;
         cfg.validate()?;
+        if let Some(spec) = self.decode {
+            if self.resume.is_some() {
+                return Err(AccelError::Config(
+                    "decode_step and resume_from are mutually exclusive".into(),
+                ));
+            }
+            if !self.input_lens.is_empty() {
+                return Err(AccelError::Config(
+                    "decode_step plans are implicitly solo; do not set utterances".into(),
+                ));
+            }
+            if spec.beam == 0 {
+                return Err(AccelError::Config("decode beam must be >= 1".into()));
+            }
+            if spec.mem_len == 0 {
+                return Err(AccelError::Config("decode memory must be non-empty".into()));
+            }
+            if spec.step >= spec.max_steps {
+                return Err(AccelError::Config(format!(
+                    "decode step {} outside the {}-step cache allocation",
+                    spec.step, spec.max_steps
+                )));
+            }
+            self.input_lens = vec![spec.mem_len];
+        }
         let batch = self.input_lens.len();
         if batch == 0 {
             return Err(AccelError::Config("batch size must be >= 1".into()));
@@ -637,7 +814,10 @@ impl<'a> PlanBuilder<'a> {
         for &len in &self.input_lens {
             seq_len = seq_len.max(cfg.checked_padded_seq_len(len)?);
         }
-        let phases = phase_list(cfg, self.arch);
+        let phases = match self.decode {
+            Some(spec) => decode_phase_list(cfg, &spec),
+            None => phase_list(cfg, self.arch),
+        };
         let engines = match self.arch {
             Architecture::A3 => 2,
             _ => 1,
@@ -690,6 +870,13 @@ impl<'a> PlanBuilder<'a> {
                     Some(_) if r.version != cfg.weight_version => {
                         acct.stale += 1;
                         acct.stale_version += 1;
+                    }
+                    // The embedding rows change content every decode step
+                    // while keeping a step-invariant label and byte count,
+                    // so a CRC match proves nothing — refuse the elision
+                    // unconditionally.
+                    Some(p) if matches!(p.kind, PhaseKind::DecodeEmbed { .. }) => {
+                        acct.stale += 1;
                     }
                     Some(p)
                         if r.label == p.label
@@ -841,6 +1028,7 @@ impl<'a> PlanBuilder<'a> {
             nodes,
             resume,
             reuse: reuse_acct,
+            decode: self.decode,
             load_of,
             computes_of,
         })
@@ -976,7 +1164,55 @@ pub fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PlanPhase> {
     phases
 }
 
+/// The per-step decode schedule skeleton: the `beam` token-embedding rows,
+/// the K/V residency, the decoder layers, and the vocabulary projection.
+/// Every phase that is legal to elide across steps keeps a step-invariant
+/// label and byte count — in particular the self-attention cache is priced
+/// at its full `max_steps` allocation, not the rows filled so far — so the
+/// only per-step traffic left after [`PlanBuilder::reuse_resident`] is the
+/// embedding rows.
+pub fn decode_phase_list(cfg: &AccelConfig, spec: &DecodeStepSpec) -> Vec<PlanPhase> {
+    let bytes = layer_bytes(cfg);
+    let w = cfg.bytes_per_weight;
+    let d = cfg.model.d_model as u64;
+    let vocab = cfg.model.vocab_size as u64;
+    let (step, mem_len, beam) = (spec.step, spec.mem_len, spec.beam);
+    let mut phases = vec![
+        PlanPhase {
+            label: "TOK".into(),
+            bytes: beam as u64 * d * w,
+            kind: PhaseKind::DecodeEmbed { beam },
+        },
+        PlanPhase {
+            label: "KV".into(),
+            // Cross K/V for every decoder layer plus the fixed-capacity
+            // per-hypothesis self-cache allocation.
+            bytes: cfg.model.n_decoders as u64
+                * 2
+                * d
+                * w
+                * (mem_len as u64 + beam as u64 * spec.max_steps as u64),
+            kind: PhaseKind::DecodeKv { step, mem_len, beam },
+        },
+    ];
+    for i in 0..cfg.model.n_decoders {
+        phases.push(PlanPhase {
+            label: format!("D{}", i + 1),
+            bytes: bytes.decoder_mha + bytes.decoder_ffn,
+            kind: PhaseKind::DecodeLayer { step, mem_len, beam },
+        });
+    }
+    phases.push(PlanPhase {
+        label: "OUT".into(),
+        bytes: (d * vocab + vocab) * w,
+        kind: PhaseKind::DecodeOut { beam },
+    });
+    phases
+}
+
 /// Seconds of compute for one phase under a (possibly degraded) config.
+/// `s` is the plan's padded sequence length; the decode kinds carry their
+/// own step geometry and ignore it.
 pub fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
     let clock = cfg.device.clock;
     match kind {
@@ -984,6 +1220,20 @@ pub fn phase_compute_s(cfg: &AccelConfig, kind: PhaseKind, s: usize) -> f64 {
         PhaseKind::DecoderMha => clock.to_seconds(decoder::decoder_mha_phase_cycles(cfg, s)),
         PhaseKind::DecoderFfn => clock.to_seconds(decoder::decoder_ffn_phase_cycles(cfg, s)),
         PhaseKind::DecoderFull => clock.to_seconds(decoder::decoder_cycles(cfg, s)),
+        PhaseKind::DecodeEmbed { beam } => {
+            clock.to_seconds(decoder::decode_embed_cycles(cfg, beam))
+        }
+        PhaseKind::DecodeKv { step, mem_len, beam } => clock.to_seconds(if step == 0 {
+            decoder::decode_kv_project_cycles(cfg, mem_len)
+        } else {
+            decoder::decode_kv_append_cycles(cfg, beam)
+        }),
+        PhaseKind::DecodeLayer { step, mem_len, beam } => {
+            clock.to_seconds(decoder::decode_layer_step_cycles(cfg, step, mem_len, beam))
+        }
+        PhaseKind::DecodeOut { beam } => {
+            clock.to_seconds(decoder::decode_out_proj_cycles(cfg, beam))
+        }
     }
 }
 
@@ -1099,6 +1349,58 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
     }
 }
 
+/// The analytic shape of a decode session — what `asrsim plan --decode` and
+/// the bench decode entries report: cold-step vs steady-state traffic and
+/// latency, and the resident-reuse accounting that separates them.
+#[derive(Debug, Clone)]
+pub struct DecodeAnalytics {
+    /// Priced cold step (step 0, nothing resident).
+    pub cold: PlanCost,
+    /// Priced steady-state step (everything but the embedding rows elided).
+    pub steady: PlanCost,
+    /// HBM bytes the cold step fetches.
+    pub cold_step_bytes: u64,
+    /// HBM bytes a steady-state step still fetches.
+    pub steady_step_bytes: u64,
+    /// Fraction of the scheduled bytes a steady-state step elides.
+    pub elided_fraction: f64,
+    /// The steady-state step's reuse accounting.
+    pub reuse: PlanReuse,
+    /// Steady-state decode latency per emitted token, milliseconds.
+    pub steady_ms_per_token: f64,
+}
+
+/// Price a decode session analytically: lower the cold step, pin its
+/// elidable stripes, lower `steady_step` against them, and walk both DAGs.
+pub fn decode_analytics(
+    cfg: &AccelConfig,
+    arch: Architecture,
+    mem_len: usize,
+    beam: usize,
+    max_steps: usize,
+    steady_step: usize,
+    integrity: IntegrityLevel,
+) -> Result<DecodeAnalytics> {
+    let cold_spec = DecodeStepSpec { step: 0, mem_len, beam, max_steps };
+    let cold_plan = ExecPlan::lower_decode_step(cfg, arch, cold_spec, &[], integrity)?;
+    let pinned = cold_plan.decode_pinned_stripes();
+    let steady_spec = DecodeStepSpec { step: steady_step.min(max_steps - 1), ..cold_spec };
+    let steady_plan = ExecPlan::lower_decode_step(cfg, arch, steady_spec, &pinned, integrity)?;
+    let reuse = steady_plan.reuse.unwrap_or_default();
+    let cold = walk_cost(cfg, &cold_plan);
+    let steady = walk_cost(cfg, &steady_plan);
+    let scheduled = steady_plan.scheduled_load_bytes().max(1);
+    Ok(DecodeAnalytics {
+        cold_step_bytes: cold_plan.fetched_load_bytes(),
+        steady_step_bytes: steady_plan.fetched_load_bytes(),
+        elided_fraction: reuse.elided_load_bytes as f64 / scheduled as f64,
+        reuse,
+        steady_ms_per_token: steady.latency_s * 1e3,
+        cold,
+        steady,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1144,6 +1446,117 @@ mod tests {
         let (buf3, ser3, pair3) = a3.edge_counts();
         assert_eq!((buf3, ser3), (22, 0));
         assert_eq!(pair3, 6, "one paired FFN load per decoder");
+    }
+
+    #[test]
+    fn decode_step_lowers_tok_kv_layers_out() {
+        let cfg = unpadded(8);
+        let spec = DecodeStepSpec::greedy(0, 8, 16);
+        let plan =
+            ExecPlan::lower_decode_step(&cfg, Architecture::A2, spec, &[], IntegrityLevel::Off)
+                .unwrap();
+        let n_dec = cfg.model.n_decoders;
+        assert_eq!(plan.phases.len(), n_dec + 3);
+        assert_eq!(plan.phases[0].label, "TOK");
+        assert_eq!(plan.phases[1].label, "KV");
+        assert_eq!(plan.phases[n_dec + 2].label, "OUT");
+        let c = plan.counts();
+        assert_eq!(c.loads, n_dec + 3, "cold step fetches every phase");
+        assert_eq!(c.computes, n_dec + 3, "one coalesced compute per phase");
+        assert_eq!(c.barriers, 1);
+        assert_eq!(plan.batch, 1);
+        assert_eq!(plan.decode, Some(spec));
+    }
+
+    #[test]
+    fn steady_decode_step_loads_only_the_embedding_rows() {
+        let cfg = unpadded(8);
+        let cold = ExecPlan::lower_decode_step(
+            &cfg,
+            Architecture::A2,
+            DecodeStepSpec::greedy(0, 8, 16),
+            &[],
+            IntegrityLevel::Off,
+        )
+        .unwrap();
+        let pinned = cold.decode_pinned_stripes();
+        assert_eq!(pinned.len(), cfg.model.n_decoders + 2, "everything but TOK pins");
+        let steady = ExecPlan::lower_decode_step(
+            &cfg,
+            Architecture::A2,
+            DecodeStepSpec::greedy(5, 8, 16),
+            &pinned,
+            IntegrityLevel::Off,
+        )
+        .unwrap();
+        assert_eq!(steady.counts().loads, 1, "only TOK is fetched");
+        assert_eq!(steady.fetched_load_bytes(), steady.phases[0].bytes);
+        let reuse = steady.reuse.unwrap();
+        assert_eq!(reuse.offered, pinned.len());
+        assert_eq!(reuse.elided_loads, pinned.len());
+        assert_eq!(reuse.stale, 0);
+        assert!(
+            reuse.elided_load_bytes as f64 / steady.scheduled_load_bytes() as f64 > 0.5,
+            "steady-state steps must elide most of the cold traffic"
+        );
+    }
+
+    #[test]
+    fn embedding_rows_are_never_elided_even_when_offered() {
+        // TOK's label and bytes are step-invariant but its content is not:
+        // a pin of phase 0 must be refused, counted stale.
+        let cfg = unpadded(8);
+        let cold = ExecPlan::lower_decode_step(
+            &cfg,
+            Architecture::A2,
+            DecodeStepSpec::greedy(0, 8, 16),
+            &[],
+            IntegrityLevel::Off,
+        )
+        .unwrap();
+        let all = cold.pinned_stripes(cold.phases.len()); // includes TOK
+        let steady = ExecPlan::lower_decode_step(
+            &cfg,
+            Architecture::A2,
+            DecodeStepSpec::greedy(3, 8, 16),
+            &all,
+            IntegrityLevel::Off,
+        )
+        .unwrap();
+        let reuse = steady.reuse.unwrap();
+        assert_eq!(reuse.stale, 1, "the TOK pin is refused");
+        assert_eq!(steady.counts().loads, 1, "TOK still loads");
+    }
+
+    #[test]
+    fn decode_step_rejects_bad_specs() {
+        let cfg = unpadded(8);
+        let bad = |spec: DecodeStepSpec| {
+            ExecPlan::lower_decode_step(&cfg, Architecture::A2, spec, &[], IntegrityLevel::Off)
+                .unwrap_err()
+        };
+        bad(DecodeStepSpec { step: 0, mem_len: 8, beam: 0, max_steps: 16 });
+        bad(DecodeStepSpec { step: 0, mem_len: 0, beam: 1, max_steps: 16 });
+        bad(DecodeStepSpec { step: 16, mem_len: 8, beam: 1, max_steps: 16 });
+        // decode + utterances and decode + resume are both refused
+        assert!(PlanBuilder::new(&cfg, Architecture::A2)
+            .utterances(&[8])
+            .decode_step(DecodeStepSpec::greedy(0, 8, 16))
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn decode_analytics_shows_majority_elision_and_cheaper_steady_steps() {
+        let cfg = unpadded(8);
+        let a = decode_analytics(&cfg, Architecture::A2, 8, 1, 16, 5, IntegrityLevel::Off).unwrap();
+        assert!(a.elided_fraction > 0.5, "elided {}", a.elided_fraction);
+        assert!(a.steady_step_bytes < a.cold_step_bytes / 2);
+        assert!(a.steady.latency_s < a.cold.latency_s, "steady steps skip the fills");
+        assert!(a.steady_ms_per_token > 0.0);
+        // beam-4 coalescing: one batched step is cheaper than four solo steps
+        let b = decode_analytics(&cfg, Architecture::A2, 8, 4, 16, 5, IntegrityLevel::Off).unwrap();
+        assert!(b.steady_ms_per_token < a.steady_ms_per_token * 4.0);
     }
 
     #[test]

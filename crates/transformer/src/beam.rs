@@ -6,6 +6,7 @@
 //! accumulated log-probability with an optional length penalty; `beam = 1`
 //! reduces exactly to greedy decoding.
 
+use crate::cache::{self, KvCache};
 use crate::model::Model;
 use asr_frontend::vocab::{self, TokenId};
 use asr_tensor::{MatMul, Matrix};
@@ -47,8 +48,9 @@ impl Hypothesis {
     }
 }
 
-/// Log-softmax of a logits row.
-fn log_softmax(row: &[f32]) -> Vec<f32> {
+/// Log-softmax of a logits row (shared with the plan-lowered decode twin,
+/// which must score hypotheses with bit-identical arithmetic).
+pub fn log_softmax(row: &[f32]) -> Vec<f32> {
     let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
     let log_sum: f32 = row.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
     row.iter().map(|&x| x - max - log_sum).collect()
@@ -101,6 +103,80 @@ pub fn beam_search(
         b.score(cfg.length_penalty).partial_cmp(&a.score(cfg.length_penalty)).unwrap()
     });
     beams
+}
+
+/// KV-cached, kernel-coalesced beam search: the cross-attention K/V are
+/// projected ONCE from the memory and shared (cloned) across the whole beam,
+/// each hypothesis keeps its own self-attention cache, and every step scores
+/// ALL live hypotheses through one [`cache::step_beam`] — a single
+/// batch-of-`B` kernel per weight matmul, exactly the coalesced `Compute`
+/// shape `PlanBuilder::decode_step` lowers. `O(T)` projections per
+/// hypothesis instead of the eager [`beam_search`]'s `O(T²)`.
+///
+/// At `beam = 1` the continuation choice ties-to-last like
+/// [`cache::greedy_decode_with`]'s argmax, so a width-1 beam is
+/// token-identical to the greedy path — pinned by tests and proptests.
+pub fn beam_search_cached(
+    model: &Model,
+    memory: &Matrix,
+    cfg: &BeamConfig,
+    backend: &dyn MatMul,
+) -> Vec<Hypothesis> {
+    assert!(cfg.beam >= 1, "beam width must be >= 1");
+    assert!(cfg.max_len >= 1, "max_len must be >= 1");
+    let root = KvCache::new(model, memory, backend);
+    let mut beams =
+        vec![(Hypothesis { tokens: vec![vocab::SOS], log_prob: 0.0, finished: false }, root)];
+
+    for _ in 0..cfg.max_len {
+        if beams.iter().all(|(h, _)| h.finished) {
+            break;
+        }
+        // One coalesced batch-of-B step over every live hypothesis.
+        let live: Vec<usize> =
+            beams.iter().enumerate().filter(|(_, (h, _))| !h.finished).map(|(i, _)| i).collect();
+        let fronts: Vec<TokenId> =
+            live.iter().map(|&i| *beams[i].0.tokens.last().expect("non-empty")).collect();
+        let mut caches: Vec<KvCache> = live.iter().map(|&i| beams[i].1.clone()).collect();
+        let logits = cache::step_beam(model, &fronts, &mut caches, backend);
+
+        let mut candidates: Vec<(Hypothesis, KvCache)> = Vec::with_capacity(beams.len() * cfg.beam);
+        let mut row = 0usize;
+        for (hyp, kv) in &beams {
+            if hyp.finished {
+                candidates.push((hyp.clone(), kv.clone()));
+                continue;
+            }
+            let lp = log_softmax(logits.row(row));
+            // Descending log-prob; ties prefer the higher token id so a
+            // width-1 beam picks exactly what greedy's ties-to-last argmax
+            // picks.
+            let mut idx: Vec<usize> = (0..lp.len()).collect();
+            idx.sort_by(|&a, &b| lp[b].partial_cmp(&lp[a]).unwrap().then(b.cmp(&a)));
+            for &t in idx.iter().take(cfg.beam) {
+                let mut tokens = hyp.tokens.clone();
+                tokens.push(t);
+                candidates.push((
+                    Hypothesis {
+                        tokens,
+                        log_prob: hyp.log_prob + lp[t],
+                        finished: t == vocab::EOS,
+                    },
+                    caches[row].clone(),
+                ));
+            }
+            row += 1;
+        }
+        candidates.sort_by(|a, b| {
+            b.0.score(cfg.length_penalty).partial_cmp(&a.0.score(cfg.length_penalty)).unwrap()
+        });
+        candidates.truncate(cfg.beam);
+        beams = candidates;
+    }
+    beams.sort_by(|a, b| {
+        b.0.score(cfg.length_penalty).partial_cmp(&a.0.score(cfg.length_penalty)).unwrap()
+    });
+    beams.into_iter().map(|(h, _)| h).collect()
 }
 
 #[cfg(test)]
@@ -163,6 +239,28 @@ mod tests {
             assert_eq!(h.tokens[0], vocab::SOS);
             assert!(h.tokens.iter().all(|&t| t < model.config.vocab_size));
             assert!(h.log_prob <= 0.0);
+        }
+    }
+
+    #[test]
+    fn cached_beam_one_is_token_identical_to_cached_greedy() {
+        let (model, mem) = rig();
+        let cfg = BeamConfig { beam: 1, max_len: 10, length_penalty: 0.0 };
+        let beams = beam_search_cached(&model, &mem, &cfg, &ReferenceBackend);
+        let mut cache = crate::cache::KvCache::new(&model, &mem, &ReferenceBackend);
+        let greedy = crate::cache::greedy_decode_with(&model, &mut cache, 10, &ReferenceBackend);
+        assert_eq!(beams[0].tokens, greedy);
+    }
+
+    #[test]
+    fn cached_beam_matches_eager_beam_token_for_token() {
+        let (model, mem) = rig();
+        for beam in [1usize, 2, 4] {
+            let cfg = BeamConfig { beam, max_len: 8, length_penalty: 0.6 };
+            let eager = beam_search(&model, &mem, &cfg, &ReferenceBackend);
+            let cached = beam_search_cached(&model, &mem, &cfg, &ReferenceBackend);
+            assert_eq!(cached.len(), eager.len(), "beam {}", beam);
+            assert_eq!(cached[0].tokens, eager[0].tokens, "beam {}", beam);
         }
     }
 

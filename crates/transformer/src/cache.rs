@@ -15,6 +15,7 @@ use asr_tensor::norm::layer_norm;
 use asr_tensor::{ops, MatMul, Matrix};
 
 /// Per-layer cached state.
+#[derive(Clone)]
 struct LayerCache {
     /// Self-attention K per head: grows one row per step.
     self_k: Vec<Matrix>,
@@ -27,6 +28,7 @@ struct LayerCache {
 }
 
 /// Decoder-stack cache across steps.
+#[derive(Clone)]
 pub struct KvCache {
     layers: Vec<LayerCache>,
 }
@@ -81,7 +83,17 @@ impl KvCache {
     /// of the work. This is the decoder-side half of streaming: the encoder
     /// streams chunks in, the cross cache grows, and partial decodes never
     /// re-project memory they have already seen.
+    ///
+    /// Extending the memory also **invalidates the self-attention state**:
+    /// every cached self K/V row at layers past the first was projected from
+    /// activations that cross-attended over the *old* memory, so reusing
+    /// them against the extended memory would silently mix two decoding
+    /// contexts. The decoded-prefix state is dropped here (exactly what
+    /// [`reset_self`](Self::reset_self) does), and the next decode starts
+    /// its token loop fresh — the regression test pins that a partial
+    /// decode's rows never leak across an extension.
     pub fn extend_memory(&mut self, model: &Model, new_rows: &Matrix, backend: &dyn MatMul) {
+        self.reset_self();
         for (dec, layer) in model.weights.decoders.iter().zip(&mut self.layers) {
             for hd in 0..dec.cross_mha.w_k.len() {
                 let k_new = ops::add_bias(
@@ -178,6 +190,101 @@ pub fn step(model: &Model, token: TokenId, cache: &mut KvCache, backend: &dyn Ma
     let mut x = model.embed(&[token]);
     for (dec, layer_cache) in model.weights.decoders.iter().zip(&mut cache.layers) {
         x = cached_decoder_layer(&x, dec, layer_cache, backend);
+    }
+    ops::add_bias(&backend.matmul(&x, &model.weights.out_proj), &model.weights.out_bias)
+}
+
+/// Multi-head attention for a whole beam at once: the *weight* matmuls (Q,
+/// and for self-attention K/V, plus the output projection) run as ONE
+/// coalesced `B × d` pass per head — the kernel shape the decode plan's
+/// batch-of-`beam` `Compute` models — while the attention itself stays
+/// per-hypothesis against each hypothesis's own cache. Weight matmuls are
+/// row-independent, so each hypothesis's rows are bit-identical to a solo
+/// [`cached_mha`]; the tests pin that.
+fn beam_mha(
+    x: &Matrix, // B × d_model
+    w: &AttentionWeights,
+    lcs: &mut [&mut LayerCache],
+    self_attn: bool,
+    backend: &dyn MatMul,
+) -> Matrix {
+    let h = w.w_q.len();
+    let b = x.rows();
+    let mut heads: Vec<Matrix> = Vec::with_capacity(h);
+    for hd in 0..h {
+        let q = ops::add_bias(&backend.matmul(x, &w.w_q[hd]), &w.b_q[hd]); // B × d_k
+        let kv_new = if self_attn {
+            let k = ops::add_bias(&backend.matmul(x, &w.w_k[hd]), &w.b_k[hd]);
+            let v = ops::add_bias(&backend.matmul(x, &w.w_v[hd]), &w.b_v[hd]);
+            Some((k, v))
+        } else {
+            None
+        };
+        let mut out_rows: Vec<Matrix> = Vec::with_capacity(b);
+        for (i, lc) in lcs.iter_mut().enumerate() {
+            let q_row = q.submatrix(i, 0, 1, q.cols());
+            if let Some((k_new, v_new)) = &kv_new {
+                let k_row = k_new.submatrix(i, 0, 1, k_new.cols());
+                let v_row = v_new.submatrix(i, 0, 1, v_new.cols());
+                if lc.self_k.len() <= hd {
+                    lc.self_k.push(k_row);
+                    lc.self_v.push(v_row);
+                } else {
+                    lc.self_k[hd] = Matrix::vconcat(&[&lc.self_k[hd], &k_row]);
+                    lc.self_v[hd] = Matrix::vconcat(&[&lc.self_v[hd], &v_row]);
+                }
+            }
+            let (k, v) = if self_attn {
+                (&lc.self_k[hd], &lc.self_v[hd])
+            } else {
+                (&lc.cross_k[hd], &lc.cross_v[hd])
+            };
+            out_rows.push(cached_head_attention(&q_row, k, v));
+        }
+        let refs: Vec<&Matrix> = out_rows.iter().collect();
+        heads.push(Matrix::vconcat(&refs)); // B × d_k
+    }
+    let refs: Vec<&Matrix> = heads.iter().collect();
+    ops::add_bias(&backend.matmul(&Matrix::hconcat(&refs), &w.w_a), &w.b_a)
+}
+
+/// One decoder layer for a whole beam: coalesced weight matmuls,
+/// per-hypothesis attention and cache appends.
+fn beam_decoder_layer(
+    x: &Matrix, // B × d_model
+    dec: &DecoderWeights,
+    lcs: &mut [&mut LayerCache],
+    backend: &dyn MatMul,
+) -> Matrix {
+    let self_att = beam_mha(x, &dec.masked_mha, lcs, true, backend);
+    let x1 = layer_norm(&ops::add(x, &self_att), &dec.ln1.w, &dec.ln1.b);
+    let cross = beam_mha(&x1, &dec.cross_mha, lcs, false, backend);
+    let x2 = layer_norm(&ops::add(&x1, &cross), &dec.ln2.w, &dec.ln2.b);
+    let ffn = crate::ffn::ffn_forward(&x2, &dec.ffn, backend);
+    layer_norm(&ops::add(&x2, &ffn), &dec.ln3.w, &dec.ln3.b)
+}
+
+/// One coalesced decode step for `tokens.len()` beam hypotheses: hypothesis
+/// `i` feeds `tokens[i]` through `caches[i]` and gets back row `i` of the
+/// returned `B × vocab` logits. Every weight matmul runs once for the whole
+/// beam (one weight residency, one batch-of-`B` kernel — the shape
+/// `PlanBuilder::decode_step` lowers); weight matmuls are row-independent,
+/// so each row is bit-identical to a solo [`step`] on the same cache, which
+/// the tests pin. All caches must share the same memory projection.
+pub fn step_beam(
+    model: &Model,
+    tokens: &[TokenId],
+    caches: &mut [KvCache],
+    backend: &dyn MatMul,
+) -> Matrix {
+    assert_eq!(tokens.len(), caches.len(), "one cache per hypothesis");
+    assert!(!tokens.is_empty(), "empty beam");
+    let rows: Vec<Matrix> = tokens.iter().map(|&t| model.embed(&[t])).collect();
+    let refs: Vec<&Matrix> = rows.iter().collect();
+    let mut x = Matrix::vconcat(&refs); // B × d_model
+    for l in 0..model.weights.decoders.len() {
+        let mut lcs: Vec<&mut LayerCache> = caches.iter_mut().map(|c| &mut c.layers[l]).collect();
+        x = beam_decoder_layer(&x, &model.weights.decoders[l], &mut lcs, backend);
     }
     ops::add_bias(&backend.matmul(&x, &model.weights.out_proj), &model.weights.out_bias)
 }
@@ -302,6 +409,79 @@ mod tests {
         assert_eq!(cache.memory_len(), mem.rows(), "cross K/V survive the reset");
         let second = greedy_decode_with(&model, &mut cache, 10, &ReferenceBackend);
         assert_eq!(first, second, "same memory, same tokens");
+    }
+
+    #[test]
+    fn extend_memory_never_reuses_stale_self_rows() {
+        // Regression: a partial decode leaves self-attention rows behind;
+        // extending the memory afterwards (the mid-stream reset + extension
+        // path) must invalidate them, because rows at layers past the first
+        // were projected from activations that cross-attended over the OLD
+        // memory. Before the fix the stale rows survived and the post-
+        // extension decode silently mixed two contexts.
+        let (model, mem) = rig(); // 6 memory rows
+        let head = mem.submatrix(0, 0, 4, mem.cols());
+        let tail = mem.submatrix(4, 0, 2, mem.cols());
+        let mut cache = KvCache::new(&model, &head, &ReferenceBackend);
+        let _partial = greedy_decode_with(&model, &mut cache, 6, &ReferenceBackend);
+        assert!(!cache.is_empty(), "the partial decode left self rows behind");
+        cache.extend_memory(&model, &tail, &ReferenceBackend);
+        assert!(cache.is_empty(), "extension must drop the decoded-prefix state");
+        assert_eq!(cache.memory_len(), 6);
+        let mut fresh = KvCache::new(&model, &mem, &ReferenceBackend);
+        assert_eq!(
+            greedy_decode_with(&model, &mut cache, 10, &ReferenceBackend),
+            greedy_decode_with(&model, &mut fresh, 10, &ReferenceBackend),
+            "post-extension decode must match a from-scratch cache"
+        );
+    }
+
+    #[test]
+    fn beam_step_rows_are_bit_identical_to_solo_steps() {
+        // The coalesced batch-of-B kernel must not change arithmetic:
+        // every weight matmul is row-independent, so hypothesis i's logits
+        // row equals a solo step on the same cache, bit for bit.
+        let (model, mem) = rig();
+        let tokens = [vocab::SOS, 3, 7];
+        let mut solo_caches: Vec<KvCache> =
+            (0..3).map(|_| KvCache::new(&model, &mem, &ReferenceBackend)).collect();
+        let mut beam_caches = solo_caches.clone();
+        // advance each solo cache independently
+        let solo: Vec<Matrix> = tokens
+            .iter()
+            .zip(&mut solo_caches)
+            .map(|(&t, c)| step(&model, t, c, &ReferenceBackend))
+            .collect();
+        let beamed = step_beam(&model, &tokens, &mut beam_caches, &ReferenceBackend);
+        assert_eq!(beamed.rows(), 3);
+        for (i, s) in solo.iter().enumerate() {
+            for j in 0..model.config.vocab_size {
+                assert!(
+                    beamed[(i, j)].to_bits() == s[(0, j)].to_bits(),
+                    "hypothesis {} logit {} diverged",
+                    i,
+                    j
+                );
+            }
+        }
+        // and the caches advanced identically
+        for (a, b) in solo_caches.iter().zip(&beam_caches) {
+            assert_eq!(a.len(), b.len());
+        }
+    }
+
+    #[test]
+    fn beam_of_one_steps_exactly_like_the_greedy_path() {
+        let (model, mem) = rig();
+        let mut greedy_cache = KvCache::new(&model, &mem, &ReferenceBackend);
+        let mut beam_cache = [KvCache::new(&model, &mem, &ReferenceBackend)];
+        for &t in &[vocab::SOS, 2, 5] {
+            let g = step(&model, t, &mut greedy_cache, &ReferenceBackend);
+            let b = step_beam(&model, &[t], &mut beam_cache, &ReferenceBackend);
+            for j in 0..model.config.vocab_size {
+                assert_eq!(b[(0, j)].to_bits(), g[(0, j)].to_bits(), "logit {}", j);
+            }
+        }
     }
 
     #[test]

@@ -14,6 +14,18 @@
 //!                                      lowered ExecPlan dump: command counts,
 //!                                      prefetch edges, critical path, and
 //!                                      per-channel HBM load bytes
+//! asrsim plan --decode [--s N] [--arch a1|a2|a3] [--beam B] [--steps T]
+//!                  [--step K] [--integrity off|detect|detect-recompute]
+//!                                      per-step decode plans: cold vs
+//!                                      steady-state load bytes, the elided
+//!                                      fraction KV residency buys, and the
+//!                                      steady ms/token critical path
+//! asrsim decode    [--beam B] [--steps T] [--mem M] [--fault-seed S]
+//!                                      functional decode smoke: runs the
+//!                                      plan-lowered beam decode clean and
+//!                                      under seeded silent faults, fails on
+//!                                      any transcript divergence or if the
+//!                                      steady steps elide nothing
 //! asrsim csv <fig5.2|table5.1|ii>      sweep data as CSV on stdout
 //! asrsim faults <seed> [--s N] [--arch a1|a2|a3] [--integrity off|detect|detect-recompute]
 //!                                      fault-injected run: degraded vs nominal
@@ -51,6 +63,11 @@
 //!                                      session-affinity router; node-granular
 //!                                      faults, cross-node checkpointed
 //!                                      failover, rolling weight upgrades
+//! asrsim bench --check [--out FILE] [--tolerance F]
+//!                                      regression gate: compare the last two
+//!                                      trajectory entries and exit nonzero
+//!                                      on a >10% slide in sustainable rps
+//!                                      or analytic E2E latency
 //! asrsim bench [--out FILE] [--label L] benchmark trajectory: appends one
 //!                                      entry (tagged with the git rev and a
 //!                                      PR label) of plan lowering time,
@@ -74,8 +91,9 @@ use transformer_asr_accel::accel::cluster::{
 use transformer_asr_accel::accel::serve::{pool_fault_plans, ServeConfig, ServePool, ServeReport};
 use transformer_asr_accel::accel::stream::{stream_analytics, StreamConfig, StreamPool};
 use transformer_asr_accel::accel::{
-    dse, latency, pipeline, quant, resume_batch, run_batch_with_recovery, run_with_recovery, sweep,
-    walk_cost, AccelConfig, ExecPlan, HostController, RecoveryPolicy,
+    decode_analytics, dse, latency, pipeline, quant, resume_batch, run_batch_with_recovery,
+    run_functional_decode, run_with_recovery, sweep, walk_cost, AccelConfig, ExecPlan,
+    FunctionalFaults, HostController, RecoveryPolicy,
 };
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
 use transformer_asr_accel::fpga::{FaultKind, FaultPlan};
@@ -220,7 +238,7 @@ fn parse_arch_flag(args: &[String]) -> Result<Architecture, String> {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     const COMMANDS: &str =
-        "latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|csv|faults|serve|stream|cluster|bench";
+        "latency|report|arch|dse|quant|breakdown|pipeline|trace|plan|decode|csv|faults|serve|stream|cluster|bench";
     let Some(cmd) = args.first().cloned() else {
         return CliError::Usage(format!("asrsim <{}> [options]", COMMANDS)).exit();
     };
@@ -266,6 +284,7 @@ fn main() -> ExitCode {
             return cmd_faults(seed, s, &args);
         }
         "plan" => return cmd_plan(s, &args),
+        "decode" => return finish(cmd_decode(&args)),
         "serve" => return finish(cmd_serve(&args)),
         "stream" => return cmd_stream(&args),
         "cluster" => return finish(cmd_cluster(&args)),
@@ -578,6 +597,9 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if has_flag(args, "--decode") {
+        return cmd_plan_decode(s, arch, level, args);
+    }
     let batch = parse_flag(args, "--batch", 1).max(1);
     let cfg = unpadded(s);
     let s = cfg.max_seq_len;
@@ -617,6 +639,107 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
         println!("  HBM[{}]             : {:>12} B", ch, bytes);
     }
     ExitCode::SUCCESS
+}
+
+/// `asrsim plan --decode` — the analytic decode-session shape: the cold
+/// step's full weight traffic, the steady-state step that fetches only the
+/// front-token embedding rows, and the per-token critical path.
+fn cmd_plan_decode(
+    s: usize,
+    arch: Architecture,
+    level: IntegrityLevel,
+    args: &[String],
+) -> ExitCode {
+    let beam = parse_flag(args, "--beam", 1).max(1);
+    let max_steps = parse_flag(args, "--steps", 16).max(1);
+    let steady_step = parse_flag(args, "--step", (max_steps / 2).max(1));
+    let cfg = unpadded(s);
+    let mem_len = cfg.max_seq_len;
+    let da = match decode_analytics(&cfg, arch, mem_len, beam, max_steps, steady_step, level) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("decode lowering failed: {}", e);
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("architecture         : {}", arch.name());
+    println!("encoder memory rows  : {}", mem_len);
+    println!("beam / max steps     : {} / {}", beam, max_steps);
+    println!("integrity level      : {}", level.name());
+    println!(
+        "cold step (t=0)      : {:8.3} ms critical path, {:>12} B fetched",
+        da.cold.latency_s * 1e3,
+        da.cold_step_bytes
+    );
+    let steady_hdr = format!("steady step (t={})", steady_step.min(max_steps - 1));
+    println!(
+        "{:<21}: {:8.3} ms critical path, {:>12} B fetched",
+        steady_hdr,
+        da.steady.latency_s * 1e3,
+        da.steady_step_bytes
+    );
+    println!("steady ms/token      : {:8.3} ms", da.steady_ms_per_token);
+    println!(
+        "elided load bytes    : {:8.1} % of the scheduled step traffic",
+        da.elided_fraction * 100.0
+    );
+    println!(
+        "resident reuse       : {} offered, {} elided ({} B), {} stale",
+        da.reuse.offered, da.reuse.elided_loads, da.reuse.elided_load_bytes, da.reuse.stale
+    );
+    ExitCode::SUCCESS
+}
+
+/// `asrsim decode` — the functional decode smoke: run the plan-lowered beam
+/// decode clean and under seeded silent faults at `detect-recompute`, and
+/// fail typed if the faulted transcript diverges or residency elides
+/// nothing. CI greps these lines.
+fn cmd_decode(args: &[String]) -> Result<(), CliError> {
+    let beam = parse_usize_strict(args, "--beam", 1)?.max(1);
+    let steps = parse_usize_strict(args, "--steps", 6)?.max(1);
+    let mem = parse_usize_strict(args, "--mem", 6)?.max(1);
+    let fault_seed = parse_usize_strict(args, "--fault-seed", 9)? as u64;
+    let mut cfg = transformer_asr_accel::accel::integrity::small_config();
+    cfg.integrity = IntegrityLevel::DetectAndRecompute;
+    if mem > cfg.max_seq_len {
+        return Err(CliError::BadValue(format!(
+            "--mem {} exceeds the smoke config's max_seq_len {}",
+            mem, cfg.max_seq_len
+        )));
+    }
+    let rejected = |e: transformer_asr_accel::accel::AccelError| CliError::Rejected(e.to_string());
+    let clean = run_functional_decode(&cfg, 7, 11, mem, steps, beam, &FunctionalFaults::none())
+        .map_err(rejected)?;
+    let n_stripes =
+        transformer_asr_accel::transformer::ModelWeights::seeded(&cfg.model, 7).matrices().len();
+    let faults = FunctionalFaults::seeded(fault_seed, n_stripes, cfg.psa.cols);
+    let faulted =
+        run_functional_decode(&cfg, 7, 11, mem, steps, beam, &faults).map_err(rejected)?;
+    if faulted.tokens != clean.tokens {
+        return Err(CliError::Rejected(format!(
+            "transcript diverged under faults: clean {:?} vs faulted {:?}",
+            clean.tokens, faulted.tokens
+        )));
+    }
+    if clean.steps > 1 && clean.elided_load_bytes == 0 {
+        return Err(CliError::Rejected("steady decode steps elided zero load bytes".into()));
+    }
+    println!("decode steps         : {} (beam {}, memory rows {})", clean.steps, beam, mem);
+    println!("transcript           : {} tokens, zero divergence under faults", clean.tokens.len());
+    println!(
+        "elided load bytes    : {} of {} scheduled ({:.1} %)",
+        clean.elided_load_bytes,
+        clean.fetched_load_bytes + clean.elided_load_bytes,
+        clean.elided_fraction() * 100.0
+    );
+    println!(
+        "fault accounting     : {} injected, {} detected, {} recomputed, {} escaped",
+        faulted.counters.injected,
+        faulted.counters.detected,
+        faulted.counters.recomputed,
+        faulted.counters.escaped
+    );
+    Ok(())
 }
 
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
@@ -876,6 +999,145 @@ fn append_trajectory(path: &str, entry: &str) -> Result<(), CliError> {
     std::fs::write(path, body).map_err(io)
 }
 
+/// The top-level objects of the trajectory array, in order, ignoring braces
+/// inside strings. Also accepts a legacy single-object file (one entry).
+fn trajectory_entries(body: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    let mut start = None;
+    for (i, &b) in body.as_bytes().iter().enumerate() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => esc = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    if let Some(s) = start.take() {
+                        out.push(&body[s..=i]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// The balanced `{...}` object that follows `"key":` in `src`, ignoring
+/// braces inside strings. Hand-rolled: the workspace deliberately carries
+/// no JSON dependency.
+fn json_object_after<'a>(src: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{}\"", key);
+    let rest = &src[src.find(&needle)? + needle.len()..];
+    let open = rest.find('{')?;
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    for (i, &b) in rest.as_bytes()[open..].iter().enumerate() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match b {
+            b'\\' if in_str => esc = true,
+            b'"' => in_str = !in_str,
+            b'{' if !in_str => depth += 1,
+            b'}' if !in_str => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// The scalar number that follows the first `"key":` in `src`. Returns
+/// `None` when the key is missing or its value is not a plain number (an
+/// array or object — the caller is expected to have scoped `src` first).
+fn json_number_after(src: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{}\"", key);
+    let rest = src[src.find(&needle)? + needle.len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | 'e' | 'E')))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// `asrsim bench --check` — the regression gate: compare the last two
+/// trajectory entries' headline numbers and fail typed (exit 5) when the
+/// newest slid more than `tol` relative to its predecessor. The gated
+/// metrics are the pool's `sustainable_rps_at_99pct` (the scalar inside the
+/// `bench` object — NOT the cluster section's per-node array of the same
+/// name) and `analytic_e2e_ms`.
+fn bench_check(path: &str, tol: f64) -> Result<(), CliError> {
+    let body =
+        std::fs::read_to_string(path).map_err(|e| CliError::Io(format!("{}: {}", path, e)))?;
+    let entries = trajectory_entries(&body);
+    if entries.len() < 2 {
+        println!(
+            "{}: only {} trajectory entr{} — nothing to compare yet",
+            path,
+            entries.len(),
+            if entries.len() == 1 { "y" } else { "ies" }
+        );
+        return Ok(());
+    }
+    let take = |entry: &str, which: &str| -> Result<(f64, f64), CliError> {
+        let bench = json_object_after(entry, "bench").ok_or_else(|| {
+            CliError::Rejected(format!("{}: {} entry has no \"bench\" object", path, which))
+        })?;
+        let rps = json_number_after(bench, "sustainable_rps_at_99pct").ok_or_else(|| {
+            CliError::Rejected(format!("{}: {} entry lacks sustainable_rps_at_99pct", path, which))
+        })?;
+        let e2e = json_number_after(bench, "analytic_e2e_ms").ok_or_else(|| {
+            CliError::Rejected(format!("{}: {} entry lacks analytic_e2e_ms", path, which))
+        })?;
+        Ok((rps, e2e))
+    };
+    let (rps0, e2e0) = take(entries[entries.len() - 2], "previous")?;
+    let (rps1, e2e1) = take(entries[entries.len() - 1], "latest")?;
+    println!(
+        "sustainable rps      : {:8.1} -> {:8.1} ({:+6.1} %)",
+        rps0,
+        rps1,
+        if rps0 > 0.0 { (rps1 / rps0 - 1.0) * 100.0 } else { 0.0 }
+    );
+    println!(
+        "analytic E2E         : {:8.3} -> {:8.3} ms ({:+6.1} %)",
+        e2e0,
+        e2e1,
+        if e2e0 > 0.0 { (e2e1 / e2e0 - 1.0) * 100.0 } else { 0.0 }
+    );
+    let mut slid = Vec::new();
+    if rps1 < rps0 * (1.0 - tol) {
+        slid.push(format!("sustainable_rps_at_99pct slid {:.1} -> {:.1}", rps0, rps1));
+    }
+    if e2e1 > e2e0 * (1.0 + tol) {
+        slid.push(format!("analytic_e2e_ms slid {:.3} -> {:.3}", e2e0, e2e1));
+    }
+    if !slid.is_empty() {
+        return Err(CliError::Rejected(format!(
+            "regression past the {:.0}% gate: {}",
+            tol * 100.0,
+            slid.join("; ")
+        )));
+    }
+    println!("bench check          : ok (within the {:.0}% gate)", tol * 100.0);
+    Ok(())
+}
+
 /// `asrsim bench [--out FILE] [--label L]` — append one point to the
 /// `BENCH_serve.json` trajectory: plan-lowering wall time, the analytic E2E
 /// latency, the highest offered load the 2-card pool (and 1/2/3-node
@@ -884,6 +1146,13 @@ fn append_trajectory(path: &str, entry: &str) -> Result<(), CliError> {
 /// mid-trace node kill adds over the fault-free run.
 fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     let out = parse_str_flag(args, "--out").unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if has_flag(args, "--check") {
+        let tol = parse_f64_strict(args, "--tolerance", 0.10)?;
+        if !(0.0..1.0).contains(&tol) {
+            return Err(CliError::BadValue(format!("--tolerance must be in [0, 1), got {}", tol)));
+        }
+        return bench_check(&out, tol);
+    }
     let label = parse_str_flag(args, "--label").unwrap_or_else(|| "dev".to_string());
     let cfg = AccelConfig::paper_default();
 
@@ -986,6 +1255,27 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         stream_cfg.chunk_interval_s * 1e3
     );
 
+    // Decode trajectory: per-token steady-state latency of the plan-lowered
+    // beam decode and the load-byte elision KV residency buys a warm step.
+    let dcfg = AccelConfig::paper_default();
+    let mem = dcfg.max_seq_len.min(32);
+    let da = decode_analytics(&dcfg, Architecture::A2, mem, 4, 64, 32, dcfg.integrity)
+        .map_err(|e| CliError::Rejected(format!("decode analytics failed: {}", e)))?;
+    println!(
+        "decode cold step     : {:8.3} ms, {:>12} B fetched (beam 4, memory {})",
+        da.cold.latency_s * 1e3,
+        da.cold_step_bytes,
+        mem
+    );
+    println!(
+        "decode steady step   : {:8.3} ms/token, {:>12} B fetched",
+        da.steady_ms_per_token, da.steady_step_bytes
+    );
+    println!(
+        "decode elision       : {:8.1} % of scheduled load bytes once resident",
+        da.elided_fraction * 100.0
+    );
+
     // Cluster scaling: the highest offered load an N-node × 1-card cluster
     // serves with ≥99% of requests completing — same bisection as the pool.
     let cluster_sustains = |nodes: usize, rps: f64| -> Option<(bool, f64)> {
@@ -1059,7 +1349,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     );
 
     let entry = format!(
-        "  {{\n    \"label\": \"{}\",\n    \"rev\": \"{}\",\n    \"bench\": {{\n      \"plan_lowering_us\": {:.1},\n      \"analytic_e2e_ms\": {:.3},\n      \"sustainable_rps_at_99pct\": {:.1},\n      \"throughput_rps_at_sustainable\": {:.1},\n      \"streaming\": {{\n        \"cold_chunk_ms\": {:.3},\n        \"warm_chunk_ms\": {:.3},\n        \"elided_load_fraction\": {:.4},\n        \"sustainable_streams\": {}\n      }},\n      \"replay\": {{\n        \"checkpoint_off\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {}\n        }},\n        \"checkpoint_on\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {},\n          \"skipped_compute_ms\": {:.3},\n          \"skipped_load_bytes\": {}\n        }}\n      }}\n    }},\n    \"cluster\": {{\n      \"sustainable_rps_at_99pct\": [{:.1}, {:.1}, {:.1}],\n      \"upgrade_downtime_ms\": {:.3},\n      \"upgrade_outcome\": \"{}\",\n      \"clean_p99_ms\": {:.3},\n      \"node_kill_p99_ms\": {:.3},\n      \"failover_added_p99_ms\": {:.3},\n      \"node_kill_lost\": {}\n    }}\n  }}",
+        "  {{\n    \"label\": \"{}\",\n    \"rev\": \"{}\",\n    \"bench\": {{\n      \"plan_lowering_us\": {:.1},\n      \"analytic_e2e_ms\": {:.3},\n      \"sustainable_rps_at_99pct\": {:.1},\n      \"throughput_rps_at_sustainable\": {:.1},\n      \"streaming\": {{\n        \"cold_chunk_ms\": {:.3},\n        \"warm_chunk_ms\": {:.3},\n        \"elided_load_fraction\": {:.4},\n        \"sustainable_streams\": {}\n      }},\n      \"decode\": {{\n        \"beam\": 4,\n        \"cold_step_ms\": {:.3},\n        \"steady_ms_per_token\": {:.3},\n        \"cold_step_bytes\": {},\n        \"steady_step_bytes\": {},\n        \"elided_load_fraction\": {:.4}\n      }},\n      \"replay\": {{\n        \"checkpoint_off\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {}\n        }},\n        \"checkpoint_on\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {},\n          \"skipped_compute_ms\": {:.3},\n          \"skipped_load_bytes\": {}\n        }}\n      }}\n    }},\n    \"cluster\": {{\n      \"sustainable_rps_at_99pct\": [{:.1}, {:.1}, {:.1}],\n      \"upgrade_downtime_ms\": {:.3},\n      \"upgrade_outcome\": \"{}\",\n      \"clean_p99_ms\": {:.3},\n      \"node_kill_p99_ms\": {:.3},\n      \"failover_added_p99_ms\": {:.3},\n      \"node_kill_lost\": {}\n    }}\n  }}",
         label.replace('"', ""),
         git_rev(),
         lower_us,
@@ -1070,6 +1360,11 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         sa.warm_chunk_s * 1e3,
         sa.elided_fraction,
         sa.sustainable_streams,
+        da.cold.latency_s * 1e3,
+        da.steady_ms_per_token,
+        da.cold_step_bytes,
+        da.steady_step_bytes,
+        da.elided_fraction,
         off.replayed_compute_s * 1e3,
         off.replayed_load_bytes,
         off.resumed_dispatches,

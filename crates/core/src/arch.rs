@@ -64,9 +64,12 @@ pub struct LayerBytes {
 
 /// Compute the per-layer weight traffic from the model configuration.
 ///
-/// At the default `bytes_per_weight = 4` this matches
+/// Weight *counts* come from the model shape; bytes on the wire come from
+/// [`AccelConfig::encoded_bytes`]. At the default dense encoding and
+/// `bytes_per_weight = 4` this matches
 /// `asr_transformer::weights::*::size_bytes` exactly; the int8 variant
-/// (`bytes_per_weight = 1`) quarters the traffic.
+/// (`bytes_per_weight = 1` or [`asr_tensor::WeightEncoding::Int8`])
+/// quarters the traffic, and the compressed encodings shrink it further.
 pub fn layer_bytes(cfg: &AccelConfig) -> LayerBytes {
     let (d, dk, dff, h) = (
         cfg.model.d_model as u64,
@@ -77,11 +80,10 @@ pub fn layer_bytes(cfg: &AccelConfig) -> LayerBytes {
     let attn = 3 * h * (d * dk + dk) + d * d + d;
     let ln_pair = 2 * d;
     let ffn = d * dff + dff + dff * d + d;
-    let w = cfg.bytes_per_weight;
     LayerBytes {
-        encoder: w * (attn + ffn + 2 * ln_pair),
-        decoder_mha: w * (2 * attn + 2 * ln_pair),
-        decoder_ffn: w * (ffn + ln_pair),
+        encoder: cfg.encoded_bytes(attn + ffn + 2 * ln_pair),
+        decoder_mha: cfg.encoded_bytes(2 * attn + 2 * ln_pair),
+        decoder_ffn: cfg.encoded_bytes(ffn + ln_pair),
     }
 }
 

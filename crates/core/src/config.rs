@@ -8,6 +8,7 @@ use asr_fpga_sim::device::{alveo_u50, DeviceSpec};
 use asr_systolic::abft::IntegrityLevel;
 use asr_systolic::adder::PipelinedAdder;
 use asr_systolic::psa::{Psa, PsaConfig};
+use asr_tensor::WeightEncoding;
 use asr_transformer::TransformerConfig;
 use serde::{Deserialize, Serialize};
 
@@ -35,6 +36,13 @@ pub struct AccelConfig {
     /// Bytes per weight streamed from HBM (4 for the f32 design; 1 for the
     /// int8 future-work variant in [`crate::quant`]).
     pub bytes_per_weight: u64,
+    /// Weight-stripe codec the design streams over HBM
+    /// ([`asr_tensor::encoding`], DESIGN.md §16). Defaults to
+    /// [`WeightEncoding::Dense`], which reproduces the paper's byte
+    /// traffic exactly; every other encoding shrinks `LoadStripe` bytes
+    /// through [`Self::encoded_bytes`].
+    #[serde(default)]
+    pub encoding: WeightEncoding,
     /// Silent-data-corruption defense level: CRC checks on weight loads and
     /// ABFT checksums on PSA matmuls (DESIGN.md §9). Defaults to
     /// [`IntegrityLevel::Off`], which reproduces the paper's unprotected
@@ -65,6 +73,7 @@ impl AccelConfig {
             model: TransformerConfig::paper_base(),
             max_seq_len: 32,
             bytes_per_weight: 4,
+            encoding: WeightEncoding::Dense,
             integrity: IntegrityLevel::Off,
             weight_version: 0,
         }
@@ -117,7 +126,17 @@ impl AccelConfig {
                 self.bytes_per_weight
             )));
         }
+        self.encoding.validate().map_err(AccelError::Config)?;
         Ok(())
+    }
+
+    /// HBM bytes `weights` logical weights move under this configuration's
+    /// stripe encoding — the single byte-count helper every layer (the
+    /// phase lists, the analytic walker, serve capacity) prices weight
+    /// traffic through instead of re-deriving
+    /// `rows × cols × bytes_per_weight` locally.
+    pub fn encoded_bytes(&self, weights: u64) -> u64 {
+        self.encoding.encoded_len(weights, self.bytes_per_weight)
     }
 
     /// Number of sequential head passes the MHA schedule needs.
@@ -195,6 +214,28 @@ mod tests {
         let c = AccelConfig::paper_default();
         assert_eq!(c.padded_seq_len(4), 32);
         assert_eq!(c.padded_seq_len(32), 32);
+    }
+
+    #[test]
+    fn encoded_bytes_default_dense_is_the_raw_product() {
+        let c = AccelConfig::paper_default();
+        assert_eq!(c.encoding, WeightEncoding::Dense);
+        assert_eq!(c.encoded_bytes(1000), 4000);
+        let mut q = c.clone();
+        q.encoding = WeightEncoding::Int8;
+        assert_eq!(q.encoded_bytes(1000), 1000);
+    }
+
+    #[test]
+    fn bad_encoding_parameters_are_config_errors() {
+        let mut c = AccelConfig::paper_default();
+        c.encoding = WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 150 };
+        let err = c.validate().unwrap_err();
+        assert!(matches!(&err, AccelError::Config(msg) if msg.contains("occupancy")), "{}", err);
+        c.encoding = WeightEncoding::BlockCirculant { block: 1 };
+        assert!(c.validate().is_err());
+        c.encoding = WeightEncoding::BlockCirculant { block: 8 };
+        c.validate().unwrap();
     }
 
     #[test]

@@ -32,7 +32,7 @@ use crate::plan::{DecodeStepSpec, ExecPlan, PhaseKind, PlanReuse, ResidentStripe
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
 use asr_frontend::vocab::{self, TokenId};
 use asr_systolic::abft::{AbftStats, CheckedPsa, IntegrityLevel, LaneFault};
-use asr_tensor::{crc32, init, Matrix};
+use asr_tensor::{crc32, init, Matrix, WeightEncoding};
 use asr_transformer::beam::{log_softmax, Hypothesis};
 use asr_transformer::cache::{self, KvCache};
 use asr_transformer::decoder::decoder_forward;
@@ -285,12 +285,17 @@ fn fetch_stripe(
 }
 
 fn decode_bytes(stripe: &WeightStripe, bytes: Vec<u8>) -> Matrix {
+    // Fault injection flips bytes in place, never resizes, so the decode is
+    // structurally total for every encoding (a corrupted sparse payload is
+    // still the bitmap's payload length — the values are garbage, which is
+    // exactly what an escaped silent fault should produce).
     WeightStripe {
         label: stripe.label.clone(),
         rows: stripe.rows,
         cols: stripe.cols,
         bytes,
         crc: stripe.crc,
+        encoding: stripe.encoding.clone(),
     }
     .decode()
 }
@@ -304,11 +309,26 @@ pub fn load_model_with_faults(
     level: IntegrityLevel,
     counters: &mut CorruptionCounters,
 ) -> Result<ModelWeights> {
+    load_model_with_faults_encoded(w, WeightEncoding::Dense, faults, level, counters)
+}
+
+/// [`load_model_with_faults`] with the stripes on the wire in `spec`'s
+/// encoding: each matrix is exported through the shared codec
+/// ([`WeightStripe::export_encoded`]), corruption strikes the **encoded**
+/// bytes, the CRC (also over encoded bytes) arbitrates, and the survivors
+/// decode at load. `WeightEncoding::Dense` is exactly the legacy path.
+pub fn load_model_with_faults_encoded(
+    w: &ModelWeights,
+    spec: WeightEncoding,
+    faults: &FunctionalFaults,
+    level: IntegrityLevel,
+    counters: &mut CorruptionCounters,
+) -> Result<ModelWeights> {
     let stripes: Vec<WeightStripe> = w
         .matrices()
         .iter()
         .enumerate()
-        .map(|(i, m)| WeightStripe::export(format!("W{}", i), m))
+        .map(|(i, m)| WeightStripe::export_encoded(format!("W{}", i), m, spec))
         .collect();
     let mut loaded = w.clone();
     for (i, (slot, stripe)) in loaded.matrices_mut().into_iter().zip(&stripes).enumerate() {
@@ -632,7 +652,7 @@ fn functional_prelude(
     let level = plan.integrity;
     let mut counters = CorruptionCounters::default();
     let clean = ModelWeights::seeded(&cfg.model, model_seed);
-    let w = load_model_with_faults(&clean, faults, level, &mut counters)?;
+    let w = load_model_with_faults_encoded(&clean, cfg.encoding, faults, level, &mut counters)?;
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), level, faults.lane);
     let input_len = plan.input_lens.iter().copied().max().unwrap_or(1);
     let s = plan.seq_len.min(input_len.max(1));
@@ -1108,7 +1128,8 @@ pub fn resume_functional_stream(
     let plan = lower_stream_chunk_plan(cfg, state.chunk, state.left_context)?;
     let mut counters = CorruptionCounters::default();
     let clean = ModelWeights::seeded(&cfg.model, model_seed);
-    let w = load_model_with_faults(&clean, faults, cfg.integrity, &mut counters)?;
+    let w =
+        load_model_with_faults_encoded(&clean, cfg.encoding, faults, cfg.integrity, &mut counters)?;
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), cfg.integrity, faults.lane);
     let start_row = state.emitted_rows;
     let (encoder_out, final_state, chunks) =
@@ -1195,7 +1216,8 @@ pub fn run_functional_decode(
     }
     let mut counters = CorruptionCounters::default();
     let clean = ModelWeights::seeded(&cfg.model, model_seed);
-    let w = load_model_with_faults(&clean, faults, cfg.integrity, &mut counters)?;
+    let w =
+        load_model_with_faults_encoded(&clean, cfg.encoding, faults, cfg.integrity, &mut counters)?;
     let engine = CheckedPsa::with_fault(cfg.psa_engine(), cfg.integrity, faults.lane);
     let model = Model { config: cfg.model, weights: w };
     let features = init::uniform(mem_len, cfg.model.d_model, -0.5, 0.5, input_seed);
@@ -1378,6 +1400,107 @@ mod tests {
         assert_eq!(c.detected, 2);
         assert_eq!(c.refetched, 2);
         assert_eq!(c.escaped, 0);
+    }
+
+    #[test]
+    fn sparse_encoded_runs_are_bit_identical_to_dense_under_faults() {
+        // SparseTiles is lossless, so the whole functional pipeline — load
+        // through the CRC envelope (with seeded transient corruption on the
+        // *encoded* bytes), encode, decode, transcribe — must produce the
+        // same bits as the dense wire format.
+        let dense_cfg = cfg_at(IntegrityLevel::Detect);
+        let mut sparse_cfg = dense_cfg.clone();
+        sparse_cfg.encoding = WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 100 };
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 4,
+                word: 9,
+                byte_in_word: 1,
+                xor: 0x08,
+                failing_fetches: 1,
+            }],
+            lane: None,
+        };
+        let dense = run_functional(&dense_cfg, 11, 6, &faults).unwrap();
+        let sparse = run_functional(&sparse_cfg, 11, 6, &faults).unwrap();
+        assert_eq!(dense.encoder_out, sparse.encoder_out);
+        assert_eq!(dense.decoder_out, sparse.decoder_out);
+        assert_eq!(dense.transcript, sparse.transcript);
+        assert_eq!(sparse.counters.injected, 1);
+        assert_eq!(sparse.counters.refetched, 1);
+    }
+
+    #[test]
+    fn int8_load_matches_the_shared_codec_under_faults() {
+        // Detect scrubs the transient corruption, so the loaded model must
+        // equal the clean encode→decode of every matrix — the same
+        // quantize→dequantize the QuantizedBackend pins.
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 7,
+                word: 2,
+                byte_in_word: 0,
+                xor: 0x11,
+                failing_fetches: 2,
+            }],
+            lane: None,
+        };
+        let mut c = CorruptionCounters::default();
+        let loaded = load_model_with_faults_encoded(
+            &w,
+            WeightEncoding::Int8,
+            &faults,
+            IntegrityLevel::Detect,
+            &mut c,
+        )
+        .unwrap();
+        assert_eq!(c.refetched, 2);
+        for (orig, got) in w.matrices().into_iter().zip(loaded.matrices()) {
+            let (enc, payload) = asr_tensor::encoding::encode(orig, WeightEncoding::Int8);
+            let want =
+                asr_tensor::encoding::decode(&enc, orig.rows(), orig.cols(), &payload).unwrap();
+            assert_eq!(got, &want, "decode-at-load must match the shared codec");
+        }
+    }
+
+    #[test]
+    fn encoded_corruption_escapes_at_off_and_stays_decodable() {
+        // With checks off a flipped encoded byte flows downstream: the
+        // stripe still decodes structurally (lengths never change), the
+        // values are garbage — a silent fault, same contract as dense.
+        let w = ModelWeights::seeded(&asr_transformer::TransformerConfig::tiny(), 3);
+        let faults = FunctionalFaults {
+            stripes: vec![StripeCorruption {
+                stripe: 0,
+                word: 1,
+                byte_in_word: 0,
+                xor: 0x7f,
+                failing_fetches: u32::MAX,
+            }],
+            lane: None,
+        };
+        for spec in [
+            WeightEncoding::Int8,
+            WeightEncoding::BlockCirculant { block: 4 },
+            WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 100 },
+        ] {
+            let mut c = CorruptionCounters::default();
+            let loaded =
+                load_model_with_faults_encoded(&w, spec, &faults, IntegrityLevel::Off, &mut c)
+                    .unwrap();
+            assert_eq!(c.escaped, 1, "{:?}", spec);
+            let (enc, payload) = asr_tensor::encoding::encode(w.matrices()[0], spec);
+            let clean = asr_tensor::encoding::decode(
+                &enc,
+                loaded.matrices()[0].rows(),
+                loaded.matrices()[0].cols(),
+                &payload,
+            )
+            .unwrap();
+            assert_ne!(loaded.matrices()[0], &clean, "corruption must land ({:?})", spec);
+            assert!(loaded.matrices()[0].as_slice().iter().all(|v| v.is_finite()));
+        }
     }
 
     #[test]

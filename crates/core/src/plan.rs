@@ -46,7 +46,7 @@ use crate::error::{AccelError, Result};
 use crate::schedule::{decoder, encoder};
 use asr_fpga_sim::Timeline;
 use asr_systolic::abft::IntegrityLevel;
-use asr_tensor::crc32;
+use asr_tensor::{crc32, WeightEncoding};
 use serde::{Deserialize, Serialize};
 
 /// Which compute recurrence a phase uses, so consumers (including degraded
@@ -150,10 +150,15 @@ pub struct PlanPhase {
     /// Schedule label (`"E3"`, `"D2"`, `"D2f"`) — the `LW{label}` /
     /// `C{label}` naming every consumer emits.
     pub label: String,
-    /// Weight bytes this phase streams from HBM.
+    /// Weight bytes this phase streams from HBM — *encoded* bytes on the
+    /// wire ([`AccelConfig::encoded_bytes`]), not the logical dense size.
     pub bytes: u64,
     /// Cost recurrence of the phase's compute block.
     pub kind: PhaseKind,
+    /// Stripe codec the phase's weights stream in. Folded into
+    /// [`PlanCheckpoint::stripe_crc`], so stripes resident under one
+    /// encoding can never be silently reused under another.
+    pub encoding: WeightEncoding,
 }
 
 /// Index of a command node inside [`ExecPlan::nodes`].
@@ -322,6 +327,12 @@ pub struct PlanCheckpoint {
     /// compute banked under one weight set never completes under another.
     #[serde(default)]
     pub weight_version: u64,
+    /// Stripe encoding the interrupted plan streamed its weights in. A
+    /// resume under any other encoding is rejected typed — the resident
+    /// bytes are simply not the target schedule's bytes. Defaults to dense
+    /// for pre-encoding checkpoints.
+    #[serde(default)]
+    pub encoding: WeightEncoding,
 }
 
 impl PlanCheckpoint {
@@ -331,11 +342,15 @@ impl PlanCheckpoint {
     /// checkpoint's resident stripes still describe the stripes the
     /// target schedule would fetch. The weight-set version is folded into
     /// the digest, so a stripe loaded under one version can never
-    /// CRC-match the same schedule slot under another.
+    /// CRC-match the same schedule slot under another. The stripe
+    /// encoding's identity is folded in for the same reason: int8 bytes
+    /// resident in a slot are not the dense bytes a dense schedule wants,
+    /// even when the byte counts happen to coincide.
     pub fn stripe_crc(phase: &PlanPhase, version: u64) -> u32 {
         let mut bytes = phase.label.as_bytes().to_vec();
         bytes.extend_from_slice(&phase.bytes.to_le_bytes());
         bytes.extend_from_slice(&version.to_le_bytes());
+        bytes.extend_from_slice(&phase.encoding.digest_bytes());
         crc32(&bytes)
     }
 
@@ -373,6 +388,7 @@ impl PlanCheckpoint {
             resident,
             captured_at_s,
             weight_version: plan.weight_version,
+            encoding: plan.encoding,
         }
     }
 
@@ -465,6 +481,10 @@ pub struct ExecPlan {
     /// Weight-set version the plan was lowered against
     /// ([`AccelConfig::weight_version`]).
     pub weight_version: u64,
+    /// Stripe encoding the plan's loads stream ([`AccelConfig::encoding`]).
+    /// The phase byte counts already price it; consumers that move real
+    /// bytes (the functional interpreter) decode through the same codec.
+    pub encoding: WeightEncoding,
     /// The weight-residency phases, in schedule order.
     pub phases: Vec<PlanPhase>,
     /// The command DAG, in dispatch order.
@@ -838,6 +858,7 @@ impl<'a> PlanBuilder<'a> {
                 &self.input_lens,
                 &phases,
                 cfg.weight_version,
+                cfg.encoding,
             )?),
         };
         let (start_phase, trusted) = match &resume {
@@ -1024,6 +1045,7 @@ impl<'a> PlanBuilder<'a> {
             seq_len,
             integrity: self.integrity,
             weight_version: cfg.weight_version,
+            encoding: cfg.encoding,
             phases,
             nodes,
             resume,
@@ -1048,10 +1070,16 @@ fn validate_checkpoint(
     input_lens: &[usize],
     phases: &[PlanPhase],
     weight_version: u64,
+    encoding: WeightEncoding,
 ) -> Result<(usize, Vec<usize>, PlanCheckpoint)> {
     let reject = |reason: String| AccelError::CheckpointRejected { reason };
     if ckpt.arch != arch {
         return Err(reject(format!("architecture {:?} != plan {:?}", ckpt.arch, arch)));
+    }
+    if ckpt.encoding != encoding {
+        // The resident bytes were encoded under another codec: whatever
+        // their CRCs say, they are not this schedule's stripes.
+        return Err(reject(format!("stripe encoding {} != target {}", ckpt.encoding, encoding)));
     }
     if ckpt.weight_version != weight_version {
         // Compute banked under one weight set must never complete under
@@ -1138,6 +1166,7 @@ pub fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PlanPhase> {
             label: format!("E{}", i + 1),
             bytes: bytes.encoder,
             kind: PhaseKind::Encoder,
+            encoding: cfg.encoding,
         });
     }
     for i in 0..cfg.model.n_decoders {
@@ -1147,17 +1176,20 @@ pub fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PlanPhase> {
                 label: format!("D{}m", i + 1),
                 bytes: bytes.decoder_mha,
                 kind: PhaseKind::DecoderMha,
+                encoding: cfg.encoding,
             });
             phases.push(PlanPhase {
                 label: format!("D{}f", i + 1),
                 bytes: bytes.decoder_ffn,
                 kind: PhaseKind::DecoderFfn,
+                encoding: cfg.encoding,
             });
         } else {
             phases.push(PlanPhase {
                 label: format!("D{}", i + 1),
                 bytes: bytes.decoder_mha + bytes.decoder_ffn,
                 kind: PhaseKind::DecoderFull,
+                encoding: cfg.encoding,
             });
         }
     }
@@ -1173,26 +1205,28 @@ pub fn phase_list(cfg: &AccelConfig, arch: Architecture) -> Vec<PlanPhase> {
 /// embedding rows.
 pub fn decode_phase_list(cfg: &AccelConfig, spec: &DecodeStepSpec) -> Vec<PlanPhase> {
     let bytes = layer_bytes(cfg);
-    let w = cfg.bytes_per_weight;
     let d = cfg.model.d_model as u64;
     let vocab = cfg.model.vocab_size as u64;
     let (step, mem_len, beam) = (spec.step, spec.mem_len, spec.beam);
     let mut phases = vec![
         PlanPhase {
             label: "TOK".into(),
-            bytes: beam as u64 * d * w,
+            bytes: cfg.encoded_bytes(beam as u64 * d),
             kind: PhaseKind::DecodeEmbed { beam },
+            encoding: cfg.encoding,
         },
         PlanPhase {
             label: "KV".into(),
             // Cross K/V for every decoder layer plus the fixed-capacity
             // per-hypothesis self-cache allocation.
-            bytes: cfg.model.n_decoders as u64
-                * 2
-                * d
-                * w
-                * (mem_len as u64 + beam as u64 * spec.max_steps as u64),
+            bytes: cfg.encoded_bytes(
+                cfg.model.n_decoders as u64
+                    * 2
+                    * d
+                    * (mem_len as u64 + beam as u64 * spec.max_steps as u64),
+            ),
             kind: PhaseKind::DecodeKv { step, mem_len, beam },
+            encoding: cfg.encoding,
         },
     ];
     for i in 0..cfg.model.n_decoders {
@@ -1200,12 +1234,14 @@ pub fn decode_phase_list(cfg: &AccelConfig, spec: &DecodeStepSpec) -> Vec<PlanPh
             label: format!("D{}", i + 1),
             bytes: bytes.decoder_mha + bytes.decoder_ffn,
             kind: PhaseKind::DecodeLayer { step, mem_len, beam },
+            encoding: cfg.encoding,
         });
     }
     phases.push(PlanPhase {
         label: "OUT".into(),
-        bytes: (d * vocab + vocab) * w,
+        bytes: cfg.encoded_bytes(d * vocab + vocab),
         kind: PhaseKind::DecodeOut { beam },
+        encoding: cfg.encoding,
     });
     phases
 }
@@ -1248,6 +1284,11 @@ pub struct PlanCost {
     pub compute_total_s: f64,
     /// Idle time on the compute unit between first and last compute, seconds.
     pub compute_stall_s: f64,
+    /// Compute seconds the schedule never issued because the plan's stripe
+    /// encoding marks whole tiles empty ([`WeightEncoding::SparseTiles`]):
+    /// the walker scales each compute span by the expected occupancy and
+    /// banks the remainder here. Zero for every dense-tile encoding.
+    pub skipped_compute_s: f64,
     /// The analytic span schedule (`load-{e}` / `compute` units).
     pub timeline: Timeline,
     /// Per phase, when its `LoadStripe` retires (0 for phases with no load
@@ -1297,6 +1338,12 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
     let mut engine_free = vec![0.0f64; engines];
     let mut load_end = vec![0.0f64; plan.phases.len()];
     let mut compute_end = vec![0.0f64; plan.phases.len()];
+    // Zero-occupancy tiles never enter the PSAs (DESIGN.md §16): scale
+    // compute spans by the expected occupancy. The scaling is gated on a
+    // strictly positive skip so dense-tile plans stay bit-identical to the
+    // pre-encoding walker (and to `arch::simulate` at batch 1).
+    let skip = plan.encoding.zero_tile_fraction();
+    let mut skipped_compute_s = 0.0f64;
 
     for (i, p) in plan.phases.iter().enumerate() {
         if let Some(lw_id) = plan.load_of(i) {
@@ -1331,7 +1378,9 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
         }
         let prev_c = if i >= 1 { compute_end[i - 1] } else { 0.0 };
         let cs = load_end[i].max(prev_c);
-        let ct = phase_compute_s(cfg, p.kind, s) * n as f64;
+        let full_ct = phase_compute_s(cfg, p.kind, s) * n as f64;
+        let ct = if skip > 0.0 { full_ct * (1.0 - skip) } else { full_ct };
+        skipped_compute_s += full_ct - ct;
         tl.push("compute", format!("C{}", p.label), cs, cs + ct).unwrap();
         compute_end[i] = cs + ct;
     }
@@ -1343,6 +1392,7 @@ pub fn walk_cost(cfg: &AccelConfig, plan: &ExecPlan) -> PlanCost {
         load_total_s,
         compute_total_s: tl.busy_time("compute"),
         compute_stall_s: tl.stall_time("compute"),
+        skipped_compute_s,
         timeline: tl,
         phase_load_end_s: load_end,
         phase_compute_end_s: compute_end,
@@ -1864,6 +1914,92 @@ mod tests {
                 assert_eq!(version, 2, "every load carries the lowering's weight version");
             }
         }
+    }
+
+    #[test]
+    fn cross_encoding_resident_stripes_are_stale_despite_identical_bytes() {
+        // bpw=1 dense and int8 move the same byte count per stripe — the
+        // one case where label+bytes alone cannot tell the codecs apart.
+        // The stripe CRC folds in the encoding digest, so the elision
+        // ledger still refuses the swap.
+        let mut dense = unpadded(8);
+        dense.bytes_per_weight = 1;
+        let cold = ExecPlan::lower(&dense, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let pinned = cold.pinned_stripes(3);
+        let mut int8 = dense.clone();
+        int8.encoding = WeightEncoding::Int8;
+        let int8_cold =
+            ExecPlan::lower(&int8, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        assert_eq!(int8_cold.phases[0].bytes, cold.phases[0].bytes, "byte counts collide");
+        let warm = PlanBuilder::new(&int8, Architecture::A2)
+            .utterances(&[8])
+            .reuse_resident(&pinned)
+            .build()
+            .unwrap();
+        let reuse = warm.reuse.unwrap();
+        assert_eq!(reuse.offered, 3);
+        assert_eq!(reuse.elided_loads, 0, "dense bytes must not satisfy int8 loads");
+        assert_eq!(reuse.stale, 3);
+    }
+
+    #[test]
+    fn resume_under_another_encoding_is_rejected_typed() {
+        let cfg = unpadded(8);
+        let full = ExecPlan::lower(&cfg, Architecture::A2, 8, 2, IntegrityLevel::Off).unwrap();
+        let ckpt = PlanCheckpoint::at(&full, 4, 5, &[], 1.0e-3);
+        assert_eq!(ckpt.encoding, WeightEncoding::Dense);
+        // The node restarts with a block-circulant build: the banked dense
+        // prefix is meaningless under the new codec.
+        let mut bc = cfg.clone();
+        bc.encoding = WeightEncoding::BlockCirculant { block: 8 };
+        let err = ExecPlan::resume(&bc, &ckpt, true).unwrap_err();
+        match err {
+            AccelError::CheckpointRejected { reason } => {
+                assert!(reason.contains("encoding"), "{}", reason)
+            }
+            other => panic!("expected CheckpointRejected, got {}", other),
+        }
+        assert!(ExecPlan::resume(&cfg, &ckpt, true).is_ok());
+    }
+
+    #[test]
+    fn sparse_plans_shrink_loads_and_skip_zero_tiles_in_the_walker() {
+        let dense = unpadded(8);
+        let mut sparse = dense.clone();
+        sparse.encoding = WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 60 };
+        let dplan = ExecPlan::lower(&dense, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let splan = ExecPlan::lower(&sparse, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        assert!(
+            splan.scheduled_load_bytes() < dplan.scheduled_load_bytes(),
+            "absent tiles never cross HBM"
+        );
+        let dcost = walk_cost(&dense, &dplan);
+        let scost = walk_cost(&sparse, &splan);
+        assert_eq!(dcost.skipped_compute_s, 0.0, "dense plans skip nothing");
+        assert!(scost.skipped_compute_s > 0.0);
+        // Every compute span scales by the 60% occupancy, so the totals do too.
+        assert!((scost.compute_total_s / dcost.compute_total_s - 0.6).abs() < 1e-9);
+        assert!(
+            (scost.compute_total_s + scost.skipped_compute_s - dcost.compute_total_s).abs() < 1e-9,
+            "issued + skipped == the dense compute budget"
+        );
+    }
+
+    #[test]
+    fn int8_plans_schedule_a_quarter_of_the_dense_load_bytes() {
+        let dense = unpadded(8);
+        let mut int8 = dense.clone();
+        int8.encoding = WeightEncoding::Int8;
+        let dplan = ExecPlan::lower(&dense, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        let qplan = ExecPlan::lower(&int8, Architecture::A2, 8, 1, IntegrityLevel::Off).unwrap();
+        assert_eq!(dplan.scheduled_load_bytes(), 4 * qplan.scheduled_load_bytes());
+        // Lossless-by-construction walker pin: int8 shrinks loads only,
+        // never compute.
+        let dcost = walk_cost(&dense, &dplan);
+        let qcost = walk_cost(&int8, &qplan);
+        assert_eq!(qcost.skipped_compute_s, 0.0);
+        assert!((qcost.compute_total_s - dcost.compute_total_s).abs() < 1e-12);
+        assert!(qcost.latency_s <= dcost.latency_s);
     }
 
     #[test]

@@ -16,10 +16,12 @@
 
 use crate::arch::{simulate, Architecture};
 use crate::config::AccelConfig;
+use crate::plan::ExecPlan;
 use crate::resources::{self, ResourceEstimate};
+use asr_systolic::abft::IntegrityLevel;
 use asr_systolic::quant_psa::{int8_config_from, Int8Psa};
 use asr_tensor::quant::{matmul_quantized, QuantizedMatrix};
-use asr_tensor::{MatMul, Matrix};
+use asr_tensor::{MatMul, Matrix, WeightEncoding};
 use serde::{Deserialize, Serialize};
 
 /// Derive the int8 accelerator configuration from an fp32 design point.
@@ -27,6 +29,7 @@ pub fn int8_config(base: &AccelConfig) -> AccelConfig {
     let mut cfg = base.clone();
     cfg.psa = int8_config_from(base.psa);
     cfg.bytes_per_weight = 1;
+    cfg.encoding = WeightEncoding::Int8;
     cfg
 }
 
@@ -61,6 +64,11 @@ pub struct QuantReport {
     pub int8_resources: ResourceEstimate,
     /// int8 LUT utilization (the constraint the future work targets), percent.
     pub int8_lut_pct: f64,
+    /// HBM bytes the fp32 A3 plan schedules for one utterance — quoted from
+    /// the lowered plan's `LoadStripe` nodes, not re-derived locally.
+    pub fp32_hbm_bytes: u64,
+    /// HBM bytes the int8 A3 plan schedules (the encoding-aware figure).
+    pub int8_hbm_bytes: u64,
 }
 
 /// Compare the fp32 design against its int8 derivative.
@@ -77,6 +85,11 @@ pub fn report(base: &AccelConfig) -> QuantReport {
         let (b, d, f, l) = total.utilization_pct(&q.device.total_resources());
         (b, d, f, l)
     };
+    let scheduled = |cfg: &AccelConfig| {
+        ExecPlan::lower(cfg, Architecture::A3, s, 1, IntegrityLevel::Off)
+            .expect("a validated config lowers")
+            .scheduled_load_bytes()
+    };
     QuantReport {
         fp32_latency_ms: fp32_latency * 1e3,
         int8_latency_ms: int8_latency * 1e3,
@@ -84,6 +97,8 @@ pub fn report(base: &AccelConfig) -> QuantReport {
         fp32_resources,
         int8_resources,
         int8_lut_pct: lut_pct,
+        fp32_hbm_bytes: scheduled(base),
+        int8_hbm_bytes: scheduled(&q),
     }
 }
 
@@ -130,6 +145,10 @@ mod tests {
         let q = crate::arch::layer_bytes(&int8_config(&base()));
         assert_eq!(b.encoder, q.encoder * 4);
         assert_eq!(b.decoder_ffn, q.decoder_ffn * 4);
+        // The report quotes the same ratio straight off the lowered plans.
+        let r = report(&base());
+        assert_eq!(r.fp32_hbm_bytes, 4 * r.int8_hbm_bytes);
+        assert!(r.int8_hbm_bytes > 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use crate::integrity::CorruptionCounters;
 use crate::plan::{walk_cost, ExecPlan, PlanCheckpoint};
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::{FaultKind, FaultPlan};
+use asr_tensor::WeightEncoding;
 
 /// Circuit-breaker tuning.
 #[derive(Debug, Clone, PartialEq)]
@@ -239,6 +240,7 @@ impl ServeConfig {
         let mut accel = AccelConfig::paper_default();
         accel.max_seq_len = 4;
         accel.bytes_per_weight = 1;
+        accel.encoding = WeightEncoding::Int8;
         ServeConfig {
             accel,
             arch: Architecture::A3,

@@ -57,6 +57,7 @@ use crate::plan::{walk_cost, PlanBuilder, PlanReuse, ResidentStripe};
 use crate::serve::{pool_fault_plans, Breaker, BreakerConfig, BreakerState};
 use asr_fpga_sim::device::DeviceId;
 use asr_fpga_sim::faults::FaultPlan;
+use asr_tensor::WeightEncoding;
 
 /// Streaming-pool configuration.
 #[derive(Debug, Clone)]
@@ -108,6 +109,7 @@ impl StreamConfig {
         let mut accel = AccelConfig::paper_default();
         accel.max_seq_len = chunk_steps + left_context;
         accel.bytes_per_weight = 1;
+        accel.encoding = WeightEncoding::Int8;
         StreamConfig {
             accel,
             arch: Architecture::A3,

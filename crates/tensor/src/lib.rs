@@ -22,6 +22,7 @@ pub mod activations;
 pub mod approx;
 pub mod backend;
 pub mod crc32;
+pub mod encoding;
 pub mod init;
 pub mod matrix;
 pub mod norm;
@@ -33,4 +34,5 @@ pub mod stats;
 pub use approx::{assert_close, max_abs_diff, relative_close};
 pub use backend::MatMul;
 pub use crc32::crc32;
+pub use encoding::{StripeEncoding, WeightEncoding};
 pub use matrix::Matrix;

@@ -15,6 +15,7 @@ use crate::weights::{
     AttentionWeights, DecoderWeights, EncoderWeights, FfnWeights, LayerNormWeights, ModelWeights,
 };
 use asr_tensor::crc32::Crc32;
+use asr_tensor::encoding::{self, StripeEncoding, WeightEncoding};
 use asr_tensor::Matrix;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use std::fmt;
@@ -24,6 +25,13 @@ const MAGIC: u32 = 0x5441_5352;
 /// Format version. v2 added the per-stripe CRC table; v1 files (no
 /// checksums) are rejected rather than trusted.
 const VERSION: u32 = 2;
+/// v3 stores each matrix in a wire encoding ([`WeightEncoding`], DESIGN.md
+/// §16): the header gains an encoding descriptor and every record carries
+/// its codec metadata, with the CRC table computed over the **encoded**
+/// record bytes. v2 files keep loading unchanged (dense f32 is the identity
+/// encoding), and [`to_bytes_encoded`] with [`WeightEncoding::Dense`]
+/// delegates to [`to_bytes`] so the dense wire format stays byte-identical.
+const VERSION_ENCODED: u32 = 3;
 
 /// Serialization / deserialization error.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -53,6 +61,10 @@ pub enum IoError {
         /// CRC computed over the record as read.
         computed: u32,
     },
+    /// A v3 encoding descriptor or record could not be decoded: unknown
+    /// codec tag, invalid codec parameters, or structurally undecodable
+    /// record bytes.
+    BadEncoding(String),
 }
 
 impl fmt::Display for IoError {
@@ -70,6 +82,7 @@ impl fmt::Display for IoError {
                 "stripe {} CRC mismatch: stored 0x{:08x}, computed 0x{:08x}",
                 stripe, stored, computed
             ),
+            IoError::BadEncoding(reason) => write!(f, "bad stripe encoding: {}", reason),
         }
     }
 }
@@ -161,16 +174,20 @@ fn put_attention(buf: &mut BytesMut, a: &AttentionWeights) {
     put_matrix(buf, &a.b_a);
 }
 
+/// A matrix-record reader: v2 plain records or v3 encoded records, with the
+/// CRC table captured inside. The model-walk below is format-agnostic.
+type RecordReader<'a> = dyn FnMut(&mut Bytes) -> Result<Matrix, IoError> + 'a;
+
 fn get_attention(
     buf: &mut Bytes,
     heads: usize,
-    table: &mut CrcTable,
+    read: &mut RecordReader,
 ) -> Result<AttentionWeights, IoError> {
     let mut groups: Vec<Vec<Matrix>> = Vec::with_capacity(6);
     for _ in 0..6 {
         let mut g = Vec::with_capacity(heads);
         for _ in 0..heads {
-            g.push(get_matrix(buf, table)?);
+            g.push(read(buf)?);
         }
         groups.push(g);
     }
@@ -180,16 +197,7 @@ fn get_attention(
     let w_v = groups.pop().unwrap();
     let w_k = groups.pop().unwrap();
     let w_q = groups.pop().unwrap();
-    Ok(AttentionWeights {
-        w_q,
-        w_k,
-        w_v,
-        b_q,
-        b_k,
-        b_v,
-        w_a: get_matrix(buf, table)?,
-        b_a: get_matrix(buf, table)?,
-    })
+    Ok(AttentionWeights { w_q, w_k, w_v, b_q, b_k, b_v, w_a: read(buf)?, b_a: read(buf)? })
 }
 
 fn put_ffn(buf: &mut BytesMut, f: &FfnWeights) {
@@ -199,13 +207,8 @@ fn put_ffn(buf: &mut BytesMut, f: &FfnWeights) {
     put_matrix(buf, &f.b2);
 }
 
-fn get_ffn(buf: &mut Bytes, table: &mut CrcTable) -> Result<FfnWeights, IoError> {
-    Ok(FfnWeights {
-        w1: get_matrix(buf, table)?,
-        b1: get_matrix(buf, table)?,
-        w2: get_matrix(buf, table)?,
-        b2: get_matrix(buf, table)?,
-    })
+fn get_ffn(buf: &mut Bytes, read: &mut RecordReader) -> Result<FfnWeights, IoError> {
+    Ok(FfnWeights { w1: read(buf)?, b1: read(buf)?, w2: read(buf)?, b2: read(buf)? })
 }
 
 fn put_ln(buf: &mut BytesMut, l: &LayerNormWeights) {
@@ -213,8 +216,112 @@ fn put_ln(buf: &mut BytesMut, l: &LayerNormWeights) {
     put_matrix(buf, &l.b);
 }
 
-fn get_ln(buf: &mut Bytes, table: &mut CrcTable) -> Result<LayerNormWeights, IoError> {
-    Ok(LayerNormWeights { w: get_matrix(buf, table)?, b: get_matrix(buf, table)? })
+fn get_ln(buf: &mut Bytes, read: &mut RecordReader) -> Result<LayerNormWeights, IoError> {
+    Ok(LayerNormWeights { w: read(buf)?, b: read(buf)? })
+}
+
+/// Header descriptor for a v3 file: `(tag, p1, p2)` little-endian u32s
+/// right after the config words.
+fn spec_descriptor(spec: WeightEncoding) -> (u32, u32, u32) {
+    match spec {
+        WeightEncoding::Dense => (0, 0, 0),
+        WeightEncoding::Int8 => (1, 0, 0),
+        WeightEncoding::BlockCirculant { block } => (2, block as u32, 0),
+        WeightEncoding::SparseTiles { tile, occupancy_pct } => (3, tile as u32, occupancy_pct),
+    }
+}
+
+fn spec_from_descriptor(tag: u32, p1: u32, p2: u32) -> Result<WeightEncoding, IoError> {
+    let spec = match tag {
+        0 => WeightEncoding::Dense,
+        1 => WeightEncoding::Int8,
+        2 => WeightEncoding::BlockCirculant { block: p1 as usize },
+        3 => WeightEncoding::SparseTiles { tile: p1 as usize, occupancy_pct: p2 },
+        other => return Err(IoError::BadEncoding(format!("unknown codec tag {}", other))),
+    };
+    spec.validate().map_err(IoError::BadEncoding)?;
+    Ok(spec)
+}
+
+/// One v3 record, fully encoded: `rows || cols || codec meta || payload_len
+/// || payload`, the exact bytes the stored CRC covers.
+fn encode_record(m: &Matrix, spec: WeightEncoding) -> Vec<u8> {
+    let (enc, payload) = encoding::encode(m, spec);
+    let mut rec = Vec::with_capacity(payload.len() + 16);
+    rec.extend_from_slice(&(m.rows() as u32).to_le_bytes());
+    rec.extend_from_slice(&(m.cols() as u32).to_le_bytes());
+    match &enc {
+        StripeEncoding::DenseF32 | StripeEncoding::BlockCirculant { .. } => {}
+        StripeEncoding::Int8 { scale } => rec.extend_from_slice(&scale.to_le_bytes()),
+        StripeEncoding::SparseTiles { bitmap, .. } => {
+            rec.extend_from_slice(&(bitmap.len() as u32).to_le_bytes());
+            rec.extend_from_slice(bitmap);
+        }
+    }
+    rec.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    rec.extend_from_slice(&payload);
+    rec
+}
+
+/// Read one v3 record, verify its CRC over the encoded bytes, and decode
+/// the payload through the shared codec.
+fn get_matrix_encoded(
+    buf: &mut Bytes,
+    table: &mut CrcTable,
+    spec: WeightEncoding,
+) -> Result<Matrix, IoError> {
+    let mut crc = Crc32::new();
+    if buf.remaining() < 8 {
+        return Err(IoError::Truncated);
+    }
+    let rows = buf.get_u32_le();
+    let cols = buf.get_u32_le();
+    if rows == 0 || cols == 0 || rows > MAX_DIM || cols > MAX_DIM {
+        return Err(IoError::BadShape(rows, cols));
+    }
+    crc.update(&rows.to_le_bytes());
+    crc.update(&cols.to_le_bytes());
+    let enc = match spec {
+        WeightEncoding::Dense => StripeEncoding::DenseF32,
+        WeightEncoding::Int8 => {
+            if buf.remaining() < 4 {
+                return Err(IoError::Truncated);
+            }
+            let mut scale = [0u8; 4];
+            buf.copy_to_slice(&mut scale);
+            crc.update(&scale);
+            StripeEncoding::Int8 { scale: f32::from_le_bytes(scale) }
+        }
+        WeightEncoding::BlockCirculant { block } => StripeEncoding::BlockCirculant { block },
+        WeightEncoding::SparseTiles { tile, .. } => {
+            if buf.remaining() < 4 {
+                return Err(IoError::Truncated);
+            }
+            let bitmap_len = buf.get_u32_le();
+            crc.update(&bitmap_len.to_le_bytes());
+            if buf.remaining() < bitmap_len as usize {
+                return Err(IoError::Truncated);
+            }
+            let mut bitmap = vec![0u8; bitmap_len as usize];
+            buf.copy_to_slice(&mut bitmap);
+            crc.update(&bitmap);
+            StripeEncoding::SparseTiles { tile, bitmap }
+        }
+    };
+    if buf.remaining() < 4 {
+        return Err(IoError::Truncated);
+    }
+    let payload_len = buf.get_u32_le();
+    crc.update(&payload_len.to_le_bytes());
+    if buf.remaining() < payload_len as usize {
+        return Err(IoError::Truncated);
+    }
+    let mut payload = vec![0u8; payload_len as usize];
+    buf.copy_to_slice(&mut payload);
+    crc.update(&payload);
+    table.verify(crc.finalize())?;
+    encoding::decode(&enc, rows as usize, cols as usize, &payload)
+        .map_err(|e| IoError::BadEncoding(e.to_string()))
 }
 
 /// Serialize a model's configuration and weights to bytes.
@@ -253,7 +360,47 @@ pub fn to_bytes(cfg: &TransformerConfig, w: &ModelWeights) -> Bytes {
     buf.freeze()
 }
 
-/// Deserialize a model from bytes.
+/// Serialize a model with its weights in a wire encoding (v3 container).
+///
+/// [`WeightEncoding::Dense`] delegates to [`to_bytes`]: the dense format IS
+/// the v2 file, byte for byte, so every existing reader keeps working.
+pub fn to_bytes_encoded(
+    cfg: &TransformerConfig,
+    w: &ModelWeights,
+    spec: WeightEncoding,
+) -> Result<Bytes, IoError> {
+    if spec == WeightEncoding::Dense {
+        return Ok(to_bytes(cfg, w));
+    }
+    spec.validate().map_err(IoError::BadEncoding)?;
+    let mut buf = BytesMut::new();
+    buf.put_u32_le(MAGIC);
+    buf.put_u32_le(VERSION_ENCODED);
+    for v in [cfg.n_encoders, cfg.n_decoders, cfg.d_model, cfg.n_heads, cfg.d_ff, cfg.vocab_size] {
+        buf.put_u32_le(v as u32);
+    }
+    let (tag, p1, p2) = spec_descriptor(spec);
+    buf.put_u32_le(tag);
+    buf.put_u32_le(p1);
+    buf.put_u32_le(p2);
+    // Two passes: encode every record first, so the CRC table (computed
+    // over the encoded record bytes — what actually travels) can precede
+    // the records just like v2's table precedes its payloads.
+    let records: Vec<Vec<u8>> = w.matrices().iter().map(|m| encode_record(m, spec)).collect();
+    debug_assert_eq!(records.len() as u32, stripe_count(cfg));
+    buf.put_u32_le(records.len() as u32);
+    for r in &records {
+        buf.put_u32_le(asr_tensor::crc32(r));
+    }
+    for r in &records {
+        buf.put_slice(r);
+    }
+    Ok(buf.freeze())
+}
+
+/// Deserialize a model from bytes. Accepts v2 (dense f32) and v3 (encoded)
+/// containers; weights are decoded at load, so callers always receive plain
+/// f32 matrices regardless of the wire encoding.
 pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), IoError> {
     if buf.remaining() < 8 + 6 * 4 {
         return Err(IoError::Truncated);
@@ -263,7 +410,7 @@ pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), I
         return Err(IoError::BadMagic(magic));
     }
     let version = buf.get_u32_le();
-    if version != VERSION {
+    if version != VERSION && version != VERSION_ENCODED {
         return Err(IoError::BadVersion(version));
     }
     let cfg = TransformerConfig {
@@ -273,6 +420,15 @@ pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), I
         n_heads: buf.get_u32_le() as usize,
         d_ff: buf.get_u32_le() as usize,
         vocab_size: buf.get_u32_le() as usize,
+    };
+    let spec = if version == VERSION_ENCODED {
+        if buf.remaining() < 12 {
+            return Err(IoError::Truncated);
+        }
+        let (tag, p1, p2) = (buf.get_u32_le(), buf.get_u32_le(), buf.get_u32_le());
+        Some(spec_from_descriptor(tag, p1, p2)?)
+    } else {
+        None
     };
     let expected = stripe_count(&cfg);
     if buf.remaining() < 4 {
@@ -287,32 +443,36 @@ pub fn from_bytes(mut buf: Bytes) -> Result<(TransformerConfig, ModelWeights), I
     }
     let crcs = (0..found).map(|_| buf.get_u32_le()).collect();
     let mut table = CrcTable { crcs, next: 0 };
+    let mut read = move |buf: &mut Bytes| match spec {
+        None => get_matrix(buf, &mut table),
+        Some(spec) => get_matrix_encoded(buf, &mut table, spec),
+    };
     let mut encoders = Vec::with_capacity(cfg.n_encoders);
     for _ in 0..cfg.n_encoders {
         encoders.push(EncoderWeights {
-            mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
-            ln1: get_ln(&mut buf, &mut table)?,
-            ffn: get_ffn(&mut buf, &mut table)?,
-            ln2: get_ln(&mut buf, &mut table)?,
+            mha: get_attention(&mut buf, cfg.n_heads, &mut read)?,
+            ln1: get_ln(&mut buf, &mut read)?,
+            ffn: get_ffn(&mut buf, &mut read)?,
+            ln2: get_ln(&mut buf, &mut read)?,
         });
     }
     let mut decoders = Vec::with_capacity(cfg.n_decoders);
     for _ in 0..cfg.n_decoders {
         decoders.push(DecoderWeights {
-            masked_mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
-            ln1: get_ln(&mut buf, &mut table)?,
-            cross_mha: get_attention(&mut buf, cfg.n_heads, &mut table)?,
-            ln2: get_ln(&mut buf, &mut table)?,
-            ffn: get_ffn(&mut buf, &mut table)?,
-            ln3: get_ln(&mut buf, &mut table)?,
+            masked_mha: get_attention(&mut buf, cfg.n_heads, &mut read)?,
+            ln1: get_ln(&mut buf, &mut read)?,
+            cross_mha: get_attention(&mut buf, cfg.n_heads, &mut read)?,
+            ln2: get_ln(&mut buf, &mut read)?,
+            ffn: get_ffn(&mut buf, &mut read)?,
+            ln3: get_ln(&mut buf, &mut read)?,
         });
     }
     let weights = ModelWeights {
         encoders,
         decoders,
-        embedding: get_matrix(&mut buf, &mut table)?,
-        out_proj: get_matrix(&mut buf, &mut table)?,
-        out_bias: get_matrix(&mut buf, &mut table)?,
+        embedding: read(&mut buf)?,
+        out_proj: read(&mut buf)?,
+        out_bias: read(&mut buf)?,
     };
     Ok((cfg, weights))
 }
@@ -324,6 +484,18 @@ pub fn save(
     w: &ModelWeights,
 ) -> std::io::Result<()> {
     std::fs::write(path, to_bytes(cfg, w))
+}
+
+/// Write a model to a file in a wire encoding (v3; Dense stays v2).
+pub fn save_encoded(
+    path: &std::path::Path,
+    cfg: &TransformerConfig,
+    w: &ModelWeights,
+    spec: WeightEncoding,
+) -> std::io::Result<()> {
+    let bytes = to_bytes_encoded(cfg, w, spec)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidInput, e))?;
+    std::fs::write(path, bytes)
 }
 
 /// Read a model from a file.
@@ -447,6 +619,81 @@ mod tests {
             Err(IoError::CrcMismatch { stripe, .. }) => assert_eq!(stripe, 0),
             other => panic!("expected CrcMismatch, got {:?}", other),
         }
+    }
+
+    #[test]
+    fn encoded_dense_is_byte_identical_to_v2() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 42);
+        let v2 = to_bytes(&cfg, &w);
+        let dense = to_bytes_encoded(&cfg, &w, WeightEncoding::Dense).unwrap();
+        assert_eq!(v2, dense, "Dense must stay the v2 wire format exactly");
+    }
+
+    #[test]
+    fn encoded_sparse_roundtrips_bit_identical() {
+        // Sparse tiling is lossless whatever the occupancy, so the full
+        // model must survive a v3 write/read untouched.
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 13);
+        let spec = WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 100 };
+        let bytes = to_bytes_encoded(&cfg, &w, spec).unwrap();
+        let (cfg2, w2) = from_bytes(bytes).unwrap();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(w, w2);
+    }
+
+    #[test]
+    fn encoded_int8_shrinks_and_decodes_like_the_codec() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 21);
+        let v2 = to_bytes(&cfg, &w);
+        let v3 = to_bytes_encoded(&cfg, &w, WeightEncoding::Int8).unwrap();
+        assert!(v3.len() < v2.len() / 3, "int8 container {} vs dense {}", v3.len(), v2.len());
+        let (_, w2) = from_bytes(v3).unwrap();
+        // Decode-at-load must match the shared codec matrix by matrix.
+        for (orig, got) in w.matrices().into_iter().zip(w2.matrices()) {
+            let (enc, payload) = encoding::encode(orig, WeightEncoding::Int8);
+            let want = encoding::decode(&enc, orig.rows(), orig.cols(), &payload).unwrap();
+            assert_eq!(got, &want);
+        }
+    }
+
+    #[test]
+    fn encoded_file_roundtrips_through_disk() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 3);
+        let path = std::env::temp_dir().join("tasr_model_io_encoded_test.bin");
+        save_encoded(&path, &cfg, &w, WeightEncoding::BlockCirculant { block: 4 }).unwrap();
+        let (cfg2, w2) = load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(cfg, cfg2);
+        assert_eq!(w2.matrices().len(), w.matrices().len());
+    }
+
+    #[test]
+    fn corrupted_encoded_byte_rejected_by_the_stored_crc() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes_encoded(&cfg, &w, WeightEncoding::Int8).unwrap().to_vec();
+        let n = v.len();
+        v[n - 3] ^= 0x40; // deep inside the last encoded payload
+        match from_bytes(Bytes::from(v)) {
+            Err(IoError::CrcMismatch { stripe, stored, computed }) => {
+                assert_eq!(stripe, stripe_count(&cfg) - 1);
+                assert_ne!(stored, computed);
+            }
+            other => panic!("expected CrcMismatch, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn unknown_codec_tag_rejected_typed() {
+        let cfg = TransformerConfig::tiny();
+        let w = ModelWeights::seeded(&cfg, 1);
+        let mut v = to_bytes_encoded(&cfg, &w, WeightEncoding::Int8).unwrap().to_vec();
+        v[32] = 9; // descriptor tag lives right after the 32-byte header
+        assert!(matches!(from_bytes(Bytes::from(v)), Err(IoError::BadEncoding(_))));
     }
 
     #[test]

@@ -7,26 +7,33 @@
 //! 12 + 6 stack).
 
 use crate::config::TransformerConfig;
+use asr_tensor::encoding::{self, CodecError, StripeEncoding, WeightEncoding};
 use asr_tensor::{crc32, init, Matrix};
 use serde::{Deserialize, Serialize};
 
-/// One weight stripe as the HBM prefetch path sees it: the matrix's f32
-/// payload in little-endian bytes plus the CRC-32 computed at export time.
-/// The checksum travels with the stripe (through `model_io` and the host's
-/// prefetch queue), so any on-card corruption of the bytes is detectable
-/// before the stripe feeds a PSA (DESIGN.md §9).
+/// One weight stripe as the HBM prefetch path sees it: the matrix's payload
+/// in its wire encoding plus the CRC-32 computed at export time **over the
+/// encoded bytes** — the checksum protects exactly what travels, so a
+/// corrupted int8 byte or sparse bitmap bit is as detectable as a corrupted
+/// dense f32 (DESIGN.md §9, §16). The checksum travels with the stripe
+/// (through `model_io` and the host's prefetch queue), so any on-card
+/// corruption of the bytes is detectable before the stripe feeds a PSA.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WeightStripe {
     /// Stripe label (matches the host's load-command labels, e.g. `"E3/w_a"`).
     pub label: String,
-    /// Row count of the source matrix.
+    /// Row count of the source matrix (logical shape, not wire bytes).
     pub rows: usize,
     /// Column count of the source matrix.
     pub cols: usize,
-    /// f32 little-endian payload, `rows·cols·4` bytes.
+    /// Encoded payload: `rows·cols·4` little-endian f32 bytes for
+    /// [`StripeEncoding::DenseF32`], whatever the codec emitted otherwise.
     pub bytes: Vec<u8>,
-    /// CRC-32 over `bytes`, computed at export time from the clean payload.
+    /// CRC-32 over the **encoded** `bytes`, computed at export time from the
+    /// clean payload.
     pub crc: u32,
+    /// How `bytes` encodes the `rows × cols` matrix.
+    pub encoding: StripeEncoding,
 }
 
 /// Serialize a matrix's payload as little-endian f32 bytes (the stripe wire
@@ -40,29 +47,62 @@ pub fn matrix_le_bytes(m: &Matrix) -> Vec<u8> {
 }
 
 impl WeightStripe {
-    /// Export a matrix as a stripe, computing its envelope CRC from the
-    /// clean payload.
+    /// Export a matrix as a dense-f32 stripe, computing its envelope CRC
+    /// from the clean payload. Byte-for-byte the historical wire format.
     pub fn export(label: impl Into<String>, m: &Matrix) -> Self {
         let bytes = matrix_le_bytes(m);
         let crc = crc32::crc32(&bytes);
-        WeightStripe { label: label.into(), rows: m.rows(), cols: m.cols(), bytes, crc }
+        WeightStripe {
+            label: label.into(),
+            rows: m.rows(),
+            cols: m.cols(),
+            bytes,
+            crc,
+            encoding: StripeEncoding::DenseF32,
+        }
     }
 
-    /// Verify the payload against the export-time CRC.
+    /// Export a matrix through the shared stripe codec
+    /// ([`asr_tensor::encoding`]). `WeightEncoding::Dense` reproduces
+    /// [`Self::export`] exactly; every other spec shrinks `bytes` and the
+    /// CRC covers the encoded payload.
+    pub fn export_encoded(label: impl Into<String>, m: &Matrix, spec: WeightEncoding) -> Self {
+        let (enc, bytes) = encoding::encode(m, spec);
+        let crc = crc32::crc32(&bytes);
+        WeightStripe {
+            label: label.into(),
+            rows: m.rows(),
+            cols: m.cols(),
+            bytes,
+            crc,
+            encoding: enc,
+        }
+    }
+
+    /// Verify the encoded payload against the export-time CRC.
     pub fn crc_ok(&self) -> bool {
         crc32::crc32(&self.bytes) == self.crc
     }
 
+    /// Decode the payload back into a matrix, or a typed error when the
+    /// bytes are too mangled to decode structurally (possible only for
+    /// non-dense encodings — a corrupted sparse bitmap changes how many
+    /// payload tiles the decoder expects). Bit flips that keep the
+    /// structure intact still decode, to garbage values — detecting those
+    /// is the CRC's job, not the codec's.
+    pub fn try_decode(&self) -> Result<Matrix, CodecError> {
+        encoding::decode(&self.encoding, self.rows, self.cols, &self.bytes)
+    }
+
     /// Decode the payload back into a matrix (possibly corrupted — decoding
     /// does not verify; that is the caller's integrity-level decision).
+    ///
+    /// # Panics
+    ///
+    /// On structurally undecodable bytes; callers that inject faults into
+    /// non-dense stripes should use [`Self::try_decode`].
     pub fn decode(&self) -> Matrix {
-        assert_eq!(self.bytes.len(), self.rows * self.cols * 4, "stripe payload size mismatch");
-        let data: Vec<f32> = self
-            .bytes
-            .chunks_exact(4)
-            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
-        Matrix::from_vec(self.rows, self.cols, data)
+        self.try_decode().expect("stripe payload size mismatch")
     }
 }
 
@@ -564,6 +604,46 @@ mod tests {
         assert!(s.crc_ok());
         assert_eq!(s.bytes.len(), 5 * 7 * 4);
         assert_eq!(s.decode(), m);
+    }
+
+    #[test]
+    fn encoded_export_dense_is_the_legacy_stripe() {
+        let m = init::uniform(5, 7, -2.0, 2.0, 11);
+        let legacy = WeightStripe::export("E1/w_a", &m);
+        let dense = WeightStripe::export_encoded("E1/w_a", &m, WeightEncoding::Dense);
+        assert_eq!(legacy, dense, "Dense spec must reproduce the historical wire format");
+    }
+
+    #[test]
+    fn sparse_stripe_shrinks_and_decodes_bit_identical() {
+        // Top half zero: the 4×4 tile grid drops its first row of tiles.
+        let mut data = vec![0.0f32; 8 * 8];
+        for (i, v) in data.iter_mut().enumerate().skip(32) {
+            *v = (i as f32).sin();
+        }
+        let m = Matrix::from_vec(8, 8, data);
+        let s = WeightStripe::export_encoded(
+            "D1/w1",
+            &m,
+            WeightEncoding::SparseTiles { tile: 4, occupancy_pct: 50 },
+        );
+        assert!(s.crc_ok());
+        assert!(s.bytes.len() < m.len() * 4, "absent tiles leave the payload");
+        assert!(s.encoding.is_lossless());
+        assert_eq!(s.decode(), m, "sparse is lossless: bit-identical roundtrip");
+    }
+
+    #[test]
+    fn int8_stripe_crc_covers_encoded_bytes() {
+        let m = init::uniform(6, 6, -1.0, 1.0, 7);
+        let clean = WeightStripe::export_encoded("E2/w_a", &m, WeightEncoding::Int8);
+        assert!(clean.crc_ok());
+        assert_eq!(clean.bytes.len(), 36, "one byte per weight");
+        for byte in 0..clean.bytes.len() {
+            let mut s = clean.clone();
+            s.bytes[byte] ^= 0x01;
+            assert!(!s.crc_ok(), "encoded flip at byte {} escaped", byte);
+        }
     }
 
     #[test]

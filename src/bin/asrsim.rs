@@ -11,9 +11,13 @@
 //! asrsim trace <out.json> [--s N]      A3 schedule as Chrome trace JSON
 //! asrsim plan      [--s N] [--arch a1|a2|a3] [--batch B]
 //!                  [--integrity off|detect|detect-recompute]
+//!                  [--encoding dense|int8|bc:<B>|sparse:<T>[@OCC]]
 //!                                      lowered ExecPlan dump: command counts,
-//!                                      prefetch edges, critical path, and
-//!                                      per-channel HBM load bytes
+//!                                      prefetch edges, critical path,
+//!                                      per-channel HBM load bytes, and the
+//!                                      encoded (on-the-wire) traffic plus
+//!                                      zero-tile compute skipped by the
+//!                                      chosen stripe encoding
 //! asrsim plan --decode [--s N] [--arch a1|a2|a3] [--beam B] [--steps T]
 //!                  [--step K] [--integrity off|detect|detect-recompute]
 //!                                      per-step decode plans: cold vs
@@ -66,8 +70,10 @@
 //! asrsim bench --check [--out FILE] [--tolerance F]
 //!                                      regression gate: compare the last two
 //!                                      trajectory entries and exit nonzero
-//!                                      on a >10% slide in sustainable rps
-//!                                      or analytic E2E latency
+//!                                      on a >10% slide in sustainable rps,
+//!                                      analytic E2E latency, decode steady
+//!                                      ms/token, or the steady-state elided
+//!                                      load fraction
 //! asrsim bench [--out FILE] [--label L] benchmark trajectory: appends one
 //!                                      entry (tagged with the git rev and a
 //!                                      PR label) of plan lowering time,
@@ -98,6 +104,7 @@ use transformer_asr_accel::accel::{
 use transformer_asr_accel::fpga::trace::to_chrome_trace;
 use transformer_asr_accel::fpga::{FaultKind, FaultPlan};
 use transformer_asr_accel::systolic::abft::IntegrityLevel;
+use transformer_asr_accel::tensor::WeightEncoding;
 
 /// Typed one-line CLI failure. Each variant maps to its own exit code so a
 /// harness can distinguish a typo (3) from an impossible combination (4)
@@ -219,6 +226,34 @@ fn parse_integrity_flag(args: &[String]) -> Result<IntegrityLevel, String> {
     };
     let v = args.get(i + 1).map(String::as_str).unwrap_or("");
     IntegrityLevel::parse(&v.to_ascii_lowercase()).ok_or_else(|| v.to_string())
+}
+
+/// `--encoding dense|int8|bc:<B>|sparse:<T>[@OCC]` (default dense). `Err`
+/// carries the bad value.
+fn parse_encoding_flag(args: &[String]) -> Result<WeightEncoding, String> {
+    let Some(i) = args.iter().position(|a| a == "--encoding") else {
+        return Ok(WeightEncoding::Dense);
+    };
+    let v = args.get(i + 1).map(String::as_str).unwrap_or("");
+    parse_encoding(&v.to_ascii_lowercase()).ok_or_else(|| v.to_string())
+}
+
+fn parse_encoding(v: &str) -> Option<WeightEncoding> {
+    match v {
+        "dense" => Some(WeightEncoding::Dense),
+        "int8" => Some(WeightEncoding::Int8),
+        _ => {
+            if let Some(block) = v.strip_prefix("bc:") {
+                return Some(WeightEncoding::BlockCirculant { block: block.parse().ok()? });
+            }
+            let rest = v.strip_prefix("sparse:")?;
+            let (tile, occupancy_pct) = match rest.split_once('@') {
+                Some((t, o)) => (t.parse().ok()?, o.parse().ok()?),
+                None => (rest.parse().ok()?, 100),
+            };
+            Some(WeightEncoding::SparseTiles { tile, occupancy_pct })
+        }
+    }
 }
 
 /// `--arch a1|a2|a3` (default A3). `Err` carries the bad value.
@@ -358,6 +393,12 @@ fn cmd_quant() {
     println!("fp32 fabric  : {}", r.fp32_resources.total());
     println!("int8 fabric  : {}", r.int8_resources.total());
     println!("int8 LUT     : {:.1}%", r.int8_lut_pct);
+    println!("fp32 HBM     : {:>12} B scheduled per utterance", r.fp32_hbm_bytes);
+    println!(
+        "int8 HBM     : {:>12} B scheduled ({:.1}x lighter on the wire)",
+        r.int8_hbm_bytes,
+        r.fp32_hbm_bytes as f64 / r.int8_hbm_bytes.max(1) as f64
+    );
 }
 
 fn cmd_breakdown(s: usize) {
@@ -597,11 +638,26 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let enc = match parse_encoding_flag(args) {
+        Ok(e) => e,
+        Err(bad) => {
+            eprintln!(
+                "unknown encoding '{}': expected dense, int8, bc:<B>, or sparse:<T>[@OCC]",
+                bad
+            );
+            return ExitCode::FAILURE;
+        }
+    };
     if has_flag(args, "--decode") {
-        return cmd_plan_decode(s, arch, level, args);
+        return cmd_plan_decode(s, arch, level, enc, args);
     }
     let batch = parse_flag(args, "--batch", 1).max(1);
-    let cfg = unpadded(s);
+    let mut cfg = unpadded(s);
+    cfg.encoding = enc;
+    if let Err(e) = cfg.validate() {
+        eprintln!("asrsim: rejected: {}", e);
+        return ExitCode::from(5);
+    }
     let s = cfg.max_seq_len;
     let plan = match ExecPlan::lower(&cfg, arch, s, batch, level) {
         Ok(p) => p,
@@ -617,6 +673,7 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
     println!("input length         : {} (built {})", s, plan.seq_len);
     println!("batch                : {}", plan.batch);
     println!("integrity level      : {}", level.name());
+    println!("stripe encoding      : {}", cfg.encoding);
     println!("phases               : {}", plan.phases.len());
     println!(
         "commands             : {} LoadStripe, {} Compute, {} Verify, {} Barrier ({} total)",
@@ -634,6 +691,14 @@ fn cmd_plan(s: usize, args: &[String]) -> ExitCode {
     println!("load busy            : {:8.2} ms", cost.load_total_s * 1e3);
     println!("compute busy         : {:8.2} ms", cost.compute_total_s * 1e3);
     println!("compute stall        : {:8.2} ms", cost.compute_stall_s * 1e3);
+    if cost.skipped_compute_s > 0.0 {
+        println!(
+            "zero-tile skip       : {:8.2} ms of compute elided ({:.0}% occupancy)",
+            cost.skipped_compute_s * 1e3,
+            (1.0 - cfg.encoding.zero_tile_fraction()) * 100.0
+        );
+    }
+    println!("scheduled load bytes : {:>12} B (encoded, on the wire)", plan.scheduled_load_bytes());
     println!("channel load bytes   :");
     for (ch, bytes) in plan.channel_load_bytes().iter().enumerate() {
         println!("  HBM[{}]             : {:>12} B", ch, bytes);
@@ -648,12 +713,18 @@ fn cmd_plan_decode(
     s: usize,
     arch: Architecture,
     level: IntegrityLevel,
+    enc: WeightEncoding,
     args: &[String],
 ) -> ExitCode {
     let beam = parse_flag(args, "--beam", 1).max(1);
     let max_steps = parse_flag(args, "--steps", 16).max(1);
     let steady_step = parse_flag(args, "--step", (max_steps / 2).max(1));
-    let cfg = unpadded(s);
+    let mut cfg = unpadded(s);
+    cfg.encoding = enc;
+    if let Err(e) = cfg.validate() {
+        eprintln!("asrsim: rejected: {}", e);
+        return ExitCode::from(5);
+    }
     let mem_len = cfg.max_seq_len;
     let da = match decode_analytics(&cfg, arch, mem_len, beam, max_steps, steady_step, level) {
         Ok(d) => d,
@@ -666,6 +737,7 @@ fn cmd_plan_decode(
     println!("encoder memory rows  : {}", mem_len);
     println!("beam / max steps     : {} / {}", beam, max_steps);
     println!("integrity level      : {}", level.name());
+    println!("stripe encoding      : {}", cfg.encoding);
     println!(
         "cold step (t=0)      : {:8.3} ms critical path, {:>12} B fetched",
         da.cold.latency_s * 1e3,
@@ -1127,6 +1199,40 @@ fn bench_check(path: &str, tol: f64) -> Result<(), CliError> {
     if e2e1 > e2e0 * (1.0 + tol) {
         slid.push(format!("analytic_e2e_ms slid {:.3} -> {:.3}", e2e0, e2e1));
     }
+    // Decode gates: steady ms/token must not grow, and the elided fraction
+    // (what KV residency saves every steady step) must not shrink, past the
+    // same tolerance. Entries written before the decode section existed are
+    // skipped rather than failed so the gate stays usable across history.
+    let take_decode = |entry: &str| -> Option<(f64, f64)> {
+        let decode = json_object_after(json_object_after(entry, "bench")?, "decode")?;
+        Some((
+            json_number_after(decode, "steady_ms_per_token")?,
+            json_number_after(decode, "elided_load_fraction")?,
+        ))
+    };
+    match (take_decode(entries[entries.len() - 2]), take_decode(entries[entries.len() - 1])) {
+        (Some((ms0, el0)), Some((ms1, el1))) => {
+            println!(
+                "decode ms/token      : {:8.3} -> {:8.3} ({:+6.1} %)",
+                ms0,
+                ms1,
+                if ms0 > 0.0 { (ms1 / ms0 - 1.0) * 100.0 } else { 0.0 }
+            );
+            println!(
+                "decode elision       : {:8.4} -> {:8.4} ({:+6.1} %)",
+                el0,
+                el1,
+                if el0 > 0.0 { (el1 / el0 - 1.0) * 100.0 } else { 0.0 }
+            );
+            if ms1 > ms0 * (1.0 + tol) {
+                slid.push(format!("decode steady_ms_per_token slid {:.3} -> {:.3}", ms0, ms1));
+            }
+            if el1 < el0 * (1.0 - tol) {
+                slid.push(format!("decode elided_load_fraction slid {:.4} -> {:.4}", el0, el1));
+            }
+        }
+        _ => println!("decode metrics       : absent in an entry — gate skipped"),
+    }
     if !slid.is_empty() {
         return Err(CliError::Rejected(format!(
             "regression past the {:.0}% gate: {}",
@@ -1276,6 +1382,21 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         da.elided_fraction * 100.0
     );
 
+    // Weight traffic under compression: the same A3 utterance plan priced
+    // dense vs int8 — the encoded bytes the wire actually moves.
+    let traffic = |c: &AccelConfig| -> Result<u64, CliError> {
+        Ok(ExecPlan::lower(c, Architecture::A3, 32, 1, IntegrityLevel::Off)
+            .map_err(|e| CliError::Rejected(format!("traffic lowering failed: {}", e)))?
+            .scheduled_load_bytes())
+    };
+    let base = AccelConfig::paper_default();
+    let dense_wire_bytes = traffic(&base)?;
+    let int8_wire_bytes = traffic(&quant::int8_config(&base))?;
+    println!(
+        "weight traffic       : {:>12} B dense -> {} B int8 per utterance",
+        dense_wire_bytes, int8_wire_bytes
+    );
+
     // Cluster scaling: the highest offered load an N-node × 1-card cluster
     // serves with ≥99% of requests completing — same bisection as the pool.
     let cluster_sustains = |nodes: usize, rps: f64| -> Option<(bool, f64)> {
@@ -1349,7 +1470,7 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
     );
 
     let entry = format!(
-        "  {{\n    \"label\": \"{}\",\n    \"rev\": \"{}\",\n    \"bench\": {{\n      \"plan_lowering_us\": {:.1},\n      \"analytic_e2e_ms\": {:.3},\n      \"sustainable_rps_at_99pct\": {:.1},\n      \"throughput_rps_at_sustainable\": {:.1},\n      \"streaming\": {{\n        \"cold_chunk_ms\": {:.3},\n        \"warm_chunk_ms\": {:.3},\n        \"elided_load_fraction\": {:.4},\n        \"sustainable_streams\": {}\n      }},\n      \"decode\": {{\n        \"beam\": 4,\n        \"cold_step_ms\": {:.3},\n        \"steady_ms_per_token\": {:.3},\n        \"cold_step_bytes\": {},\n        \"steady_step_bytes\": {},\n        \"elided_load_fraction\": {:.4}\n      }},\n      \"replay\": {{\n        \"checkpoint_off\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {}\n        }},\n        \"checkpoint_on\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {},\n          \"skipped_compute_ms\": {:.3},\n          \"skipped_load_bytes\": {}\n        }}\n      }}\n    }},\n    \"cluster\": {{\n      \"sustainable_rps_at_99pct\": [{:.1}, {:.1}, {:.1}],\n      \"upgrade_downtime_ms\": {:.3},\n      \"upgrade_outcome\": \"{}\",\n      \"clean_p99_ms\": {:.3},\n      \"node_kill_p99_ms\": {:.3},\n      \"failover_added_p99_ms\": {:.3},\n      \"node_kill_lost\": {}\n    }}\n  }}",
+        "  {{\n    \"label\": \"{}\",\n    \"rev\": \"{}\",\n    \"bench\": {{\n      \"plan_lowering_us\": {:.1},\n      \"analytic_e2e_ms\": {:.3},\n      \"sustainable_rps_at_99pct\": {:.1},\n      \"throughput_rps_at_sustainable\": {:.1},\n      \"streaming\": {{\n        \"cold_chunk_ms\": {:.3},\n        \"warm_chunk_ms\": {:.3},\n        \"elided_load_fraction\": {:.4},\n        \"sustainable_streams\": {}\n      }},\n      \"decode\": {{\n        \"beam\": 4,\n        \"cold_step_ms\": {:.3},\n        \"steady_ms_per_token\": {:.3},\n        \"cold_step_bytes\": {},\n        \"steady_step_bytes\": {},\n        \"elided_load_fraction\": {:.4}\n      }},\n      \"weight_traffic\": {{\n        \"dense_scheduled_bytes\": {},\n        \"int8_scheduled_bytes\": {}\n      }},\n      \"replay\": {{\n        \"checkpoint_off\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {}\n        }},\n        \"checkpoint_on\": {{\n          \"replayed_compute_ms\": {:.3},\n          \"replayed_load_bytes\": {},\n          \"resumed_dispatches\": {},\n          \"skipped_compute_ms\": {:.3},\n          \"skipped_load_bytes\": {}\n        }}\n      }}\n    }},\n    \"cluster\": {{\n      \"sustainable_rps_at_99pct\": [{:.1}, {:.1}, {:.1}],\n      \"upgrade_downtime_ms\": {:.3},\n      \"upgrade_outcome\": \"{}\",\n      \"clean_p99_ms\": {:.3},\n      \"node_kill_p99_ms\": {:.3},\n      \"failover_added_p99_ms\": {:.3},\n      \"node_kill_lost\": {}\n    }}\n  }}",
         label.replace('"', ""),
         git_rev(),
         lower_us,
@@ -1365,6 +1486,8 @@ fn cmd_bench(args: &[String]) -> Result<(), CliError> {
         da.cold_step_bytes,
         da.steady_step_bytes,
         da.elided_fraction,
+        dense_wire_bytes,
+        int8_wire_bytes,
         off.replayed_compute_s * 1e3,
         off.replayed_load_bytes,
         off.resumed_dispatches,
